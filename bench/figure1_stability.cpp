@@ -1,0 +1,52 @@
+// Reproduces Figure 1: "Relative Stability of Route between Source and
+// Target". The paper's conceptual curve -- stable near the source (where
+// egress filtering operates) and near the target (where InFilter
+// operates), volatile in between -- measured on the synthetic internet as
+// per-hop change rates bucketed by relative path position.
+
+#include <cstdio>
+
+#include "routing/studies.h"
+
+using namespace infilter;
+
+int main() {
+  routing::TracerouteStudyConfig config;
+  config.looking_glass_sites = 24;
+  config.target_count = 20;
+  config.period = 30 * util::kMinute;
+  config.readings = 49;
+  config.completion_probability = 1.0;  // every hop of every path counts
+  config.seed = 101;
+
+  const auto profile = routing::run_stability_profile(config);
+
+  std::printf("=== Figure 1: route stability vs position between source and"
+              " target ===\n");
+  std::printf("(stability = 1 - per-hop raw change rate per 30-min reading;"
+              " ends anchored)\n\n");
+  std::printf("%-22s %-12s %-10s\n", "position", "stability", "");
+  double best_edge = 0;
+  double worst_middle = 1;
+  for (int b = 0; b < routing::StabilityProfile::kBuckets; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    const double stability = 1.0 - profile.change_rate[i];
+    char label[32];
+    std::snprintf(label, sizeof label, "%d%%-%d%% of path", b * 10, b * 10 + 10);
+    std::printf("%-22s %8.2f%%   ", label, 100.0 * stability);
+    const int bars = static_cast<int>(stability * 40);
+    for (int x = 0; x < bars; ++x) std::putchar('#');
+    std::printf("\n");
+    if (b == 0 || b == routing::StabilityProfile::kBuckets - 1) {
+      best_edge = std::max(best_edge, stability);
+    } else if (b >= 3 && b <= 6) {
+      worst_middle = std::min(worst_middle, stability);
+    }
+  }
+  std::printf("\npaper's shape check: edges stable, middle volatile -> "
+              "edge %.2f%% vs mid-path minimum %.2f%%\n",
+              100.0 * best_edge, 100.0 * worst_middle);
+  std::printf("InFilter operates in the right-hand stable region; egress"
+              " filtering in the left-hand one.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Ablation: the KOR approximate NNS vs an exact linear scan, and the
+// sensitivity of the structure to its parameters (M2, M3, d).
+//
+// DESIGN.md calls out the approximate structure as a core design choice:
+// [KOR] buys sub-linear search at the cost of approximation. This bench
+// quantifies both sides on the engine's real flow encoding:
+//   * accuracy: how often the approximate neighbor's distance leads to the
+//     same anomalous/normal decision as the exact neighbor's;
+//   * speed: per-query latency of KOR vs exact scan as training grows;
+//   * memory: table bytes vs M2.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.h"
+#include "dagflow/dagflow.h"
+#include "traffic/attacks.h"
+#include "traffic/normal.h"
+
+using namespace infilter;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::vector<netflow::V5Record> flows_from_trace(const traffic::Trace& trace,
+                                                std::uint64_t seed) {
+  dagflow::Dagflow replayer(
+      dagflow::DagflowConfig{},
+      dagflow::AddressPool::from_subblocks({*net::SubBlock::parse("1a")}), seed);
+  std::vector<netflow::V5Record> records;
+  for (const auto& labeled : replayer.replay(trace)) records.push_back(labeled.record);
+  return records;
+}
+
+struct Evaluation {
+  double agreement = 0;   // same verdict as exact, over all queries
+  double detect_rate = 0; // anomalous verdicts on attack flows
+  double pass_rate = 0;   // normal verdicts on normal flows
+  double us_per_query = 0;
+};
+
+Evaluation evaluate(const core::ClusterConfig& config,
+                    const std::vector<netflow::V5Record>& training,
+                    const std::vector<netflow::V5Record>& normal_queries,
+                    const std::vector<netflow::V5Record>& attack_queries) {
+  core::TrainedClusters approx(training, config, 101);
+  core::ClusterConfig exact_config = config;
+  exact_config.use_exact_nns = true;
+  core::TrainedClusters exact(training, exact_config, 101);
+
+  util::Rng rng{7};
+  Evaluation out;
+  int agree = 0;
+  int total = 0;
+  int detected = 0;
+  int passed = 0;
+
+  const auto start = Clock::now();
+  for (const auto& query : normal_queries) {
+    const bool a = approx.assess(query, rng).anomalous;
+    const bool e = exact.assess(query, rng).anomalous;
+    agree += (a == e) ? 1 : 0;
+    passed += a ? 0 : 1;
+    ++total;
+  }
+  for (const auto& query : attack_queries) {
+    const bool a = approx.assess(query, rng).anomalous;
+    const bool e = exact.assess(query, rng).anomalous;
+    agree += (a == e) ? 1 : 0;
+    detected += a ? 1 : 0;
+    ++total;
+  }
+  const auto elapsed =
+      std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+
+  out.agreement = static_cast<double>(agree) / total;
+  out.detect_rate = static_cast<double>(detected) / attack_queries.size();
+  out.pass_rate = static_cast<double>(passed) / normal_queries.size();
+  out.us_per_query = elapsed / total / 2;  // two assessments per query
+  return out;
+}
+
+int benchmarkish_sink = 0;
+
+double time_queries(const core::TrainedClusters& clusters,
+                    const std::vector<netflow::V5Record>& queries) {
+  util::Rng rng{9};
+  const auto start = Clock::now();
+  for (const auto& query : queries) {
+    benchmarkish_sink += clusters.assess(query, rng).distance;
+  }
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count() /
+         static_cast<double>(queries.size());
+}
+
+}  // namespace
+
+int main() {
+  traffic::NormalTrafficModel model;
+  util::Rng rng{55};
+  const auto training = flows_from_trace(model.generate(2000, 0, rng), 1);
+  const auto normal_queries = flows_from_trace(model.generate(400, 0, rng), 2);
+  traffic::AttackConfig attack_config;
+  attack_config.companion_fraction = 0;
+  const auto attack_queries =
+      flows_from_trace(traffic::generate_attack_set(attack_config, 0, 60000, rng), 3);
+
+  std::printf("=== KOR vs exact NNS: verdict agreement on real flow encodings ===\n");
+  std::printf("training %zu flows, %zu normal + %zu attack queries\n\n",
+              training.size(), normal_queries.size(), attack_queries.size());
+
+  std::printf("--- M3 sweep (registration ball radius), d=720, M2=12 ---\n");
+  std::printf("%-6s %-12s %-12s %-12s\n", "M3", "agreement", "detect", "pass-normal");
+  for (const int m3 : {1, 2, 3, 4}) {
+    core::ClusterConfig config;
+    config.kor.m3 = m3;
+    const auto eval = evaluate(config, training, normal_queries, attack_queries);
+    std::printf("%-6d %10.1f%% %10.1f%% %10.1f%%\n", m3, 100 * eval.agreement,
+                100 * eval.detect_rate, 100 * eval.pass_rate);
+  }
+
+  std::printf("\n--- M2 sweep (trace width / table size), d=720, M3=3 ---\n");
+  std::printf("%-6s %-12s %-12s %-14s\n", "M2", "agreement", "detect", "table MiB");
+  for (const int m2 : {8, 10, 12, 14}) {
+    core::ClusterConfig config;
+    config.kor.m2 = m2;
+    const auto eval = evaluate(config, training, normal_queries, attack_queries);
+    // Size probe: one subcluster structure at this M2.
+    std::vector<nns::BitVector> sample;
+    const auto encoder = core::make_flow_encoder(config.bits_per_feature);
+    for (std::size_t i = 0; i < std::min<std::size_t>(300, training.size()); ++i) {
+      sample.push_back(
+          encoder.encode(flowtools::FlowStats::from_record(training[i]).as_array()));
+    }
+    nns::KorParams params = config.kor;
+    const nns::KorNns probe(sample, params);
+    std::printf("%-6d %10.1f%% %10.1f%% %12.1f\n", m2, 100 * eval.agreement,
+                100 * eval.detect_rate,
+                static_cast<double>(probe.table_bytes()) / (1024.0 * 1024.0));
+  }
+
+  std::printf("\n--- d sweep (unary bits per flow), M2=12, M3=3 ---\n");
+  std::printf("%-6s %-12s %-12s %-12s\n", "d", "agreement", "detect", "pass-normal");
+  for (const int bits : {40, 80, 144, 200}) {
+    core::ClusterConfig config;
+    config.bits_per_feature = bits;
+    const auto eval = evaluate(config, training, normal_queries, attack_queries);
+    std::printf("%-6d %10.1f%% %10.1f%% %10.1f%%\n", bits * 5, 100 * eval.agreement,
+                100 * eval.detect_rate, 100 * eval.pass_rate);
+  }
+
+  std::printf("\n--- query latency: KOR binary search vs exact linear scan ---\n");
+  std::printf("%-10s %-14s %-14s\n", "training", "KOR us/query", "exact us/query");
+  for (const std::size_t n : {std::size_t{250}, std::size_t{1000}, std::size_t{2000}}) {
+    const std::vector<netflow::V5Record> subset(
+        training.begin(), training.begin() + static_cast<std::ptrdiff_t>(n));
+    core::ClusterConfig config;
+    const core::TrainedClusters kor(subset, config, 77);
+    core::ClusterConfig exact_config;
+    exact_config.use_exact_nns = true;
+    const core::TrainedClusters exact(subset, exact_config, 77);
+    std::printf("%-10zu %12.1f %14.1f\n", n, time_queries(kor, normal_queries),
+                time_queries(exact, normal_queries));
+  }
+  std::printf("\n(sink: %d)\n", benchmarkish_sink);
+  return 0;
+}

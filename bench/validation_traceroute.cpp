@@ -1,0 +1,100 @@
+// Reproduces Section 3.1.1: last-hop stability measured by periodic
+// traceroutes from Looking-Glass sites to target networks.
+//
+//   paper, 24-hour run (30-min period, ~10,000 samples):
+//       raw change 4.8%   aggregated change 0.4%
+//   paper, 4-day run (60-min period, ~31,000 samples):
+//       raw change 6.4%   aggregated change 0.6%
+//
+// Also prints the raw-vs-aggregated ablation (Figure 4's point: /24 + FQDN
+// smoothing removes redundant/load-shared link flaps) and the full-path
+// change rate, which dwarfs the last-hop rate [LABO][VPAX].
+
+#include <cstdio>
+
+#include "routing/studies.h"
+
+using namespace infilter;
+using routing::TracerouteStudyConfig;
+using routing::TracerouteStudyResult;
+
+namespace {
+
+/// A single 30-day-scale run sees only a handful of BGP-relevant failure
+/// events near 20 targets, so the aggregated statistic is high-variance;
+/// average a few seeded runs (the paper measured once -- we report the
+/// estimator's mean).
+void print_run(const char* name, const TracerouteStudyConfig& base,
+               double paper_raw, double paper_aggregated, int runs = 3) {
+  TracerouteStudyResult total;
+  TracerouteStudyConfig config = base;
+  for (int run = 0; run < runs; ++run) {
+    config.seed = base.seed + static_cast<std::uint64_t>(run) * 97;
+    const auto result = run_traceroute_study(config);
+    total.samples += result.samples;
+    total.transitions += result.transitions;
+    total.raw_changes += result.raw_changes;
+    total.aggregated_changes += result.aggregated_changes;
+    total.peer_as_changes += result.peer_as_changes;
+    total.full_path_changes += result.full_path_changes;
+  }
+  std::printf("%s (%d seeded runs pooled)\n", name, runs);
+  std::printf("  samples: %d per run, transitions compared: %d\n",
+              total.samples / runs, total.transitions);
+  std::printf("  %-34s paper %5.1f%%   measured %5.2f%%\n",
+              "raw Peer/BR change rate:", paper_raw,
+              100.0 * total.raw_change_rate());
+  std::printf("  %-34s paper %5.1f%%   measured %5.2f%%\n",
+              "aggregated (/24+FQDN) change rate:", paper_aggregated,
+              100.0 * total.aggregated_change_rate());
+  std::printf("  full-path change rate: %.1f%% (interior volatility, cf. [VPAX])\n",
+              100.0 * total.full_path_change_rate());
+  std::printf("  genuine peer-AS changes: %d\n\n", total.peer_as_changes);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 3.1.1: traceroute-based validation ===\n");
+  std::printf("24 Looking-Glass sites x 20 targets, synthetic internet\n\n");
+
+  TracerouteStudyConfig day;
+  day.looking_glass_sites = 24;
+  day.target_count = 20;
+  day.period = 30 * util::kMinute;
+  day.readings = 49;  // 24 hours at 30 minutes
+  day.completion_probability = 0.45;
+  day.seed = 311;
+  print_run("24-hour run (30-minute period)", day, 4.8, 0.4);
+
+  TracerouteStudyConfig four_days = day;
+  four_days.period = 60 * util::kMinute;
+  four_days.readings = 97;  // 4 days at 60 minutes
+  four_days.completion_probability = 0.67;
+  four_days.seed = 351;
+  print_run("4-day run (60-minute period)", four_days, 6.4, 0.6);
+
+  // Ablation: what each smoothing ingredient buys (Figure 4).
+  std::printf("--- ablation: smoothing ingredients (24-hour configuration) ---\n");
+  {
+    TracerouteStudyConfig no_parallel = day;
+    no_parallel.topology.parallel_link_fraction = 0.0;
+    no_parallel.seed = 313;
+    const auto result = run_traceroute_study(no_parallel);
+    std::printf("  no parallel circuits:   raw %.2f%%  aggregated %.2f%%"
+                "  (raw ~ aggregated: nothing to smooth)\n",
+                100.0 * result.raw_change_rate(),
+                100.0 * result.aggregated_change_rate());
+  }
+  {
+    TracerouteStudyConfig all_cross = day;
+    all_cross.topology.cross_subnet_fraction = 1.0;
+    all_cross.seed = 314;
+    const auto result = run_traceroute_study(all_cross);
+    std::printf("  all circuits cross /24s: raw %.2f%%  aggregated %.2f%%"
+                "  (FQDN smoothing carries the load)\n",
+                100.0 * result.raw_change_rate(),
+                100.0 * result.aggregated_change_rate());
+  }
+  return 0;
+}

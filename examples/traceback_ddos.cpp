@@ -1,0 +1,130 @@
+// Scenario: tracing a distributed attack back to its ingress points.
+//
+// The paper twice notes that InFilter "can be easily extended to provide
+// traceback capability to detect the ingress point of attack traffic".
+// This example is that extension at work: a TFN2K flood enters the target
+// ISP through three different border routers at once while a Slammer sweep
+// runs elsewhere; the TracebackEngine consumes the IDMEF alert stream and
+// reconstructs both episodes, naming the ingress points and their shares.
+//
+// Build & run:  ./build/examples/traceback_ddos
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/traceback.h"
+#include "dagflow/dagflow.h"
+#include "traffic/attacks.h"
+#include "traffic/normal.h"
+
+using namespace infilter;
+
+int main() {
+  // Engine chained into traceback, traceback chained into the alert UI.
+  alert::CollectingSink ui;
+  core::TracebackEngine traceback(core::TracebackConfig{}, &ui);
+  core::EngineConfig config;
+  config.seed = 1999;
+  core::InFilterEngine engine(config, &traceback);
+  for (int s = 0; s < 10; ++s) {
+    for (const auto& block : dagflow::eia_range(s).expand()) {
+      engine.add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
+    }
+  }
+
+  traffic::NormalTrafficModel model;
+  util::Rng rng{1};
+  {
+    const auto trace = model.generate(2000, 0, rng);
+    dagflow::Dagflow trainer(
+        dagflow::DagflowConfig{},
+        dagflow::AddressPool::from_subblocks({*net::SubBlock::parse("1a")}), 2);
+    std::vector<netflow::V5Record> records;
+    for (const auto& labeled : trainer.replay(trace)) records.push_back(labeled.record);
+    engine.train(records);
+  }
+
+  // The distributed flood: one TFN2K instance split across three ingress
+  // points (a botnet spraying through whatever path its members have), at
+  // 50% / 30% / 20% of the flows, plus a Slammer sweep through AS7.
+  std::vector<dagflow::LabeledFlow> stream;
+  traffic::AttackConfig attack_config;
+  attack_config.companion_fraction = 0;
+  util::Rng attack_rng{3};
+  const auto flood =
+      traffic::generate_attack(traffic::AttackKind::kTfn2k, attack_config, 5000,
+                               attack_rng);
+  const std::uint16_t flood_ports[3] = {9001, 9002, 9005};
+  const double flood_split[3] = {0.5, 0.8, 1.0};  // cumulative
+  std::array<dagflow::Dagflow, 3> sprayers{
+      dagflow::Dagflow(dagflow::DagflowConfig{.netflow_port = flood_ports[0]},
+                       dagflow::AddressPool::from_subblocks(
+                           {*net::SubBlock::parse("30a")}),
+                       4),
+      dagflow::Dagflow(dagflow::DagflowConfig{.netflow_port = flood_ports[1]},
+                       dagflow::AddressPool::from_subblocks(
+                           {*net::SubBlock::parse("55c")}),
+                       5),
+      dagflow::Dagflow(dagflow::DagflowConfig{.netflow_port = flood_ports[2]},
+                       dagflow::AddressPool::from_subblocks(
+                           {*net::SubBlock::parse("90f")}),
+                       6)};
+  util::Rng split_rng{7};
+  for (const auto& flow : flood.flows) {
+    traffic::Trace single;
+    single.flows.push_back(flow);
+    const double u = split_rng.uniform();
+    const int which = u < flood_split[0] ? 0 : (u < flood_split[1] ? 1 : 2);
+    const auto labeled = sprayers[static_cast<std::size_t>(which)].replay(single);
+    stream.insert(stream.end(), labeled.begin(), labeled.end());
+  }
+
+  const auto worm = traffic::generate_attack(traffic::AttackKind::kSlammer,
+                                             attack_config, 60000, attack_rng);
+  dagflow::Dagflow worm_source(
+      dagflow::DagflowConfig{.netflow_port = 9007},
+      dagflow::AddressPool::from_subblocks({*net::SubBlock::parse("20b")}), 8);
+  {
+    const auto labeled = worm_source.replay(worm);
+    stream.insert(stream.end(), labeled.begin(), labeled.end());
+  }
+
+  // Background traffic through every ingress.
+  for (int s = 0; s < 10; ++s) {
+    const auto trace = model.generate(500, 0, rng);
+    dagflow::Dagflow source(
+        dagflow::DagflowConfig{.netflow_port = static_cast<std::uint16_t>(9001 + s)},
+        dagflow::AddressPool::from_allocation(
+            dagflow::make_allocation(10, 100, 0, 0)[static_cast<std::size_t>(s)]),
+        static_cast<std::uint64_t>(50 + s));
+    const auto labeled = source.replay(trace);
+    stream.insert(stream.end(), labeled.begin(), labeled.end());
+  }
+
+  std::sort(stream.begin(), stream.end(), [](const auto& a, const auto& b) {
+    return a.record.last < b.record.last;
+  });
+  for (const auto& flow : stream) {
+    (void)engine.process(flow.record, flow.arrival_port, flow.record.last);
+  }
+
+  std::printf("%s\n", traceback.report().c_str());
+  std::printf("ground truth: TFN2K via 9001/9002/9005 at 50/30/20%%, "
+              "Slammer sweep via 9007\n\n");
+
+  // Pull out the flood episode and check the reconstruction.
+  for (const auto& episode : traceback.episodes()) {
+    if (!episode.distributed()) continue;
+    std::printf("distributed episode %llu reconstruction:\n",
+                static_cast<unsigned long long>(episode.id));
+    for (const auto& evidence : episode.ingresses) {
+      std::printf("  ingress %u: %llu alerts (%.0f%%)\n", evidence.ingress,
+                  static_cast<unsigned long long>(evidence.alerts),
+                  100.0 * evidence.share);
+    }
+  }
+  std::printf("\n%zu alerts forwarded to the Alert UI downstream\n",
+              ui.alerts().size());
+  return 0;
+}

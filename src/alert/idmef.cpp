@@ -1,0 +1,56 @@
+#include "alert/idmef.h"
+
+#include <sstream>
+
+namespace infilter::alert {
+
+std::string_view stage_name(DetectionStage stage) {
+  switch (stage) {
+    case DetectionStage::kEiaMismatch: return "eia-mismatch";
+    case DetectionStage::kScanAnalysis: return "scan-analysis";
+    case DetectionStage::kNnsDistance: return "nns-distance";
+  }
+  return "unknown";
+}
+
+std::string Alert::to_idmef_xml() const {
+  // Shaped after the IDMEF Internet-Draft's Alert message: Analyzer,
+  // CreateTime, Source, Target, Classification, AdditionalData.
+  std::ostringstream xml;
+  xml << "<IDMEF-Message version=\"1.0\">\n";
+  xml << "  <Alert messageid=\"" << id << "\">\n";
+  xml << "    <Analyzer analyzerid=\"infilter\" class=\"spoof-detector\"/>\n";
+  xml << "    <CreateTime>" << create_time << "</CreateTime>\n";
+  xml << "    <Source spoofed=\"yes\">\n";
+  xml << "      <Node><Address category=\"ipv4-addr\"><address>"
+      << source_ip.to_string() << "</address></Address></Node>\n";
+  xml << "    </Source>\n";
+  xml << "    <Target>\n";
+  xml << "      <Node><Address category=\"ipv4-addr\"><address>"
+      << target_ip.to_string() << "</address></Address></Node>\n";
+  if (target_port != 0) {
+    xml << "      <Service><port>" << target_port << "</port><protocol>"
+        << static_cast<int>(proto) << "</protocol></Service>\n";
+  }
+  xml << "    </Target>\n";
+  xml << "    <Classification text=\"" << classification << "\"/>\n";
+  xml << "    <AdditionalData type=\"string\" meaning=\"detection-stage\">"
+      << stage_name(stage) << "</AdditionalData>\n";
+  xml << "    <AdditionalData type=\"integer\" meaning=\"ingress-port\">"
+      << ingress_port << "</AdditionalData>\n";
+  if (expected_ingress >= 0) {
+    xml << "    <AdditionalData type=\"integer\" meaning=\"expected-ingress\">"
+        << expected_ingress << "</AdditionalData>\n";
+  }
+  if (stage == DetectionStage::kNnsDistance) {
+    xml << "    <AdditionalData type=\"integer\" meaning=\"nns-distance\">"
+        << nns_distance << "</AdditionalData>\n";
+    xml << "    <AdditionalData type=\"integer\" meaning=\"nns-threshold\">"
+        << nns_threshold << "</AdditionalData>\n";
+  }
+  xml << "  </Alert>\n";
+  xml << "</IDMEF-Message>\n";
+  return std::move(xml).str();
+}
+
+}  // namespace infilter::alert

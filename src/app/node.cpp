@@ -1,0 +1,43 @@
+#include "app/node.h"
+
+namespace infilter::app {
+
+InFilterNode::InFilterNode(const NodeConfig& config, flowtools::LiveCollector collector,
+                           alert::AlertSink* alert_consumer)
+    : collector_(std::move(collector)),
+      traceback_(config.traceback, alert_consumer),
+      engine_(config.engine, &traceback_) {}
+
+util::Result<std::unique_ptr<InFilterNode>> InFilterNode::create(
+    const NodeConfig& config, alert::AlertSink* alert_consumer) {
+  auto collector = flowtools::LiveCollector::bind(config.ports);
+  if (!collector) return collector.error();
+  // unique_ptr because the engine holds a pointer to the traceback member:
+  // the node must not be movable.
+  return std::unique_ptr<InFilterNode>(
+      new InFilterNode(config, std::move(*collector), alert_consumer));
+}
+
+util::Result<std::size_t> InFilterNode::poll_once(int timeout_ms) {
+  const auto stored = collector_.poll_once(timeout_ms);
+  if (!stored) return stored.error();
+
+  const auto& capture = collector_.capture();
+  const auto& flows = capture.flows();
+  std::size_t processed = 0;
+  for (; consumed_ < flows.size(); ++consumed_) {
+    const auto& flow = flows[consumed_];
+    const auto verdict =
+        engine_.process(flow.record, flow.arrival_port, flow.record.last);
+    ++processed;
+    ++stats_.flows_processed;
+    stats_.suspects += verdict.suspect ? 1 : 0;
+    stats_.attacks_flagged += verdict.attack ? 1 : 0;
+  }
+  stats_.datagrams = capture.datagrams_received();
+  stats_.malformed_datagrams = capture.datagrams_malformed();
+  stats_.sequence_gaps = capture.sequence_gaps();
+  return processed;
+}
+
+}  // namespace infilter::app

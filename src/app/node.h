@@ -1,0 +1,82 @@
+// The deployable analysis node: Figure 9 assembled.
+//
+// One object owning the whole receiving side of the architecture --
+// flow-capture sockets (one per Peer AS / BR collector port), the
+// Enhanced InFilter engine, the traceback aggregator and an alert sink --
+// driven by a poll loop. This is what an operator actually runs
+// (tools/infilter-monitor); the testbed and benches drive the same engine
+// in-process instead.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/traceback.h"
+#include "flowtools/udp.h"
+#include "util/result.h"
+
+namespace infilter::app {
+
+struct NodeConfig {
+  /// Collector UDP ports, one per emulated Peer AS / border router.
+  std::vector<std::uint16_t> ports{9001, 9002, 9003, 9004, 9005,
+                                   9006, 9007, 9008, 9009, 9010};
+  core::EngineConfig engine;
+  core::TracebackConfig traceback;
+};
+
+/// Counters the monitor reports.
+struct NodeStats {
+  std::uint64_t flows_processed = 0;
+  std::uint64_t suspects = 0;
+  std::uint64_t attacks_flagged = 0;
+  std::uint64_t datagrams = 0;
+  std::uint64_t malformed_datagrams = 0;
+  std::uint64_t sequence_gaps = 0;
+};
+
+class InFilterNode {
+ public:
+  /// Binds the collector sockets. `alert_consumer` (optional, not owned)
+  /// receives every alert after traceback aggregation.
+  static util::Result<std::unique_ptr<InFilterNode>> create(
+      const NodeConfig& config, alert::AlertSink* alert_consumer = nullptr);
+
+  /// Training-phase helpers (Figure 11).
+  void add_expected(core::IngressId ingress, const net::Prefix& prefix) {
+    engine_.add_expected(ingress, prefix);
+  }
+  void train(std::span<const netflow::V5Record> normal_flows) {
+    engine_.train(normal_flows);
+  }
+
+  /// Waits up to `timeout_ms` for export datagrams, analyzes every flow
+  /// that arrived, and returns how many flows were processed. Flow
+  /// timestamps come from the records (virtual time), so analysis is
+  /// deterministic for a given input stream.
+  util::Result<std::size_t> poll_once(int timeout_ms);
+
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] const core::InFilterEngine& engine() const { return engine_; }
+  [[nodiscard]] core::InFilterEngine& engine() { return engine_; }
+  [[nodiscard]] const core::TracebackEngine& traceback() const { return traceback_; }
+  [[nodiscard]] std::vector<std::uint16_t> ports() const { return collector_.ports(); }
+
+ private:
+  InFilterNode(const NodeConfig& config, flowtools::LiveCollector collector,
+               alert::AlertSink* alert_consumer);
+
+  flowtools::LiveCollector collector_;
+  core::TracebackEngine traceback_;
+  core::InFilterEngine engine_;
+  NodeStats stats_;
+  /// Flows already drained from the capture on previous polls.
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace infilter::app

@@ -1,0 +1,147 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace infilter::core {
+
+Subcluster classify(const netflow::V5Record& record) {
+  using netflow::IpProto;
+  switch (static_cast<IpProto>(record.proto)) {
+    case IpProto::kTcp:
+      switch (record.dst_port) {
+        case 80: return Subcluster::kHttp;
+        case 25: return Subcluster::kSmtp;
+        case 21: return Subcluster::kFtp;
+        default: return Subcluster::kTcp;
+      }
+    case IpProto::kUdp:
+      return record.dst_port == 53 ? Subcluster::kDns : Subcluster::kUdp;
+    case IpProto::kIcmp:
+      return Subcluster::kIcmp;
+  }
+  // Unknown protocols share the generic tcp bucket.
+  return Subcluster::kTcp;
+}
+
+std::string_view subcluster_name(Subcluster cluster) {
+  switch (cluster) {
+    case Subcluster::kHttp: return "http";
+    case Subcluster::kSmtp: return "smtp";
+    case Subcluster::kFtp: return "ftp";
+    case Subcluster::kDns: return "dns";
+    case Subcluster::kUdp: return "udp";
+    case Subcluster::kTcp: return "tcp";
+    case Subcluster::kIcmp: return "icmp";
+  }
+  return "unknown";
+}
+
+nns::UnaryEncoder make_flow_encoder(int bits_per_feature) {
+  // Log-scale ranges covering everything from a single 40-byte SYN to a
+  // multi-gigabit flood; order matches FlowStats::as_array().
+  return nns::UnaryEncoder::log_scale(
+      {
+          nns::FeatureRange{1, 1e8},     // byte count
+          nns::FeatureRange{1, 1e6},     // packet count
+          nns::FeatureRange{1, 3.6e6},   // duration (ms, up to an hour)
+          nns::FeatureRange{1, 1e9},     // bit rate
+          nns::FeatureRange{0.01, 1e6},  // packet rate
+      },
+      bits_per_feature);
+}
+
+TrainedClusters::TrainedClusters(std::span<const netflow::V5Record> normal_flows,
+                                 const ClusterConfig& config, std::uint64_t seed)
+    : encoder_(make_flow_encoder(config.bits_per_feature)),
+      partition_by_protocol_(config.partition_by_protocol) {
+  // Partition (Section 5.1.3c). With partitioning disabled everything
+  // lands in the generic tcp bucket (one global Normal cluster).
+  std::array<std::vector<nns::BitVector>, kSubclusterCount> partitions;
+  for (const auto& record : normal_flows) {
+    const auto cluster = static_cast<std::size_t>(bucket_of(record));
+    partitions[cluster].push_back(encode(record));
+  }
+
+  // Per-subcluster structure + threshold (Sections 5.1.3c/d). The
+  // threshold is calibrated on a held-out fifth of the subcluster: those
+  // flows are queried through the *actual* search structure, so the
+  // threshold reflects the distance distribution normal traffic will
+  // produce at run time, approximation noise included.
+  util::Rng calibration_rng{seed ^ 0xca11b8ULL};
+  for (std::size_t c = 0; c < kSubclusterCount; ++c) {
+    const auto& flows = partitions[c];
+
+    std::vector<nns::BitVector> build;
+    std::vector<const nns::BitVector*> calibration;
+    if (flows.size() < 10) {
+      build = flows;  // too small to split; fall back to the margin alone
+    } else {
+      build.reserve(flows.size());
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (i % 5 == 0) {
+          calibration.push_back(&flows[i]);
+        } else {
+          build.push_back(flows[i]);
+        }
+      }
+    }
+
+    if (config.use_exact_nns) {
+      indexes_[c] = std::make_unique<nns::ExactNns>(build);
+    } else {
+      nns::KorParams params = config.kor;
+      params.seed = seed + c;
+      indexes_[c] = std::make_unique<nns::KorNns>(build, params);
+    }
+    partition_sizes_[c] = flows.size();
+
+    if (calibration.empty()) {
+      thresholds_[c] = config.threshold_margin;
+      continue;
+    }
+    std::vector<int> distances;
+    distances.reserve(calibration.size());
+    for (const auto* query : calibration) {
+      const auto match = indexes_[c]->search(*query, calibration_rng);
+      distances.push_back(match.has_value() ? match->distance : encoder_.dimension());
+    }
+    std::sort(distances.begin(), distances.end());
+    const auto rank = static_cast<std::size_t>(
+        config.threshold_percentile * static_cast<double>(distances.size() - 1));
+    thresholds_[c] = distances[rank] + config.threshold_margin;
+  }
+}
+
+nns::BitVector TrainedClusters::encode(const netflow::V5Record& record) const {
+  const auto stats = flowtools::FlowStats::from_record(record).as_array();
+  return encoder_.encode(stats);
+}
+
+Subcluster TrainedClusters::bucket_of(const netflow::V5Record& record) const {
+  return partition_by_protocol_ ? classify(record) : Subcluster::kTcp;
+}
+
+TrainedClusters::Assessment TrainedClusters::assess(const netflow::V5Record& record,
+                                                    util::Rng& rng) const {
+  Assessment out;
+  out.cluster = bucket_of(record);
+  out.threshold = thresholds_[static_cast<std::size_t>(out.cluster)];
+  const auto query = encode(record);
+  const auto match =
+      indexes_[static_cast<std::size_t>(out.cluster)]->search(query, rng);
+  if (!match.has_value()) {
+    out.anomalous = true;
+    return out;
+  }
+  out.distance = match->distance;
+  out.anomalous = match->distance > out.threshold;
+  return out;
+}
+
+std::size_t TrainedClusters::training_size(Subcluster cluster) const {
+  return partition_sizes_[static_cast<std::size_t>(cluster)];
+}
+
+}  // namespace infilter::core

@@ -1,0 +1,135 @@
+#include "core/eia.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace infilter::core {
+
+void EiaSet::add(const net::Prefix& prefix) {
+  Range incoming{prefix.first().value(), prefix.last().value()};
+
+  // Find the insertion window: all ranges overlapping or adjacent to the
+  // incoming one get merged into it.
+  auto first = std::lower_bound(
+      ranges_.begin(), ranges_.end(), incoming,
+      [](const Range& r, const Range& v) {
+        // r ends strictly before v starts (and is not adjacent).
+        return r.last != ~std::uint32_t{0} && r.last + 1 < v.first;
+      });
+  auto last = first;
+  while (last != ranges_.end() &&
+         (incoming.last == ~std::uint32_t{0} || last->first <= incoming.last + 1)) {
+    incoming.first = std::min(incoming.first, last->first);
+    incoming.last = std::max(incoming.last, last->last);
+    ++last;
+  }
+  const auto at = ranges_.erase(first, last);
+  ranges_.insert(at, incoming);
+}
+
+bool EiaSet::contains(net::IPv4Address address) const {
+  const std::uint32_t value = address.value();
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), value,
+                             [](std::uint32_t v, const Range& r) { return v < r.first; });
+  if (it == ranges_.begin()) return false;
+  --it;
+  return value >= it->first && value <= it->last;
+}
+
+std::vector<net::Prefix> EiaSet::to_cidrs() const {
+  std::vector<net::Prefix> out;
+  for (const auto& range : ranges_) {
+    // Greedy minimal decomposition: at each step emit the largest
+    // power-of-two block that is aligned at `at` and fits within the range.
+    std::uint64_t at = range.first;
+    const std::uint64_t end = std::uint64_t{range.last} + 1;
+    while (at < end) {
+      // Largest alignment of `at` (32 for at == 0).
+      int length = at == 0 ? 0 : 32 - std::countr_zero(static_cast<std::uint32_t>(at));
+      // Shrink the block until it fits in the remaining span.
+      while (length < 32 &&
+             (std::uint64_t{1} << (32 - length)) > end - at) {
+        ++length;
+      }
+      out.emplace_back(net::IPv4Address{static_cast<std::uint32_t>(at)}, length);
+      at += std::uint64_t{1} << (32 - length);
+    }
+  }
+  return out;
+}
+
+std::uint64_t EiaSet::address_count() const {
+  std::uint64_t total = 0;
+  for (const auto& range : ranges_) {
+    total += std::uint64_t{range.last} - range.first + 1;
+  }
+  return total;
+}
+
+EiaTable::EiaTable(EiaTableConfig config) : config_(config) {
+  assert(config_.learn_threshold > 0);
+}
+
+EiaSet& EiaTable::set_ref(IngressId ingress) {
+  auto it = std::lower_bound(sets_.begin(), sets_.end(), ingress,
+                             [](const auto& entry, IngressId id) {
+                               return entry.first < id;
+                             });
+  if (it == sets_.end() || it->first != ingress) {
+    it = sets_.insert(it, {ingress, EiaSet{}});
+  }
+  return it->second;
+}
+
+const EiaSet* EiaTable::set_for(IngressId ingress) const {
+  auto it = std::lower_bound(sets_.begin(), sets_.end(), ingress,
+                             [](const auto& entry, IngressId id) {
+                               return entry.first < id;
+                             });
+  if (it == sets_.end() || it->first != ingress) return nullptr;
+  return &it->second;
+}
+
+void EiaTable::add_expected(IngressId ingress, const net::Prefix& prefix) {
+  set_ref(ingress).add(prefix);
+}
+
+void EiaTable::declare_ingress(IngressId ingress) { (void)set_ref(ingress); }
+
+bool EiaTable::is_expected(IngressId ingress, net::IPv4Address source) const {
+  const EiaSet* set = set_for(ingress);
+  return set != nullptr && set->contains(source);
+}
+
+std::optional<IngressId> EiaTable::expected_ingress(net::IPv4Address source) const {
+  for (const auto& [ingress, set] : sets_) {
+    if (set.contains(source)) return ingress;
+  }
+  return std::nullopt;
+}
+
+std::vector<IngressId> EiaTable::ingresses() const {
+  std::vector<IngressId> out;
+  out.reserve(sets_.size());
+  for (const auto& [ingress, set] : sets_) out.push_back(ingress);
+  return out;
+}
+
+bool EiaTable::observe_mismatch(IngressId ingress, net::IPv4Address source) {
+  const std::uint64_t key =
+      (std::uint64_t{ingress} << 32) | (source.value() & 0xFFFFFF00u);
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    if (pending_.size() >= config_.max_pending_counters) return false;
+    it = pending_.emplace(key, 0).first;
+  }
+  if (++it->second >= config_.learn_threshold) {
+    set_ref(ingress).add(net::Prefix{source, 24});
+    pending_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace infilter::core

@@ -1,0 +1,102 @@
+// Expected IP Address (EIA) sets -- the Basic InFilter data structure.
+//
+// Section 3: "The system would maintain a data structure containing the
+// Expected source IP Address set (EIA set) on a per Peer AS basis.
+// Incoming traffic with a source IP address not present in the
+// corresponding Peer AS' EIA set would be flagged as a potential attack."
+//
+// An EIA set is a set of address ranges, stored as sorted disjoint
+// intervals for O(log n) membership tests. The table supports the three
+// initialization modes of Section 5.1.3(a) (preload by subnet mask, by
+// hand, or learned from live flow data) and the Normal-processing-phase
+// auto-learning rule of Section 5.2: a source /24 is added to an ingress's
+// EIA set once enough flows from it arrive there.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace infilter::core {
+
+/// Identifies an ingress point (Peer AS / Border Router). In the testbed
+/// this is the collector UDP port of the corresponding Dagflow instance.
+using IngressId = std::uint16_t;
+
+/// A set of IPv4 ranges with O(log n) lookup.
+class EiaSet {
+ public:
+  /// Adds a prefix, merging overlapping/adjacent ranges.
+  void add(const net::Prefix& prefix);
+
+  [[nodiscard]] bool contains(net::IPv4Address address) const;
+  [[nodiscard]] std::size_t range_count() const { return ranges_.size(); }
+  [[nodiscard]] std::uint64_t address_count() const;
+
+  /// Decomposes the stored ranges into the minimal list of CIDR prefixes
+  /// covering exactly the same addresses (for persistence and display).
+  [[nodiscard]] std::vector<net::Prefix> to_cidrs() const;
+
+ private:
+  struct Range {
+    std::uint32_t first;
+    std::uint32_t last;  // inclusive
+  };
+  std::vector<Range> ranges_;  ///< sorted by first, disjoint, non-adjacent
+};
+
+struct EiaTableConfig {
+  /// Flows from the same (ingress, source /24) before the /24 is learned
+  /// into that ingress's EIA set (Section 5.2a's "predefined threshold").
+  int learn_threshold = 5;
+  /// Bound on the pending learn-counter map; spoofed floods would
+  /// otherwise grow it without limit. When full, new candidates are not
+  /// tracked (existing counters keep counting).
+  std::size_t max_pending_counters = 1 << 20;
+};
+
+/// Per-ingress EIA sets plus the auto-learning machinery.
+class EiaTable {
+ public:
+  explicit EiaTable(EiaTableConfig config = {});
+
+  /// Preloads `prefix` into `ingress`'s EIA set (training phase).
+  void add_expected(IngressId ingress, const net::Prefix& prefix);
+
+  /// Ensures `ingress` has an (initially empty) EIA set.
+  void declare_ingress(IngressId ingress);
+
+  /// Basic InFilter check: does `ingress` expect this source?
+  [[nodiscard]] bool is_expected(IngressId ingress, net::IPv4Address source) const;
+
+  /// The ingress whose EIA set contains `source` (AS_IP(phi) of Section
+  /// 5.2), or nullopt if no EIA set contains it. When several match, the
+  /// lowest ingress id wins (deterministic).
+  [[nodiscard]] std::optional<IngressId> expected_ingress(net::IPv4Address source) const;
+
+  /// Records a flow that failed the check. Once learn_threshold flows from
+  /// the same source /24 arrive at the same ingress, the /24 is added to
+  /// that ingress's EIA set. Returns true when this call learned the /24.
+  bool observe_mismatch(IngressId ingress, net::IPv4Address source);
+
+  [[nodiscard]] std::size_t ingress_count() const { return sets_.size(); }
+  [[nodiscard]] const EiaSet* set_for(IngressId ingress) const;
+  [[nodiscard]] std::size_t pending_counters() const { return pending_.size(); }
+  /// All ingress ids with an EIA set, ascending.
+  [[nodiscard]] std::vector<IngressId> ingresses() const;
+
+ private:
+  EiaTableConfig config_;
+  /// Sorted by ingress id; small (one entry per peer AS).
+  std::vector<std::pair<IngressId, EiaSet>> sets_;
+  /// (ingress << 32 | source /24) -> observed mismatch count.
+  std::unordered_map<std::uint64_t, int> pending_;
+
+  EiaSet& set_ref(IngressId ingress);
+};
+
+}  // namespace infilter::core

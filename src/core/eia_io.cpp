@@ -1,0 +1,78 @@
+#include "core/eia_io.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace infilter::core {
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string export_eia(const EiaTable& table) {
+  std::ostringstream out;
+  out << "# InFilter EIA sets: ingress <id> followed by its expected prefixes\n";
+  for (const auto ingress : table.ingresses()) {
+    out << "ingress " << ingress << "\n";
+    for (const auto& prefix : table.set_for(ingress)->to_cidrs()) {
+      out << "  " << prefix.to_string() << "\n";
+    }
+  }
+  return std::move(out).str();
+}
+
+util::Result<EiaTable> import_eia(std::string_view text, EiaTableConfig config) {
+  EiaTable table(config);
+  std::optional<IngressId> current;
+  int line_number = 0;
+
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const auto newline = text.find('\n', at);
+    const auto raw = text.substr(
+        at, newline == std::string_view::npos ? text.size() - at : newline - at);
+    at = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
+    ++line_number;
+
+    const auto line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.rfind("ingress", 0) == 0) {
+      const auto id_text = trim(line.substr(7));
+      unsigned id = 0;
+      const auto end = id_text.data() + id_text.size();
+      const auto [ptr, ec] = std::from_chars(id_text.data(), end, id);
+      if (ec != std::errc{} || ptr != end || id > 0xFFFF) {
+        return util::Error{"line " + std::to_string(line_number) +
+                           ": bad ingress id '" + std::string(id_text) + "'"};
+      }
+      current = static_cast<IngressId>(id);
+      table.declare_ingress(*current);  // a stanza may legitimately be empty
+      continue;
+    }
+
+    const auto prefix = net::Prefix::parse(line);
+    if (!prefix.has_value()) {
+      return util::Error{"line " + std::to_string(line_number) + ": bad prefix '" +
+                         std::string(line) + "'"};
+    }
+    if (!current.has_value()) {
+      return util::Error{"line " + std::to_string(line_number) +
+                         ": prefix before any 'ingress' stanza"};
+    }
+    table.add_expected(*current, *prefix);
+  }
+  return table;
+}
+
+}  // namespace infilter::core

@@ -1,0 +1,102 @@
+#include "core/engine.h"
+
+namespace infilter::core {
+
+InFilterEngine::InFilterEngine(EngineConfig config, alert::AlertSink* sink)
+    : config_(config),
+      sink_(sink),
+      eia_(config.eia),
+      scan_(config.scan),
+      rng_(config.seed ^ 0x1f11753ULL) {}
+
+void InFilterEngine::add_expected(IngressId ingress, const net::Prefix& prefix) {
+  eia_.add_expected(ingress, prefix);
+}
+
+void InFilterEngine::train(std::span<const netflow::V5Record> normal_flows) {
+  clusters_ =
+      std::make_shared<const TrainedClusters>(normal_flows, config_.cluster, config_.seed);
+}
+
+void InFilterEngine::set_clusters(std::shared_ptr<const TrainedClusters> clusters) {
+  clusters_ = std::move(clusters);
+}
+
+Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingress,
+                                util::TimeMs now) {
+  ++flows_processed_;
+  Verdict verdict;
+
+  // Figure 12, case (b): the ingress expects this source -- legal flow.
+  if (eia_.is_expected(ingress, record.src_ip)) return verdict;
+
+  // Case (a): possible attack. The auto-learning rule of Section 5.2 runs
+  // regardless of the final verdict: persistent traffic from a new source
+  // at this ingress eventually updates the EIA set (route change
+  // adaptation) -- and a flow that triggers learning is treated as the
+  // route change it signals, not as an attack.
+  verdict.suspect = true;
+  const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
+
+  if (config_.mode == EngineMode::kBasic) {
+    verdict.attack = !learned;
+    verdict.stage = alert::DetectionStage::kEiaMismatch;
+    if (verdict.attack) emit_alert(record, ingress, now, verdict);
+    return verdict;
+  }
+
+  // Enhanced InFilter: Scan Analysis sits between EIA and NNS.
+  if (config_.use_scan_analysis) {
+    const ScanVerdict scan = scan_.observe(record);
+    if (scan != ScanVerdict::kClean) {
+      verdict.attack = true;
+      verdict.stage = alert::DetectionStage::kScanAnalysis;
+      emit_alert(record, ingress, now, verdict);
+      return verdict;
+    }
+  }
+
+  if (config_.use_nns && clusters_ != nullptr) {
+    verdict.nns = clusters_->assess(record, rng_);
+    if (verdict.nns->anomalous) {
+      verdict.attack = true;
+      verdict.stage = alert::DetectionStage::kNnsDistance;
+      emit_alert(record, ingress, now, verdict);
+    }
+    return verdict;
+  }
+
+  // Enhanced mode with every second stage disabled degenerates to Basic.
+  verdict.attack = !learned;
+  verdict.stage = alert::DetectionStage::kEiaMismatch;
+  if (verdict.attack) emit_alert(record, ingress, now, verdict);
+  return verdict;
+}
+
+void InFilterEngine::emit_alert(const netflow::V5Record& record, IngressId ingress,
+                                util::TimeMs now, const Verdict& verdict) {
+  ++next_alert_id_;
+  if (sink_ == nullptr) return;
+  alert::Alert a;
+  a.id = next_alert_id_;
+  a.create_time = now;
+  a.stage = verdict.stage;
+  a.source_ip = record.src_ip;
+  a.target_ip = record.dst_ip;
+  a.target_port = record.dst_port;
+  a.proto = record.proto;
+  a.ingress_port = ingress;
+  if (const auto expected = eia_.expected_ingress(record.src_ip)) {
+    a.expected_ingress = *expected;
+  }
+  if (verdict.nns.has_value()) {
+    a.nns_distance = verdict.nns->distance;
+    a.nns_threshold = verdict.nns->threshold;
+  }
+  a.detection_latency_ms = now >= record.last ? static_cast<double>(now - record.last) : 0.0;
+  a.classification = std::string{"spoofed traffic ("} +
+                     std::string{alert::stage_name(verdict.stage)} + ")";
+  sink_->consume(a);
+}
+
+}  // namespace infilter::core

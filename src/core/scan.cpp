@@ -1,0 +1,56 @@
+#include "core/scan.h"
+
+#include <cassert>
+
+namespace infilter::core {
+
+ScanAnalysis::ScanAnalysis(ScanConfig config) : config_(config) {
+  assert(config_.buffer_size > 0);
+  assert(config_.network_scan_threshold > 1);
+  assert(config_.host_scan_threshold > 1);
+}
+
+ScanVerdict ScanAnalysis::observe(const netflow::V5Record& record) {
+  while (buffer_.size() >= config_.buffer_size) evict_oldest();
+
+  const BufferedFlow flow{record.dst_ip.value(), record.dst_port};
+  buffer_.push_back(flow);
+  by_port_[flow.dst_port][flow.dst_ip] += 1;
+  by_host_[flow.dst_ip][flow.dst_port] += 1;
+
+  if (hosts_on_port(flow.dst_port) >= config_.network_scan_threshold) {
+    return ScanVerdict::kNetworkScan;
+  }
+  if (ports_on_host(record.dst_ip) >= config_.host_scan_threshold) {
+    return ScanVerdict::kHostScan;
+  }
+  return ScanVerdict::kClean;
+}
+
+int ScanAnalysis::hosts_on_port(std::uint16_t dst_port) const {
+  const auto it = by_port_.find(dst_port);
+  return it == by_port_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int ScanAnalysis::ports_on_host(net::IPv4Address host) const {
+  const auto it = by_host_.find(host.value());
+  return it == by_host_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+void ScanAnalysis::evict_oldest() {
+  assert(!buffer_.empty());
+  const BufferedFlow flow = buffer_.front();
+  buffer_.pop_front();
+
+  auto port_it = by_port_.find(flow.dst_port);
+  assert(port_it != by_port_.end());
+  if (--port_it->second[flow.dst_ip] <= 0) port_it->second.erase(flow.dst_ip);
+  if (port_it->second.empty()) by_port_.erase(port_it);
+
+  auto host_it = by_host_.find(flow.dst_ip);
+  assert(host_it != by_host_.end());
+  if (--host_it->second[flow.dst_port] <= 0) host_it->second.erase(flow.dst_port);
+  if (host_it->second.empty()) by_host_.erase(host_it);
+}
+
+}  // namespace infilter::core

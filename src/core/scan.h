@@ -1,0 +1,68 @@
+// Scan Analysis (Section 4.1).
+//
+// A bounded buffer of recently observed *suspect* flows (flows that failed
+// the EIA check) feeds two counters:
+//
+//   * network scan: flows targeting one destination port across many
+//     distinct destination hosts (Slammer-style sweeps);
+//   * host scan: flows targeting many distinct destination ports on one
+//     host (nmap Idlescan-style blind scans).
+//
+// When either count crosses its threshold the triggering flow is flagged.
+// The paper uses a buffer of about 200 flows; spoofing "is expected to not
+// occur excessively", so the memory footprint stays small.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/ipv4.h"
+#include "netflow/v5.h"
+
+namespace infilter::core {
+
+struct ScanConfig {
+  std::size_t buffer_size = 200;
+  /// Distinct destination hosts on one destination port that constitute a
+  /// network scan.
+  int network_scan_threshold = 15;
+  /// Distinct destination ports on one destination host that constitute a
+  /// host scan.
+  int host_scan_threshold = 15;
+};
+
+/// The verdict for one suspect flow.
+enum class ScanVerdict : std::uint8_t { kClean, kNetworkScan, kHostScan };
+
+class ScanAnalysis {
+ public:
+  explicit ScanAnalysis(ScanConfig config = {});
+
+  /// Buffers a suspect flow and evaluates both counters for it.
+  ScanVerdict observe(const netflow::V5Record& record);
+
+  [[nodiscard]] std::size_t buffered_flows() const { return buffer_.size(); }
+  /// Distinct destination hosts currently buffered for `dst_port`.
+  [[nodiscard]] int hosts_on_port(std::uint16_t dst_port) const;
+  /// Distinct destination ports currently buffered for `host`.
+  [[nodiscard]] int ports_on_host(net::IPv4Address host) const;
+
+ private:
+  struct BufferedFlow {
+    std::uint32_t dst_ip;
+    std::uint16_t dst_port;
+  };
+
+  void evict_oldest();
+
+  ScanConfig config_;
+  std::deque<BufferedFlow> buffer_;
+  /// dst_port -> (dst_ip -> buffered-flow count). Outer erase when empty.
+  std::unordered_map<std::uint16_t, std::unordered_map<std::uint32_t, int>> by_port_;
+  /// dst_ip -> (dst_port -> buffered-flow count).
+  std::unordered_map<std::uint32_t, std::unordered_map<std::uint16_t, int>> by_host_;
+};
+
+}  // namespace infilter::core

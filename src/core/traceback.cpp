@@ -1,0 +1,138 @@
+#include "core/traceback.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace infilter::core {
+
+IngressId AttackEpisode::primary_ingress() const {
+  return ingresses.empty() ? 0 : ingresses.front().ingress;
+}
+
+std::string AttackEpisode::summary() const {
+  std::ostringstream out;
+  out << "episode " << id << ": " << alert_count << " alert(s)";
+  if (victim.has_value()) {
+    out << " against " << victim->to_string();
+  } else {
+    out << " against " << distinct_victims << " hosts";
+  }
+  if (service_port.has_value()) out << " on port " << *service_port;
+  out << ", " << (distributed() ? "DISTRIBUTED via" : "via");
+  for (const auto& evidence : ingresses) {
+    out << " ingress " << evidence.ingress << " ("
+        << static_cast<int>(evidence.share * 100.0 + 0.5) << "%)";
+  }
+  return std::move(out).str();
+}
+
+TracebackEngine::TracebackEngine(TracebackConfig config, alert::AlertSink* downstream)
+    : config_(config), downstream_(downstream) {}
+
+TracebackEngine::EpisodeState* TracebackEngine::find_open(const alert::Alert& alert) {
+  // Newest episodes first: attacks are bursts, so the match is near the
+  // back. An alert joins an episode when it shares the victim host, or --
+  // for sweep-style traffic -- the (service port, still-fresh) pattern.
+  for (auto it = episodes_.rbegin(); it != episodes_.rend(); ++it) {
+    auto& state = *it;
+    if (alert.create_time > state.episode.last_alert + config_.episode_gap) continue;
+    const bool same_victim =
+        state.episode.victim.has_value() && *state.episode.victim == alert.target_ip;
+    const bool victim_seen =
+        std::find(state.victims_seen.begin(), state.victims_seen.end(),
+                  alert.target_ip.value()) != state.victims_seen.end();
+    const bool same_service = state.episode.service_port.has_value() &&
+                              alert.target_port != 0 &&
+                              *state.episode.service_port == alert.target_port;
+    if (same_victim || victim_seen || same_service) return &state;
+  }
+  return nullptr;
+}
+
+void TracebackEngine::consume(const alert::Alert& alert) {
+  EpisodeState* state = find_open(alert);
+  if (state == nullptr) {
+    if (episodes_.size() >= config_.max_episodes) {
+      episodes_.erase(episodes_.begin());
+    }
+    episodes_.emplace_back();
+    state = &episodes_.back();
+    state->episode.id = next_id_++;
+    state->episode.first_alert = alert.create_time;
+    state->episode.victim = alert.target_ip;
+    if (alert.target_port != 0) state->episode.service_port = alert.target_port;
+  }
+
+  auto& episode = state->episode;
+  episode.last_alert = std::max(episode.last_alert, alert.create_time);
+  episode.alert_count += 1;
+
+  // Victim tracking: a second distinct victim turns the episode into a
+  // sweep (victim cleared, distinct count maintained on a bounded sample).
+  if (std::find(state->victims_seen.begin(), state->victims_seen.end(),
+                alert.target_ip.value()) == state->victims_seen.end()) {
+    if (state->victims_seen.size() < 4096) {
+      state->victims_seen.push_back(alert.target_ip.value());
+    }
+    episode.distinct_victims = state->victims_seen.size();
+  }
+  if (episode.victim.has_value() && *episode.victim != alert.target_ip) {
+    episode.victim.reset();
+  }
+  // Service tracking: a second distinct port clears the service (host
+  // scans probe many ports).
+  if (episode.service_port.has_value() && alert.target_port != 0 &&
+      *episode.service_port != alert.target_port) {
+    episode.service_port.reset();
+  }
+
+  auto ingress_it = std::find_if(
+      state->per_ingress.begin(), state->per_ingress.end(),
+      [&alert](const auto& entry) { return entry.first == alert.ingress_port; });
+  if (ingress_it == state->per_ingress.end()) {
+    state->per_ingress.emplace_back(alert.ingress_port, 1);
+  } else {
+    ingress_it->second += 1;
+  }
+
+  if (downstream_ != nullptr) downstream_->consume(alert);
+}
+
+void TracebackEngine::finalize(EpisodeState& state) {
+  auto& episode = state.episode;
+  episode.ingresses.clear();
+  episode.ingresses.reserve(state.per_ingress.size());
+  for (const auto& [ingress, alerts] : state.per_ingress) {
+    episode.ingresses.push_back(IngressEvidence{
+        ingress, alerts,
+        static_cast<double>(alerts) / static_cast<double>(episode.alert_count)});
+  }
+  std::sort(episode.ingresses.begin(), episode.ingresses.end(),
+            [](const IngressEvidence& a, const IngressEvidence& b) {
+              if (a.alerts != b.alerts) return a.alerts > b.alerts;
+              return a.ingress < b.ingress;
+            });
+}
+
+std::vector<AttackEpisode> TracebackEngine::episodes() const {
+  std::vector<AttackEpisode> out;
+  out.reserve(episodes_.size());
+  for (const auto& state : episodes_) {
+    EpisodeState copy = state;
+    finalize(copy);
+    out.push_back(std::move(copy.episode));
+  }
+  return out;
+}
+
+std::string TracebackEngine::report() const {
+  std::ostringstream out;
+  const auto all = episodes();
+  out << "traceback: " << all.size() << " episode(s)\n";
+  for (const auto& episode : all) {
+    out << "  " << episode.summary() << "\n";
+  }
+  return std::move(out).str();
+}
+
+}  // namespace infilter::core

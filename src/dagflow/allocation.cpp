@@ -1,0 +1,55 @@
+#include "dagflow/allocation.h"
+
+#include <cassert>
+
+namespace infilter::dagflow {
+
+net::SubBlockRange eia_range(int source, int blocks_each) {
+  assert(source >= 0);
+  assert(blocks_each > 0);
+  const int first = source * blocks_each;
+  assert(first + blocks_each <= net::kTotalSubBlocks);
+  return net::SubBlockRange{net::SubBlock{first}, net::SubBlock{first + blocks_each - 1}};
+}
+
+std::vector<SourceAllocation> make_allocation(int sources, int blocks_each,
+                                              int change_blocks, int allocation_index) {
+  assert(sources > 0);
+  assert(change_blocks >= 0 && change_blocks < blocks_each);
+  assert(allocation_index >= 0);
+
+  std::vector<SourceAllocation> out(static_cast<std::size_t>(sources));
+  // Every source keeps its first blocks_each - change_blocks blocks and
+  // donates the rest.
+  std::vector<net::SubBlock> donated;
+  donated.reserve(static_cast<std::size_t>(sources * change_blocks));
+  for (int s = 0; s < sources; ++s) {
+    auto& alloc = out[static_cast<std::size_t>(s)];
+    alloc.eia_range = eia_range(s, blocks_each);
+    const int first = alloc.eia_range.first.index();
+    for (int b = 0; b < blocks_each - change_blocks; ++b) {
+      alloc.normal_set.emplace_back(first + b);
+    }
+    for (int b = blocks_each - change_blocks; b < blocks_each; ++b) {
+      donated.emplace_back(first + b);
+    }
+  }
+  if (change_blocks == 0) return out;
+
+  // Table 2's redistribution: rotate the donated list back by one so no
+  // source receives its own blocks, then hand out consecutive chunks
+  // starting at source 1 (0-based), advancing the starting source by one
+  // per allocation.
+  const auto total = static_cast<int>(donated.size());
+  for (int chunk = 0; chunk < sources; ++chunk) {
+    const int receiver = (1 + chunk + allocation_index) % sources;
+    auto& alloc = out[static_cast<std::size_t>(receiver)];
+    for (int b = 0; b < change_blocks; ++b) {
+      const int index = ((chunk * change_blocks + b - 1) % total + total) % total;
+      alloc.change_set.push_back(donated[static_cast<std::size_t>(index)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace infilter::dagflow

@@ -1,0 +1,42 @@
+// Address-block allocation for the testbed (Tables 2 and 3).
+//
+// The paper's testbed has 10 Dagflow sources, each owning 100 of the 1000
+// /11 sub-blocks (Table 3; these also preload the EIA sets). To emulate
+// route instability, each source keeps its first (100 - C) blocks and
+// donates its last C; the donated blocks are redistributed so that C% of
+// every source's traffic carries addresses another Peer AS is expected to
+// own (Table 2 shows the C = 2 case). Successive allocations rotate the
+// donated blocks among sources, emulating routes that keep drifting.
+
+#pragma once
+
+#include <vector>
+
+#include "net/subblocks.h"
+
+namespace infilter::dagflow {
+
+/// Sub-blocks one Dagflow source draws addresses from under one allocation.
+struct SourceAllocation {
+  /// The source's own Table 3 range (what the EIA set expects).
+  net::SubBlockRange eia_range;
+  /// Own blocks actually used (the first 100 - C of eia_range).
+  std::vector<net::SubBlock> normal_set;
+  /// Foreign blocks used (C blocks donated by other sources).
+  std::vector<net::SubBlock> change_set;
+};
+
+/// Table 3: the i-th source's EIA range (i in [0, sources)), carving the
+/// first `sources * blocks_each` used sub-blocks into equal ranges.
+[[nodiscard]] net::SubBlockRange eia_range(int source, int blocks_each = 100);
+
+/// Builds allocation number `allocation_index` for all sources with
+/// `change_blocks` donated blocks per source (= the route-change percentage
+/// when blocks_each is 100). change_blocks == 0 yields pure Table 3
+/// allocations with empty change sets.
+[[nodiscard]] std::vector<SourceAllocation> make_allocation(int sources,
+                                                            int blocks_each,
+                                                            int change_blocks,
+                                                            int allocation_index);
+
+}  // namespace infilter::dagflow

@@ -1,0 +1,127 @@
+#include "dagflow/dagflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace infilter::dagflow {
+
+AddressPool::AddressPool(std::vector<Component> components)
+    : components_(std::move(components)) {
+  double total = 0;
+  for (const auto& component : components_) {
+    assert(!component.prefixes.empty());
+    assert(component.weight > 0);
+    total += component.weight;
+  }
+  double running = 0;
+  cumulative_.reserve(components_.size());
+  for (const auto& component : components_) {
+    running += component.weight / total;
+    cumulative_.push_back(running);
+  }
+  if (!cumulative_.empty()) cumulative_.back() = 1.0;
+}
+
+AddressPool AddressPool::from_allocation(const SourceAllocation& allocation,
+                                         int active_slash24s) {
+  std::vector<net::Prefix> prefixes;
+  prefixes.reserve(allocation.normal_set.size() + allocation.change_set.size());
+  for (const auto& block : allocation.normal_set) prefixes.push_back(block.prefix());
+  for (const auto& block : allocation.change_set) prefixes.push_back(block.prefix());
+  return AddressPool({Component{std::move(prefixes), 1.0, active_slash24s}});
+}
+
+AddressPool AddressPool::from_subblocks(const std::vector<net::SubBlock>& blocks) {
+  std::vector<net::Prefix> prefixes;
+  prefixes.reserve(blocks.size());
+  for (const auto& block : blocks) prefixes.push_back(block.prefix());
+  return AddressPool({Component{std::move(prefixes), 1.0}});
+}
+
+net::IPv4Address AddressPool::draw(util::Rng& rng) const {
+  assert(!components_.empty());
+  const double u = rng.uniform();
+  std::size_t index = 0;
+  while (index + 1 < cumulative_.size() && u > cumulative_[index]) ++index;
+  const auto& component = components_[index];
+  const auto& prefix =
+      component.prefixes[rng.below(component.prefixes.size())];
+  if (component.active_slash24s <= 0 || prefix.length() > 24) {
+    return net::IPv4Address{prefix.address().value() +
+                            static_cast<std::uint32_t>(rng.below(prefix.size()))};
+  }
+  // Clustered draw: a quadratically skewed pick among the prefix's active
+  // /24s (rank 0 receives ~1/sqrt(K) of the traffic), then a uniform host.
+  const auto k = static_cast<std::uint32_t>(component.active_slash24s);
+  const double v = rng.uniform();
+  const auto rank = static_cast<std::uint32_t>(v * v * k);
+  // The active /24s are a deterministic pseudo-random subset of the
+  // prefix's /24s, so the same block clusters identically across pools.
+  util::SplitMix64 mix{(std::uint64_t{prefix.address().value()} << 8) ^ rank};
+  const auto slash24_count = static_cast<std::uint32_t>(prefix.size() >> 8);
+  const std::uint32_t slash24 =
+      static_cast<std::uint32_t>(mix.next() % slash24_count);
+  return net::IPv4Address{prefix.address().value() + (slash24 << 8) +
+                          static_cast<std::uint32_t>(rng.below(256))};
+}
+
+Dagflow::Dagflow(DagflowConfig config, AddressPool pool, std::uint64_t seed)
+    : config_(config), pool_(std::move(pool)), rng_(seed) {}
+
+void Dagflow::set_pool(AddressPool pool) { pool_ = std::move(pool); }
+
+std::vector<LabeledFlow> Dagflow::replay(const traffic::Trace& trace) {
+  std::vector<LabeledFlow> out;
+  out.reserve(trace.flows.size());
+  const double interval = std::max<std::uint32_t>(1, config_.sampling_interval);
+  for (const auto& flow : trace.flows) {
+    // Sampled NetFlow (1-in-N packet sampling): the flow appears in the
+    // export only when at least one of its packets was sampled; the
+    // exporter then scales the sampled counts back up by N, so short flows
+    // come out quantized to ~N packets and long flows keep their counts.
+    std::uint32_t packets = flow.packets;
+    std::uint32_t bytes = flow.bytes;
+    if (config_.sampling_interval > 1) {
+      const double keep_probability =
+          1.0 - std::pow(1.0 - 1.0 / interval, static_cast<double>(flow.packets));
+      if (!rng_.chance(keep_probability)) continue;
+      const auto sampled = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 std::round(static_cast<double>(flow.packets) / interval)));
+      packets = sampled * config_.sampling_interval;
+      bytes = static_cast<std::uint32_t>(
+          std::round(static_cast<double>(flow.bytes) * packets /
+                     std::max(1.0, static_cast<double>(flow.packets))));
+    }
+    LabeledFlow labeled;
+    labeled.arrival_port = config_.netflow_port;
+    labeled.attack = flow.attack;
+    labeled.attack_kind = flow.attack_kind;
+
+    auto& r = labeled.record;
+    r.src_ip = pool_.empty() ? flow.src_ip : pool_.draw(rng_);
+    r.dst_ip = flow.dst_ip;
+    r.proto = flow.proto;
+    r.src_port = flow.src_port;
+    r.dst_port = flow.dst_port;
+    r.tcp_flags = flow.tcp_flags;
+    r.input_if = config_.input_if;
+    r.packets = packets;
+    r.bytes = bytes;
+    r.first = static_cast<std::uint32_t>(flow.start);
+    r.last = static_cast<std::uint32_t>(flow.start) + flow.duration_ms;
+    out.push_back(labeled);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> Dagflow::export_datagrams(
+    std::span<const LabeledFlow> flows, util::TimeMs export_time) {
+  std::vector<netflow::V5Record> records;
+  records.reserve(flows.size());
+  for (const auto& flow : flows) records.push_back(flow.record);
+  return netflow::encode_all(records, export_time, sequence_, config_.engine_id);
+}
+
+}  // namespace infilter::dagflow

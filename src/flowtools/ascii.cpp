@@ -1,0 +1,112 @@
+#include "flowtools/ascii.h"
+
+#include <charconv>
+#include <limits>
+#include <sstream>
+
+namespace infilter::flowtools {
+namespace {
+
+constexpr std::string_view kHeader =
+    "srcaddr,dstaddr,proto,srcport,dstport,tos,input,packets,octets,first,last,"
+    "tcpflags,srcas,dstas,port,exported";
+
+/// Splits one line on commas (no quoting in this format).
+std::vector<std::string_view> split_commas(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t at = 0;
+  while (true) {
+    const auto comma = line.find(',', at);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(at));
+      return out;
+    }
+    out.push_back(line.substr(at, comma - at));
+    at = comma + 1;
+  }
+}
+
+template <typename T>
+bool parse_number(std::string_view token, T& out) {
+  std::uint64_t value = 0;
+  const auto end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return false;
+  if (value > std::numeric_limits<T>::max()) return false;
+  out = static_cast<T>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string_view ascii_header() { return kHeader; }
+
+std::string export_ascii(std::span<const CapturedFlow> flows) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const auto& flow : flows) {
+    const auto& r = flow.record;
+    out << r.src_ip.to_string() << ',' << r.dst_ip.to_string() << ','
+        << static_cast<unsigned>(r.proto) << ',' << r.src_port << ',' << r.dst_port
+        << ',' << static_cast<unsigned>(r.tos) << ',' << r.input_if << ','
+        << r.packets << ',' << r.bytes << ',' << r.first << ',' << r.last << ','
+        << static_cast<unsigned>(r.tcp_flags) << ',' << r.src_as << ',' << r.dst_as
+        << ',' << flow.arrival_port << ',' << flow.export_time_ms << '\n';
+  }
+  return std::move(out).str();
+}
+
+util::Result<std::vector<CapturedFlow>> import_ascii(std::string_view text) {
+  std::vector<CapturedFlow> flows;
+  bool saw_header = false;
+  int line_number = 0;
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const auto newline = text.find('\n', at);
+    auto line = text.substr(
+        at, newline == std::string_view::npos ? text.size() - at : newline - at);
+    at = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_header) {
+      if (line != kHeader) {
+        return util::Error{"line " + std::to_string(line_number) +
+                           ": expected ASCII flow header"};
+      }
+      saw_header = true;
+      continue;
+    }
+
+    const auto fields = split_commas(line);
+    if (fields.size() != 16) {
+      return util::Error{"line " + std::to_string(line_number) + ": expected 16 fields, got " +
+                         std::to_string(fields.size())};
+    }
+    CapturedFlow flow;
+    auto& r = flow.record;
+    const auto src = net::IPv4Address::parse(fields[0]);
+    const auto dst = net::IPv4Address::parse(fields[1]);
+    bool ok = src.has_value() && dst.has_value();
+    if (ok) {
+      r.src_ip = *src;
+      r.dst_ip = *dst;
+    }
+    ok = ok && parse_number(fields[2], r.proto) && parse_number(fields[3], r.src_port) &&
+         parse_number(fields[4], r.dst_port) && parse_number(fields[5], r.tos) &&
+         parse_number(fields[6], r.input_if) && parse_number(fields[7], r.packets) &&
+         parse_number(fields[8], r.bytes) && parse_number(fields[9], r.first) &&
+         parse_number(fields[10], r.last) && parse_number(fields[11], r.tcp_flags) &&
+         parse_number(fields[12], r.src_as) && parse_number(fields[13], r.dst_as) &&
+         parse_number(fields[14], flow.arrival_port) &&
+         parse_number(fields[15], flow.export_time_ms);
+    if (!ok) {
+      return util::Error{"line " + std::to_string(line_number) + ": malformed record"};
+    }
+    flows.push_back(flow);
+  }
+  if (!saw_header) return util::Error{"missing ASCII flow header"};
+  return flows;
+}
+
+}  // namespace infilter::flowtools

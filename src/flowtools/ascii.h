@@ -1,0 +1,33 @@
+// ASCII flow interchange.
+//
+// flow-tools ships `flow-export` / `flow-import` for moving captures
+// through a text format (Section 5.1.2: "export to/import from ASCII
+// format"). This is that capability for our captures: one header line
+// naming the columns, then one comma-separated record per flow. The text
+// form is what operators grep and what external tooling consumes.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flowtools/capture.h"
+#include "util/result.h"
+
+namespace infilter::flowtools {
+
+/// The column header emitted and required by the ASCII format.
+[[nodiscard]] std::string_view ascii_header();
+
+/// Renders flows as ASCII, header first.
+[[nodiscard]] std::string export_ascii(std::span<const CapturedFlow> flows);
+
+/// Parses ASCII produced by export_ascii (or hand-written to the same
+/// schema). Blank lines and '#' comments are skipped. Fails with a line
+/// number on any malformed record or on a wrong header.
+[[nodiscard]] util::Result<std::vector<CapturedFlow>> import_ascii(
+    std::string_view text);
+
+}  // namespace infilter::flowtools

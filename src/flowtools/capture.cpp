@@ -1,0 +1,112 @@
+#include "flowtools/capture.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace infilter::flowtools {
+namespace {
+
+// Binary capture file layout: magic, record count, then per-record the
+// 48-byte v5 wire image plus port and export time. Little-endian fixed
+// fields written through the v5 codec keep the format self-contained.
+constexpr std::uint32_t kCaptureMagic = 0x49464331;  // "IFC1"
+
+void put32(std::ofstream& out, std::uint32_t v) {
+  char buf[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(buf, 4);
+}
+
+std::uint32_t get32(std::ifstream& in) {
+  unsigned char buf[4] = {};
+  in.read(reinterpret_cast<char*>(buf), 4);
+  return std::uint32_t{buf[0]} | (std::uint32_t{buf[1]} << 8) |
+         (std::uint32_t{buf[2]} << 16) | (std::uint32_t{buf[3]} << 24);
+}
+
+}  // namespace
+
+util::Result<std::size_t> FlowCapture::ingest(std::span<const std::uint8_t> datagram,
+                                              std::uint16_t arrival_port) {
+  ++datagrams_;
+  auto decoded = netflow::decode(datagram);
+  if (!decoded) {
+    ++malformed_;
+    return decoded.error();
+  }
+
+  // Sequence-gap accounting per (engine, port) export stream.
+  const std::uint32_t stream =
+      (std::uint32_t{decoded->header.engine_id} << 16) | arrival_port;
+  auto state = std::find_if(sequence_state_.begin(), sequence_state_.end(),
+                            [stream](const auto& s) { return s.first == stream; });
+  if (state == sequence_state_.end()) {
+    sequence_state_.emplace_back(stream, decoded->header.flow_sequence);
+    state = std::prev(sequence_state_.end());
+  } else if (decoded->header.flow_sequence > state->second) {
+    sequence_gaps_ += decoded->header.flow_sequence - state->second;
+  }
+  state->second = decoded->header.flow_sequence +
+                  static_cast<std::uint32_t>(decoded->records.size());
+
+  for (const auto& record : decoded->records) {
+    flows_.push_back(CapturedFlow{record, arrival_port, decoded->header.sys_uptime_ms});
+  }
+  return decoded->records.size();
+}
+
+void FlowCapture::clear() {
+  flows_.clear();
+  datagrams_ = 0;
+  malformed_ = 0;
+  sequence_gaps_ = 0;
+  sequence_state_.clear();
+}
+
+util::Result<std::size_t> FlowCapture::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Error{"cannot open " + path + " for writing"};
+  put32(out, kCaptureMagic);
+  put32(out, static_cast<std::uint32_t>(flows_.size()));
+  std::uint32_t sequence = 0;
+  for (const auto& flow : flows_) {
+    const auto wire = netflow::encode(netflow::V5Header{.flow_sequence = sequence},
+                                      std::span{&flow.record, 1});
+    out.write(reinterpret_cast<const char*>(wire.data()),
+              static_cast<std::streamsize>(wire.size()));
+    put32(out, (std::uint32_t{flow.arrival_port} << 16));
+    put32(out, flow.export_time_ms);
+    ++sequence;
+  }
+  if (!out) return util::Error{"write failed on " + path};
+  return flows_.size();
+}
+
+util::Result<std::size_t> FlowCapture::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Error{"cannot open " + path};
+  if (get32(in) != kCaptureMagic) return util::Error{"bad capture magic in " + path};
+  const std::uint32_t count = get32(in);
+  std::vector<CapturedFlow> loaded;
+  loaded.reserve(count);
+  std::vector<std::uint8_t> buffer(netflow::kV5HeaderBytes + netflow::kV5RecordBytes);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+    if (!in) return util::Error{"truncated capture file " + path};
+    auto decoded = netflow::decode(buffer);
+    if (!decoded || decoded->records.size() != 1) {
+      return util::Error{"corrupt record " + std::to_string(i) + " in " + path};
+    }
+    CapturedFlow flow;
+    flow.record = decoded->records.front();
+    flow.arrival_port = static_cast<std::uint16_t>(get32(in) >> 16);
+    flow.export_time_ms = get32(in);
+    if (!in) return util::Error{"truncated capture file " + path};
+    loaded.push_back(flow);
+  }
+  flows_ = std::move(loaded);
+  return flows_.size();
+}
+
+}  // namespace infilter::flowtools

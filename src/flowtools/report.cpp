@@ -1,0 +1,108 @@
+#include "flowtools/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace infilter::flowtools {
+
+bool FlowFilter::matches(const CapturedFlow& flow) const {
+  const auto& r = flow.record;
+  if (src_prefix && !src_prefix->contains(r.src_ip)) return false;
+  if (dst_prefix && !dst_prefix->contains(r.dst_ip)) return false;
+  if (proto && *proto != r.proto) return false;
+  if (src_port && *src_port != r.src_port) return false;
+  if (dst_port && *dst_port != r.dst_port) return false;
+  if (src_as && *src_as != r.src_as) return false;
+  if (dst_as && *dst_as != r.dst_as) return false;
+  if (arrival_port && *arrival_port != flow.arrival_port) return false;
+  return true;
+}
+
+std::vector<CapturedFlow> filter_flows(std::span<const CapturedFlow> flows,
+                                       const FlowFilter& filter) {
+  std::vector<CapturedFlow> out;
+  std::copy_if(flows.begin(), flows.end(), std::back_inserter(out),
+               [&filter](const CapturedFlow& f) { return filter.matches(f); });
+  return out;
+}
+
+namespace {
+
+std::string group_key_text(const CapturedFlow& flow, GroupField fields) {
+  const auto& r = flow.record;
+  std::string key;
+  auto add = [&key](const std::string& part) {
+    if (!key.empty()) key += ',';
+    key += part;
+  };
+  if (has_field(fields, GroupField::kSrcIp)) add(r.src_ip.to_string());
+  if (has_field(fields, GroupField::kDstIp)) add(r.dst_ip.to_string());
+  if (has_field(fields, GroupField::kProto)) add("p" + std::to_string(r.proto));
+  if (has_field(fields, GroupField::kSrcPort)) add("sp" + std::to_string(r.src_port));
+  if (has_field(fields, GroupField::kDstPort)) add("dp" + std::to_string(r.dst_port));
+  if (has_field(fields, GroupField::kTos)) add("tos" + std::to_string(r.tos));
+  if (has_field(fields, GroupField::kInputIf)) add("if" + std::to_string(r.input_if));
+  if (has_field(fields, GroupField::kSrcAs)) add("sas" + std::to_string(r.src_as));
+  if (has_field(fields, GroupField::kDstAs)) add("das" + std::to_string(r.dst_as));
+  if (has_field(fields, GroupField::kArrivalPort)) {
+    add("port" + std::to_string(flow.arrival_port));
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<ReportRow> group_flows(std::span<const CapturedFlow> flows,
+                                   GroupField fields) {
+  struct Accumulator {
+    GroupSummary summary;
+    double bit_rate_sum = 0;
+    double packet_rate_sum = 0;
+  };
+  std::map<std::string, Accumulator> groups;
+  for (const auto& flow : flows) {
+    auto& acc = groups[group_key_text(flow, fields)];
+    const auto stats = FlowStats::from_record(flow.record);
+    acc.summary.flows += 1;
+    acc.summary.packets += flow.record.packets;
+    acc.summary.bytes += flow.record.bytes;
+    acc.summary.total_duration_ms += stats.duration_ms;
+    acc.bit_rate_sum += stats.bit_rate;
+    acc.packet_rate_sum += stats.packet_rate;
+  }
+
+  std::vector<ReportRow> rows;
+  rows.reserve(groups.size());
+  for (auto& [key, acc] : groups) {
+    acc.summary.mean_bit_rate = acc.bit_rate_sum / static_cast<double>(acc.summary.flows);
+    acc.summary.mean_packet_rate =
+        acc.packet_rate_sum / static_cast<double>(acc.summary.flows);
+    rows.push_back(ReportRow{key, acc.summary});
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const ReportRow& a, const ReportRow& b) {
+    return a.summary.bytes > b.summary.bytes;
+  });
+  return rows;
+}
+
+std::string render_report(std::span<const ReportRow> rows, GroupField fields) {
+  std::ostringstream out;
+  out << "# grouped by mask 0x" << std::hex << static_cast<std::uint16_t>(fields)
+      << std::dec << "\n";
+  out << std::left << std::setw(44) << "group" << std::right << std::setw(10)
+      << "flows" << std::setw(12) << "packets" << std::setw(14) << "octets"
+      << std::setw(14) << "dur_ms" << std::setw(14) << "bps" << std::setw(12)
+      << "pps" << "\n";
+  for (const auto& row : rows) {
+    out << std::left << std::setw(44) << row.group_key << std::right << std::setw(10)
+        << row.summary.flows << std::setw(12) << row.summary.packets << std::setw(14)
+        << row.summary.bytes << std::setw(14) << std::fixed << std::setprecision(0)
+        << row.summary.total_duration_ms << std::setw(14) << std::setprecision(1)
+        << row.summary.mean_bit_rate << std::setw(12) << row.summary.mean_packet_rate
+        << "\n";
+  }
+  return std::move(out).str();
+}
+
+}  // namespace infilter::flowtools

@@ -1,0 +1,97 @@
+// flow-report style filtering, grouping and reporting.
+//
+// Models the flow-tools reporting pipeline (Section 5.1.2): captured flows
+// can be filtered on header fields, grouped by any subset of the flow key
+// fields (plus AS numbers and the capture arrival port), and summarized
+// into ASCII statistics reports. "Increasing the number of fields increases
+// the granularity of the computed statistics."
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flowtools/capture.h"
+#include "flowtools/stats.h"
+#include "net/ipv4.h"
+
+namespace infilter::flowtools {
+
+/// A conjunctive filter: a flow matches when every set field matches.
+struct FlowFilter {
+  std::optional<net::Prefix> src_prefix;
+  std::optional<net::Prefix> dst_prefix;
+  std::optional<std::uint8_t> proto;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  std::optional<std::uint16_t> src_as;
+  std::optional<std::uint16_t> dst_as;
+  std::optional<std::uint16_t> arrival_port;
+
+  [[nodiscard]] bool matches(const CapturedFlow& flow) const;
+};
+
+/// Retains the flows matching `filter`, preserving order.
+[[nodiscard]] std::vector<CapturedFlow> filter_flows(std::span<const CapturedFlow> flows,
+                                                     const FlowFilter& filter);
+
+/// The fields a report can group on, as a bitmask. Grouping on all of
+/// kFlowKeyFields reproduces per-flow granularity; subsets aggregate.
+enum class GroupField : std::uint16_t {
+  kSrcIp = 1 << 0,
+  kDstIp = 1 << 1,
+  kProto = 1 << 2,
+  kSrcPort = 1 << 3,
+  kDstPort = 1 << 4,
+  kTos = 1 << 5,
+  kInputIf = 1 << 6,
+  kSrcAs = 1 << 7,
+  kDstAs = 1 << 8,
+  kArrivalPort = 1 << 9,
+};
+
+constexpr GroupField operator|(GroupField a, GroupField b) {
+  return static_cast<GroupField>(static_cast<std::uint16_t>(a) |
+                                 static_cast<std::uint16_t>(b));
+}
+constexpr bool has_field(GroupField mask, GroupField f) {
+  return (static_cast<std::uint16_t>(mask) & static_cast<std::uint16_t>(f)) != 0;
+}
+
+/// All seven Figure 10 key fields.
+inline constexpr GroupField kFlowKeyFields =
+    GroupField::kSrcIp | GroupField::kDstIp | GroupField::kProto |
+    GroupField::kSrcPort | GroupField::kDstPort | GroupField::kTos |
+    GroupField::kInputIf;
+
+/// Aggregate statistics for one report group.
+struct GroupSummary {
+  std::uint64_t flows = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double total_duration_ms = 0;
+  double mean_bit_rate = 0;     ///< mean of per-flow bit rates
+  double mean_packet_rate = 0;  ///< mean of per-flow packet rates
+};
+
+/// One row of a grouped report: the group's key rendered as text plus its
+/// summary.
+struct ReportRow {
+  std::string group_key;
+  GroupSummary summary;
+};
+
+/// Groups flows by the selected fields and computes summaries. Rows are
+/// ordered by descending byte count (flow-report's default "octets" sort).
+[[nodiscard]] std::vector<ReportRow> group_flows(std::span<const CapturedFlow> flows,
+                                                 GroupField fields);
+
+/// Renders rows as a fixed-width ASCII table, flow-report style.
+[[nodiscard]] std::string render_report(std::span<const ReportRow> rows,
+                                        GroupField fields);
+
+}  // namespace infilter::flowtools

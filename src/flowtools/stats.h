@@ -1,0 +1,49 @@
+// Per-flow statistics (Section 5.1.2).
+//
+// The paper's analysis modules consume exactly five statistics per flow:
+// byte count, packet count, duration, bit rate, and packet rate. This
+// header defines that statistics vector and its derivation from a NetFlow
+// v5 record; it is the interface between the collection substrate and the
+// InFilter analysis engine.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+
+#include "netflow/v5.h"
+
+namespace infilter::flowtools {
+
+/// The five flow statistics of Section 5.1.2, in the order the paper lists
+/// them. Rates are computed over max(duration, 1 ms) so single-packet
+/// flows (Slammer!) still yield finite rates.
+struct FlowStats {
+  double byte_count = 0;
+  double packet_count = 0;
+  double duration_ms = 0;
+  double bit_rate = 0;     ///< bits per second
+  double packet_rate = 0;  ///< packets per second
+
+  /// Number of statistics; the NNS encoder sizes its dimensions from this.
+  static constexpr int kCount = 5;
+
+  [[nodiscard]] std::array<double, kCount> as_array() const {
+    return {byte_count, packet_count, duration_ms, bit_rate, packet_rate};
+  }
+
+  static FlowStats from_record(const netflow::V5Record& record) {
+    FlowStats s;
+    s.byte_count = record.bytes;
+    s.packet_count = record.packets;
+    s.duration_ms = record.duration_ms();
+    const double seconds = std::max(1.0, s.duration_ms) / 1000.0;
+    s.bit_rate = s.byte_count * 8.0 / seconds;
+    s.packet_rate = s.packet_count / seconds;
+    return s;
+  }
+
+  friend auto operator<=>(const FlowStats&, const FlowStats&) = default;
+};
+
+}  // namespace infilter::flowtools

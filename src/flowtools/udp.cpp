@@ -1,0 +1,180 @@
+#include "flowtools/udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace infilter::flowtools {
+namespace {
+
+util::Error errno_error(const char* what) {
+  return util::Error{std::string(what) + ": " + std::strerror(errno)};
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return address;
+}
+
+}  // namespace
+
+util::Result<UdpSender> UdpSender::create() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return errno_error("socket");
+  return UdpSender{fd};
+}
+
+UdpSender::~UdpSender() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSender::UdpSender(UdpSender&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+UdpSender& UdpSender::operator=(UdpSender&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Result<bool> UdpSender::send(std::uint16_t port,
+                                   std::span<const std::uint8_t> datagram) {
+  const auto address = loopback(port);
+  const auto sent = ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&address),
+                             sizeof address);
+  if (sent < 0) return errno_error("sendto");
+  if (static_cast<std::size_t>(sent) != datagram.size()) {
+    return util::Error{"short datagram send"};
+  }
+  return true;
+}
+
+util::Result<UdpReceiver> UdpReceiver::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return errno_error("socket");
+  const auto address = loopback(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) < 0) {
+    ::close(fd);
+    return errno_error("bind");
+  }
+  // Read back the assigned port (meaningful when port was 0).
+  sockaddr_in bound{};
+  socklen_t length = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &length) < 0) {
+    ::close(fd);
+    return errno_error("getsockname");
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ::close(fd);
+    return errno_error("fcntl");
+  }
+  return UdpReceiver{fd, ntohs(bound.sin_port)};
+}
+
+UdpReceiver::~UdpReceiver() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpReceiver::UdpReceiver(UdpReceiver&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+UdpReceiver& UdpReceiver::operator=(UdpReceiver&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Result<std::vector<std::uint8_t>> UdpReceiver::receive() {
+  std::vector<std::uint8_t> buffer(65536);
+  const auto received = ::recv(fd_, buffer.data(), buffer.size(), 0);
+  if (received < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::vector<std::uint8_t>{};
+    return errno_error("recv");
+  }
+  buffer.resize(static_cast<std::size_t>(received));
+  return buffer;
+}
+
+LiveCollector::LiveCollector(std::vector<UdpReceiver> receivers)
+    : receivers_(std::move(receivers)) {}
+
+util::Result<LiveCollector> LiveCollector::bind(const std::vector<std::uint16_t>& ports) {
+  std::vector<UdpReceiver> receivers;
+  receivers.reserve(ports.size());
+  for (const auto port : ports) {
+    auto receiver = UdpReceiver::bind(port);
+    if (!receiver) return receiver.error();
+    receivers.push_back(std::move(*receiver));
+  }
+  return LiveCollector{std::move(receivers)};
+}
+
+std::vector<std::uint16_t> LiveCollector::ports() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(receivers_.size());
+  for (const auto& receiver : receivers_) out.push_back(receiver.port());
+  return out;
+}
+
+util::Result<std::size_t> LiveCollector::poll_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(receivers_.size());
+  for (const auto& receiver : receivers_) {
+    fds.push_back(pollfd{receiver.fd(), POLLIN, 0});
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) return errno_error("poll");
+  if (ready == 0) return std::size_t{0};
+
+  std::size_t stored = 0;
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    if ((fds[i].revents & POLLIN) == 0) continue;
+    // Drain everything queued on this socket.
+    while (true) {
+      auto datagram = receivers_[i].receive();
+      if (!datagram) return datagram.error();
+      if (datagram->empty()) break;
+      // Malformed datagrams are counted by the capture and dropped; that
+      // is collector policy, not an I/O error.
+      if (const auto ingested = capture_.ingest(*datagram, receivers_[i].port())) {
+        stored += *ingested;
+      }
+    }
+  }
+  return stored;
+}
+
+util::Result<std::size_t> LiveCollector::collect(std::size_t flow_target,
+                                                 int deadline_ms) {
+  std::size_t collected = 0;
+  int waited = 0;
+  while (collected < flow_target && waited < deadline_ms) {
+    constexpr int kSliceMs = 20;
+    auto stored = poll_once(kSliceMs);
+    if (!stored) return stored.error();
+    collected += *stored;
+    if (*stored == 0) waited += kSliceMs;
+  }
+  return collected;
+}
+
+}  // namespace infilter::flowtools

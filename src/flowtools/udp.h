@@ -1,0 +1,96 @@
+// UDP transport for NetFlow export (the live half of Figure 9).
+//
+// "A NetFlow enabled router will periodically send datagrams to a
+// pre-designated receiver node" -- and the testbed multiplexes emulated
+// border routers by destination UDP port. This module provides the two
+// endpoints: a sender that fires export datagrams at localhost ports, and
+// a receiver set that binds one socket per emulated Peer AS / BR and
+// feeds everything it hears into a FlowCapture, tagging each datagram
+// with its arrival port.
+//
+// Loopback-only by design: the reproduction never needs to leave the
+// machine, and binding 127.0.0.1 keeps the test suite hermetic.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "flowtools/capture.h"
+#include "util/result.h"
+
+namespace infilter::flowtools {
+
+/// Sends datagrams to 127.0.0.1:<port>.
+class UdpSender {
+ public:
+  static util::Result<UdpSender> create();
+  ~UdpSender();
+  UdpSender(UdpSender&& other) noexcept;
+  UdpSender& operator=(UdpSender&& other) noexcept;
+  UdpSender(const UdpSender&) = delete;
+  UdpSender& operator=(const UdpSender&) = delete;
+
+  /// Sends one datagram; fails on socket errors (never partial).
+  util::Result<bool> send(std::uint16_t port, std::span<const std::uint8_t> datagram);
+
+ private:
+  explicit UdpSender(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// One bound, non-blocking UDP receive socket.
+class UdpReceiver {
+ public:
+  /// Binds 127.0.0.1:<port>; port 0 picks an ephemeral port.
+  static util::Result<UdpReceiver> bind(std::uint16_t port);
+  ~UdpReceiver();
+  UdpReceiver(UdpReceiver&& other) noexcept;
+  UdpReceiver& operator=(UdpReceiver&& other) noexcept;
+  UdpReceiver(const UdpReceiver&) = delete;
+  UdpReceiver& operator=(const UdpReceiver&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Receives one pending datagram without blocking; an empty vector means
+  /// nothing was waiting.
+  util::Result<std::vector<std::uint8_t>> receive();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  UdpReceiver(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Binds one receiver per collector port and pumps arriving export
+/// datagrams into a FlowCapture (Figure 9's flow-tools node).
+class LiveCollector {
+ public:
+  /// Binds every port in `ports` (0 entries pick ephemeral ports; read the
+  /// final assignments from ports()).
+  static util::Result<LiveCollector> bind(const std::vector<std::uint16_t>& ports);
+
+  [[nodiscard]] std::vector<std::uint16_t> ports() const;
+
+  /// Waits up to `timeout_ms` for traffic and ingests every datagram that
+  /// arrived. Returns the number of flow records stored by this call.
+  util::Result<std::size_t> poll_once(int timeout_ms);
+
+  /// Polls until `flow_target` flows have been captured or `deadline_ms`
+  /// of total waiting elapses. Returns the flows captured by this call.
+  util::Result<std::size_t> collect(std::size_t flow_target, int deadline_ms);
+
+  [[nodiscard]] const flowtools::FlowCapture& capture() const { return capture_; }
+  [[nodiscard]] flowtools::FlowCapture& capture() { return capture_; }
+
+ private:
+  explicit LiveCollector(std::vector<UdpReceiver> receivers);
+  std::vector<UdpReceiver> receivers_;
+  flowtools::FlowCapture capture_;
+};
+
+}  // namespace infilter::flowtools

@@ -1,0 +1,91 @@
+#include "net/subblocks.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <charconv>
+
+namespace infilter::net {
+namespace {
+
+// Table 1: the 143 publicly-routable, allocated unicast /8 blocks as of
+// 28 Oct 2004, ascending. Block numbering for sub-block notation counts
+// these starting at 1 (so octet 3 is block 1 and octet 204 is block 125).
+constexpr std::array<std::uint8_t, kSlash8BlockCount> kFirstOctets = {
+    3,   4,   6,   8,   9,   11,  12,  13,  14,  15,  16,  17,  18,  19,  20,
+    21,  22,  24,  25,  26,  28,  29,  30,  32,  33,  34,  35,  38,  40,  43,
+    44,  45,  46,  47,  48,  51,  52,  53,  54,  55,  56,  57,  58,  59,  60,
+    61,  62,  63,  64,  65,  66,  67,  68,  69,  70,  71,  72,  80,  81,  82,
+    83,  84,  85,  86,  87,  88,  128, 129, 130, 131, 132, 133, 134, 135, 136,
+    137, 138, 139, 140, 141, 142, 143, 144, 145, 146, 147, 148, 149, 150, 151,
+    152, 153, 154, 155, 156, 157, 158, 159, 160, 161, 162, 163, 164, 165, 166,
+    167, 168, 169, 170, 171, 172, 188, 191, 192, 193, 194, 195, 196, 198, 199,
+    200, 201, 202, 203, 204, 205, 206, 207, 208, 209, 210, 211, 212, 213, 214,
+    215, 216, 217, 218, 219, 220, 221, 222};
+
+}  // namespace
+
+std::span<const std::uint8_t> slash8_first_octets() { return kFirstOctets; }
+
+SubBlock::SubBlock(int index) : index_(index) {
+  assert(index >= 0 && index < kTotalSubBlocks);
+}
+
+std::optional<SubBlock> SubBlock::parse(std::string_view notation) {
+  if (notation.size() < 2) return std::nullopt;
+  const char letter = notation.back();
+  if (letter < 'a' || letter > 'h') return std::nullopt;
+  const auto digits = notation.substr(0, notation.size() - 1);
+  int block = 0;
+  auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), block);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) return std::nullopt;
+  if (block < 1 || block > kSlash8BlockCount) return std::nullopt;
+  return SubBlock{(block - 1) * kSubBlocksPerSlash8 + (letter - 'a')};
+}
+
+std::optional<SubBlock> SubBlock::containing(IPv4Address address) {
+  const auto first = static_cast<std::uint8_t>(address.octet(0));
+  const auto it = std::lower_bound(kFirstOctets.begin(), kFirstOctets.end(), first);
+  if (it == kFirstOctets.end() || *it != first) return std::nullopt;
+  const int block = static_cast<int>(it - kFirstOctets.begin());
+  // The /11 letter is the top 3 bits of the second octet.
+  const int letter = address.octet(1) >> 5;
+  return SubBlock{block * kSubBlocksPerSlash8 + letter};
+}
+
+Prefix SubBlock::prefix() const {
+  const std::uint8_t first = kFirstOctets[static_cast<std::size_t>(index_ / kSubBlocksPerSlash8)];
+  const auto second = static_cast<std::uint8_t>(letter_index() << 5);
+  return Prefix{IPv4Address{first, second, 0, 0}, 11};
+}
+
+std::string SubBlock::notation() const {
+  return std::to_string(block_number()) + static_cast<char>('a' + letter_index());
+}
+
+std::optional<SubBlockRange> SubBlockRange::parse(std::string_view text) {
+  const auto dash = text.find('-');
+  if (dash == std::string_view::npos) {
+    auto single = SubBlock::parse(text);
+    if (!single) return std::nullopt;
+    return SubBlockRange{*single, *single};
+  }
+  auto first = SubBlock::parse(text.substr(0, dash));
+  auto last = SubBlock::parse(text.substr(dash + 1));
+  if (!first || !last || last->index() < first->index()) return std::nullopt;
+  return SubBlockRange{*first, *last};
+}
+
+std::string SubBlockRange::notation() const {
+  if (first == last) return first.notation();
+  return first.notation() + "-" + last.notation();
+}
+
+std::vector<SubBlock> SubBlockRange::expand() const {
+  std::vector<SubBlock> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for (int i = first.index(); i <= last.index(); ++i) out.emplace_back(i);
+  return out;
+}
+
+}  // namespace infilter::net

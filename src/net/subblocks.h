@@ -1,0 +1,92 @@
+// The address sub-block scheme of Table 1 (Section 6.2 of the paper).
+//
+// The paper takes the 143 publicly-routable, allocated, unicast /8 blocks
+// (per the IANA IPv4 address-space registry as of 28 Oct 2004), splits each
+// into eight /11 sub-blocks, and uses the first 1000 of the resulting 1144
+// sub-blocks for its experiments. Sub-blocks are named "<block><letter>":
+// block numbers count the /8s in ascending order starting at 1, and the
+// letter a..h selects the /11 within the /8 ("1a" = 3.0/11, "2c" = 4.64/11,
+// "125h" = 204.224/11).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace infilter::net {
+
+/// Number of /8 blocks in Table 1.
+inline constexpr int kSlash8BlockCount = 143;
+/// Sub-blocks per /8 (a /8 holds eight /11s).
+inline constexpr int kSubBlocksPerSlash8 = 8;
+/// Total sub-blocks (143 * 8).
+inline constexpr int kTotalSubBlocks = kSlash8BlockCount * kSubBlocksPerSlash8;
+/// Sub-blocks actually used in the paper's experiments (blocks 1..125,
+/// i.e. 3/8 through 204/8).
+inline constexpr int kUsedSubBlocks = 1000;
+
+/// The first octets of the 143 publicly-routable /8 blocks of Table 1, in
+/// ascending order (the order that defines block numbering).
+[[nodiscard]] std::span<const std::uint8_t> slash8_first_octets();
+
+/// One of the 1144 /11 sub-blocks, identified by a dense index in
+/// [0, kTotalSubBlocks). Index 0 is "1a", index 7 is "1h", index 8 is "2a".
+class SubBlock {
+ public:
+  SubBlock() = default;
+
+  /// Constructs from a dense index. Precondition: 0 <= index < kTotalSubBlocks.
+  explicit SubBlock(int index);
+
+  /// Constructs from the paper's notation, e.g. "5a" or "125h".
+  static std::optional<SubBlock> parse(std::string_view notation);
+
+  /// The sub-block that contains `address`, if any Table 1 block covers it.
+  static std::optional<SubBlock> containing(IPv4Address address);
+
+  [[nodiscard]] int index() const { return index_; }
+  /// 1-based /8 block number (the numeric part of the notation).
+  [[nodiscard]] int block_number() const { return index_ / kSubBlocksPerSlash8 + 1; }
+  /// 0-based letter position within the /8 (0 = 'a' .. 7 = 'h').
+  [[nodiscard]] int letter_index() const { return index_ % kSubBlocksPerSlash8; }
+
+  /// The /11 prefix this sub-block denotes.
+  [[nodiscard]] Prefix prefix() const;
+
+  /// Paper notation, e.g. "13d".
+  [[nodiscard]] std::string notation() const;
+
+  friend auto operator<=>(SubBlock, SubBlock) = default;
+
+ private:
+  int index_ = 0;
+};
+
+/// An inclusive, contiguous range of sub-blocks in dense-index order, the
+/// unit in which the paper allocates addresses ("1a-13b", Table 2/3).
+struct SubBlockRange {
+  SubBlock first;
+  SubBlock last;
+
+  /// Parses "1a-13d" (or a single sub-block "13c", denoting a 1-wide range).
+  static std::optional<SubBlockRange> parse(std::string_view text);
+
+  [[nodiscard]] int size() const { return last.index() - first.index() + 1; }
+  [[nodiscard]] bool contains(SubBlock b) const {
+    return first.index() <= b.index() && b.index() <= last.index();
+  }
+  [[nodiscard]] std::string notation() const;
+
+  /// All member sub-blocks in order.
+  [[nodiscard]] std::vector<SubBlock> expand() const;
+
+  friend auto operator<=>(const SubBlockRange&, const SubBlockRange&) = default;
+};
+
+}  // namespace infilter::net

@@ -1,0 +1,102 @@
+#include "netflow/flow_cache.h"
+
+#include <cassert>
+
+namespace infilter::netflow {
+
+FlowCache::FlowCache(FlowCacheConfig config) : config_(config) {
+  assert(config_.max_entries > 0);
+  assert(config_.full_watermark > 0.0 && config_.full_watermark <= 1.0);
+}
+
+void FlowCache::observe(const PacketObservation& packet) {
+  auto [it, inserted] = entries_.try_emplace(packet.key);
+  Entry& entry = it->second;
+  if (inserted) {
+    evict_if_full();
+    // evict_if_full never removes the brand-new entry: it was just touched.
+    entry.record.src_ip = packet.key.src_ip;
+    entry.record.dst_ip = packet.key.dst_ip;
+    entry.record.proto = packet.key.proto;
+    entry.record.src_port = packet.key.src_port;
+    entry.record.dst_port = packet.key.dst_port;
+    entry.record.tos = packet.key.tos;
+    entry.record.input_if = packet.key.input_if;
+    entry.record.src_as = packet.src_as;
+    entry.record.dst_as = packet.dst_as;
+    entry.record.next_hop = packet.next_hop;
+    entry.record.first = static_cast<std::uint32_t>(packet.time);
+    entry.first_seen = packet.time;
+    lru_.push_front(packet.key);
+    entry.lru_position = lru_.begin();
+  } else {
+    lru_.splice(lru_.begin(), lru_, entry.lru_position);
+  }
+
+  entry.record.packets += 1;
+  entry.record.bytes += packet.bytes;
+  entry.record.last = static_cast<std::uint32_t>(packet.time);
+  entry.record.tcp_flags |= packet.tcp_flags;
+  entry.last_seen = packet.time;
+
+  const bool tcp_terminated =
+      packet.key.proto == static_cast<std::uint8_t>(IpProto::kTcp) &&
+      (packet.tcp_flags & (tcpflags::kFin | tcpflags::kRst)) != 0;
+  const bool over_age = packet.time - entry.first_seen >= config_.active_timeout;
+  if (tcp_terminated || over_age) {
+    expire(it);
+  }
+}
+
+void FlowCache::advance(util::TimeMs now) {
+  // Walk from the least-recently-active end; stop at the first entry that
+  // is still fresh (everything after it in LRU order is fresher).
+  while (!lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    assert(it != entries_.end());
+    const Entry& entry = it->second;
+    const bool idle = now - entry.last_seen >= config_.idle_timeout;
+    if (idle) {
+      expire(it);
+      continue;
+    }
+    break;
+  }
+  // Active-timeout entries can be anywhere in LRU order (a chatty long
+  // flow stays at the front), so scan the map for them. This sweep is
+  // periodic and the cache is bounded, so the linear pass is acceptable.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    if (now - it->second.first_seen >= config_.active_timeout) expire(it);
+    it = next;
+  }
+}
+
+std::vector<V5Record> FlowCache::drain_expired() {
+  std::vector<V5Record> out;
+  out.swap(expired_);
+  return out;
+}
+
+std::vector<V5Record> FlowCache::flush(util::TimeMs) {
+  while (!entries_.empty()) expire(entries_.begin());
+  return drain_expired();
+}
+
+void FlowCache::expire(std::unordered_map<FlowKey, Entry>::iterator it) {
+  expired_.push_back(it->second.record);
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
+}
+
+void FlowCache::evict_if_full() {
+  const auto watermark = static_cast<std::size_t>(
+      config_.full_watermark * static_cast<double>(config_.max_entries));
+  while (entries_.size() > watermark && lru_.size() > 1) {
+    auto it = entries_.find(lru_.back());
+    assert(it != entries_.end());
+    expire(it);
+  }
+}
+
+}  // namespace infilter::netflow

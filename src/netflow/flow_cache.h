@@ -1,0 +1,95 @@
+// Router-side NetFlow flow cache.
+//
+// Models the accounting a NetFlow-enabled border router performs
+// (Section 5.1.1): packets are aggregated into flow entries keyed by the
+// seven fields of Figure 10, and an entry expires into an export record
+// when any of the paper's four conditions holds:
+//
+//   1. the flow has been idle longer than the idle timeout,
+//   2. the flow has been active longer than the active timeout,
+//   3. the cache is close to full (oldest entries are evicted), or
+//   4. a TCP connection terminates (FIN or RST observed).
+//
+// Only ingress traffic is accounted -- callers feed the cache packets seen
+// on the interfaces facing peer ASs, matching the paper's deployment.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "netflow/v5.h"
+#include "util/time.h"
+
+namespace infilter::netflow {
+
+/// One packet as seen by the metering process.
+struct PacketObservation {
+  FlowKey key;
+  std::uint32_t bytes = 0;      ///< IP length of this packet
+  std::uint8_t tcp_flags = 0;   ///< flags if TCP, else 0
+  util::TimeMs time = 0;
+  /// Attribution carried into the export record.
+  std::uint16_t src_as = 0;
+  std::uint16_t dst_as = 0;
+  net::IPv4Address next_hop;
+};
+
+struct FlowCacheConfig {
+  util::DurationMs idle_timeout = 15 * util::kSecond;
+  util::DurationMs active_timeout = 30 * util::kMinute;
+  /// Hard capacity of the cache.
+  std::size_t max_entries = 65536;
+  /// "Close to full": evict least-recently-active entries once occupancy
+  /// reaches this fraction of max_entries.
+  double full_watermark = 0.9;
+};
+
+/// The metering cache. Single-threaded by design: each simulated router
+/// owns one cache and the simulation drives it from one thread.
+class FlowCache {
+ public:
+  explicit FlowCache(FlowCacheConfig config);
+
+  /// Accounts one packet. May expire entries (FIN/RST, active timeout,
+  /// cache-full) into the pending-export queue.
+  void observe(const PacketObservation& packet);
+
+  /// Advances the cache clock, expiring idle and over-age entries.
+  /// Routers run this as a periodic sweep; the simulation calls it between
+  /// traffic batches.
+  void advance(util::TimeMs now);
+
+  /// Removes and returns all records waiting to be exported, in expiry
+  /// order.
+  [[nodiscard]] std::vector<V5Record> drain_expired();
+
+  /// Expires every active entry (router shutdown / end of run) and returns
+  /// all pending records.
+  [[nodiscard]] std::vector<V5Record> flush(util::TimeMs now);
+
+  [[nodiscard]] std::size_t active_flows() const { return entries_.size(); }
+  [[nodiscard]] std::size_t pending_exports() const { return expired_.size(); }
+
+ private:
+  struct Entry {
+    V5Record record;
+    util::TimeMs first_seen = 0;
+    util::TimeMs last_seen = 0;
+    std::list<FlowKey>::iterator lru_position;
+  };
+
+  void expire(std::unordered_map<FlowKey, Entry>::iterator it);
+  void evict_if_full();
+
+  FlowCacheConfig config_;
+  std::unordered_map<FlowKey, Entry> entries_;
+  /// Least-recently-active order; front = oldest. Drives cache-full
+  /// eviction and the idle sweep.
+  std::list<FlowKey> lru_;
+  std::vector<V5Record> expired_;
+};
+
+}  // namespace infilter::netflow

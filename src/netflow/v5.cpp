@@ -1,0 +1,150 @@
+#include "netflow/v5.h"
+
+#include <cassert>
+
+namespace infilter::netflow {
+namespace {
+
+// Big-endian primitive writers/readers. NetFlow is network byte order.
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t at) {
+  return (std::uint32_t{in[at]} << 24) | (std::uint32_t{in[at + 1]} << 16) |
+         (std::uint32_t{in[at + 2]} << 8) | std::uint32_t{in[at + 3]};
+}
+
+void encode_record(std::vector<std::uint8_t>& out, const V5Record& r) {
+  put32(out, r.src_ip.value());
+  put32(out, r.dst_ip.value());
+  put32(out, r.next_hop.value());
+  put16(out, r.input_if);
+  put16(out, r.output_if);
+  put32(out, r.packets);
+  put32(out, r.bytes);
+  put32(out, r.first);
+  put32(out, r.last);
+  put16(out, r.src_port);
+  put16(out, r.dst_port);
+  out.push_back(0);  // pad1
+  out.push_back(r.tcp_flags);
+  out.push_back(r.proto);
+  out.push_back(r.tos);
+  put16(out, r.src_as);
+  put16(out, r.dst_as);
+  out.push_back(r.src_mask);
+  out.push_back(r.dst_mask);
+  put16(out, 0);  // pad2
+}
+
+V5Record decode_record(std::span<const std::uint8_t> in) {
+  V5Record r;
+  r.src_ip = net::IPv4Address{get32(in, 0)};
+  r.dst_ip = net::IPv4Address{get32(in, 4)};
+  r.next_hop = net::IPv4Address{get32(in, 8)};
+  r.input_if = get16(in, 12);
+  r.output_if = get16(in, 14);
+  r.packets = get32(in, 16);
+  r.bytes = get32(in, 20);
+  r.first = get32(in, 24);
+  r.last = get32(in, 28);
+  r.src_port = get16(in, 32);
+  r.dst_port = get16(in, 34);
+  r.tcp_flags = in[37];
+  r.proto = in[38];
+  r.tos = in[39];
+  r.src_as = get16(in, 40);
+  r.dst_as = get16(in, 42);
+  r.src_mask = in[44];
+  r.dst_mask = in[45];
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const V5Header& header,
+                                 std::span<const V5Record> records) {
+  assert(records.size() <= kV5MaxRecords);
+  std::vector<std::uint8_t> out;
+  out.reserve(kV5HeaderBytes + records.size() * kV5RecordBytes);
+  put16(out, kV5Version);
+  put16(out, static_cast<std::uint16_t>(records.size()));
+  put32(out, header.sys_uptime_ms);
+  put32(out, header.unix_secs);
+  put32(out, header.unix_nsecs);
+  put32(out, header.flow_sequence);
+  out.push_back(header.engine_type);
+  out.push_back(header.engine_id);
+  put16(out, header.sampling_interval);
+  for (const auto& record : records) encode_record(out, record);
+  return out;
+}
+
+util::Result<V5Datagram> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kV5HeaderBytes) {
+    return util::Error{"datagram shorter than v5 header"};
+  }
+  if (get16(bytes, 0) != kV5Version) {
+    return util::Error{"unsupported NetFlow version " + std::to_string(get16(bytes, 0))};
+  }
+  V5Datagram dgram;
+  dgram.header.count = get16(bytes, 2);
+  dgram.header.sys_uptime_ms = get32(bytes, 4);
+  dgram.header.unix_secs = get32(bytes, 8);
+  dgram.header.unix_nsecs = get32(bytes, 12);
+  dgram.header.flow_sequence = get32(bytes, 16);
+  dgram.header.engine_type = bytes[20];
+  dgram.header.engine_id = bytes[21];
+  dgram.header.sampling_interval = get16(bytes, 22);
+
+  if (dgram.header.count == 0 || dgram.header.count > kV5MaxRecords) {
+    return util::Error{"record count " + std::to_string(dgram.header.count) +
+                       " outside [1, 30]"};
+  }
+  const std::size_t expected = kV5HeaderBytes + dgram.header.count * kV5RecordBytes;
+  if (bytes.size() != expected) {
+    return util::Error{"datagram length " + std::to_string(bytes.size()) +
+                       " does not match record count (expected " +
+                       std::to_string(expected) + ")"};
+  }
+  dgram.records.reserve(dgram.header.count);
+  for (std::size_t i = 0; i < dgram.header.count; ++i) {
+    dgram.records.push_back(
+        decode_record(bytes.subspan(kV5HeaderBytes + i * kV5RecordBytes, kV5RecordBytes)));
+  }
+  return dgram;
+}
+
+std::vector<std::vector<std::uint8_t>> encode_all(std::span<const V5Record> records,
+                                                  util::TimeMs export_time,
+                                                  std::uint32_t& sequence,
+                                                  std::uint8_t engine_id) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t at = 0; at < records.size(); at += kV5MaxRecords) {
+    const auto n = std::min(kV5MaxRecords, records.size() - at);
+    V5Header header;
+    header.sys_uptime_ms = static_cast<std::uint32_t>(export_time);
+    header.unix_secs = static_cast<std::uint32_t>(export_time / util::kSecond);
+    header.unix_nsecs = static_cast<std::uint32_t>((export_time % util::kSecond) * 1000000);
+    header.flow_sequence = sequence;
+    header.engine_id = engine_id;
+    out.push_back(encode(header, records.subspan(at, n)));
+    sequence += static_cast<std::uint32_t>(n);
+  }
+  return out;
+}
+
+}  // namespace infilter::netflow

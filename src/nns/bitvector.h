@@ -1,0 +1,90 @@
+// Dense bit vectors for the unary flow encoding of Section 4.2.
+//
+// Flows are represented as points in {0,1}^d (d = 720 in the paper's
+// experiments). The NNS algorithms need exactly three primitives on these
+// vectors: Hamming distance, GF(2) inner product (the "Test" procedure of
+// Figure 7), and random generation with per-bit bias (the "CreateTestVector"
+// procedure). All three reduce to word-parallel popcounts.
+
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace infilter::nns {
+
+/// A fixed-size vector in {0,1}^d backed by 64-bit words.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(int bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] int size() const { return bits_; }
+
+  [[nodiscard]] bool get(int i) const {
+    assert(i >= 0 && i < bits_);
+    return (words_[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1;
+  }
+
+  void set(int i, bool value = true) {
+    assert(i >= 0 && i < bits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (value) {
+      words_[static_cast<std::size_t>(i) / 64] |= mask;
+    } else {
+      words_[static_cast<std::size_t>(i) / 64] &= ~mask;
+    }
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] int popcount() const {
+    int total = 0;
+    for (auto word : words_) total += std::popcount(word);
+    return total;
+  }
+
+  /// Hamming distance (the HD procedure of Figure 7).
+  /// Precondition: same size.
+  [[nodiscard]] int hamming_distance(const BitVector& other) const {
+    assert(bits_ == other.bits_);
+    int total = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      total += std::popcount(words_[w] ^ other.words_[w]);
+    }
+    return total;
+  }
+
+  /// GF(2) inner product (the Test procedure of Figure 7): the parity of
+  /// the AND of the two vectors. Precondition: same size.
+  [[nodiscard]] bool inner_product(const BitVector& other) const {
+    assert(bits_ == other.bits_);
+    std::uint64_t parity = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      parity ^= words_[w] & other.words_[w];
+    }
+    return std::popcount(parity) & 1;
+  }
+
+  /// CreateTestVector (Figure 7): each bit independently 1 with
+  /// probability b/2.
+  static BitVector random_biased(int bits, double b, util::Rng& rng) {
+    BitVector v(bits);
+    const double p = b / 2.0;
+    for (int i = 0; i < bits; ++i) {
+      if (rng.chance(p)) v.set(i);
+    }
+    return v;
+  }
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  int bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace infilter::nns

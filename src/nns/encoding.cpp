@@ -1,0 +1,50 @@
+#include "nns/encoding.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace infilter::nns {
+
+UnaryEncoder::UnaryEncoder(std::vector<FeatureRange> ranges, int bits_per_feature)
+    : ranges_(std::move(ranges)), bits_per_feature_(bits_per_feature) {
+  assert(!ranges_.empty());
+  assert(bits_per_feature_ > 0);
+  for (const auto& range : ranges_) {
+    assert(range.hi > range.lo);
+    (void)range;
+  }
+}
+
+UnaryEncoder UnaryEncoder::log_scale(std::vector<FeatureRange> ranges,
+                                     int bits_per_feature) {
+  for (auto& range : ranges) {
+    assert(range.lo > 0);
+    range.lo = std::log10(range.lo);
+    range.hi = std::log10(range.hi);
+  }
+  UnaryEncoder encoder(std::move(ranges), bits_per_feature);
+  encoder.log_scale_ = true;
+  return encoder;
+}
+
+int UnaryEncoder::quantize(double value, std::size_t feature) const {
+  assert(feature < ranges_.size());
+  if (log_scale_) value = std::log10(std::max(value, 1e-12));
+  const auto& range = ranges_[feature];
+  const double fraction = (value - range.lo) / (range.hi - range.lo);
+  const int interval = static_cast<int>(std::floor(fraction * bits_per_feature_));
+  return std::clamp(interval, 0, bits_per_feature_);
+}
+
+BitVector UnaryEncoder::encode(std::span<const double> values) const {
+  assert(values.size() == ranges_.size());
+  BitVector out(dimension());
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    const int ones = quantize(values[c], c);
+    const int base = static_cast<int>(c) * bits_per_feature_;
+    for (int i = 0; i < ones; ++i) out.set(base + i);
+  }
+  return out;
+}
+
+}  // namespace infilter::nns

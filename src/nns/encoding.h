@@ -1,0 +1,60 @@
+// Unary encoding of flow characteristics (Section 4.2).
+//
+// Each flow characteristic X_c taking values in [a, b] is allocated d_c
+// bits: [a, b] is divided into d_c equal intervals and a value falling in
+// the I-th interval is encoded as I ones followed by (d_c - I) zeros.
+// Concatenating the N characteristics yields the d = N * d_c bit point the
+// NNS algorithms operate on. The key property: the Hamming distance between
+// two encoded flows is the sum of per-characteristic interval differences,
+// i.e. an L1 distance on quantized features.
+
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "nns/bitvector.h"
+
+namespace infilter::nns {
+
+/// Value range of one flow characteristic. Values outside [lo, hi] clamp:
+/// the detector must score wildly out-of-range flows as maximally distant,
+/// not reject them.
+struct FeatureRange {
+  double lo = 0;
+  double hi = 1;
+};
+
+/// Encodes N-characteristic flows into {0,1}^d with d = N * bits_per_feature.
+class UnaryEncoder {
+ public:
+  /// Precondition: !ranges.empty(), bits_per_feature > 0, and each range
+  /// has hi > lo.
+  UnaryEncoder(std::vector<FeatureRange> ranges, int bits_per_feature);
+
+  [[nodiscard]] int dimension() const {
+    return static_cast<int>(ranges_.size()) * bits_per_feature_;
+  }
+  [[nodiscard]] int bits_per_feature() const { return bits_per_feature_; }
+  [[nodiscard]] std::size_t feature_count() const { return ranges_.size(); }
+
+  /// The interval index in [0, bits_per_feature] a value maps to.
+  [[nodiscard]] int quantize(double value, std::size_t feature) const;
+
+  /// Encodes one flow. Precondition: values.size() == feature_count().
+  [[nodiscard]] BitVector encode(std::span<const double> values) const;
+
+  /// Log-scale encoder: features spanning orders of magnitude (byte counts,
+  /// bit rates) are quantized on log10 so that the unary distance reflects
+  /// relative rather than absolute differences. `ranges` are given in
+  /// linear units and must be strictly positive.
+  static UnaryEncoder log_scale(std::vector<FeatureRange> ranges, int bits_per_feature);
+
+ private:
+  std::vector<FeatureRange> ranges_;
+  int bits_per_feature_;
+  bool log_scale_ = false;
+};
+
+}  // namespace infilter::nns

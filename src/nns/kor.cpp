@@ -1,0 +1,169 @@
+#include "nns/kor.h"
+
+#include <cassert>
+
+namespace infilter::nns {
+
+std::vector<std::uint32_t> hamming_ball(std::uint32_t center, int m2, int radius) {
+  assert(m2 > 0 && m2 <= 24);
+  assert(radius >= 1 && radius <= 4);
+  std::vector<std::uint32_t> out;
+  out.push_back(center);
+  if (radius >= 2) {
+    for (int i = 0; i < m2; ++i) out.push_back(center ^ (1u << i));
+  }
+  if (radius >= 3) {
+    for (int i = 0; i < m2; ++i) {
+      for (int j = i + 1; j < m2; ++j) {
+        out.push_back(center ^ (1u << i) ^ (1u << j));
+      }
+    }
+  }
+  if (radius >= 4) {
+    for (int i = 0; i < m2; ++i) {
+      for (int j = i + 1; j < m2; ++j) {
+        for (int k = j + 1; k < m2; ++k) {
+          out.push_back(center ^ (1u << i) ^ (1u << j) ^ (1u << k));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+KorNns::KorNns(std::span<const BitVector> training, const KorParams& params)
+    : params_(params), training_(training.begin(), training.end()) {
+  assert(params_.m1 >= 1);
+  assert(params_.m2 >= 1 && params_.m2 <= 24);
+  assert(params_.m3 >= 1 && params_.m3 <= 4);
+  if (training_.empty()) return;
+  dimension_ = training_.front().size();
+  for (const auto& flow : training_) {
+    assert(flow.size() == dimension_);
+    (void)flow;
+  }
+
+  assert(params_.bucket_capacity >= 1);
+  assert(params_.scale_factor >= 1.0);
+
+  // Geometric scale ladder 1 = t_0 < t_1 < ... <= d.
+  for (int t = 1; t <= dimension_;) {
+    scales_.push_back(t);
+    const int next = static_cast<int>(
+        std::ceil(static_cast<double>(t) * params_.scale_factor));
+    t = std::max(t + 1, next);
+  }
+
+  util::Rng rng{params_.seed};
+  substructures_.resize(scales_.size());
+  const std::size_t table_size = std::size_t{1} << params_.m2;
+  const auto capacity = static_cast<std::size_t>(params_.bucket_capacity);
+
+  for (std::size_t s = 0; s < scales_.size(); ++s) {
+    const int i = scales_[s];
+    auto& sub = substructures_[s];
+    sub.tables.resize(static_cast<std::size_t>(params_.m1));
+    // Figure 6: test vectors for scale i are biased with b = 1/(2i).
+    const double b = 1.0 / (2.0 * i);
+    for (auto& table : sub.tables) {
+      table.test_vectors.reserve(static_cast<std::size_t>(params_.m2));
+      for (int k = 0; k < params_.m2; ++k) {
+        table.test_vectors.push_back(BitVector::random_biased(dimension_, b, rng));
+      }
+      table.cells.assign(table_size * capacity, -1);
+      for (std::size_t f = 0; f < training_.size(); ++f) {
+        const std::uint32_t trace = trace_of(table, training_[f]);
+        for (std::uint32_t z : hamming_ball(trace, params_.m2, params_.m3)) {
+          // First bucket_capacity registrants win.
+          auto* bucket = &table.cells[z * capacity];
+          for (std::size_t slot = 0; slot < capacity; ++slot) {
+            if (bucket[slot] < 0) {
+              bucket[slot] = static_cast<std::int32_t>(f);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t KorNns::trace_of(const Table& table, const BitVector& v) const {
+  std::uint32_t trace = 0;
+  for (int k = 0; k < params_.m2; ++k) {
+    if (v.inner_product(table.test_vectors[static_cast<std::size_t>(k)])) {
+      trace |= 1u << k;
+    }
+  }
+  return trace;
+}
+
+std::optional<NnsMatch> KorNns::search(const BitVector& query, util::Rng& rng) const {
+  if (training_.empty()) return std::nullopt;
+  assert(query.size() == dimension_);
+  const auto capacity = static_cast<std::size_t>(params_.bucket_capacity);
+
+  // Figure 8: binary search for the smallest scale at which the query's
+  // trace lands in a populated cell -- here, a cell whose bucket holds a
+  // candidate passing the verification check for that scale. The search
+  // runs over the geometric scale ladder.
+  int lo = 0;
+  int hi = static_cast<int>(scales_.size()) - 1;
+  std::optional<NnsMatch> best;
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const int t = scales_[static_cast<std::size_t>(mid)];
+    const auto& sub = substructures_[static_cast<std::size_t>(mid)];
+    const auto& table =
+        sub.tables[static_cast<std::size_t>(rng.below(sub.tables.size()))];
+    const std::uint32_t trace = trace_of(table, query);
+    const auto* bucket = &table.cells[trace * capacity];
+
+    std::optional<NnsMatch> cell_best;
+    for (std::size_t slot = 0; slot < capacity && bucket[slot] >= 0; ++slot) {
+      const int distance = query.hamming_distance(
+          training_[static_cast<std::size_t>(bucket[slot])]);
+      if (!cell_best.has_value() || distance < cell_best->distance) {
+        cell_best = NnsMatch{bucket[slot], distance};
+      }
+    }
+    const bool hit =
+        cell_best.has_value() &&
+        (params_.verification_factor <= 0 ||
+         cell_best->distance <= params_.verification_factor * t);
+    if (hit) {
+      if (!best.has_value() || cell_best->distance < best->distance) best = cell_best;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+std::size_t KorNns::table_bytes() const {
+  std::size_t total = 0;
+  for (const auto& sub : substructures_) {
+    for (const auto& table : sub.tables) {
+      total += table.cells.size() * sizeof(std::int32_t);
+      total += table.test_vectors.size() *
+               (static_cast<std::size_t>(dimension_) + 7) / 8;
+    }
+  }
+  return total;
+}
+
+ExactNns::ExactNns(std::span<const BitVector> training)
+    : training_(training.begin(), training.end()) {}
+
+std::optional<NnsMatch> ExactNns::search(const BitVector& query, util::Rng&) const {
+  if (training_.empty()) return std::nullopt;
+  NnsMatch best{0, query.hamming_distance(training_.front())};
+  for (std::size_t i = 1; i < training_.size(); ++i) {
+    const int d = query.hamming_distance(training_[i]);
+    if (d < best.distance) best = NnsMatch{static_cast<int>(i), d};
+  }
+  return best;
+}
+
+}  // namespace infilter::nns

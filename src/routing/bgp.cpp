@@ -1,0 +1,158 @@
+#include "routing/bgp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <tuple>
+
+namespace infilter::routing {
+namespace {
+
+struct Candidate {
+  int length;
+  int next_hop_asn;  // tie-break key: lowest advertised AS number
+  AsId to;
+  AsId via;
+  int link_id;
+
+  bool operator>(const Candidate& other) const {
+    return std::tie(length, next_hop_asn) > std::tie(other.length, other.next_hop_asn);
+  }
+};
+
+using CandidateQueue =
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>;
+
+}  // namespace
+
+RouteComputation::RouteComputation(const AsTopology& topology, AsId target,
+                                   const std::vector<bool>& down_links)
+    : topology_(topology), target_(target) {
+  const auto n = static_cast<std::size_t>(topology.as_count());
+  routes_.assign(n, RouteEntry{});
+  routes_[static_cast<std::size_t>(target)] = RouteEntry{RouteType::kSelf, 0, -1, -1};
+
+  auto link_up = [&down_links](int link_id) {
+    return down_links.empty() || !down_links[static_cast<std::size_t>(link_id)];
+  };
+
+  // Phase 1 -- customer routes: the target's direct and transitive
+  // providers learn the route "uphill". Dijkstra with unit weights; the
+  // tie-break (lowest next-hop AS number) rides in the queue ordering.
+  {
+    CandidateQueue queue;
+    auto push_to_providers = [&](AsId from, int length) {
+      for (const auto& nb : topology.neighbors(from)) {
+        // `from` advertises to its providers: neighbors it sees as provider.
+        if (nb.relationship == Relationship::kProvider && link_up(nb.link_id)) {
+          queue.push(Candidate{length + 1, topology.as_number(from), nb.as, from,
+                               nb.link_id});
+        }
+      }
+    };
+    push_to_providers(target, 0);
+    while (!queue.empty()) {
+      const Candidate c = queue.top();
+      queue.pop();
+      auto& entry = routes_[static_cast<std::size_t>(c.to)];
+      if (entry.type != RouteType::kNone) continue;  // already settled
+      entry = RouteEntry{RouteType::kCustomer, c.length, c.via, c.link_id};
+      push_to_providers(c.to, c.length);
+    }
+  }
+
+  // Phase 2 -- peer routes: an AS whose peer has a customer route (or is
+  // the target) learns a one-hop-longer peer route. Peer routes are never
+  // re-advertised to peers, so no propagation: a single relaxation pass.
+  for (AsId as = 0; as < topology.as_count(); ++as) {
+    auto& entry = routes_[static_cast<std::size_t>(as)];
+    if (entry.type != RouteType::kNone) continue;  // customer route wins
+    RouteEntry best{};
+    int best_asn = 0;
+    for (const auto& nb : topology.neighbors(as)) {
+      if (nb.relationship != Relationship::kPeer || !link_up(nb.link_id)) continue;
+      const auto& peer_route = routes_[static_cast<std::size_t>(nb.as)];
+      const bool usable =
+          peer_route.type == RouteType::kSelf || peer_route.type == RouteType::kCustomer;
+      if (!usable) continue;
+      const int length = peer_route.length + 1;
+      const int asn = topology.as_number(nb.as);
+      if (best.type == RouteType::kNone || length < best.length ||
+          (length == best.length && asn < best_asn)) {
+        best = RouteEntry{RouteType::kPeer, length, nb.as, nb.link_id};
+        best_asn = asn;
+      }
+    }
+    if (best.type != RouteType::kNone) entry = best;
+  }
+
+  // Phase 3 -- provider routes: every routed AS advertises its selected
+  // route to its customers; provider routes chain downhill.
+  {
+    CandidateQueue queue;
+    auto push_to_customers = [&](AsId from) {
+      const auto& route = routes_[static_cast<std::size_t>(from)];
+      for (const auto& nb : topology.neighbors(from)) {
+        if (nb.relationship == Relationship::kCustomer && link_up(nb.link_id)) {
+          queue.push(Candidate{route.length + 1, topology.as_number(from), nb.as,
+                               from, nb.link_id});
+        }
+      }
+    };
+    for (AsId as = 0; as < topology.as_count(); ++as) {
+      if (routes_[static_cast<std::size_t>(as)].type != RouteType::kNone) {
+        push_to_customers(as);
+      }
+    }
+    while (!queue.empty()) {
+      const Candidate c = queue.top();
+      queue.pop();
+      auto& entry = routes_[static_cast<std::size_t>(c.to)];
+      if (entry.type != RouteType::kNone) continue;
+      entry = RouteEntry{RouteType::kProvider, c.length, c.via, c.link_id};
+      push_to_customers(c.to);
+    }
+  }
+}
+
+std::vector<AsId> RouteComputation::path(AsId from) const {
+  std::vector<AsId> out;
+  AsId at = from;
+  while (true) {
+    const auto& entry = routes_[static_cast<std::size_t>(at)];
+    if (entry.type == RouteType::kNone) return {};
+    out.push_back(at);
+    if (entry.type == RouteType::kSelf) return out;
+    // Path lengths strictly decrease along next hops, so this terminates.
+    at = entry.next_hop;
+  }
+}
+
+AsId RouteComputation::ingress_peer(AsId from) const {
+  const auto p = path(from);
+  if (p.size() < 2) return -1;
+  return p[p.size() - 2];
+}
+
+int RouteComputation::ingress_link(AsId from) const {
+  const auto p = path(from);
+  if (p.size() < 2) return -1;
+  return routes_[static_cast<std::size_t>(p[p.size() - 2])].link_id;
+}
+
+LinkFailureProcess::LinkFailureProcess(std::size_t link_count, double p_fail,
+                                       double p_repair, std::uint64_t seed)
+    : p_fail_(p_fail), p_repair_(p_repair), rng_(seed), down_(link_count, false) {}
+
+const std::vector<bool>& LinkFailureProcess::step() {
+  for (std::size_t i = 0; i < down_.size(); ++i) {
+    if (down_[i]) {
+      if (rng_.chance(p_repair_)) down_[i] = false;
+    } else if (rng_.chance(p_fail_)) {
+      down_[i] = true;
+    }
+  }
+  return down_;
+}
+
+}  // namespace infilter::routing

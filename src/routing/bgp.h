@@ -1,0 +1,88 @@
+// Policy routing (BGP) over the AS topology.
+//
+// Computes the stable Gao-Rexford route solution toward one target AS:
+// every AS prefers customer-learned routes over peer-learned over
+// provider-learned, then shorter AS paths, then the lowest next-hop AS
+// number; export follows the valley-free rules (routes learned from peers
+// or providers are re-advertised only to customers). This is the process
+// the paper's Routeviews analysis observes: "the best AS-level path that
+// traffic from each of the source ASs on the path would take" and hence
+// the mapping from source AS to the peer AS used to enter the target
+// (Section 3.2).
+//
+// Link failures (the `down_links` mask) model the churn that makes the
+// mapping drift between Routeviews snapshots.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/topology.h"
+
+namespace infilter::routing {
+
+/// How an AS learned its selected route, in decreasing preference.
+enum class RouteType : std::uint8_t { kNone, kSelf, kCustomer, kPeer, kProvider };
+
+struct RouteEntry {
+  RouteType type = RouteType::kNone;
+  /// AS-path length in hops (target itself = 0).
+  int length = 0;
+  AsId next_hop = -1;
+  /// Inter-AS link carrying the first hop.
+  int link_id = -1;
+};
+
+/// The converged routing solution toward a single target AS.
+class RouteComputation {
+ public:
+  /// `down_links[link_id]` removes that link. An empty vector means all
+  /// links are up.
+  RouteComputation(const AsTopology& topology, AsId target,
+                   const std::vector<bool>& down_links = {});
+
+  [[nodiscard]] AsId target() const { return target_; }
+  [[nodiscard]] const RouteEntry& route(AsId from) const {
+    return routes_[static_cast<std::size_t>(from)];
+  }
+
+  /// Full AS path from `from` to the target, both endpoints included.
+  /// Empty when the target is unreachable from `from`.
+  [[nodiscard]] std::vector<AsId> path(AsId from) const;
+
+  /// The peer AS whose link traffic from `from` uses to enter the target
+  /// network (the last AS before the target on the path), or -1 when
+  /// unreachable or from == target. This is the quantity whose stability
+  /// the InFilter hypothesis asserts.
+  [[nodiscard]] AsId ingress_peer(AsId from) const;
+
+  /// The inter-AS link over which traffic from `from` enters the target,
+  /// or -1 when unreachable.
+  [[nodiscard]] int ingress_link(AsId from) const;
+
+ private:
+  const AsTopology& topology_;
+  AsId target_;
+  std::vector<RouteEntry> routes_;
+};
+
+/// Markov link-failure process: each step, up links fail with p_fail and
+/// down links recover with p_repair. Drives both validation studies.
+class LinkFailureProcess {
+ public:
+  LinkFailureProcess(std::size_t link_count, double p_fail, double p_repair,
+                     std::uint64_t seed);
+
+  /// Advances one step and returns the current down-mask.
+  const std::vector<bool>& step();
+  [[nodiscard]] const std::vector<bool>& down() const { return down_; }
+
+ private:
+  double p_fail_;
+  double p_repair_;
+  util::Rng rng_;
+  std::vector<bool> down_;
+};
+
+}  // namespace infilter::routing

@@ -1,0 +1,88 @@
+#include "routing/igp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace infilter::routing {
+
+IgpNetwork::IgpNetwork(int router_count, std::uint64_t seed) {
+  assert(router_count >= 1);
+  adjacency_.resize(static_cast<std::size_t>(router_count));
+  util::Rng rng{seed};
+
+  auto add_edge = [this, &rng](RouterId a, RouterId b) {
+    if (a == b) return;
+    for (const auto& e : adjacency_[static_cast<std::size_t>(a)]) {
+      if (e.to == b) return;
+    }
+    const int weight = static_cast<int>(rng.range(1, 10));
+    adjacency_[static_cast<std::size_t>(a)].push_back(Edge{b, weight, edge_count_});
+    adjacency_[static_cast<std::size_t>(b)].push_back(Edge{a, weight, edge_count_});
+    ++edge_count_;
+  };
+
+  // Ring guarantees connectivity; chords create alternative shortest paths
+  // for churn to flip between.
+  for (RouterId r = 0; r + 1 < router_count; ++r) add_edge(r, r + 1);
+  if (router_count > 2) add_edge(router_count - 1, 0);
+  const int chords = std::max(0, router_count - 2);
+  for (int c = 0; c < chords; ++c) {
+    add_edge(static_cast<RouterId>(rng.below(static_cast<std::uint64_t>(router_count))),
+             static_cast<RouterId>(rng.below(static_cast<std::uint64_t>(router_count))));
+  }
+}
+
+std::vector<RouterId> IgpNetwork::shortest_path(RouterId from, RouterId to) const {
+  assert(from >= 0 && from < router_count());
+  assert(to >= 0 && to < router_count());
+  if (from == to) return {from};
+
+  constexpr int kInf = std::numeric_limits<int>::max();
+  std::vector<int> dist(adjacency_.size(), kInf);
+  std::vector<RouterId> prev(adjacency_.size(), -1);
+  // (distance, router); lower router id pops first among equal distances,
+  // giving deterministic tie-breaks.
+  using Item = std::pair<int, RouterId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[static_cast<std::size_t>(from)] = 0;
+  queue.emplace(0, from);
+  while (!queue.empty()) {
+    const auto [d, at] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<std::size_t>(at)]) continue;
+    if (at == to) break;
+    for (const auto& edge : adjacency_[static_cast<std::size_t>(at)]) {
+      const int nd = d + edge.weight;
+      auto& slot = dist[static_cast<std::size_t>(edge.to)];
+      if (nd < slot || (nd == slot && at < prev[static_cast<std::size_t>(edge.to)])) {
+        slot = nd;
+        prev[static_cast<std::size_t>(edge.to)] = at;
+        queue.emplace(nd, edge.to);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(to)] == kInf) return {};
+
+  std::vector<RouterId> path;
+  for (RouterId at = to; at != -1; at = prev[static_cast<std::size_t>(at)]) {
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void IgpNetwork::churn(util::Rng& rng) {
+  if (edge_count_ == 0) return;
+  const int victim = static_cast<int>(rng.below(static_cast<std::uint64_t>(edge_count_)));
+  const int new_weight = static_cast<int>(rng.range(1, 10));
+  for (auto& edges : adjacency_) {
+    for (auto& edge : edges) {
+      if (edge.edge_id == victim) edge.weight = new_weight;
+    }
+  }
+  ++version_;
+}
+
+}  // namespace infilter::routing

@@ -1,0 +1,57 @@
+// Intra-AS routing: a small OSPF-like IGP per AS.
+//
+// The paper conjectures that the interior of an AS path is volatile because
+// it follows "the instantaneous shortest-path established by the local
+// interior routing protocol", while the last AS-level hop is pinned by slow
+// BGP policy (Section 3 conclusion). To reproduce the traceroute study's
+// raw-vs-aggregated statistics we therefore need real interior paths that
+// actually change: each AS owns a small weighted router graph, interior
+// paths are Dijkstra shortest paths, and a churn process perturbs link
+// weights far more often than inter-AS links fail.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace infilter::routing {
+
+/// Router index local to one AS.
+using RouterId = int;
+
+/// One AS's interior network: routers, weighted links, Dijkstra paths.
+class IgpNetwork {
+ public:
+  /// Builds a connected random graph of `router_count` >= 1 routers
+  /// (a ring plus random chords) with weights in [1, 10].
+  IgpNetwork(int router_count, std::uint64_t seed);
+
+  [[nodiscard]] int router_count() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Interior shortest path from `from` to `to`, inclusive of both ends.
+  /// Ties broken toward lower router ids, so paths are deterministic for a
+  /// fixed weight state.
+  [[nodiscard]] std::vector<RouterId> shortest_path(RouterId from, RouterId to) const;
+
+  /// Perturbs one random link weight (the OSPF reweighting/flap event).
+  void churn(util::Rng& rng);
+
+  /// Monotone counter of churn events; callers can cheaply detect that
+  /// cached paths may have changed.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+ private:
+  struct Edge {
+    RouterId to;
+    int weight;
+    int edge_id;
+  };
+
+  std::vector<std::vector<Edge>> adjacency_;
+  int edge_count_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace infilter::routing

@@ -1,0 +1,213 @@
+#include "routing/internet.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace infilter::routing {
+namespace {
+
+// Router counts by tier: tier-1 backbones are larger than stub networks.
+int routers_for_tier(Tier tier) {
+  switch (tier) {
+    case Tier::kTier1: return 8;
+    case Tier::kTier2: return 5;
+    case Tier::kStub: return 3;
+  }
+  return 3;
+}
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  util::SplitMix64 m{a * 0x9e3779b97f4a7c15ULL + b};
+  return m.next();
+}
+
+}  // namespace
+
+const Hop* TracerouteResult::peer_hop() const {
+  if (!complete || as_path.size() < 2) return nullptr;
+  const AsId peer = as_path[as_path.size() - 2];
+  const Hop* found = nullptr;
+  for (const auto& hop : hops) {
+    if (hop.as == peer) found = &hop;
+  }
+  return found;
+}
+
+const Hop* TracerouteResult::br_hop() const {
+  if (!complete || as_path.size() < 2) return nullptr;
+  const AsId target = as_path.back();
+  for (const auto& hop : hops) {
+    if (hop.as == target) return &hop;
+  }
+  return nullptr;
+}
+
+Internet::Internet(const TopologyConfig& topology_config, const ChurnRates& rates,
+                   std::uint64_t seed)
+    : topology_(AsTopology::generate(topology_config, seed)),
+      rates_(rates),
+      down_(topology_.links().size(), false),
+      ecmp_epoch_(topology_.links().size(), 0),
+      rng_(mix(seed, 0x1a7e)) {
+  igps_.reserve(static_cast<std::size_t>(topology_.as_count()));
+  for (AsId as = 0; as < topology_.as_count(); ++as) {
+    igps_.push_back(std::make_unique<IgpNetwork>(routers_for_tier(topology_.tier(as)),
+                                                 mix(seed, 0x16b0 + as)));
+  }
+}
+
+void Internet::advance(util::DurationMs dt) {
+  const double hours = static_cast<double>(dt) / static_cast<double>(util::kHour);
+
+  // Poisson event counts approximated by floor(expectation) plus one
+  // Bernoulli trial on the fraction; adequate for rates << 1 per call and
+  // monotone in dt.
+  auto event_count = [this](double expectation) {
+    int count = static_cast<int>(expectation);
+    if (rng_.chance(expectation - count)) ++count;
+    return count;
+  };
+
+  for (AsId as = 0; as < topology_.as_count(); ++as) {
+    const int events = event_count(rates_.igp_events_per_as_hour * hours);
+    for (int e = 0; e < events; ++e) {
+      igps_[static_cast<std::size_t>(as)]->churn(rng_);
+    }
+  }
+
+  bool links_changed = false;
+  for (std::size_t l = 0; l < down_.size(); ++l) {
+    if (down_[l]) {
+      if (rng_.chance(std::min(1.0, rates_.link_repair_per_hour * hours))) {
+        down_[l] = false;
+        links_changed = true;
+      }
+    } else if (rng_.chance(std::min(1.0, rates_.link_fail_per_hour * hours))) {
+      down_[l] = true;
+      links_changed = true;
+    }
+    const int rehashes = event_count(rates_.ecmp_rehash_per_hour * hours);
+    if (rehashes > 0 && topology_.link(static_cast<int>(l)).parallel_circuits > 1) {
+      ecmp_epoch_[l] += static_cast<std::uint32_t>(rehashes);
+    }
+  }
+  if (links_changed) ++link_state_version_;
+}
+
+const RouteComputation& Internet::routes_to(AsId target_as) {
+  auto& cached = route_cache_[target_as];
+  if (!cached.routes || cached.version != link_state_version_) {
+    cached.routes = std::make_unique<RouteComputation>(topology_, target_as, down_);
+    cached.version = link_state_version_;
+  }
+  return *cached.routes;
+}
+
+RouterId Internet::border_router(AsId as, int link_id) const {
+  const auto count = static_cast<std::uint64_t>(
+      igps_[static_cast<std::size_t>(as)]->router_count());
+  return static_cast<RouterId>(mix(static_cast<std::uint64_t>(as) << 20,
+                                   static_cast<std::uint64_t>(link_id)) %
+                               count);
+}
+
+net::IPv4Address Internet::circuit_ip(int link_id, int circuit, AsId side) const {
+  const Link& link = topology_.link(link_id);
+  assert(side == link.a || side == link.b);
+  assert(circuit >= 0 && circuit < link.parallel_circuits);
+  // Links are numbered from 160.0.0.0 upward, 2048 addresses apart.
+  // Circuits either share the link's /24 (offset 8 apart) or are spread
+  // across /24s (offset 256 apart) when the link spans subnets.
+  const std::uint32_t base =
+      0xA0000000u + static_cast<std::uint32_t>(link_id) * 2048u;
+  const std::uint32_t spread = link.circuits_span_subnets ? 256u : 8u;
+  const std::uint32_t offset = static_cast<std::uint32_t>(circuit) * spread;
+  return net::IPv4Address{base + offset + (side == link.a ? 1u : 2u)};
+}
+
+int Internet::ecmp_circuit(int link_id, AsId from, AsId target) const {
+  const Link& link = topology_.link(link_id);
+  if (link.parallel_circuits <= 1) return 0;
+  // Per-flow hash: stable until the link's epoch bumps (rehash event).
+  const std::uint64_t h =
+      mix((static_cast<std::uint64_t>(from) << 32) ^ static_cast<std::uint64_t>(target),
+          (static_cast<std::uint64_t>(link_id) << 32) ^
+              ecmp_epoch_[static_cast<std::size_t>(link_id)]);
+  return static_cast<int>(h % static_cast<std::uint64_t>(link.parallel_circuits));
+}
+
+std::string Internet::router_fqdn(AsId as, RouterId router) const {
+  return "r" + std::to_string(router) + ".as" + std::to_string(topology_.as_number(as)) +
+         ".net";
+}
+
+net::IPv4Address Internet::interior_if_ip(AsId as, RouterId router, RouterId prev) const {
+  // Arrival-interface address: unique per (AS, router, previous hop), so an
+  // IGP path change flips the observed IP of the same router. Interfaces
+  // of one router stay within one /24 (16 slots, prev in [-1, 14]).
+  const std::uint32_t router_base =
+      0x0A000000u +
+      (static_cast<std::uint32_t>(as) * 16u + static_cast<std::uint32_t>(router)) * 16u;
+  return net::IPv4Address{router_base + static_cast<std::uint32_t>(prev + 1)};
+}
+
+TracerouteResult Internet::traceroute(AsId from_as, AsId target_as) {
+  TracerouteResult result;
+  const RouteComputation& routes = routes_to(target_as);
+  result.as_path = routes.path(from_as);
+  if (result.as_path.empty() || from_as == target_as) return result;
+
+  AsId current_as = from_as;
+  RouterId entry_router = 0;  // the probing host connects to router 0
+  // The first AS reports its gateway (router 0) as the first hop; after a
+  // crossing, the ingress hop was already reported from the link circuit.
+  bool entry_hop_reported = false;
+
+  for (std::size_t i = 0; i < result.as_path.size(); ++i) {
+    current_as = result.as_path[i];
+    const bool is_target = (i + 1 == result.as_path.size());
+
+    RouterId exit_router;
+    int outgoing_link = -1;
+    if (is_target) {
+      // The target site sits on the last router of the target AS.
+      exit_router = igps_[static_cast<std::size_t>(current_as)]->router_count() - 1;
+    } else {
+      outgoing_link = routes.route(current_as).link_id;
+      // A hop on the path to the target always has a usable link.
+      assert(outgoing_link >= 0);
+      exit_router = border_router(current_as, outgoing_link);
+    }
+
+    const auto interior = igps_[static_cast<std::size_t>(current_as)]->shortest_path(
+        entry_router, exit_router);
+    assert(!interior.empty());
+    RouterId prev = -1;
+    for (std::size_t h = 0; h < interior.size(); ++h) {
+      if (h == 0 && entry_hop_reported) {
+        prev = interior[0];
+        continue;
+      }
+      result.hops.push_back(Hop{interior_if_ip(current_as, interior[h], prev),
+                                router_fqdn(current_as, interior[h]), current_as});
+      prev = interior[h];
+    }
+
+    if (is_target) break;
+
+    // Cross the inter-AS link: the next AS's border router reports the
+    // ingress circuit interface.
+    const AsId next_as = result.as_path[i + 1];
+    const int circuit = ecmp_circuit(outgoing_link, from_as, target_as);
+    result.hops.push_back(Hop{circuit_ip(outgoing_link, circuit, next_as),
+                              router_fqdn(next_as, border_router(next_as, outgoing_link)),
+                              next_as});
+    entry_router = border_router(next_as, outgoing_link);
+    entry_hop_reported = true;
+  }
+
+  result.complete = true;
+  return result;
+}
+
+}  // namespace infilter::routing

@@ -1,0 +1,118 @@
+// A traceroute-able internet: AS topology + per-AS IGPs + interface
+// addressing + ECMP + churn processes.
+//
+// This is the measurement substrate for the Section 3.1 validation study.
+// Three churn processes run at very different rates, reproducing the
+// structure of the real measurements:
+//
+//   * per-AS IGP weight churn (frequent)   -> interior hops change often;
+//   * per-link ECMP rehash (frequent)      -> which parallel circuit a
+//     probe takes flips, changing the "raw" observed last-hop IPs while
+//     /24 + FQDN aggregation sees no change (Figure 4);
+//   * inter-AS link failure/repair (rare)  -> the BGP path, and hence the
+//     genuine Peer AS - Border Router pair, changes.
+//
+// Traceroute semantics follow the usual ICMP behaviour: each hop reports
+// the IP of the interface the probe *arrived* on, so border crossings show
+// the ingress circuit interface and interior hops show the arrival
+// interface selected by the current IGP shortest path.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "routing/bgp.h"
+#include "routing/igp.h"
+#include "routing/topology.h"
+#include "util/time.h"
+
+namespace infilter::routing {
+
+/// One line of traceroute output.
+struct Hop {
+  net::IPv4Address ip;
+  std::string fqdn;
+  AsId as = -1;
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+struct TracerouteResult {
+  bool complete = false;
+  std::vector<AsId> as_path;  ///< source AS .. target AS
+  std::vector<Hop> hops;      ///< excludes the probing host itself
+
+  /// The last hop inside the peer AS (the AS adjacent to the target on the
+  /// path) -- the "Peer AS" entity of Section 3.1. Null when incomplete or
+  /// the path has fewer than two ASes.
+  [[nodiscard]] const Hop* peer_hop() const;
+  /// The first hop inside the target AS -- the "BR" entity of Section 3.1.
+  [[nodiscard]] const Hop* br_hop() const;
+};
+
+struct ChurnRates {
+  /// Expected IGP weight-churn events per AS per hour.
+  double igp_events_per_as_hour = 0.28;
+  /// Per-link failure probability per hour (up -> down).
+  double link_fail_per_hour = 0.0022;
+  /// Per-link repair probability per hour (down -> up).
+  double link_repair_per_hour = 0.5;
+  /// Per-link ECMP rehash events per hour (flow->circuit mapping reshuffle).
+  double ecmp_rehash_per_hour = 0.10;
+};
+
+class Internet {
+ public:
+  Internet(const TopologyConfig& topology_config, const ChurnRates& rates,
+           std::uint64_t seed);
+
+  [[nodiscard]] const AsTopology& topology() const { return topology_; }
+  [[nodiscard]] const std::vector<bool>& down_links() const { return down_; }
+
+  /// Advances virtual time, applying all three churn processes.
+  void advance(util::DurationMs dt);
+
+  /// Traceroute from a host in `from_as` to the target site in `target_as`.
+  [[nodiscard]] TracerouteResult traceroute(AsId from_as, AsId target_as);
+
+  /// The converged route computation toward `target_as` under the current
+  /// link state (cached until the next topology-affecting churn).
+  [[nodiscard]] const RouteComputation& routes_to(AsId target_as);
+
+  /// Deterministic border router for an AS's end of a link.
+  [[nodiscard]] RouterId border_router(AsId as, int link_id) const;
+  /// Interface address of circuit `circuit` of `link_id` on `as`'s side.
+  [[nodiscard]] net::IPv4Address circuit_ip(int link_id, int circuit, AsId side) const;
+  /// Which circuit the current ECMP hash maps flow (from, target) to.
+  [[nodiscard]] int ecmp_circuit(int link_id, AsId from, AsId target) const;
+  [[nodiscard]] const IgpNetwork& igp(AsId as) const {
+    return *igps_[static_cast<std::size_t>(as)];
+  }
+
+  [[nodiscard]] std::string router_fqdn(AsId as, RouterId router) const;
+
+ private:
+  [[nodiscard]] net::IPv4Address interior_if_ip(AsId as, RouterId router,
+                                                RouterId prev) const;
+
+  AsTopology topology_;
+  ChurnRates rates_;
+  std::vector<std::unique_ptr<IgpNetwork>> igps_;
+  std::vector<bool> down_;
+  std::vector<std::uint32_t> ecmp_epoch_;
+  util::Rng rng_;
+  /// Bumped whenever down_ changes; invalidates cached route computations.
+  std::uint64_t link_state_version_ = 0;
+  struct CachedRoutes {
+    std::uint64_t version = ~std::uint64_t{0};
+    std::unique_ptr<RouteComputation> routes;
+  };
+  std::unordered_map<AsId, CachedRoutes> route_cache_;
+};
+
+}  // namespace infilter::routing

@@ -1,0 +1,224 @@
+#include "routing/routeviews.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace infilter::routing {
+namespace {
+
+/// Splits on runs of spaces/tabs.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t at = 0;
+  while (at < line.size()) {
+    while (at < line.size() && (line[at] == ' ' || line[at] == '\t')) ++at;
+    std::size_t end = at;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    if (end > at) out.push_back(line.substr(at, end - at));
+    at = end;
+  }
+  return out;
+}
+
+bool parse_as_number(std::string_view token, int& out) {
+  const auto end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, out);
+  return ec == std::errc{} && ptr == end && out >= 0;
+}
+
+}  // namespace
+
+int classful_prefix_length(net::IPv4Address address) {
+  const auto first = address.octet(0);
+  if (first < 128) return 8;
+  if (first < 192) return 16;
+  return 24;
+}
+
+std::string BgpTable::to_text() const {
+  std::ostringstream out;
+  out << "   Network          Next Hop            Path\n";
+  for (const auto& entry : entries_) {
+    out << (entry.best ? "*> " : "*  ");
+    out << entry.prefix.to_string();
+    out << ' ' << entry.next_hop.to_string();
+    for (const int as : entry.as_path) out << ' ' << as;
+    out << ' ' << entry.origin_code << '\n';
+  }
+  return std::move(out).str();
+}
+
+util::Result<BgpTable> BgpTable::parse(std::string_view text) {
+  BgpTable table;
+  std::optional<net::Prefix> last_network;
+  int line_number = 0;
+
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const auto newline = text.find('\n', at);
+    const auto line = text.substr(
+        at, newline == std::string_view::npos ? text.size() - at : newline - at);
+    at = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
+    ++line_number;
+
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    // Status column: '*', '*>', or '>' fused with the first token.
+    bool best = false;
+    {
+      auto& first = tokens.front();
+      std::size_t strip = 0;
+      while (strip < first.size() && (first[strip] == '*' || first[strip] == '>')) {
+        best |= first[strip] == '>';
+        ++strip;
+      }
+      if (strip == 0) continue;  // header or unrelated line
+      first.remove_prefix(strip);
+      if (first.empty()) tokens.erase(tokens.begin());
+    }
+    if (tokens.size() < 2) {
+      return util::Error{"line " + std::to_string(line_number) +
+                         ": too few columns after status"};
+    }
+
+    BgpTableEntry entry;
+    entry.best = best;
+
+    // Is the first token the network column or an omitted-network
+    // continuation (next-hop first)? A token with '/' is a prefix; a bare
+    // address is the network iff the *second* token is also an address
+    // (next hop) -- otherwise the network was omitted.
+    std::size_t token_at = 0;
+    const auto first_prefix = net::Prefix::parse(tokens[0]);
+    const auto first_address = net::IPv4Address::parse(tokens[0]);
+    const bool explicit_mask = tokens[0].find('/') != std::string_view::npos;
+    const bool second_is_address =
+        tokens.size() > 1 && net::IPv4Address::parse(tokens[1]).has_value();
+    if (explicit_mask && first_prefix.has_value()) {
+      entry.prefix = *first_prefix;
+      ++token_at;
+    } else if (first_address.has_value() && second_is_address) {
+      entry.prefix = net::Prefix{*first_address, classful_prefix_length(*first_address)};
+      ++token_at;
+    } else if (last_network.has_value()) {
+      entry.prefix = *last_network;
+    } else {
+      return util::Error{"line " + std::to_string(line_number) +
+                         ": no network column and no previous network"};
+    }
+    last_network = entry.prefix;
+
+    // Next hop.
+    if (token_at >= tokens.size()) {
+      return util::Error{"line " + std::to_string(line_number) + ": missing next hop"};
+    }
+    const auto hop = net::IPv4Address::parse(tokens[token_at]);
+    if (!hop.has_value()) {
+      return util::Error{"line " + std::to_string(line_number) + ": bad next hop '" +
+                         std::string(tokens[token_at]) + "'"};
+    }
+    entry.next_hop = *hop;
+    ++token_at;
+
+    // AS path, then an optional origin code.
+    for (; token_at < tokens.size(); ++token_at) {
+      int as = 0;
+      if (parse_as_number(tokens[token_at], as)) {
+        entry.as_path.push_back(as);
+      } else if (tokens[token_at].size() == 1 &&
+                 (tokens[token_at][0] == 'i' || tokens[token_at][0] == 'e' ||
+                  tokens[token_at][0] == '?' || tokens[token_at][0] == 'I')) {
+        entry.origin_code = tokens[token_at][0] == 'I' ? 'i' : tokens[token_at][0];
+      } else {
+        return util::Error{"line " + std::to_string(line_number) + ": bad path token '" +
+                           std::string(tokens[token_at]) + "'"};
+      }
+    }
+    if (entry.as_path.empty()) {
+      // A route originated by the vantage itself ("*> 4.0.4.90 1 i" has a
+      // path; an entirely empty path only occurs for local routes, which
+      // carry no ingress information). Keep it with an empty path.
+    }
+    table.add(std::move(entry));
+  }
+  return table;
+}
+
+TargetMapping BgpTable::analyze_target(net::IPv4Address target_ip) const {
+  TargetMapping mapping;
+
+  // Covering prefixes and the target AS: the origin of the longest
+  // covering prefix. Ties between different origins for the same address
+  // are resolved in favour of the more specific prefix, as in the paper.
+  int best_length = -1;
+  for (const auto& entry : entries_) {
+    if (entry.as_path.empty() || !entry.prefix.contains(target_ip)) continue;
+    if (entry.prefix.length() > best_length) {
+      best_length = entry.prefix.length();
+      mapping.target_as = entry.as_path.back();
+    }
+  }
+  if (best_length < 0) return mapping;
+
+  // Process covering prefixes from least to most specific so that the
+  // most-specific assignment wins. Within one prefix, best-marked entries
+  // are applied last (they are the vantage's selected route).
+  std::vector<const BgpTableEntry*> covering;
+  for (const auto& entry : entries_) {
+    if (entry.as_path.empty() || !entry.prefix.contains(target_ip)) continue;
+    if (entry.as_path.back() != mapping.target_as) continue;
+    covering.push_back(&entry);
+  }
+  std::stable_sort(covering.begin(), covering.end(),
+                   [](const BgpTableEntry* a, const BgpTableEntry* b) {
+                     if (a->prefix.length() != b->prefix.length()) {
+                       return a->prefix.length() < b->prefix.length();
+                     }
+                     return !a->best && b->best;
+                   });
+
+  std::set<net::Prefix> prefixes;
+  for (const auto* entry : covering) {
+    prefixes.insert(entry->prefix);
+    const auto& path = entry->as_path;
+    if (path.size() < 2) continue;  // the vantage *is* the target
+    const int peer = path[path.size() - 2];
+    mapping.peer_ases.insert(peer);
+    // Every AS ahead of the peer uses this path's suffix to reach the
+    // target, so they all enter via `peer` (Section 3.2's derivation).
+    for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+      mapping.source_to_peer[path[i]] = peer;
+    }
+  }
+  // Direct peers are not sources (the paper's source list excludes them).
+  for (const int peer : mapping.peer_ases) mapping.source_to_peer.erase(peer);
+
+  mapping.relevant_prefixes.assign(prefixes.begin(), prefixes.end());
+  return mapping;
+}
+
+BgpTable snapshot_table(const AsTopology& topology, AsId target,
+                        std::span<const net::Prefix> announced,
+                        const std::vector<bool>& down_links) {
+  BgpTable table;
+  const RouteComputation routes(topology, target, down_links);
+  for (const auto& prefix : announced) {
+    for (AsId vantage = 0; vantage < topology.as_count(); ++vantage) {
+      if (vantage == target) continue;
+      const auto path = routes.path(vantage);
+      if (path.empty()) continue;
+      BgpTableEntry entry;
+      entry.best = true;  // one (selected) route per vantage in miniature
+      entry.prefix = prefix;
+      // Vantage peering address: synthetic, unique per vantage.
+      entry.next_hop = net::IPv4Address{0xC0000000u + static_cast<std::uint32_t>(vantage)};
+      entry.as_path.reserve(path.size());
+      for (const AsId as : path) entry.as_path.push_back(topology.as_number(as));
+      table.add(std::move(entry));
+    }
+  }
+  return table;
+}
+
+}  // namespace infilter::routing

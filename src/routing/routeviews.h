@@ -1,0 +1,99 @@
+// Routeviews-style BGP tables: the raw material of the Section 3.2
+// validation.
+//
+// The paper downloads "show ip bgp" dumps from routeviews.org and, for
+// each target network, derives the mapping from every source AS on an
+// advertised path to the peer AS its traffic would use to enter the
+// target -- honouring longest-prefix match ("4.2.101.0/24 is more
+// specific than 4.0.0.0/8. Hence AS 6325 will be used by traffic from
+// AS 1224 and AS 38").
+//
+// This module implements the table model, the text format (writer +
+// parser, tolerant of the dump quirks the paper's sample shows: omitted
+// network columns on continuation lines, classful prefixes without a
+// mask), the target analysis, and a snapshot generator that renders our
+// synthetic topology in the same format -- so the study methodology can be
+// exercised end-to-end through real dump text.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "routing/bgp.h"
+#include "routing/topology.h"
+#include "util/result.h"
+
+namespace infilter::routing {
+
+/// One line of a "show ip bgp" dump.
+struct BgpTableEntry {
+  bool best = false;  ///< the '>' marker
+  net::Prefix prefix;
+  net::IPv4Address next_hop;
+  /// AS path as advertised: the vantage peer's AS first, the origin AS
+  /// (the target network) last.
+  std::vector<int> as_path;
+  char origin_code = 'i';
+
+  friend bool operator==(const BgpTableEntry&, const BgpTableEntry&) = default;
+};
+
+/// The Section 3.2 output for one target: peer ASes and the
+/// source-AS -> peer-AS mapping.
+struct TargetMapping {
+  int target_as = 0;
+  /// Prefixes originated by the target that cover the probed address.
+  std::vector<net::Prefix> relevant_prefixes;
+  std::set<int> peer_ases;
+  /// Source AS -> peer AS used for ingress, after longest-prefix-match
+  /// resolution across the covering prefixes.
+  std::map<int, int> source_to_peer;
+};
+
+class BgpTable {
+ public:
+  void add(BgpTableEntry entry) { entries_.push_back(std::move(entry)); }
+  [[nodiscard]] const std::vector<BgpTableEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Renders "show ip bgp"-style text (network column repeated on every
+  /// line; prefixes always carry an explicit mask).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses dump text. Tolerates: '*'/'*>' status columns, omitted network
+  /// on continuation lines (reuses the previous network), classful
+  /// prefixes without a mask, and 'i'/'e'/'?' origin codes. Unparseable
+  /// lines abort with a message naming the line number.
+  static util::Result<BgpTable> parse(std::string_view text);
+
+  /// The Section 3.2 analysis for the target network containing
+  /// `target_ip`: selects the covering prefixes, resolves each source AS
+  /// through its most-specific covering prefix, and maps it to the peer AS
+  /// adjacent to the target on that path. Sources that are themselves peer
+  /// ASes of the target are not included in the mapping (the paper's
+  /// source list excludes direct peers).
+  [[nodiscard]] TargetMapping analyze_target(net::IPv4Address target_ip) const;
+
+ private:
+  std::vector<BgpTableEntry> entries_;
+};
+
+/// Classful mask inference for dump prefixes written without a length
+/// ("4.0.0.0" -> /8, "141.142.0.0" -> /16, "192.0.2.0" -> /24).
+[[nodiscard]] int classful_prefix_length(net::IPv4Address address);
+
+/// Renders the synthetic topology as a Routeviews table: one entry per
+/// vantage AS per prefix announced by `target`, following the converged
+/// policy routes. Vantage set = every AS with a route (the full mesh of
+/// Routeviews peers, in miniature).
+[[nodiscard]] BgpTable snapshot_table(const AsTopology& topology, AsId target,
+                                      std::span<const net::Prefix> announced,
+                                      const std::vector<bool>& down_links = {});
+
+}  // namespace infilter::routing

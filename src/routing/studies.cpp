@@ -1,0 +1,260 @@
+#include "routing/studies.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+namespace infilter::routing {
+
+bool aggregated_equal(const Hop& a, const Hop& b) {
+  if (net::to_slash24(a.ip) == net::to_slash24(b.ip)) return true;
+  return a.fqdn == b.fqdn;
+}
+
+std::vector<AsId> pick_spread_targets(const AsTopology& topology, int count,
+                                      std::uint64_t seed, int min_degree) {
+  // Sort eligible ASes by degree and sample evenly across the sorted
+  // order, so the targets span the whole "number of peer ASs" axis of
+  // Figure 5.
+  std::vector<AsId> by_degree;
+  for (AsId as = 0; as < topology.as_count(); ++as) {
+    if (topology.degree(as) >= min_degree) by_degree.push_back(as);
+  }
+  if (static_cast<int>(by_degree.size()) < count) {
+    // Degenerate topology: fall back to every AS.
+    by_degree.clear();
+    for (AsId as = 0; as < topology.as_count(); ++as) by_degree.push_back(as);
+  }
+  std::sort(by_degree.begin(), by_degree.end(), [&topology](AsId a, AsId b) {
+    return topology.degree(a) < topology.degree(b);
+  });
+  util::Rng rng{seed};
+  std::vector<AsId> targets;
+  targets.reserve(static_cast<std::size_t>(count));
+  const auto n = static_cast<int>(by_degree.size());
+  for (int i = 0; i < count; ++i) {
+    // The i-th slice of the degree distribution, jittered within the slice.
+    const int lo = i * n / count;
+    const int hi = std::max(lo, (i + 1) * n / count - 1);
+    targets.push_back(by_degree[static_cast<std::size_t>(rng.range(lo, hi))]);
+  }
+  return targets;
+}
+
+std::vector<AsId> pick_looking_glass_sites(const AsTopology& topology, int count,
+                                           const std::vector<AsId>& exclude,
+                                           std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::unordered_set<AsId> taken(exclude.begin(), exclude.end());
+  std::vector<AsId> sites;
+  sites.reserve(static_cast<std::size_t>(count));
+  // Looking-Glass sites live in stub/edge networks; reject duplicates.
+  while (static_cast<int>(sites.size()) < count) {
+    const auto as =
+        static_cast<AsId>(rng.below(static_cast<std::uint64_t>(topology.as_count())));
+    if (taken.contains(as)) continue;
+    taken.insert(as);
+    sites.push_back(as);
+  }
+  return sites;
+}
+
+TracerouteStudyResult run_traceroute_study(const TracerouteStudyConfig& config) {
+  Internet internet(config.topology, config.churn, config.seed);
+  const auto targets =
+      pick_spread_targets(internet.topology(), config.target_count, config.seed + 1);
+  const auto sites = pick_looking_glass_sites(internet.topology(),
+                                              config.looking_glass_sites, targets,
+                                              config.seed + 2);
+
+  struct LastReading {
+    Hop peer;
+    Hop br;
+    std::vector<Hop> full_path;
+  };
+  // Previous completed reading per (site, target) pair.
+  std::vector<std::optional<LastReading>> previous(sites.size() * targets.size());
+
+  util::Rng completion_rng{config.seed + 3};
+  TracerouteStudyResult result;
+
+  for (int reading = 0; reading < config.readings; ++reading) {
+    internet.advance(config.period);
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (!completion_rng.chance(config.completion_probability)) continue;
+        const auto trace = internet.traceroute(sites[s], targets[t]);
+        const Hop* peer = trace.peer_hop();
+        const Hop* br = trace.br_hop();
+        if (peer == nullptr || br == nullptr) continue;
+        ++result.samples;
+
+        auto& prev = previous[s * targets.size() + t];
+        if (prev.has_value()) {
+          ++result.transitions;
+          const bool raw_changed = prev->peer.ip != peer->ip || prev->br.ip != br->ip;
+          const bool agg_changed = !aggregated_equal(prev->peer, *peer) ||
+                                   !aggregated_equal(prev->br, *br);
+          if (raw_changed) ++result.raw_changes;
+          if (agg_changed) ++result.aggregated_changes;
+          if (prev->peer.as != peer->as) ++result.peer_as_changes;
+          if (prev->full_path != trace.hops) ++result.full_path_changes;
+        }
+        prev = LastReading{*peer, *br, trace.hops};
+      }
+    }
+  }
+  return result;
+}
+
+StabilityProfile run_stability_profile(const TracerouteStudyConfig& config) {
+  Internet internet(config.topology, config.churn, config.seed);
+  const auto targets =
+      pick_spread_targets(internet.topology(), config.target_count, config.seed + 1);
+  const auto sites = pick_looking_glass_sites(internet.topology(),
+                                              config.looking_glass_sites, targets,
+                                              config.seed + 2);
+
+  StabilityProfile profile;
+  std::array<std::uint64_t, StabilityProfile::kBuckets> changes{};
+  // Previous reading's hops per (site, target), for positional comparison.
+  std::vector<std::vector<Hop>> previous(sites.size() * targets.size());
+
+  for (int reading = 0; reading < config.readings; ++reading) {
+    internet.advance(config.period);
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        const auto trace = internet.traceroute(sites[s], targets[t]);
+        if (!trace.complete || trace.hops.empty()) continue;
+        auto& prev = previous[s * targets.size() + t];
+        // Positional comparison aligned from both ends: the first half of
+        // the path is compared source-anchored, the second half
+        // target-anchored, so a transit detour that inserts or removes
+        // hops shows up as mid-path change rather than smearing to the
+        // edges. Raw IP comparison: Figure 1 is about the route itself,
+        // before any smoothing.
+        if (!prev.empty()) {
+          const std::size_t hops = trace.hops.size();
+          for (std::size_t h = 0; h < hops; ++h) {
+            const int bucket = static_cast<int>(
+                h * StabilityProfile::kBuckets / hops);
+            profile.samples[static_cast<std::size_t>(bucket)] += 1;
+            const bool from_start = h < hops / 2;
+            bool changed;
+            if (from_start) {
+              changed = h >= prev.size() || prev[h].ip != trace.hops[h].ip;
+            } else {
+              const std::size_t from_end = hops - h;  // 1 = last hop
+              changed = from_end > prev.size() ||
+                        prev[prev.size() - from_end].ip != trace.hops[h].ip;
+            }
+            if (changed) changes[static_cast<std::size_t>(bucket)] += 1;
+          }
+        }
+        prev = trace.hops;
+      }
+    }
+  }
+  for (int b = 0; b < StabilityProfile::kBuckets; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    profile.change_rate[i] =
+        profile.samples[i] == 0
+            ? 0.0
+            : static_cast<double>(changes[i]) / static_cast<double>(profile.samples[i]);
+  }
+  return profile;
+}
+
+BgpStudyResult run_bgp_study(const BgpStudyConfig& config) {
+  // The BGP study only observes AS-level policy routing; IGP and ECMP
+  // churn are irrelevant, so it drives the topology + link failures
+  // directly instead of a full Internet.
+  const AsTopology topology = AsTopology::generate(config.topology, config.seed);
+  const double hours =
+      static_cast<double>(config.period) / static_cast<double>(util::kHour);
+  LinkFailureProcess failures(topology.links().size(),
+                              std::min(1.0, config.churn.link_fail_per_hour * hours),
+                              std::min(1.0, config.churn.link_repair_per_hour * hours),
+                              config.seed + 17);
+  const auto targets = pick_spread_targets(topology, config.target_count, config.seed + 1);
+
+  // The targets' own access circuits stay up: the paper's targets are
+  // production ISP networks whose multihomed access links did not fail
+  // during the 30-day window (its maximum observed mapping change is 5%;
+  // one access-link failure on a low-degree target would move far more).
+  // Mapping churn therefore comes from re-routing *upstream* of the
+  // targets, which shifts sources between peers a few at a time.
+  std::vector<bool> frozen(topology.links().size(), false);
+  for (const auto target : targets) {
+    for (const auto& nb : topology.neighbors(target)) {
+      frozen[static_cast<std::size_t>(nb.link_id)] = true;
+    }
+  }
+
+  struct TargetState {
+    std::vector<AsId> previous_peer;  ///< per source AS, -1 = unreachable
+    std::set<AsId> peers_seen;
+    double change_sum = 0;
+    double change_max = 0;
+    int comparisons = 0;
+  };
+  std::vector<TargetState> states(targets.size());
+  for (auto& state : states) {
+    state.previous_peer.assign(static_cast<std::size_t>(topology.as_count()), -1);
+  }
+
+  for (int snapshot = 0; snapshot < config.snapshots; ++snapshot) {
+    std::vector<bool> down = failures.step();
+    for (std::size_t l = 0; l < down.size(); ++l) {
+      if (frozen[l]) down[l] = false;
+    }
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      const RouteComputation routes(topology, targets[t], down);
+      auto& state = states[t];
+      int compared = 0;
+      int changed = 0;
+      for (AsId source = 0; source < topology.as_count(); ++source) {
+        if (source == targets[t]) continue;
+        const AsId peer = routes.ingress_peer(source);
+        if (peer >= 0) state.peers_seen.insert(peer);
+        auto& prev = state.previous_peer[static_cast<std::size_t>(source)];
+        if (snapshot > 0 && prev >= 0 && peer >= 0) {
+          ++compared;
+          if (peer != prev) ++changed;
+        }
+        prev = peer;
+      }
+      if (compared > 0) {
+        const double fraction = static_cast<double>(changed) / compared;
+        state.change_sum += fraction;
+        state.change_max = std::max(state.change_max, fraction);
+        ++state.comparisons;
+      }
+    }
+  }
+
+  BgpStudyResult result;
+  result.targets.reserve(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const auto& state = states[t];
+    BgpTargetSeries series;
+    series.target = targets[t];
+    series.as_number = topology.as_number(targets[t]);
+    series.peer_as_count = static_cast<int>(state.peers_seen.size());
+    series.avg_fractional_change =
+        state.comparisons == 0 ? 0.0 : state.change_sum / state.comparisons;
+    series.max_fractional_change = state.change_max;
+    result.targets.push_back(series);
+    result.overall_avg_change += series.avg_fractional_change;
+    result.overall_max_change =
+        std::max(result.overall_max_change, series.max_fractional_change);
+  }
+  if (!result.targets.empty()) {
+    result.overall_avg_change /= static_cast<double>(result.targets.size());
+  }
+  return result;
+}
+
+}  // namespace infilter::routing

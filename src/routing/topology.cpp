@@ -1,0 +1,94 @@
+#include "routing/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace infilter::routing {
+
+void AsTopology::add_link(AsId a, AsId b, Relationship a_sees_b, util::Rng& rng,
+                          const TopologyConfig& config) {
+  assert(a != b);
+  // Reject duplicate adjacencies; generation may propose the same pair twice.
+  for (const auto& n : adjacency_[static_cast<std::size_t>(a)]) {
+    if (n.as == b) return;
+  }
+  Link link;
+  link.a = a;
+  link.b = b;
+  link.a_sees_b = a_sees_b;
+  if (rng.chance(config.parallel_link_fraction)) {
+    link.parallel_circuits = static_cast<int>(rng.range(2, 3));
+    link.circuits_span_subnets = rng.chance(config.cross_subnet_fraction);
+  }
+  const int link_id = static_cast<int>(links_.size());
+  links_.push_back(link);
+  adjacency_[static_cast<std::size_t>(a)].push_back(Neighbor{b, a_sees_b, link_id});
+  adjacency_[static_cast<std::size_t>(b)].push_back(
+      Neighbor{a, reverse(a_sees_b), link_id});
+}
+
+AsTopology AsTopology::generate(const TopologyConfig& config, std::uint64_t seed) {
+  util::Rng rng{seed};
+  AsTopology topo;
+  const int total = config.tier1_count + config.tier2_count + config.stub_count;
+  topo.adjacency_.resize(static_cast<std::size_t>(total));
+  topo.tiers_.resize(static_cast<std::size_t>(total));
+
+  // AS ids: [0, t1) tier-1, [t1, t1+t2) tier-2, rest stubs.
+  const int t1 = config.tier1_count;
+  const int t2_end = t1 + config.tier2_count;
+  for (int as = 0; as < total; ++as) {
+    topo.tiers_[static_cast<std::size_t>(as)] =
+        as < t1 ? Tier::kTier1 : (as < t2_end ? Tier::kTier2 : Tier::kStub);
+  }
+
+  // Tier-1 full mesh of peer links (the default-free clique).
+  for (AsId a = 0; a < t1; ++a) {
+    for (AsId b = a + 1; b < t1; ++b) {
+      topo.add_link(a, b, Relationship::kPeer, rng, config);
+    }
+  }
+
+  // Tier-2: each has 1..3 providers drawn from tier-1 (always at least one)
+  // and possibly an upstream tier-2 generated earlier.
+  for (AsId as = t1; as < t2_end; ++as) {
+    const int providers = static_cast<int>(
+        rng.range(config.tier2_min_providers, config.tier2_max_providers));
+    // First provider is tier-1 so every tier-2 can reach the core.
+    topo.add_link(as, static_cast<AsId>(rng.below(static_cast<std::uint64_t>(t1))),
+                  Relationship::kProvider, rng, config);
+    for (int p = 1; p < providers; ++p) {
+      if (as > t1 && rng.chance(0.35)) {
+        topo.add_link(as, static_cast<AsId>(rng.range(t1, as - 1)),
+                      Relationship::kProvider, rng, config);
+      } else {
+        topo.add_link(as, static_cast<AsId>(rng.below(static_cast<std::uint64_t>(t1))),
+                      Relationship::kProvider, rng, config);
+      }
+    }
+  }
+  // Tier-2 lateral peerings.
+  for (AsId a = t1; a < t2_end; ++a) {
+    for (AsId b = a + 1; b < t2_end; ++b) {
+      if (rng.chance(config.tier2_peer_probability)) {
+        topo.add_link(a, b, Relationship::kPeer, rng, config);
+      }
+    }
+  }
+
+  // Stubs: 1..2 providers from tier-2 (preferred) or tier-1.
+  for (AsId as = t2_end; as < total; ++as) {
+    const int providers = static_cast<int>(
+        rng.range(config.stub_min_providers, config.stub_max_providers));
+    for (int p = 0; p < providers; ++p) {
+      const AsId provider = rng.chance(0.85)
+                                ? static_cast<AsId>(rng.range(t1, t2_end - 1))
+                                : static_cast<AsId>(rng.below(static_cast<std::uint64_t>(t1)));
+      topo.add_link(as, provider, Relationship::kProvider, rng, config);
+    }
+  }
+
+  return topo;
+}
+
+}  // namespace infilter::routing

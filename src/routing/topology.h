@@ -1,0 +1,113 @@
+// AS-level Internet topology for the hypothesis-validation studies.
+//
+// Section 3 of the paper validates the InFilter hypothesis against the real
+// Internet (Looking-Glass traceroutes + Routeviews BGP dumps). We have no
+// Internet, so this module synthesizes a Gao-Rexford style AS graph: a
+// tier-1 clique, multihomed tier-2 providers, and stub ASes, connected by
+// customer-provider and peer-peer links. Inter-AS links can consist of
+// several parallel (load-shared) physical circuits -- the redundancy that
+// makes the paper's "raw" last-hop readings flap (Figure 4).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace infilter::routing {
+
+/// Dense AS identifier (index into the topology's AS table).
+using AsId = int;
+
+/// Business relationship of a link, stated from the side of `from`:
+/// the neighbor is our customer, our peer, or our provider.
+enum class Relationship : std::uint8_t { kCustomer, kPeer, kProvider };
+
+[[nodiscard]] constexpr Relationship reverse(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kPeer: return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+/// One inter-AS adjacency as seen from a specific AS.
+struct Neighbor {
+  AsId as = 0;
+  Relationship relationship = Relationship::kPeer;
+  /// Undirected link identifier, shared by both directions; indexes the
+  /// topology's link table (IP addressing, parallel-circuit count).
+  int link_id = 0;
+};
+
+/// Undirected inter-AS link metadata.
+struct Link {
+  AsId a = 0;
+  AsId b = 0;
+  /// `a`'s relationship toward `b` (a sees b as ...).
+  Relationship a_sees_b = Relationship::kPeer;
+  /// Number of parallel physical circuits (1..3). Circuits beyond the
+  /// first model the redundant/load-shared links of Figure 4.
+  int parallel_circuits = 1;
+  /// True when the parallel circuits are numbered from different /24
+  /// subnets (the case that defeats /24 aggregation and needs FQDN
+  /// smoothing, Section 3.1).
+  bool circuits_span_subnets = false;
+};
+
+/// AS tiers, used by generation and by target selection in the studies.
+enum class Tier : std::uint8_t { kTier1, kTier2, kStub };
+
+struct TopologyConfig {
+  int tier1_count = 8;
+  int tier2_count = 56;
+  int stub_count = 336;
+  /// Each tier-2 AS gets this many tier-1/tier-2 providers (1..).
+  int tier2_min_providers = 1;
+  int tier2_max_providers = 3;
+  /// Probability that any two tier-2 ASes peer.
+  double tier2_peer_probability = 0.08;
+  int stub_min_providers = 1;
+  int stub_max_providers = 2;
+  /// Fraction of inter-AS links with 2-3 parallel circuits.
+  double parallel_link_fraction = 0.45;
+  /// Among parallel links, fraction whose circuits are numbered from
+  /// different /24s.
+  double cross_subnet_fraction = 0.3;
+};
+
+/// Immutable AS graph.
+class AsTopology {
+ public:
+  /// Generates a topology deterministically from the seed.
+  static AsTopology generate(const TopologyConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] int as_count() const { return static_cast<int>(adjacency_.size()); }
+  [[nodiscard]] const std::vector<Neighbor>& neighbors(AsId as) const {
+    return adjacency_[static_cast<std::size_t>(as)];
+  }
+  [[nodiscard]] Tier tier(AsId as) const { return tiers_[static_cast<std::size_t>(as)]; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const Link& link(int link_id) const {
+    return links_[static_cast<std::size_t>(link_id)];
+  }
+  /// Globally-unique AS number presented in outputs (dense id + 7000).
+  [[nodiscard]] int as_number(AsId as) const { return 7000 + as; }
+
+  /// Degree in the AS graph.
+  [[nodiscard]] int degree(AsId as) const {
+    return static_cast<int>(neighbors(as).size());
+  }
+
+ private:
+  void add_link(AsId a, AsId b, Relationship a_sees_b, util::Rng& rng,
+                const TopologyConfig& config);
+
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<Tier> tiers_;
+  std::vector<Link> links_;
+};
+
+}  // namespace infilter::routing

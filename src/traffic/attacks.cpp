@@ -1,0 +1,352 @@
+#include "traffic/attacks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace infilter::traffic {
+namespace {
+
+using netflow::IpProto;
+namespace tf = netflow::tcpflags;
+
+constexpr std::uint8_t proto_of(IpProto p) { return static_cast<std::uint8_t>(p); }
+
+/// Scales a base flow count by the configured intensity, at least 1.
+std::size_t scaled(double base, const AttackConfig& config) {
+  return static_cast<std::size_t>(std::max(1.0, std::round(base * config.intensity)));
+}
+
+net::IPv4Address random_victim(const AttackConfig& config, util::Rng& rng) {
+  const auto span = config.destination_space.size();
+  return net::IPv4Address{config.destination_space.address().value() +
+                          static_cast<std::uint32_t>(rng.below(span))};
+}
+
+TraceFlow base_flow(AttackKind kind, util::TimeMs start) {
+  TraceFlow flow;
+  flow.attack = true;
+  flow.attack_kind = kind;
+  flow.start = start;
+  return flow;
+}
+
+// Puke: a forged ICMP destination-unreachable message that knocks a client
+// off its server. At flow level a single small ICMP packet -- statistically
+// indistinguishable from an ordinary ping, which is what makes it the
+// hardest of the paper's attacks.
+Trace puke(const AttackConfig& config, util::TimeMs origin, util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  for (std::size_t i = 0; i < scaled(3, config); ++i) {
+    auto flow = base_flow(AttackKind::kPuke, origin + rng.below(2000));
+    flow.proto = proto_of(IpProto::kIcmp);
+    flow.dst_ip = victim;
+    flow.packets = 1;
+    flow.bytes = static_cast<std::uint32_t>(rng.range(56, 100));
+    flow.duration_ms = 0;
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// Jolt: oversized fragmented ICMP. A single "packet" arrives as dozens of
+// large fragments in a few tens of milliseconds -- an extreme ICMP rate.
+Trace jolt(const AttackConfig& config, util::TimeMs origin, util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  for (std::size_t i = 0; i < scaled(2, config); ++i) {
+    auto flow = base_flow(AttackKind::kJolt, origin + rng.below(1500));
+    flow.proto = proto_of(IpProto::kIcmp);
+    flow.dst_ip = victim;
+    flow.packets = static_cast<std::uint32_t>(rng.range(30, 60));
+    flow.bytes = flow.packets * 1480;
+    flow.duration_ms = static_cast<std::uint32_t>(rng.range(20, 80));
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// Teardrop: a handful of overlapping UDP fragments. The fragment train is
+// tiny -- two to four ordinary-sized datagrams in a few tens of
+// milliseconds, which sits inside the bulk of normal short UDP flows (the
+// malformation is in fragment offsets, invisible at flow level).
+Trace teardrop(const AttackConfig& config, util::TimeMs origin, util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  for (std::size_t i = 0; i < scaled(2, config); ++i) {
+    auto flow = base_flow(AttackKind::kTeardrop, origin + rng.below(1000));
+    flow.proto = proto_of(IpProto::kUdp);
+    flow.dst_ip = victim;
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.dst_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.packets = static_cast<std::uint32_t>(rng.range(2, 4));
+    flow.bytes = flow.packets * static_cast<std::uint32_t>(rng.range(100, 400));
+    flow.duration_ms = static_cast<std::uint32_t>(rng.range(20, 90));
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// Slammer: one 404-byte UDP packet to port 1434 per randomly chosen
+// victim; no reply needed, so sources are freely spoofed [SLAM].
+Trace slammer(const AttackConfig& config, util::TimeMs origin, util::Rng& rng) {
+  Trace trace;
+  for (std::size_t i = 0; i < scaled(120, config); ++i) {
+    auto flow = base_flow(AttackKind::kSlammer, origin + rng.below(8000));
+    flow.proto = proto_of(IpProto::kUdp);
+    flow.dst_ip = random_victim(config, rng);
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.dst_port = 1434;
+    flow.packets = 1;
+    flow.bytes = 404;
+    flow.duration_ms = 0;
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// TFN2K: volumetric multi-vector flood (UDP, ICMP and SYN floods mixed)
+// against one victim from many spoofed sources.
+Trace tfn2k(const AttackConfig& config, util::TimeMs origin, util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  for (std::size_t i = 0; i < scaled(60, config); ++i) {
+    auto flow = base_flow(AttackKind::kTfn2k, origin + rng.below(30000));
+    flow.dst_ip = victim;
+    const int vector = static_cast<int>(rng.below(3));
+    if (vector == 0) {  // UDP flood
+      flow.proto = proto_of(IpProto::kUdp);
+      flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+      flow.dst_port = static_cast<std::uint16_t>(rng.range(1, 65535));
+      flow.packets = static_cast<std::uint32_t>(rng.range(500, 5000));
+      flow.bytes = flow.packets * static_cast<std::uint32_t>(rng.range(500, 1400));
+    } else if (vector == 1) {  // ICMP flood
+      flow.proto = proto_of(IpProto::kIcmp);
+      flow.packets = static_cast<std::uint32_t>(rng.range(500, 5000));
+      flow.bytes = flow.packets * static_cast<std::uint32_t>(rng.range(64, 1024));
+    } else {  // SYN flood vector
+      flow.proto = proto_of(IpProto::kTcp);
+      flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+      flow.dst_port = 80;
+      flow.tcp_flags = tf::kSyn;
+      flow.packets = static_cast<std::uint32_t>(rng.range(200, 2000));
+      flow.bytes = flow.packets * 40;
+    }
+    flow.duration_ms = static_cast<std::uint32_t>(rng.range(1000, 5000));
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// nmap network scan: one service port probed across many distinct hosts.
+Trace nmap_network_scan(const AttackConfig& config, util::TimeMs origin,
+                        util::Rng& rng) {
+  Trace trace;
+  static constexpr std::uint16_t kPorts[] = {80, 21, 25, 139, 445, 1433, 3389};
+  const std::uint16_t port = kPorts[rng.below(std::size(kPorts))];
+  std::unordered_set<std::uint32_t> seen;
+  for (std::size_t i = 0; i < scaled(80, config); ++i) {
+    auto flow = base_flow(AttackKind::kNmapNetworkScan, origin + rng.below(20000));
+    flow.proto = proto_of(IpProto::kTcp);
+    // Distinct victims: re-draw on collision (space is large).
+    auto victim = random_victim(config, rng);
+    while (!seen.insert(victim.value()).second) victim = random_victim(config, rng);
+    flow.dst_ip = victim;
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.dst_port = port;
+    flow.tcp_flags = tf::kSyn;
+    flow.packets = static_cast<std::uint32_t>(rng.range(1, 2));
+    flow.bytes = flow.packets * 40;
+    flow.duration_ms = static_cast<std::uint32_t>(rng.below(1000));
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// nmap Idlescan: a truly blind scan -- many ports probed on one host with
+// spoofed sources (Section 4.1's "host scan attack").
+Trace nmap_idle_scan(const AttackConfig& config, util::TimeMs origin, util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  std::unordered_set<std::uint16_t> ports;
+  for (std::size_t i = 0; i < scaled(100, config); ++i) {
+    auto flow = base_flow(AttackKind::kNmapIdleScan, origin + rng.below(15000));
+    flow.proto = proto_of(IpProto::kTcp);
+    flow.dst_ip = victim;
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    std::uint16_t port = static_cast<std::uint16_t>(rng.range(1, 10000));
+    while (!ports.insert(port).second) {
+      port = static_cast<std::uint16_t>(rng.range(1, 10000));
+    }
+    flow.dst_port = port;
+    flow.tcp_flags = tf::kSyn;
+    flow.packets = 1;
+    flow.bytes = 40;
+    flow.duration_ms = 0;
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// SYN flood: a stream of single-SYN flows from spoofed sources at one
+// service.
+Trace syn_flood(const AttackConfig& config, util::TimeMs origin, util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  for (std::size_t i = 0; i < scaled(150, config); ++i) {
+    auto flow = base_flow(AttackKind::kSynFlood, origin + rng.below(10000));
+    flow.proto = proto_of(IpProto::kTcp);
+    flow.dst_ip = victim;
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.dst_port = 80;
+    flow.tcp_flags = tf::kSyn;
+    flow.packets = 1;
+    flow.bytes = 40;
+    flow.duration_ms = 0;
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// Nessus-style probe battery: short, malformed-looking exchanges with one
+// service -- far below the normal flow-size floor for that protocol family.
+Trace nessus(AttackKind kind, std::uint8_t proto, std::uint16_t port, double base_count,
+             const AttackConfig& config, util::TimeMs origin, util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  for (std::size_t i = 0; i < scaled(base_count, config); ++i) {
+    auto flow = base_flow(kind, origin + rng.below(12000));
+    flow.proto = proto;
+    flow.dst_ip = victim;
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.dst_port = port;
+    if (proto == proto_of(IpProto::kTcp)) {
+      flow.tcp_flags = tf::kSyn | (rng.chance(0.5) ? tf::kRst : tf::kFin);
+      flow.packets = static_cast<std::uint32_t>(rng.range(1, 4));
+      flow.bytes = flow.packets * static_cast<std::uint32_t>(rng.range(40, 120));
+      flow.duration_ms = static_cast<std::uint32_t>(rng.below(100));
+    } else {
+      // Oversized DNS probes (suspicious TXT/version queries).
+      flow.packets = static_cast<std::uint32_t>(rng.range(1, 3));
+      flow.bytes = flow.packets * static_cast<std::uint32_t>(rng.range(500, 1200));
+      flow.duration_ms = static_cast<std::uint32_t>(rng.below(50));
+    }
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// Tool-session companion flows: the non-attack traffic a capture of the
+// tool inevitably contains. About 60% look like legitimate service
+// sessions (connect follow-ups, banner grabs that complete); the rest are
+// short odd exchanges (half-open probes, resets).
+void append_companions(Trace& trace, AttackKind kind, const AttackConfig& config,
+                       util::Rng& rng) {
+  if (is_stealthy(kind) || trace.flows.empty() || config.companion_fraction <= 0) {
+    return;
+  }
+  const auto count = static_cast<std::size_t>(
+      std::round(config.companion_fraction * static_cast<double>(trace.flows.size())));
+  const std::size_t attack_count = trace.flows.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    // Companions target the same victims/services the tool touched.
+    const TraceFlow& peer = trace.flows[rng.below(attack_count)];
+    TraceFlow flow;
+    flow.attack = false;
+    flow.attack_kind = kind;
+    flow.start = peer.start + rng.below(2000);
+    flow.dst_ip = peer.dst_ip;
+    flow.proto = peer.proto;
+    flow.dst_port = peer.dst_port;
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    if (rng.chance(0.6)) {
+      // A completed session, shaped like ordinary service traffic.
+      flow.packets = static_cast<std::uint32_t>(rng.range(8, 120));
+      flow.bytes = flow.packets * static_cast<std::uint32_t>(rng.range(150, 900));
+      flow.duration_ms =
+          static_cast<std::uint32_t>(rng.exponential(20.0) * (flow.packets - 1));
+      if (flow.proto == proto_of(IpProto::kTcp)) {
+        flow.tcp_flags = tf::kSyn | tf::kAck | tf::kPsh | tf::kFin;
+      }
+    } else {
+      // A short odd exchange.
+      flow.packets = static_cast<std::uint32_t>(rng.range(1, 3));
+      flow.bytes = flow.packets * static_cast<std::uint32_t>(rng.range(40, 200));
+      flow.duration_ms = static_cast<std::uint32_t>(rng.below(150));
+      if (flow.proto == proto_of(IpProto::kTcp)) flow.tcp_flags = tf::kSyn | tf::kRst;
+    }
+    trace.flows.push_back(flow);
+  }
+}
+
+}  // namespace
+
+std::string_view attack_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kPuke: return "puke";
+    case AttackKind::kJolt: return "jolt";
+    case AttackKind::kTeardrop: return "teardrop";
+    case AttackKind::kSlammer: return "slammer";
+    case AttackKind::kTfn2k: return "tfn2k";
+    case AttackKind::kNmapNetworkScan: return "nmap-network-scan";
+    case AttackKind::kNmapIdleScan: return "nmap-idlescan";
+    case AttackKind::kSynFlood: return "syn-flood";
+    case AttackKind::kNessusHttp: return "nessus-http";
+    case AttackKind::kNessusFtp: return "nessus-ftp";
+    case AttackKind::kNessusSmtp: return "nessus-smtp";
+    case AttackKind::kNessusDns: return "nessus-dns";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Trace generate_attack_only(AttackKind kind, const AttackConfig& config,
+                           util::TimeMs origin, util::Rng& rng) {
+  using enum AttackKind;
+  switch (kind) {
+    case kPuke: return puke(config, origin, rng);
+    case kJolt: return jolt(config, origin, rng);
+    case kTeardrop: return teardrop(config, origin, rng);
+    case kSlammer: return slammer(config, origin, rng);
+    case kTfn2k: return tfn2k(config, origin, rng);
+    case kNmapNetworkScan: return nmap_network_scan(config, origin, rng);
+    case kNmapIdleScan: return nmap_idle_scan(config, origin, rng);
+    case kSynFlood: return syn_flood(config, origin, rng);
+    case kNessusHttp:
+      return nessus(kNessusHttp, proto_of(IpProto::kTcp), 80, 40, config, origin, rng);
+    case kNessusFtp:
+      return nessus(kNessusFtp, proto_of(IpProto::kTcp), 21, 25, config, origin, rng);
+    case kNessusSmtp:
+      return nessus(kNessusSmtp, proto_of(IpProto::kTcp), 25, 25, config, origin, rng);
+    case kNessusDns:
+      return nessus(kNessusDns, proto_of(IpProto::kUdp), 53, 30, config, origin, rng);
+  }
+  return {};
+}
+
+}  // namespace
+
+Trace generate_attack(AttackKind kind, const AttackConfig& config, util::TimeMs origin,
+                      util::Rng& rng) {
+  Trace trace = generate_attack_only(kind, config, origin, rng);
+  append_companions(trace, kind, config, rng);
+  std::sort(trace.flows.begin(), trace.flows.end(),
+            [](const TraceFlow& a, const TraceFlow& b) { return a.start < b.start; });
+  return trace;
+}
+
+Trace generate_attack_set(const AttackConfig& config, util::TimeMs origin,
+                          util::DurationMs span, util::Rng& rng) {
+  std::vector<Trace> traces;
+  traces.reserve(kAttackKindCount);
+  for (int k = 0; k < kAttackKindCount; ++k) {
+    const util::TimeMs start = origin + rng.below(std::max<util::DurationMs>(1, span));
+    traces.push_back(generate_attack(static_cast<AttackKind>(k), config, start, rng));
+  }
+  return merge(std::move(traces));
+}
+
+}  // namespace infilter::traffic

@@ -1,0 +1,42 @@
+// Flow-level attack trace generators (Section 6.2's 12 attacks).
+//
+// The paper captured real attack tool output (Nessus, nmap, TFN2K, worm and
+// nuker binaries) in TCPDUMP/DAG format. Here each attack is synthesized at
+// flow level from its published network signature; InFilter sees only
+// NetFlow statistics, so flow-level fidelity is what matters (DESIGN.md
+// section 2). Every generated flow carries its ground-truth label.
+
+#pragma once
+
+#include "traffic/trace.h"
+#include "util/rng.h"
+
+namespace infilter::traffic {
+
+/// Scale/targeting knobs shared by the generators.
+struct AttackConfig {
+  /// Victim hosts live in this prefix (the target ISP's address space).
+  net::Prefix destination_space{net::IPv4Address{100, 64, 0, 0}, 16};
+  /// Multiplies per-attack flow counts ("each attack being used multiple
+  /// times depending on volume of attacks needed").
+  double intensity = 1.0;
+  /// Fraction of additional *non-attack* companion flows added per
+  /// instance: session overhead of the tools themselves (nmap connect
+  /// follow-ups, Nessus full service sessions, TFN2K control chatter).
+  /// Captured attack traces inevitably contain such traffic; replayed with
+  /// spoofed sources it is what the evaluation counts as false-positive
+  /// pressure. Stealthy single-packet attacks get no companions.
+  double companion_fraction = 0.35;
+};
+
+/// Generates one instance of `kind` starting at `origin`.
+[[nodiscard]] Trace generate_attack(AttackKind kind, const AttackConfig& config,
+                                    util::TimeMs origin, util::Rng& rng);
+
+/// All twelve attacks, interleaved over `span` starting at `origin` --
+/// the paper's standard attack set.
+[[nodiscard]] Trace generate_attack_set(const AttackConfig& config,
+                                        util::TimeMs origin, util::DurationMs span,
+                                        util::Rng& rng);
+
+}  // namespace infilter::traffic

@@ -1,0 +1,177 @@
+#include "traffic/normal.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace infilter::traffic {
+namespace {
+
+// The seven families of Section 5.1.3c. Weights loosely follow early-2000s
+// backbone mixes (HTTP-dominated, DNS-heavy in flow count); the exact
+// values matter less than each family having a distinct, stable shape for
+// the NNS subclusters to learn.
+std::vector<ProtocolProfile> default_profiles() {
+  using netflow::IpProto;
+  std::vector<ProtocolProfile> p;
+  // http: the bulk of bytes; wide heavy-tailed sizes.
+  p.push_back({.weight = 0.42,
+               .proto = static_cast<std::uint8_t>(IpProto::kTcp),
+               .dst_port = 80,
+               .packets_alpha = 1.15,
+               .packets_min = 3,
+               .packets_max = 4000,
+               .bpp_min = 120,
+               .bpp_max = 1400,
+               .mean_gap_ms = 18});
+  // smtp: moderate message-sized flows.
+  p.push_back({.weight = 0.06,
+               .proto = static_cast<std::uint8_t>(IpProto::kTcp),
+               .dst_port = 25,
+               .packets_alpha = 1.3,
+               .packets_min = 6,
+               .packets_max = 800,
+               .bpp_min = 80,
+               .bpp_max = 1000,
+               .mean_gap_ms = 25});
+  // ftp control: chatty small packets, long-lived.
+  p.push_back({.weight = 0.03,
+               .proto = static_cast<std::uint8_t>(IpProto::kTcp),
+               .dst_port = 21,
+               .packets_alpha = 1.4,
+               .packets_min = 8,
+               .packets_max = 600,
+               .bpp_min = 60,
+               .bpp_max = 300,
+               .mean_gap_ms = 120});
+  // dns: tiny request/response pairs, the flow-count heavyweight.
+  p.push_back({.weight = 0.24,
+               .proto = static_cast<std::uint8_t>(IpProto::kUdp),
+               .dst_port = 53,
+               .packets_alpha = 2.0,
+               .packets_min = 1,
+               .packets_max = 6,
+               .bpp_min = 60,
+               .bpp_max = 300,
+               .mean_gap_ms = 40});
+  // other tcp services (ssh, nntp, irc, ...): random high/low ports.
+  p.push_back({.weight = 0.11,
+               .proto = static_cast<std::uint8_t>(IpProto::kTcp),
+               .dst_port = 0,
+               .packets_alpha = 1.2,
+               .packets_min = 2,
+               .packets_max = 2000,
+               .bpp_min = 80,
+               .bpp_max = 1200,
+               .mean_gap_ms = 35});
+  // failed/aborted tcp connections (lone SYNs, RSTs, dead services):
+  // ubiquitous in backbone traces. These sit exactly where single-packet
+  // scan probes sit, which is why probe detection needs the Scan Analysis
+  // counters rather than per-flow anomaly scores (Section 4.1).
+  p.push_back({.weight = 0.04,
+               .proto = static_cast<std::uint8_t>(IpProto::kTcp),
+               .dst_port = 0,
+               .packets_alpha = 2.5,
+               .packets_min = 1,
+               .packets_max = 3,
+               .bpp_min = 40,
+               .bpp_max = 70,
+               .mean_gap_ms = 40});
+  // other udp (streaming, games, ntp).
+  p.push_back({.weight = 0.07,
+               .proto = static_cast<std::uint8_t>(IpProto::kUdp),
+               .dst_port = 0,
+               .packets_alpha = 1.3,
+               .packets_min = 1,
+               .packets_max = 900,
+               .bpp_min = 60,
+               .bpp_max = 900,
+               .mean_gap_ms = 30});
+  // icmp: echo trains, small and short.
+  p.push_back({.weight = 0.03,
+               .proto = static_cast<std::uint8_t>(IpProto::kIcmp),
+               .dst_port = 0,
+               .packets_alpha = 1.8,
+               .packets_min = 1,
+               .packets_max = 30,
+               .bpp_min = 64,
+               .bpp_max = 120,
+               .mean_gap_ms = 1000});
+  return p;
+}
+
+}  // namespace
+
+NormalTrafficModel::NormalTrafficModel(NormalTrafficConfig config)
+    : config_(config), profiles_(default_profiles()) {
+  assert(config_.hot_destinations > 0);
+  double total = 0;
+  for (const auto& profile : profiles_) total += profile.weight;
+  double running = 0;
+  cumulative_weight_.reserve(profiles_.size());
+  for (const auto& profile : profiles_) {
+    running += profile.weight / total;
+    cumulative_weight_.push_back(running);
+  }
+  cumulative_weight_.back() = 1.0;
+}
+
+TraceFlow NormalTrafficModel::sample_flow(util::Rng& rng) const {
+  const double u = rng.uniform();
+  std::size_t index = 0;
+  while (index + 1 < cumulative_weight_.size() && u > cumulative_weight_[index]) {
+    ++index;
+  }
+  const ProtocolProfile& profile = profiles_[index];
+
+  TraceFlow flow;
+  flow.proto = profile.proto;
+  flow.dst_port = profile.dst_port != 0
+                      ? profile.dst_port
+                      : static_cast<std::uint16_t>(rng.range(1024, 65535));
+  if (profile.proto == static_cast<std::uint8_t>(netflow::IpProto::kIcmp)) {
+    flow.src_port = 0;
+    flow.dst_port = 0;
+  } else {
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+  }
+
+  const double packets =
+      rng.bounded_pareto(profile.packets_alpha, profile.packets_min, profile.packets_max);
+  flow.packets = static_cast<std::uint32_t>(std::max(1.0, packets));
+  const double bpp = profile.bpp_min + rng.uniform() * (profile.bpp_max - profile.bpp_min);
+  flow.bytes = static_cast<std::uint32_t>(std::max(40.0, bpp * flow.packets));
+  // Duration: per-packet gaps, exponential around the profile mean.
+  double duration = 0;
+  if (flow.packets > 1) {
+    duration = rng.exponential(profile.mean_gap_ms) * (flow.packets - 1);
+  }
+  flow.duration_ms = static_cast<std::uint32_t>(duration);
+  if (flow.proto == static_cast<std::uint8_t>(netflow::IpProto::kTcp)) {
+    flow.tcp_flags = netflow::tcpflags::kSyn | netflow::tcpflags::kAck |
+                     netflow::tcpflags::kPsh | netflow::tcpflags::kFin;
+  }
+
+  // Destination: zipf-ish reuse of a hot set inside the target ISP space.
+  const auto host =
+      static_cast<std::uint32_t>(std::min<double>(
+          config_.hot_destinations - 1,
+          std::floor(std::pow(rng.uniform(), 2.0) * config_.hot_destinations)));
+  flow.dst_ip = net::IPv4Address{config_.destination_space.address().value() + host};
+  return flow;
+}
+
+Trace NormalTrafficModel::generate(std::size_t flow_count, util::TimeMs origin,
+                                   util::Rng& rng) const {
+  Trace trace;
+  trace.flows.reserve(flow_count);
+  double clock = static_cast<double>(origin);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    TraceFlow flow = sample_flow(rng);
+    clock += rng.exponential(config_.mean_interarrival_ms);
+    flow.start = static_cast<util::TimeMs>(clock);
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+}  // namespace infilter::traffic

@@ -1,0 +1,32 @@
+#include "traffic/trace.h"
+
+#include <algorithm>
+
+namespace infilter::traffic {
+
+std::optional<AttackKind> attack_by_name(std::string_view name) {
+  for (int k = 0; k < kAttackKindCount; ++k) {
+    const auto kind = static_cast<AttackKind>(k);
+    if (attack_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+Trace merge(std::vector<Trace> traces) {
+  Trace out;
+  std::size_t total = 0;
+  for (const auto& trace : traces) total += trace.flows.size();
+  out.flows.reserve(total);
+  for (auto& trace : traces) {
+    out.flows.insert(out.flows.end(), trace.flows.begin(), trace.flows.end());
+  }
+  std::stable_sort(out.flows.begin(), out.flows.end(),
+                   [](const TraceFlow& a, const TraceFlow& b) { return a.start < b.start; });
+  return out;
+}
+
+void shift(Trace& trace, util::DurationMs offset) {
+  for (auto& flow : trace.flows) flow.start += offset;
+}
+
+}  // namespace infilter::traffic

@@ -1,0 +1,103 @@
+// Flow-level traffic traces.
+//
+// The paper replays previously captured DAG-format packet traces through
+// Dagflow, which reduces them to NetFlow records. Since InFilter consumes
+// flow statistics only, our synthetic stand-in for CAIDA/NLANR captures is
+// a *flow-level* trace: one entry per flow with the aggregate quantities a
+// NetFlow record would carry, plus ground-truth attack labels used by the
+// evaluation to score detections.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "netflow/v5.h"
+#include "util/time.h"
+
+namespace infilter::traffic {
+
+/// The attack tools of Section 6.2: stealthy attacks, scans, service
+/// exploits, a worm and a DDoS tool -- "12 unique attacks".
+enum class AttackKind : std::uint8_t {
+  kPuke,             ///< forged ICMP unreachable burst at one host
+  kJolt,             ///< oversized fragmented ICMP (availability)
+  kTeardrop,         ///< overlapping UDP fragments (availability)
+  kSlammer,          ///< single-UDP-packet worm, port 1434, random targets
+  kTfn2k,            ///< multi-vector volumetric DDoS
+  kNmapNetworkScan,  ///< one port swept across many hosts
+  kNmapIdleScan,     ///< truly blind host scan: many ports on one host
+  kSynFlood,         ///< spoofed TCP SYN flood at one service
+  kNessusHttp,       ///< service probe battery against tcp/80
+  kNessusFtp,        ///< service probe battery against tcp/21
+  kNessusSmtp,       ///< service probe battery against tcp/25
+  kNessusDns,        ///< probe battery against udp/53
+};
+
+inline constexpr int kAttackKindCount = 12;
+
+[[nodiscard]] std::string_view attack_name(AttackKind kind);
+
+/// Inverse of attack_name; nullopt for unknown names.
+[[nodiscard]] std::optional<AttackKind> attack_by_name(std::string_view name);
+
+/// True for the attacks the paper calls "stealthy" (one or very few
+/// packets, invisible to volume-based sensors).
+[[nodiscard]] constexpr bool is_stealthy(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kPuke:
+    case AttackKind::kJolt:
+    case AttackKind::kTeardrop:
+    case AttackKind::kSlammer:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One flow of a trace. Source addresses here are placeholders -- Dagflow
+/// rewrites them from its allocated address blocks (Section 6.1).
+struct TraceFlow {
+  util::TimeMs start = 0;  ///< offset from the trace origin
+  std::uint32_t duration_ms = 0;
+  std::uint32_t packets = 1;
+  std::uint32_t bytes = 0;
+  std::uint8_t proto = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;
+  net::IPv4Address src_ip;
+  net::IPv4Address dst_ip;
+  /// Ground truth for the evaluation; never visible to the detector.
+  bool attack = false;
+  AttackKind attack_kind = AttackKind::kPuke;
+
+  [[nodiscard]] util::TimeMs end() const { return start + duration_ms; }
+};
+
+/// A flow-level trace: flows ordered by start time.
+struct Trace {
+  std::vector<TraceFlow> flows;
+
+  [[nodiscard]] util::DurationMs duration() const {
+    util::DurationMs last = 0;
+    for (const auto& flow : flows) last = std::max(last, flow.end());
+    return last;
+  }
+  [[nodiscard]] std::size_t attack_flow_count() const {
+    std::size_t n = 0;
+    for (const auto& flow : flows) n += flow.attack ? 1 : 0;
+    return n;
+  }
+};
+
+/// Merges traces into one, ordered by flow start time.
+[[nodiscard]] Trace merge(std::vector<Trace> traces);
+
+/// Shifts every flow's start by `offset`.
+void shift(Trace& trace, util::DurationMs offset);
+
+}  // namespace infilter::traffic

@@ -1,0 +1,86 @@
+#include "traffic/worm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace infilter::traffic {
+
+int WormOutcome::infected_at(util::TimeMs time) const {
+  int infected = 0;
+  for (const auto& [at, count] : infections_over_time) {
+    if (at > time) break;
+    infected = count;
+  }
+  return infected;
+}
+
+WormOutcome simulate_worm(const WormConfig& config, util::Rng& rng,
+                          std::optional<util::TimeMs> containment_at) {
+  assert(config.vulnerable_hosts > 0);
+  assert(config.step > 0);
+  const double space = static_cast<double>(config.target_space.size());
+
+  WormOutcome outcome;
+  int infected_inside = 0;
+  // Scanners: external seeds plus every infected inside host.
+  auto scanners = [&] {
+    return config.initially_infected + infected_inside;
+  };
+
+  for (util::TimeMs now = 0; now < config.horizon; now += config.step) {
+    const bool contained = containment_at.has_value() && now >= *containment_at;
+    const double step_seconds =
+        static_cast<double>(config.step) / static_cast<double>(util::kSecond);
+
+    if (!contained) {
+      // Probes this step (expectation + fractional Bernoulli).
+      const double expectation =
+          scanners() * config.probes_per_host_per_second * step_seconds;
+      int probes = static_cast<int>(expectation);
+      if (rng.chance(expectation - probes)) ++probes;
+
+      for (int p = 0; p < probes; ++p) {
+        const bool external_scanner =
+            rng.below(static_cast<std::uint64_t>(scanners())) <
+            static_cast<std::uint64_t>(config.initially_infected);
+        const auto victim = net::IPv4Address{
+            config.target_space.address().value() +
+            static_cast<std::uint32_t>(rng.below(config.target_space.size()))};
+
+        // Only externally-sourced probes cross the border and are visible
+        // to the ingress detector; internal scanning spreads silently.
+        if (external_scanner) {
+          TraceFlow flow;
+          flow.attack = true;
+          flow.attack_kind = AttackKind::kSlammer;
+          flow.start = now + rng.below(config.step);
+          flow.proto = static_cast<std::uint8_t>(netflow::IpProto::kUdp);
+          flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+          flow.dst_port = config.port;
+          flow.packets = 1;
+          flow.bytes = config.probe_bytes;
+          flow.dst_ip = victim;
+          outcome.border_trace.flows.push_back(flow);
+          ++outcome.border_probes;
+        }
+
+        // Infection: the probe hits one of the remaining vulnerable hosts
+        // with the hypergeometric-ish density of the scanned space.
+        const double susceptible =
+            static_cast<double>(config.vulnerable_hosts - infected_inside);
+        if (rng.chance(susceptible / space)) {
+          ++infected_inside;
+        }
+      }
+    }
+    outcome.infections_over_time.emplace_back(now + config.step, infected_inside);
+  }
+
+  std::sort(outcome.border_trace.flows.begin(), outcome.border_trace.flows.end(),
+            [](const TraceFlow& a, const TraceFlow& b) { return a.start < b.start; });
+  outcome.final_infected = infected_inside;
+  return outcome;
+}
+
+}  // namespace infilter::traffic

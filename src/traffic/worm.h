@@ -1,0 +1,63 @@
+// Worm propagation at flow level.
+//
+// The paper's flagship stealthy attack is the Slammer worm [SLAM]: one
+// spoofed 404-byte UDP packet per probe, random scanning, no reply needed.
+// Its value proposition for InFilter is *early notification* -- flag the
+// sweep while the infected population is still small. This module models
+// the epidemic itself (a discrete-time SI process over the target address
+// space) so the containment example can quantify that claim: infections
+// over time with no response, with InFilter-triggered border filtering,
+// and with a slower signature-derived response.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "traffic/trace.h"
+#include "util/rng.h"
+
+namespace infilter::traffic {
+
+struct WormConfig {
+  /// The scanned address space (the target network).
+  net::Prefix target_space{net::IPv4Address{100, 64, 0, 0}, 16};
+  /// Vulnerable hosts inside the space (Slammer hit unpatched SQL Server).
+  int vulnerable_hosts = 400;
+  /// Infected hosts seeding the epidemic from outside the network.
+  int initially_infected = 2;
+  /// Scan probes per infected host per second (Slammer saturated links;
+  /// scaled down to keep traces manageable -- the dynamics are identical).
+  double probes_per_host_per_second = 8;
+  /// Simulation horizon and step.
+  util::DurationMs horizon = 60 * util::kSecond;
+  util::DurationMs step = 100;
+  std::uint16_t port = 1434;
+  std::uint32_t probe_bytes = 404;
+};
+
+struct WormOutcome {
+  /// Every probe flow that crossed the network border, in time order
+  /// (what the border NetFlow exporters see).
+  Trace border_trace;
+  /// (time, cumulative infected hosts) sampled each step.
+  std::vector<std::pair<util::TimeMs, int>> infections_over_time;
+  int final_infected = 0;
+  /// Probes that crossed the border before containment (all of them when
+  /// containment never happened).
+  std::size_t border_probes = 0;
+
+  [[nodiscard]] int infected_at(util::TimeMs time) const;
+};
+
+/// Simulates the epidemic. `containment_at`, when set, models the border
+/// routers dropping the worm's traffic from that moment (the response an
+/// InFilter alert triggers): no further probes enter and no further
+/// inside hosts are infected from outside. Already-infected *inside*
+/// hosts keep scanning internally -- containment caps the epidemic, it
+/// does not cure it.
+[[nodiscard]] WormOutcome simulate_worm(const WormConfig& config, util::Rng& rng,
+                                        std::optional<util::TimeMs> containment_at =
+                                            std::nullopt);
+
+}  // namespace infilter::traffic

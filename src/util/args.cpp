@@ -1,0 +1,41 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace infilter::util {
+
+Result<Args> Args::parse(int argc, const char* const* argv,
+                         const std::vector<std::string>& flag_names) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positional_.push_back(token);
+      continue;
+    }
+    const std::string name = token.substr(2);
+    if (name.empty()) return Error{"bare '--' is not a valid option"};
+    if (std::find(flag_names.begin(), flag_names.end(), name) != flag_names.end()) {
+      args.flags_.insert(name);
+      continue;
+    }
+    if (i + 1 >= argc) return Error{"option --" + name + " needs a value"};
+    args.values_[name] = argv[++i];
+  }
+  return args;
+}
+
+std::int64_t Args::int_or(const std::string& name, std::int64_t fallback) const {
+  const auto text = value(name);
+  if (!text.has_value()) return fallback;
+  return std::strtoll(text->c_str(), nullptr, 10);
+}
+
+double Args::double_or(const std::string& name, double fallback) const {
+  const auto text = value(name);
+  if (!text.has_value()) return fallback;
+  return std::strtod(text->c_str(), nullptr);
+}
+
+}  // namespace infilter::util

@@ -1,0 +1,51 @@
+// Minimal command-line option parsing for the tools/ binaries.
+//
+// Supports "--name value" and "--flag" styles plus positional arguments;
+// unknown options are errors so typos fail loudly. Deliberately tiny: the
+// tools need a dozen options, not a framework.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace infilter::util {
+
+class Args {
+ public:
+  /// Parses argv. `flag_names` lists options that take no value; every
+  /// other "--name" consumes the following token as its value.
+  static Result<Args> parse(int argc, const char* const* argv,
+                            const std::vector<std::string>& flag_names = {});
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.contains(name) || flags_.contains(name);
+  }
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::string value_or(const std::string& name,
+                                     std::string fallback) const {
+    return value(name).value_or(std::move(fallback));
+  }
+  [[nodiscard]] std::int64_t int_or(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double double_or(const std::string& name, double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace infilter::util

@@ -1,0 +1,57 @@
+// A minimal expected-style result for boundary code (wire decoding, file
+// parsing) where failure is an ordinary outcome, not an exception.
+// std::expected is C++23; this is the small subset we need under C++20.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace infilter::util {
+
+/// Describes why a boundary operation failed. Carried by value; cheap.
+struct Error {
+  std::string message;
+};
+
+/// Holds either a T or an Error. Precondition on value()/error(): the
+/// corresponding has_value()/!has_value() state, asserted in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!has_value());
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace infilter::util

@@ -1,0 +1,25 @@
+// Simulation time.
+//
+// The whole reproduction runs on virtual time: a 64-bit count of
+// milliseconds since the simulation epoch. NetFlow v5 natively timestamps
+// flows in router-uptime milliseconds, so milliseconds are the natural
+// resolution for every component.
+
+#pragma once
+
+#include <cstdint>
+
+namespace infilter::util {
+
+/// Milliseconds since the simulation epoch.
+using TimeMs = std::uint64_t;
+
+/// A span of simulated milliseconds.
+using DurationMs = std::uint64_t;
+
+inline constexpr DurationMs kSecond = 1000;
+inline constexpr DurationMs kMinute = 60 * kSecond;
+inline constexpr DurationMs kHour = 60 * kMinute;
+inline constexpr DurationMs kDay = 24 * kHour;
+
+}  // namespace infilter::util

@@ -1,0 +1,156 @@
+// Tests for the Table 2 / Table 3 allocation machinery
+// (dagflow/allocation.h), including exact reproduction of the paper's
+// published allocations.
+
+#include "dagflow/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+namespace infilter::dagflow {
+namespace {
+
+std::string blocks_notation(const std::vector<net::SubBlock>& blocks) {
+  std::string out;
+  for (const auto& b : blocks) {
+    if (!out.empty()) out += ' ';
+    out += b.notation();
+  }
+  return out;
+}
+
+TEST(EiaRange, ReproducesTableThree) {
+  // Table 3: Peer AS1 <- 1a-13d, AS2 <- 13e-25h, ..., AS10 <- 113e-125h.
+  const char* expected[] = {"1a-13d",    "13e-25h",   "26a-38d",  "38e-50h",
+                            "51a-63d",   "63e-75h",   "76a-88d",  "88e-100h",
+                            "101a-113d", "113e-125h"};
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_EQ(eia_range(s).notation(), expected[s]) << "source " << s;
+  }
+}
+
+TEST(EiaRange, RangesAreDisjointAndCoverFirstThousand) {
+  std::set<int> seen;
+  for (int s = 0; s < 10; ++s) {
+    for (const auto& block : eia_range(s).expand()) {
+      EXPECT_TRUE(seen.insert(block.index()).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 999);
+}
+
+TEST(MakeAllocation, ReproducesTableTwoAllocationOne) {
+  // Table 2, Allocation 1 (our index 0) with 2% route change.
+  const auto alloc = make_allocation(10, 100, 2, 0);
+  const char* normal[] = {"1a-13b",    "13e-25f",   "26a-38b",  "38e-50f",
+                          "51a-63b",   "63e-75f",   "76a-88b",  "88e-100f",
+                          "101a-113b", "113e-125f"};
+  const char* change[] = {"113d 125g", "125h 13c", "13d 25g",  "25h 38c",
+                          "38d 50g",   "50h 63c",  "63d 75g",  "75h 88c",
+                          "88d 100g",  "100h 113c"};
+  ASSERT_EQ(alloc.size(), 10u);
+  for (int s = 0; s < 10; ++s) {
+    const auto& a = alloc[static_cast<std::size_t>(s)];
+    ASSERT_EQ(a.normal_set.size(), 98u);
+    EXPECT_EQ(a.normal_set.front().notation() + "-" + a.normal_set.back().notation(),
+              normal[s])
+        << "source " << s;
+    // Change sets compare as sets (the paper lists them unordered).
+    std::set<std::string> have;
+    for (const auto& b : a.change_set) have.insert(b.notation());
+    std::set<std::string> want;
+    std::string text = change[s];
+    want.insert(text.substr(0, text.find(' ')));
+    want.insert(text.substr(text.find(' ') + 1));
+    EXPECT_EQ(have, want) << "source " << s << ": " << blocks_notation(a.change_set);
+  }
+}
+
+TEST(MakeAllocation, ReproducesTableTwoAllocationTwo) {
+  const auto alloc = make_allocation(10, 100, 2, 1);
+  // Table 2, Allocation 2: each source receives its predecessor's
+  // allocation-1 change set.
+  const char* change[] = {"100h 113c", "113d 125g", "13c 125h", "13d 25g",
+                          "25h 38c",   "38d 50g",   "50h 63c",  "63d 75g",
+                          "75h 88c",   "88d 100g"};
+  for (int s = 0; s < 10; ++s) {
+    std::set<std::string> have;
+    for (const auto& b : alloc[static_cast<std::size_t>(s)].change_set) {
+      have.insert(b.notation());
+    }
+    std::set<std::string> want;
+    std::string text = change[s];
+    want.insert(text.substr(0, text.find(' ')));
+    want.insert(text.substr(text.find(' ') + 1));
+    EXPECT_EQ(have, want) << "source " << s;
+  }
+}
+
+class AllocationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (change, index)
+
+TEST_P(AllocationSweep, StructuralInvariants) {
+  const auto [change_blocks, index] = GetParam();
+  const auto alloc = make_allocation(10, 100, change_blocks, index);
+  ASSERT_EQ(alloc.size(), 10u);
+
+  std::set<int> used;
+  for (int s = 0; s < 10; ++s) {
+    const auto& a = alloc[static_cast<std::size_t>(s)];
+    EXPECT_EQ(static_cast<int>(a.normal_set.size()), 100 - change_blocks);
+    EXPECT_EQ(static_cast<int>(a.change_set.size()), change_blocks);
+    // Normal set is a prefix of the source's own EIA range.
+    for (const auto& b : a.normal_set) {
+      EXPECT_TRUE(a.eia_range.contains(b));
+      EXPECT_TRUE(used.insert(b.index()).second);
+    }
+    // Change blocks come from other sources' ranges (no self-donation).
+    for (const auto& b : a.change_set) {
+      EXPECT_FALSE(a.eia_range.contains(b))
+          << "source " << s << " received own block " << b.notation();
+      EXPECT_TRUE(used.insert(b.index()).second)
+          << "block " << b.notation() << " allocated twice";
+    }
+  }
+  // Every one of the 1000 blocks is used exactly once per allocation.
+  EXPECT_EQ(used.size(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChangeLevelsAndIndices, AllocationSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+TEST(MakeAllocation, ZeroChangeMatchesTableThree) {
+  const auto alloc = make_allocation(10, 100, 0, 0);
+  for (int s = 0; s < 10; ++s) {
+    const auto& a = alloc[static_cast<std::size_t>(s)];
+    EXPECT_EQ(a.normal_set.size(), 100u);
+    EXPECT_TRUE(a.change_set.empty());
+    EXPECT_EQ(a.eia_range, eia_range(s));
+  }
+}
+
+TEST(MakeAllocation, SuccessiveAllocationsRotateChangeSets) {
+  const auto a0 = make_allocation(10, 100, 2, 0);
+  const auto a1 = make_allocation(10, 100, 2, 1);
+  // Allocation k+1 gives source s+1 what allocation k gave source s.
+  for (int s = 0; s < 10; ++s) {
+    std::set<int> from_a0;
+    for (const auto& b : a0[static_cast<std::size_t>(s)].change_set) {
+      from_a0.insert(b.index());
+    }
+    std::set<int> from_a1;
+    for (const auto& b : a1[static_cast<std::size_t>((s + 1) % 10)].change_set) {
+      from_a1.insert(b.index());
+    }
+    EXPECT_EQ(from_a0, from_a1) << "source " << s;
+  }
+}
+
+}  // namespace
+}  // namespace infilter::dagflow

@@ -1,0 +1,102 @@
+// Tests for the ASCII flow interchange (flowtools/ascii.h).
+
+#include "flowtools/ascii.h"
+
+#include <gtest/gtest.h>
+
+#include "dagflow/dagflow.h"
+#include "traffic/normal.h"
+
+namespace infilter::flowtools {
+namespace {
+
+std::vector<CapturedFlow> sample_flows(std::size_t count) {
+  traffic::NormalTrafficModel model;
+  util::Rng rng{77};
+  const auto trace = model.generate(count, 0, rng);
+  dagflow::Dagflow replayer(
+      dagflow::DagflowConfig{},
+      dagflow::AddressPool::from_subblocks({*net::SubBlock::parse("9d")}), 78);
+  std::vector<CapturedFlow> flows;
+  for (const auto& labeled : replayer.replay(trace)) {
+    CapturedFlow flow;
+    flow.record = labeled.record;
+    flow.arrival_port = 9004;
+    flow.export_time_ms = 123456;
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+TEST(AsciiFlows, HeaderIsFirstLine) {
+  const auto text = export_ascii(sample_flows(3));
+  EXPECT_EQ(text.substr(0, ascii_header().size()), ascii_header());
+}
+
+TEST(AsciiFlows, RoundTripPreservesEverything) {
+  const auto flows = sample_flows(120);
+  const auto imported = import_ascii(export_ascii(flows));
+  ASSERT_TRUE(imported.has_value()) << imported.error().message;
+  ASSERT_EQ(imported->size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ((*imported)[i].record, flows[i].record) << i;
+    EXPECT_EQ((*imported)[i].arrival_port, flows[i].arrival_port) << i;
+    EXPECT_EQ((*imported)[i].export_time_ms, flows[i].export_time_ms) << i;
+  }
+}
+
+TEST(AsciiFlows, EmptyExportRoundTrips) {
+  const auto imported = import_ascii(export_ascii({}));
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_TRUE(imported->empty());
+}
+
+TEST(AsciiFlows, SkipsCommentsAndBlankLines) {
+  std::string text(ascii_header());
+  text += "\n# a comment\n\n";
+  text += "1.2.3.4,5.6.7.8,6,1024,80,0,0,10,5000,0,1000,27,0,0,9001,42\n";
+  const auto imported = import_ascii(text);
+  ASSERT_TRUE(imported.has_value()) << imported.error().message;
+  ASSERT_EQ(imported->size(), 1u);
+  EXPECT_EQ(imported->front().record.bytes, 5000u);
+  EXPECT_EQ(imported->front().record.tcp_flags, 27);
+  EXPECT_EQ(imported->front().arrival_port, 9001);
+}
+
+TEST(AsciiFlows, RejectsMissingHeader) {
+  EXPECT_FALSE(
+      import_ascii("1.2.3.4,5.6.7.8,6,1024,80,0,0,10,5000,0,1000,27,0,0,9001,42\n")
+          .has_value());
+}
+
+TEST(AsciiFlows, RejectsWrongFieldCount) {
+  std::string text(ascii_header());
+  text += "\n1.2.3.4,5.6.7.8,6,1024\n";
+  const auto imported = import_ascii(text);
+  ASSERT_FALSE(imported.has_value());
+  EXPECT_NE(imported.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(AsciiFlows, RejectsBadAddress) {
+  std::string text(ascii_header());
+  text += "\n999.2.3.4,5.6.7.8,6,1024,80,0,0,10,5000,0,1000,27,0,0,9001,42\n";
+  EXPECT_FALSE(import_ascii(text).has_value());
+}
+
+TEST(AsciiFlows, RejectsOutOfRangeNumbers) {
+  std::string text(ascii_header());
+  // proto 999 overflows uint8.
+  text += "\n1.2.3.4,5.6.7.8,999,1024,80,0,0,10,5000,0,1000,27,0,0,9001,42\n";
+  EXPECT_FALSE(import_ascii(text).has_value());
+}
+
+TEST(AsciiFlows, ToleratesCrLf) {
+  std::string text(ascii_header());
+  text += "\r\n1.2.3.4,5.6.7.8,6,1024,80,0,0,10,5000,0,1000,27,0,0,9001,42\r\n";
+  const auto imported = import_ascii(text);
+  ASSERT_TRUE(imported.has_value()) << imported.error().message;
+  EXPECT_EQ(imported->size(), 1u);
+}
+
+}  // namespace
+}  // namespace infilter::flowtools

@@ -1,0 +1,229 @@
+// Tests for policy routing (routing/bgp.h): Gao-Rexford preferences,
+// valley-free paths, link failures, and the ingress-peer extraction the
+// InFilter hypothesis is about.
+
+#include "routing/bgp.h"
+
+#include <gtest/gtest.h>
+
+namespace infilter::routing {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig c;
+  c.tier1_count = 3;
+  c.tier2_count = 10;
+  c.stub_count = 30;
+  c.parallel_link_fraction = 0.3;
+  return c;
+}
+
+TEST(RouteComputation, TargetRoutesToItself) {
+  const auto topo = AsTopology::generate(small_config(), 1);
+  const RouteComputation routes(topo, 5);
+  EXPECT_EQ(routes.route(5).type, RouteType::kSelf);
+  EXPECT_EQ(routes.route(5).length, 0);
+  EXPECT_EQ(routes.ingress_peer(5), -1);
+}
+
+TEST(RouteComputation, AllAsesReachAllUpTargets) {
+  const auto topo = AsTopology::generate(small_config(), 2);
+  for (AsId target : {0, 7, 20, 40}) {
+    const RouteComputation routes(topo, target);
+    for (AsId from = 0; from < topo.as_count(); ++from) {
+      EXPECT_NE(routes.route(from).type, RouteType::kNone)
+          << from << " cannot reach " << target;
+    }
+  }
+}
+
+TEST(RouteComputation, PathsEndAtTargetAndStartAtSource) {
+  const auto topo = AsTopology::generate(small_config(), 3);
+  const AsId target = 12;
+  const RouteComputation routes(topo, target);
+  for (AsId from = 0; from < topo.as_count(); ++from) {
+    if (from == target) continue;
+    const auto path = routes.path(from);
+    ASSERT_GE(path.size(), 2u) << from;
+    EXPECT_EQ(path.front(), from);
+    EXPECT_EQ(path.back(), target);
+  }
+}
+
+TEST(RouteComputation, PathsFollowTopologyEdges) {
+  const auto topo = AsTopology::generate(small_config(), 4);
+  const RouteComputation routes(topo, 9);
+  for (AsId from = 0; from < topo.as_count(); ++from) {
+    const auto path = routes.path(from);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      bool adjacent = false;
+      for (const auto& nb : topo.neighbors(path[i])) {
+        adjacent |= nb.as == path[i + 1];
+      }
+      EXPECT_TRUE(adjacent) << path[i] << "->" << path[i + 1];
+    }
+  }
+}
+
+TEST(RouteComputation, PathsAreValleyFree) {
+  // Once a path goes peer or down (provider->customer), it may never go up
+  // (customer->provider) or cross another peer link after going down.
+  const auto topo = AsTopology::generate(small_config(), 5);
+  auto relationship = [&topo](AsId from, AsId to) {
+    for (const auto& nb : topo.neighbors(from)) {
+      if (nb.as == to) return nb.relationship;
+    }
+    ADD_FAILURE() << "no edge " << from << "->" << to;
+    return Relationship::kPeer;
+  };
+  for (AsId target : {0, 6, 25}) {
+    const RouteComputation routes(topo, target);
+    for (AsId from = 0; from < topo.as_count(); ++from) {
+      const auto path = routes.path(from);
+      // Phase: 0 = climbing (toward providers), 1 = peered, 2 = descending.
+      int phase = 0;
+      int peer_links = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto rel = relationship(path[i], path[i + 1]);
+        if (rel == Relationship::kProvider) {
+          EXPECT_EQ(phase, 0) << "uphill after plateau/downhill, src " << from;
+        } else if (rel == Relationship::kPeer) {
+          EXPECT_LE(phase, 0) << "peer link after downhill, src " << from;
+          phase = 1;
+          ++peer_links;
+        } else {
+          phase = 2;
+        }
+      }
+      EXPECT_LE(peer_links, 1) << "multiple peer links, src " << from;
+    }
+  }
+}
+
+TEST(RouteComputation, CustomerRoutePreferredOverPeerAndProvider) {
+  const auto topo = AsTopology::generate(small_config(), 6);
+  // For every AS with a customer route available, the selected route must
+  // be a customer route (checked implicitly: selected type kCustomer means
+  // next hop is a customer). Here we verify the selected next hop's
+  // relationship matches the route type.
+  const RouteComputation routes(topo, 15);
+  for (AsId from = 0; from < topo.as_count(); ++from) {
+    const auto& route = routes.route(from);
+    if (route.type == RouteType::kSelf || route.type == RouteType::kNone) continue;
+    Relationship expected = Relationship::kPeer;
+    switch (route.type) {
+      case RouteType::kCustomer: expected = Relationship::kCustomer; break;
+      case RouteType::kPeer: expected = Relationship::kPeer; break;
+      case RouteType::kProvider: expected = Relationship::kProvider; break;
+      default: break;
+    }
+    bool ok = false;
+    for (const auto& nb : topo.neighbors(from)) {
+      if (nb.as == route.next_hop) ok = (nb.relationship == expected);
+    }
+    EXPECT_TRUE(ok) << "AS " << from << " route type vs neighbor relationship";
+  }
+}
+
+TEST(RouteComputation, IngressPeerIsSecondToLastHop) {
+  const auto topo = AsTopology::generate(small_config(), 7);
+  const AsId target = 18;
+  const RouteComputation routes(topo, target);
+  for (AsId from = 0; from < topo.as_count(); ++from) {
+    if (from == target) continue;
+    const auto path = routes.path(from);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(routes.ingress_peer(from), path[path.size() - 2]);
+    // The ingress peer must be a direct neighbor of the target.
+    bool adjacent = false;
+    for (const auto& nb : topo.neighbors(target)) {
+      adjacent |= nb.as == routes.ingress_peer(from);
+    }
+    EXPECT_TRUE(adjacent);
+  }
+}
+
+TEST(RouteComputation, DirectNeighborIngressesThroughItself) {
+  const auto topo = AsTopology::generate(small_config(), 8);
+  const AsId target = 20;
+  const RouteComputation routes(topo, target);
+  for (const auto& nb : topo.neighbors(target)) {
+    // A neighbor that routes directly to the target is its own peer AS.
+    if (routes.route(nb.as).next_hop == target) {
+      EXPECT_EQ(routes.ingress_peer(nb.as), nb.as);
+    }
+  }
+}
+
+TEST(RouteComputation, DownLinkDivertsOrDisconnects) {
+  const auto topo = AsTopology::generate(small_config(), 9);
+  const AsId target = 33;  // a stub
+  const RouteComputation base(topo, target);
+  // Fail the link the first reachable source uses to enter the target.
+  AsId source = -1;
+  for (AsId from = 0; from < topo.as_count(); ++from) {
+    if (from != target && base.ingress_link(from) >= 0) {
+      source = from;
+      break;
+    }
+  }
+  ASSERT_GE(source, 0);
+  const int link = base.ingress_link(source);
+  std::vector<bool> down(topo.links().size(), false);
+  down[static_cast<std::size_t>(link)] = true;
+  const RouteComputation failed(topo, target, down);
+  // The source either found another ingress or lost reachability; it must
+  // not still claim the failed link.
+  EXPECT_NE(failed.ingress_link(source), link);
+}
+
+TEST(RouteComputation, DeterministicTieBreaks) {
+  const auto topo = AsTopology::generate(small_config(), 10);
+  const RouteComputation a(topo, 11);
+  const RouteComputation b(topo, 11);
+  for (AsId from = 0; from < topo.as_count(); ++from) {
+    EXPECT_EQ(a.route(from).next_hop, b.route(from).next_hop);
+    EXPECT_EQ(a.route(from).type, b.route(from).type);
+  }
+}
+
+TEST(RouteComputation, PathLengthMatchesRouteLength) {
+  const auto topo = AsTopology::generate(small_config(), 12);
+  const RouteComputation routes(topo, 4);
+  for (AsId from = 0; from < topo.as_count(); ++from) {
+    const auto path = routes.path(from);
+    if (path.empty()) continue;
+    EXPECT_EQ(static_cast<int>(path.size()) - 1, routes.route(from).length)
+        << "AS " << from;
+  }
+}
+
+TEST(LinkFailureProcess, StartsAllUp) {
+  LinkFailureProcess process(10, 0.1, 0.5, 1);
+  for (const bool down : process.down()) EXPECT_FALSE(down);
+}
+
+TEST(LinkFailureProcess, ZeroFailRateNeverFails) {
+  LinkFailureProcess process(10, 0.0, 0.5, 2);
+  for (int step = 0; step < 50; ++step) {
+    for (const bool down : process.step()) EXPECT_FALSE(down);
+  }
+}
+
+TEST(LinkFailureProcess, FailuresOccurAndRepair) {
+  LinkFailureProcess process(200, 0.05, 0.5, 3);
+  int saw_down = 0;
+  for (int step = 0; step < 50; ++step) {
+    const auto& down = process.step();
+    for (const bool d : down) saw_down += d ? 1 : 0;
+  }
+  EXPECT_GT(saw_down, 0);
+  // With repair 10x fail, steady-state down fraction ~ 9%; after many
+  // steps not everything is down.
+  int final_down = 0;
+  for (const bool d : process.down()) final_down += d ? 1 : 0;
+  EXPECT_LT(final_down, 100);
+}
+
+}  // namespace
+}  // namespace infilter::routing

@@ -1,0 +1,99 @@
+// Tests for the bit-vector primitives backing the NNS (nns/bitvector.h).
+
+#include "nns/bitvector.h"
+
+#include <gtest/gtest.h>
+
+namespace infilter::nns {
+namespace {
+
+TEST(BitVector, StartsAllZero) {
+  const BitVector v(100);
+  EXPECT_EQ(v.size(), 100);
+  EXPECT_EQ(v.popcount(), 0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVector, SetAndGetAcrossWordBoundaries) {
+  BitVector v(130);
+  for (const int i : {0, 1, 63, 64, 65, 127, 128, 129}) {
+    v.set(i);
+    EXPECT_TRUE(v.get(i)) << i;
+  }
+  EXPECT_EQ(v.popcount(), 8);
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 7);
+}
+
+TEST(BitVector, HammingDistanceBasics) {
+  BitVector a(720);
+  BitVector b(720);
+  EXPECT_EQ(a.hamming_distance(b), 0);
+  a.set(0);
+  a.set(700);
+  EXPECT_EQ(a.hamming_distance(b), 2);
+  b.set(0);
+  EXPECT_EQ(a.hamming_distance(b), 1);
+  b.set(350);
+  EXPECT_EQ(a.hamming_distance(b), 2);
+}
+
+TEST(BitVector, HammingDistanceIsSymmetricMetric) {
+  util::Rng rng{1};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = BitVector::random_biased(256, 0.5, rng);
+    const auto b = BitVector::random_biased(256, 0.5, rng);
+    const auto c = BitVector::random_biased(256, 0.5, rng);
+    EXPECT_EQ(a.hamming_distance(b), b.hamming_distance(a));
+    EXPECT_EQ(a.hamming_distance(a), 0);
+    // Triangle inequality.
+    EXPECT_LE(a.hamming_distance(c),
+              a.hamming_distance(b) + b.hamming_distance(c));
+  }
+}
+
+TEST(BitVector, InnerProductIsParityOfAnd) {
+  BitVector a(70);
+  BitVector b(70);
+  EXPECT_FALSE(a.inner_product(b));
+  a.set(5);
+  b.set(5);
+  EXPECT_TRUE(a.inner_product(b));  // one shared bit -> parity 1
+  a.set(69);
+  b.set(69);
+  EXPECT_FALSE(a.inner_product(b));  // two shared bits -> parity 0
+  a.set(33);
+  EXPECT_FALSE(a.inner_product(b));  // unshared bit does not count
+}
+
+TEST(BitVector, RandomBiasedRespectsBias) {
+  util::Rng rng{7};
+  // b = 0.5 -> per-bit probability 0.25.
+  int ones = 0;
+  const int trials = 200;
+  const int bits = 512;
+  for (int t = 0; t < trials; ++t) {
+    ones += BitVector::random_biased(bits, 0.5, rng).popcount();
+  }
+  const double rate = static_cast<double>(ones) / (trials * bits);
+  EXPECT_NEAR(rate, 0.25, 0.01);
+}
+
+TEST(BitVector, RandomBiasedZeroBiasIsAllZero) {
+  util::Rng rng{8};
+  EXPECT_EQ(BitVector::random_biased(512, 0.0, rng).popcount(), 0);
+}
+
+TEST(BitVector, EqualityComparesContent) {
+  BitVector a(64);
+  BitVector b(64);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace infilter::nns

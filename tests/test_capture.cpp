@@ -1,0 +1,141 @@
+// Tests for the flow-capture collector (flowtools/capture.h).
+
+#include "flowtools/capture.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace infilter::flowtools {
+namespace {
+
+netflow::V5Record record(std::uint32_t salt) {
+  netflow::V5Record r;
+  r.src_ip = net::IPv4Address{salt * 2654435761u};
+  r.dst_ip = net::IPv4Address{100, 64, 0, 1};
+  r.proto = 6;
+  r.src_port = static_cast<std::uint16_t>(1024 + salt);
+  r.dst_port = 80;
+  r.packets = 1 + salt;
+  r.bytes = 40 * (1 + salt);
+  r.first = 100 * salt;
+  r.last = 100 * salt + 50;
+  return r;
+}
+
+std::vector<std::uint8_t> datagram(std::span<const netflow::V5Record> records,
+                                   std::uint32_t sequence = 0,
+                                   std::uint8_t engine = 0) {
+  netflow::V5Header header;
+  header.flow_sequence = sequence;
+  header.engine_id = engine;
+  header.sys_uptime_ms = 999;
+  return netflow::encode(header, records);
+}
+
+TEST(FlowCapture, IngestStoresRecordsWithPort) {
+  FlowCapture capture;
+  const std::vector records{record(1), record(2)};
+  const auto result = capture.ingest(datagram(records), 9003);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 2u);
+  ASSERT_EQ(capture.flows().size(), 2u);
+  EXPECT_EQ(capture.flows()[0].record, records[0]);
+  EXPECT_EQ(capture.flows()[0].arrival_port, 9003);
+  EXPECT_EQ(capture.flows()[0].export_time_ms, 999u);
+}
+
+TEST(FlowCapture, MalformedDatagramCountedAndDropped) {
+  FlowCapture capture;
+  const std::vector<std::uint8_t> garbage(40, 0xAB);
+  const auto result = capture.ingest(garbage, 9001);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(capture.datagrams_received(), 1u);
+  EXPECT_EQ(capture.datagrams_malformed(), 1u);
+  EXPECT_TRUE(capture.flows().empty());
+}
+
+TEST(FlowCapture, DetectsSequenceGaps) {
+  FlowCapture capture;
+  const std::vector first{record(1), record(2)};
+  ASSERT_TRUE(capture.ingest(datagram(first, 0), 9001).has_value());
+  // Next datagram claims sequence 10: 8 flows lost.
+  const std::vector second{record(3)};
+  ASSERT_TRUE(capture.ingest(datagram(second, 10), 9001).has_value());
+  EXPECT_EQ(capture.sequence_gaps(), 8u);
+}
+
+TEST(FlowCapture, NoGapOnContiguousSequence) {
+  FlowCapture capture;
+  ASSERT_TRUE(capture.ingest(datagram(std::vector{record(1), record(2)}, 0), 9001)
+                  .has_value());
+  ASSERT_TRUE(capture.ingest(datagram(std::vector{record(3)}, 2), 9001).has_value());
+  EXPECT_EQ(capture.sequence_gaps(), 0u);
+}
+
+TEST(FlowCapture, SequenceTrackedPerPort) {
+  FlowCapture capture;
+  ASSERT_TRUE(capture.ingest(datagram(std::vector{record(1)}, 0), 9001).has_value());
+  // A different port starts its own sequence space; no gap.
+  ASSERT_TRUE(capture.ingest(datagram(std::vector{record(2)}, 500), 9002).has_value());
+  EXPECT_EQ(capture.sequence_gaps(), 0u);
+}
+
+TEST(FlowCapture, SaveLoadRoundTrip) {
+  FlowCapture capture;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(capture
+                    .ingest(datagram(std::vector{record(i)}, i,
+                                     static_cast<std::uint8_t>(i % 3)),
+                            static_cast<std::uint16_t>(9001 + i % 4))
+                    .has_value());
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "infilter_capture_test.bin").string();
+  const auto saved = capture.save(path);
+  ASSERT_TRUE(saved.has_value()) << saved.error().message;
+  EXPECT_EQ(*saved, 40u);
+
+  FlowCapture loaded;
+  const auto count = loaded.load(path);
+  ASSERT_TRUE(count.has_value()) << count.error().message;
+  EXPECT_EQ(*count, 40u);
+  ASSERT_EQ(loaded.flows().size(), capture.flows().size());
+  for (std::size_t i = 0; i < loaded.flows().size(); ++i) {
+    EXPECT_EQ(loaded.flows()[i].record, capture.flows()[i].record) << i;
+    EXPECT_EQ(loaded.flows()[i].arrival_port, capture.flows()[i].arrival_port) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlowCapture, LoadRejectsMissingFile) {
+  FlowCapture capture;
+  EXPECT_FALSE(capture.load("/nonexistent/path/capture.bin").has_value());
+}
+
+TEST(FlowCapture, LoadRejectsBadMagic) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "infilter_badmagic.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[16] = "not a capture!!";
+    out.write(junk, sizeof junk);
+  }
+  FlowCapture capture;
+  EXPECT_FALSE(capture.load(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(FlowCapture, ClearResetsEverything) {
+  FlowCapture capture;
+  ASSERT_TRUE(capture.ingest(datagram(std::vector{record(1)}), 9001).has_value());
+  capture.clear();
+  EXPECT_TRUE(capture.flows().empty());
+  EXPECT_EQ(capture.datagrams_received(), 0u);
+  EXPECT_EQ(capture.sequence_gaps(), 0u);
+}
+
+}  // namespace
+}  // namespace infilter::flowtools

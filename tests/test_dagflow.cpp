@@ -1,0 +1,260 @@
+// Tests for the Dagflow replay tool (dagflow/dagflow.h).
+
+#include "dagflow/dagflow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "flowtools/capture.h"
+#include "traffic/normal.h"
+
+namespace infilter::dagflow {
+namespace {
+
+TEST(AddressPool, DrawsStayInsidePrefixes) {
+  const auto pool = AddressPool::from_subblocks(
+      {*net::SubBlock::parse("1a"), *net::SubBlock::parse("5c")});
+  util::Rng rng{1};
+  const auto p1 = net::SubBlock::parse("1a")->prefix();
+  const auto p2 = net::SubBlock::parse("5c")->prefix();
+  for (int i = 0; i < 2000; ++i) {
+    const auto address = pool.draw(rng);
+    EXPECT_TRUE(p1.contains(address) || p2.contains(address));
+  }
+}
+
+TEST(AddressPool, WeightsControlComponentFrequency) {
+  // "25% of the source IP addresses in the 192.4/16 subnet, 25% in the
+  // 214.96/16 subnet and the remaining 50% in the 145.25/16 subnet."
+  const auto a = *net::Prefix::parse("192.4.0.0/16");
+  const auto b = *net::Prefix::parse("214.96.0.0/16");
+  const auto c = *net::Prefix::parse("145.25.0.0/16");
+  const AddressPool pool({{{a}, 0.25}, {{b}, 0.25}, {{c}, 0.5}});
+  util::Rng rng{2};
+  int in_a = 0, in_b = 0, in_c = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto address = pool.draw(rng);
+    if (a.contains(address)) ++in_a;
+    else if (b.contains(address)) ++in_b;
+    else if (c.contains(address)) ++in_c;
+    else FAIL() << address.to_string() << " outside all components";
+  }
+  EXPECT_NEAR(in_a / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(in_b / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(in_c / static_cast<double>(n), 0.50, 0.02);
+}
+
+TEST(AddressPool, FromAllocationCoversNormalAndChangeSets) {
+  const auto alloc = make_allocation(10, 100, 2, 0);
+  const auto pool = AddressPool::from_allocation(alloc[0]);
+  util::Rng rng{3};
+  bool saw_foreign = false;
+  for (int i = 0; i < 30000; ++i) {
+    const auto address = pool.draw(rng);
+    const auto block = net::SubBlock::containing(address);
+    ASSERT_TRUE(block.has_value());
+    const bool own = alloc[0].eia_range.contains(*block);
+    bool foreign = false;
+    for (const auto& b : alloc[0].change_set) foreign |= (b == *block);
+    EXPECT_TRUE(own || foreign) << address.to_string();
+    saw_foreign |= foreign;
+  }
+  // 2 of 100 blocks are foreign; 30k draws hit them with near certainty.
+  EXPECT_TRUE(saw_foreign);
+}
+
+TEST(Dagflow, ReplayRewritesSourcesAndPreservesShape) {
+  traffic::Trace trace;
+  traffic::TraceFlow flow;
+  flow.start = 100;
+  flow.duration_ms = 50;
+  flow.packets = 7;
+  flow.bytes = 777;
+  flow.proto = 6;
+  flow.src_port = 1234;
+  flow.dst_port = 80;
+  flow.tcp_flags = 0x1b;
+  flow.src_ip = net::IPv4Address{9, 9, 9, 9};
+  flow.dst_ip = net::IPv4Address{100, 64, 0, 5};
+  flow.attack = true;
+  flow.attack_kind = traffic::AttackKind::kSynFlood;
+  trace.flows.push_back(flow);
+
+  const auto block = *net::SubBlock::parse("7b");
+  Dagflow replayer(DagflowConfig{.netflow_port = 9004},
+                   AddressPool::from_subblocks({block}), 7);
+  const auto labeled = replayer.replay(trace);
+  ASSERT_EQ(labeled.size(), 1u);
+  const auto& out = labeled.front();
+  EXPECT_TRUE(block.prefix().contains(out.record.src_ip));  // rewritten
+  EXPECT_EQ(out.record.dst_ip, flow.dst_ip);
+  EXPECT_EQ(out.record.packets, 7u);
+  EXPECT_EQ(out.record.bytes, 777u);
+  EXPECT_EQ(out.record.first, 100u);
+  EXPECT_EQ(out.record.last, 150u);
+  EXPECT_EQ(out.record.src_port, 1234);
+  EXPECT_EQ(out.record.dst_port, 80);
+  EXPECT_EQ(out.record.tcp_flags, 0x1b);
+  EXPECT_EQ(out.arrival_port, 9004);
+  EXPECT_TRUE(out.attack);
+  EXPECT_EQ(out.attack_kind, traffic::AttackKind::kSynFlood);
+}
+
+TEST(Dagflow, SetPoolSwitchesAddressSpace) {
+  traffic::NormalTrafficModel model;
+  util::Rng rng{4};
+  const auto trace = model.generate(200, 0, rng);
+
+  const auto block1 = *net::SubBlock::parse("1a");
+  const auto block2 = *net::SubBlock::parse("99a");
+  Dagflow replayer(DagflowConfig{}, AddressPool::from_subblocks({block1}), 8);
+  const auto first = replayer.replay(trace);
+  replayer.set_pool(AddressPool::from_subblocks({block2}));
+  const auto second = replayer.replay(trace);
+  for (const auto& f : first) EXPECT_TRUE(block1.prefix().contains(f.record.src_ip));
+  for (const auto& f : second) EXPECT_TRUE(block2.prefix().contains(f.record.src_ip));
+}
+
+TEST(Dagflow, ExportDatagramsRoundTripThroughCapture) {
+  traffic::NormalTrafficModel model;
+  util::Rng rng{5};
+  const auto trace = model.generate(95, 0, rng);
+  Dagflow replayer(DagflowConfig{.netflow_port = 9007, .engine_id = 2},
+                   AddressPool::from_subblocks({*net::SubBlock::parse("3c")}), 9);
+  const auto labeled = replayer.replay(trace);
+  const auto datagrams = replayer.export_datagrams(labeled, 60000);
+  // 95 records -> 4 datagrams (30+30+30+5).
+  ASSERT_EQ(datagrams.size(), 4u);
+
+  flowtools::FlowCapture capture;
+  for (const auto& datagram : datagrams) {
+    ASSERT_TRUE(capture.ingest(datagram, replayer.netflow_port()).has_value());
+  }
+  ASSERT_EQ(capture.flows().size(), labeled.size());
+  EXPECT_EQ(capture.sequence_gaps(), 0u);
+  for (std::size_t i = 0; i < labeled.size(); ++i) {
+    EXPECT_EQ(capture.flows()[i].record, labeled[i].record) << i;
+    EXPECT_EQ(capture.flows()[i].arrival_port, 9007);
+  }
+}
+
+TEST(Dagflow, SequenceContinuesAcrossExportCalls) {
+  traffic::NormalTrafficModel model;
+  util::Rng rng{6};
+  const auto trace = model.generate(10, 0, rng);
+  Dagflow replayer(DagflowConfig{},
+                   AddressPool::from_subblocks({*net::SubBlock::parse("3c")}), 10);
+  const auto labeled = replayer.replay(trace);
+  const auto first = replayer.export_datagrams(labeled, 1000);
+  const auto second = replayer.export_datagrams(labeled, 2000);
+  const auto decoded = netflow::decode(second.front());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.flow_sequence, 10u);
+}
+
+TEST(Dagflow, SamplingDropsShortFlowsKeepsLong) {
+  traffic::Trace trace;
+  for (int i = 0; i < 400; ++i) {
+    traffic::TraceFlow flow;
+    flow.start = static_cast<util::TimeMs>(i);
+    flow.packets = (i % 2 == 0) ? 1 : 5000;  // half single-packet, half huge
+    flow.bytes = flow.packets * 100;
+    flow.proto = 17;
+    flow.dst_ip = net::IPv4Address{100, 64, 0, 1};
+    trace.flows.push_back(flow);
+  }
+  DagflowConfig config;
+  config.sampling_interval = 100;
+  Dagflow replayer(config, AddressPool::from_subblocks({*net::SubBlock::parse("3c")}),
+                   21);
+  const auto labeled = replayer.replay(trace);
+  int singles = 0;
+  int huge = 0;
+  for (const auto& flow : labeled) {
+    if (flow.record.bytes / std::max(1u, flow.record.packets) != 100) continue;
+    (flow.record.packets <= 100 ? singles : huge) += 1;
+  }
+  // Nearly every 5000-packet flow survives 1-in-100 sampling; roughly 1%
+  // of single-packet flows do.
+  EXPECT_GE(huge, 190);
+  EXPECT_LE(singles, 20);
+}
+
+TEST(Dagflow, SamplingScalesCountsUnbiased) {
+  traffic::Trace trace;
+  traffic::TraceFlow flow;
+  flow.packets = 5000;
+  flow.bytes = 500000;
+  flow.proto = 6;
+  flow.dst_ip = net::IPv4Address{100, 64, 0, 1};
+  trace.flows.push_back(flow);
+  DagflowConfig config;
+  config.sampling_interval = 100;
+  Dagflow replayer(config, AddressPool::from_subblocks({*net::SubBlock::parse("3c")}),
+                   22);
+  const auto labeled = replayer.replay(trace);
+  ASSERT_EQ(labeled.size(), 1u);
+  // 5000 packets at 1-in-100: ~50 sampled, scaled back to ~5000.
+  EXPECT_EQ(labeled.front().record.packets, 5000u);
+  EXPECT_EQ(labeled.front().record.bytes, 500000u);
+}
+
+TEST(Dagflow, SamplingQuantizesTinyFlowsUpToInterval) {
+  traffic::Trace trace;
+  for (int i = 0; i < 500; ++i) {
+    traffic::TraceFlow flow;
+    flow.packets = 1;
+    flow.bytes = 404;
+    flow.proto = 17;
+    flow.dst_port = 1434;
+    flow.dst_ip = net::IPv4Address{100, 64, 0, 1};
+    trace.flows.push_back(flow);
+  }
+  DagflowConfig config;
+  config.sampling_interval = 50;
+  Dagflow replayer(config, AddressPool::from_subblocks({*net::SubBlock::parse("3c")}),
+                   23);
+  const auto labeled = replayer.replay(trace);
+  ASSERT_GT(labeled.size(), 0u);
+  // A surviving single-packet flow is reported as ~interval packets (the
+  // exporter cannot know it was really one packet).
+  for (const auto& flow : labeled) {
+    EXPECT_EQ(flow.record.packets, 50u);
+    EXPECT_EQ(flow.record.bytes, 404u * 50u);
+  }
+}
+
+TEST(Dagflow, SamplingIntervalOneIsIdentity) {
+  traffic::NormalTrafficModel model;
+  util::Rng rng{24};
+  const auto trace = model.generate(100, 0, rng);
+  DagflowConfig config;
+  config.sampling_interval = 1;
+  Dagflow replayer(config, AddressPool::from_subblocks({*net::SubBlock::parse("3c")}),
+                   25);
+  EXPECT_EQ(replayer.replay(trace).size(), trace.flows.size());
+}
+
+TEST(Dagflow, DeterministicForSeed) {
+  traffic::NormalTrafficModel model;
+  util::Rng rng1{7};
+  util::Rng rng2{7};
+  const auto trace1 = model.generate(50, 0, rng1);
+  const auto trace2 = model.generate(50, 0, rng2);
+  Dagflow a(DagflowConfig{}, AddressPool::from_subblocks({*net::SubBlock::parse("5a")}),
+            11);
+  Dagflow b(DagflowConfig{}, AddressPool::from_subblocks({*net::SubBlock::parse("5a")}),
+            11);
+  const auto la = a.replay(trace1);
+  const auto lb = b.replay(trace2);
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].record, lb[i].record);
+  }
+}
+
+}  // namespace
+}  // namespace infilter::dagflow

@@ -1,0 +1,194 @@
+// Tests for EIA sets and the per-ingress EIA table (core/eia.h).
+
+#include "core/eia.h"
+
+#include <gtest/gtest.h>
+
+namespace infilter::core {
+namespace {
+
+net::IPv4Address ip(const char* text) { return *net::IPv4Address::parse(text); }
+net::Prefix prefix(const char* text) { return *net::Prefix::parse(text); }
+
+TEST(EiaSet, EmptyContainsNothing) {
+  const EiaSet set;
+  EXPECT_FALSE(set.contains(ip("1.2.3.4")));
+  EXPECT_EQ(set.range_count(), 0u);
+}
+
+TEST(EiaSet, SinglePrefixMembership) {
+  EiaSet set;
+  set.add(prefix("10.0.0.0/8"));
+  EXPECT_TRUE(set.contains(ip("10.0.0.0")));
+  EXPECT_TRUE(set.contains(ip("10.255.255.255")));
+  EXPECT_FALSE(set.contains(ip("9.255.255.255")));
+  EXPECT_FALSE(set.contains(ip("11.0.0.0")));
+  EXPECT_EQ(set.address_count(), std::uint64_t{1} << 24);
+}
+
+TEST(EiaSet, DisjointPrefixesKeepSeparateRanges) {
+  EiaSet set;
+  set.add(prefix("10.0.0.0/8"));
+  set.add(prefix("20.0.0.0/8"));
+  EXPECT_EQ(set.range_count(), 2u);
+  EXPECT_TRUE(set.contains(ip("10.1.1.1")));
+  EXPECT_TRUE(set.contains(ip("20.1.1.1")));
+  EXPECT_FALSE(set.contains(ip("15.0.0.0")));
+}
+
+TEST(EiaSet, AdjacentPrefixesMerge) {
+  EiaSet set;
+  set.add(prefix("10.0.0.0/9"));
+  set.add(prefix("10.128.0.0/9"));
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_EQ(set.address_count(), std::uint64_t{1} << 24);
+}
+
+TEST(EiaSet, OverlappingPrefixesMerge) {
+  EiaSet set;
+  set.add(prefix("10.0.0.0/8"));
+  set.add(prefix("10.32.0.0/11"));  // contained
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_EQ(set.address_count(), std::uint64_t{1} << 24);
+  set.add(prefix("8.0.0.0/7"));  // overlaps [8.0.0.0, 9.255.255.255]; adjacent to 10/8
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_TRUE(set.contains(ip("8.0.0.1")));
+}
+
+TEST(EiaSet, ManyInsertsOutOfOrder) {
+  EiaSet set;
+  // /24s inserted in shuffled order spanning 30.0.[0..63].0/24.
+  for (int i = 63; i >= 0; i -= 2) {
+    set.add(net::Prefix{net::IPv4Address{30, 0, static_cast<std::uint8_t>(i), 0}, 24});
+  }
+  for (int i = 0; i < 64; i += 2) {
+    set.add(net::Prefix{net::IPv4Address{30, 0, static_cast<std::uint8_t>(i), 0}, 24});
+  }
+  EXPECT_EQ(set.range_count(), 1u);  // everything coalesces
+  EXPECT_EQ(set.address_count(), 64u * 256u);
+}
+
+TEST(EiaSet, DuplicateAddIsIdempotent) {
+  EiaSet set;
+  set.add(prefix("10.0.0.0/8"));
+  set.add(prefix("10.0.0.0/8"));
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_EQ(set.address_count(), std::uint64_t{1} << 24);
+}
+
+TEST(EiaSet, FullSpaceRange) {
+  EiaSet set;
+  set.add(prefix("0.0.0.0/0"));
+  EXPECT_TRUE(set.contains(ip("0.0.0.0")));
+  EXPECT_TRUE(set.contains(ip("255.255.255.255")));
+  EXPECT_EQ(set.range_count(), 1u);
+}
+
+TEST(EiaTable, ExpectedLookupPerIngress) {
+  EiaTable table;
+  table.add_expected(9001, prefix("3.0.0.0/11"));
+  table.add_expected(9002, prefix("3.32.0.0/11"));
+  EXPECT_TRUE(table.is_expected(9001, ip("3.1.2.3")));
+  EXPECT_FALSE(table.is_expected(9002, ip("3.1.2.3")));
+  EXPECT_TRUE(table.is_expected(9002, ip("3.40.0.1")));
+  EXPECT_FALSE(table.is_expected(9003, ip("3.1.2.3")));  // unknown ingress
+}
+
+TEST(EiaTable, ExpectedIngressFindsOwner) {
+  EiaTable table;
+  table.add_expected(9001, prefix("3.0.0.0/11"));
+  table.add_expected(9002, prefix("3.32.0.0/11"));
+  EXPECT_EQ(table.expected_ingress(ip("3.1.2.3")), std::optional<IngressId>{9001});
+  EXPECT_EQ(table.expected_ingress(ip("3.40.0.1")), std::optional<IngressId>{9002});
+  EXPECT_EQ(table.expected_ingress(ip("99.0.0.1")), std::nullopt);
+}
+
+TEST(EiaTable, ExpectedIngressPrefersLowestWhenShared) {
+  EiaTable table;
+  table.add_expected(9005, prefix("50.0.0.0/8"));
+  table.add_expected(9001, prefix("50.0.0.0/8"));
+  EXPECT_EQ(table.expected_ingress(ip("50.1.1.1")), std::optional<IngressId>{9001});
+}
+
+TEST(EiaTable, LearnsSlash24AfterThreshold) {
+  EiaTableConfig config;
+  config.learn_threshold = 5;
+  EiaTable table(config);
+  table.add_expected(9001, prefix("3.0.0.0/11"));
+
+  const auto newcomer = ip("77.1.2.3");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(table.observe_mismatch(9001, newcomer));
+    EXPECT_FALSE(table.is_expected(9001, newcomer));
+  }
+  EXPECT_TRUE(table.observe_mismatch(9001, newcomer));  // 5th flow learns
+  EXPECT_TRUE(table.is_expected(9001, newcomer));
+  // The whole /24 was learned, but not the neighboring /24.
+  EXPECT_TRUE(table.is_expected(9001, ip("77.1.2.250")));
+  EXPECT_FALSE(table.is_expected(9001, ip("77.1.3.1")));
+}
+
+TEST(EiaTable, LearningIsPerIngress) {
+  EiaTableConfig config;
+  config.learn_threshold = 3;
+  EiaTable table(config);
+  const auto source = ip("88.5.5.5");
+  table.observe_mismatch(9001, source);
+  table.observe_mismatch(9001, source);
+  table.observe_mismatch(9002, source);  // different ingress: separate counter
+  EXPECT_FALSE(table.is_expected(9001, source));
+  EXPECT_FALSE(table.is_expected(9002, source));
+  EXPECT_TRUE(table.observe_mismatch(9001, source));
+  EXPECT_TRUE(table.is_expected(9001, source));
+  EXPECT_FALSE(table.is_expected(9002, source));
+}
+
+TEST(EiaTable, CounterKeyedBySlash24NotHost) {
+  EiaTableConfig config;
+  config.learn_threshold = 3;
+  EiaTable table(config);
+  // Three different hosts in one /24 accumulate on the same counter.
+  table.observe_mismatch(9001, ip("66.1.1.1"));
+  table.observe_mismatch(9001, ip("66.1.1.2"));
+  EXPECT_TRUE(table.observe_mismatch(9001, ip("66.1.1.3")));
+  EXPECT_TRUE(table.is_expected(9001, ip("66.1.1.200")));
+}
+
+TEST(EiaTable, PendingCounterCapStopsNewTracking) {
+  EiaTableConfig config;
+  config.learn_threshold = 2;
+  config.max_pending_counters = 3;
+  EiaTable table(config);
+  // Fill the pending map with 3 distinct /24s.
+  table.observe_mismatch(9001, ip("60.0.0.1"));
+  table.observe_mismatch(9001, ip("60.0.1.1"));
+  table.observe_mismatch(9001, ip("60.0.2.1"));
+  EXPECT_EQ(table.pending_counters(), 3u);
+  // A 4th /24 is not tracked...
+  EXPECT_FALSE(table.observe_mismatch(9001, ip("60.0.3.1")));
+  EXPECT_FALSE(table.observe_mismatch(9001, ip("60.0.3.1")));
+  EXPECT_FALSE(table.is_expected(9001, ip("60.0.3.1")));
+  // ...but existing counters still learn.
+  EXPECT_TRUE(table.observe_mismatch(9001, ip("60.0.0.9")));
+}
+
+TEST(EiaTable, LearnedEntryFreesCounter) {
+  EiaTableConfig config;
+  config.learn_threshold = 2;
+  EiaTable table(config);
+  table.observe_mismatch(9001, ip("61.0.0.1"));
+  EXPECT_EQ(table.pending_counters(), 1u);
+  EXPECT_TRUE(table.observe_mismatch(9001, ip("61.0.0.2")));
+  EXPECT_EQ(table.pending_counters(), 0u);
+}
+
+TEST(EiaTable, SetForReturnsNullForUnknownIngress) {
+  EiaTable table;
+  EXPECT_EQ(table.set_for(1234), nullptr);
+  table.add_expected(1234, prefix("3.0.0.0/11"));
+  ASSERT_NE(table.set_for(1234), nullptr);
+  EXPECT_EQ(table.set_for(1234)->range_count(), 1u);
+}
+
+}  // namespace
+}  // namespace infilter::core

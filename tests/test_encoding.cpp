@@ -1,0 +1,103 @@
+// Tests for the unary flow encoding of Section 4.2 (nns/encoding.h).
+
+#include "nns/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace infilter::nns {
+namespace {
+
+TEST(UnaryEncoder, DimensionIsFeaturesTimesBits) {
+  const UnaryEncoder enc({{0, 5}, {0, 10}}, 8);
+  EXPECT_EQ(enc.dimension(), 16);
+  EXPECT_EQ(enc.feature_count(), 2u);
+  EXPECT_EQ(enc.bits_per_feature(), 8);
+}
+
+TEST(UnaryEncoder, PaperExampleShape) {
+  // Section 4.2's example: X1 in [0,5] with 5 bits, X2 in [0,10] with 10
+  // bits; X1=3, X2=6 encodes as 11100 111111 0000 -> "111001111110000".
+  const UnaryEncoder x1({{0, 5}}, 5);
+  const UnaryEncoder x2({{0, 10}}, 10);
+  const auto v1 = x1.encode(std::vector<double>{3});
+  const auto v2 = x2.encode(std::vector<double>{6});
+  EXPECT_EQ(v1.popcount(), 3);
+  EXPECT_EQ(v2.popcount(), 6);
+  // Unary: a prefix of ones followed by zeros.
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(v1.get(i));
+  for (int i = 3; i < 5; ++i) EXPECT_FALSE(v1.get(i));
+}
+
+TEST(UnaryEncoder, EncodingIsPrefixOfOnesPerFeature) {
+  const UnaryEncoder enc({{0, 100}, {0, 100}}, 20);
+  const auto v = enc.encode(std::vector<double>{35, 80});
+  // Feature 0 occupies bits [0,20), feature 1 bits [20,40).
+  const int ones0 = enc.quantize(35, 0);
+  const int ones1 = enc.quantize(80, 1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v.get(i), i < ones0) << i;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v.get(20 + i), i < ones1) << i;
+}
+
+TEST(UnaryEncoder, HammingDistanceIsQuantizedL1) {
+  // The defining property of the unary code: HD(enc(x), enc(y)) equals the
+  // sum over features of |interval(x_c) - interval(y_c)|.
+  const UnaryEncoder enc({{0, 100}, {0, 1000}}, 50);
+  const std::vector<double> x{10, 400};
+  const std::vector<double> y{30, 700};
+  const int expected = std::abs(enc.quantize(10, 0) - enc.quantize(30, 0)) +
+                       std::abs(enc.quantize(400, 1) - enc.quantize(700, 1));
+  EXPECT_EQ(enc.encode(x).hamming_distance(enc.encode(y)), expected);
+}
+
+TEST(UnaryEncoder, ValuesClampToRange) {
+  const UnaryEncoder enc({{0, 10}}, 10);
+  EXPECT_EQ(enc.quantize(-5, 0), 0);
+  EXPECT_EQ(enc.quantize(0, 0), 0);
+  EXPECT_EQ(enc.quantize(10, 0), 10);
+  EXPECT_EQ(enc.quantize(1e9, 0), 10);
+  EXPECT_EQ(enc.encode(std::vector<double>{1e9}).popcount(), 10);
+}
+
+TEST(UnaryEncoder, MonotoneInValue) {
+  const UnaryEncoder enc({{0, 1000}}, 64);
+  int last = -1;
+  for (double v = 0; v <= 1000; v += 50) {
+    const int q = enc.quantize(v, 0);
+    EXPECT_GE(q, last);
+    last = q;
+  }
+}
+
+TEST(UnaryEncoder, LogScaleSpreadsDecadesEvenly) {
+  const auto enc = UnaryEncoder::log_scale({{1, 1e8}}, 80);  // 10 bits/decade
+  const int q1 = enc.quantize(10, 0);
+  const int q2 = enc.quantize(100, 0);
+  const int q3 = enc.quantize(1000, 0);
+  EXPECT_EQ(q2 - q1, q3 - q2);  // equal steps per decade
+  EXPECT_EQ(q2 - q1, 10);
+}
+
+TEST(UnaryEncoder, LogScaleClampsNonPositive) {
+  const auto enc = UnaryEncoder::log_scale({{1, 1e6}}, 60);
+  EXPECT_EQ(enc.quantize(0, 0), 0);
+  EXPECT_EQ(enc.quantize(0.5, 0), 0);
+}
+
+class QuantizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizeSweep, IntervalIndexAlwaysInBounds) {
+  const int bits = GetParam();
+  const UnaryEncoder enc({{-50, 50}}, bits);
+  for (double v = -80; v <= 80; v += 1.37) {
+    const int q = enc.quantize(v, 0);
+    EXPECT_GE(q, 0);
+    EXPECT_LE(q, bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, QuantizeSweep, ::testing::Values(1, 2, 7, 64, 144));
+
+}  // namespace
+}  // namespace infilter::nns

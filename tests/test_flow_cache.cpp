@@ -1,0 +1,178 @@
+// Tests for the router-side flow cache (netflow/flow_cache.h): the four
+// expiry conditions of Section 5.1.1 plus aggregation behaviour.
+
+#include "netflow/flow_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace infilter::netflow {
+namespace {
+
+using util::kMinute;
+using util::kSecond;
+
+PacketObservation packet(net::IPv4Address src, std::uint16_t src_port,
+                         util::TimeMs time, std::uint32_t bytes = 100,
+                         std::uint8_t flags = 0) {
+  PacketObservation p;
+  p.key.src_ip = src;
+  p.key.dst_ip = net::IPv4Address{100, 64, 0, 1};
+  p.key.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  p.key.src_port = src_port;
+  p.key.dst_port = 80;
+  p.bytes = bytes;
+  p.tcp_flags = flags;
+  p.time = time;
+  return p;
+}
+
+FlowCacheConfig small_config() {
+  FlowCacheConfig c;
+  c.idle_timeout = 15 * kSecond;
+  c.active_timeout = 30 * kMinute;
+  c.max_entries = 8;
+  c.full_watermark = 0.75;
+  return c;
+}
+
+TEST(FlowCache, AggregatesPacketsIntoOneFlow) {
+  FlowCache cache{small_config()};
+  const auto src = net::IPv4Address{1, 2, 3, 4};
+  cache.observe(packet(src, 5000, 1000, 100));
+  cache.observe(packet(src, 5000, 1200, 200));
+  cache.observe(packet(src, 5000, 1400, 300));
+  EXPECT_EQ(cache.active_flows(), 1u);
+
+  auto records = cache.flush(2000);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.front().packets, 3u);
+  EXPECT_EQ(records.front().bytes, 600u);
+  EXPECT_EQ(records.front().first, 1000u);
+  EXPECT_EQ(records.front().last, 1400u);
+}
+
+TEST(FlowCache, DistinctKeysDistinctFlows) {
+  FlowCache cache{small_config()};
+  cache.observe(packet(net::IPv4Address{1, 2, 3, 4}, 5000, 1000));
+  cache.observe(packet(net::IPv4Address{1, 2, 3, 4}, 5001, 1000));
+  cache.observe(packet(net::IPv4Address{1, 2, 3, 5}, 5000, 1000));
+  EXPECT_EQ(cache.active_flows(), 3u);
+}
+
+TEST(FlowCache, IdleTimeoutExpires) {
+  FlowCache cache{small_config()};
+  cache.observe(packet(net::IPv4Address{1, 2, 3, 4}, 5000, 1000));
+  cache.advance(1000 + 14 * kSecond);
+  EXPECT_EQ(cache.active_flows(), 1u);  // not yet idle long enough
+  cache.advance(1000 + 15 * kSecond);
+  EXPECT_EQ(cache.active_flows(), 0u);
+  EXPECT_EQ(cache.drain_expired().size(), 1u);
+}
+
+TEST(FlowCache, ActivityResetsIdleClock) {
+  FlowCache cache{small_config()};
+  const auto src = net::IPv4Address{1, 2, 3, 4};
+  cache.observe(packet(src, 5000, 1000));
+  cache.observe(packet(src, 5000, 1000 + 10 * kSecond));
+  cache.advance(1000 + 20 * kSecond);  // 10s after last packet
+  EXPECT_EQ(cache.active_flows(), 1u);
+}
+
+TEST(FlowCache, ActiveTimeoutExpiresChattyFlow) {
+  FlowCache cache{small_config()};
+  const auto src = net::IPv4Address{1, 2, 3, 4};
+  // Keep the flow busy past the active timeout.
+  util::TimeMs t = 0;
+  while (t < 30 * kMinute) {
+    cache.observe(packet(src, 5000, t));
+    t += 5 * kSecond;
+  }
+  cache.observe(packet(src, 5000, t));
+  // The observe at t >= active_timeout expires the entry immediately.
+  EXPECT_EQ(cache.active_flows(), 0u);
+  const auto records = cache.drain_expired();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GE(records.front().duration_ms(), 30 * kMinute);
+}
+
+TEST(FlowCache, TcpFinExpiresImmediately) {
+  FlowCache cache{small_config()};
+  const auto src = net::IPv4Address{1, 2, 3, 4};
+  cache.observe(packet(src, 5000, 1000, 100, tcpflags::kSyn));
+  EXPECT_EQ(cache.active_flows(), 1u);
+  cache.observe(packet(src, 5000, 1100, 100, tcpflags::kFin | tcpflags::kAck));
+  EXPECT_EQ(cache.active_flows(), 0u);
+  const auto records = cache.drain_expired();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.front().packets, 2u);
+  EXPECT_EQ(records.front().tcp_flags,
+            tcpflags::kSyn | tcpflags::kFin | tcpflags::kAck);
+}
+
+TEST(FlowCache, TcpRstExpiresImmediately) {
+  FlowCache cache{small_config()};
+  cache.observe(packet(net::IPv4Address{1, 2, 3, 4}, 5000, 1000, 100, tcpflags::kRst));
+  EXPECT_EQ(cache.active_flows(), 0u);
+  EXPECT_EQ(cache.pending_exports(), 1u);
+}
+
+TEST(FlowCache, UdpIgnoresFlagBits) {
+  FlowCacheConfig config = small_config();
+  FlowCache cache{config};
+  PacketObservation p = packet(net::IPv4Address{1, 2, 3, 4}, 5000, 1000);
+  p.key.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  p.tcp_flags = tcpflags::kFin;  // nonsense for UDP; must not expire
+  cache.observe(p);
+  EXPECT_EQ(cache.active_flows(), 1u);
+}
+
+TEST(FlowCache, CacheFullEvictsLeastRecentlyActive) {
+  FlowCache cache{small_config()};  // max 8, watermark 0.75 -> evict above 6
+  for (int i = 0; i < 8; ++i) {
+    cache.observe(packet(net::IPv4Address{1, 2, 3, static_cast<std::uint8_t>(i)},
+                         5000, 1000 + static_cast<util::TimeMs>(i)));
+  }
+  EXPECT_LE(cache.active_flows(), 7u);
+  EXPECT_GT(cache.pending_exports(), 0u);
+  // The evicted flows are the oldest ones.
+  const auto records = cache.drain_expired();
+  for (const auto& r : records) {
+    EXPECT_LT(r.src_ip.octet(3), 4);
+  }
+}
+
+TEST(FlowCache, FlushExpiresEverything) {
+  FlowCache cache{small_config()};
+  for (int i = 0; i < 5; ++i) {
+    cache.observe(packet(net::IPv4Address{1, 2, 3, static_cast<std::uint8_t>(i)},
+                         5000, 1000));
+  }
+  const auto records = cache.flush(2000);
+  EXPECT_EQ(records.size(), 5u);
+  EXPECT_EQ(cache.active_flows(), 0u);
+  EXPECT_EQ(cache.pending_exports(), 0u);
+}
+
+TEST(FlowCache, RecordCarriesAttributionFields) {
+  FlowCache cache{small_config()};
+  PacketObservation p = packet(net::IPv4Address{1, 2, 3, 4}, 5000, 1000);
+  p.src_as = 7003;
+  p.dst_as = 7004;
+  p.next_hop = net::IPv4Address{192, 0, 2, 9};
+  cache.observe(p);
+  const auto records = cache.flush(2000);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.front().src_as, 7003);
+  EXPECT_EQ(records.front().dst_as, 7004);
+  EXPECT_EQ(records.front().next_hop, (net::IPv4Address{192, 0, 2, 9}));
+}
+
+TEST(FlowCache, DrainExpiredIsDestructive) {
+  FlowCache cache{small_config()};
+  cache.observe(packet(net::IPv4Address{1, 2, 3, 4}, 5000, 1000, 100, tcpflags::kRst));
+  EXPECT_EQ(cache.drain_expired().size(), 1u);
+  EXPECT_EQ(cache.drain_expired().size(), 0u);
+}
+
+}  // namespace
+}  // namespace infilter::netflow

@@ -1,0 +1,79 @@
+// Tests for IDMEF alerting (alert/idmef.h).
+
+#include "alert/idmef.h"
+
+#include <gtest/gtest.h>
+
+namespace infilter::alert {
+namespace {
+
+Alert sample_alert() {
+  Alert a;
+  a.id = 42;
+  a.create_time = 123456;
+  a.stage = DetectionStage::kNnsDistance;
+  a.source_ip = net::IPv4Address{3, 1, 2, 3};
+  a.target_ip = net::IPv4Address{100, 64, 0, 7};
+  a.target_port = 80;
+  a.proto = 6;
+  a.ingress_port = 9001;
+  a.expected_ingress = 9004;
+  a.nns_distance = 55;
+  a.nns_threshold = 30;
+  a.classification = "spoofed traffic (nns-distance)";
+  return a;
+}
+
+TEST(StageName, AllStagesNamed) {
+  EXPECT_EQ(stage_name(DetectionStage::kEiaMismatch), "eia-mismatch");
+  EXPECT_EQ(stage_name(DetectionStage::kScanAnalysis), "scan-analysis");
+  EXPECT_EQ(stage_name(DetectionStage::kNnsDistance), "nns-distance");
+}
+
+TEST(IdmefXml, ContainsCoreElements) {
+  const auto xml = sample_alert().to_idmef_xml();
+  EXPECT_NE(xml.find("<IDMEF-Message"), std::string::npos);
+  EXPECT_NE(xml.find("messageid=\"42\""), std::string::npos);
+  EXPECT_NE(xml.find("<CreateTime>123456</CreateTime>"), std::string::npos);
+  EXPECT_NE(xml.find("spoofed=\"yes\""), std::string::npos);
+  EXPECT_NE(xml.find("<address>3.1.2.3</address>"), std::string::npos);
+  EXPECT_NE(xml.find("<address>100.64.0.7</address>"), std::string::npos);
+  EXPECT_NE(xml.find("<port>80</port>"), std::string::npos);
+  EXPECT_NE(xml.find("spoofed traffic (nns-distance)"), std::string::npos);
+}
+
+TEST(IdmefXml, NnsDiagnosticsOnlyForNnsStage) {
+  auto a = sample_alert();
+  EXPECT_NE(a.to_idmef_xml().find("nns-distance\">55"), std::string::npos);
+  a.stage = DetectionStage::kEiaMismatch;
+  EXPECT_EQ(a.to_idmef_xml().find("meaning=\"nns-distance\""), std::string::npos);
+}
+
+TEST(IdmefXml, ExpectedIngressOmittedWhenUnknown) {
+  auto a = sample_alert();
+  a.expected_ingress = -1;
+  EXPECT_EQ(a.to_idmef_xml().find("expected-ingress"), std::string::npos);
+}
+
+TEST(IdmefXml, ZeroPortOmitsServiceElement) {
+  auto a = sample_alert();
+  a.target_port = 0;
+  EXPECT_EQ(a.to_idmef_xml().find("<Service>"), std::string::npos);
+}
+
+TEST(CollectingSink, StoresAlertsInOrder) {
+  CollectingSink sink;
+  auto a = sample_alert();
+  a.id = 1;
+  sink.consume(a);
+  a.id = 2;
+  sink.consume(a);
+  ASSERT_EQ(sink.alerts().size(), 2u);
+  EXPECT_EQ(sink.alerts()[0].id, 1u);
+  EXPECT_EQ(sink.alerts()[1].id, 2u);
+  sink.clear();
+  EXPECT_TRUE(sink.alerts().empty());
+}
+
+}  // namespace
+}  // namespace infilter::alert

@@ -1,0 +1,95 @@
+// Tests for the per-AS interior routing simulation (routing/igp.h).
+
+#include "routing/igp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace infilter::routing {
+namespace {
+
+TEST(IgpNetwork, SingleRouterTrivialPath) {
+  IgpNetwork igp(1, 1);
+  const auto path = igp.shortest_path(0, 0);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path.front(), 0);
+}
+
+TEST(IgpNetwork, TwoRoutersDirectPath) {
+  IgpNetwork igp(2, 2);
+  const auto path = igp.shortest_path(0, 1);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 1);
+}
+
+class IgpSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(IgpSizes, AllPairsConnected) {
+  const int n = GetParam();
+  IgpNetwork igp(n, 42);
+  for (RouterId a = 0; a < n; ++a) {
+    for (RouterId b = 0; b < n; ++b) {
+      const auto path = igp.shortest_path(a, b);
+      ASSERT_FALSE(path.empty()) << a << "->" << b;
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      // Simple path: no repeated routers.
+      std::set<RouterId> seen(path.begin(), path.end());
+      EXPECT_EQ(seen.size(), path.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IgpSizes, ::testing::Values(1, 2, 3, 5, 8, 12));
+
+TEST(IgpNetwork, PathsAreDeterministicBetweenCalls) {
+  IgpNetwork igp(8, 7);
+  const auto a = igp.shortest_path(0, 5);
+  const auto b = igp.shortest_path(0, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(IgpNetwork, ChurnBumpsVersion) {
+  IgpNetwork igp(6, 9);
+  util::Rng rng{1};
+  const auto v0 = igp.version();
+  igp.churn(rng);
+  EXPECT_EQ(igp.version(), v0 + 1);
+  igp.churn(rng);
+  EXPECT_EQ(igp.version(), v0 + 2);
+}
+
+TEST(IgpNetwork, ChurnEventuallyChangesSomePath) {
+  IgpNetwork igp(8, 11);
+  util::Rng rng{2};
+  // Collect baseline paths between all pairs.
+  std::vector<std::vector<RouterId>> baseline;
+  for (RouterId a = 0; a < 8; ++a) {
+    for (RouterId b = 0; b < 8; ++b) baseline.push_back(igp.shortest_path(a, b));
+  }
+  bool changed = false;
+  for (int event = 0; event < 50 && !changed; ++event) {
+    igp.churn(rng);
+    std::size_t i = 0;
+    for (RouterId a = 0; a < 8 && !changed; ++a) {
+      for (RouterId b = 0; b < 8 && !changed; ++b) {
+        changed = igp.shortest_path(a, b) != baseline[i++];
+      }
+    }
+  }
+  EXPECT_TRUE(changed) << "50 weight churns never changed any interior path";
+}
+
+TEST(IgpNetwork, ChurnPreservesConnectivity) {
+  IgpNetwork igp(10, 13);
+  util::Rng rng{3};
+  for (int event = 0; event < 30; ++event) {
+    igp.churn(rng);
+    EXPECT_FALSE(igp.shortest_path(0, 9).empty());
+  }
+}
+
+}  // namespace
+}  // namespace infilter::routing

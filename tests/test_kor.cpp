@@ -1,0 +1,230 @@
+// Tests for the KOR approximate NNS structure (nns/kor.h).
+
+#include "nns/kor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <tuple>
+
+namespace infilter::nns {
+namespace {
+
+BitVector unary_point(int dimension, int ones) {
+  BitVector v(dimension);
+  for (int i = 0; i < ones; ++i) v.set(i);
+  return v;
+}
+
+TEST(HammingBall, RadiusOneIsJustCenter) {
+  const auto ball = hamming_ball(0b1010, 12, 1);
+  ASSERT_EQ(ball.size(), 1u);
+  EXPECT_EQ(ball.front(), 0b1010u);
+}
+
+TEST(HammingBall, SizesMatchBinomialSums) {
+  // radius r includes all z with HD < r: sum_{k<r} C(m2, k).
+  EXPECT_EQ(hamming_ball(0, 12, 2).size(), 1u + 12u);
+  EXPECT_EQ(hamming_ball(0, 12, 3).size(), 1u + 12u + 66u);
+  EXPECT_EQ(hamming_ball(0, 12, 4).size(), 1u + 12u + 66u + 220u);
+}
+
+TEST(HammingBall, AllMembersWithinRadius) {
+  const std::uint32_t center = 0xA5A;
+  for (const auto z : hamming_ball(center, 12, 3)) {
+    EXPECT_LT(std::popcount(center ^ z), 3);
+    EXPECT_LT(z, 1u << 12);
+  }
+}
+
+TEST(HammingBall, MembersAreDistinct) {
+  auto ball = hamming_ball(0x3F, 12, 4);
+  std::sort(ball.begin(), ball.end());
+  EXPECT_EQ(std::adjacent_find(ball.begin(), ball.end()), ball.end());
+}
+
+TEST(ExactNns, FindsTrueNearestNeighbor) {
+  std::vector<BitVector> training{unary_point(64, 10), unary_point(64, 30),
+                                  unary_point(64, 50)};
+  ExactNns index(training);
+  util::Rng rng{1};
+  const auto match = index.search(unary_point(64, 28), rng);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->index, 1);
+  EXPECT_EQ(match->distance, 2);
+}
+
+TEST(ExactNns, EmptyTrainingReturnsNothing) {
+  ExactNns index(std::vector<BitVector>{});
+  util::Rng rng{1};
+  EXPECT_FALSE(index.search(unary_point(64, 5), rng).has_value());
+}
+
+TEST(ExactNns, ExactMatchHasZeroDistance) {
+  std::vector<BitVector> training{unary_point(64, 17)};
+  ExactNns index(training);
+  util::Rng rng{1};
+  const auto match = index.search(unary_point(64, 17), rng);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->distance, 0);
+}
+
+KorParams test_params(std::uint64_t seed = 11) {
+  KorParams p;
+  p.m1 = 1;
+  p.m2 = 12;
+  p.m3 = 3;
+  p.seed = seed;
+  return p;
+}
+
+TEST(KorNns, EmptyTrainingReturnsNothing) {
+  KorNns index(std::vector<BitVector>{}, test_params());
+  util::Rng rng{1};
+  EXPECT_FALSE(index.search(unary_point(64, 5), rng).has_value());
+}
+
+TEST(KorNns, ReturnsRealTrainingFlowWithTrueDistance) {
+  std::vector<BitVector> training;
+  for (int ones = 0; ones <= 120; ones += 10) {
+    training.push_back(unary_point(120, ones));
+  }
+  KorNns index(training, test_params());
+  util::Rng rng{2};
+  const auto query = unary_point(120, 42);
+  const auto match = index.search(query, rng);
+  ASSERT_TRUE(match.has_value());
+  ASSERT_GE(match->index, 0);
+  ASSERT_LT(static_cast<std::size_t>(match->index), training.size());
+  EXPECT_EQ(match->distance,
+            query.hamming_distance(index.training_flow(match->index)));
+}
+
+TEST(KorNns, FindsExactDuplicateAtSmallDistance) {
+  // A query identical to a training flow should land very close: the
+  // smallest scales' tables contain the flow under its own trace.
+  std::vector<BitVector> training;
+  for (int ones = 0; ones <= 200; ones += 25) {
+    training.push_back(unary_point(200, ones));
+  }
+  KorNns index(training, test_params());
+  util::Rng rng{3};
+  const auto match = index.search(unary_point(200, 75), rng);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->distance, 0);
+}
+
+TEST(KorNns, ApproximationQualityAgainstExact) {
+  // On clustered unary data the KOR answer should usually be within a
+  // small factor of the exact nearest distance -- and, critically, it must
+  // separate near-cluster queries from far-outlier queries.
+  util::Rng data_rng{5};
+  std::vector<BitVector> training;
+  const int d = 240;
+  for (int i = 0; i < 60; ++i) {
+    // Cluster around 60 ones with small jitter.
+    training.push_back(
+        unary_point(d, 55 + static_cast<int>(data_rng.below(11))));
+  }
+  KorNns kor(training, test_params());
+  ExactNns exact(training);
+  util::Rng rng{6};
+
+  // Near query.
+  const auto near_kor = kor.search(unary_point(d, 62), rng);
+  const auto near_exact = exact.search(unary_point(d, 62), rng);
+  ASSERT_TRUE(near_kor.has_value());
+  ASSERT_TRUE(near_exact.has_value());
+  EXPECT_LE(near_kor->distance, near_exact->distance + 24);
+
+  // Far outlier (all 240 ones -- 175+ away from the cluster).
+  const auto far_kor = kor.search(unary_point(d, 240), rng);
+  if (far_kor.has_value()) {
+    EXPECT_GT(far_kor->distance, 100);
+  }
+}
+
+TEST(KorNns, DistancesNeverUnderestimateTruth) {
+  // The reported distance is computed against a real training flow, so it
+  // can never be *below* the exact nearest-neighbor distance.
+  util::Rng data_rng{7};
+  std::vector<BitVector> training;
+  for (int i = 0; i < 40; ++i) {
+    training.push_back(unary_point(180, static_cast<int>(data_rng.below(181))));
+  }
+  KorNns kor(training, test_params());
+  ExactNns exact(training);
+  util::Rng rng{8};
+  for (int q = 0; q <= 180; q += 17) {
+    const auto query = unary_point(180, q);
+    const auto approx = kor.search(query, rng);
+    const auto truth = exact.search(query, rng);
+    ASSERT_TRUE(truth.has_value());
+    if (approx.has_value()) {
+      EXPECT_GE(approx->distance, truth->distance);
+    }
+  }
+}
+
+TEST(KorNns, DeterministicForFixedSeeds) {
+  std::vector<BitVector> training;
+  for (int ones = 0; ones <= 100; ones += 5) {
+    training.push_back(unary_point(100, ones));
+  }
+  KorNns a(training, test_params(42));
+  KorNns b(training, test_params(42));
+  util::Rng rng_a{9};
+  util::Rng rng_b{9};
+  for (int q = 0; q <= 100; q += 7) {
+    const auto ma = a.search(unary_point(100, q), rng_a);
+    const auto mb = b.search(unary_point(100, q), rng_b);
+    ASSERT_EQ(ma.has_value(), mb.has_value());
+    if (ma.has_value()) {
+      EXPECT_EQ(ma->index, mb->index);
+      EXPECT_EQ(ma->distance, mb->distance);
+    }
+  }
+}
+
+TEST(KorNns, TableBytesGrowWithM2) {
+  std::vector<BitVector> training{unary_point(64, 10), unary_point(64, 50)};
+  KorParams small = test_params();
+  small.m2 = 8;
+  KorParams large = test_params();
+  large.m2 = 12;
+  EXPECT_LT(KorNns(training, small).table_bytes(),
+            KorNns(training, large).table_bytes());
+}
+
+class KorParamSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KorParamSweep, SearchAlwaysReturnsValidIndexOrNothing) {
+  const auto [m2, m3] = GetParam();
+  KorParams params = test_params();
+  params.m2 = m2;
+  params.m3 = m3;
+  util::Rng data_rng{10};
+  std::vector<BitVector> training;
+  for (int i = 0; i < 25; ++i) {
+    training.push_back(unary_point(96, static_cast<int>(data_rng.below(97))));
+  }
+  KorNns index(training, params);
+  util::Rng rng{11};
+  for (int q = 0; q <= 96; q += 8) {
+    const auto match = index.search(unary_point(96, q), rng);
+    if (match.has_value()) {
+      EXPECT_GE(match->index, 0);
+      EXPECT_LT(static_cast<std::size_t>(match->index), training.size());
+      EXPECT_GE(match->distance, 0);
+      EXPECT_LE(match->distance, 96);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, KorParamSweep,
+                         ::testing::Combine(::testing::Values(8, 10, 12),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace infilter::nns

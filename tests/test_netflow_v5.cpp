@@ -1,0 +1,209 @@
+// Tests for the NetFlow v5 wire codec (netflow/v5.h).
+
+#include "netflow/v5.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace infilter::netflow {
+namespace {
+
+V5Record sample_record(std::uint32_t salt = 0) {
+  V5Record r;
+  r.src_ip = net::IPv4Address{10, 1, 2, static_cast<std::uint8_t>(3 + salt)};
+  r.dst_ip = net::IPv4Address{100, 64, 9, 9};
+  r.next_hop = net::IPv4Address{192, 0, 2, 1};
+  r.input_if = 7;
+  r.output_if = 9;
+  r.packets = 42 + salt;
+  r.bytes = 4242 + salt;
+  r.first = 1000;
+  r.last = 2500;
+  r.src_port = 1024;
+  r.dst_port = 80;
+  r.tcp_flags = tcpflags::kSyn | tcpflags::kAck;
+  r.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  r.tos = 0x10;
+  r.src_as = 7001;
+  r.dst_as = 7002;
+  r.src_mask = 11;
+  r.dst_mask = 16;
+  return r;
+}
+
+TEST(V5Codec, HeaderAndRecordSizes) {
+  const auto wire = encode(V5Header{}, std::vector<V5Record>{sample_record()});
+  EXPECT_EQ(wire.size(), kV5HeaderBytes + kV5RecordBytes);
+}
+
+TEST(V5Codec, VersionFieldIsFive) {
+  const auto wire = encode(V5Header{}, std::vector<V5Record>{sample_record()});
+  EXPECT_EQ((wire[0] << 8) | wire[1], kV5Version);
+}
+
+TEST(V5Codec, RoundTripSingleRecord) {
+  V5Header header;
+  header.sys_uptime_ms = 123456;
+  header.unix_secs = 1;
+  header.unix_nsecs = 2;
+  header.flow_sequence = 77;
+  header.engine_type = 1;
+  header.engine_id = 3;
+  header.sampling_interval = 0;
+  const auto original = sample_record();
+  const auto wire = encode(header, std::vector<V5Record>{original});
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value()) << decoded.error().message;
+  EXPECT_EQ(decoded->header.count, 1);
+  EXPECT_EQ(decoded->header.sys_uptime_ms, header.sys_uptime_ms);
+  EXPECT_EQ(decoded->header.flow_sequence, header.flow_sequence);
+  EXPECT_EQ(decoded->header.engine_id, header.engine_id);
+  ASSERT_EQ(decoded->records.size(), 1u);
+  EXPECT_EQ(decoded->records.front(), original);
+}
+
+class V5RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(V5RoundTrip, PreservesAllRecords) {
+  const int count = GetParam();
+  std::vector<V5Record> records;
+  for (int i = 0; i < count; ++i) {
+    records.push_back(sample_record(static_cast<std::uint32_t>(i)));
+  }
+  const auto wire = encode(V5Header{}, records);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->records, records);
+}
+
+INSTANTIATE_TEST_SUITE_P(RecordCounts, V5RoundTrip,
+                         ::testing::Values(1, 2, 5, 15, 29, 30));
+
+TEST(V5Codec, RandomizedRoundTrip) {
+  util::Rng rng{99};
+  for (int trial = 0; trial < 50; ++trial) {
+    V5Record r;
+    r.src_ip = net::IPv4Address{static_cast<std::uint32_t>(rng())};
+    r.dst_ip = net::IPv4Address{static_cast<std::uint32_t>(rng())};
+    r.next_hop = net::IPv4Address{static_cast<std::uint32_t>(rng())};
+    r.input_if = static_cast<std::uint16_t>(rng());
+    r.output_if = static_cast<std::uint16_t>(rng());
+    r.packets = static_cast<std::uint32_t>(rng());
+    r.bytes = static_cast<std::uint32_t>(rng());
+    r.first = static_cast<std::uint32_t>(rng());
+    r.last = static_cast<std::uint32_t>(rng());
+    r.src_port = static_cast<std::uint16_t>(rng());
+    r.dst_port = static_cast<std::uint16_t>(rng());
+    r.tcp_flags = static_cast<std::uint8_t>(rng());
+    r.proto = static_cast<std::uint8_t>(rng());
+    r.tos = static_cast<std::uint8_t>(rng());
+    r.src_as = static_cast<std::uint16_t>(rng());
+    r.dst_as = static_cast<std::uint16_t>(rng());
+    r.src_mask = static_cast<std::uint8_t>(rng());
+    r.dst_mask = static_cast<std::uint8_t>(rng());
+    const auto decoded = decode(encode(V5Header{}, std::vector{r}));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->records.front(), r);
+  }
+}
+
+TEST(V5Codec, DecodeRejectsShortBuffer) {
+  const std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(decode(tiny).has_value());
+}
+
+TEST(V5Codec, DecodeRejectsWrongVersion) {
+  auto wire = encode(V5Header{}, std::vector<V5Record>{sample_record()});
+  wire[1] = 9;  // NetFlow v9
+  const auto decoded = decode(wire);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().message.find("version"), std::string::npos);
+}
+
+TEST(V5Codec, DecodeRejectsTruncatedRecords) {
+  auto wire = encode(V5Header{}, std::vector<V5Record>{sample_record(), sample_record(1)});
+  wire.resize(wire.size() - 10);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(V5Codec, DecodeRejectsZeroCount) {
+  auto wire = encode(V5Header{}, std::vector<V5Record>{sample_record()});
+  wire[2] = 0;
+  wire[3] = 0;
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(V5Codec, DecodeRejectsCountBeyondThirty) {
+  auto wire = encode(V5Header{}, std::vector<V5Record>{sample_record()});
+  wire[3] = 31;
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(V5Codec, DecodeRejectsTrailingGarbage) {
+  auto wire = encode(V5Header{}, std::vector<V5Record>{sample_record()});
+  wire.push_back(0);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(V5Codec, EncodeAllSplitsAtThirtyRecords) {
+  std::vector<V5Record> records(75, sample_record());
+  std::uint32_t sequence = 0;
+  const auto datagrams = encode_all(records, 5000, sequence);
+  ASSERT_EQ(datagrams.size(), 3u);
+  EXPECT_EQ(sequence, 75u);
+
+  std::uint32_t expected_sequence = 0;
+  std::size_t total = 0;
+  for (const auto& datagram : datagrams) {
+    const auto decoded = decode(datagram);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->header.flow_sequence, expected_sequence);
+    expected_sequence += static_cast<std::uint32_t>(decoded->records.size());
+    total += decoded->records.size();
+    EXPECT_LE(decoded->records.size(), kV5MaxRecords);
+  }
+  EXPECT_EQ(total, 75u);
+}
+
+TEST(V5Codec, EncodeAllContinuesSequenceAcrossCalls) {
+  std::vector<V5Record> records(5, sample_record());
+  std::uint32_t sequence = 0;
+  (void)encode_all(records, 1000, sequence);
+  const auto second = encode_all(records, 2000, sequence);
+  const auto decoded = decode(second.front());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.flow_sequence, 5u);
+  EXPECT_EQ(sequence, 10u);
+}
+
+TEST(V5Record, KeyExtractsFigureTenFields) {
+  const auto r = sample_record();
+  const FlowKey key = r.key();
+  EXPECT_EQ(key.src_ip, r.src_ip);
+  EXPECT_EQ(key.dst_ip, r.dst_ip);
+  EXPECT_EQ(key.proto, r.proto);
+  EXPECT_EQ(key.src_port, r.src_port);
+  EXPECT_EQ(key.dst_port, r.dst_port);
+  EXPECT_EQ(key.tos, r.tos);
+  EXPECT_EQ(key.input_if, r.input_if);
+}
+
+TEST(V5Record, DurationIsLastMinusFirst) {
+  const auto r = sample_record();
+  EXPECT_EQ(r.duration_ms(), 1500u);
+}
+
+TEST(FlowKey, HashDistinguishesNearbyKeys) {
+  const std::hash<FlowKey> h;
+  FlowKey a = sample_record().key();
+  FlowKey b = a;
+  b.dst_port = 81;
+  EXPECT_NE(h(a), h(b));
+  FlowKey c = a;
+  c.tos = 1;
+  EXPECT_NE(h(a), h(c));
+}
+
+}  // namespace
+}  // namespace infilter::netflow

@@ -1,0 +1,154 @@
+// Tests for flow statistics, filtering, grouping and reports
+// (flowtools/stats.h, flowtools/report.h).
+
+#include "flowtools/report.h"
+
+#include <gtest/gtest.h>
+
+namespace infilter::flowtools {
+namespace {
+
+CapturedFlow flow(const char* src, const char* dst, std::uint8_t proto,
+                  std::uint16_t dst_port, std::uint32_t packets, std::uint32_t bytes,
+                  std::uint32_t duration = 1000, std::uint16_t port = 9001) {
+  CapturedFlow f;
+  f.record.src_ip = *net::IPv4Address::parse(src);
+  f.record.dst_ip = *net::IPv4Address::parse(dst);
+  f.record.proto = proto;
+  f.record.src_port = 40000;
+  f.record.dst_port = dst_port;
+  f.record.packets = packets;
+  f.record.bytes = bytes;
+  f.record.first = 0;
+  f.record.last = duration;
+  f.arrival_port = port;
+  return f;
+}
+
+TEST(FlowStats, ComputesTheFivePaperStatistics) {
+  const auto f = flow("1.2.3.4", "5.6.7.8", 6, 80, 10, 5000, 2000);
+  const auto stats = FlowStats::from_record(f.record);
+  EXPECT_DOUBLE_EQ(stats.byte_count, 5000);
+  EXPECT_DOUBLE_EQ(stats.packet_count, 10);
+  EXPECT_DOUBLE_EQ(stats.duration_ms, 2000);
+  EXPECT_DOUBLE_EQ(stats.bit_rate, 5000 * 8.0 / 2.0);
+  EXPECT_DOUBLE_EQ(stats.packet_rate, 10 / 2.0);
+}
+
+TEST(FlowStats, SinglePacketFlowHasFiniteRates) {
+  // Slammer: one 404-byte packet, zero duration.
+  const auto f = flow("1.2.3.4", "5.6.7.8", 17, 1434, 1, 404, 0);
+  const auto stats = FlowStats::from_record(f.record);
+  EXPECT_DOUBLE_EQ(stats.duration_ms, 0);
+  EXPECT_DOUBLE_EQ(stats.bit_rate, 404 * 8.0 * 1000.0);  // over 1 ms floor
+  EXPECT_DOUBLE_EQ(stats.packet_rate, 1000.0);
+}
+
+TEST(FlowStats, ArrayOrderMatchesPaperListing) {
+  const auto f = flow("1.2.3.4", "5.6.7.8", 6, 80, 10, 5000, 2000);
+  const auto a = FlowStats::from_record(f.record).as_array();
+  EXPECT_DOUBLE_EQ(a[0], 5000);  // i) byte count
+  EXPECT_DOUBLE_EQ(a[1], 10);    // ii) packet count
+  EXPECT_DOUBLE_EQ(a[2], 2000);  // iii) duration
+  EXPECT_GT(a[3], 0);            // iv) bit rate
+  EXPECT_GT(a[4], 0);            // v) packet rate
+}
+
+TEST(FlowFilter, EmptyFilterMatchesEverything) {
+  EXPECT_TRUE(FlowFilter{}.matches(flow("1.2.3.4", "5.6.7.8", 6, 80, 1, 40)));
+}
+
+TEST(FlowFilter, FiltersBySourcePrefix) {
+  FlowFilter filter;
+  filter.src_prefix = net::Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(filter.matches(flow("10.9.9.9", "5.6.7.8", 6, 80, 1, 40)));
+  EXPECT_FALSE(filter.matches(flow("11.0.0.1", "5.6.7.8", 6, 80, 1, 40)));
+}
+
+TEST(FlowFilter, ConjunctionOfFields) {
+  FlowFilter filter;
+  filter.proto = 17;
+  filter.dst_port = 53;
+  filter.arrival_port = 9002;
+  EXPECT_TRUE(filter.matches(flow("1.1.1.1", "2.2.2.2", 17, 53, 1, 60, 10, 9002)));
+  EXPECT_FALSE(filter.matches(flow("1.1.1.1", "2.2.2.2", 17, 53, 1, 60, 10, 9003)));
+  EXPECT_FALSE(filter.matches(flow("1.1.1.1", "2.2.2.2", 6, 53, 1, 60, 10, 9002)));
+  EXPECT_FALSE(filter.matches(flow("1.1.1.1", "2.2.2.2", 17, 54, 1, 60, 10, 9002)));
+}
+
+TEST(FlowFilter, FilterFlowsPreservesOrder) {
+  std::vector<CapturedFlow> flows{flow("10.0.0.1", "2.2.2.2", 6, 80, 1, 40),
+                                  flow("11.0.0.1", "2.2.2.2", 6, 80, 2, 80),
+                                  flow("10.0.0.2", "2.2.2.2", 6, 80, 3, 120)};
+  FlowFilter filter;
+  filter.src_prefix = net::Prefix::parse("10.0.0.0/8");
+  const auto kept = filter_flows(flows, filter);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].record.packets, 1u);
+  EXPECT_EQ(kept[1].record.packets, 3u);
+}
+
+TEST(GroupFlows, GroupByDstPortAggregates) {
+  std::vector<CapturedFlow> flows{flow("1.1.1.1", "2.2.2.2", 6, 80, 10, 1000),
+                                  flow("1.1.1.2", "2.2.2.3", 6, 80, 20, 3000),
+                                  flow("1.1.1.3", "2.2.2.4", 17, 53, 1, 60)};
+  const auto rows = group_flows(flows, GroupField::kDstPort);
+  ASSERT_EQ(rows.size(), 2u);
+  // Sorted by bytes descending: port 80 first.
+  EXPECT_EQ(rows[0].group_key, "dp80");
+  EXPECT_EQ(rows[0].summary.flows, 2u);
+  EXPECT_EQ(rows[0].summary.packets, 30u);
+  EXPECT_EQ(rows[0].summary.bytes, 4000u);
+  EXPECT_EQ(rows[1].group_key, "dp53");
+}
+
+TEST(GroupFlows, FullKeyGroupingIsPerFlow) {
+  std::vector<CapturedFlow> flows{flow("1.1.1.1", "2.2.2.2", 6, 80, 10, 1000),
+                                  flow("1.1.1.1", "2.2.2.2", 6, 81, 20, 3000),
+                                  flow("1.1.1.2", "2.2.2.2", 6, 80, 1, 60)};
+  const auto rows = group_flows(flows, kFlowKeyFields);
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(GroupFlows, CoarserGroupingAggregatesMore) {
+  // "Grouping flows using these fields results in statistics being
+  // computed for a group of flows rather than a single one."
+  std::vector<CapturedFlow> flows;
+  for (int i = 0; i < 12; ++i) {
+    flows.push_back(flow("1.1.1.1", "2.2.2.2", 6,
+                         static_cast<std::uint16_t>(80 + i % 3), 1, 40));
+  }
+  const auto by_port = group_flows(flows, GroupField::kDstPort);
+  const auto by_proto = group_flows(flows, GroupField::kProto);
+  EXPECT_EQ(by_port.size(), 3u);
+  EXPECT_EQ(by_proto.size(), 1u);
+  EXPECT_EQ(by_proto.front().summary.flows, 12u);
+}
+
+TEST(GroupFlows, MeanRatesAreAverages) {
+  std::vector<CapturedFlow> flows{
+      flow("1.1.1.1", "2.2.2.2", 6, 80, 10, 1000, 1000),   // 8000 bps
+      flow("1.1.1.2", "2.2.2.2", 6, 80, 10, 3000, 1000)};  // 24000 bps
+  const auto rows = group_flows(flows, GroupField::kDstPort);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].summary.mean_bit_rate, 16000.0);
+}
+
+TEST(RenderReport, ContainsHeaderAndRows) {
+  std::vector<CapturedFlow> flows{flow("1.1.1.1", "2.2.2.2", 6, 80, 10, 1000)};
+  const auto rows = group_flows(flows, GroupField::kDstPort);
+  const auto text = render_report(rows, GroupField::kDstPort);
+  EXPECT_NE(text.find("octets"), std::string::npos);
+  EXPECT_NE(text.find("dp80"), std::string::npos);
+  EXPECT_NE(text.find("1000"), std::string::npos);
+}
+
+TEST(GroupField, MaskComposition) {
+  const auto mask = GroupField::kSrcIp | GroupField::kDstPort;
+  EXPECT_TRUE(has_field(mask, GroupField::kSrcIp));
+  EXPECT_TRUE(has_field(mask, GroupField::kDstPort));
+  EXPECT_FALSE(has_field(mask, GroupField::kProto));
+}
+
+}  // namespace
+}  // namespace infilter::flowtools

@@ -1,0 +1,137 @@
+// Tests for the deterministic RNG (util/rng.h).
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace infilter::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng parent1{7};
+  Rng parent2{7};
+  Rng child1 = parent1.fork(5);
+  Rng child2 = parent2.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng{3};
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng{4};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng{5};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng{6};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{8};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability) {
+  Rng rng{9};
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{10};
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.exponential(5.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng{11};
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.bounded_pareto(1.2, 2.0, 1000.0);
+    EXPECT_GE(v, 2.0 - 1e-9);
+    EXPECT_LE(v, 1000.0 + 1e-9);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailedTowardLow) {
+  // For alpha > 0 the mass concentrates near the lower bound.
+  Rng rng{12};
+  int below_ten = 0;
+  for (int i = 0; i < 5000; ++i) {
+    below_ten += rng.bounded_pareto(1.2, 2.0, 1000.0) < 10.0 ? 1 : 0;
+  }
+  EXPECT_GT(below_ten, 3000);
+}
+
+TEST(Rng, PickChoosesAllElements) {
+  Rng rng{13};
+  const std::array<int, 4> items{10, 20, 30, 40};
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 4000; ++i) {
+    const int v = rng.pick(std::span<const int>{items});
+    counts[static_cast<std::size_t>(v / 10 - 1)] += 1;
+  }
+  for (const int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 a{0};
+  SplitMix64 b{1};
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace infilter::util

@@ -1,0 +1,147 @@
+// Tests for Scan Analysis (core/scan.h).
+
+#include "core/scan.h"
+
+#include <gtest/gtest.h>
+
+namespace infilter::core {
+namespace {
+
+netflow::V5Record flow_to(net::IPv4Address dst, std::uint16_t dst_port) {
+  netflow::V5Record r;
+  r.src_ip = net::IPv4Address{9, 9, 9, 9};
+  r.dst_ip = dst;
+  r.proto = 6;
+  r.src_port = 40000;
+  r.dst_port = dst_port;
+  r.packets = 1;
+  r.bytes = 40;
+  return r;
+}
+
+net::IPv4Address host(std::uint32_t i) {
+  return net::IPv4Address{(100u << 24) | (64u << 16) | i};
+}
+
+ScanConfig small_config() {
+  ScanConfig c;
+  c.buffer_size = 50;
+  c.network_scan_threshold = 10;
+  c.host_scan_threshold = 8;
+  return c;
+}
+
+TEST(ScanAnalysis, CleanUntilNetworkThreshold) {
+  ScanAnalysis scan(small_config());
+  // 9 distinct hosts on port 1434: still clean; the 10th trips.
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(scan.observe(flow_to(host(i), 1434)), ScanVerdict::kClean) << i;
+  }
+  EXPECT_EQ(scan.observe(flow_to(host(9), 1434)), ScanVerdict::kNetworkScan);
+}
+
+TEST(ScanAnalysis, RepeatHostsDoNotInflateNetworkCount) {
+  ScanAnalysis scan(small_config());
+  // 30 flows but only 3 distinct hosts: never a network scan.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(scan.observe(flow_to(host(static_cast<std::uint32_t>(i % 3)), 80)),
+              ScanVerdict::kClean);
+  }
+  EXPECT_EQ(scan.hosts_on_port(80), 3);
+}
+
+TEST(ScanAnalysis, DistinctPortsSeparateNetworkCounters) {
+  ScanAnalysis scan(small_config());
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    scan.observe(flow_to(host(i), 80));
+  }
+  // Different port: its own counter starts fresh.
+  EXPECT_EQ(scan.observe(flow_to(host(100), 443)), ScanVerdict::kClean);
+  EXPECT_EQ(scan.hosts_on_port(443), 1);
+}
+
+TEST(ScanAnalysis, HostScanDetection) {
+  ScanAnalysis scan(small_config());
+  const auto victim = host(1);
+  for (std::uint16_t port = 1; port < 8; ++port) {
+    EXPECT_EQ(scan.observe(flow_to(victim, port)), ScanVerdict::kClean) << port;
+  }
+  EXPECT_EQ(scan.observe(flow_to(victim, 8)), ScanVerdict::kHostScan);
+}
+
+TEST(ScanAnalysis, RepeatPortsDoNotInflateHostCount) {
+  ScanAnalysis scan(small_config());
+  const auto victim = host(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(scan.observe(flow_to(victim, static_cast<std::uint16_t>(80 + i % 2))),
+              ScanVerdict::kClean);
+  }
+  EXPECT_EQ(scan.ports_on_host(victim), 2);
+}
+
+TEST(ScanAnalysis, NetworkScanTakesPriorityWhenBothTrip) {
+  ScanConfig config = small_config();
+  config.network_scan_threshold = 2;
+  config.host_scan_threshold = 2;
+  ScanAnalysis scan(config);
+  scan.observe(flow_to(host(1), 80));
+  scan.observe(flow_to(host(1), 81));  // would be host scan
+  // This flow makes port 80 span two hosts AND host(2) has 1 port; network
+  // scan is checked first.
+  EXPECT_EQ(scan.observe(flow_to(host(2), 80)), ScanVerdict::kNetworkScan);
+}
+
+TEST(ScanAnalysis, BufferEvictionForgetsOldFlows) {
+  ScanConfig config = small_config();  // buffer 50
+  ScanAnalysis scan(config);
+  // 9 hosts on port 1434, then 50 unrelated flows to flush them out.
+  for (std::uint32_t i = 0; i < 9; ++i) scan.observe(flow_to(host(i), 1434));
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    scan.observe(flow_to(host(1000 + i), static_cast<std::uint16_t>(2000 + i)));
+  }
+  EXPECT_EQ(scan.hosts_on_port(1434), 0);
+  // A slow scan that lost its buffered history must re-accumulate.
+  EXPECT_EQ(scan.observe(flow_to(host(9), 1434)), ScanVerdict::kClean);
+}
+
+TEST(ScanAnalysis, BufferNeverExceedsConfiguredSize) {
+  ScanAnalysis scan(small_config());
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    scan.observe(flow_to(host(i), static_cast<std::uint16_t>(i % 7 + 1)));
+    EXPECT_LE(scan.buffered_flows(), 50u);
+  }
+}
+
+TEST(ScanAnalysis, SlammerPatternTripsNetworkScan) {
+  // The paper's motivating case: one UDP packet to port 1434 per random
+  // host. With the default 200-flow buffer, a burst of distinct victims
+  // trips the counter quickly.
+  ScanAnalysis scan;  // defaults: buffer 200, network threshold 15
+  ScanVerdict verdict = ScanVerdict::kClean;
+  int flows_needed = 0;
+  for (std::uint32_t i = 0; i < 100 && verdict == ScanVerdict::kClean; ++i) {
+    netflow::V5Record r = flow_to(host(i), 1434);
+    r.proto = 17;
+    r.bytes = 404;
+    verdict = scan.observe(r);
+    ++flows_needed;
+  }
+  EXPECT_EQ(verdict, ScanVerdict::kNetworkScan);
+  EXPECT_EQ(flows_needed, 15);
+}
+
+TEST(ScanAnalysis, IdlescanPatternTripsHostScan) {
+  ScanAnalysis scan;  // defaults: host threshold 15
+  const auto victim = host(1);
+  ScanVerdict verdict = ScanVerdict::kClean;
+  int flows_needed = 0;
+  for (std::uint16_t port = 1; port < 100 && verdict == ScanVerdict::kClean; ++port) {
+    verdict = scan.observe(flow_to(victim, port));
+    ++flows_needed;
+  }
+  EXPECT_EQ(verdict, ScanVerdict::kHostScan);
+  EXPECT_EQ(flows_needed, 15);
+}
+
+}  // namespace
+}  // namespace infilter::core

@@ -1,0 +1,222 @@
+// Tests for the Section 3 validation studies (routing/studies.h).
+
+#include "routing/studies.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace infilter::routing {
+namespace {
+
+TopologyConfig small_topology() {
+  TopologyConfig c;
+  c.tier1_count = 3;
+  c.tier2_count = 12;
+  c.stub_count = 45;
+  return c;
+}
+
+TEST(AggregatedEqual, SameSlash24Matches) {
+  const Hop a{net::IPv4Address{160, 0, 0, 1}, "r1.as7001.net", 1};
+  const Hop b{net::IPv4Address{160, 0, 0, 9}, "r2.as7001.net", 1};
+  EXPECT_TRUE(aggregated_equal(a, b));  // /24 match wins despite FQDN change
+}
+
+TEST(AggregatedEqual, DifferentSubnetSameFqdnMatches) {
+  const Hop a{net::IPv4Address{160, 0, 0, 1}, "r1.as7001.net", 1};
+  const Hop b{net::IPv4Address{160, 0, 1, 1}, "r1.as7001.net", 1};
+  EXPECT_TRUE(aggregated_equal(a, b));
+}
+
+TEST(AggregatedEqual, DifferentSubnetAndFqdnDiffers) {
+  const Hop a{net::IPv4Address{160, 0, 0, 1}, "r1.as7001.net", 1};
+  const Hop b{net::IPv4Address{160, 0, 1, 1}, "r3.as7002.net", 2};
+  EXPECT_FALSE(aggregated_equal(a, b));
+}
+
+TEST(PickSpreadTargets, CountAndUniqueness) {
+  const auto topo = AsTopology::generate(small_topology(), 1);
+  const auto targets = pick_spread_targets(topo, 20, 2);
+  EXPECT_EQ(targets.size(), 20u);
+  std::set<AsId> unique(targets.begin(), targets.end());
+  // Degree-sliced sampling can repeat an AS only if slices collide; with
+  // 60 ASes and 20 slices they never do.
+  EXPECT_EQ(unique.size(), targets.size());
+}
+
+TEST(PickSpreadTargets, SpansDegreeRange) {
+  const auto topo = AsTopology::generate(small_topology(), 3);
+  const auto targets = pick_spread_targets(topo, 10, 4);
+  int min_degree = 1 << 30;
+  int max_degree = 0;
+  for (const auto target : targets) {
+    min_degree = std::min(min_degree, topo.degree(target));
+    max_degree = std::max(max_degree, topo.degree(target));
+  }
+  EXPECT_LT(min_degree, max_degree);
+}
+
+TEST(PickLookingGlassSites, DisjointFromTargets) {
+  const auto topo = AsTopology::generate(small_topology(), 5);
+  const auto targets = pick_spread_targets(topo, 10, 6);
+  const auto sites = pick_looking_glass_sites(topo, 12, targets, 7);
+  EXPECT_EQ(sites.size(), 12u);
+  for (const auto site : sites) {
+    for (const auto target : targets) EXPECT_NE(site, target);
+  }
+  std::set<AsId> unique(sites.begin(), sites.end());
+  EXPECT_EQ(unique.size(), sites.size());
+}
+
+TracerouteStudyConfig small_study() {
+  TracerouteStudyConfig c;
+  c.looking_glass_sites = 6;
+  c.target_count = 5;
+  c.readings = 12;
+  c.completion_probability = 1.0;
+  c.topology = small_topology();
+  c.seed = 11;
+  return c;
+}
+
+TEST(TracerouteStudy, SampleAccountingAddsUp) {
+  const auto result = run_traceroute_study(small_study());
+  // With completion probability 1, every (site, target) pair yields one
+  // sample per reading and transitions = samples - pairs.
+  EXPECT_EQ(result.samples, 6 * 5 * 12);
+  EXPECT_EQ(result.transitions, result.samples - 6 * 5);
+  EXPECT_LE(result.aggregated_changes, result.raw_changes);
+  EXPECT_LE(result.raw_changes, result.transitions);
+}
+
+TEST(TracerouteStudy, CompletionProbabilityReducesSamples) {
+  auto config = small_study();
+  config.completion_probability = 0.5;
+  const auto result = run_traceroute_study(config);
+  EXPECT_LT(result.samples, 6 * 5 * 12);
+  EXPECT_GT(result.samples, 0);
+}
+
+TEST(TracerouteStudy, QuietChurnMeansNoChanges) {
+  auto config = small_study();
+  config.churn = ChurnRates{0, 0, 0, 0};
+  const auto result = run_traceroute_study(config);
+  EXPECT_EQ(result.raw_changes, 0);
+  EXPECT_EQ(result.aggregated_changes, 0);
+  EXPECT_EQ(result.full_path_changes, 0);
+}
+
+TEST(TracerouteStudy, EcmpOnlyChurnIsSmoothedByAggregation) {
+  auto config = small_study();
+  config.topology.parallel_link_fraction = 1.0;
+  config.topology.cross_subnet_fraction = 0.0;  // same-/24 circuits only
+  config.churn = ChurnRates{0, 0, 0, 10.0};     // heavy ECMP rehash only
+  const auto result = run_traceroute_study(config);
+  EXPECT_GT(result.raw_changes, 0);
+  // Same-/24 circuit flips are invisible after /24 smoothing, and no BGP
+  // churn exists, so aggregated changes stay at zero.
+  EXPECT_EQ(result.aggregated_changes, 0);
+}
+
+TEST(TracerouteStudy, InteriorChurnShowsInFullPathNotLastHop) {
+  auto config = small_study();
+  config.topology.parallel_link_fraction = 0.0;
+  config.churn = ChurnRates{20.0, 0, 0, 0};  // IGP churn only
+  const auto result = run_traceroute_study(config);
+  // The paper's core contrast: full paths are volatile [LABO][VPAX] while
+  // the last AS hop is comparatively stable.
+  EXPECT_GT(result.full_path_changes, result.aggregated_changes);
+}
+
+TEST(TracerouteStudy, DeterministicForSeed) {
+  const auto a = run_traceroute_study(small_study());
+  const auto b = run_traceroute_study(small_study());
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.raw_changes, b.raw_changes);
+  EXPECT_EQ(a.aggregated_changes, b.aggregated_changes);
+}
+
+TEST(StabilityProfile, EdgesMoreStableThanMiddle) {
+  // Figure 1's shape: the first and last tenth of the path are more
+  // stable than the mid-path minimum.
+  auto config = small_study();
+  config.readings = 30;
+  config.churn.igp_events_per_as_hour = 2.0;  // pronounced interior churn
+  const auto profile = run_stability_profile(config);
+  double mid_min = 1.0;
+  for (int b = 3; b <= 6; ++b) {
+    mid_min = std::min(mid_min, 1.0 - profile.change_rate[static_cast<std::size_t>(b)]);
+  }
+  EXPECT_GT(1.0 - profile.change_rate[0], mid_min);
+  EXPECT_GT(1.0 - profile.change_rate[StabilityProfile::kBuckets - 1], mid_min);
+}
+
+TEST(StabilityProfile, SamplesCoverEveryBucket) {
+  const auto profile = run_stability_profile(small_study());
+  for (const auto samples : profile.samples) EXPECT_GT(samples, 0u);
+  for (const auto rate : profile.change_rate) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+}
+
+TEST(StabilityProfile, QuietChurnIsPerfectlyStable) {
+  auto config = small_study();
+  config.churn = ChurnRates{0, 0, 0, 0};
+  const auto profile = run_stability_profile(config);
+  for (const auto rate : profile.change_rate) EXPECT_EQ(rate, 0.0);
+}
+
+BgpStudyConfig small_bgp() {
+  BgpStudyConfig c;
+  c.target_count = 6;
+  c.snapshots = 20;
+  c.topology = small_topology();
+  c.seed = 13;
+  return c;
+}
+
+TEST(BgpStudy, ReportsOneSeriesPerTarget) {
+  const auto result = run_bgp_study(small_bgp());
+  EXPECT_EQ(result.targets.size(), 6u);
+  for (const auto& series : result.targets) {
+    EXPECT_GE(series.peer_as_count, 1);
+    EXPECT_GE(series.avg_fractional_change, 0.0);
+    EXPECT_LE(series.avg_fractional_change, 1.0);
+    EXPECT_GE(series.max_fractional_change, series.avg_fractional_change);
+  }
+}
+
+TEST(BgpStudy, NoChurnMeansNoChange) {
+  auto config = small_bgp();
+  config.churn.link_fail_per_hour = 0;
+  const auto result = run_bgp_study(config);
+  EXPECT_EQ(result.overall_avg_change, 0.0);
+  EXPECT_EQ(result.overall_max_change, 0.0);
+}
+
+TEST(BgpStudy, ChurnProducesBoundedChange) {
+  auto config = small_bgp();
+  config.churn.link_fail_per_hour = 0.002;
+  config.churn.link_repair_per_hour = 0.25;
+  const auto result = run_bgp_study(config);
+  EXPECT_GE(result.overall_avg_change, 0.0);
+  EXPECT_LE(result.overall_avg_change, 0.5);
+  EXPECT_LE(result.overall_max_change, 1.0);
+}
+
+TEST(BgpStudy, DeterministicForSeed) {
+  const auto a = run_bgp_study(small_bgp());
+  const auto b = run_bgp_study(small_bgp());
+  ASSERT_EQ(a.targets.size(), b.targets.size());
+  for (std::size_t i = 0; i < a.targets.size(); ++i) {
+    EXPECT_EQ(a.targets[i].target, b.targets[i].target);
+    EXPECT_DOUBLE_EQ(a.targets[i].avg_fractional_change,
+                     b.targets[i].avg_fractional_change);
+  }
+}
+
+}  // namespace
+}  // namespace infilter::routing

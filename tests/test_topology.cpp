@@ -1,0 +1,164 @@
+// Tests for the synthetic AS topology (routing/topology.h).
+
+#include "routing/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+namespace infilter::routing {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig c;
+  c.tier1_count = 4;
+  c.tier2_count = 12;
+  c.stub_count = 40;
+  return c;
+}
+
+TEST(AsTopology, GeneratesRequestedCounts) {
+  const auto topo = AsTopology::generate(small_config(), 1);
+  EXPECT_EQ(topo.as_count(), 4 + 12 + 40);
+  int t1 = 0;
+  int t2 = 0;
+  int stub = 0;
+  for (AsId as = 0; as < topo.as_count(); ++as) {
+    switch (topo.tier(as)) {
+      case Tier::kTier1: ++t1; break;
+      case Tier::kTier2: ++t2; break;
+      case Tier::kStub: ++stub; break;
+    }
+  }
+  EXPECT_EQ(t1, 4);
+  EXPECT_EQ(t2, 12);
+  EXPECT_EQ(stub, 40);
+}
+
+TEST(AsTopology, DeterministicForSeed) {
+  const auto a = AsTopology::generate(small_config(), 7);
+  const auto b = AsTopology::generate(small_config(), 7);
+  ASSERT_EQ(a.links().size(), b.links().size());
+  for (std::size_t i = 0; i < a.links().size(); ++i) {
+    EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+    EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+  }
+}
+
+TEST(AsTopology, AdjacencyIsSymmetricWithReversedRelationship) {
+  const auto topo = AsTopology::generate(small_config(), 2);
+  for (AsId as = 0; as < topo.as_count(); ++as) {
+    for (const auto& nb : topo.neighbors(as)) {
+      bool found = false;
+      for (const auto& back : topo.neighbors(nb.as)) {
+        if (back.as == as && back.link_id == nb.link_id) {
+          EXPECT_EQ(back.relationship, reverse(nb.relationship));
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "missing reverse edge " << as << "<->" << nb.as;
+    }
+  }
+}
+
+TEST(AsTopology, Tier1FormsPeerClique) {
+  const auto topo = AsTopology::generate(small_config(), 3);
+  for (AsId a = 0; a < 4; ++a) {
+    int peers = 0;
+    for (const auto& nb : topo.neighbors(a)) {
+      if (nb.as < 4) {
+        EXPECT_EQ(nb.relationship, Relationship::kPeer);
+        ++peers;
+      }
+    }
+    EXPECT_EQ(peers, 3);
+  }
+}
+
+TEST(AsTopology, EveryNonTier1HasAProvider) {
+  const auto topo = AsTopology::generate(small_config(), 4);
+  for (AsId as = 4; as < topo.as_count(); ++as) {
+    bool has_provider = false;
+    for (const auto& nb : topo.neighbors(as)) {
+      has_provider |= nb.relationship == Relationship::kProvider;
+    }
+    EXPECT_TRUE(has_provider) << "AS " << as;
+  }
+}
+
+TEST(AsTopology, StubsHaveNoCustomers) {
+  const auto topo = AsTopology::generate(small_config(), 5);
+  for (AsId as = 0; as < topo.as_count(); ++as) {
+    if (topo.tier(as) != Tier::kStub) continue;
+    for (const auto& nb : topo.neighbors(as)) {
+      EXPECT_NE(nb.relationship, Relationship::kCustomer) << "stub " << as;
+    }
+  }
+}
+
+TEST(AsTopology, NoDuplicateAdjacencies) {
+  const auto topo = AsTopology::generate(small_config(), 6);
+  for (AsId as = 0; as < topo.as_count(); ++as) {
+    std::set<AsId> seen;
+    for (const auto& nb : topo.neighbors(as)) {
+      EXPECT_TRUE(seen.insert(nb.as).second)
+          << "duplicate adjacency " << as << "->" << nb.as;
+    }
+  }
+}
+
+TEST(AsTopology, GraphIsConnectedThroughProviders) {
+  // Following provider/peer/customer edges in any direction, every AS
+  // reaches tier-1 AS 0 (customer-provider chains guarantee it).
+  const auto topo = AsTopology::generate(small_config(), 8);
+  std::vector<bool> visited(static_cast<std::size_t>(topo.as_count()), false);
+  std::queue<AsId> queue;
+  queue.push(0);
+  visited[0] = true;
+  int reached = 0;
+  while (!queue.empty()) {
+    const AsId at = queue.front();
+    queue.pop();
+    ++reached;
+    for (const auto& nb : topo.neighbors(at)) {
+      if (!visited[static_cast<std::size_t>(nb.as)]) {
+        visited[static_cast<std::size_t>(nb.as)] = true;
+        queue.push(nb.as);
+      }
+    }
+  }
+  EXPECT_EQ(reached, topo.as_count());
+}
+
+TEST(AsTopology, ParallelCircuitsWithinConfiguredBounds) {
+  TopologyConfig config = small_config();
+  config.parallel_link_fraction = 1.0;  // force parallel circuits
+  const auto topo = AsTopology::generate(config, 9);
+  int multi = 0;
+  for (const auto& link : topo.links()) {
+    EXPECT_GE(link.parallel_circuits, 1);
+    EXPECT_LE(link.parallel_circuits, 3);
+    multi += link.parallel_circuits > 1 ? 1 : 0;
+  }
+  EXPECT_EQ(multi, static_cast<int>(topo.links().size()));
+}
+
+TEST(AsTopology, ZeroParallelFractionMeansSingleCircuits) {
+  TopologyConfig config = small_config();
+  config.parallel_link_fraction = 0.0;
+  const auto topo = AsTopology::generate(config, 10);
+  for (const auto& link : topo.links()) {
+    EXPECT_EQ(link.parallel_circuits, 1);
+    EXPECT_FALSE(link.circuits_span_subnets);
+  }
+}
+
+TEST(AsTopology, AsNumbersAreStable) {
+  const auto topo = AsTopology::generate(small_config(), 11);
+  EXPECT_EQ(topo.as_number(0), 7000);
+  EXPECT_EQ(topo.as_number(55), 7055);
+}
+
+}  // namespace
+}  // namespace infilter::routing

@@ -1,0 +1,193 @@
+// Tests for the traceback extension (core/traceback.h).
+
+#include "core/traceback.h"
+
+#include <gtest/gtest.h>
+
+#include "dagflow/dagflow.h"
+#include "core/engine.h"
+#include "traffic/attacks.h"
+#include "traffic/normal.h"
+
+namespace infilter::core {
+namespace {
+
+alert::Alert make_alert(std::uint64_t time, const char* victim, std::uint16_t port,
+                        IngressId ingress) {
+  alert::Alert a;
+  a.create_time = time;
+  a.source_ip = *net::IPv4Address::parse("3.1.2.3");
+  a.target_ip = *net::IPv4Address::parse(victim);
+  a.target_port = port;
+  a.ingress_port = ingress;
+  return a;
+}
+
+TEST(Traceback, SingleVictimSingleIngressEpisode) {
+  TracebackEngine traceback;
+  for (int i = 0; i < 5; ++i) {
+    traceback.consume(make_alert(1000 + i * 100, "100.64.0.1", 80, 9001));
+  }
+  const auto episodes = traceback.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& e = episodes.front();
+  EXPECT_EQ(e.alert_count, 5u);
+  ASSERT_TRUE(e.victim.has_value());
+  EXPECT_EQ(*e.victim, *net::IPv4Address::parse("100.64.0.1"));
+  EXPECT_EQ(e.service_port, std::optional<std::uint16_t>{80});
+  EXPECT_FALSE(e.distributed());
+  EXPECT_EQ(e.primary_ingress(), 9001);
+  EXPECT_EQ(e.first_alert, 1000u);
+  EXPECT_EQ(e.last_alert, 1400u);
+}
+
+TEST(Traceback, GapSplitsEpisodes) {
+  TracebackEngine traceback;  // default gap 10 s
+  traceback.consume(make_alert(1000, "100.64.0.1", 80, 9001));
+  traceback.consume(make_alert(5000, "100.64.0.1", 80, 9001));   // fuses
+  traceback.consume(make_alert(40000, "100.64.0.1", 80, 9001));  // new episode
+  EXPECT_EQ(traceback.episode_count(), 2u);
+}
+
+TEST(Traceback, DistributedAttackAcrossIngresses) {
+  TracebackEngine traceback;
+  // A DDoS against one victim spraying through three border routers,
+  // 9001 carrying half the traffic.
+  for (int i = 0; i < 10; ++i) {
+    traceback.consume(make_alert(1000 + i, "100.64.0.9", 80,
+                                 static_cast<IngressId>(9001 + (i % 4 == 0 ? 1 : 0))));
+  }
+  for (int i = 0; i < 4; ++i) {
+    traceback.consume(make_alert(1100 + i, "100.64.0.9", 80, 9003));
+  }
+  const auto episodes = traceback.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& e = episodes.front();
+  EXPECT_TRUE(e.distributed());
+  ASSERT_EQ(e.ingresses.size(), 3u);
+  EXPECT_EQ(e.primary_ingress(), 9001);
+  EXPECT_GT(e.ingresses.front().share, e.ingresses.back().share);
+  double total = 0;
+  for (const auto& evidence : e.ingresses) total += evidence.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Traceback, WormSweepGroupsByServicePort) {
+  TracebackEngine traceback;
+  // Slammer: one alert per distinct victim, all on port 1434.
+  for (int i = 0; i < 30; ++i) {
+    const std::string victim = "100.64.7." + std::to_string(i + 1);
+    traceback.consume(make_alert(1000 + i * 10, victim.c_str(), 1434, 9001));
+  }
+  const auto episodes = traceback.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  const auto& e = episodes.front();
+  EXPECT_FALSE(e.victim.has_value());  // multi-victim
+  EXPECT_EQ(e.distinct_victims, 30u);
+  EXPECT_EQ(e.service_port, std::optional<std::uint16_t>{1434});
+  EXPECT_NE(e.summary().find("30 hosts"), std::string::npos);
+}
+
+TEST(Traceback, HostScanClearsServicePort) {
+  TracebackEngine traceback;
+  for (std::uint16_t port = 1; port <= 20; ++port) {
+    traceback.consume(make_alert(1000 + port, "100.64.0.2", port, 9001));
+  }
+  const auto episodes = traceback.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_FALSE(episodes.front().service_port.has_value());
+  EXPECT_TRUE(episodes.front().victim.has_value());
+}
+
+TEST(Traceback, UnrelatedVictimsSeparateEpisodes) {
+  TracebackEngine traceback;
+  traceback.consume(make_alert(1000, "100.64.0.1", 80, 9001));
+  traceback.consume(make_alert(1001, "100.64.0.2", 22, 9002));
+  EXPECT_EQ(traceback.episode_count(), 2u);
+}
+
+TEST(Traceback, ForwardsDownstream) {
+  alert::CollectingSink downstream;
+  TracebackEngine traceback(TracebackConfig{}, &downstream);
+  traceback.consume(make_alert(1000, "100.64.0.1", 80, 9001));
+  traceback.consume(make_alert(1001, "100.64.0.1", 80, 9001));
+  EXPECT_EQ(downstream.alerts().size(), 2u);
+}
+
+TEST(Traceback, EvictsOldestWhenFull) {
+  TracebackConfig config;
+  config.max_episodes = 3;
+  config.episode_gap = 1;  // everything separate
+  TracebackEngine traceback(config);
+  for (int i = 0; i < 6; ++i) {
+    const std::string victim = "100.64.9." + std::to_string(i + 1);
+    traceback.consume(make_alert(1000 + i * 100, victim.c_str(), 80, 9001));
+  }
+  EXPECT_EQ(traceback.episode_count(), 3u);
+  // Oldest evicted: remaining episodes are the newest victims.
+  const auto episodes = traceback.episodes();
+  EXPECT_EQ(*episodes.front().victim, *net::IPv4Address::parse("100.64.9.4"));
+}
+
+TEST(Traceback, SummaryNamesDistributedEpisodes) {
+  TracebackEngine traceback;
+  traceback.consume(make_alert(1000, "100.64.0.1", 80, 9001));
+  traceback.consume(make_alert(1001, "100.64.0.1", 80, 9002));
+  const auto episodes = traceback.episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_NE(episodes.front().summary().find("DISTRIBUTED"), std::string::npos);
+  EXPECT_NE(traceback.report().find("episode 1"), std::string::npos);
+}
+
+TEST(TracebackIntegration, LocatesTheAttackIngress) {
+  // Full chain: engine alerts -> traceback. A Nessus battery enters via
+  // Peer AS3; traceback must name ingress 9003 as primary.
+  alert::CollectingSink ui;
+  TracebackEngine traceback(TracebackConfig{}, &ui);
+
+  EngineConfig config;
+  config.cluster.bits_per_feature = 48;
+  config.seed = 9;
+  InFilterEngine engine(config, &traceback);
+  for (int s = 0; s < 10; ++s) {
+    for (const auto& block : dagflow::eia_range(s).expand()) {
+      engine.add_expected(static_cast<IngressId>(9001 + s), block.prefix());
+    }
+  }
+  {
+    traffic::NormalTrafficModel model;
+    util::Rng rng{10};
+    const auto trace = model.generate(600, 0, rng);
+    dagflow::Dagflow trainer(
+        dagflow::DagflowConfig{},
+        dagflow::AddressPool::from_subblocks({*net::SubBlock::parse("1a")}), 11);
+    std::vector<netflow::V5Record> records;
+    for (const auto& labeled : trainer.replay(trace)) records.push_back(labeled.record);
+    engine.train(records);
+  }
+
+  util::Rng rng{12};
+  traffic::AttackConfig attack_config;
+  attack_config.companion_fraction = 0;
+  const auto attack = traffic::generate_attack(traffic::AttackKind::kNessusHttp,
+                                               attack_config, 1000, rng);
+  dagflow::Dagflow attacker(
+      dagflow::DagflowConfig{.netflow_port = 9003},
+      dagflow::AddressPool::from_subblocks({*net::SubBlock::parse("70a")}), 13);
+  for (const auto& flow : attacker.replay(attack)) {
+    (void)engine.process(flow.record, flow.arrival_port, flow.record.last);
+  }
+
+  ASSERT_GT(ui.alerts().size(), 0u);  // downstream still fed
+  const auto episodes = traceback.episodes();
+  ASSERT_GE(episodes.size(), 1u);
+  // The dominant episode's primary ingress is the true entry point.
+  const auto* biggest = &episodes.front();
+  for (const auto& episode : episodes) {
+    if (episode.alert_count > biggest->alert_count) biggest = &episode;
+  }
+  EXPECT_EQ(biggest->primary_ingress(), 9003);
+}
+
+}  // namespace
+}  // namespace infilter::core

@@ -1,0 +1,289 @@
+// Tests for the traffic generators (traffic/normal.h, traffic/attacks.h).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "traffic/attacks.h"
+#include "traffic/normal.h"
+
+namespace infilter::traffic {
+namespace {
+
+using netflow::IpProto;
+
+TEST(Trace, MergeOrdersByStartTime) {
+  Trace a;
+  a.flows.push_back(TraceFlow{.start = 300});
+  a.flows.push_back(TraceFlow{.start = 500});
+  Trace b;
+  b.flows.push_back(TraceFlow{.start = 100});
+  b.flows.push_back(TraceFlow{.start = 400});
+  const auto merged = merge({a, b});
+  ASSERT_EQ(merged.flows.size(), 4u);
+  for (std::size_t i = 1; i < merged.flows.size(); ++i) {
+    EXPECT_LE(merged.flows[i - 1].start, merged.flows[i].start);
+  }
+}
+
+TEST(Trace, ShiftMovesAllStarts) {
+  Trace t;
+  t.flows.push_back(TraceFlow{.start = 10});
+  t.flows.push_back(TraceFlow{.start = 20});
+  shift(t, 1000);
+  EXPECT_EQ(t.flows[0].start, 1010u);
+  EXPECT_EQ(t.flows[1].start, 1020u);
+}
+
+TEST(Trace, DurationIsLatestEnd) {
+  Trace t;
+  t.flows.push_back(TraceFlow{.start = 10, .duration_ms = 5});
+  t.flows.push_back(TraceFlow{.start = 8, .duration_ms = 100});
+  EXPECT_EQ(t.duration(), 108u);
+}
+
+TEST(NormalTraffic, GeneratesRequestedCount) {
+  NormalTrafficModel model;
+  util::Rng rng{1};
+  const auto trace = model.generate(500, 0, rng);
+  EXPECT_EQ(trace.flows.size(), 500u);
+  EXPECT_EQ(trace.attack_flow_count(), 0u);
+}
+
+TEST(NormalTraffic, ArrivalsAreOrderedFromOrigin) {
+  NormalTrafficModel model;
+  util::Rng rng{2};
+  const auto trace = model.generate(200, 5000, rng);
+  util::TimeMs last = 5000;
+  for (const auto& flow : trace.flows) {
+    EXPECT_GE(flow.start, last);
+    last = flow.start;
+  }
+}
+
+TEST(NormalTraffic, MixContainsAllSevenFamilies) {
+  NormalTrafficModel model;
+  util::Rng rng{3};
+  const auto trace = model.generate(5000, 0, rng);
+  bool http = false, smtp = false, ftp = false, dns = false, other_tcp = false,
+       other_udp = false, icmp = false;
+  for (const auto& f : trace.flows) {
+    if (f.proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+      if (f.dst_port == 80) http = true;
+      else if (f.dst_port == 25) smtp = true;
+      else if (f.dst_port == 21) ftp = true;
+      else other_tcp = true;
+    } else if (f.proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
+      if (f.dst_port == 53) dns = true;
+      else other_udp = true;
+    } else if (f.proto == static_cast<std::uint8_t>(IpProto::kIcmp)) {
+      icmp = true;
+    }
+  }
+  EXPECT_TRUE(http);
+  EXPECT_TRUE(smtp);
+  EXPECT_TRUE(ftp);
+  EXPECT_TRUE(dns);
+  EXPECT_TRUE(other_tcp);
+  EXPECT_TRUE(other_udp);
+  EXPECT_TRUE(icmp);
+}
+
+TEST(NormalTraffic, HttpDominatesByWeight) {
+  NormalTrafficModel model;
+  util::Rng rng{4};
+  const auto trace = model.generate(8000, 0, rng);
+  int http = 0;
+  for (const auto& f : trace.flows) {
+    http += (f.proto == static_cast<std::uint8_t>(IpProto::kTcp) && f.dst_port == 80)
+                ? 1
+                : 0;
+  }
+  const double fraction = static_cast<double>(http) / 8000.0;
+  EXPECT_NEAR(fraction, 0.42, 0.05);
+}
+
+TEST(NormalTraffic, FlowInvariants) {
+  NormalTrafficModel model;
+  util::Rng rng{5};
+  const auto trace = model.generate(3000, 0, rng);
+  for (const auto& f : trace.flows) {
+    EXPECT_GE(f.packets, 1u);
+    EXPECT_GE(f.bytes, 40u);
+    EXPECT_GE(f.bytes, f.packets * 30u);  // plausible bytes-per-packet floor
+    if (f.proto == static_cast<std::uint8_t>(IpProto::kIcmp)) {
+      EXPECT_EQ(f.src_port, 0);
+      EXPECT_EQ(f.dst_port, 0);
+    }
+  }
+}
+
+TEST(NormalTraffic, DestinationsInsideConfiguredSpace) {
+  NormalTrafficConfig config;
+  config.destination_space = net::Prefix{net::IPv4Address{100, 64, 0, 0}, 16};
+  NormalTrafficModel model(config);
+  util::Rng rng{6};
+  const auto trace = model.generate(1000, 0, rng);
+  for (const auto& f : trace.flows) {
+    EXPECT_TRUE(config.destination_space.contains(f.dst_ip));
+  }
+}
+
+class AttackGenerators : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttackGenerators, ProducesLabeledFlowsWithVictimsInSpace) {
+  const auto kind = static_cast<AttackKind>(GetParam());
+  AttackConfig config;
+  util::Rng rng{7};
+  const auto trace = generate_attack(kind, config, 1000, rng);
+  ASSERT_FALSE(trace.flows.empty());
+  for (const auto& f : trace.flows) {
+    EXPECT_EQ(f.attack_kind, kind);
+    EXPECT_TRUE(config.destination_space.contains(f.dst_ip));
+    EXPECT_GE(f.start, 1000u);
+    EXPECT_GE(f.packets, 1u);
+  }
+  EXPECT_GT(trace.attack_flow_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, AttackGenerators,
+                         ::testing::Range(0, kAttackKindCount));
+
+TEST(Attacks, SlammerIsSingle404ByteUdpTo1434) {
+  AttackConfig config;
+  util::Rng rng{8};
+  const auto trace = generate_attack(AttackKind::kSlammer, config, 0, rng);
+  std::set<std::uint32_t> victims;
+  for (const auto& f : trace.flows) {
+    EXPECT_EQ(f.proto, static_cast<std::uint8_t>(IpProto::kUdp));
+    EXPECT_EQ(f.dst_port, 1434);
+    EXPECT_EQ(f.packets, 1u);
+    EXPECT_EQ(f.bytes, 404u);
+    victims.insert(f.dst_ip.value());
+  }
+  // Random scanning: many distinct victims.
+  EXPECT_GT(victims.size(), trace.flows.size() / 2);
+}
+
+TEST(Attacks, NetworkScanFixedPortDistinctHosts) {
+  AttackConfig config;
+  util::Rng rng{9};
+  const auto trace = generate_attack(AttackKind::kNmapNetworkScan, config, 0, rng);
+  std::set<std::uint16_t> ports;
+  std::set<std::uint32_t> hosts;
+  for (const auto& f : trace.flows) {
+    if (!f.attack) continue;
+    ports.insert(f.dst_port);
+    hosts.insert(f.dst_ip.value());
+  }
+  EXPECT_EQ(ports.size(), 1u);  // "destination port is typically fixed"
+  EXPECT_EQ(hosts.size(), trace.attack_flow_count());  // distinct hosts
+}
+
+TEST(Attacks, IdleScanOneHostManyPorts) {
+  AttackConfig config;
+  util::Rng rng{10};
+  const auto trace = generate_attack(AttackKind::kNmapIdleScan, config, 0, rng);
+  std::set<std::uint16_t> ports;
+  std::set<std::uint32_t> hosts;
+  for (const auto& f : trace.flows) {
+    if (!f.attack) continue;
+    ports.insert(f.dst_port);
+    hosts.insert(f.dst_ip.value());
+  }
+  EXPECT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(ports.size(), trace.attack_flow_count());
+}
+
+TEST(Attacks, StealthyAttacksAreSmall) {
+  AttackConfig config;
+  util::Rng rng{11};
+  for (const auto kind : {AttackKind::kPuke, AttackKind::kJolt, AttackKind::kTeardrop}) {
+    const auto trace = generate_attack(kind, config, 0, rng);
+    EXPECT_LE(trace.flows.size(), 5u) << attack_name(kind);
+    EXPECT_TRUE(is_stealthy(kind));
+  }
+  EXPECT_TRUE(is_stealthy(AttackKind::kSlammer));
+  EXPECT_FALSE(is_stealthy(AttackKind::kTfn2k));
+}
+
+TEST(Attacks, StealthyAttacksHaveNoCompanions) {
+  AttackConfig config;
+  config.companion_fraction = 0.5;
+  util::Rng rng{12};
+  for (const auto kind : {AttackKind::kPuke, AttackKind::kJolt, AttackKind::kTeardrop,
+                          AttackKind::kSlammer}) {
+    const auto trace = generate_attack(kind, config, 0, rng);
+    EXPECT_EQ(trace.attack_flow_count(), trace.flows.size()) << attack_name(kind);
+  }
+}
+
+TEST(Attacks, NoisyAttacksCarryCompanions) {
+  AttackConfig config;
+  config.companion_fraction = 0.4;
+  util::Rng rng{13};
+  const auto trace = generate_attack(AttackKind::kNessusHttp, config, 0, rng);
+  EXPECT_LT(trace.attack_flow_count(), trace.flows.size());
+  // Companions target the same service.
+  for (const auto& f : trace.flows) {
+    if (!f.attack) EXPECT_EQ(f.dst_port, 80);
+  }
+}
+
+TEST(Attacks, CompanionFractionZeroDisablesCompanions) {
+  AttackConfig config;
+  config.companion_fraction = 0;
+  util::Rng rng{14};
+  const auto trace = generate_attack(AttackKind::kNessusHttp, config, 0, rng);
+  EXPECT_EQ(trace.attack_flow_count(), trace.flows.size());
+}
+
+TEST(Attacks, IntensityScalesFlowCount) {
+  AttackConfig one;
+  one.intensity = 1.0;
+  one.companion_fraction = 0;
+  AttackConfig four;
+  four.intensity = 4.0;
+  four.companion_fraction = 0;
+  util::Rng rng1{15};
+  util::Rng rng2{15};
+  const auto small = generate_attack(AttackKind::kSynFlood, one, 0, rng1);
+  const auto large = generate_attack(AttackKind::kSynFlood, four, 0, rng2);
+  EXPECT_NEAR(static_cast<double>(large.flows.size()),
+              4.0 * static_cast<double>(small.flows.size()),
+              static_cast<double>(small.flows.size()) * 0.1);
+}
+
+TEST(Attacks, TfnFloodIsVoluminous) {
+  AttackConfig config;
+  util::Rng rng{16};
+  const auto trace = generate_attack(AttackKind::kTfn2k, config, 0, rng);
+  std::uint64_t total_packets = 0;
+  for (const auto& f : trace.flows) {
+    if (f.attack) total_packets += f.packets;
+  }
+  EXPECT_GT(total_packets, 10000u);  // a flood, not a probe
+}
+
+TEST(Attacks, AttackSetContainsAllKinds) {
+  AttackConfig config;
+  util::Rng rng{17};
+  const auto trace = generate_attack_set(config, 0, 60000, rng);
+  std::set<int> kinds;
+  for (const auto& f : trace.flows) {
+    if (f.attack) kinds.insert(static_cast<int>(f.attack_kind));
+  }
+  EXPECT_EQ(kinds.size(), static_cast<std::size_t>(kAttackKindCount));
+}
+
+TEST(Attacks, EveryKindHasAName) {
+  std::set<std::string_view> names;
+  for (int k = 0; k < kAttackKindCount; ++k) {
+    const auto name = attack_name(static_cast<AttackKind>(k));
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+}  // namespace
+}  // namespace infilter::traffic

@@ -1,0 +1,113 @@
+// Tests for the worm epidemic model (traffic/worm.h).
+
+#include "traffic/worm.h"
+
+#include <gtest/gtest.h>
+
+namespace infilter::traffic {
+namespace {
+
+WormConfig fast_config() {
+  WormConfig config;
+  config.horizon = 30 * util::kSecond;
+  config.vulnerable_hosts = 200;
+  config.probes_per_host_per_second = 10;
+  return config;
+}
+
+TEST(Worm, EpidemicGrowsMonotonically) {
+  util::Rng rng{1};
+  const auto outcome = simulate_worm(fast_config(), rng);
+  int last = 0;
+  for (const auto& [time, infected] : outcome.infections_over_time) {
+    EXPECT_GE(infected, last);
+    last = infected;
+  }
+  EXPECT_EQ(outcome.final_infected, last);
+  EXPECT_LE(outcome.final_infected, fast_config().vulnerable_hosts);
+}
+
+TEST(Worm, ProbesAreSlammerShaped) {
+  util::Rng rng{2};
+  const auto config = fast_config();
+  const auto outcome = simulate_worm(config, rng);
+  ASSERT_GT(outcome.border_trace.flows.size(), 0u);
+  util::TimeMs last_start = 0;
+  for (const auto& flow : outcome.border_trace.flows) {
+    EXPECT_TRUE(flow.attack);
+    EXPECT_EQ(flow.attack_kind, AttackKind::kSlammer);
+    EXPECT_EQ(flow.packets, 1u);
+    EXPECT_EQ(flow.bytes, 404u);
+    EXPECT_EQ(flow.dst_port, 1434);
+    EXPECT_TRUE(config.target_space.contains(flow.dst_ip));
+    EXPECT_GE(flow.start, last_start);
+    last_start = flow.start;
+  }
+  EXPECT_EQ(outcome.border_probes, outcome.border_trace.flows.size());
+}
+
+TEST(Worm, InternalAmplificationBeatsBorderOnlyGrowth) {
+  // Infected inside hosts scan too, so infections accelerate: the second
+  // half of the run infects more than the first half.
+  util::Rng rng{3};
+  WormConfig config = fast_config();
+  config.horizon = 60 * util::kSecond;
+  const auto outcome = simulate_worm(config, rng);
+  const int half = outcome.infected_at(30 * util::kSecond);
+  EXPECT_GT(outcome.final_infected - half, half)
+      << "no exponential takeoff: " << half << " then " << outcome.final_infected;
+}
+
+TEST(Worm, ContainmentFreezesInfections) {
+  WormConfig config = fast_config();
+  config.horizon = 40 * util::kSecond;
+  util::Rng rng_a{4};
+  const auto contained = simulate_worm(config, rng_a, 10 * util::kSecond);
+  util::Rng rng_b{4};
+  const auto free = simulate_worm(config, rng_b);
+  EXPECT_LT(contained.final_infected, free.final_infected);
+  // After containment, the infected count never grows.
+  int at_containment = contained.infected_at(10 * util::kSecond);
+  EXPECT_EQ(contained.final_infected, at_containment);
+  // And no border probes after containment.
+  for (const auto& flow : contained.border_trace.flows) {
+    EXPECT_LT(flow.start, 10 * util::kSecond + config.step);
+  }
+}
+
+TEST(Worm, EarlierContainmentFewerInfections) {
+  WormConfig config = fast_config();
+  config.horizon = 60 * util::kSecond;
+  util::Rng rng_a{5};
+  const auto early = simulate_worm(config, rng_a, 5 * util::kSecond);
+  util::Rng rng_b{5};
+  const auto late = simulate_worm(config, rng_b, 45 * util::kSecond);
+  EXPECT_LE(early.final_infected, late.final_infected);
+  EXPECT_LT(early.final_infected, config.vulnerable_hosts / 2);
+}
+
+TEST(Worm, ImmediateContainmentStopsEverything) {
+  util::Rng rng{6};
+  const auto outcome = simulate_worm(fast_config(), rng, util::TimeMs{0});
+  EXPECT_EQ(outcome.final_infected, 0);
+  EXPECT_EQ(outcome.border_probes, 0u);
+}
+
+TEST(Worm, InfectedAtInterpolatesStepwise) {
+  util::Rng rng{7};
+  const auto outcome = simulate_worm(fast_config(), rng);
+  EXPECT_EQ(outcome.infected_at(0), 0);
+  EXPECT_EQ(outcome.infected_at(fast_config().horizon * 2), outcome.final_infected);
+}
+
+TEST(Worm, DeterministicForSeed) {
+  util::Rng rng_a{8};
+  util::Rng rng_b{8};
+  const auto a = simulate_worm(fast_config(), rng_a);
+  const auto b = simulate_worm(fast_config(), rng_b);
+  EXPECT_EQ(a.final_infected, b.final_infected);
+  EXPECT_EQ(a.border_probes, b.border_probes);
+}
+
+}  // namespace
+}  // namespace infilter::traffic

@@ -1,0 +1,141 @@
+// infilter-detect: run the InFilter analysis over a capture.
+//
+// EIA sets default to the Table 3 preloads (collector ports 9001..9010
+// own 100 sub-blocks each); training comes from a separate capture of
+// known-good traffic. Prints an alert summary, the traceback report, and
+// (optionally) every alert as IDMEF XML.
+//
+// Usage:
+//   infilter-detect FILE --train TRAIN_FILE
+//                   [--eia EIA_FILE]      # text EIA config (default: Table 3)
+//                   [--dump-eia OUT]      # write the post-run EIA sets
+//                   [--mode basic|enhanced] [--ascii] [--idmef]
+//                   [--bits 144]          # unary bits/feature (d = 5*bits)
+//                   [--buffer 200] [--learn 5]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/eia_io.h"
+#include "core/engine.h"
+#include "core/traceback.h"
+#include "dagflow/allocation.h"
+#include "flowtools/ascii.h"
+#include "flowtools/capture.h"
+#include "util/args.h"
+
+using namespace infilter;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "infilter-detect: %s\n", message.c_str());
+  return 1;
+}
+
+util::Result<std::vector<flowtools::CapturedFlow>> load_flows(const std::string& path,
+                                                              bool ascii) {
+  if (ascii) {
+    std::ifstream in(path);
+    if (!in) return util::Error{"cannot open " + path};
+    std::ostringstream text;
+    text << in.rdbuf();
+    return flowtools::import_ascii(text.str());
+  }
+  flowtools::FlowCapture capture;
+  if (const auto loaded = capture.load(path); !loaded) return loaded.error();
+  return capture.flows();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = util::Args::parse(argc, argv, {"ascii", "idmef"});
+  if (!parsed) return fail(parsed.error().message);
+  const auto& args = *parsed;
+  if (args.positional().size() != 1) return fail("exactly one capture FILE expected");
+
+  const auto flows = load_flows(args.positional().front(), args.has("ascii"));
+  if (!flows) return fail(flows.error().message);
+
+  core::EngineConfig config;
+  const auto mode = args.value_or("mode", "enhanced");
+  if (mode == "basic") config.mode = core::EngineMode::kBasic;
+  else if (mode != "enhanced") return fail("--mode must be basic or enhanced");
+  config.cluster.bits_per_feature = static_cast<int>(args.int_or("bits", 144));
+  config.scan.buffer_size = static_cast<std::size_t>(args.int_or("buffer", 200));
+  config.eia.learn_threshold = static_cast<int>(args.int_or("learn", 5));
+  config.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+
+  alert::CollectingSink ui;
+  core::TracebackEngine traceback(core::TracebackConfig{}, &ui);
+  core::InFilterEngine engine(config, &traceback);
+
+  // EIA preloads: a text config if given, otherwise the Table 3 defaults.
+  if (const auto eia_path = args.value("eia")) {
+    std::ifstream in(*eia_path);
+    if (!in) return fail("cannot open " + *eia_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto imported = core::import_eia(text.str());
+    if (!imported) return fail(imported.error().message);
+    for (const auto ingress : imported->ingresses()) {
+      for (const auto& prefix : imported->set_for(ingress)->to_cidrs()) {
+        engine.add_expected(ingress, prefix);
+      }
+    }
+    std::printf("loaded EIA sets for %zu ingress points from %s\n",
+                imported->ingress_count(), eia_path->c_str());
+  } else {
+    for (int s = 0; s < 10; ++s) {
+      for (const auto& block : dagflow::eia_range(s).expand()) {
+        engine.add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
+      }
+    }
+  }
+
+  if (config.mode == core::EngineMode::kEnhanced) {
+    const auto train_path = args.value("train");
+    if (!train_path.has_value()) {
+      return fail("--train TRAIN_FILE is required in enhanced mode");
+    }
+    const auto training = load_flows(*train_path, args.has("ascii"));
+    if (!training) return fail(training.error().message);
+    std::vector<netflow::V5Record> records;
+    records.reserve(training->size());
+    for (const auto& flow : *training) records.push_back(flow.record);
+    engine.train(records);
+    std::printf("trained on %zu flows (d = %d)\n", records.size(),
+                engine.clusters()->dimension());
+  }
+
+  std::uint64_t attacks = 0;
+  std::uint64_t suspects = 0;
+  for (const auto& flow : *flows) {
+    const auto verdict =
+        engine.process(flow.record, flow.arrival_port, flow.record.last);
+    suspects += verdict.suspect ? 1 : 0;
+    attacks += verdict.attack ? 1 : 0;
+  }
+
+  std::printf("%zu flows analyzed: %llu suspects, %llu flagged as attacks\n",
+              flows->size(), static_cast<unsigned long long>(suspects),
+              static_cast<unsigned long long>(attacks));
+  std::fputs(traceback.report().c_str(), stdout);
+
+  if (args.has("idmef")) {
+    for (const auto& alert : ui.alerts()) {
+      std::fputs(alert.to_idmef_xml().c_str(), stdout);
+    }
+  }
+
+  // Persist the post-run EIA sets (including anything auto-learned).
+  if (const auto dump_path = args.value("dump-eia")) {
+    std::ofstream out(*dump_path);
+    if (!out) return fail("cannot open " + *dump_path);
+    out << core::export_eia(engine.eia());
+    std::printf("wrote EIA sets to %s\n", dump_path->c_str());
+  }
+  return 0;
+}
