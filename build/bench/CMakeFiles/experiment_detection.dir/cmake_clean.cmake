@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_detection.dir/experiment_detection.cpp.o"
+  "CMakeFiles/experiment_detection.dir/experiment_detection.cpp.o.d"
+  "experiment_detection"
+  "experiment_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_route_change.dir/experiment_route_change.cpp.o"
+  "CMakeFiles/experiment_route_change.dir/experiment_route_change.cpp.o.d"
+  "experiment_route_change"
+  "experiment_route_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_route_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

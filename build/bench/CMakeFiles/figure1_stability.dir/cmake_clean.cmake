@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_stability.dir/figure1_stability.cpp.o"
+  "CMakeFiles/figure1_stability.dir/figure1_stability.cpp.o.d"
+  "figure1_stability"
+  "figure1_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

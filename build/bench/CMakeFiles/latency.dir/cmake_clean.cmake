@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency.dir/latency.cpp.o"
+  "CMakeFiles/latency.dir/latency.cpp.o.d"
+  "latency"
+  "latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

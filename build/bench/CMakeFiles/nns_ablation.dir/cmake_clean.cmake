@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nns_ablation.dir/nns_ablation.cpp.o"
+  "CMakeFiles/nns_ablation.dir/nns_ablation.cpp.o.d"
+  "nns_ablation"
+  "nns_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nns_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_ablation.dir/pipeline_ablation.cpp.o"
+  "CMakeFiles/pipeline_ablation.dir/pipeline_ablation.cpp.o.d"
+  "pipeline_ablation"
+  "pipeline_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

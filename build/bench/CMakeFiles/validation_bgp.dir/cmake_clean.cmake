@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_bgp.dir/validation_bgp.cpp.o"
+  "CMakeFiles/validation_bgp.dir/validation_bgp.cpp.o.d"
+  "validation_bgp"
+  "validation_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

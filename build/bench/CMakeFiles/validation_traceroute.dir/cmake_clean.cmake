@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_traceroute.dir/validation_traceroute.cpp.o"
+  "CMakeFiles/validation_traceroute.dir/validation_traceroute.cpp.o.d"
+  "validation_traceroute"
+  "validation_traceroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_tfn2k.dir/ddos_tfn2k.cpp.o"
+  "CMakeFiles/ddos_tfn2k.dir/ddos_tfn2k.cpp.o.d"
+  "ddos_tfn2k"
+  "ddos_tfn2k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_tfn2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

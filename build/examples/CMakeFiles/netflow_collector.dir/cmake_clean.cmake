@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_collector.dir/netflow_collector.cpp.o"
+  "CMakeFiles/netflow_collector.dir/netflow_collector.cpp.o.d"
+  "netflow_collector"
+  "netflow_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

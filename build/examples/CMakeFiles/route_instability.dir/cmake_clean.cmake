@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_instability.dir/route_instability.cpp.o"
+  "CMakeFiles/route_instability.dir/route_instability.cpp.o.d"
+  "route_instability"
+  "route_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slammer_worm.dir/slammer_worm.cpp.o"
+  "CMakeFiles/slammer_worm.dir/slammer_worm.cpp.o.d"
+  "slammer_worm"
+  "slammer_worm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slammer_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

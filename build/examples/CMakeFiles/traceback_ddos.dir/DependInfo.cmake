@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/traceback_ddos.cpp" "examples/CMakeFiles/traceback_ddos.dir/traceback_ddos.cpp.o" "gcc" "examples/CMakeFiles/traceback_ddos.dir/traceback_ddos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/infilter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/infilter_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/infilter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowtools/CMakeFiles/infilter_flowtools.dir/DependInfo.cmake"
+  "/root/repo/build/src/nns/CMakeFiles/infilter_nns.dir/DependInfo.cmake"
+  "/root/repo/build/src/alert/CMakeFiles/infilter_alert.dir/DependInfo.cmake"
+  "/root/repo/build/src/dagflow/CMakeFiles/infilter_dagflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/infilter_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/infilter_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/infilter_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceback_ddos.dir/traceback_ddos.cpp.o"
+  "CMakeFiles/traceback_ddos.dir/traceback_ddos.cpp.o.d"
+  "traceback_ddos"
+  "traceback_ddos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceback_ddos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for traceback_ddos.
+# This may be replaced when dependencies are built.

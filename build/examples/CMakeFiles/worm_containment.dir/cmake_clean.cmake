@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_containment.dir/worm_containment.cpp.o"
+  "CMakeFiles/worm_containment.dir/worm_containment.cpp.o.d"
+  "worm_containment"
+  "worm_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

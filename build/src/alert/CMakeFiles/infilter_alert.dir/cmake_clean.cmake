@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_alert.dir/idmef.cpp.o"
+  "CMakeFiles/infilter_alert.dir/idmef.cpp.o.d"
+  "CMakeFiles/infilter_alert.dir/idmef_io.cpp.o"
+  "CMakeFiles/infilter_alert.dir/idmef_io.cpp.o.d"
+  "libinfilter_alert.a"
+  "libinfilter_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for infilter_alert.
+# This may be replaced when dependencies are built.

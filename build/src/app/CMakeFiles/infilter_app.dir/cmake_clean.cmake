@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_app.dir/node.cpp.o"
+  "CMakeFiles/infilter_app.dir/node.cpp.o.d"
+  "libinfilter_app.a"
+  "libinfilter_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/infilter_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/infilter_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/eia.cpp" "src/core/CMakeFiles/infilter_core.dir/eia.cpp.o" "gcc" "src/core/CMakeFiles/infilter_core.dir/eia.cpp.o.d"
+  "/root/repo/src/core/eia_io.cpp" "src/core/CMakeFiles/infilter_core.dir/eia_io.cpp.o" "gcc" "src/core/CMakeFiles/infilter_core.dir/eia_io.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/infilter_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/infilter_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/scan.cpp" "src/core/CMakeFiles/infilter_core.dir/scan.cpp.o" "gcc" "src/core/CMakeFiles/infilter_core.dir/scan.cpp.o.d"
+  "/root/repo/src/core/traceback.cpp" "src/core/CMakeFiles/infilter_core.dir/traceback.cpp.o" "gcc" "src/core/CMakeFiles/infilter_core.dir/traceback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/infilter_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/infilter_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowtools/CMakeFiles/infilter_flowtools.dir/DependInfo.cmake"
+  "/root/repo/build/src/nns/CMakeFiles/infilter_nns.dir/DependInfo.cmake"
+  "/root/repo/build/src/alert/CMakeFiles/infilter_alert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

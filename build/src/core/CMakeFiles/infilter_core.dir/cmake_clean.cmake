@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_core.dir/cluster.cpp.o"
+  "CMakeFiles/infilter_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/infilter_core.dir/eia.cpp.o"
+  "CMakeFiles/infilter_core.dir/eia.cpp.o.d"
+  "CMakeFiles/infilter_core.dir/eia_io.cpp.o"
+  "CMakeFiles/infilter_core.dir/eia_io.cpp.o.d"
+  "CMakeFiles/infilter_core.dir/engine.cpp.o"
+  "CMakeFiles/infilter_core.dir/engine.cpp.o.d"
+  "CMakeFiles/infilter_core.dir/scan.cpp.o"
+  "CMakeFiles/infilter_core.dir/scan.cpp.o.d"
+  "CMakeFiles/infilter_core.dir/traceback.cpp.o"
+  "CMakeFiles/infilter_core.dir/traceback.cpp.o.d"
+  "libinfilter_core.a"
+  "libinfilter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

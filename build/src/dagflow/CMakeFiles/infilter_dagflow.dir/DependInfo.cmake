@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dagflow/allocation.cpp" "src/dagflow/CMakeFiles/infilter_dagflow.dir/allocation.cpp.o" "gcc" "src/dagflow/CMakeFiles/infilter_dagflow.dir/allocation.cpp.o.d"
+  "/root/repo/src/dagflow/dagflow.cpp" "src/dagflow/CMakeFiles/infilter_dagflow.dir/dagflow.cpp.o" "gcc" "src/dagflow/CMakeFiles/infilter_dagflow.dir/dagflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/infilter_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/infilter_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/infilter_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

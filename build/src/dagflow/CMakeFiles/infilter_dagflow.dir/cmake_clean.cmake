@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_dagflow.dir/allocation.cpp.o"
+  "CMakeFiles/infilter_dagflow.dir/allocation.cpp.o.d"
+  "CMakeFiles/infilter_dagflow.dir/dagflow.cpp.o"
+  "CMakeFiles/infilter_dagflow.dir/dagflow.cpp.o.d"
+  "libinfilter_dagflow.a"
+  "libinfilter_dagflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_dagflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

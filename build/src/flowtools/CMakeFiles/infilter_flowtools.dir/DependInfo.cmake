@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowtools/ascii.cpp" "src/flowtools/CMakeFiles/infilter_flowtools.dir/ascii.cpp.o" "gcc" "src/flowtools/CMakeFiles/infilter_flowtools.dir/ascii.cpp.o.d"
+  "/root/repo/src/flowtools/capture.cpp" "src/flowtools/CMakeFiles/infilter_flowtools.dir/capture.cpp.o" "gcc" "src/flowtools/CMakeFiles/infilter_flowtools.dir/capture.cpp.o.d"
+  "/root/repo/src/flowtools/report.cpp" "src/flowtools/CMakeFiles/infilter_flowtools.dir/report.cpp.o" "gcc" "src/flowtools/CMakeFiles/infilter_flowtools.dir/report.cpp.o.d"
+  "/root/repo/src/flowtools/udp.cpp" "src/flowtools/CMakeFiles/infilter_flowtools.dir/udp.cpp.o" "gcc" "src/flowtools/CMakeFiles/infilter_flowtools.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netflow/CMakeFiles/infilter_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/infilter_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_flowtools.dir/ascii.cpp.o"
+  "CMakeFiles/infilter_flowtools.dir/ascii.cpp.o.d"
+  "CMakeFiles/infilter_flowtools.dir/capture.cpp.o"
+  "CMakeFiles/infilter_flowtools.dir/capture.cpp.o.d"
+  "CMakeFiles/infilter_flowtools.dir/report.cpp.o"
+  "CMakeFiles/infilter_flowtools.dir/report.cpp.o.d"
+  "CMakeFiles/infilter_flowtools.dir/udp.cpp.o"
+  "CMakeFiles/infilter_flowtools.dir/udp.cpp.o.d"
+  "libinfilter_flowtools.a"
+  "libinfilter_flowtools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_flowtools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

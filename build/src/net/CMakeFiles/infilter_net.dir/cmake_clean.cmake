@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_net.dir/ipv4.cpp.o"
+  "CMakeFiles/infilter_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/infilter_net.dir/subblocks.cpp.o"
+  "CMakeFiles/infilter_net.dir/subblocks.cpp.o.d"
+  "libinfilter_net.a"
+  "libinfilter_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netflow/flow_cache.cpp" "src/netflow/CMakeFiles/infilter_netflow.dir/flow_cache.cpp.o" "gcc" "src/netflow/CMakeFiles/infilter_netflow.dir/flow_cache.cpp.o.d"
+  "/root/repo/src/netflow/v5.cpp" "src/netflow/CMakeFiles/infilter_netflow.dir/v5.cpp.o" "gcc" "src/netflow/CMakeFiles/infilter_netflow.dir/v5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/infilter_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_netflow.dir/flow_cache.cpp.o"
+  "CMakeFiles/infilter_netflow.dir/flow_cache.cpp.o.d"
+  "CMakeFiles/infilter_netflow.dir/v5.cpp.o"
+  "CMakeFiles/infilter_netflow.dir/v5.cpp.o.d"
+  "libinfilter_netflow.a"
+  "libinfilter_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

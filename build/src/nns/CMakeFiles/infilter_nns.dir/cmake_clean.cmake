@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_nns.dir/encoding.cpp.o"
+  "CMakeFiles/infilter_nns.dir/encoding.cpp.o.d"
+  "CMakeFiles/infilter_nns.dir/kor.cpp.o"
+  "CMakeFiles/infilter_nns.dir/kor.cpp.o.d"
+  "libinfilter_nns.a"
+  "libinfilter_nns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_nns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinfilter_nns.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for infilter_nns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bgp.cpp" "src/routing/CMakeFiles/infilter_routing.dir/bgp.cpp.o" "gcc" "src/routing/CMakeFiles/infilter_routing.dir/bgp.cpp.o.d"
+  "/root/repo/src/routing/igp.cpp" "src/routing/CMakeFiles/infilter_routing.dir/igp.cpp.o" "gcc" "src/routing/CMakeFiles/infilter_routing.dir/igp.cpp.o.d"
+  "/root/repo/src/routing/internet.cpp" "src/routing/CMakeFiles/infilter_routing.dir/internet.cpp.o" "gcc" "src/routing/CMakeFiles/infilter_routing.dir/internet.cpp.o.d"
+  "/root/repo/src/routing/routeviews.cpp" "src/routing/CMakeFiles/infilter_routing.dir/routeviews.cpp.o" "gcc" "src/routing/CMakeFiles/infilter_routing.dir/routeviews.cpp.o.d"
+  "/root/repo/src/routing/studies.cpp" "src/routing/CMakeFiles/infilter_routing.dir/studies.cpp.o" "gcc" "src/routing/CMakeFiles/infilter_routing.dir/studies.cpp.o.d"
+  "/root/repo/src/routing/topology.cpp" "src/routing/CMakeFiles/infilter_routing.dir/topology.cpp.o" "gcc" "src/routing/CMakeFiles/infilter_routing.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/infilter_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

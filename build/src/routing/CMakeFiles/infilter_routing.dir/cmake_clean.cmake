@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_routing.dir/bgp.cpp.o"
+  "CMakeFiles/infilter_routing.dir/bgp.cpp.o.d"
+  "CMakeFiles/infilter_routing.dir/igp.cpp.o"
+  "CMakeFiles/infilter_routing.dir/igp.cpp.o.d"
+  "CMakeFiles/infilter_routing.dir/internet.cpp.o"
+  "CMakeFiles/infilter_routing.dir/internet.cpp.o.d"
+  "CMakeFiles/infilter_routing.dir/routeviews.cpp.o"
+  "CMakeFiles/infilter_routing.dir/routeviews.cpp.o.d"
+  "CMakeFiles/infilter_routing.dir/studies.cpp.o"
+  "CMakeFiles/infilter_routing.dir/studies.cpp.o.d"
+  "CMakeFiles/infilter_routing.dir/topology.cpp.o"
+  "CMakeFiles/infilter_routing.dir/topology.cpp.o.d"
+  "libinfilter_routing.a"
+  "libinfilter_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

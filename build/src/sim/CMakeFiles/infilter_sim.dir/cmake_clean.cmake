@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_sim.dir/testbed.cpp.o"
+  "CMakeFiles/infilter_sim.dir/testbed.cpp.o.d"
+  "libinfilter_sim.a"
+  "libinfilter_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

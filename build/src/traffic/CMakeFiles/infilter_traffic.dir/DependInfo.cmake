@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/attacks.cpp" "src/traffic/CMakeFiles/infilter_traffic.dir/attacks.cpp.o" "gcc" "src/traffic/CMakeFiles/infilter_traffic.dir/attacks.cpp.o.d"
+  "/root/repo/src/traffic/normal.cpp" "src/traffic/CMakeFiles/infilter_traffic.dir/normal.cpp.o" "gcc" "src/traffic/CMakeFiles/infilter_traffic.dir/normal.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/infilter_traffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/infilter_traffic.dir/trace.cpp.o.d"
+  "/root/repo/src/traffic/worm.cpp" "src/traffic/CMakeFiles/infilter_traffic.dir/worm.cpp.o" "gcc" "src/traffic/CMakeFiles/infilter_traffic.dir/worm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netflow/CMakeFiles/infilter_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/infilter_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_traffic.dir/attacks.cpp.o"
+  "CMakeFiles/infilter_traffic.dir/attacks.cpp.o.d"
+  "CMakeFiles/infilter_traffic.dir/normal.cpp.o"
+  "CMakeFiles/infilter_traffic.dir/normal.cpp.o.d"
+  "CMakeFiles/infilter_traffic.dir/trace.cpp.o"
+  "CMakeFiles/infilter_traffic.dir/trace.cpp.o.d"
+  "CMakeFiles/infilter_traffic.dir/worm.cpp.o"
+  "CMakeFiles/infilter_traffic.dir/worm.cpp.o.d"
+  "libinfilter_traffic.a"
+  "libinfilter_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter_util.dir/args.cpp.o"
+  "CMakeFiles/infilter_util.dir/args.cpp.o.d"
+  "libinfilter_util.a"
+  "libinfilter_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/infilter_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_ascii.cpp" "tests/CMakeFiles/infilter_tests.dir/test_ascii.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_ascii.cpp.o.d"
+  "/root/repo/tests/test_bgp.cpp" "tests/CMakeFiles/infilter_tests.dir/test_bgp.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_bgp.cpp.o.d"
+  "/root/repo/tests/test_bitvector.cpp" "tests/CMakeFiles/infilter_tests.dir/test_bitvector.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_bitvector.cpp.o.d"
+  "/root/repo/tests/test_capture.cpp" "tests/CMakeFiles/infilter_tests.dir/test_capture.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_capture.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/infilter_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_dagflow.cpp" "tests/CMakeFiles/infilter_tests.dir/test_dagflow.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_dagflow.cpp.o.d"
+  "/root/repo/tests/test_eia.cpp" "tests/CMakeFiles/infilter_tests.dir/test_eia.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_eia.cpp.o.d"
+  "/root/repo/tests/test_eia_io.cpp" "tests/CMakeFiles/infilter_tests.dir/test_eia_io.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_eia_io.cpp.o.d"
+  "/root/repo/tests/test_encoding.cpp" "tests/CMakeFiles/infilter_tests.dir/test_encoding.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_encoding.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/infilter_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_flow_cache.cpp" "tests/CMakeFiles/infilter_tests.dir/test_flow_cache.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_flow_cache.cpp.o.d"
+  "/root/repo/tests/test_idmef.cpp" "tests/CMakeFiles/infilter_tests.dir/test_idmef.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_idmef.cpp.o.d"
+  "/root/repo/tests/test_idmef_io.cpp" "tests/CMakeFiles/infilter_tests.dir/test_idmef_io.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_idmef_io.cpp.o.d"
+  "/root/repo/tests/test_igp.cpp" "tests/CMakeFiles/infilter_tests.dir/test_igp.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_igp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/infilter_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_internet.cpp" "tests/CMakeFiles/infilter_tests.dir/test_internet.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_internet.cpp.o.d"
+  "/root/repo/tests/test_ipv4.cpp" "tests/CMakeFiles/infilter_tests.dir/test_ipv4.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_ipv4.cpp.o.d"
+  "/root/repo/tests/test_kor.cpp" "tests/CMakeFiles/infilter_tests.dir/test_kor.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_kor.cpp.o.d"
+  "/root/repo/tests/test_netflow_v5.cpp" "tests/CMakeFiles/infilter_tests.dir/test_netflow_v5.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_netflow_v5.cpp.o.d"
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/infilter_tests.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/infilter_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/infilter_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/infilter_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routeviews.cpp" "tests/CMakeFiles/infilter_tests.dir/test_routeviews.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_routeviews.cpp.o.d"
+  "/root/repo/tests/test_scan.cpp" "tests/CMakeFiles/infilter_tests.dir/test_scan.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_scan.cpp.o.d"
+  "/root/repo/tests/test_studies.cpp" "tests/CMakeFiles/infilter_tests.dir/test_studies.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_studies.cpp.o.d"
+  "/root/repo/tests/test_subblocks.cpp" "tests/CMakeFiles/infilter_tests.dir/test_subblocks.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_subblocks.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/infilter_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_testbed.cpp" "tests/CMakeFiles/infilter_tests.dir/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_testbed.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/infilter_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_traceback.cpp" "tests/CMakeFiles/infilter_tests.dir/test_traceback.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_traceback.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/infilter_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_udp.cpp" "tests/CMakeFiles/infilter_tests.dir/test_udp.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_udp.cpp.o.d"
+  "/root/repo/tests/test_worm.cpp" "tests/CMakeFiles/infilter_tests.dir/test_worm.cpp.o" "gcc" "tests/CMakeFiles/infilter_tests.dir/test_worm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/infilter_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/infilter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/infilter_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/infilter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowtools/CMakeFiles/infilter_flowtools.dir/DependInfo.cmake"
+  "/root/repo/build/src/nns/CMakeFiles/infilter_nns.dir/DependInfo.cmake"
+  "/root/repo/build/src/alert/CMakeFiles/infilter_alert.dir/DependInfo.cmake"
+  "/root/repo/build/src/dagflow/CMakeFiles/infilter_dagflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/infilter_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/infilter_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/infilter_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter-capture.dir/infilter_capture.cpp.o"
+  "CMakeFiles/infilter-capture.dir/infilter_capture.cpp.o.d"
+  "infilter-capture"
+  "infilter-capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter-capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter-detect.dir/infilter_detect.cpp.o"
+  "CMakeFiles/infilter-detect.dir/infilter_detect.cpp.o.d"
+  "infilter-detect"
+  "infilter-detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter-detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter-flowgen.dir/infilter_flowgen.cpp.o"
+  "CMakeFiles/infilter-flowgen.dir/infilter_flowgen.cpp.o.d"
+  "infilter-flowgen"
+  "infilter-flowgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter-flowgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

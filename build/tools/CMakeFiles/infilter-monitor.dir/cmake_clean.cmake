@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter-monitor.dir/infilter_monitor.cpp.o"
+  "CMakeFiles/infilter-monitor.dir/infilter_monitor.cpp.o.d"
+  "infilter-monitor"
+  "infilter-monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter-monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infilter-report.dir/infilter_report.cpp.o"
+  "CMakeFiles/infilter-report.dir/infilter_report.cpp.o.d"
+  "infilter-report"
+  "infilter-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infilter-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_flowgen_train "/root/repo/build/tools/infilter-flowgen" "--out" "/root/repo/build/tools/train.bin" "--flows" "1500" "--seed" "5")
+set_tests_properties(tools_flowgen_train PROPERTIES  FIXTURES_SETUP "tool_captures" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_flowgen_mixed "/root/repo/build/tools/infilter-flowgen" "--out" "/root/repo/build/tools/mixed.bin" "--flows" "3000" "--seed" "9" "--attacks" "slammer,nessus-http" "--attack-volume" "0.05")
+set_tests_properties(tools_flowgen_mixed PROPERTIES  FIXTURES_SETUP "tool_captures" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_flowgen_ascii "/root/repo/build/tools/infilter-flowgen" "--out" "/root/repo/build/tools/mixed.txt" "--flows" "500" "--seed" "9" "--attacks" "teardrop" "--ascii")
+set_tests_properties(tools_flowgen_ascii PROPERTIES  FIXTURES_SETUP "tool_captures" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_report "/root/repo/build/tools/infilter-report" "/root/repo/build/tools/mixed.bin" "--top" "5")
+set_tests_properties(tools_report PROPERTIES  FIXTURES_REQUIRED "tool_captures" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_report_filtered "/root/repo/build/tools/infilter-report" "/root/repo/build/tools/mixed.bin" "--group" "dstip+dstport" "--dstport" "1434")
+set_tests_properties(tools_report_filtered PROPERTIES  FIXTURES_REQUIRED "tool_captures" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_report_ascii "/root/repo/build/tools/infilter-report" "/root/repo/build/tools/mixed.txt" "--ascii")
+set_tests_properties(tools_report_ascii PROPERTIES  FIXTURES_REQUIRED "tool_captures" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_detect "/root/repo/build/tools/infilter-detect" "/root/repo/build/tools/mixed.bin" "--train" "/root/repo/build/tools/train.bin" "--bits" "48")
+set_tests_properties(tools_detect PROPERTIES  FIXTURES_REQUIRED "tool_captures" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_detect_basic "/root/repo/build/tools/infilter-detect" "/root/repo/build/tools/mixed.bin" "--mode" "basic")
+set_tests_properties(tools_detect_basic PROPERTIES  FIXTURES_REQUIRED "tool_captures" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_detect_rejects_missing_train "/root/repo/build/tools/infilter-detect" "/root/repo/build/tools/mixed.bin")
+set_tests_properties(tools_detect_rejects_missing_train PROPERTIES  FIXTURES_REQUIRED "tool_captures" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
