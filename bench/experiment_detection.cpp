@@ -8,11 +8,47 @@
 //   paper, Figure 16 (false positives): single set ~1-1.25%;
 //          10 attack sets rise toward ~4%.
 
-#include <cstdio>
+// Writes BENCH_detection.json: the headline rates per data point plus the
+// engine's reconciled pipeline metrics (verdict counters, per-stage
+// latency quantiles) for the detailed 8%-volume runs.
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/export.h"
 #include "sim/testbed.h"
 
 using namespace infilter;
+
+namespace {
+
+/// Pulls the counters and latency quantiles that summarize one run out of
+/// its final metrics snapshot.
+std::string metrics_json(const obs::RegistrySnapshot& snapshot) {
+  std::string out;
+  const char* counters[] = {
+      "infilter_flows_total",          "infilter_eia_hits_total",
+      "infilter_eia_misses_total",     "infilter_scan_analyzed_total",
+      "infilter_nns_assessed_total",   "infilter_verdict_legal_total",
+      "infilter_verdict_attack_eia_total",  "infilter_verdict_attack_scan_total",
+      "infilter_verdict_attack_nns_total",  "infilter_verdict_cleared_nns_total",
+      "infilter_verdict_cleared_learned_total",
+  };
+  for (const char* name : counters) {
+    out += "\"" + std::string(name) + "\": " + obs::format_number(snapshot.value(name)) +
+           ", ";
+  }
+  const auto* process = snapshot.histogram("infilter_process_latency_us");
+  if (process != nullptr && process->count > 0) {
+    out += "\"process_p50_us\": " + obs::format_number(process->quantile(0.50)) + ", ";
+    out += "\"process_p99_us\": " + obs::format_number(process->quantile(0.99)) + ", ";
+  }
+  if (out.size() >= 2) out.resize(out.size() - 2);  // trailing ", "
+  return out;
+}
+
+}  // namespace
 
 int main() {
   sim::ExperimentConfig config;
@@ -70,11 +106,13 @@ int main() {
 
   std::printf("\nper-attack instances detected (8%% volume, run seed %llu):\n",
               static_cast<unsigned long long>(config.seed));
+  std::vector<std::pair<int, sim::ExperimentResult>> detailed;
   for (const int sets : {1, 10}) {
     config.attack_volume = 0.08;
     config.attacked_ingresses = sets;
     config.seed = 615;
     const auto detail = sim::run_experiment(config, cache.get(config.seed));
+    detailed.emplace_back(sets, detail);
     std::printf("  mean attack-initiation-to-detection latency: %.0f ms (virtual)\n",
                 detail.mean_detection_latency_ms);
     std::printf("  %-18s", sets == 1 ? "single set:" : "10 sets:");
@@ -117,5 +155,37 @@ int main() {
               "overall detection rate:", 100.0 * detection);
   std::printf("%-44s paper ~2%%    measured %.2f%%\n",
               "overall false positive rate:", 100.0 * fp);
+
+  // Machine-readable perf/accuracy trajectory.
+  const char* out_path = "BENCH_detection.json";
+  std::string doc = "{\n  \"bench\": \"experiment_detection\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    doc += "    {\"sets\": " + std::to_string(p.sets) +
+           ", \"volume\": " + obs::format_number(p.volume) +
+           ", \"detection_rate\": " + obs::format_number(p.result.detection_rate) +
+           ", \"flow_detection_rate\": " +
+           obs::format_number(p.result.flow_detection_rate) +
+           ", \"false_positive_rate\": " +
+           obs::format_number(p.result.false_positive_rate) + "}";
+    doc += i + 1 < points.size() ? ",\n" : "\n";
+  }
+  doc += "  ],\n  \"detail_runs\": [\n";
+  for (std::size_t i = 0; i < detailed.size(); ++i) {
+    const auto& [sets, detail] = detailed[i];
+    doc += "    {\"sets\": " + std::to_string(sets) + ", \"volume\": 0.08, " +
+           "\"mean_detection_latency_ms\": " +
+           obs::format_number(detail.mean_detection_latency_ms) + ", " +
+           metrics_json(detail.metrics) + "}";
+    doc += i + 1 < detailed.size() ? ",\n" : "\n";
+  }
+  doc += "  ]\n}\n";
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "experiment_detection: cannot write %s\n", out_path);
+    return 1;
+  }
+  out << doc;
+  std::printf("\nwrote %s\n", out_path);
   return 0;
 }

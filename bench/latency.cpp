@@ -8,14 +8,23 @@
 // Absolute numbers on modern hardware are far smaller than the 2005
 // prototype's; the *shape* to reproduce is Enhanced >> Basic, with the gap
 // attributable to the NNS stage (see the *_nns_search benchmarks).
+//
+// Besides the google-benchmark microbenchmarks, the binary replays a mixed
+// expected/suspect workload through each engine mode and writes
+// BENCH_latency.json: flows/sec plus p50/p95/p99 of the per-flow and
+// per-stage wall-time histograms the obs layer records.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "core/engine.h"
 #include "dagflow/dagflow.h"
+#include "obs/export.h"
 #include "traffic/normal.h"
 
 using namespace infilter;
@@ -34,8 +43,8 @@ std::vector<netflow::V5Record> make_training(std::size_t count) {
   return records;
 }
 
-core::InFilterEngine make_engine(core::EngineMode mode,
-                                 const std::vector<netflow::V5Record>& training) {
+std::unique_ptr<core::InFilterEngine> make_engine(
+    core::EngineMode mode, const std::vector<netflow::V5Record>& training) {
   core::EngineConfig config;
   config.mode = mode;
   config.seed = 7;
@@ -43,13 +52,15 @@ core::InFilterEngine make_engine(core::EngineMode mode,
   // one address range would otherwise teach the EIA set and silently
   // switch every iteration onto the fast path.
   config.eia.learn_threshold = 1 << 30;
-  core::InFilterEngine engine(config);
+  // unique_ptr: the engine is immovable (its registry callbacks bind to
+  // its address).
+  auto engine = std::make_unique<core::InFilterEngine>(config);
   for (int s = 0; s < 10; ++s) {
     for (const auto& block : dagflow::eia_range(s).expand()) {
-      engine.add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
+      engine->add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
     }
   }
-  if (mode == core::EngineMode::kEnhanced) engine.train(training);
+  if (mode == core::EngineMode::kEnhanced) engine->train(training);
   return engine;
 }
 
@@ -82,7 +93,7 @@ void BM_expected_flow(benchmark::State& state, core::EngineMode mode) {
   const auto flow = expected_flow();
   util::TimeMs now = 1000;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.process(flow, 9001, now++));
+    benchmark::DoNotOptimize(engine->process(flow, 9001, now++));
   }
 }
 BENCHMARK_CAPTURE(BM_expected_flow, basic, core::EngineMode::kBasic);
@@ -95,7 +106,7 @@ void BM_suspect_flow(benchmark::State& state, core::EngineMode mode) {
   util::TimeMs now = 1000;
   std::uint32_t salt = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.process(suspect_flow(salt++), 9001, now++));
+    benchmark::DoNotOptimize(engine->process(suspect_flow(salt++), 9001, now++));
   }
 }
 BENCHMARK_CAPTURE(BM_suspect_flow, basic_eia_only, core::EngineMode::kBasic);
@@ -149,6 +160,87 @@ void BM_eia_lookup(benchmark::State& state) {
 }
 BENCHMARK(BM_eia_lookup);
 
+// -- BENCH_latency.json: histogram-backed quantile measurement --
+
+/// One JSON block for a histogram: count plus p50/p95/p99/mean, all in
+/// microseconds.
+std::string quantile_json(const obs::HistogramSnapshot& h) {
+  std::string out = "{\"count\": " + obs::format_number(static_cast<double>(h.count));
+  out += ", \"p50_us\": " + obs::format_number(h.quantile(0.50));
+  out += ", \"p95_us\": " + obs::format_number(h.quantile(0.95));
+  out += ", \"p99_us\": " + obs::format_number(h.quantile(0.99));
+  out += ", \"mean_us\": " + obs::format_number(h.mean());
+  out += "}";
+  return out;
+}
+
+/// Replays a mixed workload (3 expected : 1 suspect, the suspect sources
+/// rotating so scan analysis stays busy) through a fresh engine and
+/// serializes the obs histograms for that mode.
+std::string measure_mode(core::EngineMode mode, const char* name,
+                         const std::vector<netflow::V5Record>& training) {
+  constexpr std::size_t kFlows = 40000;
+  auto engine = make_engine(mode, training);
+  const auto expected = expected_flow();
+  util::TimeMs now = 1000;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    if (i % 4 == 3) {
+      engine->process(suspect_flow(static_cast<std::uint32_t>(i)), 9001, now++);
+    } else {
+      engine->process(expected, 9001, now++);
+    }
+  }
+
+  const auto snapshot = engine->registry().snapshot();
+  const auto* process = snapshot.histogram("infilter_process_latency_us");
+  const double busy_us = process != nullptr ? process->sum : 0.0;
+  const double flows_per_sec =
+      busy_us > 0.0 ? static_cast<double>(kFlows) / busy_us * 1e6 : 0.0;
+
+  std::string out = "    {\"mode\": \"" + std::string(name) + "\"";
+  out += ", \"flows\": " + obs::format_number(static_cast<double>(kFlows));
+  out += ", \"flows_per_sec\": " + obs::format_number(flows_per_sec);
+  if (process != nullptr) out += ",\n     \"process\": " + quantile_json(*process);
+  const std::pair<const char*, const char*> stages[] = {
+      {"eia", "infilter_stage_eia_latency_us"},
+      {"scan", "infilter_stage_scan_latency_us"},
+      {"nns", "infilter_stage_nns_latency_us"},
+  };
+  for (const auto& [label, metric] : stages) {
+    const auto* h = snapshot.histogram(metric);
+    if (h != nullptr && h->count > 0) {
+      out += ",\n     \"stage_" + std::string(label) + "\": " + quantile_json(*h);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+bool write_bench_json(const std::string& path) {
+  static const auto training = make_training(2000);
+  std::string doc = "{\n  \"bench\": \"latency\",\n  \"modes\": [\n";
+  doc += measure_mode(core::EngineMode::kBasic, "basic", training);
+  doc += ",\n";
+  doc += measure_mode(core::EngineMode::kEnhanced, "enhanced", training);
+  doc += "\n  ]\n}\n";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << doc;
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* out_path = "BENCH_latency.json";
+  if (!write_bench_json(out_path)) {
+    std::fprintf(stderr, "latency: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

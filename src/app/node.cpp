@@ -1,12 +1,41 @@
 #include "app/node.h"
 
 namespace infilter::app {
+namespace {
+
+/// Routes engine metrics into the node-owned registry unless the caller
+/// already supplied one.
+core::EngineConfig with_registry(core::EngineConfig engine, obs::Registry* registry) {
+  if (engine.registry == nullptr) engine.registry = registry;
+  return engine;
+}
+
+}  // namespace
 
 InFilterNode::InFilterNode(const NodeConfig& config, flowtools::LiveCollector collector,
                            alert::AlertSink* alert_consumer)
     : collector_(std::move(collector)),
       traceback_(config.traceback, alert_consumer),
-      engine_(config.engine, &traceback_) {}
+      engine_(with_registry(config.engine, &registry_), &traceback_) {
+  // Collector-path health, sampled from the capture at snapshot time.
+  auto& registry = engine_.registry();
+  registry.counter_fn(
+      "infilter_collector_datagrams_total",
+      [this] { return static_cast<std::uint64_t>(collector_.capture().datagrams_received()); },
+      "NetFlow export datagrams received on the collector sockets");
+  registry.counter_fn(
+      "infilter_collector_malformed_total",
+      [this] { return static_cast<std::uint64_t>(collector_.capture().datagrams_malformed()); },
+      "Datagrams dropped as undecodable NetFlow v5");
+  registry.counter_fn(
+      "infilter_collector_records_total",
+      [this] { return collector_.capture().records_decoded(); },
+      "Flow records decoded from received datagrams");
+  registry.counter_fn(
+      "infilter_collector_sequence_gaps_total",
+      [this] { return collector_.capture().sequence_gaps(); },
+      "Export records lost to sequence gaps (per engine/port stream)");
+}
 
 util::Result<std::unique_ptr<InFilterNode>> InFilterNode::create(
     const NodeConfig& config, alert::AlertSink* alert_consumer) {

@@ -18,6 +18,7 @@
 #include "core/engine.h"
 #include "core/traceback.h"
 #include "flowtools/udp.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace infilter::app {
@@ -67,11 +68,21 @@ class InFilterNode {
   [[nodiscard]] const core::TracebackEngine& traceback() const { return traceback_; }
   [[nodiscard]] std::vector<std::uint16_t> ports() const { return collector_.ports(); }
 
+  /// The registry holding every pipeline, component and collector metric
+  /// of this node (the node-owned one unless NodeConfig::engine.registry
+  /// was set). Snapshot it to scrape or export.
+  [[nodiscard]] obs::Registry& metrics_registry() { return engine_.registry(); }
+  [[nodiscard]] obs::RegistrySnapshot metrics() const {
+    return engine_.registry().snapshot();
+  }
+
  private:
   InFilterNode(const NodeConfig& config, flowtools::LiveCollector collector,
                alert::AlertSink* alert_consumer);
 
   flowtools::LiveCollector collector_;
+  /// Declared before engine_: the engine registers callbacks into it.
+  obs::Registry registry_;
   core::TracebackEngine traceback_;
   core::InFilterEngine engine_;
   NodeStats stats_;

@@ -125,6 +125,7 @@ Subcluster TrainedClusters::bucket_of(const netflow::V5Record& record) const {
 
 TrainedClusters::Assessment TrainedClusters::assess(const netflow::V5Record& record,
                                                     util::Rng& rng) const {
+  assessments_.fetch_add(1, std::memory_order_relaxed);
   Assessment out;
   out.cluster = bucket_of(record);
   out.threshold = thresholds_[static_cast<std::size_t>(out.cluster)];
@@ -132,6 +133,7 @@ TrainedClusters::Assessment TrainedClusters::assess(const netflow::V5Record& rec
   const auto match =
       indexes_[static_cast<std::size_t>(out.cluster)]->search(query, rng);
   if (!match.has_value()) {
+    no_neighbor_.fetch_add(1, std::memory_order_relaxed);
     out.anomalous = true;
     return out;
   }
@@ -142,6 +144,12 @@ TrainedClusters::Assessment TrainedClusters::assess(const netflow::V5Record& rec
 
 std::size_t TrainedClusters::training_size(Subcluster cluster) const {
   return partition_sizes_[static_cast<std::size_t>(cluster)];
+}
+
+std::size_t TrainedClusters::training_size_total() const {
+  std::size_t total = 0;
+  for (const auto size : partition_sizes_) total += size;
+  return total;
 }
 
 }  // namespace infilter::core

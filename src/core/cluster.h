@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -84,6 +85,20 @@ class TrainedClusters {
     return thresholds_[static_cast<std::size_t>(cluster)];
   }
   [[nodiscard]] std::size_t training_size(Subcluster cluster) const;
+  /// Flows across every subcluster (index + calibration split).
+  [[nodiscard]] std::size_t training_size_total() const;
+
+  /// Lifetime query counters. A TrainedClusters is often shared across
+  /// engines (Section 6.3 builds the NNS structures once); these aggregate
+  /// over every sharer, hence the atomics.
+  struct IndexStats {
+    std::uint64_t assessments = 0;  ///< assess() calls
+    std::uint64_t no_neighbor = 0;  ///< queries that found no neighbor at all
+  };
+  [[nodiscard]] IndexStats stats() const {
+    return {assessments_.load(std::memory_order_relaxed),
+            no_neighbor_.load(std::memory_order_relaxed)};
+  }
   [[nodiscard]] const nns::UnaryEncoder& encoder() const { return encoder_; }
   [[nodiscard]] int dimension() const { return encoder_.dimension(); }
 
@@ -96,6 +111,8 @@ class TrainedClusters {
   std::array<int, kSubclusterCount> thresholds_{};
   /// Flows assigned to each subcluster (index + calibration split).
   std::array<std::size_t, kSubclusterCount> partition_sizes_{};
+  mutable std::atomic<std::uint64_t> assessments_{0};
+  mutable std::atomic<std::uint64_t> no_neighbor_{0};
 };
 
 /// The encoder the engine uses for the five statistics of Section 5.1.2:

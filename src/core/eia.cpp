@@ -98,8 +98,11 @@ void EiaTable::add_expected(IngressId ingress, const net::Prefix& prefix) {
 void EiaTable::declare_ingress(IngressId ingress) { (void)set_ref(ingress); }
 
 bool EiaTable::is_expected(IngressId ingress, net::IPv4Address source) const {
+  ++stats_.lookups;
   const EiaSet* set = set_for(ingress);
-  return set != nullptr && set->contains(source);
+  const bool hit = set != nullptr && set->contains(source);
+  stats_.hits += hit ? 1 : 0;
+  return hit;
 }
 
 std::optional<IngressId> EiaTable::expected_ingress(net::IPv4Address source) const {
@@ -116,7 +119,14 @@ std::vector<IngressId> EiaTable::ingresses() const {
   return out;
 }
 
+std::size_t EiaTable::total_ranges() const {
+  std::size_t total = 0;
+  for (const auto& [ingress, set] : sets_) total += set.range_count();
+  return total;
+}
+
 bool EiaTable::observe_mismatch(IngressId ingress, net::IPv4Address source) {
+  ++stats_.mismatch_observations;
   const std::uint64_t key =
       (std::uint64_t{ingress} << 32) | (source.value() & 0xFFFFFF00u);
   auto it = pending_.find(key);
@@ -127,6 +137,7 @@ bool EiaTable::observe_mismatch(IngressId ingress, net::IPv4Address source) {
   if (++it->second >= config_.learn_threshold) {
     set_ref(ingress).add(net::Prefix{source, 24});
     pending_.erase(it);
+    ++stats_.learned_prefixes;
     return true;
   }
   return false;

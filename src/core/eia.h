@@ -49,6 +49,15 @@ class EiaSet {
   std::vector<Range> ranges_;  ///< sorted by first, disjoint, non-adjacent
 };
 
+/// Lifetime counters of one EiaTable (observability surface).
+struct EiaStats {
+  std::uint64_t lookups = 0;           ///< is_expected() calls
+  std::uint64_t hits = 0;              ///< lookups that matched
+  std::uint64_t learned_prefixes = 0;  ///< /24s auto-learned (Section 5.2a)
+  std::uint64_t mismatch_observations = 0;
+  [[nodiscard]] std::uint64_t misses() const { return lookups - hits; }
+};
+
 struct EiaTableConfig {
   /// Flows from the same (ingress, source /24) before the /24 is learned
   /// into that ingress's EIA set (Section 5.2a's "predefined threshold").
@@ -88,9 +97,14 @@ class EiaTable {
   [[nodiscard]] std::size_t pending_counters() const { return pending_.size(); }
   /// All ingress ids with an EIA set, ascending.
   [[nodiscard]] std::vector<IngressId> ingresses() const;
+  /// Stored ranges across every ingress's EIA set.
+  [[nodiscard]] std::size_t total_ranges() const;
+  [[nodiscard]] const EiaStats& stats() const { return stats_; }
 
  private:
   EiaTableConfig config_;
+  /// Mutable: is_expected() is logically const but counts its lookups.
+  mutable EiaStats stats_;
   /// Sorted by ingress id; small (one entry per peer AS).
   std::vector<std::pair<IngressId, EiaSet>> sets_;
   /// (ingress << 32 | source /24) -> observed mismatch count.

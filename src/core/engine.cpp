@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include "obs/stage_timer.h"
+
 namespace infilter::core {
 
 InFilterEngine::InFilterEngine(EngineConfig config, alert::AlertSink* sink)
@@ -7,7 +9,56 @@ InFilterEngine::InFilterEngine(EngineConfig config, alert::AlertSink* sink)
       sink_(sink),
       eia_(config.eia),
       scan_(config.scan),
-      rng_(config.seed ^ 0x1f11753ULL) {}
+      rng_(config.seed ^ 0x1f11753ULL),
+      owned_registry_(config.registry != nullptr ? nullptr
+                                                 : std::make_unique<obs::Registry>()),
+      registry_(config.registry != nullptr ? config.registry : owned_registry_.get()),
+      metrics_(*registry_) {
+  register_component_metrics();
+}
+
+void InFilterEngine::register_component_metrics() {
+  // Pull-style component internals: sampled at snapshot time, reading the
+  // engine's members directly (see EngineConfig::registry lifetime note).
+  registry_->gauge_fn(
+      "infilter_eia_pending_counters",
+      [this] { return static_cast<double>(eia_.pending_counters()); },
+      "Auto-learning candidates currently tracked (Section 5.2)");
+  registry_->gauge_fn(
+      "infilter_eia_ranges",
+      [this] { return static_cast<double>(eia_.total_ranges()); },
+      "Stored address ranges across all EIA sets");
+  registry_->gauge_fn(
+      "infilter_eia_ingresses",
+      [this] { return static_cast<double>(eia_.ingress_count()); },
+      "Ingress points with an EIA set");
+  registry_->counter_fn(
+      "infilter_eia_lookups_total", [this] { return eia_.stats().lookups; },
+      "EIA membership tests performed by the table");
+  registry_->gauge_fn(
+      "infilter_scan_buffer_flows",
+      [this] { return static_cast<double>(scan_.buffered_flows()); },
+      "Suspect flows currently in the scan-analysis buffer");
+  registry_->counter_fn(
+      "infilter_scan_evictions_total", [this] { return scan_.stats().evictions; },
+      "Flows aged out of the scan-analysis buffer");
+  registry_->counter_fn(
+      "infilter_nns_index_assessments_total",
+      [this] { return clusters_ != nullptr ? clusters_->stats().assessments : 0; },
+      "NNS queries against the trained clusters (all sharing engines)");
+  registry_->counter_fn(
+      "infilter_nns_no_neighbor_total",
+      [this] { return clusters_ != nullptr ? clusters_->stats().no_neighbor : 0; },
+      "NNS queries that found no neighbor at all");
+  registry_->gauge_fn(
+      "infilter_nns_trained_flows",
+      [this] {
+        return clusters_ != nullptr
+                   ? static_cast<double>(clusters_->training_size_total())
+                   : 0.0;
+      },
+      "Flows in the trained Normal cluster");
+}
 
 void InFilterEngine::add_expected(IngressId ingress, const net::Prefix& prefix) {
   eia_.add_expected(ingress, prefix);
@@ -24,11 +75,22 @@ void InFilterEngine::set_clusters(std::shared_ptr<const TrainedClusters> cluster
 
 Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingress,
                                 util::TimeMs now) {
-  ++flows_processed_;
+  metrics_.flows_total->inc();
+  obs::StageTimer process_timer(metrics_.process_us);
   Verdict verdict;
 
   // Figure 12, case (b): the ingress expects this source -- legal flow.
-  if (eia_.is_expected(ingress, record.src_ip)) return verdict;
+  bool expected;
+  {
+    obs::StageTimer timer(metrics_.stage_eia_us);
+    expected = eia_.is_expected(ingress, record.src_ip);
+  }
+  if (expected) {
+    metrics_.eia_hits->inc();
+    metrics_.verdict_legal->inc();
+    return verdict;
+  }
+  metrics_.eia_misses->inc();
 
   // Case (a): possible attack. The auto-learning rule of Section 5.2 runs
   // regardless of the final verdict: persistent traffic from a new source
@@ -37,31 +99,51 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
   // route change it signals, not as an attack.
   verdict.suspect = true;
   const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
+  if (learned) metrics_.eia_learned->inc();
 
   if (config_.mode == EngineMode::kBasic) {
     verdict.attack = !learned;
     verdict.stage = alert::DetectionStage::kEiaMismatch;
+    (verdict.attack ? metrics_.verdict_attack_eia : metrics_.verdict_cleared_learned)
+        ->inc();
     if (verdict.attack) emit_alert(record, ingress, now, verdict);
     return verdict;
   }
 
   // Enhanced InFilter: Scan Analysis sits between EIA and NNS.
   if (config_.use_scan_analysis) {
-    const ScanVerdict scan = scan_.observe(record);
+    ScanVerdict scan;
+    {
+      obs::StageTimer timer(metrics_.stage_scan_us);
+      scan = scan_.observe(record);
+    }
+    metrics_.scan_analyzed->inc();
     if (scan != ScanVerdict::kClean) {
+      (scan == ScanVerdict::kNetworkScan ? metrics_.scan_network : metrics_.scan_host)
+          ->inc();
       verdict.attack = true;
       verdict.stage = alert::DetectionStage::kScanAnalysis;
+      metrics_.verdict_attack_scan->inc();
       emit_alert(record, ingress, now, verdict);
       return verdict;
     }
   }
 
   if (config_.use_nns && clusters_ != nullptr) {
-    verdict.nns = clusters_->assess(record, rng_);
+    {
+      obs::StageTimer timer(metrics_.stage_nns_us);
+      verdict.nns = clusters_->assess(record, rng_);
+    }
+    metrics_.nns_assessed->inc();
     if (verdict.nns->anomalous) {
+      metrics_.nns_anomalous->inc();
       verdict.attack = true;
       verdict.stage = alert::DetectionStage::kNnsDistance;
+      metrics_.verdict_attack_nns->inc();
       emit_alert(record, ingress, now, verdict);
+    } else {
+      metrics_.nns_normal->inc();
+      metrics_.verdict_cleared_nns->inc();
     }
     return verdict;
   }
@@ -69,16 +151,25 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
   // Enhanced mode with every second stage disabled degenerates to Basic.
   verdict.attack = !learned;
   verdict.stage = alert::DetectionStage::kEiaMismatch;
+  (verdict.attack ? metrics_.verdict_attack_eia : metrics_.verdict_cleared_learned)
+      ->inc();
   if (verdict.attack) emit_alert(record, ingress, now, verdict);
   return verdict;
 }
 
 void InFilterEngine::emit_alert(const netflow::V5Record& record, IngressId ingress,
                                 util::TimeMs now, const Verdict& verdict) {
-  ++next_alert_id_;
+  // No sink, no alert: the verdict counters above already account for the
+  // detection, and alert ids stay dense over *delivered* alerts.
   if (sink_ == nullptr) return;
+  metrics_.alerts_total->inc();
+  switch (verdict.stage) {
+    case alert::DetectionStage::kEiaMismatch: metrics_.alerts_eia->inc(); break;
+    case alert::DetectionStage::kScanAnalysis: metrics_.alerts_scan->inc(); break;
+    case alert::DetectionStage::kNnsDistance: metrics_.alerts_nns->inc(); break;
+  }
   alert::Alert a;
-  a.id = next_alert_id_;
+  a.id = ++next_alert_id_;
   a.create_time = now;
   a.stage = verdict.stage;
   a.source_ip = record.src_ip;

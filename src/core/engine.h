@@ -14,6 +14,8 @@
 #include "core/eia.h"
 #include "core/scan.h"
 #include "netflow/v5.h"
+#include "obs/metrics.h"
+#include "obs/pipeline.h"
 #include "util/rng.h"
 
 namespace infilter::core {
@@ -33,6 +35,12 @@ struct EngineConfig {
   bool use_scan_analysis = true;
   bool use_nns = true;
   std::uint64_t seed = 1;
+  /// External metrics registry (not owned). Null: the engine creates a
+  /// private registry, reachable via registry(). The engine registers
+  /// pull-style component metrics (EIA/scan/NNS internals) that read its
+  /// members, so an external registry must not be snapshotted after the
+  /// engine is destroyed.
+  obs::Registry* registry = nullptr;
 };
 
 /// Outcome of processing one flow.
@@ -49,6 +57,11 @@ class InFilterEngine {
  public:
   /// `sink` may be null (no alert emission); not owned.
   explicit InFilterEngine(EngineConfig config, alert::AlertSink* sink = nullptr);
+
+  /// Immovable: the registry holds pull-style callbacks bound to this
+  /// engine's address.
+  InFilterEngine(const InFilterEngine&) = delete;
+  InFilterEngine& operator=(const InFilterEngine&) = delete;
 
   // -- Training phase (Figure 11) --
 
@@ -75,12 +88,26 @@ class InFilterEngine {
   [[nodiscard]] const TrainedClusters* clusters() const { return clusters_.get(); }
   [[nodiscard]] ScanAnalysis& scan() { return scan_; }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
-  [[nodiscard]] std::uint64_t flows_processed() const { return flows_processed_; }
-  [[nodiscard]] std::uint64_t alerts_emitted() const { return next_alert_id_; }
+
+  /// The registry every pipeline metric lives in (the external one when
+  /// EngineConfig::registry was set, the engine-private one otherwise).
+  [[nodiscard]] obs::Registry& registry() { return *registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return *registry_; }
+  /// Direct handles to the per-stage counters and latency histograms.
+  [[nodiscard]] const obs::PipelineMetrics& metrics() const { return metrics_; }
+
+  [[nodiscard]] std::uint64_t flows_processed() const {
+    return metrics_.flows_total->value();
+  }
+  /// Alerts actually delivered to the sink -- 0 when no sink is attached.
+  [[nodiscard]] std::uint64_t alerts_emitted() const {
+    return metrics_.alerts_total->value();
+  }
 
  private:
   void emit_alert(const netflow::V5Record& record, IngressId ingress,
                   util::TimeMs now, const Verdict& verdict);
+  void register_component_metrics();
 
   EngineConfig config_;
   alert::AlertSink* sink_;
@@ -88,7 +115,9 @@ class InFilterEngine {
   ScanAnalysis scan_;
   std::shared_ptr<const TrainedClusters> clusters_;
   util::Rng rng_;
-  std::uint64_t flows_processed_ = 0;
+  std::unique_ptr<obs::Registry> owned_registry_;  ///< when config.registry == null
+  obs::Registry* registry_;                        ///< never null
+  obs::PipelineMetrics metrics_;
   std::uint64_t next_alert_id_ = 0;
 };
 

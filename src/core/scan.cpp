@@ -13,15 +13,18 @@ ScanAnalysis::ScanAnalysis(ScanConfig config) : config_(config) {
 ScanVerdict ScanAnalysis::observe(const netflow::V5Record& record) {
   while (buffer_.size() >= config_.buffer_size) evict_oldest();
 
+  ++stats_.observed;
   const BufferedFlow flow{record.dst_ip.value(), record.dst_port};
   buffer_.push_back(flow);
   by_port_[flow.dst_port][flow.dst_ip] += 1;
   by_host_[flow.dst_ip][flow.dst_port] += 1;
 
   if (hosts_on_port(flow.dst_port) >= config_.network_scan_threshold) {
+    ++stats_.network_scans;
     return ScanVerdict::kNetworkScan;
   }
   if (ports_on_host(record.dst_ip) >= config_.host_scan_threshold) {
+    ++stats_.host_scans;
     return ScanVerdict::kHostScan;
   }
   return ScanVerdict::kClean;
@@ -39,6 +42,7 @@ int ScanAnalysis::ports_on_host(net::IPv4Address host) const {
 
 void ScanAnalysis::evict_oldest() {
   assert(!buffer_.empty());
+  ++stats_.evictions;
   const BufferedFlow flow = buffer_.front();
   buffer_.pop_front();
 

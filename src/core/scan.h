@@ -36,6 +36,14 @@ struct ScanConfig {
 /// The verdict for one suspect flow.
 enum class ScanVerdict : std::uint8_t { kClean, kNetworkScan, kHostScan };
 
+/// Lifetime counters of one ScanAnalysis (observability surface).
+struct ScanStats {
+  std::uint64_t observed = 0;       ///< suspect flows buffered
+  std::uint64_t network_scans = 0;  ///< flows flagged as network scans
+  std::uint64_t host_scans = 0;     ///< flows flagged as host scans
+  std::uint64_t evictions = 0;      ///< flows aged out of the buffer
+};
+
 class ScanAnalysis {
  public:
   explicit ScanAnalysis(ScanConfig config = {});
@@ -44,6 +52,7 @@ class ScanAnalysis {
   ScanVerdict observe(const netflow::V5Record& record);
 
   [[nodiscard]] std::size_t buffered_flows() const { return buffer_.size(); }
+  [[nodiscard]] const ScanStats& stats() const { return stats_; }
   /// Distinct destination hosts currently buffered for `dst_port`.
   [[nodiscard]] int hosts_on_port(std::uint16_t dst_port) const;
   /// Distinct destination ports currently buffered for `host`.
@@ -58,6 +67,7 @@ class ScanAnalysis {
   void evict_oldest();
 
   ScanConfig config_;
+  ScanStats stats_;
   std::deque<BufferedFlow> buffer_;
   /// dst_port -> (dst_ip -> buffered-flow count). Outer erase when empty.
   std::unordered_map<std::uint16_t, std::unordered_map<std::uint32_t, int>> by_port_;

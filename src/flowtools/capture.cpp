@@ -52,6 +52,7 @@ util::Result<std::size_t> FlowCapture::ingest(std::span<const std::uint8_t> data
   for (const auto& record : decoded->records) {
     flows_.push_back(CapturedFlow{record, arrival_port, decoded->header.sys_uptime_ms});
   }
+  records_decoded_ += decoded->records.size();
   return decoded->records.size();
 }
 
@@ -59,6 +60,7 @@ void FlowCapture::clear() {
   flows_.clear();
   datagrams_ = 0;
   malformed_ = 0;
+  records_decoded_ = 0;
   sequence_gaps_ = 0;
   sequence_state_.clear();
 }

@@ -47,6 +47,9 @@ class FlowCapture {
   [[nodiscard]] const std::vector<CapturedFlow>& flows() const { return flows_; }
   [[nodiscard]] std::size_t datagrams_received() const { return datagrams_; }
   [[nodiscard]] std::size_t datagrams_malformed() const { return malformed_; }
+  /// Flow records decoded from wire datagrams by ingest() (excludes
+  /// records restored via load()).
+  [[nodiscard]] std::uint64_t records_decoded() const { return records_decoded_; }
   /// Count of export-sequence gaps observed per engine (lost datagrams).
   [[nodiscard]] std::uint64_t sequence_gaps() const { return sequence_gaps_; }
 
@@ -61,6 +64,7 @@ class FlowCapture {
   std::vector<CapturedFlow> flows_;
   std::size_t datagrams_ = 0;
   std::size_t malformed_ = 0;
+  std::uint64_t records_decoded_ = 0;
   std::uint64_t sequence_gaps_ = 0;
   /// Last flow_sequence + count per (engine_id, port), for gap detection.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> sequence_state_;

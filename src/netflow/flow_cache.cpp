@@ -10,9 +10,11 @@ FlowCache::FlowCache(FlowCacheConfig config) : config_(config) {
 }
 
 void FlowCache::observe(const PacketObservation& packet) {
+  ++stats_.packets;
   auto [it, inserted] = entries_.try_emplace(packet.key);
   Entry& entry = it->second;
   if (inserted) {
+    ++stats_.flows_created;
     evict_if_full();
     // evict_if_full never removes the brand-new entry: it was just touched.
     entry.record.src_ip = packet.key.src_ip;
@@ -44,7 +46,7 @@ void FlowCache::observe(const PacketObservation& packet) {
       (packet.tcp_flags & (tcpflags::kFin | tcpflags::kRst)) != 0;
   const bool over_age = packet.time - entry.first_seen >= config_.active_timeout;
   if (tcp_terminated || over_age) {
-    expire(it);
+    expire(it, tcp_terminated ? ExpiryCause::kTcpClose : ExpiryCause::kActive);
   }
 }
 
@@ -57,7 +59,7 @@ void FlowCache::advance(util::TimeMs now) {
     const Entry& entry = it->second;
     const bool idle = now - entry.last_seen >= config_.idle_timeout;
     if (idle) {
-      expire(it);
+      expire(it, ExpiryCause::kIdle);
       continue;
     }
     break;
@@ -67,7 +69,9 @@ void FlowCache::advance(util::TimeMs now) {
   // periodic and the cache is bounded, so the linear pass is acceptable.
   for (auto it = entries_.begin(); it != entries_.end();) {
     auto next = std::next(it);
-    if (now - it->second.first_seen >= config_.active_timeout) expire(it);
+    if (now - it->second.first_seen >= config_.active_timeout) {
+      expire(it, ExpiryCause::kActive);
+    }
     it = next;
   }
 }
@@ -79,11 +83,19 @@ std::vector<V5Record> FlowCache::drain_expired() {
 }
 
 std::vector<V5Record> FlowCache::flush(util::TimeMs) {
-  while (!entries_.empty()) expire(entries_.begin());
+  while (!entries_.empty()) expire(entries_.begin(), ExpiryCause::kFlush);
   return drain_expired();
 }
 
-void FlowCache::expire(std::unordered_map<FlowKey, Entry>::iterator it) {
+void FlowCache::expire(std::unordered_map<FlowKey, Entry>::iterator it,
+                       ExpiryCause cause) {
+  switch (cause) {
+    case ExpiryCause::kIdle: ++stats_.expired_idle; break;
+    case ExpiryCause::kActive: ++stats_.expired_active; break;
+    case ExpiryCause::kTcpClose: ++stats_.expired_tcp_close; break;
+    case ExpiryCause::kFull: ++stats_.evicted_full; break;
+    case ExpiryCause::kFlush: ++stats_.flushed; break;
+  }
   expired_.push_back(it->second.record);
   lru_.erase(it->second.lru_position);
   entries_.erase(it);
@@ -95,7 +107,7 @@ void FlowCache::evict_if_full() {
   while (entries_.size() > watermark && lru_.size() > 1) {
     auto it = entries_.find(lru_.back());
     assert(it != entries_.end());
-    expire(it);
+    expire(it, ExpiryCause::kFull);
   }
 }
 

@@ -47,6 +47,18 @@ struct FlowCacheConfig {
   double full_watermark = 0.9;
 };
 
+/// Lifetime counters of one FlowCache, broken down by the paper's four
+/// expiry conditions (observability surface).
+struct FlowCacheStats {
+  std::uint64_t packets = 0;        ///< packets observed
+  std::uint64_t flows_created = 0;  ///< cache entries created
+  std::uint64_t expired_idle = 0;
+  std::uint64_t expired_active = 0;    ///< active-timeout expiries
+  std::uint64_t expired_tcp_close = 0; ///< FIN/RST expiries
+  std::uint64_t evicted_full = 0;      ///< cache-full evictions
+  std::uint64_t flushed = 0;           ///< flush() shutdown expiries
+};
+
 /// The metering cache. Single-threaded by design: each simulated router
 /// owns one cache and the simulation drives it from one thread.
 class FlowCache {
@@ -72,6 +84,7 @@ class FlowCache {
 
   [[nodiscard]] std::size_t active_flows() const { return entries_.size(); }
   [[nodiscard]] std::size_t pending_exports() const { return expired_.size(); }
+  [[nodiscard]] const FlowCacheStats& stats() const { return stats_; }
 
  private:
   struct Entry {
@@ -81,10 +94,14 @@ class FlowCache {
     std::list<FlowKey>::iterator lru_position;
   };
 
-  void expire(std::unordered_map<FlowKey, Entry>::iterator it);
+  /// Which of the four expiry conditions fired (indexes FlowCacheStats).
+  enum class ExpiryCause : std::uint8_t { kIdle, kActive, kTcpClose, kFull, kFlush };
+
+  void expire(std::unordered_map<FlowKey, Entry>::iterator it, ExpiryCause cause);
   void evict_if_full();
 
   FlowCacheConfig config_;
+  FlowCacheStats stats_;
   std::unordered_map<FlowKey, Entry> entries_;
   /// Least-recently-active order; front = oldest. Drives cache-full
   /// eviction and the idle sweep.

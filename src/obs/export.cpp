@@ -1,0 +1,94 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace infilter::obs {
+namespace {
+
+void append_escaped_json(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
+  out += "\"count\":" + format_number(static_cast<double>(h.count));
+  out += ",\"sum\":" + format_number(h.sum);
+  out += ",\"buckets\":[";
+  for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+    if (b > 0) out += ',';
+    out += "{\"le\":" + format_number(h.bounds[b]) +
+           ",\"count\":" + format_number(static_cast<double>(h.counts[b])) + '}';
+  }
+  out += "],\"overflow\":" + format_number(static_cast<double>(h.counts.back()));
+  out += ",\"p50\":" + format_number(h.quantile(0.50));
+  out += ",\"p95\":" + format_number(h.quantile(0.95));
+  out += ",\"p99\":" + format_number(h.quantile(0.99));
+}
+
+}  // namespace
+
+std::string format_number(double value) {
+  char buffer[64];
+  if (std::nearbyint(value) == value && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  }
+  return buffer;
+}
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& metric : snapshot.metrics) {
+    if (!metric.help.empty()) {
+      out += "# HELP " + metric.name + ' ' + metric.help + '\n';
+    }
+    out += "# TYPE " + metric.name + ' ' + std::string(kind_name(metric.kind)) + '\n';
+    if (!metric.histogram.has_value()) {
+      out += metric.name + ' ' + format_number(metric.value) + '\n';
+      continue;
+    }
+    const auto& h = *metric.histogram;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += h.counts[b];
+      out += metric.name + "_bucket{le=\"" + format_number(h.bounds[b]) + "\"} " +
+             format_number(static_cast<double>(cumulative)) + '\n';
+    }
+    out += metric.name + "_bucket{le=\"+Inf\"} " +
+           format_number(static_cast<double>(h.count)) + '\n';
+    out += metric.name + "_sum " + format_number(h.sum) + '\n';
+    out += metric.name + "_count " + format_number(static_cast<double>(h.count)) +
+           '\n';
+  }
+  return out;
+}
+
+std::string to_json(const RegistrySnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& metric : snapshot.metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped_json(out, metric.name);
+    out += "\",\"kind\":\"" + std::string(kind_name(metric.kind)) + "\",";
+    if (metric.histogram.has_value()) {
+      append_histogram_json(out, *metric.histogram);
+    } else {
+      out += "\"value\":" + format_number(metric.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace infilter::obs

@@ -1,0 +1,30 @@
+// Metrics exposition: Prometheus text format and JSON.
+//
+// Both serializers work from a RegistrySnapshot, so one scrape sees a
+// consistent view. The Prometheus form follows the text exposition format
+// (HELP/TYPE lines, cumulative le-labeled histogram buckets with a +Inf
+// terminator, _sum and _count series); the JSON form is a flat machine-
+// readable document that also precomputes p50/p95/p99 for histograms --
+// the shape the BENCH_*.json perf-trajectory files use.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace infilter::obs {
+
+/// Prometheus text exposition format, metrics sorted by name.
+[[nodiscard]] std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+/// JSON document: {"metrics":[{"name":...,"kind":...,...}]}. Counters and
+/// gauges carry "value"; histograms carry "count", "sum", finite
+/// "buckets" ([{"le":...,"count":...}]), "overflow", and "p50"/"p95"/"p99".
+[[nodiscard]] std::string to_json(const RegistrySnapshot& snapshot);
+
+/// Serializes a number the way both exporters do: integers exactly,
+/// everything else with enough digits to round-trip.
+[[nodiscard]] std::string format_number(double value);
+
+}  // namespace infilter::obs

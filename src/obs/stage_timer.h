@@ -1,0 +1,50 @@
+// Per-stage wall-time tracing for the detection pipeline.
+//
+// Section 6.4 measures "processing latencies" per configuration; the
+// StageTimer is the runtime equivalent: an RAII scope that records the
+// wall time of one pipeline stage (EIA lookup, scan analysis, NNS query)
+// into a fixed-bucket histogram. A null histogram disables the timer
+// entirely, including the clock reads.
+
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace infilter::obs {
+
+/// Monotonic clock reading in microseconds (arbitrary epoch).
+[[nodiscard]] inline double monotonic_us() noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Records the lifetime of the scope into `histogram` (microseconds).
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram* histogram) noexcept
+      : histogram_(histogram), start_(histogram != nullptr ? monotonic_us() : 0.0) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { stop(); }
+
+  /// Records now instead of at scope exit; idempotent. Returns the elapsed
+  /// microseconds recorded (0 when disabled or already stopped).
+  double stop() noexcept {
+    if (histogram_ == nullptr) return 0.0;
+    const double elapsed_us = monotonic_us() - start_;
+    histogram_->observe(elapsed_us);
+    histogram_ = nullptr;
+    return elapsed_us;
+  }
+
+ private:
+  Histogram* histogram_;
+  double start_;
+};
+
+}  // namespace infilter::obs

@@ -100,9 +100,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   assert(config.attacked_ingresses >= 0 && config.attacked_ingresses <= config.sources);
   util::Rng master{config.seed};
 
-  // Engine + EIA preload (Table 3).
+  // Engine + EIA preload (Table 3). The run-local registry collects the
+  // pipeline metrics; it is snapshotted into the result before the engine
+  // (whose callbacks it holds) goes away.
+  obs::Registry registry;
   core::EngineConfig engine_config = config.engine;
   engine_config.seed = config.seed ^ 0xe191eULL;
+  if (engine_config.registry == nullptr) engine_config.registry = &registry;
   core::InFilterEngine engine(engine_config);
   for (int s = 0; s < config.sources; ++s) {
     const auto port = static_cast<core::IngressId>(config.first_port + s);
@@ -269,6 +273,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     result.mean_detection_latency_ms =
         latency_sum / static_cast<double>(result.detected_instances);
   }
+  result.metrics = engine.registry().snapshot();
   return result;
 }
 

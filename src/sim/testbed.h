@@ -20,6 +20,7 @@
 
 #include "core/engine.h"
 #include "dagflow/dagflow.h"
+#include "obs/metrics.h"
 #include "traffic/attacks.h"
 #include "traffic/normal.h"
 
@@ -113,6 +114,13 @@ struct ExperimentResult {
 
   /// Per attack kind: {instances, detected instances}.
   std::array<std::pair<int, int>, traffic::kAttackKindCount> per_kind{};
+
+  /// Final metrics dump of the run's engine (pipeline counters, component
+  /// gauges, per-stage latency histograms). Taken after the last flow, so
+  /// it reconciles with the accounting above: flows_total equals
+  /// attack_flows + benign_flows, and the verdict_attack_* counters sum to
+  /// alerts_eia + alerts_scan + alerts_nns.
+  obs::RegistrySnapshot metrics;
 
   [[nodiscard]] double detection_rate() const {
     return attack_instances == 0

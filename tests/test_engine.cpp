@@ -215,12 +215,94 @@ TEST(EnhancedEngine, UntrainedEngineStillRunsEiaAndScan) {
 }
 
 TEST(EnhancedEngine, FlowCountersAdvance) {
-  InFilterEngine engine(basic_config());
+  alert::CollectingSink sink;
+  InFilterEngine engine(basic_config(), &sink);
   engine.add_expected(kAs1, *net::Prefix::parse("3.0.0.0/11"));
   (void)engine.process(flow_from(ip("3.0.0.1")), kAs1, 1);
   (void)engine.process(flow_from(ip("99.0.0.1")), kAs1, 2);
   EXPECT_EQ(engine.flows_processed(), 2u);
   EXPECT_EQ(engine.alerts_emitted(), 1u);
+  EXPECT_EQ(engine.alerts_emitted(), sink.alerts().size());
+}
+
+TEST(EnhancedEngine, AlertsEmittedCountsDeliveredAlertsOnly) {
+  // Same traffic, no sink: the attack verdict stands but nothing is
+  // delivered, so alerts_emitted() stays 0 and the verdict counter moves.
+  InFilterEngine engine(basic_config());
+  engine.add_expected(kAs1, *net::Prefix::parse("3.0.0.0/11"));
+  const auto verdict = engine.process(flow_from(ip("99.0.0.1")), kAs1, 1);
+  EXPECT_TRUE(verdict.attack);
+  EXPECT_EQ(engine.alerts_emitted(), 0u);
+  EXPECT_EQ(engine.metrics().verdict_attack_eia->value(), 1u);
+}
+
+/// Every processed flow must land in exactly one terminal verdict counter,
+/// and the stage counters must reconcile with each other (the invariants
+/// documented in obs/pipeline.h).
+void expect_reconciled(const InFilterEngine& engine) {
+  const auto& m = engine.metrics();
+  const std::uint64_t terminal =
+      m.verdict_legal->value() + m.verdict_attack_eia->value() +
+      m.verdict_attack_scan->value() + m.verdict_attack_nns->value() +
+      m.verdict_cleared_nns->value() + m.verdict_cleared_learned->value();
+  EXPECT_EQ(m.flows_total->value(), terminal);
+  EXPECT_EQ(m.flows_total->value(), m.eia_hits->value() + m.eia_misses->value());
+  EXPECT_EQ(m.nns_assessed->value(), m.nns_normal->value() + m.nns_anomalous->value());
+  EXPECT_EQ(m.alerts_total->value(), m.alerts_eia->value() + m.alerts_scan->value() +
+                                         m.alerts_nns->value());
+  EXPECT_EQ(m.process_us->count(), m.flows_total->value());
+}
+
+TEST_F(EnhancedEngineTest, StageCountersReconcile) {
+  util::Rng rng{99};
+  for (int i = 0; i < 200; ++i) {
+    // Mix of in-EIA, mis-ingressed, and unknown sources.
+    const std::uint32_t pick = static_cast<std::uint32_t>(rng.below(3));
+    auto record = flow_from(pick == 0   ? ip("3.0.0.7")
+                            : pick == 1 ? ip("3.40.0.7")
+                                        : net::IPv4Address{static_cast<std::uint32_t>(
+                                              (200u << 24) + rng.below(1u << 16))},
+                            static_cast<std::uint16_t>(1 + rng.below(4000)));
+    (void)engine_.process(record, kAs1, 1000 + static_cast<util::TimeMs>(i));
+  }
+  const auto& m = engine_.metrics();
+  EXPECT_EQ(m.flows_total->value(), 200u);
+  // Enhanced mode with scan analysis on: every EIA miss is scan-analyzed.
+  EXPECT_EQ(m.scan_analyzed->value(), m.eia_misses->value());
+  expect_reconciled(engine_);
+}
+
+TEST(EnhancedEngine, BasicModeCountersReconcile) {
+  alert::CollectingSink sink;
+  EngineConfig config = basic_config();
+  config.eia.learn_threshold = 3;
+  InFilterEngine engine(config, &sink);
+  engine.add_expected(kAs1, *net::Prefix::parse("3.0.0.0/11"));
+  for (int i = 0; i < 10; ++i) {
+    (void)engine.process(flow_from(ip("3.0.0.1")), kAs1, 1 + i);
+    (void)engine.process(flow_from(ip("99.0.0.1")), kAs1, 1 + i);  // learns at 3
+  }
+  expect_reconciled(engine);
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.eia_learned->value(), 1u);
+  EXPECT_EQ(m.alerts_total->value(), sink.alerts().size());
+}
+
+TEST(EnhancedEngine, ExternalRegistryReceivesPipelineMetrics) {
+  obs::Registry registry;
+  EngineConfig config = basic_config();
+  config.registry = &registry;
+  InFilterEngine engine(config);
+  EXPECT_EQ(&engine.registry(), &registry);
+  engine.add_expected(kAs1, *net::Prefix::parse("3.0.0.0/11"));
+  (void)engine.process(flow_from(ip("3.0.0.1")), kAs1, 1);
+
+  const auto snapshot = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.value("infilter_flows_total"), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.value("infilter_verdict_legal_total"), 1.0);
+  // Component pull-metrics are registered alongside the pipeline set.
+  EXPECT_DOUBLE_EQ(snapshot.value("infilter_eia_lookups_total"), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.value("infilter_eia_ingresses"), 1.0);
 }
 
 TEST(EnhancedEngine, SharedClustersBehaveLikeOwnTraining) {

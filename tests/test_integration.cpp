@@ -212,5 +212,51 @@ TEST(Integration, CapturePersistenceRoundTripsThroughAnalysis) {
   EXPECT_GT(attacks, 0);
 }
 
+TEST(Integration, TestbedMetricsReconcile) {
+  sim::ExperimentConfig config;
+  config.normal_flows_per_source = 800;
+  config.training_flows = 600;
+  config.engine.cluster.bits_per_feature = 48;
+  config.attack_volume = 0.04;
+  config.seed = 23;
+  const auto result = sim::run_experiment(config);
+
+  // The final dump reconciles with the ground-truth accounting.
+  const auto& m = result.metrics;
+  const double flows = m.value("infilter_flows_total");
+  EXPECT_DOUBLE_EQ(flows, static_cast<double>(result.attack_flows +
+                                              result.benign_flows));
+  EXPECT_DOUBLE_EQ(m.value("infilter_eia_hits_total") +
+                       m.value("infilter_eia_misses_total"),
+                   flows);
+  // Enhanced mode with scan analysis: every EIA miss is scan-analyzed.
+  EXPECT_DOUBLE_EQ(m.value("infilter_scan_analyzed_total"),
+                   m.value("infilter_eia_misses_total"));
+  // Every flow lands in exactly one terminal verdict counter.
+  EXPECT_DOUBLE_EQ(m.value("infilter_verdict_legal_total") +
+                       m.value("infilter_verdict_attack_eia_total") +
+                       m.value("infilter_verdict_attack_scan_total") +
+                       m.value("infilter_verdict_attack_nns_total") +
+                       m.value("infilter_verdict_cleared_nns_total") +
+                       m.value("infilter_verdict_cleared_learned_total"),
+                   flows);
+  // The per-stage alert tallies in the result come from the same verdicts
+  // the metric counters saw.
+  EXPECT_DOUBLE_EQ(m.value("infilter_verdict_attack_eia_total"),
+                   static_cast<double>(result.alerts_eia));
+  EXPECT_DOUBLE_EQ(m.value("infilter_verdict_attack_scan_total"),
+                   static_cast<double>(result.alerts_scan));
+  EXPECT_DOUBLE_EQ(m.value("infilter_verdict_attack_nns_total"),
+                   static_cast<double>(result.alerts_nns));
+  // Latency histograms observed every flow.
+  const auto* process = m.histogram("infilter_process_latency_us");
+  ASSERT_NE(process, nullptr);
+  EXPECT_DOUBLE_EQ(static_cast<double>(process->count), flows);
+  EXPECT_GT(process->quantile(0.99), 0.0);
+  // Component pull-metrics were sampled into the snapshot.
+  EXPECT_DOUBLE_EQ(m.value("infilter_eia_lookups_total"), flows);
+  EXPECT_GT(m.value("infilter_nns_trained_flows"), 0.0);
+}
+
 }  // namespace
 }  // namespace infilter

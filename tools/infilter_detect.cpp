@@ -12,6 +12,8 @@
 //                   [--mode basic|enhanced] [--ascii] [--idmef]
 //                   [--bits 144]          # unary bits/feature (d = 5*bits)
 //                   [--buffer 200] [--learn 5]
+//                   [--metrics-out FILE]  # metrics dump: JSON when FILE
+//                                         # ends in .json, else Prometheus
 
 #include <cstdio>
 #include <fstream>
@@ -23,6 +25,7 @@
 #include "dagflow/allocation.h"
 #include "flowtools/ascii.h"
 #include "flowtools/capture.h"
+#include "obs/export.h"
 #include "util/args.h"
 
 using namespace infilter;
@@ -122,6 +125,24 @@ int main(int argc, char** argv) {
   std::printf("%zu flows analyzed: %llu suspects, %llu flagged as attacks\n",
               flows->size(), static_cast<unsigned long long>(suspects),
               static_cast<unsigned long long>(attacks));
+  {
+    const auto snapshot = engine.registry().snapshot();
+    const auto* latency = snapshot.histogram("infilter_process_latency_us");
+    if (latency != nullptr && latency->count > 0) {
+      std::printf("per-flow latency: p50 %.2fus p95 %.2fus p99 %.2fus\n",
+                  latency->quantile(0.50), latency->quantile(0.95),
+                  latency->quantile(0.99));
+    }
+    if (const auto metrics_path = args.value("metrics-out")) {
+      std::ofstream out(*metrics_path, std::ios::trunc);
+      if (!out) return fail("cannot open " + *metrics_path);
+      const bool json = metrics_path->size() >= 5 &&
+                        metrics_path->rfind(".json") == metrics_path->size() - 5;
+      out << (json ? obs::to_json(snapshot) : obs::to_prometheus(snapshot));
+      if (!out) return fail("cannot write metrics to " + *metrics_path);
+      std::printf("wrote metrics to %s\n", metrics_path->c_str());
+    }
+  }
   std::fputs(traceback.report().c_str(), stdout);
 
   if (args.has("idmef")) {

@@ -9,6 +9,9 @@
 //   infilter-monitor --train TRAIN_FILE [--ports 9001,...]
 //                    [--eia EIA_FILE] [--mode basic|enhanced]
 //                    [--duration-ms 30000] [--idmef]
+//                    [--metrics-out FILE]  # final metrics dump: JSON when
+//                                          # FILE ends in .json, else
+//                                          # Prometheus text format
 
 #include <cstdio>
 #include <fstream>
@@ -18,6 +21,7 @@
 #include "core/eia_io.h"
 #include "dagflow/allocation.h"
 #include "flowtools/capture.h"
+#include "obs/export.h"
 #include "util/args.h"
 
 using namespace infilter;
@@ -49,6 +53,16 @@ class ConsoleSink final : public alert::AlertSink {
  private:
   bool idmef_;
 };
+
+/// Writes a metrics snapshot to `path`: JSON when the name ends in
+/// ".json", Prometheus text exposition format otherwise.
+bool write_metrics(const std::string& path, const obs::RegistrySnapshot& snapshot) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  const bool json = path.size() >= 5 && path.rfind(".json") == path.size() - 5;
+  out << (json ? obs::to_json(snapshot) : obs::to_prometheus(snapshot));
+  return static_cast<bool>(out);
+}
 
 }  // namespace
 
@@ -124,10 +138,23 @@ int main(int argc, char** argv) {
     elapsed += kSliceMs;
     const auto& stats = (*node)->stats();
     if (stats.flows_processed != last_processed && elapsed % 1000 < kSliceMs) {
-      std::printf("status: %llu flows, %llu suspects, %llu attacks\n",
-                  static_cast<unsigned long long>(stats.flows_processed),
-                  static_cast<unsigned long long>(stats.suspects),
-                  static_cast<unsigned long long>(stats.attacks_flagged));
+      const auto snapshot = (*node)->metrics();
+      const auto* latency = snapshot.histogram("infilter_process_latency_us");
+      if (latency != nullptr && latency->count > 0) {
+        std::printf(
+            "status: %llu flows, %llu suspects, %llu attacks | "
+            "process p50 %.2fus p95 %.2fus p99 %.2fus\n",
+            static_cast<unsigned long long>(stats.flows_processed),
+            static_cast<unsigned long long>(stats.suspects),
+            static_cast<unsigned long long>(stats.attacks_flagged),
+            latency->quantile(0.50), latency->quantile(0.95),
+            latency->quantile(0.99));
+      } else {
+        std::printf("status: %llu flows, %llu suspects, %llu attacks\n",
+                    static_cast<unsigned long long>(stats.flows_processed),
+                    static_cast<unsigned long long>(stats.suspects),
+                    static_cast<unsigned long long>(stats.attacks_flagged));
+      }
       last_processed = stats.flows_processed;
     }
   }
@@ -142,5 +169,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.malformed_datagrams),
               static_cast<unsigned long long>(stats.sequence_gaps));
   std::fputs((*node)->traceback().report().c_str(), stdout);
+
+  if (const auto metrics_path = args.value("metrics-out")) {
+    if (!write_metrics(*metrics_path, (*node)->metrics())) {
+      return fail("cannot write metrics to " + *metrics_path);
+    }
+    std::printf("wrote metrics to %s\n", metrics_path->c_str());
+  }
   return 0;
 }
