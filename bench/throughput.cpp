@@ -1,0 +1,247 @@
+// Throughput of the sharded detection runtime (src/runtime) against the
+// serial engine on the same Section 6 testbed workload.
+//
+// The paper's prototype analyzed one POP's NetFlow feed on one CPU; the
+// runtime is the piece that scales the identical pipeline across cores.
+// This bench replays one generated testbed stream (sim::generate_stream)
+// through (a) a single InFilterEngine and (b) a ShardedRuntime at several
+// shard counts, and writes BENCH_throughput.json: records/sec, speedup vs
+// serial, and the runtime's drop/backpressure counters. Speedups are only
+// meaningful up to `hardware_threads` (reported in the JSON) -- on a
+// single-core host every shard count serializes onto one CPU and the
+// sharded numbers mostly measure dispatch overhead.
+//
+// Usage:
+//   throughput [--smoke]            # small preset, used by the ctest entry
+//              [--flows 5000]       # normal flows per testbed source
+//              [--threads 1,2,4]    # shard counts to sweep
+//              [--queue-depth 4096]
+//              [--out BENCH_throughput.json]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dagflow/allocation.h"
+#include "obs/export.h"
+#include "runtime/runtime.h"
+#include "sim/testbed.h"
+#include "util/args.h"
+
+using namespace infilter;
+
+namespace {
+
+struct Measurement {
+  int shards = 0;  ///< 0 = serial engine
+  double seconds = 0;
+  double records_per_sec = 0;
+  std::uint64_t attacks = 0;  ///< attack verdicts, a cross-check vs serial
+  std::uint64_t dropped = 0;
+  std::uint64_t backpressure_waits = 0;
+  std::uint64_t batches = 0;
+};
+
+core::EngineConfig engine_config(const sim::ExperimentConfig& config) {
+  // Mirrors sim::run_experiment so verdict counts line up with the
+  // testbed's: same derived seed, same shared clusters.
+  core::EngineConfig engine = config.engine;
+  engine.seed = config.seed ^ 0xe191eULL;
+  return engine;
+}
+
+void preload_eia(const sim::ExperimentConfig& config,
+                 const std::function<void(core::IngressId, const net::Prefix&)>& add) {
+  for (int s = 0; s < config.sources; ++s) {
+    const auto port = static_cast<core::IngressId>(config.first_port + s);
+    const auto range = dagflow::eia_range(s, config.blocks_per_source);
+    for (int b = range.first.index(); b <= range.last.index(); ++b) {
+      add(port, net::SubBlock{b}.prefix());
+    }
+  }
+}
+
+Measurement run_serial(const sim::ExperimentConfig& config,
+                       const sim::TestbedStream& stream,
+                       std::shared_ptr<const core::TrainedClusters> clusters) {
+  core::InFilterEngine engine(engine_config(config));
+  preload_eia(config, [&](core::IngressId ingress, const net::Prefix& prefix) {
+    engine.add_expected(ingress, prefix);
+  });
+  engine.set_clusters(std::move(clusters));
+
+  Measurement m;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& flow : stream.flows) {
+    const auto verdict =
+        engine.process(flow.record, flow.arrival_port, flow.record.last);
+    m.attacks += verdict.attack ? 1 : 0;
+  }
+  m.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  m.records_per_sec =
+      m.seconds > 0 ? static_cast<double>(stream.flows.size()) / m.seconds : 0;
+  return m;
+}
+
+Measurement run_sharded(const sim::ExperimentConfig& config,
+                        const sim::TestbedStream& stream, int shards,
+                        std::size_t queue_depth,
+                        std::shared_ptr<const core::TrainedClusters> clusters) {
+  runtime::RuntimeConfig runtime_config;
+  runtime_config.shards = shards;
+  runtime_config.queue_depth = queue_depth;
+  runtime_config.engine = engine_config(config);
+  std::atomic<std::uint64_t> attacks{0};
+  runtime::ShardedRuntime rt(
+      runtime_config, nullptr,
+      [&](const runtime::FlowItem&, const core::Verdict& verdict) {
+        if (verdict.attack) attacks.fetch_add(1, std::memory_order_relaxed);
+      });
+  preload_eia(config, [&](core::IngressId ingress, const net::Prefix& prefix) {
+    rt.add_expected(ingress, prefix);
+  });
+  rt.set_clusters(std::move(clusters));
+
+  // Batched dispatch, like a collector draining a socket buffer.
+  constexpr std::size_t kDispatchBatch = 512;
+  std::vector<runtime::FlowItem> batch;
+  batch.reserve(kDispatchBatch);
+
+  Measurement m;
+  m.shards = shards;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& flow : stream.flows) {
+    batch.push_back(runtime::FlowItem{flow.record, flow.arrival_port,
+                                      static_cast<util::TimeMs>(flow.record.last), 0});
+    if (batch.size() == kDispatchBatch) {
+      rt.submit_batch(batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) rt.submit_batch(batch);
+  rt.flush();
+  m.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  m.records_per_sec =
+      m.seconds > 0 ? static_cast<double>(stream.flows.size()) / m.seconds : 0;
+  m.attacks = attacks.load(std::memory_order_relaxed);
+
+  const auto stats = rt.stats();
+  m.dropped = stats.dropped;
+  m.backpressure_waits = stats.backpressure_waits;
+  m.batches = stats.batches;
+  return m;
+}
+
+std::string to_json(const Measurement& m, double serial_rps) {
+  std::string out = "    {";
+  out += m.shards == 0 ? "\"mode\": \"serial\""
+                       : "\"mode\": \"sharded\", \"shards\": " +
+                             std::to_string(m.shards);
+  out += ", \"seconds\": " + obs::format_number(m.seconds);
+  out += ", \"records_per_sec\": " + obs::format_number(m.records_per_sec);
+  if (m.shards > 0 && serial_rps > 0) {
+    out += ", \"speedup_vs_serial\": " +
+           obs::format_number(m.records_per_sec / serial_rps);
+    out += ", \"dropped\": " + obs::format_number(static_cast<double>(m.dropped));
+    out += ", \"backpressure_waits\": " +
+           obs::format_number(static_cast<double>(m.backpressure_waits));
+    out += ", \"worker_batches\": " +
+           obs::format_number(static_cast<double>(m.batches));
+  }
+  out += ", \"attack_verdicts\": " +
+         obs::format_number(static_cast<double>(m.attacks));
+  out += "}";
+  return out;
+}
+
+std::vector<int> parse_thread_counts(const std::string& spec) {
+  std::vector<int> counts;
+  std::size_t at = 0;
+  while (at <= spec.size()) {
+    const auto comma = spec.find(',', at);
+    const auto token = spec.substr(
+        at, comma == std::string::npos ? std::string::npos : comma - at);
+    if (const int n = std::atoi(token.c_str()); n > 0) counts.push_back(n);
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = util::Args::parse(argc, argv, {"smoke"});
+  if (!parsed) {
+    std::fprintf(stderr, "throughput: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const auto& args = *parsed;
+  const bool smoke = args.has("smoke");
+
+  sim::ExperimentConfig config;
+  config.seed = 33;
+  config.engine.cluster.bits_per_feature = 48;
+  config.normal_flows_per_source = static_cast<std::size_t>(
+      args.int_or("flows", smoke ? 400 : 5000));
+  config.training_flows = smoke ? 300 : 1500;
+  config.attack_volume = 0.04;
+  config.attacked_ingresses = config.sources;
+
+  const auto thread_counts =
+      parse_thread_counts(args.value_or("threads", smoke ? "1,2" : "1,2,4"));
+  const auto queue_depth =
+      static_cast<std::size_t>(args.int_or("queue-depth", 4096));
+
+  std::printf("generating testbed stream (%zu flows/source)...\n",
+              config.normal_flows_per_source);
+  const auto stream = sim::generate_stream(config);
+  const auto clusters = sim::train_clusters(config);
+  std::printf("replaying %zu records\n", stream.flows.size());
+
+  const auto serial = run_serial(config, stream, clusters);
+  std::printf("serial: %.0f records/sec (%llu attack verdicts)\n",
+              serial.records_per_sec,
+              static_cast<unsigned long long>(serial.attacks));
+
+  std::vector<Measurement> sharded;
+  for (const int shards : thread_counts) {
+    sharded.push_back(run_sharded(config, stream, shards, queue_depth, clusters));
+    const auto& m = sharded.back();
+    std::printf("sharded x%d: %.0f records/sec (%.2fx serial, %llu attack verdicts)\n",
+                m.shards, m.records_per_sec,
+                serial.records_per_sec > 0 ? m.records_per_sec / serial.records_per_sec
+                                           : 0.0,
+                static_cast<unsigned long long>(m.attacks));
+  }
+
+  std::string doc = "{\n  \"bench\": \"throughput\",\n";
+  doc += "  \"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  doc += "  \"records\": " + std::to_string(stream.flows.size()) + ",\n";
+  doc += "  \"runs\": [\n";
+  doc += to_json(serial, 0);
+  for (const auto& m : sharded) {
+    doc += ",\n" + to_json(m, serial.records_per_sec);
+  }
+  doc += "\n  ]\n}\n";
+
+  const auto out_path = args.value_or("out", "BENCH_throughput.json");
+  std::ofstream out(out_path, std::ios::trunc);
+  out << doc;
+  if (!out) {
+    std::fprintf(stderr, "throughput: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

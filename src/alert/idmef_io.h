@@ -9,6 +9,16 @@
 //
 // The parser handles the IDMEF-draft subset our analyzer emits; it is a
 // schema-directed extractor, not a general XML engine.
+//
+// Threading contract (the emitting half lives in idmef.h): AlertSink
+// implementations -- including anything that feeds this parser, such as a
+// sink appending IDMEF documents to a feed -- are called with serialized
+// consume() invocations by every engine in this repository; the sharded
+// runtime funnels all worker threads through alert::SerializingSink before
+// the user's sink. Concatenated feeds written from a sink therefore never
+// interleave two documents, which is what makes parse_idmef_stream's
+// "split on message boundaries" contract sound under the concurrent
+// runtime. The parse functions themselves are pure and re-entrant.
 
 #pragma once
 

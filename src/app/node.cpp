@@ -15,10 +15,34 @@ core::EngineConfig with_registry(core::EngineConfig engine, obs::Registry* regis
 InFilterNode::InFilterNode(const NodeConfig& config, flowtools::LiveCollector collector,
                            alert::AlertSink* alert_consumer)
     : collector_(std::move(collector)),
-      traceback_(config.traceback, alert_consumer),
-      engine_(with_registry(config.engine, &registry_), &traceback_) {
+      registry_ptr_(config.engine.registry != nullptr ? config.engine.registry
+                                                      : &registry_),
+      traceback_(config.traceback, alert_consumer) {
+  if (config.threads > 0) {
+    // Runtime-backed analysis: the poll loop becomes the dispatcher and N
+    // shard engines do the work. The runtime serializes shard alerts, so
+    // the (single-threaded) traceback aggregator works unmodified.
+    runtime::RuntimeConfig runtime_config;
+    runtime_config.shards = config.threads;
+    runtime_config.queue_depth = config.queue_depth;
+    runtime_config.backpressure = config.backpressure;
+    runtime_config.engine = config.engine;
+    runtime_config.registry = registry_ptr_;
+    runtime_ = std::make_unique<runtime::ShardedRuntime>(
+        std::move(runtime_config), &traceback_,
+        [this](const runtime::FlowItem&, const core::Verdict& verdict) {
+          if (verdict.suspect)
+            hook_suspects_.fetch_add(1, std::memory_order_relaxed);
+          if (verdict.attack)
+            hook_attacks_.fetch_add(1, std::memory_order_relaxed);
+        });
+  } else {
+    engine_ = std::make_unique<core::InFilterEngine>(
+        with_registry(config.engine, &registry_), &traceback_);
+  }
+
   // Collector-path health, sampled from the capture at snapshot time.
-  auto& registry = engine_.registry();
+  auto& registry = *registry_ptr_;
   registry.counter_fn(
       "infilter_collector_datagrams_total",
       [this] { return static_cast<std::uint64_t>(collector_.capture().datagrams_received()); },
@@ -47,6 +71,22 @@ util::Result<std::unique_ptr<InFilterNode>> InFilterNode::create(
       new InFilterNode(config, std::move(*collector), alert_consumer));
 }
 
+void InFilterNode::add_expected(core::IngressId ingress, const net::Prefix& prefix) {
+  if (runtime_) {
+    runtime_->add_expected(ingress, prefix);
+  } else {
+    engine_->add_expected(ingress, prefix);
+  }
+}
+
+void InFilterNode::train(std::span<const netflow::V5Record> normal_flows) {
+  if (runtime_) {
+    runtime_->train(normal_flows);
+  } else {
+    engine_->train(normal_flows);
+  }
+}
+
 util::Result<std::size_t> InFilterNode::poll_once(int timeout_ms) {
   const auto stored = collector_.poll_once(timeout_ms);
   if (!stored) return stored.error();
@@ -56,17 +96,41 @@ util::Result<std::size_t> InFilterNode::poll_once(int timeout_ms) {
   std::size_t processed = 0;
   for (; consumed_ < flows.size(); ++consumed_) {
     const auto& flow = flows[consumed_];
-    const auto verdict =
-        engine_.process(flow.record, flow.arrival_port, flow.record.last);
+    if (runtime_) {
+      if (runtime_->submit(flow.record, flow.arrival_port, flow.record.last)) {
+        ++stats_.flows_processed;
+      } else {
+        ++stats_.dropped_flows;
+      }
+    } else {
+      const auto verdict =
+          engine_->process(flow.record, flow.arrival_port, flow.record.last);
+      ++stats_.flows_processed;
+      stats_.suspects += verdict.suspect ? 1 : 0;
+      stats_.attacks_flagged += verdict.attack ? 1 : 0;
+    }
     ++processed;
-    ++stats_.flows_processed;
-    stats_.suspects += verdict.suspect ? 1 : 0;
-    stats_.attacks_flagged += verdict.attack ? 1 : 0;
   }
+  if (runtime_) refresh_runtime_stats();
   stats_.datagrams = capture.datagrams_received();
   stats_.malformed_datagrams = capture.datagrams_malformed();
   stats_.sequence_gaps = capture.sequence_gaps();
   return processed;
+}
+
+void InFilterNode::flush() {
+  if (!runtime_) return;
+  runtime_->flush();
+  refresh_runtime_stats();
+}
+
+void InFilterNode::refresh_runtime_stats() {
+  stats_.suspects = hook_suspects_.load(std::memory_order_relaxed);
+  stats_.attacks_flagged = hook_attacks_.load(std::memory_order_relaxed);
+}
+
+obs::RegistrySnapshot InFilterNode::metrics() const {
+  return runtime_ ? runtime_->snapshot() : registry_ptr_->snapshot();
 }
 
 }  // namespace infilter::app

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "core/traceback.h"
 #include "flowtools/udp.h"
 #include "obs/metrics.h"
+#include "runtime/runtime.h"
 #include "util/result.h"
 
 namespace infilter::app {
@@ -29,11 +31,23 @@ struct NodeConfig {
                                    9006, 9007, 9008, 9009, 9010};
   core::EngineConfig engine;
   core::TracebackConfig traceback;
+
+  // -- Concurrent runtime (src/runtime) --
+  /// 0 analyzes flows inline on the polling thread (the paper's prototype
+  /// shape); N >= 1 dispatches them to a ShardedRuntime with N worker
+  /// shards. Verdict stats then trail the poll loop by whatever is still
+  /// in flight -- call flush() before reading them exactly.
+  int threads = 0;
+  /// Per-shard ring capacity when threads > 0.
+  std::size_t queue_depth = 4096;
+  runtime::BackpressurePolicy backpressure = runtime::BackpressurePolicy::kBlock;
 };
 
 /// Counters the monitor reports.
 struct NodeStats {
   std::uint64_t flows_processed = 0;
+  /// Flows shed by a full shard ring (threads > 0 with kDrop only).
+  std::uint64_t dropped_flows = 0;
   std::uint64_t suspects = 0;
   std::uint64_t attacks_flagged = 0;
   std::uint64_t datagrams = 0;
@@ -48,44 +62,55 @@ class InFilterNode {
   static util::Result<std::unique_ptr<InFilterNode>> create(
       const NodeConfig& config, alert::AlertSink* alert_consumer = nullptr);
 
-  /// Training-phase helpers (Figure 11).
-  void add_expected(core::IngressId ingress, const net::Prefix& prefix) {
-    engine_.add_expected(ingress, prefix);
-  }
-  void train(std::span<const netflow::V5Record> normal_flows) {
-    engine_.train(normal_flows);
-  }
+  /// Training-phase helpers (Figure 11). Fan out to every shard when the
+  /// node is runtime-backed.
+  void add_expected(core::IngressId ingress, const net::Prefix& prefix);
+  void train(std::span<const netflow::V5Record> normal_flows);
 
-  /// Waits up to `timeout_ms` for export datagrams, analyzes every flow
-  /// that arrived, and returns how many flows were processed. Flow
-  /// timestamps come from the records (virtual time), so analysis is
-  /// deterministic for a given input stream.
+  /// Waits up to `timeout_ms` for export datagrams, analyzes (or, with
+  /// threads > 0, dispatches) every flow that arrived, and returns how
+  /// many flows were drained from the capture. Flow timestamps come from
+  /// the records (virtual time), so analysis is deterministic for a given
+  /// input stream.
   util::Result<std::size_t> poll_once(int timeout_ms);
 
+  /// Runtime-backed nodes: blocks until every dispatched flow has been
+  /// analyzed, making stats() and metrics() exact. Serial nodes: no-op.
+  void flush();
+
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
-  [[nodiscard]] const core::InFilterEngine& engine() const { return engine_; }
-  [[nodiscard]] core::InFilterEngine& engine() { return engine_; }
   [[nodiscard]] const core::TracebackEngine& traceback() const { return traceback_; }
   [[nodiscard]] std::vector<std::uint16_t> ports() const { return collector_.ports(); }
+  /// Worker shards processing flows; 0 = serial in-process analysis.
+  [[nodiscard]] int threads() const { return runtime_ ? static_cast<int>(runtime_->shard_count()) : 0; }
 
-  /// The registry holding every pipeline, component and collector metric
-  /// of this node (the node-owned one unless NodeConfig::engine.registry
-  /// was set). Snapshot it to scrape or export.
-  [[nodiscard]] obs::Registry& metrics_registry() { return engine_.registry(); }
-  [[nodiscard]] obs::RegistrySnapshot metrics() const {
-    return engine_.registry().snapshot();
-  }
+  /// The registry holding the node-level metrics: collector health, plus
+  /// (serial mode) the engine pipeline, or (runtime mode) the dispatcher
+  /// counters. The node-owned one unless NodeConfig::engine.registry was
+  /// set.
+  [[nodiscard]] obs::Registry& metrics_registry() { return *registry_ptr_; }
+  /// Every metric of the node in one view; runtime-backed nodes merge the
+  /// per-shard engine registries in (see ShardedRuntime::snapshot()).
+  [[nodiscard]] obs::RegistrySnapshot metrics() const;
 
  private:
   InFilterNode(const NodeConfig& config, flowtools::LiveCollector collector,
                alert::AlertSink* alert_consumer);
 
+  void refresh_runtime_stats();
+
   flowtools::LiveCollector collector_;
-  /// Declared before engine_: the engine registers callbacks into it.
+  /// Declared before the engine/runtime: both register callbacks into it.
   obs::Registry registry_;
+  obs::Registry* registry_ptr_;  ///< user-supplied or &registry_
   core::TracebackEngine traceback_;
-  core::InFilterEngine engine_;
+  /// Exactly one of these two is set (engine_ when threads == 0).
+  std::unique_ptr<core::InFilterEngine> engine_;
+  std::unique_ptr<runtime::ShardedRuntime> runtime_;
   NodeStats stats_;
+  /// Verdict counts from the runtime's workers (hook side).
+  std::atomic<std::uint64_t> hook_suspects_{0};
+  std::atomic<std::uint64_t> hook_attacks_{0};
   /// Flows already drained from the capture on previous polls.
   std::size_t consumed_ = 0;
 };

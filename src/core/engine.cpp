@@ -1,15 +1,34 @@
 #include "core/engine.h"
 
 #include "obs/stage_timer.h"
+#include "util/rng.h"
 
 namespace infilter::core {
+namespace {
+
+/// Seed for the per-flow NNS probe RNG: a SplitMix64 chain over the flow's
+/// identifying fields. Any pure function of (engine seed, record) keeps
+/// verdicts independent of processing order; chaining through SplitMix64
+/// decorrelates flows that differ in a single field.
+std::uint64_t flow_rng_seed(std::uint64_t seed, const netflow::V5Record& r) {
+  std::uint64_t h = util::SplitMix64{seed ^ 0x1f11753ULL}.next();
+  const std::uint64_t words[] = {
+      (std::uint64_t{r.src_ip.value()} << 32) | r.dst_ip.value(),
+      (std::uint64_t{r.src_port} << 48) | (std::uint64_t{r.dst_port} << 32) |
+          (std::uint64_t{r.proto} << 8) | r.tos,
+      (std::uint64_t{r.first} << 32) | r.last,
+  };
+  for (const std::uint64_t word : words) h = util::SplitMix64{h ^ word}.next();
+  return h;
+}
+
+}  // namespace
 
 InFilterEngine::InFilterEngine(EngineConfig config, alert::AlertSink* sink)
     : config_(config),
       sink_(sink),
       eia_(config.eia),
       scan_(config.scan),
-      rng_(config.seed ^ 0x1f11753ULL),
       owned_registry_(config.registry != nullptr ? nullptr
                                                  : std::make_unique<obs::Registry>()),
       registry_(config.registry != nullptr ? config.registry : owned_registry_.get()),
@@ -132,7 +151,8 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
   if (config_.use_nns && clusters_ != nullptr) {
     {
       obs::StageTimer timer(metrics_.stage_nns_us);
-      verdict.nns = clusters_->assess(record, rng_);
+      util::Rng flow_rng{flow_rng_seed(config_.seed, record)};
+      verdict.nns = clusters_->assess(record, flow_rng);
     }
     metrics_.nns_assessed->inc();
     if (verdict.nns->anomalous) {

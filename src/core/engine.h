@@ -16,7 +16,6 @@
 #include "netflow/v5.h"
 #include "obs/metrics.h"
 #include "obs/pipeline.h"
-#include "util/rng.h"
 
 namespace infilter::core {
 
@@ -34,6 +33,14 @@ struct EngineConfig {
   /// Ablation switches (both true reproduces the paper's EI pipeline).
   bool use_scan_analysis = true;
   bool use_nns = true;
+  /// Seeds the NNS probe randomness. The probe RNG is derived *per flow*
+  /// from (seed, flow fields), never from a sequential stream, so a
+  /// flow's verdict depends only on the engine's configuration, its
+  /// trained clusters, and the previously processed flows that share the
+  /// verdict-relevant state keys (EIA learning: the flow's (ingress,
+  /// source /24); scan analysis: the whole suspect buffer) -- not on how
+  /// many unrelated flows happened to be processed first. The sharded
+  /// runtime (src/runtime) relies on this for serial-equivalence.
   std::uint64_t seed = 1;
   /// External metrics registry (not owned). Null: the engine creates a
   /// private registry, reachable via registry(). The engine registers
@@ -114,7 +121,6 @@ class InFilterEngine {
   EiaTable eia_;
   ScanAnalysis scan_;
   std::shared_ptr<const TrainedClusters> clusters_;
-  util::Rng rng_;
   std::unique_ptr<obs::Registry> owned_registry_;  ///< when config.registry == null
   obs::Registry* registry_;                        ///< never null
   obs::PipelineMetrics metrics_;

@@ -103,6 +103,32 @@ const HistogramSnapshot* RegistrySnapshot::histogram(std::string_view name) cons
   return &*metric->histogram;
 }
 
+RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& snapshots) {
+  RegistrySnapshot out;
+  for (const auto& snapshot : snapshots) {
+    for (const auto& metric : snapshot.metrics) {
+      auto it = std::lower_bound(
+          out.metrics.begin(), out.metrics.end(), metric.name,
+          [](const MetricSnapshot& m, const std::string& n) { return m.name < n; });
+      if (it == out.metrics.end() || it->name != metric.name) {
+        out.metrics.insert(it, metric);
+        continue;
+      }
+      if (it->kind != metric.kind) continue;  // name collision across kinds
+      it->value += metric.value;
+      if (it->histogram.has_value() && metric.histogram.has_value() &&
+          it->histogram->bounds == metric.histogram->bounds) {
+        for (std::size_t b = 0; b < it->histogram->counts.size(); ++b) {
+          it->histogram->counts[b] += metric.histogram->counts[b];
+        }
+        it->histogram->count += metric.histogram->count;
+        it->histogram->sum += metric.histogram->sum;
+      }
+    }
+  }
+  return out;
+}
+
 Registry::Entry* Registry::find_entry(std::string_view name) {
   for (auto& entry : entries_) {
     if (entry.name == name) return &entry;

@@ -139,6 +139,16 @@ struct RegistrySnapshot {
   [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
 };
 
+/// Merges snapshots metric-by-metric into one registry view -- how the
+/// sharded runtime (src/runtime) presents N per-shard registries as a
+/// single scrape. Counters and gauges sum (a summed gauge reads as the
+/// fleet total: queue depths add; per-shard EIA range counts add across
+/// the shard replicas). Histograms with identical bounds merge bucket-wise;
+/// on a bounds mismatch the first snapshot's histogram wins. Name, help,
+/// and kind come from the first snapshot that mentions the metric.
+[[nodiscard]] RegistrySnapshot merge_snapshots(
+    const std::vector<RegistrySnapshot>& snapshots);
+
 /// Owns metrics by name. Registration is idempotent: re-registering a name
 /// returns the existing instrument, so independent components can share
 /// one registry without coordination. Returned references stay valid for

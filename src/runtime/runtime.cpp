@@ -1,0 +1,289 @@
+#include "runtime/runtime.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "util/rng.h"
+
+namespace infilter::runtime {
+namespace {
+
+/// Spins before a worker parks: long enough to ride out the dispatcher
+/// refilling the ring, short enough that an idle runtime burns no core.
+constexpr int kIdleSpins = 64;
+/// Dispatcher-side nap while a full ring drains under kBlock.
+constexpr auto kBackpressureNap = std::chrono::microseconds(50);
+
+core::EngineConfig shard_engine_config(const RuntimeConfig& config) {
+  core::EngineConfig engine = config.engine;
+  // Private per-shard registry: merged views come from snapshot(), and an
+  // external registry must never outlive callbacks into a dead shard.
+  engine.registry = nullptr;
+  return engine;
+}
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
+                               VerdictHook hook)
+    : config_(std::move(config)),
+      sink_(sink),
+      hook_(std::move(hook)),
+      owned_registry_(config_.registry != nullptr
+                          ? nullptr
+                          : std::make_unique<obs::Registry>()),
+      registry_(config_.registry != nullptr ? config_.registry
+                                            : owned_registry_.get()) {
+  assert(config_.shards >= 1);
+  assert(config_.max_batch >= 1);
+
+  submitted_ = &registry_->counter("infilter_runtime_submitted_total",
+                                   "Flows offered to the dispatcher");
+  dropped_ = &registry_->counter(
+      "infilter_runtime_dropped_total",
+      "Flows shed because a shard ring stayed full (kDrop policy)");
+  backpressure_waits_ = &registry_->counter(
+      "infilter_runtime_backpressure_waits_total",
+      "Dispatcher stalls waiting for a full shard ring to drain (kBlock)");
+  batches_ = &registry_->counter("infilter_runtime_batches_total",
+                                 "Worker dequeue batches");
+  batch_size_ = &registry_->histogram(
+      "infilter_runtime_batch_size",
+      obs::Histogram::exponential_bounds(1.0, 2.0, 10),
+      "Flows claimed per worker dequeue batch");
+  registry_->gauge_fn(
+      "infilter_runtime_shards",
+      [this] { return static_cast<double>(shards_.size()); },
+      "Worker threads / engine shards");
+  registry_->gauge_fn(
+      "infilter_runtime_queued",
+      [this] {
+        std::size_t queued = 0;
+        for (const auto& shard : shards_) queued += shard->ring->size();
+        return static_cast<double>(queued);
+      },
+      "Flows currently sitting in shard rings");
+
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring = std::make_unique<SpscRing<FlowItem>>(config_.queue_depth);
+    shard->engine = std::make_unique<core::InFilterEngine>(
+        shard_engine_config(config_), sink != nullptr ? &sink_ : nullptr);
+    shards_.push_back(std::move(shard));
+  }
+  // Engines first, threads second: a worker must never observe a
+  // half-constructed shard vector.
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, raw = shard.get()] { worker_main(*raw); });
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() { shutdown(); }
+
+void ShardedRuntime::add_expected(core::IngressId ingress,
+                                  const net::Prefix& prefix) {
+  for (auto& shard : shards_) shard->engine->add_expected(ingress, prefix);
+}
+
+void ShardedRuntime::set_clusters(
+    std::shared_ptr<const core::TrainedClusters> clusters) {
+  for (auto& shard : shards_) shard->engine->set_clusters(clusters);
+}
+
+void ShardedRuntime::train(std::span<const netflow::V5Record> normal_flows) {
+  // Train once, share everywhere -- the paper builds the NNS structures
+  // once "prior to the experiment runs"; N shards retraining N times would
+  // multiply the most expensive setup step for identical results.
+  set_clusters(std::make_shared<const core::TrainedClusters>(
+      normal_flows, config_.engine.cluster, config_.engine.seed));
+}
+
+std::size_t ShardedRuntime::shard_of(core::IngressId ingress,
+                                     net::IPv4Address source,
+                                     std::size_t shards) {
+  // The EIA auto-learning key (eia.cpp): ingress in the high word, the
+  // source /24 in the low. Hashing exactly this key colocates every flow
+  // that can touch one learning counter or one learned /24.
+  const std::uint64_t key =
+      (std::uint64_t{ingress} << 32) | (source.value() & 0xFFFFFF00u);
+  return util::SplitMix64{key}.next() % shards;
+}
+
+void ShardedRuntime::wake(Shard& shard) {
+  if (shard.parked.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(shard.wake_mutex);
+    shard.wake_cv.notify_one();
+  }
+}
+
+bool ShardedRuntime::push_with_backpressure(Shard& shard, const FlowItem& item) {
+  if (shard.ring->try_push(item)) return true;
+  if (config_.backpressure == BackpressurePolicy::kDrop) {
+    dropped_->inc();
+    return false;
+  }
+  backpressure_waits_->inc();
+  for (;;) {
+    // The ring is full, so the worker cannot be parked for long -- but it
+    // may have parked in the instant before our failed push; wake it.
+    wake(shard);
+    std::this_thread::sleep_for(kBackpressureNap);
+    if (shard.ring->try_push(item)) return true;
+  }
+}
+
+std::size_t ShardedRuntime::push_batch_with_backpressure(
+    Shard& shard, std::span<const FlowItem> items) {
+  std::size_t accepted = 0;
+  while (accepted < items.size()) {
+    const std::size_t pushed =
+        shard.ring->try_push_batch(items.subspan(accepted));
+    accepted += pushed;
+    if (pushed > 0) wake(shard);
+    if (accepted == items.size()) break;
+    if (config_.backpressure == BackpressurePolicy::kDrop) {
+      dropped_->inc(items.size() - accepted);
+      break;
+    }
+    backpressure_waits_->inc();
+    wake(shard);
+    std::this_thread::sleep_for(kBackpressureNap);
+  }
+  return accepted;
+}
+
+bool ShardedRuntime::submit(const netflow::V5Record& record,
+                            core::IngressId ingress, util::TimeMs now,
+                            std::uint64_t tag) {
+  submitted_->inc();
+  if (stopped_) {
+    dropped_->inc();
+    return false;
+  }
+  Shard& shard = *shards_[shard_of(ingress, record.src_ip, shards_.size())];
+  if (!push_with_backpressure(shard, FlowItem{record, ingress, now, tag})) {
+    return false;
+  }
+  shard.enqueued.fetch_add(1, std::memory_order_relaxed);
+  wake(shard);
+  return true;
+}
+
+std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
+  submitted_->inc(items.size());
+  if (stopped_) {
+    dropped_->inc(items.size());
+    return 0;
+  }
+  // Bucket per shard, then push each bucket with one batched ring
+  // operation; the scratch buckets are rebuilt per call (the dispatcher is
+  // one thread, so a member scratch would buy little and cost clarity).
+  std::vector<std::vector<FlowItem>> buckets(shards_.size());
+  for (const FlowItem& item : items) {
+    buckets[shard_of(item.ingress, item.record.src_ip, shards_.size())]
+        .push_back(item);
+  }
+  std::size_t accepted = 0;
+  for (std::size_t s = 0; s < buckets.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const std::size_t pushed = push_batch_with_backpressure(shard, buckets[s]);
+    shard.enqueued.fetch_add(pushed, std::memory_order_relaxed);
+    accepted += pushed;
+  }
+  return accepted;
+}
+
+void ShardedRuntime::worker_main(Shard& shard) {
+  std::vector<FlowItem> batch(config_.max_batch);
+  for (;;) {
+    const std::size_t n = shard.ring->try_pop_batch(batch.data(), batch.size());
+    if (n == 0) {
+      if (stopping_.load(std::memory_order_acquire) && shard.ring->empty()) break;
+      // Spin briefly (the dispatcher may be mid-refill), then park. The
+      // timed, predicate-guarded wait bounds any lost-wakeup window to one
+      // nap instead of risking a missed-notify deadlock.
+      bool refilled = false;
+      for (int spin = 0; spin < kIdleSpins; ++spin) {
+        if (!shard.ring->empty()) {
+          refilled = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (!refilled) {
+        std::unique_lock lock(shard.wake_mutex);
+        shard.parked.store(true, std::memory_order_seq_cst);
+        shard.wake_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+          return !shard.ring->empty() ||
+                 stopping_.load(std::memory_order_acquire);
+        });
+        shard.parked.store(false, std::memory_order_seq_cst);
+      }
+      continue;
+    }
+    batches_->inc();
+    batch_size_->observe(static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowItem& item = batch[i];
+      const core::Verdict verdict =
+          shard.engine->process(item.record, item.ingress, item.now);
+      if (hook_) hook_(item, verdict);
+    }
+    shard.processed.fetch_add(n, std::memory_order_release);
+  }
+}
+
+void ShardedRuntime::flush() {
+  for (auto& shard : shards_) {
+    while (shard->processed.load(std::memory_order_acquire) <
+           shard->enqueued.load(std::memory_order_relaxed)) {
+      wake(*shard);
+      std::this_thread::sleep_for(kBackpressureNap);
+    }
+  }
+}
+
+void ShardedRuntime::shutdown() {
+  if (stopped_) return;
+  flush();
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->wake_mutex);
+    shard->wake_cv.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  stopped_ = true;
+}
+
+RuntimeStats ShardedRuntime::stats() const {
+  RuntimeStats out;
+  out.submitted = submitted_->value();
+  out.dropped = dropped_->value();
+  out.backpressure_waits = backpressure_waits_->value();
+  out.batches = batches_->value();
+  for (const auto& shard : shards_) {
+    out.dispatched += shard->enqueued.load(std::memory_order_relaxed);
+    out.processed += shard->processed.load(std::memory_order_acquire);
+  }
+  return out;
+}
+
+const core::InFilterEngine& ShardedRuntime::shard_engine(std::size_t shard) const {
+  return *shards_[shard]->engine;
+}
+
+obs::RegistrySnapshot ShardedRuntime::snapshot() const {
+  std::vector<obs::RegistrySnapshot> parts;
+  parts.reserve(shards_.size() + 1);
+  parts.push_back(registry_->snapshot());
+  for (const auto& shard : shards_) {
+    parts.push_back(shard->engine->registry().snapshot());
+  }
+  return obs::merge_snapshots(parts);
+}
+
+}  // namespace infilter::runtime

@@ -1,0 +1,206 @@
+// The concurrent sharded detection runtime.
+//
+// A new layer between flow ingestion and the analysis engine: N worker
+// threads, each owning a private InFilterEngine (its own EIA table, scan
+// buffer, and metrics registry), fed by bounded SPSC rings from a single
+// dispatcher. The dispatcher hashes each flow's (ingress, source /24) to
+// a fixed shard, so every flow from one source -- and every flow sharing
+// that source's EIA auto-learning counter -- always reaches the same
+// engine. The paper's prototype sits at a POP border; this is the piece
+// that lets the same pipeline keep up with carrier-grade export rates.
+//
+// Semantics relative to one serial engine processing the same stream:
+//   * EIA: exact. The EIA check and Section 5.2 auto-learning key on
+//     (ingress, source /24) -- precisely the shard hash -- and each ring
+//     preserves dispatch order, so a shard engine sees the same
+//     state-relevant history a serial engine would.
+//   * NNS: exact. Trained clusters are shared immutable state and the
+//     probe RNG is derived per flow (core/engine.h), not from a stream.
+//   * Scan analysis: per-shard. The suspect buffer keys on *destination*
+//     (hosts-per-port / ports-per-host), so sharding by source splits it;
+//     verdicts remain deterministic for a fixed (seed, shard count) but
+//     can differ from the single-buffer serial engine. With one shard, or
+//     with scan analysis disabled, the whole pipeline is exactly
+//     serial-equivalent -- tests/test_runtime.cpp pins both properties.
+//
+// Threading contract: submit*/flush/shutdown and the training-phase calls
+// are single-dispatcher operations -- call them from one thread at a time
+// (the SPSC rings assume one producer). Alerts from all shards funnel
+// through one alert::SerializingSink, so any AlertSink works unmodified.
+// Workers spin briefly when idle, then park on a per-shard futex-style
+// condition variable; the dispatcher wakes a parked worker only when it
+// pushes into that worker's ring.
+//
+// Backpressure: when a shard's ring is full the dispatcher either blocks
+// (kBlock: waits for the worker to drain, counting the waits) or sheds the
+// flow (kDrop: counts it and returns false). Both counters are runtime
+// metrics, exported alongside the merged per-shard engine metrics.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "alert/idmef.h"
+#include "core/engine.h"
+#include "runtime/spsc_ring.h"
+
+namespace infilter::runtime {
+
+/// What the dispatcher does when a shard's ring is full.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,  ///< wait for the worker to drain (lossless, line-rate coupling)
+  kDrop,   ///< shed the flow and count it (bounded latency, lossy)
+};
+
+struct RuntimeConfig {
+  /// Worker threads / engine shards. Must be >= 1.
+  int shards = 4;
+  /// Per-shard ring capacity (rounded up to a power of two).
+  std::size_t queue_depth = 4096;
+  /// Worker-side dequeue batch: how many flows a worker claims per ring
+  /// pop. Amortizes the release/acquire pair over the batch.
+  std::size_t max_batch = 256;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Per-shard engine template. `engine.registry` is ignored: every shard
+  /// gets a private registry so snapshots never race engine teardown, and
+  /// snapshot() merges them. All shards share `engine.seed` -- with
+  /// per-flow NNS randomness, equal seeds are what make shard placement
+  /// invisible to verdicts.
+  core::EngineConfig engine;
+  /// Runtime-level metrics (dispatch, drops, queue occupancy) land here;
+  /// null = a runtime-private registry, still visible via snapshot().
+  obs::Registry* registry = nullptr;
+};
+
+/// Dispatcher/worker accounting, all monotone over the runtime's life.
+struct RuntimeStats {
+  std::uint64_t submitted = 0;           ///< flows offered to submit*()
+  std::uint64_t dispatched = 0;          ///< flows accepted into a ring
+  std::uint64_t dropped = 0;             ///< flows shed under kDrop
+  std::uint64_t backpressure_waits = 0;  ///< full-ring waits under kBlock
+  std::uint64_t processed = 0;           ///< flows through a shard engine
+  std::uint64_t batches = 0;             ///< worker dequeue batches
+};
+
+/// One unit of work: the arguments of InFilterEngine::process().
+struct FlowItem {
+  netflow::V5Record record;
+  core::IngressId ingress = 0;
+  util::TimeMs now = 0;
+  /// Opaque caller payload carried through to the VerdictHook (the
+  /// testbed stores a stream index here to join verdicts with ground
+  /// truth).
+  std::uint64_t tag = 0;
+};
+
+class ShardedRuntime {
+ public:
+  /// Called on the owning worker's thread after each flow is processed;
+  /// used by the testbed to score verdicts against ground truth. The
+  /// callable must be thread-safe (shards invoke it concurrently).
+  using VerdictHook =
+      std::function<void(const FlowItem& item, const core::Verdict& verdict)>;
+
+  /// Spawns the workers. `sink` (optional, not owned) receives every
+  /// shard's alerts, serialized and renumbered into one dense id sequence.
+  explicit ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink = nullptr,
+                          VerdictHook hook = nullptr);
+  /// Drains and joins (shutdown()).
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  // -- Training phase (fans out to every shard engine) --
+
+  /// Preloads an EIA entry into every shard's table.
+  void add_expected(core::IngressId ingress, const net::Prefix& prefix);
+  /// Installs one trained cluster set, shared (immutable) by all shards.
+  void set_clusters(std::shared_ptr<const core::TrainedClusters> clusters);
+  /// Trains once and shares the result across shards.
+  void train(std::span<const netflow::V5Record> normal_flows);
+
+  // -- Normal processing phase --
+
+  /// The shard a flow lands on: a SplitMix64 hash of (ingress, source
+  /// /24), the EIA auto-learning key, reduced mod `shards`.
+  [[nodiscard]] static std::size_t shard_of(core::IngressId ingress,
+                                            net::IPv4Address source,
+                                            std::size_t shards);
+
+  /// Enqueues one flow. Returns false only when the backpressure policy is
+  /// kDrop and the target ring stayed full.
+  bool submit(const netflow::V5Record& record, core::IngressId ingress,
+              util::TimeMs now, std::uint64_t tag = 0);
+  /// Enqueues a batch, amortizing the per-ring synchronization: items are
+  /// bucketed per shard, then each bucket is pushed with one batched ring
+  /// operation. Returns how many flows were accepted (all, under kBlock).
+  std::size_t submit_batch(std::span<const FlowItem> items);
+
+  /// Blocks until every dispatched flow has been processed. The dispatcher
+  /// must not submit concurrently (single-producer contract).
+  void flush();
+  /// flush(), then stops and joins the workers. Idempotent; further
+  /// submits are rejected (counted as dropped).
+  void shutdown();
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] RuntimeStats stats() const;
+  /// Direct access to a shard's engine, for tests and post-run inspection.
+  /// Do not call while workers are running (engines are not locked).
+  [[nodiscard]] const core::InFilterEngine& shard_engine(std::size_t shard) const;
+
+  /// One registry view: the runtime's own metrics merged with every
+  /// shard engine's registry (obs::merge_snapshots). Safe while workers
+  /// run (per-metric atomic reads); exact after flush().
+  [[nodiscard]] obs::RegistrySnapshot snapshot() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<SpscRing<FlowItem>> ring;
+    std::unique_ptr<core::InFilterEngine> engine;
+    std::thread worker;
+
+    /// Dispatcher-side count of flows pushed into `ring` (only the
+    /// dispatcher writes it; flush() compares against `processed`).
+    std::atomic<std::uint64_t> enqueued{0};
+    /// Worker-side count of flows fully processed.
+    std::atomic<std::uint64_t> processed{0};
+
+    // Park/wake handshake (see worker_main).
+    std::mutex wake_mutex;
+    std::condition_variable wake_cv;
+    std::atomic<bool> parked{false};
+  };
+
+  void worker_main(Shard& shard);
+  bool push_with_backpressure(Shard& shard, const FlowItem& item);
+  std::size_t push_batch_with_backpressure(Shard& shard,
+                                           std::span<const FlowItem> items);
+  void wake(Shard& shard);
+
+  RuntimeConfig config_;
+  alert::SerializingSink sink_;
+  VerdictHook hook_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+
+  std::unique_ptr<obs::Registry> owned_registry_;  ///< when config.registry == null
+  obs::Registry* registry_;                        ///< never null
+  obs::Counter* submitted_;
+  obs::Counter* dropped_;
+  obs::Counter* backpressure_waits_;
+  obs::Counter* batches_;
+  obs::Histogram* batch_size_;
+};
+
+}  // namespace infilter::runtime

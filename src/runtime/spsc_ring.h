@@ -1,0 +1,126 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The queue between the dispatcher and one shard worker (runtime.h). One
+// thread pushes, one thread pops; under that contract every operation is
+// wait-free: a slot index is a monotone position counter and the masked
+// remainder addresses the slot array, so full/empty tests are two loads.
+//
+// Layout discipline:
+//   * head_ (consumer position) and tail_ (producer position) live on
+//     separate cache lines so the producer's stores never invalidate the
+//     consumer's hot line and vice versa.
+//   * Each side keeps a cached copy of the other side's index and only
+//     re-reads the shared atomic when the cached value would make the
+//     operation fail -- the fast path of a push/pop touches no shared
+//     cache line at all (Rigtorp-style SPSC).
+//   * Batch push/pop amortize even those re-reads over whole spans, which
+//     is what lets the dispatcher keep up with several workers.
+//
+// Capacity is rounded up to a power of two so the position-to-slot map is
+// a mask, not a division.
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <span>
+
+namespace infilter::runtime {
+
+/// Size in bytes of a destructive-interference-free alignment. We avoid
+/// std::hardware_destructive_interference_size: libstdc++ warns that its
+/// value is ABI-fragile, and 64 is right for every target we build on.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is a lower bound; the ring rounds it up to a power of two
+  /// (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T[]>(capacity_)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T value) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: pushes a prefix of `items`, returning how many fit.
+  /// One release store publishes the whole batch.
+  std::size_t try_push_batch(std::span<const T> items) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity_ - (tail - cached_head_);
+    if (free < items.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - (tail - cached_head_);
+    }
+    const std::size_t n = free < items.size() ? free : items.size();
+    for (std::size_t i = 0; i < n; ++i) slots_[(tail + i) & mask_] = items[i];
+    if (n > 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops up to `max` items into `out`, returning the count.
+  /// One release store frees the whole batch for the producer.
+  std::size_t try_pop_batch(T* out, std::size_t max) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t available = cached_tail_ - head;
+    if (available < max) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      available = cached_tail_ - head;
+    }
+    const std::size_t n = available < max ? available : max;
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::move(slots_[(head + i) & mask_]);
+    if (n > 0) head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Either side: approximate occupancy (exact when the other side is
+  /// quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  ///< consumer position
+  alignas(kCacheLine) std::size_t cached_tail_{0};        ///< consumer's view of tail_
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< producer position
+  alignas(kCacheLine) std::size_t cached_head_{0};        ///< producer's view of head_
+};
+
+}  // namespace infilter::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace infilter::sim {
 namespace {
@@ -94,38 +95,16 @@ std::shared_ptr<const core::TrainedClusters> train_clusters(
                                                        config.seed);
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config,
-                                std::shared_ptr<const core::TrainedClusters> clusters) {
+TestbedStream generate_stream(const ExperimentConfig& config) {
   assert(config.sources > 0);
   assert(config.attacked_ingresses >= 0 && config.attacked_ingresses <= config.sources);
   util::Rng master{config.seed};
-
-  // Engine + EIA preload (Table 3). The run-local registry collects the
-  // pipeline metrics; it is snapshotted into the result before the engine
-  // (whose callbacks it holds) goes away.
-  obs::Registry registry;
-  core::EngineConfig engine_config = config.engine;
-  engine_config.seed = config.seed ^ 0xe191eULL;
-  if (engine_config.registry == nullptr) engine_config.registry = &registry;
-  core::InFilterEngine engine(engine_config);
-  for (int s = 0; s < config.sources; ++s) {
-    const auto port = static_cast<core::IngressId>(config.first_port + s);
-    const auto range = dagflow::eia_range(s, config.blocks_per_source);
-    for (int b = range.first.index(); b <= range.last.index(); ++b) {
-      engine.add_expected(port, net::SubBlock{b}.prefix());
-    }
-  }
-  const bool needs_clusters =
-      engine_config.mode == core::EngineMode::kEnhanced && engine_config.use_nns;
-  if (needs_clusters) {
-    if (!clusters) clusters = train_clusters(config);
-    engine.set_clusters(clusters);
-  }
+  TestbedStream out;
+  std::vector<dagflow::LabeledFlow>& stream = out.flows;
 
   // Normal traffic: one Dagflow per source, transitioning through the
   // route-change allocations simultaneously (Section 6.3.3).
   traffic::NormalTrafficModel model;
-  std::vector<dagflow::LabeledFlow> stream;
   const int allocation_count = std::max(1, config.allocations);
   for (int s = 0; s < config.sources; ++s) {
     util::Rng source_rng = master.fork(0x100 + static_cast<std::uint64_t>(s));
@@ -162,24 +141,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   // Attack sets (Sections 6.3.1/6.3.2): one instance of each of the 12
   // attacks per attacked ingress, scaled so the attack-flow volume is the
   // configured fraction of the ingress's normal volume.
-  ExperimentResult result;
   const double target_flows =
       config.attack_volume * static_cast<double>(config.normal_flows_per_source);
   traffic::AttackConfig attack_config;
   attack_config.intensity = target_flows / kBaselineAttackSetFlows;
   attack_config.companion_fraction = config.companion_fraction;
-
-  struct InstanceKey {
-    int ingress;
-    traffic::AttackKind kind;
-    auto operator<=>(const InstanceKey&) const = default;
-  };
-  struct InstanceState {
-    bool detected = false;
-    util::TimeMs first_flow = ~util::TimeMs{0};
-    util::TimeMs first_alert = 0;
-  };
-  std::map<InstanceKey, InstanceState> instance_detected;
 
   // Shared per-kind launch times for the synchronized stress replicas.
   // A single attack set (6.3.1) is twelve tools run one after another, so
@@ -218,7 +184,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
           spoof_pool(a, config, attack_rng), attack_rng());
       auto labeled = replayer.replay(trace);
       stream.insert(stream.end(), labeled.begin(), labeled.end());
-      instance_detected[InstanceKey{a, kind}] = InstanceState{};
+      out.instances.emplace_back(a, kind);
     }
   }
 
@@ -227,52 +193,165 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                    [](const dagflow::LabeledFlow& x, const dagflow::LabeledFlow& y) {
                      return x.record.last < y.record.last;
                    });
+  return out;
+}
 
-  for (const auto& flow : stream) {
-    const auto verdict =
-        engine.process(flow.record, flow.arrival_port, flow.record.last);
+namespace {
+
+/// Ground-truth accounting shared by the serial and runtime replay paths.
+/// Every reduction is order-independent (counts and min-aggregations), so
+/// scoring the same (flow, verdict) pairs in any interleaving -- the
+/// runtime's workers finish shards in nondeterministic order -- produces
+/// exactly the serial result. (first_alert as a min over alerting flows'
+/// export times equals the serial "first detected flow in replay order":
+/// the stream is sorted by record.last.)
+class Scorer {
+ public:
+  Scorer(const ExperimentConfig& config, const TestbedStream& stream)
+      : first_port_(config.first_port) {
+    for (const auto& [ingress, kind] : stream.instances) {
+      instances_[InstanceKey{ingress, kind}] = InstanceState{};
+    }
+  }
+
+  void score(const dagflow::LabeledFlow& flow, const core::Verdict& verdict) {
     if (verdict.attack) {
       switch (verdict.stage) {
-        case alert::DetectionStage::kEiaMismatch: ++result.alerts_eia; break;
-        case alert::DetectionStage::kScanAnalysis: ++result.alerts_scan; break;
-        case alert::DetectionStage::kNnsDistance: ++result.alerts_nns; break;
+        case alert::DetectionStage::kEiaMismatch: ++result_.alerts_eia; break;
+        case alert::DetectionStage::kScanAnalysis: ++result_.alerts_scan; break;
+        case alert::DetectionStage::kNnsDistance: ++result_.alerts_nns; break;
       }
     }
     if (flow.attack) {
-      ++result.attack_flows;
-      auto& instance = instance_detected[InstanceKey{
-          flow.arrival_port - config.first_port, flow.attack_kind}];
+      ++result_.attack_flows;
+      auto& instance = instances_[InstanceKey{
+          flow.arrival_port - first_port_, flow.attack_kind}];
       instance.first_flow = std::min(
           instance.first_flow, static_cast<util::TimeMs>(flow.record.first));
-      if (verdict.attack && !instance.detected) {
+      if (verdict.attack) {
         instance.detected = true;
-        instance.first_alert = flow.record.last;
+        instance.first_alert = std::min(
+            instance.first_alert, static_cast<util::TimeMs>(flow.record.last));
+        ++result_.detected_attack_flows;
       }
-      if (verdict.attack) ++result.detected_attack_flows;
     } else {
-      ++result.benign_flows;
-      if (verdict.attack) ++result.false_positives;
+      ++result_.benign_flows;
+      if (verdict.attack) ++result_.false_positives;
     }
   }
 
-  result.attack_instances = static_cast<int>(instance_detected.size());
-  double latency_sum = 0;
-  for (const auto& [key, instance] : instance_detected) {
-    const auto k = static_cast<std::size_t>(key.kind);
-    result.per_kind[k].first += 1;
-    if (instance.detected) {
-      ++result.detected_instances;
-      result.per_kind[k].second += 1;
-      latency_sum += instance.first_alert >= instance.first_flow
-                         ? static_cast<double>(instance.first_alert -
-                                               instance.first_flow)
-                         : 0.0;
+  /// Folds the per-instance states into the final result (metrics field
+  /// left to the caller).
+  [[nodiscard]] ExperimentResult finalize() {
+    ExperimentResult result = result_;
+    result.attack_instances = static_cast<int>(instances_.size());
+    double latency_sum = 0;
+    for (const auto& [key, instance] : instances_) {
+      const auto k = static_cast<std::size_t>(key.kind);
+      result.per_kind[k].first += 1;
+      if (instance.detected) {
+        ++result.detected_instances;
+        result.per_kind[k].second += 1;
+        latency_sum += instance.first_alert >= instance.first_flow
+                           ? static_cast<double>(instance.first_alert -
+                                                 instance.first_flow)
+                           : 0.0;
+      }
+    }
+    if (result.detected_instances > 0) {
+      result.mean_detection_latency_ms =
+          latency_sum / static_cast<double>(result.detected_instances);
+    }
+    return result;
+  }
+
+ private:
+  struct InstanceKey {
+    int ingress;
+    traffic::AttackKind kind;
+    auto operator<=>(const InstanceKey&) const = default;
+  };
+  struct InstanceState {
+    bool detected = false;
+    util::TimeMs first_flow = ~util::TimeMs{0};
+    util::TimeMs first_alert = ~util::TimeMs{0};
+  };
+
+  int first_port_;
+  std::map<InstanceKey, InstanceState> instances_;
+  ExperimentResult result_;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                std::shared_ptr<const core::TrainedClusters> clusters) {
+  TestbedStream stream = generate_stream(config);
+
+  core::EngineConfig engine_config = config.engine;
+  engine_config.seed = config.seed ^ 0xe191eULL;
+  const bool needs_clusters =
+      engine_config.mode == core::EngineMode::kEnhanced && engine_config.use_nns;
+  if (needs_clusters && !clusters) clusters = train_clusters(config);
+
+  Scorer scorer(config, stream);
+  ExperimentResult result;
+
+  if (config.runtime_shards > 0) {
+    // Concurrent replay: N shard engines behind bounded rings. Scoring
+    // happens on the worker threads, joined to ground truth through the
+    // FlowItem tag (a stream index) under one mutex -- the engines stay
+    // lock-free, only the accounting serializes.
+    runtime::RuntimeConfig runtime_config;
+    runtime_config.shards = config.runtime_shards;
+    runtime_config.queue_depth = config.runtime_queue_depth;
+    runtime_config.engine = engine_config;
+    std::mutex score_mutex;
+    runtime::ShardedRuntime runtime(
+        runtime_config, nullptr,
+        [&](const runtime::FlowItem& item, const core::Verdict& verdict) {
+          std::lock_guard lock(score_mutex);
+          scorer.score(stream.flows[item.tag], verdict);
+        });
+    for (int s = 0; s < config.sources; ++s) {
+      const auto port = static_cast<core::IngressId>(config.first_port + s);
+      const auto range = dagflow::eia_range(s, config.blocks_per_source);
+      for (int b = range.first.index(); b <= range.last.index(); ++b) {
+        runtime.add_expected(port, net::SubBlock{b}.prefix());
+      }
+    }
+    if (needs_clusters) runtime.set_clusters(clusters);
+    for (std::size_t i = 0; i < stream.flows.size(); ++i) {
+      const auto& flow = stream.flows[i];
+      runtime.submit(flow.record, flow.arrival_port, flow.record.last, i);
+    }
+    runtime.flush();
+    result = scorer.finalize();
+    result.metrics = runtime.snapshot();
+    return result;
+  }
+
+  // Serial replay (the paper's prototype). The run-local registry collects
+  // the pipeline metrics; it is snapshotted into the result before the
+  // engine (whose callbacks it holds) goes away.
+  obs::Registry registry;
+  if (engine_config.registry == nullptr) engine_config.registry = &registry;
+  core::InFilterEngine engine(engine_config);
+  for (int s = 0; s < config.sources; ++s) {
+    const auto port = static_cast<core::IngressId>(config.first_port + s);
+    const auto range = dagflow::eia_range(s, config.blocks_per_source);
+    for (int b = range.first.index(); b <= range.last.index(); ++b) {
+      engine.add_expected(port, net::SubBlock{b}.prefix());
     }
   }
-  if (result.detected_instances > 0) {
-    result.mean_detection_latency_ms =
-        latency_sum / static_cast<double>(result.detected_instances);
+  if (needs_clusters) engine.set_clusters(clusters);
+
+  for (const auto& flow : stream.flows) {
+    const auto verdict =
+        engine.process(flow.record, flow.arrival_port, flow.record.last);
+    scorer.score(flow, verdict);
   }
+  result = scorer.finalize();
   result.metrics = engine.registry().snapshot();
   return result;
 }

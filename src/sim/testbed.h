@@ -21,6 +21,7 @@
 #include "core/engine.h"
 #include "dagflow/dagflow.h"
 #include "obs/metrics.h"
+#include "runtime/runtime.h"
 #include "traffic/attacks.h"
 #include "traffic/normal.h"
 
@@ -85,6 +86,16 @@ struct ExperimentConfig {
   core::EngineConfig engine;
   std::size_t training_flows = 3000;
 
+  // -- Concurrent runtime (src/runtime) --
+  /// 0 replays through one serial engine (the paper's prototype); N >= 1
+  /// replays through a ShardedRuntime with N worker shards. Verdict
+  /// accounting is identical either way (the scorer aggregates with
+  /// order-independent min/count reductions); scan-stage verdicts can
+  /// differ from serial when N > 1 because each shard owns a private
+  /// suspect buffer (see runtime/runtime.h).
+  int runtime_shards = 0;
+  std::size_t runtime_queue_depth = 4096;
+
   std::uint64_t seed = 1;
 };
 
@@ -148,6 +159,20 @@ struct AveragedResult {
   double false_positive_rate = 0;
   int runs = 0;
 };
+
+/// One generated testbed workload: the labeled replay stream plus every
+/// launched attack instance (an instance can contribute zero flows under
+/// aggressive NetFlow sampling and must still count as launched).
+struct TestbedStream {
+  /// Normal + attack + companion flows, sorted by export time (record.last).
+  std::vector<dagflow::LabeledFlow> flows;
+  /// Launched (attacked-ingress index, attack kind) pairs.
+  std::vector<std::pair<int, traffic::AttackKind>> instances;
+};
+
+/// Generates the full Section 6 workload for `config` -- the stream
+/// run_experiment replays, also consumed directly by bench/throughput.
+[[nodiscard]] TestbedStream generate_stream(const ExperimentConfig& config);
 
 /// Builds the training traffic and trained clusters for a seed; shared
 /// across runs like the paper's pre-built NNS structures.

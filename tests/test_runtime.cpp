@@ -1,0 +1,375 @@
+// Tests for the concurrent sharded detection runtime (runtime/):
+// the SPSC ring's boundary behavior, the runtime's serial-equivalence and
+// self-determinism guarantees, backpressure accounting, and the
+// alert/metrics plumbing that makes N shards look like one engine.
+
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "sim/testbed.h"
+
+namespace infilter::runtime {
+namespace {
+
+// -- SpscRing --
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(3);
+  EXPECT_EQ(ring.capacity(), 4u);
+  SpscRing<int> big(1000);
+  EXPECT_EQ(big.capacity(), 1024u);
+}
+
+TEST(SpscRing, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.try_push(99));  // full
+
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(4));  // freed slot is reusable
+  for (int expect = 1; expect <= 4; ++expect) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FifoOrderAcrossManyWraparounds) {
+  SpscRing<int> ring(8);
+  int next_push = 0;
+  int next_pop = 0;
+  // Uneven push/pop rhythm so head and tail cross the wrap point at
+  // different offsets.
+  for (int round = 0; round < 1000; ++round) {
+    const int burst = 1 + round % 7;
+    for (int i = 0; i < burst; ++i) {
+      if (!ring.try_push(next_push)) break;
+      ++next_push;
+    }
+    int out = -1;
+    for (int i = 0; i < 1 + round % 5 && ring.try_pop(out); ++i) {
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  int out = -1;
+  while (ring.try_pop(out)) {
+    ASSERT_EQ(out, next_pop);
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, BatchedPushAcceptsOnlyFreeSpace) {
+  SpscRing<int> ring(4);
+  const int items[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.try_push_batch(items), 4u);  // capacity-bounded
+  EXPECT_EQ(ring.try_push_batch(items), 0u);  // full
+
+  int out[8] = {};
+  EXPECT_EQ(ring.try_pop_batch(out, 2), 2u);  // max-bounded
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(ring.try_pop_batch(out, 8), 2u);  // drains the rest
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 3);
+  EXPECT_EQ(ring.try_pop_batch(out, 8), 0u);  // empty
+}
+
+TEST(SpscRing, BatchedOpsPreserveOrderAcrossWraparound) {
+  SpscRing<int> ring(8);
+  std::vector<int> sent(64);
+  std::iota(sent.begin(), sent.end(), 0);
+  std::vector<int> received;
+  std::size_t pushed = 0;
+  int scratch[8];
+  while (received.size() < sent.size()) {
+    pushed += ring.try_push_batch(
+        std::span<const int>(sent).subspan(pushed, std::min<std::size_t>(
+                                                       3, sent.size() - pushed)));
+    const std::size_t got = ring.try_pop_batch(scratch, 5);
+    received.insert(received.end(), scratch, scratch + got);
+  }
+  EXPECT_EQ(received, sent);
+}
+
+TEST(SpscRing, ThreadedProducerConsumerDeliversEverythingInOrder) {
+  SpscRing<std::uint32_t> ring(64);
+  constexpr std::uint32_t kCount = 200000;
+  std::thread producer([&] {
+    std::uint32_t batch[16];
+    std::uint32_t next = 0;
+    while (next < kCount) {
+      const std::uint32_t n = std::min<std::uint32_t>(16, kCount - next);
+      for (std::uint32_t i = 0; i < n; ++i) batch[i] = next + i;
+      std::size_t sent = 0;
+      while (sent < n) {
+        sent += ring.try_push_batch(
+            std::span<const std::uint32_t>(batch + sent, n - sent));
+      }
+      next += n;
+    }
+  });
+  std::uint32_t expect = 0;
+  std::uint32_t out[32];
+  while (expect < kCount) {
+    const std::size_t n = ring.try_pop_batch(out, 32);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], expect);
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// -- merge_snapshots --
+
+TEST(MergeSnapshots, SumsCountersAndMergesEqualBoundHistograms) {
+  obs::Registry a;
+  obs::Registry b;
+  a.counter("flows").inc(3);
+  b.counter("flows").inc(4);
+  b.counter("only_b").inc(1);
+  a.histogram("lat", {1.0, 10.0}).observe(0.5);
+  b.histogram("lat", {1.0, 10.0}).observe(5.0);
+  b.histogram("lat", {1.0, 10.0}).observe(5.0);
+
+  const auto merged = obs::merge_snapshots({a.snapshot(), b.snapshot()});
+  EXPECT_DOUBLE_EQ(merged.value("flows"), 7.0);
+  EXPECT_DOUBLE_EQ(merged.value("only_b"), 1.0);
+  const auto* lat = merged.histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 3u);
+  EXPECT_DOUBLE_EQ(lat->sum, 10.5);
+  EXPECT_EQ(lat->counts[0], 1u);  // <= 1.0
+  EXPECT_EQ(lat->counts[1], 2u);  // <= 10.0
+}
+
+// -- SerializingSink --
+
+TEST(SerializingSink, RenumbersConcurrentAlertsDensely) {
+  alert::CollectingSink inner;
+  alert::SerializingSink sink(&inner);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        alert::Alert a;
+        a.id = static_cast<std::uint64_t>(t);  // shard-local ids collide
+        sink.consume(a);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(inner.alerts().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(sink.delivered(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::set<std::uint64_t> ids;
+  for (const auto& a : inner.alerts()) ids.insert(a.id);
+  EXPECT_EQ(ids.size(), inner.alerts().size());  // no collisions
+  EXPECT_EQ(*ids.begin(), 1u);                   // dense from 1
+  EXPECT_EQ(*ids.rbegin(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+// -- ShardedRuntime --
+
+sim::ExperimentConfig runtime_config() {
+  sim::ExperimentConfig c;
+  c.normal_flows_per_source = 1200;
+  c.training_flows = 500;
+  c.attack_volume = 0.04;
+  c.engine.cluster.bits_per_feature = 48;
+  c.seed = 77;
+  return c;
+}
+
+void expect_same_result(const sim::ExperimentResult& x,
+                        const sim::ExperimentResult& y) {
+  EXPECT_EQ(x.attack_instances, y.attack_instances);
+  EXPECT_EQ(x.detected_instances, y.detected_instances);
+  EXPECT_EQ(x.attack_flows, y.attack_flows);
+  EXPECT_EQ(x.detected_attack_flows, y.detected_attack_flows);
+  EXPECT_EQ(x.benign_flows, y.benign_flows);
+  EXPECT_EQ(x.false_positives, y.false_positives);
+  EXPECT_EQ(x.alerts_eia, y.alerts_eia);
+  EXPECT_EQ(x.alerts_scan, y.alerts_scan);
+  EXPECT_EQ(x.alerts_nns, y.alerts_nns);
+  EXPECT_DOUBLE_EQ(x.mean_detection_latency_ms, y.mean_detection_latency_ms);
+  for (std::size_t k = 0; k < x.per_kind.size(); ++k) {
+    EXPECT_EQ(x.per_kind[k], y.per_kind[k]) << "attack kind " << k;
+  }
+}
+
+TEST(ShardedRuntime, ShardOfIsStableAndCoversAllShards) {
+  const auto source = *net::IPv4Address::parse("10.1.2.3");
+  const auto s = ShardedRuntime::shard_of(9001, source, 4);
+  EXPECT_EQ(ShardedRuntime::shard_of(9001, source, 4), s);
+  // Same source /24 always lands together (the EIA learning key).
+  EXPECT_EQ(ShardedRuntime::shard_of(9001, *net::IPv4Address::parse("10.1.2.200"), 4), s);
+  std::set<std::size_t> seen;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    seen.insert(ShardedRuntime::shard_of(9001, net::IPv4Address{i << 8}, 4));
+  }
+  EXPECT_EQ(seen.size(), 4u);  // hash actually spreads over the shards
+}
+
+// With scan analysis off, every pipeline stage keys its state on data
+// colocated by the shard hash, so N shards must reproduce the serial
+// engine's verdicts *exactly* -- the runtime's headline guarantee.
+TEST(ShardedRuntime, ScanOffShardedExactlyMatchesSerial) {
+  auto config = runtime_config();
+  config.engine.use_scan_analysis = false;
+  const auto serial = run_experiment(config);
+  config.runtime_shards = 4;
+  config.runtime_queue_depth = 256;
+  const auto sharded = run_experiment(config);
+  expect_same_result(serial, sharded);
+  EXPECT_DOUBLE_EQ(sharded.metrics.value("infilter_runtime_dropped_total"), 0.0);
+}
+
+// With one shard, dispatch order == ring order == processing order, so the
+// whole pipeline (scan analysis included) is exactly serial.
+TEST(ShardedRuntime, OneShardFullPipelineExactlyMatchesSerial) {
+  auto config = runtime_config();
+  const auto serial = run_experiment(config);
+  config.runtime_shards = 1;
+  const auto sharded = run_experiment(config);
+  expect_same_result(serial, sharded);
+}
+
+// Scan analysis makes N > 1 shards diverge from serial (per-shard suspect
+// buffers), but a fixed (seed, shard count) must still be reproducible
+// run-over-run regardless of thread interleaving.
+TEST(ShardedRuntime, FullPipelineShardedIsSelfDeterministic) {
+  auto config = runtime_config();
+  config.runtime_shards = 3;
+  const auto first = run_experiment(config);
+  const auto second = run_experiment(config);
+  expect_same_result(first, second);
+}
+
+TEST(ShardedRuntime, MergedSnapshotAccountsForEveryFlow) {
+  auto config = runtime_config();
+  config.runtime_shards = 4;
+  const auto result = run_experiment(config);
+  // Per-shard engine counters merge into one coherent view.
+  EXPECT_DOUBLE_EQ(result.metrics.value("infilter_flows_total"),
+                   static_cast<double>(result.attack_flows + result.benign_flows));
+  EXPECT_DOUBLE_EQ(result.metrics.value("infilter_runtime_shards"), 4.0);
+  EXPECT_DOUBLE_EQ(
+      result.metrics.value("infilter_runtime_submitted_total"),
+      static_cast<double>(result.attack_flows + result.benign_flows));
+  EXPECT_GT(result.metrics.value("infilter_runtime_batches_total"), 0.0);
+}
+
+netflow::V5Record simple_flow(std::uint32_t salt) {
+  netflow::V5Record r;
+  r.src_ip = net::IPv4Address{(10u << 24) | (salt << 8)};
+  r.dst_ip = *net::IPv4Address::parse("100.64.0.1");
+  r.proto = 6;
+  r.src_port = 40000;
+  r.dst_port = 80;
+  r.packets = 10;
+  r.bytes = 5000;
+  r.first = salt;
+  r.last = salt + 10;
+  return r;
+}
+
+TEST(ShardedRuntime, DropPolicyShedsAndCountsWhenRingsStayFull) {
+  RuntimeConfig config;
+  config.shards = 1;
+  config.queue_depth = 2;
+  config.backpressure = BackpressurePolicy::kDrop;
+  config.engine.mode = core::EngineMode::kBasic;
+  // A slow hook keeps the single worker busy so the tiny ring fills.
+  ShardedRuntime rt(config, nullptr,
+                    [](const FlowItem&, const core::Verdict&) {
+                      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                    });
+  constexpr std::uint64_t kFlows = 64;
+  std::uint64_t accepted = 0;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    accepted += rt.submit(simple_flow(i), 9001, i) ? 1 : 0;
+  }
+  rt.flush();
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.submitted, kFlows);
+  EXPECT_EQ(stats.dispatched, accepted);
+  EXPECT_EQ(stats.processed, accepted);
+  EXPECT_EQ(stats.dropped, kFlows - accepted);
+  EXPECT_GT(stats.dropped, 0u);  // 64 x 2ms against a depth-2 ring must shed
+  EXPECT_EQ(stats.backpressure_waits, 0u);
+}
+
+TEST(ShardedRuntime, BlockPolicyLosesNothingThroughTinyRings) {
+  RuntimeConfig config;
+  config.shards = 2;
+  config.queue_depth = 2;
+  config.backpressure = BackpressurePolicy::kBlock;
+  config.engine.mode = core::EngineMode::kBasic;
+  ShardedRuntime rt(config);
+  constexpr std::uint64_t kFlows = 2000;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    EXPECT_TRUE(rt.submit(simple_flow(i), 9001, i));
+  }
+  rt.flush();
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.dispatched, kFlows);
+  EXPECT_EQ(stats.processed, kFlows);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(ShardedRuntime, ShutdownIsIdempotentAndRejectsLateSubmits) {
+  RuntimeConfig config;
+  config.shards = 2;
+  config.engine.mode = core::EngineMode::kBasic;
+  ShardedRuntime rt(config);
+  EXPECT_TRUE(rt.submit(simple_flow(1), 9001, 1));
+  rt.shutdown();
+  rt.shutdown();
+  EXPECT_FALSE(rt.submit(simple_flow(2), 9001, 2));
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.processed, 1u);
+  EXPECT_EQ(stats.dropped, 1u);
+}
+
+TEST(ShardedRuntime, AlertsFromAllShardsArriveWithDenseIds) {
+  RuntimeConfig config;
+  config.shards = 4;
+  config.queue_depth = 128;
+  config.engine.mode = core::EngineMode::kBasic;  // every flow alerts (no EIA)
+  alert::CollectingSink ui;
+  ShardedRuntime rt(config, &ui);
+  constexpr std::uint64_t kFlows = 500;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    rt.submit(simple_flow(i), 9001, i);
+  }
+  rt.shutdown();
+  ASSERT_EQ(ui.alerts().size(), kFlows);
+  std::set<std::uint64_t> ids;
+  for (const auto& a : ui.alerts()) ids.insert(a.id);
+  EXPECT_EQ(ids.size(), kFlows);
+  EXPECT_EQ(*ids.begin(), 1u);
+  EXPECT_EQ(*ids.rbegin(), kFlows);
+}
+
+}  // namespace
+}  // namespace infilter::runtime

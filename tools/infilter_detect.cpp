@@ -12,11 +12,16 @@
 //                   [--mode basic|enhanced] [--ascii] [--idmef]
 //                   [--bits 144]          # unary bits/feature (d = 5*bits)
 //                   [--buffer 200] [--learn 5]
+//                   [--threads N]         # 0 (default) = serial engine;
+//                                         # N >= 1 = sharded runtime
+//                   [--queue-depth 4096] [--backpressure block|drop]
 //                   [--metrics-out FILE]  # metrics dump: JSON when FILE
 //                                         # ends in .json, else Prometheus
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "core/eia_io.h"
@@ -26,6 +31,7 @@
 #include "flowtools/ascii.h"
 #include "flowtools/capture.h"
 #include "obs/export.h"
+#include "runtime/runtime.h"
 #include "util/args.h"
 
 using namespace infilter;
@@ -71,9 +77,45 @@ int main(int argc, char** argv) {
   config.eia.learn_threshold = static_cast<int>(args.int_or("learn", 5));
   config.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
 
+  const int threads = static_cast<int>(args.int_or("threads", 0));
+  runtime::RuntimeConfig runtime_config;
+  runtime_config.shards = threads;
+  runtime_config.queue_depth =
+      static_cast<std::size_t>(args.int_or("queue-depth", 4096));
+  const auto backpressure = args.value_or("backpressure", "block");
+  if (backpressure == "drop") {
+    runtime_config.backpressure = runtime::BackpressurePolicy::kDrop;
+  } else if (backpressure != "block") {
+    return fail("--backpressure must be block or drop");
+  }
+  runtime_config.engine = config;
+  if (threads > 0 && args.value("dump-eia")) {
+    // Auto-learned entries are spread over the shard tables; there is no
+    // single EIA set to persist. Re-run serially to dump.
+    return fail("--dump-eia requires the serial engine (--threads 0)");
+  }
+
   alert::CollectingSink ui;
   core::TracebackEngine traceback(core::TracebackConfig{}, &ui);
-  core::InFilterEngine engine(config, &traceback);
+  std::optional<core::InFilterEngine> engine;
+  std::optional<runtime::ShardedRuntime> rt;
+  std::atomic<std::uint64_t> rt_suspects{0};
+  std::atomic<std::uint64_t> rt_attacks{0};
+  if (threads > 0) {
+    rt.emplace(runtime_config, &traceback,
+               [&](const runtime::FlowItem&, const core::Verdict& verdict) {
+                 if (verdict.suspect)
+                   rt_suspects.fetch_add(1, std::memory_order_relaxed);
+                 if (verdict.attack)
+                   rt_attacks.fetch_add(1, std::memory_order_relaxed);
+               });
+  } else {
+    engine.emplace(config, &traceback);
+  }
+  const auto add_expected = [&](core::IngressId ingress, const net::Prefix& prefix) {
+    if (rt) rt->add_expected(ingress, prefix);
+    else engine->add_expected(ingress, prefix);
+  };
 
   // EIA preloads: a text config if given, otherwise the Table 3 defaults.
   if (const auto eia_path = args.value("eia")) {
@@ -85,7 +127,7 @@ int main(int argc, char** argv) {
     if (!imported) return fail(imported.error().message);
     for (const auto ingress : imported->ingresses()) {
       for (const auto& prefix : imported->set_for(ingress)->to_cidrs()) {
-        engine.add_expected(ingress, prefix);
+        add_expected(ingress, prefix);
       }
     }
     std::printf("loaded EIA sets for %zu ingress points from %s\n",
@@ -93,7 +135,7 @@ int main(int argc, char** argv) {
   } else {
     for (int s = 0; s < 10; ++s) {
       for (const auto& block : dagflow::eia_range(s).expand()) {
-        engine.add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
+        add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
       }
     }
   }
@@ -108,25 +150,45 @@ int main(int argc, char** argv) {
     std::vector<netflow::V5Record> records;
     records.reserve(training->size());
     for (const auto& flow : *training) records.push_back(flow.record);
-    engine.train(records);
+    if (rt) rt->train(records);
+    else engine->train(records);
+    const auto& clusters = rt ? rt->shard_engine(0).clusters() : engine->clusters();
     std::printf("trained on %zu flows (d = %d)\n", records.size(),
-                engine.clusters()->dimension());
+                clusters->dimension());
   }
 
   std::uint64_t attacks = 0;
   std::uint64_t suspects = 0;
-  for (const auto& flow : *flows) {
-    const auto verdict =
-        engine.process(flow.record, flow.arrival_port, flow.record.last);
-    suspects += verdict.suspect ? 1 : 0;
-    attacks += verdict.attack ? 1 : 0;
+  if (rt) {
+    for (const auto& flow : *flows) {
+      rt->submit(flow.record, flow.arrival_port, flow.record.last);
+    }
+    // Drain and join: every counter and the merged snapshot become final.
+    rt->shutdown();
+    suspects = rt_suspects.load(std::memory_order_relaxed);
+    attacks = rt_attacks.load(std::memory_order_relaxed);
+  } else {
+    for (const auto& flow : *flows) {
+      const auto verdict =
+          engine->process(flow.record, flow.arrival_port, flow.record.last);
+      suspects += verdict.suspect ? 1 : 0;
+      attacks += verdict.attack ? 1 : 0;
+    }
   }
 
   std::printf("%zu flows analyzed: %llu suspects, %llu flagged as attacks\n",
               flows->size(), static_cast<unsigned long long>(suspects),
               static_cast<unsigned long long>(attacks));
   {
-    const auto snapshot = engine.registry().snapshot();
+    const auto snapshot = rt ? rt->snapshot() : engine->registry().snapshot();
+    if (rt) {
+      std::printf(
+          "runtime: %d shard(s), %.0f dispatched batches, %.0f dropped, "
+          "%.0f backpressure waits\n",
+          threads, snapshot.value("infilter_runtime_batches_total"),
+          snapshot.value("infilter_runtime_dropped_total"),
+          snapshot.value("infilter_runtime_backpressure_waits_total"));
+    }
     const auto* latency = snapshot.histogram("infilter_process_latency_us");
     if (latency != nullptr && latency->count > 0) {
       std::printf("per-flow latency: p50 %.2fus p95 %.2fus p99 %.2fus\n",
@@ -155,7 +217,7 @@ int main(int argc, char** argv) {
   if (const auto dump_path = args.value("dump-eia")) {
     std::ofstream out(*dump_path);
     if (!out) return fail("cannot open " + *dump_path);
-    out << core::export_eia(engine.eia());
+    out << core::export_eia(engine->eia());
     std::printf("wrote EIA sets to %s\n", dump_path->c_str());
   }
   return 0;

@@ -9,6 +9,9 @@
 //   infilter-monitor --train TRAIN_FILE [--ports 9001,...]
 //                    [--eia EIA_FILE] [--mode basic|enhanced]
 //                    [--duration-ms 30000] [--idmef]
+//                    [--threads N]         # 0 (default) = inline analysis;
+//                                          # N >= 1 = sharded runtime
+//                    [--queue-depth 4096]
 //                    [--metrics-out FILE]  # final metrics dump: JSON when
 //                                          # FILE ends in .json, else
 //                                          # Prometheus text format
@@ -87,6 +90,8 @@ int main(int argc, char** argv) {
   }
   const auto mode = args.value_or("mode", "enhanced");
   if (mode == "basic") config.engine.mode = core::EngineMode::kBasic;
+  config.threads = static_cast<int>(args.int_or("threads", 0));
+  config.queue_depth = static_cast<std::size_t>(args.int_or("queue-depth", 4096));
 
   ConsoleSink console(args.has("idmef"));
   auto node = app::InFilterNode::create(config, &console);
@@ -126,7 +131,12 @@ int main(int argc, char** argv) {
     (*node)->train(records);
     std::printf("trained on %zu flows; ", records.size());
   }
-  std::printf("monitoring %zu collector port(s)\n", (*node)->ports().size());
+  if (config.threads > 0) {
+    std::printf("monitoring %zu collector port(s) with %d worker shard(s)\n",
+                (*node)->ports().size(), (*node)->threads());
+  } else {
+    std::printf("monitoring %zu collector port(s)\n", (*node)->ports().size());
+  }
 
   const auto duration = args.int_or("duration-ms", 30000);
   std::int64_t elapsed = 0;
@@ -159,6 +169,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Runtime-backed: drain in-flight flows so the final numbers are exact.
+  (*node)->flush();
   const auto& stats = (*node)->stats();
   std::printf("\nfinal: %llu flows processed, %llu suspects, %llu attacks, "
               "%llu datagrams (%llu malformed, %llu flows lost)\n",
