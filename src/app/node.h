@@ -45,6 +45,10 @@ struct NodeConfig {
 
 /// Counters the monitor reports.
 struct NodeStats {
+  /// Serial mode: flows fully analyzed. Runtime mode: flows *accepted for
+  /// analysis* (dispatched to a shard ring, possibly still queued), while
+  /// suspects/attacks_flagged count completed flows -- so a live reading
+  /// can show fewer verdicts than flows. flush() reconciles them exactly.
   std::uint64_t flows_processed = 0;
   /// Flows shed by a full shard ring (threads > 0 with kDrop only).
   std::uint64_t dropped_flows = 0;
@@ -91,6 +95,8 @@ class InFilterNode {
   [[nodiscard]] obs::Registry& metrics_registry() { return *registry_ptr_; }
   /// Every metric of the node in one view; runtime-backed nodes merge the
   /// per-shard engine registries in (see ShardedRuntime::snapshot()).
+  /// Runtime mode: call from the polling thread only, and flush() first
+  /// for a complete view -- busy shards' engine registries are omitted.
   [[nodiscard]] obs::RegistrySnapshot metrics() const;
 
  private:

@@ -115,15 +115,22 @@ RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& snapshots)
         continue;
       }
       if (it->kind != metric.kind) continue;  // name collision across kinds
-      it->value += metric.value;
-      if (it->histogram.has_value() && metric.histogram.has_value() &&
-          it->histogram->bounds == metric.histogram->bounds) {
-        for (std::size_t b = 0; b < it->histogram->counts.size(); ++b) {
-          it->histogram->counts[b] += metric.histogram->counts[b];
+      if (metric.kind == MetricKind::kHistogram) {
+        // Merge only when the bucket layouts agree; on a mismatch the
+        // first snapshot's histogram stays fully intact (value included),
+        // never a sum of values over buckets from one contributor.
+        if (it->histogram.has_value() && metric.histogram.has_value() &&
+            it->histogram->bounds == metric.histogram->bounds) {
+          it->value += metric.value;
+          for (std::size_t b = 0; b < it->histogram->counts.size(); ++b) {
+            it->histogram->counts[b] += metric.histogram->counts[b];
+          }
+          it->histogram->count += metric.histogram->count;
+          it->histogram->sum += metric.histogram->sum;
         }
-        it->histogram->count += metric.histogram->count;
-        it->histogram->sum += metric.histogram->sum;
+        continue;
       }
+      it->value += metric.value;
     }
   }
   return out;

@@ -29,9 +29,7 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
     : config_(std::move(config)),
       sink_(sink),
       hook_(std::move(hook)),
-      owned_registry_(config_.registry != nullptr
-                          ? nullptr
-                          : std::make_unique<obs::Registry>()),
+      owned_registry_(std::make_unique<obs::Registry>()),
       registry_(config_.registry != nullptr ? config_.registry
                                             : owned_registry_.get()) {
   assert(config_.shards >= 1);
@@ -51,11 +49,18 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
       "infilter_runtime_batch_size",
       obs::Histogram::exponential_bounds(1.0, 2.0, 10),
       "Flows claimed per worker dequeue batch");
-  registry_->gauge_fn(
+  // `this`-capturing pull gauges always live in the runtime-private
+  // registry: obs::Registry has no unregistration, so installing them in a
+  // caller-supplied registry that outlives the runtime would leave a
+  // dangling callback behind (and, registration being idempotent, a second
+  // runtime sharing that registry could never replace it). snapshot()
+  // merges them in; only plain value instruments -- safe to read after the
+  // runtime dies -- go into the external registry above.
+  owned_registry_->gauge_fn(
       "infilter_runtime_shards",
       [this] { return static_cast<double>(shards_.size()); },
       "Worker threads / engine shards");
-  registry_->gauge_fn(
+  owned_registry_->gauge_fn(
       "infilter_runtime_queued",
       [this] {
         std::size_t queued = 0;
@@ -278,10 +283,24 @@ const core::InFilterEngine& ShardedRuntime::shard_engine(std::size_t shard) cons
 
 obs::RegistrySnapshot ShardedRuntime::snapshot() const {
   std::vector<obs::RegistrySnapshot> parts;
-  parts.reserve(shards_.size() + 1);
+  parts.reserve(shards_.size() + 2);
   parts.push_back(registry_->snapshot());
+  if (owned_registry_.get() != registry_) {
+    parts.push_back(owned_registry_->snapshot());
+  }
   for (const auto& shard : shards_) {
-    parts.push_back(shard->engine->registry().snapshot());
+    // A shard engine's registry holds pull gauges over plain (non-atomic)
+    // engine state -- the EIA pending map, the scan buffer -- that the
+    // worker mutates while processing. Sample a shard only when it is
+    // quiescent: every flow the dispatcher pushed has been fully
+    // processed, so the worker cannot touch the engine again before the
+    // dispatcher (the thread running this, per the contract) submits more.
+    // The acquire pairs with the worker's release of `processed`, making
+    // the engine writes visible to the snapshot.
+    if (shard->processed.load(std::memory_order_acquire) ==
+        shard->enqueued.load(std::memory_order_relaxed)) {
+      parts.push_back(shard->engine->registry().snapshot());
+    }
   }
   return obs::merge_snapshots(parts);
 }

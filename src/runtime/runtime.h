@@ -23,9 +23,10 @@
 //     with scan analysis disabled, the whole pipeline is exactly
 //     serial-equivalent -- tests/test_runtime.cpp pins both properties.
 //
-// Threading contract: submit*/flush/shutdown and the training-phase calls
-// are single-dispatcher operations -- call them from one thread at a time
-// (the SPSC rings assume one producer). Alerts from all shards funnel
+// Threading contract: submit*/flush/shutdown/snapshot and the
+// training-phase calls are single-dispatcher operations -- call them from
+// one thread at a time (the SPSC rings assume one producer, and snapshot
+// relies on no submit racing its per-shard quiescence checks). Alerts from all shards funnel
 // through one alert::SerializingSink, so any AlertSink works unmodified.
 // Workers spin briefly when idle, then park on a per-shard futex-style
 // condition variable; the dispatcher wakes a parked worker only when it
@@ -75,8 +76,12 @@ struct RuntimeConfig {
   /// per-flow NNS randomness, equal seeds are what make shard placement
   /// invisible to verdicts.
   core::EngineConfig engine;
-  /// Runtime-level metrics (dispatch, drops, queue occupancy) land here;
-  /// null = a runtime-private registry, still visible via snapshot().
+  /// Runtime-level value metrics (dispatch, drop, batch counters and
+  /// histograms) land here; null = a runtime-private registry. Pull gauges
+  /// that call back into the runtime (shard count, queue occupancy) always
+  /// stay runtime-private -- obs::Registry has no unregistration, so an
+  /// external registry that outlives the runtime must never hold a
+  /// callback into it. snapshot() merges both views either way.
   obs::Registry* registry = nullptr;
 };
 
@@ -158,9 +163,14 @@ class ShardedRuntime {
   /// Do not call while workers are running (engines are not locked).
   [[nodiscard]] const core::InFilterEngine& shard_engine(std::size_t shard) const;
 
-  /// One registry view: the runtime's own metrics merged with every
-  /// shard engine's registry (obs::merge_snapshots). Safe while workers
-  /// run (per-metric atomic reads); exact after flush().
+  /// One registry view: the runtime's own metrics merged with the shard
+  /// engines' registries (obs::merge_snapshots). A single-dispatcher
+  /// operation, like submit*. The runtime's own metrics (atomic
+  /// counters/histograms, ring occupancy) are always included; a shard
+  /// engine's registry -- whose pull gauges read plain engine state the
+  /// worker mutates -- is merged in only while that shard is quiescent
+  /// (every dispatched flow processed). Call flush() first for a complete,
+  /// exact view; a mid-stream snapshot silently omits busy shards.
   [[nodiscard]] obs::RegistrySnapshot snapshot() const;
 
  private:
@@ -194,8 +204,11 @@ class ShardedRuntime {
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
 
-  std::unique_ptr<obs::Registry> owned_registry_;  ///< when config.registry == null
-  obs::Registry* registry_;                        ///< never null
+  /// Always holds the `this`-capturing pull gauges (see
+  /// RuntimeConfig::registry); also the value-metric home when
+  /// config.registry == null.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;  ///< external or owned_registry_.get(); never null
   obs::Counter* submitted_;
   obs::Counter* dropped_;
   obs::Counter* backpressure_waits_;

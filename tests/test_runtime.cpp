@@ -159,6 +159,25 @@ TEST(MergeSnapshots, SumsCountersAndMergesEqualBoundHistograms) {
   EXPECT_EQ(lat->counts[1], 2u);  // <= 10.0
 }
 
+TEST(MergeSnapshots, BoundsMismatchKeepsFirstHistogramIntact) {
+  obs::Registry a;
+  obs::Registry b;
+  a.histogram("lat", {1.0, 10.0}).observe(0.5);
+  b.histogram("lat", {2.0, 20.0}).observe(5.0);
+  b.histogram("lat", {2.0, 20.0}).observe(15.0);
+
+  const auto merged = obs::merge_snapshots({a.snapshot(), b.snapshot()});
+  const auto* lat = merged.histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  // The first snapshot's histogram wins wholesale: no count/sum/bucket
+  // contribution from the incompatible layout leaks in.
+  EXPECT_EQ(lat->bounds, (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(lat->count, 1u);
+  EXPECT_DOUBLE_EQ(lat->sum, 0.5);
+  EXPECT_EQ(lat->counts[0], 1u);
+  EXPECT_EQ(lat->counts[1], 0u);
+}
+
 // -- SerializingSink --
 
 TEST(SerializingSink, RenumbersConcurrentAlertsDensely) {
@@ -291,6 +310,59 @@ netflow::V5Record simple_flow(std::uint32_t salt) {
   r.first = salt;
   r.last = salt + 10;
   return r;
+}
+
+// Mid-stream snapshots must not race worker engine state: runtime-level
+// metrics are always present, busy shards' engine registries are skipped,
+// and after flush() the merged view is complete. Run under
+// INFILTER_SANITIZE=thread this pins the absence of the data race.
+TEST(ShardedRuntime, LiveSnapshotSkipsBusyShardsAndIsCompleteAfterFlush) {
+  RuntimeConfig config;
+  config.shards = 2;
+  config.queue_depth = 64;
+  config.engine.mode = core::EngineMode::kBasic;
+  // A slow hook keeps workers mid-flow while the dispatcher snapshots.
+  ShardedRuntime rt(config, nullptr,
+                    [](const FlowItem&, const core::Verdict&) {
+                      std::this_thread::sleep_for(std::chrono::microseconds(200));
+                    });
+  constexpr std::uint32_t kFlows = 300;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    rt.submit(simple_flow(i), 9001, i);
+    if (i % 50 == 0) {
+      const auto live = rt.snapshot();
+      EXPECT_GE(live.value("infilter_runtime_submitted_total"),
+                static_cast<double>(i));
+      EXPECT_DOUBLE_EQ(live.value("infilter_runtime_shards"), 2.0);
+    }
+  }
+  rt.flush();
+  const auto drained = rt.snapshot();
+  EXPECT_DOUBLE_EQ(drained.value("infilter_flows_total"),
+                   static_cast<double>(kFlows));
+}
+
+// `this`-capturing pull gauges must not land in a caller-supplied registry:
+// it can outlive the runtime, and a snapshot taken afterwards would call a
+// dangling callback. Value counters (plain instruments) do land there and
+// stay readable after the runtime dies.
+TEST(ShardedRuntime, ExternalRegistryOutlivesRuntimeWithoutDanglingPulls) {
+  obs::Registry registry;
+  {
+    RuntimeConfig config;
+    config.shards = 2;
+    config.engine.mode = core::EngineMode::kBasic;
+    config.registry = &registry;
+    ShardedRuntime rt(config);
+    EXPECT_TRUE(rt.submit(simple_flow(1), 9001, 1));
+    rt.shutdown();
+    // While alive, snapshot() still exposes the private pull gauges.
+    EXPECT_DOUBLE_EQ(rt.snapshot().value("infilter_runtime_shards"), 2.0);
+  }
+  const auto after = registry.snapshot();
+  EXPECT_DOUBLE_EQ(after.value("infilter_runtime_submitted_total"), 1.0);
+  EXPECT_EQ(after.find("infilter_runtime_shards"), nullptr);
+  EXPECT_EQ(after.find("infilter_runtime_queued"), nullptr);
 }
 
 TEST(ShardedRuntime, DropPolicyShedsAndCountsWhenRingsStayFull) {

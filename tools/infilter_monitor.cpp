@@ -148,6 +148,10 @@ int main(int argc, char** argv) {
     elapsed += kSliceMs;
     const auto& stats = (*node)->stats();
     if (stats.flows_processed != last_processed && elapsed % 1000 < kSliceMs) {
+      // Runtime-backed: drain in-flight flows first, so the snapshot can
+      // safely merge every shard engine's registry and the printed
+      // flows/suspects/attacks agree with each other (serial: no-op).
+      (*node)->flush();
       const auto snapshot = (*node)->metrics();
       const auto* latency = snapshot.histogram("infilter_process_latency_us");
       if (latency != nullptr && latency->count > 0) {
