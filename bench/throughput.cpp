@@ -4,9 +4,11 @@
 // The paper's prototype analyzed one POP's NetFlow feed on one CPU; the
 // runtime is the piece that scales the identical pipeline across cores.
 // This bench replays one generated testbed stream (sim::generate_stream)
-// through (a) a single InFilterEngine and (b) a ShardedRuntime at several
-// shard counts, and writes BENCH_throughput.json: records/sec, speedup vs
-// serial, and the runtime's drop/backpressure counters. Speedups are only
+// through (a) a single InFilterEngine calling process() per flow, (b) the
+// same engine calling process_batch() in 256-flow chunks, and (c) a
+// ShardedRuntime at several shard counts, and writes BENCH_throughput.json:
+// records/sec, speedup vs serial, and the runtime's drop/backpressure
+// counters. Speedups are only
 // meaningful up to `hardware_threads` (reported in the JSON) -- on a
 // single-core host every shard count serializes onto one CPU and the
 // sharded numbers mostly measure dispatch overhead.
@@ -18,11 +20,13 @@
 //              [--queue-depth 4096]
 //              [--out BENCH_throughput.json]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,7 +42,8 @@ using namespace infilter;
 namespace {
 
 struct Measurement {
-  int shards = 0;  ///< 0 = serial engine
+  int shards = 0;       ///< 0 = serial engine
+  bool batched = false; ///< serial process_batch() instead of process()
   double seconds = 0;
   double records_per_sec = 0;
   std::uint64_t attacks = 0;  ///< attack verdicts, a cross-check vs serial
@@ -81,6 +86,42 @@ Measurement run_serial(const sim::ExperimentConfig& config,
     const auto verdict =
         engine.process(flow.record, flow.arrival_port, flow.record.last);
     m.attacks += verdict.attack ? 1 : 0;
+  }
+  m.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  m.records_per_sec =
+      m.seconds > 0 ? static_cast<double>(stream.flows.size()) / m.seconds : 0;
+  return m;
+}
+
+Measurement run_serial_batch(const sim::ExperimentConfig& config,
+                             const sim::TestbedStream& stream,
+                             std::shared_ptr<const core::TrainedClusters> clusters) {
+  core::InFilterEngine engine(engine_config(config));
+  preload_eia(config, [&](core::IngressId ingress, const net::Prefix& prefix) {
+    engine.add_expected(ingress, prefix);
+  });
+  engine.set_clusters(std::move(clusters));
+
+  constexpr std::size_t kBatch = 256;
+  std::vector<core::FlowInput> inputs(kBatch);
+  std::vector<core::Verdict> verdicts(kBatch);
+
+  Measurement m;
+  m.batched = true;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t begin = 0; begin < stream.flows.size();) {
+    const std::size_t n = std::min(kBatch, stream.flows.size() - begin);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& flow = stream.flows[begin + i];
+      inputs[i].record = flow.record;
+      inputs[i].ingress = flow.arrival_port;
+      inputs[i].now = static_cast<util::TimeMs>(flow.record.last);
+    }
+    engine.process_batch(std::span(inputs).first(n), std::span(verdicts).first(n));
+    for (std::size_t i = 0; i < n; ++i) m.attacks += verdicts[i].attack ? 1 : 0;
+    begin += n;
   }
   m.seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - start)
@@ -143,14 +184,18 @@ Measurement run_sharded(const sim::ExperimentConfig& config,
 
 std::string to_json(const Measurement& m, double serial_rps) {
   std::string out = "    {";
-  out += m.shards == 0 ? "\"mode\": \"serial\""
-                       : "\"mode\": \"sharded\", \"shards\": " +
-                             std::to_string(m.shards);
+  if (m.shards > 0) {
+    out += "\"mode\": \"sharded\", \"shards\": " + std::to_string(m.shards);
+  } else {
+    out += m.batched ? "\"mode\": \"serial_batch\"" : "\"mode\": \"serial\"";
+  }
   out += ", \"seconds\": " + obs::format_number(m.seconds);
   out += ", \"records_per_sec\": " + obs::format_number(m.records_per_sec);
-  if (m.shards > 0 && serial_rps > 0) {
+  if ((m.shards > 0 || m.batched) && serial_rps > 0) {
     out += ", \"speedup_vs_serial\": " +
            obs::format_number(m.records_per_sec / serial_rps);
+  }
+  if (m.shards > 0 && serial_rps > 0) {
     out += ", \"dropped\": " + obs::format_number(static_cast<double>(m.dropped));
     out += ", \"backpressure_waits\": " +
            obs::format_number(static_cast<double>(m.backpressure_waits));
@@ -213,6 +258,14 @@ int main(int argc, char** argv) {
               serial.records_per_sec,
               static_cast<unsigned long long>(serial.attacks));
 
+  const auto serial_batch = run_serial_batch(config, stream, clusters);
+  std::printf("serial_batch: %.0f records/sec (%.2fx serial, %llu attack verdicts)\n",
+              serial_batch.records_per_sec,
+              serial.records_per_sec > 0
+                  ? serial_batch.records_per_sec / serial.records_per_sec
+                  : 0.0,
+              static_cast<unsigned long long>(serial_batch.attacks));
+
   std::vector<Measurement> sharded;
   for (const int shards : thread_counts) {
     sharded.push_back(run_sharded(config, stream, shards, queue_depth, clusters));
@@ -230,6 +283,7 @@ int main(int argc, char** argv) {
   doc += "  \"records\": " + std::to_string(stream.flows.size()) + ",\n";
   doc += "  \"runs\": [\n";
   doc += to_json(serial, 0);
+  doc += ",\n" + to_json(serial_batch, serial.records_per_sec);
   for (const auto& m : sharded) {
     doc += ",\n" + to_json(m, serial.records_per_sec);
   }

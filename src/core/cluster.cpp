@@ -119,6 +119,12 @@ nns::BitVector TrainedClusters::encode(const netflow::V5Record& record) const {
   return encoder_.encode(stats);
 }
 
+void TrainedClusters::encode_into(const netflow::V5Record& record,
+                                  nns::BitVector& out) const {
+  const auto stats = flowtools::FlowStats::from_record(record).as_array();
+  encoder_.encode_into(stats, out);
+}
+
 Subcluster TrainedClusters::bucket_of(const netflow::V5Record& record) const {
   return partition_by_protocol_ ? classify(record) : Subcluster::kTcp;
 }
@@ -140,6 +146,62 @@ TrainedClusters::Assessment TrainedClusters::assess(const netflow::V5Record& rec
   out.distance = match->distance;
   out.anomalous = match->distance > out.threshold;
   return out;
+}
+
+void TrainedClusters::assess_batch(std::span<const netflow::V5Record> records,
+                                   std::span<util::Rng> rngs,
+                                   std::span<Assessment> out,
+                                   BatchScratch& scratch) const {
+  assert(records.size() == rngs.size() && records.size() == out.size());
+  assessments_.fetch_add(records.size(), std::memory_order_relaxed);
+
+  // Gather: one encode per flow into the pooled query vectors, grouped by
+  // subcluster. The pools grow to the high-water batch size once and are
+  // reused verbatim afterwards (BitVector::reset keeps its buffer), so the
+  // steady-state encode path performs zero heap allocations.
+  for (auto& group : scratch.groups) group.count = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto cluster = bucket_of(records[i]);
+    auto& group = scratch.groups[static_cast<std::size_t>(cluster)];
+    const std::size_t at = group.count++;
+    if (group.queries.size() <= at) group.queries.emplace_back();
+    encode_into(records[i], group.queries[at]);
+    if (group.rngs.size() <= at) {
+      group.rngs.push_back(rngs[i]);
+      group.flow_ids.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      group.rngs[at] = rngs[i];
+      group.flow_ids[at] = static_cast<std::uint32_t>(i);
+    }
+    out[i].cluster = cluster;
+    out[i].threshold = thresholds_[static_cast<std::size_t>(cluster)];
+  }
+
+  // Probe: each subcluster's index sees its flows as one contiguous batch.
+  for (std::size_t c = 0; c < kSubclusterCount; ++c) {
+    auto& group = scratch.groups[c];
+    if (group.count == 0) continue;
+    if (group.matches.size() < group.count) group.matches.resize(group.count);
+    indexes_[c]->search_batch(
+        std::span<const nns::BitVector>(group.queries.data(), group.count),
+        std::span<std::optional<nns::NnsMatch>>(group.matches.data(), group.count),
+        std::span<util::Rng>(group.rngs.data(), group.count), scratch.nns);
+
+    // Scatter results (and advanced RNG state) back into batch order.
+    for (std::size_t j = 0; j < group.count; ++j) {
+      const std::size_t i = group.flow_ids[j];
+      rngs[i] = group.rngs[j];
+      const auto& match = group.matches[j];
+      if (!match.has_value()) {
+        no_neighbor_.fetch_add(1, std::memory_order_relaxed);
+        out[i].distance = -1;
+        out[i].anomalous = true;
+        continue;
+      }
+      out[i].distance = match->distance;
+      out[i].anomalous = match->distance > out[i].threshold;
+    }
+  }
 }
 
 std::size_t TrainedClusters::training_size(Subcluster cluster) const {

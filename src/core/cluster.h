@@ -67,6 +67,10 @@ class TrainedClusters {
   /// Encodes a record's five statistics into the unary flow point.
   [[nodiscard]] nns::BitVector encode(const netflow::V5Record& record) const;
 
+  /// Arena variant of encode(): reuses `out`'s buffer (no allocation once
+  /// `out` has been sized).
+  void encode_into(const netflow::V5Record& record, nns::BitVector& out) const;
+
   struct Assessment {
     bool anomalous = false;
     Subcluster cluster = Subcluster::kTcp;
@@ -80,6 +84,30 @@ class TrainedClusters {
   /// neighbor exists.
   [[nodiscard]] Assessment assess(const netflow::V5Record& record,
                                   util::Rng& rng) const;
+
+  /// Reusable working memory for assess_batch(): per-subcluster gather
+  /// arrays (pools that grow to the high-water batch size, then stop
+  /// allocating) plus the NNS-level scratch. One per processing thread.
+  struct BatchScratch {
+    struct Group {
+      std::vector<nns::BitVector> queries;
+      std::vector<util::Rng> rngs;
+      std::vector<std::optional<nns::NnsMatch>> matches;
+      std::vector<std::uint32_t> flow_ids;  ///< positions in the batch
+      std::size_t count = 0;
+    };
+    std::array<Group, kSubclusterCount> groups;
+    nns::NnsBatchScratch nns;
+  };
+
+  /// Batched assess: out[i] is exactly assess(records[i], rngs[i]) -- each
+  /// flow consumes its own RNG identically to the per-flow path -- and
+  /// rngs[i] is left in the same post-call state. Flows are gathered per
+  /// subcluster so each subcluster's index sees one contiguous batch.
+  /// Preconditions: records, rngs, and out have equal sizes.
+  void assess_batch(std::span<const netflow::V5Record> records,
+                    std::span<util::Rng> rngs, std::span<Assessment> out,
+                    BatchScratch& scratch) const;
 
   [[nodiscard]] int threshold(Subcluster cluster) const {
     return thresholds_[static_cast<std::size_t>(cluster)];

@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <cassert>
+
 #include "obs/stage_timer.h"
 #include "util/rng.h"
 
@@ -177,11 +179,158 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
   return verdict;
 }
 
+void InFilterEngine::process_batch(std::span<const FlowInput> flows,
+                                   std::span<Verdict> out) {
+  assert(flows.size() == out.size());
+  if (flows.empty()) return;
+  const double batch_start_us = obs::monotonic_us();
+  auto& scratch = batch_scratch_;
+  scratch.nns_ids.clear();
+  scratch.nns_records.clear();
+  scratch.nns_rngs.clear();
+  if (sink_ != nullptr) {
+    scratch.expected.assign(flows.size(), std::nullopt);
+  }
+
+  // Pass 1 -- the stateful stages, flow by flow in batch order (EIA
+  // learning and the scan buffer mutate state exactly as the per-flow path
+  // would). Flows that reach the NNS stage are gathered for pass 2; their
+  // expected-ingress alert context is snapshotted *here*, at the point the
+  // per-flow path would read it, before later flows can update the EIA
+  // table. Alerts are only recorded, not emitted, so the alert stream can
+  // be replayed in flow order in pass 3.
+  const bool degenerate_basic = config_.mode == EngineMode::kBasic ||
+                                !config_.use_nns || clusters_ == nullptr;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto& [record, ingress, now] = flows[i];
+    metrics_.flows_total->inc();
+    Verdict& verdict = out[i];
+    verdict = Verdict{};
+
+    bool expected;
+    {
+      obs::StageTimer timer(metrics_.stage_eia_us);
+      expected = eia_.is_expected(ingress, record.src_ip);
+    }
+    if (expected) {
+      metrics_.eia_hits->inc();
+      metrics_.verdict_legal->inc();
+      continue;
+    }
+    metrics_.eia_misses->inc();
+
+    verdict.suspect = true;
+    const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
+    if (learned) metrics_.eia_learned->inc();
+
+    if (config_.mode != EngineMode::kBasic && config_.use_scan_analysis) {
+      ScanVerdict scan;
+      {
+        obs::StageTimer timer(metrics_.stage_scan_us);
+        scan = scan_.observe(record);
+      }
+      metrics_.scan_analyzed->inc();
+      if (scan != ScanVerdict::kClean) {
+        (scan == ScanVerdict::kNetworkScan ? metrics_.scan_network
+                                           : metrics_.scan_host)
+            ->inc();
+        verdict.attack = true;
+        verdict.stage = alert::DetectionStage::kScanAnalysis;
+        metrics_.verdict_attack_scan->inc();
+        if (sink_ != nullptr) {
+          scratch.expected[i] = eia_.expected_ingress(record.src_ip);
+        }
+        continue;
+      }
+    }
+
+    if (degenerate_basic) {
+      verdict.attack = !learned;
+      verdict.stage = alert::DetectionStage::kEiaMismatch;
+      (verdict.attack ? metrics_.verdict_attack_eia
+                      : metrics_.verdict_cleared_learned)
+          ->inc();
+      if (verdict.attack && sink_ != nullptr) {
+        scratch.expected[i] = eia_.expected_ingress(record.src_ip);
+      }
+      continue;
+    }
+
+    scratch.nns_ids.push_back(static_cast<std::uint32_t>(i));
+    scratch.nns_records.push_back(record);
+    scratch.nns_rngs.emplace_back(flow_rng_seed(config_.seed, record));
+    if (sink_ != nullptr) {
+      scratch.expected[i] = eia_.expected_ingress(record.src_ip);
+    }
+  }
+
+  // Pass 2 -- the stateless NNS stage over the gathered flows as one
+  // batch. The stage histogram records the batch-amortized per-flow cost
+  // so its sample count still matches the per-flow path's.
+  if (const std::size_t assessed = scratch.nns_ids.size(); assessed > 0) {
+    if (scratch.nns_out.size() < assessed) scratch.nns_out.resize(assessed);
+    const double nns_start_us = obs::monotonic_us();
+    clusters_->assess_batch(
+        std::span<const netflow::V5Record>(scratch.nns_records.data(), assessed),
+        std::span<util::Rng>(scratch.nns_rngs.data(), assessed),
+        std::span<TrainedClusters::Assessment>(scratch.nns_out.data(), assessed),
+        scratch.clusters);
+    if (metrics_.stage_nns_us != nullptr) {
+      const double per_flow_us =
+          (obs::monotonic_us() - nns_start_us) / static_cast<double>(assessed);
+      for (std::size_t j = 0; j < assessed; ++j) {
+        metrics_.stage_nns_us->observe(per_flow_us);
+      }
+    }
+    for (std::size_t j = 0; j < assessed; ++j) {
+      Verdict& verdict = out[scratch.nns_ids[j]];
+      verdict.nns = scratch.nns_out[j];
+      metrics_.nns_assessed->inc();
+      if (verdict.nns->anomalous) {
+        metrics_.nns_anomalous->inc();
+        verdict.attack = true;
+        verdict.stage = alert::DetectionStage::kNnsDistance;
+        metrics_.verdict_attack_nns->inc();
+      } else {
+        metrics_.nns_normal->inc();
+        metrics_.verdict_cleared_nns->inc();
+      }
+    }
+  }
+
+  // Pass 3 -- alert emission in flow order: ids and contents match the
+  // per-flow stream exactly (the expected-ingress context was snapshotted
+  // in pass 1).
+  if (sink_ != nullptr) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (!out[i].attack) continue;
+      emit_alert_with(flows[i].record, flows[i].ingress, flows[i].now, out[i],
+                      scratch.expected[i]);
+    }
+  }
+
+  if (metrics_.process_us != nullptr) {
+    const double per_flow_us = (obs::monotonic_us() - batch_start_us) /
+                               static_cast<double>(flows.size());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      metrics_.process_us->observe(per_flow_us);
+    }
+  }
+}
+
 void InFilterEngine::emit_alert(const netflow::V5Record& record, IngressId ingress,
                                 util::TimeMs now, const Verdict& verdict) {
   // No sink, no alert: the verdict counters above already account for the
   // detection, and alert ids stay dense over *delivered* alerts.
   if (sink_ == nullptr) return;
+  emit_alert_with(record, ingress, now, verdict,
+                  eia_.expected_ingress(record.src_ip));
+}
+
+void InFilterEngine::emit_alert_with(const netflow::V5Record& record,
+                                     IngressId ingress, util::TimeMs now,
+                                     const Verdict& verdict,
+                                     std::optional<IngressId> expected) {
   metrics_.alerts_total->inc();
   switch (verdict.stage) {
     case alert::DetectionStage::kEiaMismatch: metrics_.alerts_eia->inc(); break;
@@ -197,7 +346,7 @@ void InFilterEngine::emit_alert(const netflow::V5Record& record, IngressId ingre
   a.target_port = record.dst_port;
   a.proto = record.proto;
   a.ingress_port = ingress;
-  if (const auto expected = eia_.expected_ingress(record.src_ip)) {
+  if (expected.has_value()) {
     a.expected_ingress = *expected;
   }
   if (verdict.nns.has_value()) {

@@ -50,6 +50,14 @@ struct EngineConfig {
   obs::Registry* registry = nullptr;
 };
 
+/// One flow for the batch API: the arguments of process() as a value, so a
+/// dequeued batch can be handed to process_batch() as one contiguous span.
+struct FlowInput {
+  netflow::V5Record record;
+  IngressId ingress = 0;
+  util::TimeMs now = 0;
+};
+
 /// Outcome of processing one flow.
 struct Verdict {
   bool attack = false;
@@ -91,6 +99,17 @@ class InFilterEngine {
   Verdict process(const netflow::V5Record& record, IngressId ingress,
                   util::TimeMs now);
 
+  /// Batched equivalent of process(): out[i] is bit-for-bit what
+  /// process(flows[i]...) returns, the stateful stages (EIA learning, scan
+  /// buffer) observe flows in batch order, alerts reach the sink in flow
+  /// order with the same ids and content, and every counter reaches the
+  /// same total. What batching buys: the NNS stage runs once over the
+  /// whole batch through TrainedClusters::assess_batch (contiguous probe
+  /// tables, pooled encodings -- zero per-flow allocations at steady
+  /// state). Latency histograms record batch-amortized per-flow values.
+  /// Precondition: flows.size() == out.size().
+  void process_batch(std::span<const FlowInput> flows, std::span<Verdict> out);
+
   [[nodiscard]] const EiaTable& eia() const { return eia_; }
   [[nodiscard]] const TrainedClusters* clusters() const { return clusters_.get(); }
   [[nodiscard]] ScanAnalysis& scan() { return scan_; }
@@ -114,7 +133,28 @@ class InFilterEngine {
  private:
   void emit_alert(const netflow::V5Record& record, IngressId ingress,
                   util::TimeMs now, const Verdict& verdict);
+  /// Alert construction with the expected-ingress context precomputed.
+  /// process_batch snapshots it while the flow is being processed (before
+  /// later flows mutate the EIA table) and emits in a final flow-order
+  /// pass, reproducing the per-flow alert stream exactly. Precondition:
+  /// sink_ != nullptr.
+  void emit_alert_with(const netflow::V5Record& record, IngressId ingress,
+                       util::TimeMs now, const Verdict& verdict,
+                       std::optional<IngressId> expected);
   void register_component_metrics();
+
+  /// process_batch working memory: pools that grow to the high-water batch
+  /// size, then stop allocating. The engine is driven by one thread (each
+  /// runtime shard owns its engine), so member scratch is safe.
+  struct BatchScratch {
+    std::vector<std::uint32_t> nns_ids;  ///< batch positions reaching NNS
+    std::vector<netflow::V5Record> nns_records;
+    std::vector<util::Rng> nns_rngs;
+    std::vector<TrainedClusters::Assessment> nns_out;
+    /// Expected-ingress snapshot per batch position (sink attached only).
+    std::vector<std::optional<IngressId>> expected;
+    TrainedClusters::BatchScratch clusters;
+  };
 
   EngineConfig config_;
   alert::AlertSink* sink_;
@@ -125,6 +165,7 @@ class InFilterEngine {
   obs::Registry* registry_;                        ///< never null
   obs::PipelineMetrics metrics_;
   std::uint64_t next_alert_id_ = 0;
+  BatchScratch batch_scratch_;
 };
 
 }  // namespace infilter::core

@@ -5,25 +5,71 @@
 // vectors: Hamming distance, GF(2) inner product (the "Test" procedure of
 // Figure 7), and random generation with per-bit bias (the "CreateTestVector"
 // procedure). All three reduce to word-parallel popcounts.
+//
+// The word storage is exposed read-only (words()) so cache-conscious
+// consumers -- the KOR probe tables keep every table's test vectors in one
+// contiguous word array -- can operate on raw words without going through
+// per-bit accessors.
 
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/rng.h"
 
 namespace infilter::nns {
 
+/// GF(2) inner product over raw word spans: parity of the AND of two
+/// equally sized word arrays. The primitive behind BitVector::inner_product
+/// and the SoA probe tables of nns/kor.h.
+[[nodiscard]] inline bool gf2_inner_product(const std::uint64_t* a,
+                                            const std::uint64_t* b,
+                                            std::size_t words) noexcept {
+  std::uint64_t parity = 0;
+  for (std::size_t w = 0; w < words; ++w) parity ^= a[w] & b[w];
+  return std::popcount(parity) & 1;
+}
+
+/// Hamming distance over raw word spans. The primitive behind
+/// BitVector::hamming_distance and the flattened training rows the KOR
+/// batch probe kernel scans (nns/kor.cpp).
+[[nodiscard]] inline int hamming_distance_words(const std::uint64_t* a,
+                                                const std::uint64_t* b,
+                                                std::size_t words) noexcept {
+  int total = 0;
+  for (std::size_t w = 0; w < words; ++w) total += std::popcount(a[w] ^ b[w]);
+  return total;
+}
+
 /// A fixed-size vector in {0,1}^d backed by 64-bit words.
 class BitVector {
  public:
   BitVector() = default;
-  explicit BitVector(int bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+  explicit BitVector(int bits) : bits_(bits), words_(words_for_bits(bits), 0) {}
 
   [[nodiscard]] int size() const { return bits_; }
+
+  /// Words needed to hold `bits` bits.
+  [[nodiscard]] static std::size_t words_for_bits(int bits) {
+    return static_cast<std::size_t>(bits + 63) / 64;
+  }
+
+  /// Read-only view of the backing words. Bits past size() are zero.
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+
+  /// Resizes to `bits` bits, all zero. Reuses the existing word buffer when
+  /// it is large enough -- the arena primitive behind the zero-allocation
+  /// batch encode path (UnaryEncoder::encode_into).
+  void reset(int bits) {
+    bits_ = bits;
+    words_.assign(words_for_bits(bits), 0);
+  }
 
   [[nodiscard]] bool get(int i) const {
     assert(i >= 0 && i < bits_);
@@ -40,6 +86,26 @@ class BitVector {
     }
   }
 
+  /// Sets bits [begin, begin + count) word-at-a-time. With the unary code
+  /// writing runs of up to bits_per_feature ones per flow, this replaces
+  /// count individual set() calls with ~count/64 word ORs.
+  void fill_ones(int begin, int count) {
+    assert(begin >= 0 && count >= 0 && begin + count <= bits_);
+    int at = begin;
+    const int end = begin + count;
+    std::size_t w = static_cast<std::size_t>(at) / 64;
+    int bit = at % 64;
+    while (at < end) {
+      const int take = std::min(64 - bit, end - at);
+      const std::uint64_t run =
+          take == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << take) - 1;
+      words_[w] |= run << bit;
+      at += take;
+      ++w;
+      bit = 0;
+    }
+  }
+
   /// Number of set bits.
   [[nodiscard]] int popcount() const {
     int total = 0;
@@ -51,31 +117,42 @@ class BitVector {
   /// Precondition: same size.
   [[nodiscard]] int hamming_distance(const BitVector& other) const {
     assert(bits_ == other.bits_);
-    int total = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      total += std::popcount(words_[w] ^ other.words_[w]);
-    }
-    return total;
+    return hamming_distance_words(words_.data(), other.words_.data(),
+                                  words_.size());
   }
 
   /// GF(2) inner product (the Test procedure of Figure 7): the parity of
   /// the AND of the two vectors. Precondition: same size.
   [[nodiscard]] bool inner_product(const BitVector& other) const {
     assert(bits_ == other.bits_);
-    std::uint64_t parity = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      parity ^= words_[w] & other.words_[w];
-    }
-    return std::popcount(parity) & 1;
+    return gf2_inner_product(words_.data(), other.words_.data(), words_.size());
   }
 
   /// CreateTestVector (Figure 7): each bit independently 1 with
-  /// probability b/2.
+  /// probability b/2. Sampled by geometric skips between set bits rather
+  /// than one Bernoulli draw per bit: KOR draws its test vectors with
+  /// b = 1/(2t), i.e. per-bit probabilities down to ~1/2d, where skip
+  /// sampling consumes O(p * bits) RNG draws instead of O(bits). The
+  /// produced distribution is exactly the per-bit Bernoulli product
+  /// (tests/test_bitvector.cpp pins the draws against a scalar reference).
   static BitVector random_biased(int bits, double b, util::Rng& rng) {
     BitVector v(bits);
     const double p = b / 2.0;
-    for (int i = 0; i < bits; ++i) {
-      if (rng.chance(p)) v.set(i);
+    if (p <= 0.0 || bits <= 0) return v;
+    if (p >= 1.0) {
+      v.fill_ones(0, bits);
+      return v;
+    }
+    // The gap ahead of each set bit is Geometric(p): floor(log(1-u) /
+    // log(1-p)) for u uniform in [0, 1). u = 0 gives gap 0 (adjacent set
+    // bit); u -> 1 overshoots past `bits` and terminates the loop.
+    const double denom = std::log1p(-p);
+    double position = -1.0;
+    for (;;) {
+      const double u = rng.uniform();
+      position += 1.0 + std::floor(std::log1p(-u) / denom);
+      if (!(position < static_cast<double>(bits))) break;
+      v.set(static_cast<int>(position));
     }
     return v;
   }

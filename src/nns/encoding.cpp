@@ -37,14 +37,18 @@ int UnaryEncoder::quantize(double value, std::size_t feature) const {
 }
 
 BitVector UnaryEncoder::encode(std::span<const double> values) const {
+  BitVector out;
+  encode_into(values, out);
+  return out;
+}
+
+void UnaryEncoder::encode_into(std::span<const double> values, BitVector& out) const {
   assert(values.size() == ranges_.size());
-  BitVector out(dimension());
+  out.reset(dimension());
   for (std::size_t c = 0; c < values.size(); ++c) {
     const int ones = quantize(values[c], c);
-    const int base = static_cast<int>(c) * bits_per_feature_;
-    for (int i = 0; i < ones; ++i) out.set(base + i);
+    out.fill_ones(static_cast<int>(c) * bits_per_feature_, ones);
   }
-  return out;
 }
 
 }  // namespace infilter::nns

@@ -45,6 +45,12 @@ class UnaryEncoder {
   /// Encodes one flow. Precondition: values.size() == feature_count().
   [[nodiscard]] BitVector encode(std::span<const double> values) const;
 
+  /// Arena variant of encode(): writes the encoding into `out`, reusing its
+  /// word buffer. After `out` has been sized once (first call), subsequent
+  /// calls perform no heap allocation -- the batch paths keep a pool of
+  /// BitVectors and encode_into them flow after flow.
+  void encode_into(std::span<const double> values, BitVector& out) const;
+
   /// Log-scale encoder: features spanning orders of magnitude (byte counts,
   /// bit rates) are quantized on log10 so that the unary distance reflects
   /// relative rather than absolute differences. `ranges` are given in

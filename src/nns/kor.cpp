@@ -1,8 +1,24 @@
 #include "nns/kor.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace infilter::nns {
+
+namespace {
+
+/// Read-only prefetch hint for the batch probe kernel; a no-op where the
+/// builtin is unavailable.
+inline void prefetch(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace
 
 std::vector<std::uint32_t> hamming_ball(std::uint32_t center, int m2, int radius) {
   assert(m2 > 0 && m2 <= 24);
@@ -31,6 +47,17 @@ std::vector<std::uint32_t> hamming_ball(std::uint32_t center, int m2, int radius
   return out;
 }
 
+void NnsIndex::search_batch(std::span<const BitVector> queries,
+                            std::span<std::optional<NnsMatch>> out,
+                            std::span<util::Rng> rngs,
+                            NnsBatchScratch& scratch) const {
+  (void)scratch;
+  assert(queries.size() == out.size() && queries.size() == rngs.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i] = search(queries[i], rngs[i]);
+  }
+}
+
 KorNns::KorNns(std::span<const BitVector> training, const KorParams& params)
     : params_(params), training_(training.begin(), training.end()) {
   assert(params_.m1 >= 1);
@@ -38,9 +65,12 @@ KorNns::KorNns(std::span<const BitVector> training, const KorParams& params)
   assert(params_.m3 >= 1 && params_.m3 <= 4);
   if (training_.empty()) return;
   dimension_ = training_.front().size();
+  words_per_vector_ = BitVector::words_for_bits(dimension_);
+  training_words_.reserve(training_.size() * words_per_vector_);
   for (const auto& flow : training_) {
     assert(flow.size() == dimension_);
-    (void)flow;
+    training_words_.insert(training_words_.end(), flow.words().begin(),
+                           flow.words().end());
   }
 
   assert(params_.bucket_capacity >= 1);
@@ -54,6 +84,11 @@ KorNns::KorNns(std::span<const BitVector> training, const KorParams& params)
     t = std::max(t + 1, next);
   }
 
+  // The registration ball is the same set of XOR offsets around every
+  // trace; enumerate it once instead of once per training flow x table.
+  const std::vector<std::uint32_t> ball_offsets =
+      hamming_ball(0, params_.m2, params_.m3);
+
   util::Rng rng{params_.seed};
   substructures_.resize(scales_.size());
   const std::size_t table_size = std::size_t{1} << params_.m2;
@@ -66,16 +101,19 @@ KorNns::KorNns(std::span<const BitVector> training, const KorParams& params)
     // Figure 6: test vectors for scale i are biased with b = 1/(2i).
     const double b = 1.0 / (2.0 * i);
     for (auto& table : sub.tables) {
-      table.test_vectors.reserve(static_cast<std::size_t>(params_.m2));
+      table.test_words.reserve(static_cast<std::size_t>(params_.m2) *
+                               words_per_vector_);
       for (int k = 0; k < params_.m2; ++k) {
-        table.test_vectors.push_back(BitVector::random_biased(dimension_, b, rng));
+        const BitVector v = BitVector::random_biased(dimension_, b, rng);
+        table.test_words.insert(table.test_words.end(), v.words().begin(),
+                                v.words().end());
       }
       table.cells.assign(table_size * capacity, -1);
       for (std::size_t f = 0; f < training_.size(); ++f) {
         const std::uint32_t trace = trace_of(table, training_[f]);
-        for (std::uint32_t z : hamming_ball(trace, params_.m2, params_.m3)) {
+        for (const std::uint32_t offset : ball_offsets) {
           // First bucket_capacity registrants win.
-          auto* bucket = &table.cells[z * capacity];
+          auto* bucket = &table.cells[(trace ^ offset) * capacity];
           for (std::size_t slot = 0; slot < capacity; ++slot) {
             if (bucket[slot] < 0) {
               bucket[slot] = static_cast<std::int32_t>(f);
@@ -90,18 +128,55 @@ KorNns::KorNns(std::span<const BitVector> training, const KorParams& params)
 
 std::uint32_t KorNns::trace_of(const Table& table, const BitVector& v) const {
   std::uint32_t trace = 0;
-  for (int k = 0; k < params_.m2; ++k) {
-    if (v.inner_product(table.test_vectors[static_cast<std::size_t>(k)])) {
+  const std::uint64_t* test = table.test_words.data();
+  const std::uint64_t* query = v.words().data();
+  for (int k = 0; k < params_.m2; ++k, test += words_per_vector_) {
+    if (gf2_inner_product(test, query, words_per_vector_)) {
       trace |= 1u << k;
     }
   }
   return trace;
 }
 
+std::pair<std::uint32_t, std::uint32_t> KorNns::trace_pair(
+    const Table& table, const BitVector& a, const BitVector& b) const {
+  std::uint32_t trace_a = 0;
+  std::uint32_t trace_b = 0;
+  const std::uint64_t* test = table.test_words.data();
+  const std::uint64_t* words_a = a.words().data();
+  const std::uint64_t* words_b = b.words().data();
+  for (int k = 0; k < params_.m2; ++k, test += words_per_vector_) {
+    std::uint64_t parity_a = 0;
+    std::uint64_t parity_b = 0;
+    for (std::size_t w = 0; w < words_per_vector_; ++w) {
+      const std::uint64_t t = test[w];
+      parity_a ^= t & words_a[w];
+      parity_b ^= t & words_b[w];
+    }
+    trace_a |= static_cast<std::uint32_t>(std::popcount(parity_a) & 1) << k;
+    trace_b |= static_cast<std::uint32_t>(std::popcount(parity_b) & 1) << k;
+  }
+  return {trace_a, trace_b};
+}
+
+std::optional<NnsMatch> KorNns::probe_cell(const Table& table, std::uint32_t trace,
+                                           const BitVector& query) const {
+  const auto capacity = static_cast<std::size_t>(params_.bucket_capacity);
+  const auto* bucket = &table.cells[trace * capacity];
+  std::optional<NnsMatch> cell_best;
+  for (std::size_t slot = 0; slot < capacity && bucket[slot] >= 0; ++slot) {
+    const int distance =
+        query.hamming_distance(training_[static_cast<std::size_t>(bucket[slot])]);
+    if (!cell_best.has_value() || distance < cell_best->distance) {
+      cell_best = NnsMatch{bucket[slot], distance};
+    }
+  }
+  return cell_best;
+}
+
 std::optional<NnsMatch> KorNns::search(const BitVector& query, util::Rng& rng) const {
   if (training_.empty()) return std::nullopt;
   assert(query.size() == dimension_);
-  const auto capacity = static_cast<std::size_t>(params_.bucket_capacity);
 
   // Figure 8: binary search for the smallest scale at which the query's
   // trace lands in a populated cell -- here, a cell whose bucket holds a
@@ -116,17 +191,7 @@ std::optional<NnsMatch> KorNns::search(const BitVector& query, util::Rng& rng) c
     const auto& sub = substructures_[static_cast<std::size_t>(mid)];
     const auto& table =
         sub.tables[static_cast<std::size_t>(rng.below(sub.tables.size()))];
-    const std::uint32_t trace = trace_of(table, query);
-    const auto* bucket = &table.cells[trace * capacity];
-
-    std::optional<NnsMatch> cell_best;
-    for (std::size_t slot = 0; slot < capacity && bucket[slot] >= 0; ++slot) {
-      const int distance = query.hamming_distance(
-          training_[static_cast<std::size_t>(bucket[slot])]);
-      if (!cell_best.has_value() || distance < cell_best->distance) {
-        cell_best = NnsMatch{bucket[slot], distance};
-      }
-    }
+    const auto cell_best = probe_cell(table, trace_of(table, query), query);
     const bool hit =
         cell_best.has_value() &&
         (params_.verification_factor <= 0 ||
@@ -141,13 +206,139 @@ std::optional<NnsMatch> KorNns::search(const BitVector& query, util::Rng& rng) c
   return best;
 }
 
+void KorNns::search_batch(std::span<const BitVector> queries,
+                          std::span<std::optional<NnsMatch>> out,
+                          std::span<util::Rng> rngs,
+                          NnsBatchScratch& scratch) const {
+  assert(queries.size() == out.size() && queries.size() == rngs.size());
+  if (training_.empty()) {
+    std::fill(out.begin(), out.end(), std::nullopt);
+    return;
+  }
+
+  // Level-synchronous binary search: every query starts at the same scale
+  // ladder, so each round groups the still-active queries by the (scale,
+  // table) they probe next and runs a whole group against one table while
+  // its contiguous test-vector block is cache-hot. Each query's RNG is
+  // consumed once per round by that query alone -- exactly the draw
+  // sequence of the per-query search() -- so results are bit-identical.
+  const auto m1 = static_cast<std::uint32_t>(params_.m1);
+  auto& states = scratch.states;
+  states.assign(queries.size(),
+                NnsBatchScratch::QueryState{
+                    0, static_cast<int>(scales_.size()) - 1, -1, 0});
+  auto& active = scratch.active;
+
+  for (;;) {
+    active.clear();
+    for (std::uint32_t q = 0; q < queries.size(); ++q) {
+      auto& state = states[q];
+      if (state.lo > state.hi) continue;
+      assert(queries[q].size() == dimension_);
+      const int mid = state.lo + (state.hi - state.lo) / 2;
+      const auto table =
+          static_cast<std::uint32_t>(rngs[q].below(params_.m1));
+      active.emplace_back(static_cast<std::uint32_t>(mid) * m1 + table, q);
+    }
+    if (active.empty()) break;
+    std::sort(active.begin(), active.end());
+
+    const auto capacity = static_cast<std::size_t>(params_.bucket_capacity);
+    std::size_t at = 0;
+    while (at < active.size()) {
+      const std::uint32_t key = active[at].first;
+      const auto mid = static_cast<std::size_t>(key / m1);
+      const int t = scales_[mid];
+      const Table& table = substructures_[mid].tables[key % m1];
+      const std::size_t run_begin = at;
+      while (at < active.size() && active[at].first == key) ++at;
+      const std::size_t run = at - run_begin;
+      auto& traces = scratch.traces;
+      traces.resize(run);
+
+      // Phase 1: traces for the whole run, two queries at a time so each
+      // streamed test-vector word feeds two independent parity chains.
+      // Prefetch every query's cell bucket as its trace lands, so the
+      // bucket loads of phase 2 overlap the remaining trace computations
+      // instead of stalling one probe at a time.
+      std::size_t r = 0;
+      for (; r + 1 < run; r += 2) {
+        const auto [trace_a, trace_b] =
+            trace_pair(table, queries[active[run_begin + r].second],
+                       queries[active[run_begin + r + 1].second]);
+        traces[r] = trace_a;
+        traces[r + 1] = trace_b;
+        prefetch(&table.cells[trace_a * capacity]);
+        prefetch(&table.cells[trace_b * capacity]);
+      }
+      if (r < run) {
+        traces[r] = trace_of(table, queries[active[run_begin + r].second]);
+        prefetch(&table.cells[traces[r] * capacity]);
+      }
+
+      // Phase 2: the buckets are cache-hot now; prefetch the training
+      // rows behind every populated slot before any distance is computed.
+      for (r = 0; r < run; ++r) {
+        const auto* bucket = &table.cells[traces[r] * capacity];
+        for (std::size_t slot = 0; slot < capacity && bucket[slot] >= 0; ++slot) {
+          prefetch(training_words_.data() +
+                   static_cast<std::size_t>(bucket[slot]) * words_per_vector_);
+        }
+      }
+
+      // Phase 3: bucket distances against the flattened training rows,
+      // then the binary-search step. Same candidate order, strict-<
+      // update, and verification check as probe_cell, so the chosen
+      // match is bit-identical to the per-query path.
+      for (r = 0; r < run; ++r) {
+        const std::uint32_t q = active[run_begin + r].second;
+        const std::uint64_t* query_words = queries[q].words().data();
+        const auto* bucket = &table.cells[traces[r] * capacity];
+        std::int32_t cell_index = -1;
+        int cell_distance = 0;
+        for (std::size_t slot = 0; slot < capacity && bucket[slot] >= 0; ++slot) {
+          const std::uint64_t* row =
+              training_words_.data() +
+              static_cast<std::size_t>(bucket[slot]) * words_per_vector_;
+          const int distance =
+              hamming_distance_words(query_words, row, words_per_vector_);
+          if (cell_index < 0 || distance < cell_distance) {
+            cell_index = bucket[slot];
+            cell_distance = distance;
+          }
+        }
+        const bool hit =
+            cell_index >= 0 &&
+            (params_.verification_factor <= 0 ||
+             cell_distance <= params_.verification_factor * t);
+        auto& state = states[q];
+        if (hit) {
+          if (state.best_index < 0 || cell_distance < state.best_distance) {
+            state.best_index = cell_index;
+            state.best_distance = cell_distance;
+          }
+          state.hi = static_cast<int>(mid) - 1;
+        } else {
+          state.lo = static_cast<int>(mid) + 1;
+        }
+      }
+    }
+  }
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    out[q] = states[q].best_index >= 0
+                 ? std::optional(NnsMatch{states[q].best_index,
+                                          states[q].best_distance})
+                 : std::nullopt;
+  }
+}
+
 std::size_t KorNns::table_bytes() const {
   std::size_t total = 0;
   for (const auto& sub : substructures_) {
     for (const auto& table : sub.tables) {
       total += table.cells.size() * sizeof(std::int32_t);
-      total += table.test_vectors.size() *
-               (static_cast<std::size_t>(dimension_) + 7) / 8;
+      total += table.test_words.size() * sizeof(std::uint64_t);
     }
   }
   return total;

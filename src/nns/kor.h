@@ -15,6 +15,11 @@
 // toward smaller t, a miss toward larger t. The flow in the last non-empty
 // cell visited is returned as the approximate nearest neighbor.
 //
+// Storage is struct-of-arrays: each table's M2 test vectors live in one
+// contiguous word array, so computing a trace streams one cache-resident
+// block instead of chasing M2 heap vectors, and search_batch() can probe a
+// whole batch of queries against a table while that block stays hot.
+//
 // The paper's experiments use d = 720, M1 = 1, M2 = 12, M3 = 3.
 
 #pragma once
@@ -65,6 +70,27 @@ struct NnsMatch {
   friend auto operator<=>(const NnsMatch&, const NnsMatch&) = default;
 };
 
+/// Reusable working memory for search_batch(). The indexes themselves are
+/// immutable and shared across threads (core/cluster.h), so batch state
+/// lives with the caller: hold one scratch per processing thread and the
+/// batch path performs no per-query allocations after warm-up.
+struct NnsBatchScratch {
+  struct QueryState {
+    int lo = 0;
+    int hi = 0;
+    std::int32_t best_index = -1;
+    int best_distance = 0;
+  };
+  std::vector<QueryState> states;
+  /// (group key, query id) pairs of the still-active queries, regrouped
+  /// each binary-search round.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> active;
+  /// Per-run trace staging area: traces are computed for a whole run
+  /// first (prefetching each query's cell bucket as its trace lands),
+  /// then the buckets are probed in a second pass.
+  std::vector<std::uint32_t> traces;
+};
+
 /// Interface shared by the approximate structure and the exact baseline so
 /// the analysis engine and the ablation bench can swap them.
 class NnsIndex {
@@ -75,6 +101,16 @@ class NnsIndex {
   /// table cell hit at any scale).
   [[nodiscard]] virtual std::optional<NnsMatch> search(const BitVector& query,
                                                        util::Rng& rng) const = 0;
+  /// Batched search: out[i] is exactly what search(queries[i], rngs[i])
+  /// returns -- every query consumes its own RNG in the same order as the
+  /// per-query path, so batching is invisible to verdicts. The base
+  /// implementation loops search(); KorNns overrides it with a
+  /// level-synchronous probe that amortizes table loads across the batch.
+  /// Preconditions: queries, rngs, and out have equal sizes.
+  virtual void search_batch(std::span<const BitVector> queries,
+                            std::span<std::optional<NnsMatch>> out,
+                            std::span<util::Rng> rngs,
+                            NnsBatchScratch& scratch) const;
   [[nodiscard]] virtual std::size_t training_size() const = 0;
 };
 
@@ -88,6 +124,10 @@ class KorNns final : public NnsIndex {
 
   [[nodiscard]] std::optional<NnsMatch> search(const BitVector& query,
                                                util::Rng& rng) const override;
+  void search_batch(std::span<const BitVector> queries,
+                    std::span<std::optional<NnsMatch>> out,
+                    std::span<util::Rng> rngs,
+                    NnsBatchScratch& scratch) const override;
   [[nodiscard]] std::size_t training_size() const override { return training_.size(); }
 
   [[nodiscard]] const BitVector& training_flow(int index) const {
@@ -99,7 +139,9 @@ class KorNns final : public NnsIndex {
 
  private:
   struct Table {
-    std::vector<BitVector> test_vectors;  ///< m2 biased vectors
+    /// m2 test vectors, SoA: vector k occupies the word range
+    /// [k * words_per_vector, (k + 1) * words_per_vector).
+    std::vector<std::uint64_t> test_words;
     /// 2^m2 cells x bucket_capacity slots, flattened; -1 = empty slot.
     std::vector<std::int32_t> cells;
   };
@@ -108,10 +150,27 @@ class KorNns final : public NnsIndex {
   };
 
   [[nodiscard]] std::uint32_t trace_of(const Table& table, const BitVector& v) const;
+  /// Traces of two queries against the same table, interleaved so each
+  /// streamed test-vector word is shared between two independent parity
+  /// chains. The batch kernel's unit of work.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> trace_pair(
+      const Table& table, const BitVector& a, const BitVector& b) const;
+  /// Best bucket candidate of `table`'s cell for `trace`, plus the
+  /// hit/miss verdict at scale t (used by the per-query search()).
+  [[nodiscard]] std::optional<NnsMatch> probe_cell(const Table& table,
+                                                   std::uint32_t trace,
+                                                   const BitVector& query) const;
 
   KorParams params_;
   int dimension_ = 0;
+  std::size_t words_per_vector_ = 0;
   std::vector<BitVector> training_;
+  /// The training vectors again, flattened row-major (row f occupies
+  /// words [f * words_per_vector, (f + 1) * words_per_vector)). The batch
+  /// probe kernel computes bucket distances against these rows -- one
+  /// indexed block instead of two pointer hops per candidate -- and
+  /// prefetches them a run ahead of the distance loop.
+  std::vector<std::uint64_t> training_words_;
   /// Geometrically spaced scales t (ascending) and their substructures.
   std::vector<int> scales_;
   std::vector<Substructure> substructures_;
@@ -132,6 +191,9 @@ class ExactNns final : public NnsIndex {
 
 /// Enumerates all m2-bit strings within Hamming distance < radius of
 /// `center` (the registration ball of Figure 6). Exposed for testing.
+/// hamming_ball(c, m2, r)[j] == c ^ hamming_ball(0, m2, r)[j]: the
+/// zero-centered ball is a reusable offset table (KorNns construction
+/// memoizes it once per (m2, radius) instead of re-enumerating per flow).
 [[nodiscard]] std::vector<std::uint32_t> hamming_ball(std::uint32_t center, int m2,
                                                       int radius);
 

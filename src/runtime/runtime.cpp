@@ -202,6 +202,11 @@ std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
 
 void ShardedRuntime::worker_main(Shard& shard) {
   std::vector<FlowItem> batch(config_.max_batch);
+  // Reusable batch buffers for the engine's batch API (FlowItem carries the
+  // ring tag, so the engine inputs are copied out into their own contiguous
+  // array). Sized once; no per-batch allocation.
+  std::vector<core::FlowInput> inputs(config_.max_batch);
+  std::vector<core::Verdict> verdicts(config_.max_batch);
   for (;;) {
     const std::size_t n = shard.ring->try_pop_batch(batch.data(), batch.size());
     if (n == 0) {
@@ -231,10 +236,13 @@ void ShardedRuntime::worker_main(Shard& shard) {
     batches_->inc();
     batch_size_->observe(static_cast<double>(n));
     for (std::size_t i = 0; i < n; ++i) {
-      const FlowItem& item = batch[i];
-      const core::Verdict verdict =
-          shard.engine->process(item.record, item.ingress, item.now);
-      if (hook_) hook_(item, verdict);
+      inputs[i] = core::FlowInput{batch[i].record, batch[i].ingress, batch[i].now};
+    }
+    shard.engine->process_batch(
+        std::span<const core::FlowInput>(inputs.data(), n),
+        std::span<core::Verdict>(verdicts.data(), n));
+    if (hook_) {
+      for (std::size_t i = 0; i < n; ++i) hook_(batch[i], verdicts[i]);
     }
     shard.processed.fetch_add(n, std::memory_order_release);
   }

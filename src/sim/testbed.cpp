@@ -346,10 +346,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
   if (needs_clusters) engine.set_clusters(clusters);
 
-  for (const auto& flow : stream.flows) {
-    const auto verdict =
-        engine.process(flow.record, flow.arrival_port, flow.record.last);
-    scorer.score(flow, verdict);
+  // Replay through the batch hot path in fixed-size chunks (verdicts are
+  // bit-identical to per-flow process(); tests/test_batch.cpp pins this).
+  constexpr std::size_t kReplayBatch = 256;
+  std::vector<core::FlowInput> inputs(kReplayBatch);
+  std::vector<core::Verdict> verdicts(kReplayBatch);
+  for (std::size_t begin = 0; begin < stream.flows.size(); begin += kReplayBatch) {
+    const std::size_t n = std::min(kReplayBatch, stream.flows.size() - begin);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& flow = stream.flows[begin + i];
+      inputs[i] = core::FlowInput{flow.record, flow.arrival_port, flow.record.last};
+    }
+    engine.process_batch(std::span<const core::FlowInput>(inputs.data(), n),
+                         std::span<core::Verdict>(verdicts.data(), n));
+    for (std::size_t i = 0; i < n; ++i) {
+      scorer.score(stream.flows[begin + i], verdicts[i]);
+    }
   }
   result = scorer.finalize();
   result.metrics = engine.registry().snapshot();

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
 namespace infilter::nns {
 namespace {
 
@@ -83,6 +86,61 @@ TEST(BitVector, RandomBiasedRespectsBias) {
 TEST(BitVector, RandomBiasedZeroBiasIsAllZero) {
   util::Rng rng{8};
   EXPECT_EQ(BitVector::random_biased(512, 0.0, rng).popcount(), 0);
+}
+
+/// Scalar reference for the geometric skip sampler: consume the RNG with
+/// the same formula, one uniform per set bit, setting bits one by one.
+BitVector geometric_reference(int bits, double b, util::Rng& rng) {
+  BitVector v(bits);
+  const double p = b / 2.0;
+  const double denom = std::log1p(-p);
+  double position = -1.0;
+  for (;;) {
+    position += 1.0 + std::floor(std::log1p(-rng.uniform()) / denom);
+    if (!(position < static_cast<double>(bits))) break;
+    v.set(static_cast<int>(position));
+  }
+  return v;
+}
+
+TEST(BitVector, RandomBiasedMatchesScalarReferenceAtSameSeed) {
+  // Pin the production sampler against the reference at the same seed,
+  // across the bias range KOR actually uses (b = 1/(2t), t in [1, d]).
+  for (const double b : {0.5, 0.1, 1.0 / 48.0, 1.0 / 720.0, 1.0 / 1440.0}) {
+    util::Rng rng_a{42};
+    util::Rng rng_b{42};
+    for (int round = 0; round < 20; ++round) {
+      const auto produced = BitVector::random_biased(720, b, rng_a);
+      const auto expected = geometric_reference(720, b, rng_b);
+      ASSERT_EQ(produced, expected) << "b=" << b << " round=" << round;
+      // Identical RNG consumption, so the streams stay in lock-step.
+      ASSERT_EQ(rng_a(), rng_b()) << "b=" << b << " round=" << round;
+    }
+  }
+}
+
+TEST(BitVector, ResetReusesTheWordBuffer) {
+  BitVector v(512);
+  v.set(100);
+  const auto* words_before = v.words().data();
+  v.reset(512);
+  EXPECT_EQ(v.popcount(), 0);
+  EXPECT_EQ(v.words().data(), words_before);  // no reallocation
+  v.reset(64);  // shrinking reuses too
+  EXPECT_EQ(v.words().data(), words_before);
+  EXPECT_EQ(v.size(), 64);
+}
+
+TEST(BitVector, FillOnesMatchesBitwiseSets) {
+  for (const auto [begin, count] : {std::pair{0, 0}, std::pair{0, 64},
+                                    std::pair{3, 61}, std::pair{60, 10},
+                                    std::pair{64, 130}, std::pair{5, 195}}) {
+    BitVector fast(200);
+    fast.fill_ones(begin, count);
+    BitVector slow(200);
+    for (int i = begin; i < begin + count; ++i) slow.set(i);
+    EXPECT_EQ(fast, slow) << "begin=" << begin << " count=" << count;
+  }
 }
 
 TEST(BitVector, EqualityComparesContent) {

@@ -121,6 +121,45 @@ TEST(TrainedClusters, TrainingFlowAssessesWithinThreshold) {
   EXPECT_LE(anomalous, 3);
 }
 
+TEST(TrainedClusters, AssessBatchMatchesAssessBitForBit) {
+  const auto records = training_records(600);
+  const TrainedClusters clusters(records, fast_config(), 14);
+  const auto mixed = training_records(400, 3);
+
+  // Per-flow reference: each flow gets its own RNG, as the engine's
+  // per-flow probe-seed derivation does.
+  std::vector<util::Rng> serial_rngs;
+  std::vector<util::Rng> batch_rngs;
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    serial_rngs.emplace_back(5000 + 11 * i);
+    batch_rngs.emplace_back(5000 + 11 * i);
+  }
+  std::vector<TrainedClusters::Assessment> batched(mixed.size());
+  TrainedClusters::BatchScratch scratch;
+  clusters.assess_batch(mixed, batch_rngs, batched, scratch);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    const auto serial = clusters.assess(mixed[i], serial_rngs[i]);
+    EXPECT_EQ(serial.anomalous, batched[i].anomalous) << "flow " << i;
+    EXPECT_EQ(serial.cluster, batched[i].cluster) << "flow " << i;
+    EXPECT_EQ(serial.distance, batched[i].distance) << "flow " << i;
+    EXPECT_EQ(serial.threshold, batched[i].threshold) << "flow " << i;
+    EXPECT_EQ(serial_rngs[i](), batch_rngs[i]()) << "flow " << i;
+  }
+}
+
+TEST(TrainedClusters, AssessBatchCountsEveryQueryOnce) {
+  const auto records = training_records(500);
+  const TrainedClusters clusters(records, fast_config(), 15);
+  const auto queries = training_records(100, 4);
+  std::vector<util::Rng> rngs(queries.size(), util::Rng{9});
+  std::vector<TrainedClusters::Assessment> out(queries.size());
+  TrainedClusters::BatchScratch scratch;
+  const auto before = clusters.stats();
+  clusters.assess_batch(queries, rngs, out, scratch);
+  const auto after = clusters.stats();
+  EXPECT_EQ(after.assessments - before.assessments, queries.size());
+}
+
 TEST(TrainedClusters, FreshNormalFlowsMostlyPass) {
   const auto records = training_records(800, 1);
   const TrainedClusters clusters(records, fast_config(), 11);

@@ -85,6 +85,29 @@ TEST(UnaryEncoder, LogScaleClampsNonPositive) {
   EXPECT_EQ(enc.quantize(0.5, 0), 0);
 }
 
+TEST(UnaryEncoder, EncodeIntoMatchesEncode) {
+  const auto enc = UnaryEncoder::log_scale(
+      {{1, 1e8}, {1, 1e6}, {1, 3.6e6}, {1, 1e9}, {0.01, 1e6}}, 48);
+  const double values[] = {1234.0, 17.0, 2500.0, 3.9e6, 6.8};
+  BitVector arena;
+  enc.encode_into(values, arena);
+  EXPECT_EQ(arena, enc.encode(values));
+}
+
+TEST(UnaryEncoder, EncodeIntoReusesTheBufferAcrossFlows) {
+  const UnaryEncoder enc({{0, 100}, {0, 100}}, 64);
+  BitVector arena;
+  const double first[] = {90.0, 10.0};
+  enc.encode_into(first, arena);
+  const auto* words = arena.words().data();
+  for (double v = 0; v <= 100; v += 7) {
+    const double values[] = {v, 100 - v};
+    enc.encode_into(values, arena);
+    EXPECT_EQ(arena, enc.encode(values));
+    EXPECT_EQ(arena.words().data(), words);  // zero-allocation steady state
+  }
+}
+
 class QuantizeSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(QuantizeSweep, IntervalIndexAlwaysInBounds) {

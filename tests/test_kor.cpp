@@ -187,6 +187,80 @@ TEST(KorNns, DeterministicForFixedSeeds) {
   }
 }
 
+TEST(KorNns, SearchBatchMatchesSearchBitForBit) {
+  // The level-synchronous batch probe promises out[i] ==
+  // search(queries[i], rngs[i]) including RNG consumption, across table
+  // counts (m1 > 1 draws a random table per binary-search round).
+  for (const int m1 : {1, 3}) {
+    util::Rng data_rng{13};
+    std::vector<BitVector> training;
+    for (int i = 0; i < 50; ++i) {
+      training.push_back(unary_point(200, static_cast<int>(data_rng.below(201))));
+    }
+    KorParams params = test_params();
+    params.m1 = m1;
+    KorNns index(training, params);
+
+    std::vector<BitVector> queries;
+    for (int q = 0; q <= 200; q += 3) queries.push_back(unary_point(200, q));
+    std::vector<util::Rng> serial_rngs;
+    std::vector<util::Rng> batch_rngs;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      serial_rngs.emplace_back(1000 + 7 * i);
+      batch_rngs.emplace_back(1000 + 7 * i);
+    }
+
+    std::vector<std::optional<NnsMatch>> batched(queries.size());
+    NnsBatchScratch scratch;
+    index.search_batch(queries, batched, batch_rngs, scratch);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto serial = index.search(queries[i], serial_rngs[i]);
+      ASSERT_EQ(serial.has_value(), batched[i].has_value()) << "query " << i;
+      if (serial.has_value()) {
+        EXPECT_EQ(serial->index, batched[i]->index) << "query " << i;
+        EXPECT_EQ(serial->distance, batched[i]->distance) << "query " << i;
+      }
+      // Both paths must leave the per-query RNG in the same state.
+      EXPECT_EQ(serial_rngs[i](), batch_rngs[i]()) << "query " << i;
+    }
+  }
+}
+
+TEST(KorNns, SearchBatchReusesScratchAcrossBatches) {
+  std::vector<BitVector> training;
+  for (int ones = 0; ones <= 120; ones += 10) {
+    training.push_back(unary_point(120, ones));
+  }
+  KorNns index(training, test_params());
+  NnsBatchScratch scratch;
+  std::vector<BitVector> queries{unary_point(120, 14), unary_point(120, 77)};
+  std::vector<std::optional<NnsMatch>> out(queries.size());
+  for (int round = 0; round < 3; ++round) {
+    std::vector<util::Rng> rngs{util::Rng{5}, util::Rng{6}};
+    index.search_batch(queries, out, rngs, scratch);
+    util::Rng rng_a{5};
+    util::Rng rng_b{6};
+    EXPECT_EQ(out[0], index.search(queries[0], rng_a)) << "round " << round;
+    EXPECT_EQ(out[1], index.search(queries[1], rng_b)) << "round " << round;
+  }
+}
+
+TEST(NnsIndex, DefaultSearchBatchLoopsExactSearch) {
+  std::vector<BitVector> training{unary_point(64, 10), unary_point(64, 30),
+                                  unary_point(64, 50)};
+  ExactNns index(training);
+  std::vector<BitVector> queries{unary_point(64, 28), unary_point(64, 64)};
+  std::vector<std::optional<NnsMatch>> out(queries.size());
+  std::vector<util::Rng> rngs{util::Rng{1}, util::Rng{1}};
+  NnsBatchScratch scratch;
+  index.search_batch(queries, out, rngs, scratch);
+  ASSERT_TRUE(out[0].has_value());
+  EXPECT_EQ(out[0]->index, 1);
+  EXPECT_EQ(out[0]->distance, 2);
+  ASSERT_TRUE(out[1].has_value());
+  EXPECT_EQ(out[1]->index, 2);
+}
+
 TEST(KorNns, TableBytesGrowWithM2) {
   std::vector<BitVector> training{unary_point(64, 10), unary_point(64, 50)};
   KorParams small = test_params();

@@ -140,8 +140,11 @@ TEST(Traceback, SummaryNamesDistributedEpisodes) {
 }
 
 TEST(TracebackIntegration, LocatesTheAttackIngress) {
-  // Full chain: engine alerts -> traceback. A Nessus battery enters via
-  // Peer AS3; traceback must name ingress 9003 as primary.
+  // Full chain: engine alerts -> traceback. An nmap Idlescan battery
+  // (many ports on one victim -- the deterministic host-scan detector
+  // fires, so the alert stream does not hinge on one seed's NNS
+  // threshold) enters via Peer AS3; traceback must name ingress 9003 as
+  // primary.
   alert::CollectingSink ui;
   TracebackEngine traceback(TracebackConfig{}, &ui);
 
@@ -169,7 +172,7 @@ TEST(TracebackIntegration, LocatesTheAttackIngress) {
   util::Rng rng{12};
   traffic::AttackConfig attack_config;
   attack_config.companion_fraction = 0;
-  const auto attack = traffic::generate_attack(traffic::AttackKind::kNessusHttp,
+  const auto attack = traffic::generate_attack(traffic::AttackKind::kNmapIdleScan,
                                                attack_config, 1000, rng);
   dagflow::Dagflow attacker(
       dagflow::DagflowConfig{.netflow_port = 9003},
