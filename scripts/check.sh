@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Local CI: the tier-1 gate plus sanitizer lanes.
+#
+#   scripts/check.sh            # tier-1: release build + full ctest
+#   scripts/check.sh --asan     # + AddressSanitizer lane (full suite)
+#   scripts/check.sh --tsan     # + ThreadSanitizer lane (runtime tests)
+#   scripts/check.sh --all      # tier-1 + asan + tsan
+#
+# The TSan lane runs the concurrency tests only (Runtime/Node suites):
+# the full suite under TSan takes far longer and the single-threaded
+# tests cannot race.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_asan=0
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    --tsan) run_tsan=1 ;;
+    --all) run_asan=1; run_tsan=1 ;;
+    *) echo "usage: scripts/check.sh [--asan] [--tsan] [--all]" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: release build + ctest =="
+cmake --preset release
+cmake --build --preset release -j "$jobs"
+ctest --preset release
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== lane: AddressSanitizer =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== lane: ThreadSanitizer (concurrency tests) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ./build-tsan/tests/infilter_tests \
+    --gtest_filter='ShardedRuntime*:SpscRing*:SerializingSink*:Node*'
+fi
+
+echo "== all requested lanes passed =="

@@ -94,11 +94,12 @@ void InFilterEngine::set_clusters(std::shared_ptr<const TrainedClusters> cluster
   clusters_ = std::move(clusters);
 }
 
-Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingress,
-                                util::TimeMs now) {
+bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingress,
+                                 util::TimeMs now, Verdict& verdict,
+                                 SuspectFlow& suspect) {
   metrics_.flows_total->inc();
-  obs::StageTimer process_timer(metrics_.process_us);
-  Verdict verdict;
+  const double start_us = obs::monotonic_us();
+  verdict = Verdict{};
 
   // Figure 12, case (b): the ingress expects this source -- legal flow.
   bool expected;
@@ -109,7 +110,10 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
   if (expected) {
     metrics_.eia_hits->inc();
     metrics_.verdict_legal->inc();
-    return verdict;
+    if (metrics_.process_us != nullptr) {
+      metrics_.process_us->observe(obs::monotonic_us() - start_us);
+    }
+    return false;
   }
   metrics_.eia_misses->inc();
 
@@ -121,13 +125,25 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
   verdict.suspect = true;
   const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
   if (learned) metrics_.eia_learned->inc();
+  suspect = SuspectFlow{record, ingress, now, learned,
+                        eia_.expected_ingress(record.src_ip)};
+  return true;
+}
+
+Verdict InFilterEngine::finish_suspect(const SuspectFlow& suspect) {
+  obs::StageTimer process_timer(metrics_.process_us);
+  Verdict verdict;
+  verdict.suspect = true;
 
   if (config_.mode == EngineMode::kBasic) {
-    verdict.attack = !learned;
+    verdict.attack = !suspect.learned;
     verdict.stage = alert::DetectionStage::kEiaMismatch;
     (verdict.attack ? metrics_.verdict_attack_eia : metrics_.verdict_cleared_learned)
         ->inc();
-    if (verdict.attack) emit_alert(record, ingress, now, verdict);
+    if (verdict.attack && sink_ != nullptr) {
+      emit_alert_with(suspect.record, suspect.ingress, suspect.now, verdict,
+                      suspect.expected);
+    }
     return verdict;
   }
 
@@ -136,7 +152,7 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
     ScanVerdict scan;
     {
       obs::StageTimer timer(metrics_.stage_scan_us);
-      scan = scan_.observe(record);
+      scan = scan_.observe(suspect.record);
     }
     metrics_.scan_analyzed->inc();
     if (scan != ScanVerdict::kClean) {
@@ -145,7 +161,10 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
       verdict.attack = true;
       verdict.stage = alert::DetectionStage::kScanAnalysis;
       metrics_.verdict_attack_scan->inc();
-      emit_alert(record, ingress, now, verdict);
+      if (sink_ != nullptr) {
+        emit_alert_with(suspect.record, suspect.ingress, suspect.now, verdict,
+                        suspect.expected);
+      }
       return verdict;
     }
   }
@@ -153,8 +172,8 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
   if (config_.use_nns && clusters_ != nullptr) {
     {
       obs::StageTimer timer(metrics_.stage_nns_us);
-      util::Rng flow_rng{flow_rng_seed(config_.seed, record)};
-      verdict.nns = clusters_->assess(record, flow_rng);
+      util::Rng flow_rng{flow_rng_seed(config_.seed, suspect.record)};
+      verdict.nns = clusters_->assess(suspect.record, flow_rng);
     }
     metrics_.nns_assessed->inc();
     if (verdict.nns->anomalous) {
@@ -162,7 +181,10 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
       verdict.attack = true;
       verdict.stage = alert::DetectionStage::kNnsDistance;
       metrics_.verdict_attack_nns->inc();
-      emit_alert(record, ingress, now, verdict);
+      if (sink_ != nullptr) {
+        emit_alert_with(suspect.record, suspect.ingress, suspect.now, verdict,
+                        suspect.expected);
+      }
     } else {
       metrics_.nns_normal->inc();
       metrics_.verdict_cleared_nns->inc();
@@ -171,36 +193,39 @@ Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingre
   }
 
   // Enhanced mode with every second stage disabled degenerates to Basic.
-  verdict.attack = !learned;
+  verdict.attack = !suspect.learned;
   verdict.stage = alert::DetectionStage::kEiaMismatch;
   (verdict.attack ? metrics_.verdict_attack_eia : metrics_.verdict_cleared_learned)
       ->inc();
-  if (verdict.attack) emit_alert(record, ingress, now, verdict);
+  if (verdict.attack && sink_ != nullptr) {
+    emit_alert_with(suspect.record, suspect.ingress, suspect.now, verdict,
+                    suspect.expected);
+  }
   return verdict;
 }
 
-void InFilterEngine::process_batch(std::span<const FlowInput> flows,
-                                   std::span<Verdict> out) {
+Verdict InFilterEngine::process(const netflow::V5Record& record, IngressId ingress,
+                                util::TimeMs now) {
+  Verdict verdict;
+  SuspectFlow suspect;
+  if (!pre_process(record, ingress, now, verdict, suspect)) return verdict;
+  return finish_suspect(suspect);
+}
+
+void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
+                                       std::span<Verdict> out,
+                                       std::vector<SuspectFlow>& suspects,
+                                       std::vector<std::uint32_t>& positions) {
   assert(flows.size() == out.size());
   if (flows.empty()) return;
   const double batch_start_us = obs::monotonic_us();
-  auto& scratch = batch_scratch_;
-  scratch.nns_ids.clear();
-  scratch.nns_records.clear();
-  scratch.nns_rngs.clear();
-  if (sink_ != nullptr) {
-    scratch.expected.assign(flows.size(), std::nullopt);
-  }
+  std::size_t legal = 0;
 
-  // Pass 1 -- the stateful stages, flow by flow in batch order (EIA
-  // learning and the scan buffer mutate state exactly as the per-flow path
-  // would). Flows that reach the NNS stage are gathered for pass 2; their
+  // The stateful EIA stage, flow by flow in batch order (auto-learning
+  // mutates the table exactly as the per-flow path would). A suspect's
   // expected-ingress alert context is snapshotted *here*, at the point the
   // per-flow path would read it, before later flows can update the EIA
-  // table. Alerts are only recorded, not emitted, so the alert stream can
-  // be replayed in flow order in pass 3.
-  const bool degenerate_basic = config_.mode == EngineMode::kBasic ||
-                                !config_.use_nns || clusters_ == nullptr;
+  // table.
   for (std::size_t i = 0; i < flows.size(); ++i) {
     const auto& [record, ingress, now] = flows[i];
     metrics_.flows_total->inc();
@@ -215,6 +240,7 @@ void InFilterEngine::process_batch(std::span<const FlowInput> flows,
     if (expected) {
       metrics_.eia_hits->inc();
       metrics_.verdict_legal->inc();
+      ++legal;
       continue;
     }
     metrics_.eia_misses->inc();
@@ -222,12 +248,51 @@ void InFilterEngine::process_batch(std::span<const FlowInput> flows,
     verdict.suspect = true;
     const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
     if (learned) metrics_.eia_learned->inc();
+    suspects.push_back(SuspectFlow{record, ingress, now, learned,
+                                   eia_.expected_ingress(record.src_ip)});
+    positions.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Legal flows finish here, so their end-to-end latency sample is this
+  // pass alone (batch-amortized); suspects get theirs from
+  // finish_suspect_batch, keeping one process_us sample per flow overall.
+  if (metrics_.process_us != nullptr && legal > 0) {
+    const double per_flow_us = (obs::monotonic_us() - batch_start_us) /
+                               static_cast<double>(flows.size());
+    for (std::size_t i = 0; i < legal; ++i) {
+      metrics_.process_us->observe(per_flow_us);
+    }
+  }
+}
+
+void InFilterEngine::finish_suspect_batch(std::span<const SuspectFlow> suspects,
+                                          std::span<Verdict> out) {
+  assert(suspects.size() == out.size());
+  if (suspects.empty()) return;
+  const double batch_start_us = obs::monotonic_us();
+  auto& scratch = batch_scratch_;
+  scratch.nns_ids.clear();
+  scratch.nns_records.clear();
+  scratch.nns_rngs.clear();
+
+  // Pass 1 -- the stateful scan stage, suspect by suspect in span order
+  // (the shared buffer sees them exactly as the per-flow path would).
+  // Suspects that reach the NNS stage are gathered for pass 2; alerts are
+  // only recorded, not emitted, so the stream can be replayed in span
+  // order in pass 3.
+  const bool degenerate_basic = config_.mode == EngineMode::kBasic ||
+                                !config_.use_nns || clusters_ == nullptr;
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    const SuspectFlow& suspect = suspects[i];
+    Verdict& verdict = out[i];
+    verdict = Verdict{};
+    verdict.suspect = true;
 
     if (config_.mode != EngineMode::kBasic && config_.use_scan_analysis) {
       ScanVerdict scan;
       {
         obs::StageTimer timer(metrics_.stage_scan_us);
-        scan = scan_.observe(record);
+        scan = scan_.observe(suspect.record);
       }
       metrics_.scan_analyzed->inc();
       if (scan != ScanVerdict::kClean) {
@@ -237,34 +302,25 @@ void InFilterEngine::process_batch(std::span<const FlowInput> flows,
         verdict.attack = true;
         verdict.stage = alert::DetectionStage::kScanAnalysis;
         metrics_.verdict_attack_scan->inc();
-        if (sink_ != nullptr) {
-          scratch.expected[i] = eia_.expected_ingress(record.src_ip);
-        }
         continue;
       }
     }
 
     if (degenerate_basic) {
-      verdict.attack = !learned;
+      verdict.attack = !suspect.learned;
       verdict.stage = alert::DetectionStage::kEiaMismatch;
       (verdict.attack ? metrics_.verdict_attack_eia
                       : metrics_.verdict_cleared_learned)
           ->inc();
-      if (verdict.attack && sink_ != nullptr) {
-        scratch.expected[i] = eia_.expected_ingress(record.src_ip);
-      }
       continue;
     }
 
     scratch.nns_ids.push_back(static_cast<std::uint32_t>(i));
-    scratch.nns_records.push_back(record);
-    scratch.nns_rngs.emplace_back(flow_rng_seed(config_.seed, record));
-    if (sink_ != nullptr) {
-      scratch.expected[i] = eia_.expected_ingress(record.src_ip);
-    }
+    scratch.nns_records.push_back(suspect.record);
+    scratch.nns_rngs.emplace_back(flow_rng_seed(config_.seed, suspect.record));
   }
 
-  // Pass 2 -- the stateless NNS stage over the gathered flows as one
+  // Pass 2 -- the stateless NNS stage over the gathered suspects as one
   // batch. The stage histogram records the batch-amortized per-flow cost
   // so its sample count still matches the per-flow path's.
   if (const std::size_t assessed = scratch.nns_ids.size(); assessed > 0) {
@@ -298,33 +354,44 @@ void InFilterEngine::process_batch(std::span<const FlowInput> flows,
     }
   }
 
-  // Pass 3 -- alert emission in flow order: ids and contents match the
+  // Pass 3 -- alert emission in span order: ids and contents match the
   // per-flow stream exactly (the expected-ingress context was snapshotted
-  // in pass 1).
+  // at EIA-check time).
   if (sink_ != nullptr) {
-    for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (std::size_t i = 0; i < suspects.size(); ++i) {
       if (!out[i].attack) continue;
-      emit_alert_with(flows[i].record, flows[i].ingress, flows[i].now, out[i],
-                      scratch.expected[i]);
+      emit_alert_with(suspects[i].record, suspects[i].ingress, suspects[i].now,
+                      out[i], suspects[i].expected);
     }
   }
 
   if (metrics_.process_us != nullptr) {
     const double per_flow_us = (obs::monotonic_us() - batch_start_us) /
-                               static_cast<double>(flows.size());
-    for (std::size_t i = 0; i < flows.size(); ++i) {
+                               static_cast<double>(suspects.size());
+    for (std::size_t i = 0; i < suspects.size(); ++i) {
       metrics_.process_us->observe(per_flow_us);
     }
   }
 }
 
-void InFilterEngine::emit_alert(const netflow::V5Record& record, IngressId ingress,
-                                util::TimeMs now, const Verdict& verdict) {
-  // No sink, no alert: the verdict counters above already account for the
-  // detection, and alert ids stay dense over *delivered* alerts.
-  if (sink_ == nullptr) return;
-  emit_alert_with(record, ingress, now, verdict,
-                  eia_.expected_ingress(record.src_ip));
+void InFilterEngine::process_batch(std::span<const FlowInput> flows,
+                                   std::span<Verdict> out) {
+  assert(flows.size() == out.size());
+  if (flows.empty()) return;
+  auto& scratch = batch_scratch_;
+  scratch.suspects.clear();
+  scratch.suspect_positions.clear();
+  pre_process_batch(flows, out, scratch.suspects, scratch.suspect_positions);
+  if (scratch.suspects.empty()) return;
+  if (scratch.suspect_verdicts.size() < scratch.suspects.size()) {
+    scratch.suspect_verdicts.resize(scratch.suspects.size());
+  }
+  finish_suspect_batch(
+      scratch.suspects,
+      std::span<Verdict>(scratch.suspect_verdicts.data(), scratch.suspects.size()));
+  for (std::size_t j = 0; j < scratch.suspects.size(); ++j) {
+    out[scratch.suspect_positions[j]] = scratch.suspect_verdicts[j];
+  }
 }
 
 void InFilterEngine::emit_alert_with(const netflow::V5Record& record,

@@ -68,6 +68,24 @@ struct Verdict {
   std::optional<TrainedClusters::Assessment> nns;
 };
 
+/// A flow that failed the EIA check, detached from the engine that ran the
+/// check: everything the post-EIA stages (scan analysis, NNS, alert
+/// emission) need to finish the verdict. The sharded runtime forwards
+/// these from the per-shard EIA stages to one shared scan-stage engine
+/// (runtime/runtime.h), which is what keeps the destination-keyed suspect
+/// buffer global -- and scan verdicts serial-exact -- under sharding.
+struct SuspectFlow {
+  netflow::V5Record record;
+  IngressId ingress = 0;
+  util::TimeMs now = 0;
+  /// The EIA auto-learning rule fired on this flow (Section 5.2): the
+  /// mismatch is treated as the route change it signals, not an attack.
+  bool learned = false;
+  /// Expected-ingress alert context, snapshotted at EIA-check time --
+  /// before later flows can mutate the EIA table that produced it.
+  std::optional<IngressId> expected;
+};
+
 class InFilterEngine {
  public:
   /// `sink` may be null (no alert emission); not owned.
@@ -110,9 +128,51 @@ class InFilterEngine {
   /// Precondition: flows.size() == out.size().
   void process_batch(std::span<const FlowInput> flows, std::span<Verdict> out);
 
+  // -- Split pipeline (the sharded runtime's shared scan stage) --
+  //
+  // process() == pre_process() then, for suspects, finish_suspect() on the
+  // same engine. The split exists so the runtime can run the EIA stage on
+  // per-shard engines (state keyed by the shard hash) while one shared
+  // engine runs the destination-keyed stages for every shard's suspects in
+  // global dispatch order. The two halves divide the per-flow metrics
+  // between them: pre_process owns flows_total, the EIA stage counters and
+  // the legal-flow verdict/latency metrics; finish_suspect owns the
+  // scan/NNS stage counters, the suspect verdict/latency metrics and alert
+  // emission -- so a merged snapshot over both engines reaches exactly the
+  // serial engine's totals.
+
+  /// The EIA stage of process() alone: the membership check plus the
+  /// Section 5.2 auto-learning rule. Returns false for a legal flow
+  /// (`verdict` is final); returns true for a suspect (`verdict.suspect`
+  /// set, attack verdict undecided) and fills `suspect` for a
+  /// finish_suspect() call -- on this engine or another one.
+  bool pre_process(const netflow::V5Record& record, IngressId ingress,
+                   util::TimeMs now, Verdict& verdict, SuspectFlow& suspect);
+
+  /// The post-EIA stages of process() alone: scan analysis -> NNS ->
+  /// alert emission, against *this* engine's scan buffer, clusters and
+  /// sink.
+  Verdict finish_suspect(const SuspectFlow& suspect);
+
+  /// Batched pre_process: out[i] is final for legal flows; suspect flows
+  /// are appended to `suspects` (their batch positions to `positions`)
+  /// with out[i].suspect set, for a finish_suspect_batch() elsewhere.
+  /// Neither vector is cleared. Precondition: flows.size() == out.size().
+  void pre_process_batch(std::span<const FlowInput> flows, std::span<Verdict> out,
+                         std::vector<SuspectFlow>& suspects,
+                         std::vector<std::uint32_t>& positions);
+
+  /// Batched finish_suspect: the stateful scan stage observes suspects in
+  /// span order, the NNS stage runs once over the whole batch, and alerts
+  /// are emitted in span order -- bit-for-bit the per-suspect results.
+  /// Precondition: suspects.size() == out.size().
+  void finish_suspect_batch(std::span<const SuspectFlow> suspects,
+                            std::span<Verdict> out);
+
   [[nodiscard]] const EiaTable& eia() const { return eia_; }
   [[nodiscard]] const TrainedClusters* clusters() const { return clusters_.get(); }
   [[nodiscard]] ScanAnalysis& scan() { return scan_; }
+  [[nodiscard]] const ScanAnalysis& scan() const { return scan_; }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
   /// The registry every pipeline metric lives in (the external one when
@@ -131,13 +191,13 @@ class InFilterEngine {
   }
 
  private:
-  void emit_alert(const netflow::V5Record& record, IngressId ingress,
-                  util::TimeMs now, const Verdict& verdict);
-  /// Alert construction with the expected-ingress context precomputed.
-  /// process_batch snapshots it while the flow is being processed (before
-  /// later flows mutate the EIA table) and emits in a final flow-order
-  /// pass, reproducing the per-flow alert stream exactly. Precondition:
-  /// sink_ != nullptr.
+  /// Alert construction with the expected-ingress context precomputed:
+  /// pre_process snapshots it at EIA-check time (before later flows mutate
+  /// the EIA table that produced it), so emission can happen arbitrarily
+  /// later -- or on another engine -- with the per-flow alert content
+  /// reproduced exactly. No sink, no alert: the verdict counters already
+  /// account for the detection, and alert ids stay dense over *delivered*
+  /// alerts. Precondition: sink_ != nullptr.
   void emit_alert_with(const netflow::V5Record& record, IngressId ingress,
                        util::TimeMs now, const Verdict& verdict,
                        std::optional<IngressId> expected);
@@ -151,8 +211,10 @@ class InFilterEngine {
     std::vector<netflow::V5Record> nns_records;
     std::vector<util::Rng> nns_rngs;
     std::vector<TrainedClusters::Assessment> nns_out;
-    /// Expected-ingress snapshot per batch position (sink attached only).
-    std::vector<std::optional<IngressId>> expected;
+    /// process_batch staging between its pre and finish halves.
+    std::vector<SuspectFlow> suspects;
+    std::vector<std::uint32_t> suspect_positions;
+    std::vector<Verdict> suspect_verdicts;
     TrainedClusters::BatchScratch clusters;
   };
 

@@ -1,13 +1,18 @@
 #include "core/scan.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace infilter::core {
 
 ScanAnalysis::ScanAnalysis(ScanConfig config) : config_(config) {
-  assert(config_.buffer_size > 0);
-  assert(config_.network_scan_threshold > 1);
-  assert(config_.host_scan_threshold > 1);
+  // Clamp rather than assert: an assert disappears in release builds, and
+  // buffer_size == 0 would then call evict_oldest() on an empty deque
+  // (undefined behavior) on the first observe(). Thresholds below 2 would
+  // flag every buffered flow, which no caller can mean.
+  config_.buffer_size = std::max<std::size_t>(config_.buffer_size, 1);
+  config_.network_scan_threshold = std::max(config_.network_scan_threshold, 2);
+  config_.host_scan_threshold = std::max(config_.host_scan_threshold, 2);
 }
 
 ScanVerdict ScanAnalysis::observe(const netflow::V5Record& record) {

@@ -24,12 +24,15 @@
 namespace infilter::core {
 
 struct ScanConfig {
+  /// Clamped to >= 1 by the ScanAnalysis constructor: a zero-size buffer
+  /// would make observe() evict from an empty deque.
   std::size_t buffer_size = 200;
   /// Distinct destination hosts on one destination port that constitute a
-  /// network scan.
+  /// network scan. Clamped to >= 2 (a threshold of 1 would flag every
+  /// suspect flow, including the first from a source).
   int network_scan_threshold = 15;
   /// Distinct destination ports on one destination host that constitute a
-  /// host scan.
+  /// host scan. Clamped to >= 2.
   int host_scan_threshold = 15;
 };
 
@@ -46,7 +49,13 @@ struct ScanStats {
 
 class ScanAnalysis {
  public:
+  /// Out-of-range config values are clamped (see ScanConfig), so a release
+  /// build fed `buffer_size == 0` degrades to a one-flow buffer instead of
+  /// evicting from an empty deque.
   explicit ScanAnalysis(ScanConfig config = {});
+
+  /// The configuration actually in effect after clamping.
+  [[nodiscard]] const ScanConfig& config() const { return config_; }
 
   /// Buffers a suspect flow and evaluates both counters for it.
   ScanVerdict observe(const netflow::V5Record& record);

@@ -1,7 +1,9 @@
 #include "runtime/runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <queue>
 
 #include "util/rng.h"
 
@@ -68,19 +70,40 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
         return static_cast<double>(queued);
       },
       "Flows currently sitting in shard rings");
+  owned_registry_->counter_fn(
+      "infilter_runtime_suspects_forwarded_total",
+      [this] { return suspects_forwarded_.load(std::memory_order_relaxed); },
+      "EIA misses forwarded to the shared scan stage");
+  owned_registry_->counter_fn(
+      "infilter_runtime_suspects_completed_total",
+      [this] { return suspects_completed_.load(std::memory_order_relaxed); },
+      "Suspect flows completed by the shared scan stage");
 
+  const bool scan_stage = config_.engine.mode == core::EngineMode::kEnhanced &&
+                          config_.engine.use_scan_analysis;
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->ring = std::make_unique<SpscRing<FlowItem>>(config_.queue_depth);
     shard->engine = std::make_unique<core::InFilterEngine>(
         shard_engine_config(config_), sink != nullptr ? &sink_ : nullptr);
+    if (scan_stage) {
+      shard->suspect_ring =
+          std::make_unique<SpscRing<SeqSuspect>>(config_.queue_depth);
+    }
     shards_.push_back(std::move(shard));
+  }
+  if (scan_stage) {
+    scan_engine_ = std::make_unique<core::InFilterEngine>(
+        shard_engine_config(config_), sink != nullptr ? &sink_ : nullptr);
   }
   // Engines first, threads second: a worker must never observe a
   // half-constructed shard vector.
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, raw = shard.get()] { worker_main(*raw); });
+  }
+  if (scan_stage) {
+    scan_thread_ = std::thread([this] { scan_main(); });
   }
 }
 
@@ -88,12 +111,16 @@ ShardedRuntime::~ShardedRuntime() { shutdown(); }
 
 void ShardedRuntime::add_expected(core::IngressId ingress,
                                   const net::Prefix& prefix) {
+  // The scan engine's EIA table stays empty on purpose: finish_suspect*
+  // never consults it (the EIA outcome rides along in SuspectFlow).
   for (auto& shard : shards_) shard->engine->add_expected(ingress, prefix);
 }
 
 void ShardedRuntime::set_clusters(
     std::shared_ptr<const core::TrainedClusters> clusters) {
   for (auto& shard : shards_) shard->engine->set_clusters(clusters);
+  // With the scan stage active the NNS stage runs there, not on shards.
+  if (scan_engine_ != nullptr) scan_engine_->set_clusters(std::move(clusters));
 }
 
 void ShardedRuntime::train(std::span<const netflow::V5Record> normal_flows) {
@@ -119,6 +146,13 @@ void ShardedRuntime::wake(Shard& shard) {
   if (shard.parked.load(std::memory_order_seq_cst)) {
     std::lock_guard lock(shard.wake_mutex);
     shard.wake_cv.notify_one();
+  }
+}
+
+void ShardedRuntime::wake_scan() {
+  if (scan_parked_.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(scan_wake_mutex_);
+    scan_wake_cv_.notify_one();
   }
 }
 
@@ -167,9 +201,15 @@ bool ShardedRuntime::submit(const netflow::V5Record& record,
     return false;
   }
   Shard& shard = *shards_[shard_of(ingress, record.src_ip, shards_.size())];
-  if (!push_with_backpressure(shard, FlowItem{record, ingress, now, tag})) {
+  // The sequence number is consumed only on acceptance, so a kDrop shed
+  // here leaves no gap (gaps elsewhere are tolerated anyway: the scan
+  // stage compares against watermarks, never for contiguity).
+  if (!push_with_backpressure(shard,
+                              FlowItem{record, ingress, now, tag, next_seq_ + 1})) {
     return false;
   }
+  ++next_seq_;
+  published_seq_.store(next_seq_, std::memory_order_release);
   shard.enqueued.fetch_add(1, std::memory_order_relaxed);
   wake(shard);
   return true;
@@ -184,10 +224,14 @@ std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
   // Bucket per shard, then push each bucket with one batched ring
   // operation; the scratch buckets are rebuilt per call (the dispatcher is
   // one thread, so a member scratch would buy little and cost clarity).
+  // Sequence numbers follow items order, so "dispatch order" is the
+  // caller's submission order regardless of how buckets interleave.
   std::vector<std::vector<FlowItem>> buckets(shards_.size());
   for (const FlowItem& item : items) {
-    buckets[shard_of(item.ingress, item.record.src_ip, shards_.size())]
-        .push_back(item);
+    auto& bucket =
+        buckets[shard_of(item.ingress, item.record.src_ip, shards_.size())];
+    bucket.push_back(item);
+    bucket.back().seq = ++next_seq_;
   }
   std::size_t accepted = 0;
   for (std::size_t s = 0; s < buckets.size(); ++s) {
@@ -197,20 +241,41 @@ std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
     shard.enqueued.fetch_add(pushed, std::memory_order_relaxed);
     accepted += pushed;
   }
+  // Publish only after every bucket is in its ring: a worker that acquires
+  // this value and then drains its ring has seen everything <= it.
+  published_seq_.store(next_seq_, std::memory_order_release);
   return accepted;
 }
 
+void ShardedRuntime::advance_watermark_if_drained(Shard& shard) {
+  // Order matters: acquire published_seq_ *first*, then check the ring.
+  // Every flow with seq <= the acquired value was pushed before the
+  // dispatcher's release store (submit publishes last), so an empty ring
+  // afterwards means this shard has fully pre-processed all of them --
+  // later submissions carry larger sequence numbers. An idle shard thus
+  // keeps pace with the dispatcher instead of pinning the scan stage's
+  // safe bound at its last processed flow.
+  const std::uint64_t published = published_seq_.load(std::memory_order_acquire);
+  if (published <= shard.watermark.load(std::memory_order_relaxed)) return;
+  if (!shard.ring->empty()) return;
+  shard.watermark.store(published, std::memory_order_release);
+}
+
 void ShardedRuntime::worker_main(Shard& shard) {
+  const bool scan_stage = shard.suspect_ring != nullptr;
   std::vector<FlowItem> batch(config_.max_batch);
   // Reusable batch buffers for the engine's batch API (FlowItem carries the
   // ring tag, so the engine inputs are copied out into their own contiguous
-  // array). Sized once; no per-batch allocation.
+  // array). Sized once; no per-batch allocation at steady state.
   std::vector<core::FlowInput> inputs(config_.max_batch);
   std::vector<core::Verdict> verdicts(config_.max_batch);
+  std::vector<core::SuspectFlow> suspects;
+  std::vector<std::uint32_t> positions;
   for (;;) {
     const std::size_t n = shard.ring->try_pop_batch(batch.data(), batch.size());
     if (n == 0) {
       if (stopping_.load(std::memory_order_acquire) && shard.ring->empty()) break;
+      if (scan_stage) advance_watermark_if_drained(shard);
       // Spin briefly (the dispatcher may be mid-refill), then park. The
       // timed, predicate-guarded wait bounds any lost-wakeup window to one
       // nap instead of risking a missed-notify deadlock.
@@ -238,23 +303,151 @@ void ShardedRuntime::worker_main(Shard& shard) {
     for (std::size_t i = 0; i < n; ++i) {
       inputs[i] = core::FlowInput{batch[i].record, batch[i].ingress, batch[i].now};
     }
-    shard.engine->process_batch(
+
+    if (!scan_stage) {
+      // Whole pipeline per shard: exact without a shared stage (kBasic is
+      // EIA-only; with scan analysis off, EIA and NNS shard exactly).
+      shard.engine->process_batch(
+          std::span<const core::FlowInput>(inputs.data(), n),
+          std::span<core::Verdict>(verdicts.data(), n));
+      if (hook_) {
+        for (std::size_t i = 0; i < n; ++i) hook_(batch[i], verdicts[i]);
+      }
+      shard.processed.fetch_add(n, std::memory_order_release);
+      continue;
+    }
+
+    // EIA stage only; suspects go to the scan stage with their dispatch
+    // sequence numbers.
+    suspects.clear();
+    positions.clear();
+    shard.engine->pre_process_batch(
         std::span<const core::FlowInput>(inputs.data(), n),
-        std::span<core::Verdict>(verdicts.data(), n));
+        std::span<core::Verdict>(verdicts.data(), n), suspects, positions);
+    for (std::size_t j = 0; j < suspects.size(); ++j) {
+      const FlowItem& origin = batch[positions[j]];
+      const SeqSuspect item{suspects[j], origin.seq, origin.tag};
+      // Block, never drop: a suspect lost here would desynchronize the
+      // scan buffer from the serial engine for every later flow. The wait
+      // is bounded -- the scan thread unconditionally drains this ring
+      // into its (unbounded) reorder heap on every pass.
+      while (!shard.suspect_ring->try_push(item)) {
+        wake_scan();
+        std::this_thread::sleep_for(kBackpressureNap);
+      }
+    }
+    if (!suspects.empty()) {
+      // Relaxed is enough: the release store of `processed` below (and of
+      // `watermark`) publishes it before flush()/snapshot() can read.
+      suspects_forwarded_.fetch_add(suspects.size(), std::memory_order_relaxed);
+      wake_scan();
+    }
+    // After the pushes: acquiring this watermark guarantees every suspect
+    // up to it is visible in the ring.
+    shard.watermark.store(batch[n - 1].seq, std::memory_order_release);
     if (hook_) {
-      for (std::size_t i = 0; i < n; ++i) hook_(batch[i], verdicts[i]);
+      // Legal flows are final here; suspect verdicts complete (and their
+      // hook fires) on the scan thread, in dispatch order.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!verdicts[i].suspect) hook_(batch[i], verdicts[i]);
+      }
     }
     shard.processed.fetch_add(n, std::memory_order_release);
   }
 }
 
+void ShardedRuntime::scan_main() {
+  struct BySeq {
+    bool operator()(const SeqSuspect& a, const SeqSuspect& b) const {
+      return a.seq > b.seq;  // min-heap
+    }
+  };
+  std::priority_queue<SeqSuspect, std::vector<SeqSuspect>, BySeq> pending;
+  std::vector<std::uint64_t> watermarks(shards_.size(), 0);
+  std::vector<core::SuspectFlow> suspects;
+  std::vector<FlowItem> origins;
+  std::vector<core::Verdict> verdicts;
+  SeqSuspect popped;
+  for (;;) {
+    // Read the watermarks *before* draining the rings: a suspect with
+    // seq <= a shard's acquired watermark is already in that shard's ring
+    // (the worker pushes before its release store), so after the drain the
+    // heap holds every suspect at or below the safe bound.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      watermarks[s] = shards_[s]->watermark.load(std::memory_order_acquire);
+    }
+    for (auto& shard : shards_) {
+      while (shard->suspect_ring->try_pop(popped)) pending.push(popped);
+    }
+    // No suspect below min(watermarks) can still be in flight anywhere, so
+    // everything up to it can be applied to the shared scan buffer in
+    // sequence order -- exactly the serial engine's processing order.
+    const std::uint64_t safe =
+        *std::min_element(watermarks.begin(), watermarks.end());
+    suspects.clear();
+    origins.clear();
+    while (!pending.empty() && pending.top().seq <= safe) {
+      const SeqSuspect& top = pending.top();
+      suspects.push_back(top.suspect);
+      origins.push_back(FlowItem{top.suspect.record, top.suspect.ingress,
+                                 top.suspect.now, top.tag, top.seq});
+      pending.pop();
+    }
+    if (!suspects.empty()) {
+      if (verdicts.size() < suspects.size()) verdicts.resize(suspects.size());
+      scan_engine_->finish_suspect_batch(
+          suspects, std::span<core::Verdict>(verdicts.data(), suspects.size()));
+      if (hook_) {
+        for (std::size_t i = 0; i < suspects.size(); ++i) {
+          hook_(origins[i], verdicts[i]);
+        }
+      }
+      // Release-publish the engine mutations: flush()/snapshot() acquire
+      // this counter before touching the scan engine.
+      suspects_completed_.fetch_add(suspects.size(), std::memory_order_release);
+      continue;
+    }
+    if (scan_stopping_.load(std::memory_order_acquire) && pending.empty()) {
+      // scan_stopping_ is set only after flush(), so nothing is in
+      // flight; the empty-ring check is belt and braces.
+      bool drained = true;
+      for (const auto& shard : shards_) {
+        if (!shard->suspect_ring->empty()) drained = false;
+      }
+      if (drained) break;
+      continue;
+    }
+    // Park with a 1 ms bound: a missed notify costs one nap, and every
+    // wake-up (notified or timed) re-reads the watermarks, which idle
+    // workers keep advancing. No predicate -- any wake reason is a reason
+    // to re-evaluate.
+    std::unique_lock lock(scan_wake_mutex_);
+    scan_parked_.store(true, std::memory_order_seq_cst);
+    scan_wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    scan_parked_.store(false, std::memory_order_seq_cst);
+  }
+}
+
 void ShardedRuntime::flush() {
+  // Phase 1: every shard drains its flow ring (EIA stage complete). After
+  // this, suspects_forwarded_ is final -- each worker bumps it before the
+  // `processed` release store we acquire here.
   for (auto& shard : shards_) {
     while (shard->processed.load(std::memory_order_acquire) <
            shard->enqueued.load(std::memory_order_relaxed)) {
       wake(*shard);
       std::this_thread::sleep_for(kBackpressureNap);
     }
+  }
+  if (scan_engine_ == nullptr) return;
+  // Phase 2: the scan stage completes every forwarded suspect. Progress
+  // needs no help beyond waking the scan thread: parked idle workers
+  // re-advance their watermarks at least once per ~1 ms park cycle, which
+  // releases any suspects still held in the reorder window.
+  while (suspects_completed_.load(std::memory_order_acquire) <
+         suspects_forwarded_.load(std::memory_order_acquire)) {
+    wake_scan();
+    std::this_thread::sleep_for(kBackpressureNap);
   }
 }
 
@@ -269,6 +462,16 @@ void ShardedRuntime::shutdown() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  // Workers first, scan thread second: after flush() nothing is in flight,
+  // and joined workers can no longer forward suspects.
+  if (scan_thread_.joinable()) {
+    scan_stopping_.store(true, std::memory_order_release);
+    {
+      std::lock_guard lock(scan_wake_mutex_);
+      scan_wake_cv_.notify_one();
+    }
+    scan_thread_.join();
+  }
   stopped_ = true;
 }
 
@@ -282,6 +485,8 @@ RuntimeStats ShardedRuntime::stats() const {
     out.dispatched += shard->enqueued.load(std::memory_order_relaxed);
     out.processed += shard->processed.load(std::memory_order_acquire);
   }
+  out.suspects_forwarded = suspects_forwarded_.load(std::memory_order_relaxed);
+  out.suspects_completed = suspects_completed_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -291,24 +496,36 @@ const core::InFilterEngine& ShardedRuntime::shard_engine(std::size_t shard) cons
 
 obs::RegistrySnapshot ShardedRuntime::snapshot() const {
   std::vector<obs::RegistrySnapshot> parts;
-  parts.reserve(shards_.size() + 2);
+  parts.reserve(shards_.size() + 3);
   parts.push_back(registry_->snapshot());
   if (owned_registry_.get() != registry_) {
     parts.push_back(owned_registry_->snapshot());
   }
+  bool all_quiescent = true;
   for (const auto& shard : shards_) {
     // A shard engine's registry holds pull gauges over plain (non-atomic)
-    // engine state -- the EIA pending map, the scan buffer -- that the
-    // worker mutates while processing. Sample a shard only when it is
-    // quiescent: every flow the dispatcher pushed has been fully
-    // processed, so the worker cannot touch the engine again before the
-    // dispatcher (the thread running this, per the contract) submits more.
-    // The acquire pairs with the worker's release of `processed`, making
-    // the engine writes visible to the snapshot.
+    // engine state -- the EIA pending map -- that the worker mutates
+    // while processing. Sample a shard only when it is quiescent: every
+    // flow the dispatcher pushed has been fully processed, so the worker
+    // cannot touch the engine again before the dispatcher (the thread
+    // running this, per the contract) submits more. The acquire pairs
+    // with the worker's release of `processed`, making the engine writes
+    // visible to the snapshot.
     if (shard->processed.load(std::memory_order_acquire) ==
         shard->enqueued.load(std::memory_order_relaxed)) {
       parts.push_back(shard->engine->registry().snapshot());
+    } else {
+      all_quiescent = false;
     }
+  }
+  // Same rule for the scan engine: merged only once every forwarded
+  // suspect is completed (the acquire pairs with the scan thread's
+  // release of suspects_completed_) *and* no busy shard could still
+  // forward more. flush() first for a complete view.
+  if (scan_engine_ != nullptr && all_quiescent &&
+      suspects_completed_.load(std::memory_order_acquire) ==
+          suspects_forwarded_.load(std::memory_order_relaxed)) {
+    parts.push_back(scan_engine_->registry().snapshot());
   }
   return obs::merge_snapshots(parts);
 }

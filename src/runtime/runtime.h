@@ -16,21 +16,33 @@
 //     state-relevant history a serial engine would.
 //   * NNS: exact. Trained clusters are shared immutable state and the
 //     probe RNG is derived per flow (core/engine.h), not from a stream.
-//   * Scan analysis: per-shard. The suspect buffer keys on *destination*
-//     (hosts-per-port / ports-per-host), so sharding by source splits it;
-//     verdicts remain deterministic for a fixed (seed, shard count) but
-//     can differ from the single-buffer serial engine. With one shard, or
-//     with scan analysis disabled, the whole pipeline is exactly
-//     serial-equivalent -- tests/test_runtime.cpp pins both properties.
+//   * Scan analysis: exact. The suspect buffer keys on *destination*
+//     (hosts-per-port / ports-per-host), which source-sharding would
+//     split. Instead, shard engines run only the EIA stage
+//     (pre_process_batch); flows that fail it are forwarded -- tagged
+//     with their global dispatch sequence number -- over per-shard SPSC
+//     rings to one scan-stage thread, which reorders them (a min-heap
+//     reorder window bounded by per-shard watermarks) back into dispatch
+//     order and completes them (scan -> NNS -> alert) on a single shared
+//     engine. Verdicts, alert streams, and scan stats are bit-identical
+//     to the serial engine at every shard count --
+//     tests/test_runtime.cpp pins 1/2/4/8 shards against serial. The
+//     cost is bounded extra latency for suspect flows: a suspect is
+//     released once every shard's watermark passes its sequence number,
+//     and an idle shard advances its watermark to the dispatcher's
+//     published sequence within one ~1 ms park cycle, so the reorder
+//     window never stalls longer than that.
 //
 // Threading contract: submit*/flush/shutdown/snapshot and the
 // training-phase calls are single-dispatcher operations -- call them from
 // one thread at a time (the SPSC rings assume one producer, and snapshot
-// relies on no submit racing its per-shard quiescence checks). Alerts from all shards funnel
-// through one alert::SerializingSink, so any AlertSink works unmodified.
-// Workers spin briefly when idle, then park on a per-shard futex-style
-// condition variable; the dispatcher wakes a parked worker only when it
-// pushes into that worker's ring.
+// relies on no submit racing its per-shard quiescence checks). Alerts
+// funnel through one alert::SerializingSink, so any AlertSink works
+// unmodified; with the scan stage active only the scan engine emits
+// (legal flows never alert). Workers spin briefly when idle, then park on
+// a per-shard futex-style condition variable; the dispatcher wakes a
+// parked worker only when it pushes into that worker's ring. The scan
+// thread parks the same way and is woken by workers forwarding suspects.
 //
 // Backpressure: when a shard's ring is full the dispatcher either blocks
 // (kBlock: waits for the worker to drain, counting the waits) or sheds the
@@ -93,6 +105,8 @@ struct RuntimeStats {
   std::uint64_t backpressure_waits = 0;  ///< full-ring waits under kBlock
   std::uint64_t processed = 0;           ///< flows through a shard engine
   std::uint64_t batches = 0;             ///< worker dequeue batches
+  std::uint64_t suspects_forwarded = 0;  ///< EIA misses handed to the scan stage
+  std::uint64_t suspects_completed = 0;  ///< suspects finished by the scan stage
 };
 
 /// One unit of work: the arguments of InFilterEngine::process().
@@ -104,13 +118,20 @@ struct FlowItem {
   /// testbed stores a stream index here to join verdicts with ground
   /// truth).
   std::uint64_t tag = 0;
+  /// Global dispatch sequence number. Assigned by the dispatcher (any
+  /// caller-set value is overwritten); the scan stage sorts on it to
+  /// restore dispatch order across shards.
+  std::uint64_t seq = 0;
 };
 
 class ShardedRuntime {
  public:
-  /// Called on the owning worker's thread after each flow is processed;
-  /// used by the testbed to score verdicts against ground truth. The
-  /// callable must be thread-safe (shards invoke it concurrently).
+  /// Called once per flow when its verdict is final: on the owning
+  /// worker's thread for legal flows, on the scan-stage thread for
+  /// suspect flows (on the worker for those too when the scan stage is
+  /// inactive). Used by the testbed to score verdicts against ground
+  /// truth. The callable must be thread-safe (threads invoke it
+  /// concurrently).
   using VerdictHook =
       std::function<void(const FlowItem& item, const core::Verdict& verdict)>;
 
@@ -162,28 +183,56 @@ class ShardedRuntime {
   /// Direct access to a shard's engine, for tests and post-run inspection.
   /// Do not call while workers are running (engines are not locked).
   [[nodiscard]] const core::InFilterEngine& shard_engine(std::size_t shard) const;
+  /// The shared engine completing every suspect flow (scan -> NNS ->
+  /// alert), or null when the stage is inactive (kBasic mode, or scan
+  /// analysis disabled -- per-shard engines then run the whole pipeline,
+  /// which is already serial-exact). Same access rules as shard_engine():
+  /// inspect only after flush().
+  [[nodiscard]] const core::InFilterEngine* scan_stage_engine() const {
+    return scan_engine_.get();
+  }
 
   /// One registry view: the runtime's own metrics merged with the shard
-  /// engines' registries (obs::merge_snapshots). A single-dispatcher
-  /// operation, like submit*. The runtime's own metrics (atomic
-  /// counters/histograms, ring occupancy) are always included; a shard
-  /// engine's registry -- whose pull gauges read plain engine state the
-  /// worker mutates -- is merged in only while that shard is quiescent
-  /// (every dispatched flow processed). Call flush() first for a complete,
-  /// exact view; a mid-stream snapshot silently omits busy shards.
+  /// engines' -- and, when active, the scan-stage engine's -- registries
+  /// (obs::merge_snapshots). A single-dispatcher operation, like submit*.
+  /// The runtime's own metrics (atomic counters/histograms, ring
+  /// occupancy) are always included; an engine registry -- whose pull
+  /// gauges read plain engine state its thread mutates -- is merged in
+  /// only while that engine is quiescent (every dispatched flow, and
+  /// every forwarded suspect, processed). Call flush() first for a
+  /// complete, exact view; a mid-stream snapshot silently omits busy
+  /// engines. With the scan stage active, the split engine halves divide
+  /// the pipeline counters so the merged totals still equal a serial
+  /// engine's (core/engine.h).
   [[nodiscard]] obs::RegistrySnapshot snapshot() const;
 
  private:
+  /// A suspect flow in flight from a shard's EIA stage to the scan stage.
+  struct SeqSuspect {
+    core::SuspectFlow suspect;
+    std::uint64_t seq = 0;
+    std::uint64_t tag = 0;
+  };
+
   struct Shard {
     std::unique_ptr<SpscRing<FlowItem>> ring;
     std::unique_ptr<core::InFilterEngine> engine;
+    /// Worker -> scan stage, only when the scan stage is active.
+    std::unique_ptr<SpscRing<SeqSuspect>> suspect_ring;
     std::thread worker;
 
     /// Dispatcher-side count of flows pushed into `ring` (only the
     /// dispatcher writes it; flush() compares against `processed`).
     std::atomic<std::uint64_t> enqueued{0};
-    /// Worker-side count of flows fully processed.
+    /// Worker-side count of flows through the shard engine.
     std::atomic<std::uint64_t> processed{0};
+    /// Scan-stage watermark: every flow dispatched to this shard with
+    /// seq <= watermark has been pre-processed and its suspect (if any)
+    /// pushed into `suspect_ring` *before* the release store the scan
+    /// thread acquires. Advanced by the worker after each batch, and --
+    /// when the ring is drained -- up to the dispatcher's published_seq_,
+    /// so an idle shard never stalls the reorder window.
+    std::atomic<std::uint64_t> watermark{0};
 
     // Park/wake handshake (see worker_main).
     std::mutex wake_mutex;
@@ -192,10 +241,13 @@ class ShardedRuntime {
   };
 
   void worker_main(Shard& shard);
+  void scan_main();
+  void advance_watermark_if_drained(Shard& shard);
   bool push_with_backpressure(Shard& shard, const FlowItem& item);
   std::size_t push_batch_with_backpressure(Shard& shard,
                                            std::span<const FlowItem> items);
   void wake(Shard& shard);
+  void wake_scan();
 
   RuntimeConfig config_;
   alert::SerializingSink sink_;
@@ -203,6 +255,28 @@ class ShardedRuntime {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
+
+  // -- Shared scan stage (active iff kEnhanced && use_scan_analysis) --
+
+  /// The one engine whose scan buffer sees every suspect, in dispatch
+  /// order. Its EIA table is unused (pre-EIA context rides along in
+  /// SuspectFlow); null when the stage is inactive.
+  std::unique_ptr<core::InFilterEngine> scan_engine_;
+  std::thread scan_thread_;
+  /// Dispatcher-only: the last sequence number assigned.
+  std::uint64_t next_seq_ = 0;
+  /// next_seq_, release-published after every flow of a submit call is in
+  /// its ring. A worker that acquires this and then finds its ring empty
+  /// has processed every flow <= published_seq_ dispatched to it (later
+  /// submissions carry larger sequence numbers), so it may raise its
+  /// watermark that far.
+  std::atomic<std::uint64_t> published_seq_{0};
+  std::atomic<std::uint64_t> suspects_forwarded_{0};
+  std::atomic<std::uint64_t> suspects_completed_{0};
+  std::atomic<bool> scan_stopping_{false};
+  std::mutex scan_wake_mutex_;
+  std::condition_variable scan_wake_cv_;
+  std::atomic<bool> scan_parked_{false};
 
   /// Always holds the `this`-capturing pull gauges (see
   /// RuntimeConfig::registry); also the value-metric home when

@@ -88,11 +88,11 @@ struct ExperimentConfig {
 
   // -- Concurrent runtime (src/runtime) --
   /// 0 replays through one serial engine (the paper's prototype); N >= 1
-  /// replays through a ShardedRuntime with N worker shards. Verdict
-  /// accounting is identical either way (the scorer aggregates with
-  /// order-independent min/count reductions); scan-stage verdicts can
-  /// differ from serial when N > 1 because each shard owns a private
-  /// suspect buffer (see runtime/runtime.h).
+  /// replays through a ShardedRuntime with N worker shards. Either way
+  /// the verdicts are bit-identical to serial at every shard count:
+  /// suspects from all shards funnel through one shared scan-stage
+  /// engine in dispatch order (see runtime/runtime.h), so the
+  /// destination-keyed suspect buffer stays global.
   int runtime_shards = 0;
   std::size_t runtime_queue_depth = 4096;
 

@@ -1,6 +1,7 @@
 #include "util/args.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 namespace infilter::util {
@@ -30,6 +31,24 @@ std::int64_t Args::int_or(const std::string& name, std::int64_t fallback) const 
   const auto text = value(name);
   if (!text.has_value()) return fallback;
   return std::strtoll(text->c_str(), nullptr, 10);
+}
+
+Result<std::int64_t> Args::checked_int(const std::string& name,
+                                       std::int64_t fallback, std::int64_t min,
+                                       std::int64_t max) const {
+  const auto text = value(name);
+  if (!text.has_value()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text->c_str(), &end, 10);
+  if (end == text->c_str() || *end != '\0' || errno == ERANGE) {
+    return Error{"option --" + name + ": '" + *text + "' is not a whole number"};
+  }
+  if (parsed < min || parsed > max) {
+    return Error{"option --" + name + ": " + *text + " is out of range [" +
+                 std::to_string(min) + ", " + std::to_string(max) + "]"};
+  }
+  return static_cast<std::int64_t>(parsed);
 }
 
 double Args::double_or(const std::string& name, double fallback) const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -36,7 +37,18 @@ class Args {
                                      std::string fallback) const {
     return value(name).value_or(std::move(fallback));
   }
+  /// Lenient: a malformed value silently parses as whatever strtoll makes
+  /// of it (usually 0). Prefer checked_int for anything that feeds a
+  /// size, thread count, or other value with a validity range.
   [[nodiscard]] std::int64_t int_or(const std::string& name, std::int64_t fallback) const;
+  /// int_or with validation: when --name was given, its value must be a
+  /// whole base-10 number (no trailing junk, no overflow) within
+  /// [min, max], else an Error naming the option and the accepted range.
+  /// Absent option: the fallback, unvalidated.
+  [[nodiscard]] Result<std::int64_t> checked_int(
+      const std::string& name, std::int64_t fallback,
+      std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+      std::int64_t max = std::numeric_limits<std::int64_t>::max()) const;
   [[nodiscard]] double double_or(const std::string& name, double fallback) const;
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -273,15 +275,122 @@ TEST(ShardedRuntime, OneShardFullPipelineExactlyMatchesSerial) {
   expect_same_result(serial, sharded);
 }
 
-// Scan analysis makes N > 1 shards diverge from serial (per-shard suspect
-// buffers), but a fixed (seed, shard count) must still be reproducible
-// run-over-run regardless of thread interleaving.
+// The tentpole guarantee: with scan analysis ENABLED, every shard count
+// reproduces the serial engine's verdicts exactly. The destination-keyed
+// suspect buffer lives on the shared scan stage, which replays suspects
+// in global dispatch order, so worker interleaving is invisible.
+TEST(ShardedRuntime, ShardSweepFullPipelineExactlyMatchesSerial) {
+  auto config = runtime_config();
+  ASSERT_TRUE(config.engine.use_scan_analysis);
+  const auto serial = run_experiment(config);
+  // The property is only meaningful if the scan stage actually fires.
+  EXPECT_GT(serial.alerts_scan, 0u);
+  for (const int shards : {1, 2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    auto sharded_config = config;
+    sharded_config.runtime_shards = shards;
+    const auto sharded = run_experiment(sharded_config);
+    expect_same_result(serial, sharded);
+  }
+}
+
+// Reproducibility across runs of the same configuration, independent of
+// thread interleaving (a weaker property than serial equality, pinned
+// separately so a failure distinguishes "nondeterministic" from "wrong").
 TEST(ShardedRuntime, FullPipelineShardedIsSelfDeterministic) {
   auto config = runtime_config();
   config.runtime_shards = 3;
   const auto first = run_experiment(config);
   const auto second = run_experiment(config);
   expect_same_result(first, second);
+}
+
+void expect_same_alert(const alert::Alert& x, const alert::Alert& y) {
+  EXPECT_EQ(x.id, y.id);
+  EXPECT_EQ(x.create_time, y.create_time);
+  EXPECT_EQ(x.stage, y.stage);
+  EXPECT_EQ(x.source_ip.value(), y.source_ip.value());
+  EXPECT_EQ(x.target_ip.value(), y.target_ip.value());
+  EXPECT_EQ(x.target_port, y.target_port);
+  EXPECT_EQ(x.proto, y.proto);
+  EXPECT_EQ(x.ingress_port, y.ingress_port);
+  EXPECT_EQ(x.expected_ingress, y.expected_ingress);
+  EXPECT_EQ(x.nns_distance, y.nns_distance);
+  EXPECT_EQ(x.nns_threshold, y.nns_threshold);
+  EXPECT_DOUBLE_EQ(x.detection_latency_ms, y.detection_latency_ms);
+  EXPECT_EQ(x.classification, y.classification);
+}
+
+// Field-level exactness on the raw streams: the sharded runtime's alert
+// sequence (ids, contents, order) and the shared scan stage's internal
+// stats must be bit-identical to the serial engine's, not just equal in
+// aggregate.
+TEST(ShardedRuntime, AlertStreamAndScanStatsBitIdenticalToSerial) {
+  const auto config = runtime_config();
+  const auto stream = sim::generate_stream(config);
+  const auto clusters = sim::train_clusters(config);
+  core::EngineConfig engine_config = config.engine;
+  engine_config.seed = config.seed;
+
+  alert::CollectingSink serial_sink;
+  core::InFilterEngine serial(engine_config, &serial_sink);
+  serial.set_clusters(clusters);
+  for (int s = 0; s < config.sources; ++s) {
+    const auto port = static_cast<core::IngressId>(config.first_port + s);
+    const auto range = dagflow::eia_range(s, config.blocks_per_source);
+    for (int b = range.first.index(); b <= range.last.index(); ++b) {
+      serial.add_expected(port, net::SubBlock{b}.prefix());
+    }
+  }
+  for (const auto& flow : stream.flows) {
+    (void)serial.process(flow.record, flow.arrival_port, flow.record.last);
+  }
+  ASSERT_GT(serial_sink.alerts().size(), 0u);
+  ASSERT_GT(serial.scan().stats().network_scans + serial.scan().stats().host_scans,
+            0u);
+
+  for (const int shards : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    RuntimeConfig runtime_config;
+    runtime_config.shards = shards;
+    runtime_config.engine = engine_config;
+    alert::CollectingSink sharded_sink;
+    ShardedRuntime rt(runtime_config, &sharded_sink);
+    rt.set_clusters(clusters);
+    for (int s = 0; s < config.sources; ++s) {
+      const auto port = static_cast<core::IngressId>(config.first_port + s);
+      const auto range = dagflow::eia_range(s, config.blocks_per_source);
+      for (int b = range.first.index(); b <= range.last.index(); ++b) {
+        rt.add_expected(port, net::SubBlock{b}.prefix());
+      }
+    }
+    for (const auto& flow : stream.flows) {
+      ASSERT_TRUE(rt.submit(flow.record, flow.arrival_port, flow.record.last));
+    }
+    rt.flush();
+
+    ASSERT_NE(rt.scan_stage_engine(), nullptr);
+    const auto& serial_scan = serial.scan().stats();
+    const auto& sharded_scan = rt.scan_stage_engine()->scan().stats();
+    EXPECT_EQ(sharded_scan.observed, serial_scan.observed);
+    EXPECT_EQ(sharded_scan.network_scans, serial_scan.network_scans);
+    EXPECT_EQ(sharded_scan.host_scans, serial_scan.host_scans);
+    EXPECT_EQ(sharded_scan.evictions, serial_scan.evictions);
+    EXPECT_EQ(rt.scan_stage_engine()->scan().buffered_flows(),
+              serial.scan().buffered_flows());
+
+    ASSERT_EQ(sharded_sink.alerts().size(), serial_sink.alerts().size());
+    for (std::size_t i = 0; i < serial_sink.alerts().size(); ++i) {
+      SCOPED_TRACE("alert " + std::to_string(i));
+      expect_same_alert(sharded_sink.alerts()[i], serial_sink.alerts()[i]);
+    }
+
+    const auto merged = rt.snapshot();
+    EXPECT_DOUBLE_EQ(merged.value("infilter_flows_total"),
+                     static_cast<double>(stream.flows.size()));
+    EXPECT_DOUBLE_EQ(merged.value("infilter_alerts_total"),
+                     static_cast<double>(serial_sink.alerts().size()));
+  }
 }
 
 TEST(ShardedRuntime, MergedSnapshotAccountsForEveryFlow) {
@@ -407,6 +516,49 @@ TEST(ShardedRuntime, BlockPolicyLosesNothingThroughTinyRings) {
   EXPECT_EQ(stats.dispatched, kFlows);
   EXPECT_EQ(stats.processed, kFlows);
   EXPECT_EQ(stats.dropped, 0u);
+}
+
+// Drain completeness across the scan stage: flush() must not return while
+// any suspect sits in a worker ring, the reorder window, or the scan
+// thread's hands. Tiny rings and single-flow batches maximize in-flight
+// hand-offs; every flow is an EIA miss, so every flow crosses both rings.
+TEST(ShardedRuntime, FlushCompletesEveryInFlightSuspect) {
+  RuntimeConfig config;
+  config.shards = 4;
+  config.queue_depth = 2;
+  config.max_batch = 1;
+  config.engine.mode = core::EngineMode::kEnhanced;
+  config.engine.use_scan_analysis = true;
+  config.engine.use_nns = false;  // no training needed; scan still runs
+  std::atomic<std::uint64_t> hooks{0};
+  std::atomic<std::uint64_t> suspect_hooks{0};
+  ShardedRuntime rt(config, nullptr,
+                    [&](const FlowItem&, const core::Verdict& verdict) {
+                      hooks.fetch_add(1);
+                      if (verdict.suspect) suspect_hooks.fetch_add(1);
+                    });
+  ASSERT_NE(rt.scan_stage_engine(), nullptr);
+  constexpr std::uint64_t kFlows = 3000;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    ASSERT_TRUE(rt.submit(simple_flow(i), 9001, i));  // no EIA entries: all miss
+  }
+  rt.flush();
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.processed, kFlows);
+  EXPECT_EQ(stats.suspects_forwarded, kFlows);
+  EXPECT_EQ(stats.suspects_completed, kFlows);
+  EXPECT_EQ(hooks.load(), kFlows);
+  EXPECT_EQ(suspect_hooks.load(), kFlows);
+  EXPECT_EQ(rt.scan_stage_engine()->scan().stats().observed, kFlows);
+  // The merged view reconciles: the EIA halves on the shards, the scan
+  // half on the stage engine, no flow double-counted or lost.
+  const auto merged = rt.snapshot();
+  EXPECT_DOUBLE_EQ(merged.value("infilter_flows_total"),
+                   static_cast<double>(kFlows));
+  EXPECT_DOUBLE_EQ(merged.value("infilter_scan_analyzed_total"),
+                   static_cast<double>(kFlows));
+  rt.shutdown();
+  EXPECT_EQ(hooks.load(), kFlows);  // shutdown added nothing
 }
 
 TEST(ShardedRuntime, ShutdownIsIdempotentAndRejectsLateSubmits) {

@@ -31,6 +31,37 @@ ScanConfig small_config() {
   return c;
 }
 
+TEST(ScanAnalysis, DegenerateConfigIsClampedNotAsserted) {
+  // A hostile or typo'd config must not reach observe() as-is: in a
+  // release build (no asserts) buffer_size == 0 would evict from an empty
+  // deque and a threshold of 1 would flag the very first suspect flow.
+  ScanConfig degenerate;
+  degenerate.buffer_size = 0;
+  degenerate.network_scan_threshold = 0;
+  degenerate.host_scan_threshold = 1;
+  ScanAnalysis scan(degenerate);
+  EXPECT_EQ(scan.config().buffer_size, 1u);
+  EXPECT_EQ(scan.config().network_scan_threshold, 2);
+  EXPECT_EQ(scan.config().host_scan_threshold, 2);
+
+  // observe() works on the clamped one-flow buffer: each flow evicts the
+  // previous one, so no counter ever reaches 2 and every verdict is clean.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(scan.observe(flow_to(host(i), 80)), ScanVerdict::kClean) << i;
+    EXPECT_EQ(scan.buffered_flows(), 1u);
+  }
+  EXPECT_EQ(scan.stats().observed, 10u);
+  EXPECT_EQ(scan.stats().evictions, 9u);
+
+  // The clamped threshold of 2 behaves like an explicit 2: the second
+  // distinct host on a port trips the network-scan counter.
+  ScanConfig roomy = degenerate;
+  roomy.buffer_size = 50;
+  ScanAnalysis pair(roomy);
+  EXPECT_EQ(pair.observe(flow_to(host(1), 443)), ScanVerdict::kClean);
+  EXPECT_EQ(pair.observe(flow_to(host(2), 443)), ScanVerdict::kNetworkScan);
+}
+
 TEST(ScanAnalysis, CleanUntilNetworkThreshold) {
   ScanAnalysis scan(small_config());
   // 9 distinct hosts on port 1434: still clean; the 10th trips.

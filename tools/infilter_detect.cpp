@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 
@@ -72,16 +73,30 @@ int main(int argc, char** argv) {
   const auto mode = args.value_or("mode", "enhanced");
   if (mode == "basic") config.mode = core::EngineMode::kBasic;
   else if (mode != "enhanced") return fail("--mode must be basic or enhanced");
-  config.cluster.bits_per_feature = static_cast<int>(args.int_or("bits", 144));
-  config.scan.buffer_size = static_cast<std::size_t>(args.int_or("buffer", 200));
-  config.eia.learn_threshold = static_cast<int>(args.int_or("learn", 5));
-  config.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+  // Validated numerics: a typo'd or out-of-range value must fail with a
+  // message, not wrap into RuntimeConfig/EngineConfig and misbehave there.
+  const auto bits = args.checked_int("bits", 144, 1, 1 << 20);
+  if (!bits) return fail(bits.error().message);
+  config.cluster.bits_per_feature = static_cast<int>(*bits);
+  const auto buffer = args.checked_int("buffer", 200, 1, 1 << 24);
+  if (!buffer) return fail(buffer.error().message);
+  config.scan.buffer_size = static_cast<std::size_t>(*buffer);
+  const auto learn = args.checked_int("learn", 5, 1, 1 << 20);
+  if (!learn) return fail(learn.error().message);
+  config.eia.learn_threshold = static_cast<int>(*learn);
+  const auto seed = args.checked_int("seed", 1, 0,
+                                     std::numeric_limits<std::int64_t>::max());
+  if (!seed) return fail(seed.error().message);
+  config.seed = static_cast<std::uint64_t>(*seed);
 
-  const int threads = static_cast<int>(args.int_or("threads", 0));
+  const auto threads_arg = args.checked_int("threads", 0, 0, 4096);
+  if (!threads_arg) return fail(threads_arg.error().message);
+  const int threads = static_cast<int>(*threads_arg);
   runtime::RuntimeConfig runtime_config;
   runtime_config.shards = threads;
-  runtime_config.queue_depth =
-      static_cast<std::size_t>(args.int_or("queue-depth", 4096));
+  const auto queue_depth = args.checked_int("queue-depth", 4096, 1, 1 << 24);
+  if (!queue_depth) return fail(queue_depth.error().message);
+  runtime_config.queue_depth = static_cast<std::size_t>(*queue_depth);
   const auto backpressure = args.value_or("backpressure", "block");
   if (backpressure == "drop") {
     runtime_config.backpressure = runtime::BackpressurePolicy::kDrop;

@@ -90,8 +90,14 @@ int main(int argc, char** argv) {
   }
   const auto mode = args.value_or("mode", "enhanced");
   if (mode == "basic") config.engine.mode = core::EngineMode::kBasic;
-  config.threads = static_cast<int>(args.int_or("threads", 0));
-  config.queue_depth = static_cast<std::size_t>(args.int_or("queue-depth", 4096));
+  // Validated numerics: a typo'd or out-of-range value must fail with a
+  // message, not wrap into NodeConfig and misbehave there.
+  const auto threads = args.checked_int("threads", 0, 0, 4096);
+  if (!threads) return fail(threads.error().message);
+  config.threads = static_cast<int>(*threads);
+  const auto queue_depth = args.checked_int("queue-depth", 4096, 1, 1 << 24);
+  if (!queue_depth) return fail(queue_depth.error().message);
+  config.queue_depth = static_cast<std::size_t>(*queue_depth);
 
   ConsoleSink console(args.has("idmef"));
   auto node = app::InFilterNode::create(config, &console);
@@ -138,7 +144,9 @@ int main(int argc, char** argv) {
     std::printf("monitoring %zu collector port(s)\n", (*node)->ports().size());
   }
 
-  const auto duration = args.int_or("duration-ms", 30000);
+  const auto duration_arg = args.checked_int("duration-ms", 30000, 1, 1 << 30);
+  if (!duration_arg) return fail(duration_arg.error().message);
+  const auto duration = *duration_arg;
   std::int64_t elapsed = 0;
   std::uint64_t last_processed = 0;
   while (elapsed < duration) {
