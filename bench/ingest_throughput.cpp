@@ -1,0 +1,375 @@
+// Throughput of the threaded ingest pipeline (src/ingest) against the
+// serial LiveCollector loop on the same exported datagram stream.
+//
+// The serial baseline is flowtools::LiveCollector the way app/node drives
+// it without --ingest-threads: one thread interleaving socket polling,
+// NetFlow v5 decode, and engine processing. The threaded runs put
+// receiver thread(s) + a decode thread + a ShardedRuntime on the same
+// stream and report records/sec plus the pipeline's loss accounting
+// (kernel drops, shed datagrams, sequence gaps). On a single-core host
+// the speedup mostly measures handoff overhead -- hardware_threads is in
+// the JSON so readers can judge -- but the correctness cross-checks
+// (identical attack-verdict counts, zero steady-state heap allocations in
+// the receive/decode hot path) hold at any core count and fail the run
+// when violated.
+//
+// Usage:
+//   ingest_throughput [--smoke]           # small preset, used by ctest
+//                     [--flows 3000]      # normal flows in the stream
+//                     [--ingest-threads 1]
+//                     [--threads 2]       # runtime shards
+//                     [--out BENCH_ingest.json]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+// Global operator new/delete overrides: count every heap allocation made by
+// this binary so the probe section can prove the steady-state
+// receive -> ring -> decode -> dispatch path allocates nothing per
+// datagram. Counting only; allocation still goes through malloc/free.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include "dagflow/dagflow.h"
+#include "flowtools/udp.h"
+#include "ingest/ingest.h"
+#include "obs/export.h"
+#include "traffic/attacks.h"
+#include "traffic/normal.h"
+#include "util/args.h"
+
+using namespace infilter;
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// The ingress id both paths attribute the stream to, so the EIA tables
+/// see identical keys regardless of which ephemeral port got bound.
+constexpr core::IngressId kIngress = 9001;
+
+struct Workload {
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  std::size_t flows = 0;
+  std::vector<netflow::V5Record> training;
+};
+
+/// Normal traffic from source 0's Table 3 blocks plus a spoofed Slammer
+/// sweep -- the same shape as the testbed streams, exported as v5
+/// datagrams so both paths start from bytes on a socket.
+Workload make_workload(std::size_t normal_flows) {
+  Workload w;
+  traffic::NormalTrafficModel model;
+  util::Rng rng{21};
+  {
+    const auto trace = model.generate(normal_flows, 0, rng);
+    dagflow::Dagflow source(
+        dagflow::DagflowConfig{},
+        dagflow::AddressPool::from_allocation(dagflow::make_allocation(10, 100, 0, 0)[0]),
+        9);
+    const auto labeled = source.replay(trace);
+    w.flows += labeled.size();
+    for (auto& datagram : source.export_datagrams(labeled, 1000)) {
+      w.datagrams.push_back(std::move(datagram));
+    }
+  }
+  {
+    traffic::AttackConfig attack_config;
+    attack_config.companion_fraction = 0;
+    const auto worm = traffic::generate_attack(traffic::AttackKind::kSlammer,
+                                               attack_config, normal_flows / 2, rng);
+    dagflow::Dagflow attacker(
+        dagflow::DagflowConfig{},
+        dagflow::AddressPool::from_subblocks({*net::SubBlock::parse("70a")}), 10);
+    const auto labeled = attacker.replay(worm);
+    w.flows += labeled.size();
+    for (auto& datagram : attacker.export_datagrams(labeled, 2000)) {
+      w.datagrams.push_back(std::move(datagram));
+    }
+  }
+  {
+    const auto trace = model.generate(600, 0, rng);
+    dagflow::Dagflow replayer(
+        dagflow::DagflowConfig{},
+        dagflow::AddressPool::from_subblocks({*net::SubBlock::parse("1a")}), 7);
+    for (const auto& labeled : replayer.replay(trace)) {
+      w.training.push_back(labeled.record);
+    }
+  }
+  return w;
+}
+
+core::EngineConfig engine_config() {
+  core::EngineConfig engine;
+  engine.cluster.bits_per_feature = 48;
+  engine.seed = 5;
+  return engine;
+}
+
+struct Measurement {
+  double seconds = 0;
+  double records_per_sec = 0;
+  std::uint64_t attacks = 0;
+  ingest::IngestStats ingest;  ///< zero-initialized for the serial run
+};
+
+/// The serial baseline: LiveCollector + one engine on one thread, the
+/// exact loop app/node runs without --ingest-threads.
+Measurement run_serial(const Workload& w) {
+  auto collector = flowtools::LiveCollector::bind({0});
+  if (!collector) {
+    std::fprintf(stderr, "serial bind: %s\n", collector.error().message.c_str());
+    std::exit(1);
+  }
+  core::InFilterEngine engine(engine_config());
+  for (const auto& block : dagflow::eia_range(0).expand()) {
+    engine.add_expected(kIngress, block.prefix());
+  }
+  engine.train(w.training);
+
+  auto sender = flowtools::UdpSender::create();
+  const auto port = collector->ports()[0];
+
+  Measurement m;
+  std::size_t consumed = 0;
+  const auto process_new = [&] {
+    const auto& flows = collector->capture().flows();
+    for (; consumed < flows.size(); ++consumed) {
+      const auto& flow = flows[consumed];
+      const auto verdict = engine.process(flow.record, kIngress, flow.record.last);
+      m.attacks += verdict.attack ? 1 : 0;
+    }
+  };
+
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < w.datagrams.size(); ++i) {
+    (void)sender->send(port, w.datagrams[i]);
+    // Interleave receive/decode/analyze, like the monitor's poll loop --
+    // and keep the kernel queue shallow so nothing is lost to overflow.
+    if (i % 32 == 31) {
+      (void)collector->poll_once(0);
+      process_new();
+    }
+  }
+  while (consumed < w.flows) {
+    (void)collector->poll_once(1);
+    process_new();
+  }
+  m.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  m.records_per_sec =
+      m.seconds > 0 ? static_cast<double>(w.flows) / m.seconds : 0;
+  return m;
+}
+
+/// Sends the whole stream into a live pipeline, pacing against its
+/// received count so tiny test arenas never push loss into the kernel.
+void send_paced(flowtools::UdpSender& sender, const ingest::IngestPipeline& pipeline,
+                std::uint16_t port, const Workload& w, std::uint64_t base) {
+  std::uint64_t sent = 0;
+  for (const auto& datagram : w.datagrams) {
+    (void)sender.send(port, datagram);
+    ++sent;
+    while (pipeline.stats().datagrams_received + 256 < base + sent) {
+      std::this_thread::sleep_for(50us);
+    }
+  }
+  while (pipeline.stats().datagrams_received < base + sent) {
+    std::this_thread::sleep_for(200us);
+  }
+}
+
+/// Receiver thread(s) + decode thread + sharded runtime on the same bytes.
+Measurement run_threaded(const Workload& w, int receivers, int shards) {
+  runtime::RuntimeConfig runtime_config;
+  runtime_config.shards = shards;
+  runtime_config.engine = engine_config();
+  std::atomic<std::uint64_t> attacks{0};
+  runtime::ShardedRuntime rt(
+      runtime_config, nullptr,
+      [&](const runtime::FlowItem&, const core::Verdict& verdict) {
+        if (verdict.attack) attacks.fetch_add(1, std::memory_order_relaxed);
+      });
+  for (const auto& block : dagflow::eia_range(0).expand()) {
+    rt.add_expected(kIngress, block.prefix());
+  }
+  rt.train(w.training);
+
+  ingest::IngestConfig config;
+  config.ports.assign(static_cast<std::size_t>(std::max(1, receivers)), 0);
+  config.ingress_ids.assign(config.ports.size(), kIngress);
+  config.receiver_threads = receivers;
+  auto pipeline = ingest::IngestPipeline::create(config, rt);
+  if (!pipeline) {
+    std::fprintf(stderr, "pipeline: %s\n", pipeline.error().message.c_str());
+    std::exit(1);
+  }
+  auto sender = flowtools::UdpSender::create();
+  const auto port = (*pipeline)->ports()[0];
+
+  Measurement m;
+  const auto start = Clock::now();
+  send_paced(*sender, **pipeline, port, w, 0);
+  (*pipeline)->quiesce([&] { rt.flush(); });
+  m.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  m.records_per_sec =
+      m.seconds > 0 ? static_cast<double>(w.flows) / m.seconds : 0;
+  m.attacks = attacks.load(std::memory_order_relaxed);
+  m.ingest = (*pipeline)->stats();
+  (*pipeline)->stop();
+  rt.shutdown();
+  return m;
+}
+
+/// The allocation probe: a pipeline with a null dispatcher isolates the
+/// receive -> ring -> decode path. Pass 1 warms the thread-local working
+/// sets; pass 2 over the same stream must not touch the heap at all.
+std::uint64_t probe_steady_allocs(const Workload& w) {
+  ingest::IngestConfig config;
+  config.ports = {0};
+  config.ingress_ids = {kIngress};
+  auto pipeline = ingest::IngestPipeline::create(
+      config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
+  if (!pipeline) {
+    std::fprintf(stderr, "probe pipeline: %s\n", pipeline.error().message.c_str());
+    std::exit(1);
+  }
+  auto sender = flowtools::UdpSender::create();
+  const auto port = (*pipeline)->ports()[0];
+
+  send_paced(*sender, **pipeline, port, w, 0);  // warm pass
+  (*pipeline)->drain();
+
+  const auto before = g_heap_allocs.load(std::memory_order_relaxed);
+  send_paced(*sender, **pipeline, port, w, w.datagrams.size());
+  (*pipeline)->drain();
+  const auto allocs = g_heap_allocs.load(std::memory_order_relaxed) - before;
+  (*pipeline)->stop();
+  return allocs;
+}
+
+std::string ingest_json(const ingest::IngestStats& s) {
+  std::string out;
+  out += "\"kernel_drops\": " + std::to_string(s.kernel_drops);
+  out += ", \"dropped_oldest\": " + std::to_string(s.dropped_oldest);
+  out += ", \"records_shed\": " + std::to_string(s.records_shed);
+  out += ", \"sequence_gaps\": " + std::to_string(s.sequence_gaps);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = util::Args::parse(argc, argv, {"smoke"});
+  if (!parsed) {
+    std::fprintf(stderr, "ingest_throughput: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const auto& args = *parsed;
+  const bool smoke = args.has("smoke");
+
+  const auto flows = static_cast<std::size_t>(
+      args.int_or("flows", smoke ? 400 : 3000));
+  const int receivers = static_cast<int>(args.int_or("ingest-threads", 1));
+  const int shards = static_cast<int>(args.int_or("threads", 2));
+
+  std::printf("generating workload (%zu normal flows)...\n", flows);
+  const auto workload = make_workload(flows);
+  std::printf("replaying %zu datagrams / %zu records\n",
+              workload.datagrams.size(), workload.flows);
+
+  const auto serial = run_serial(workload);
+  std::printf("serial_collector: %.0f records/sec (%llu attack verdicts)\n",
+              serial.records_per_sec,
+              static_cast<unsigned long long>(serial.attacks));
+
+  const auto threaded = run_threaded(workload, receivers, shards);
+  std::printf(
+      "threaded_ingest (%d recv + decode -> %d shards): %.0f records/sec "
+      "(%.2fx serial, %llu attack verdicts, %llu kernel drops)\n",
+      receivers, shards, threaded.records_per_sec,
+      serial.records_per_sec > 0 ? threaded.records_per_sec / serial.records_per_sec
+                                 : 0.0,
+      static_cast<unsigned long long>(threaded.attacks),
+      static_cast<unsigned long long>(threaded.ingest.kernel_drops));
+
+  const auto steady_allocs = probe_steady_allocs(workload);
+  std::printf("steady-state heap allocations over %zu datagrams: %llu\n",
+              workload.datagrams.size(),
+              static_cast<unsigned long long>(steady_allocs));
+
+  std::string doc = "{\n  \"bench\": \"ingest\",\n";
+  doc += "  \"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  doc += "  \"datagrams\": " + std::to_string(workload.datagrams.size()) + ",\n";
+  doc += "  \"records\": " + std::to_string(workload.flows) + ",\n";
+  doc += "  \"runs\": [\n    {\"mode\": \"serial_collector\", \"seconds\": " +
+         obs::format_number(serial.seconds) +
+         ", \"records_per_sec\": " + obs::format_number(serial.records_per_sec) +
+         ", \"attack_verdicts\": " + std::to_string(serial.attacks) + "},\n";
+  doc += "    {\"mode\": \"threaded_ingest\", \"receiver_threads\": " +
+         std::to_string(receivers) + ", \"shards\": " + std::to_string(shards) +
+         ", \"seconds\": " + obs::format_number(threaded.seconds) +
+         ", \"records_per_sec\": " + obs::format_number(threaded.records_per_sec) +
+         ", \"speedup_vs_serial\": " +
+         obs::format_number(serial.records_per_sec > 0
+                                ? threaded.records_per_sec / serial.records_per_sec
+                                : 0.0) +
+         ", \"attack_verdicts\": " + std::to_string(threaded.attacks) + ", " +
+         ingest_json(threaded.ingest) + "}\n  ],\n";
+  doc += "  \"steady_state_heap_allocs\": " + std::to_string(steady_allocs) + ",\n";
+  doc += "  \"steady_state_datagrams\": " + std::to_string(workload.datagrams.size()) +
+         "\n}\n";
+
+  const auto out_path = args.value_or("out", "BENCH_ingest.json");
+  std::ofstream out(out_path, std::ios::trunc);
+  out << doc;
+  if (!out) {
+    std::fprintf(stderr, "ingest_throughput: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Correctness gates (perf numbers are informational on small hosts):
+  // the threaded path must analyze every record, agree with the serial
+  // verdict stream, and keep the hot path off the heap.
+  if (threaded.ingest.records_dispatched != workload.flows) {
+    std::fprintf(stderr, "FAIL: %llu of %zu records dispatched\n",
+                 static_cast<unsigned long long>(threaded.ingest.records_dispatched),
+                 workload.flows);
+    return 1;
+  }
+  if (threaded.attacks != serial.attacks) {
+    std::fprintf(stderr, "FAIL: attack verdicts diverged (serial %llu, threaded %llu)\n",
+                 static_cast<unsigned long long>(serial.attacks),
+                 static_cast<unsigned long long>(threaded.attacks));
+    return 1;
+  }
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: receive/decode hot path made %llu heap allocations\n",
+                 static_cast<unsigned long long>(steady_allocs));
+    return 1;
+  }
+  return 0;
+}

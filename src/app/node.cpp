@@ -1,5 +1,9 @@
 #include "app/node.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace infilter::app {
 namespace {
 
@@ -12,7 +16,8 @@ core::EngineConfig with_registry(core::EngineConfig engine, obs::Registry* regis
 
 }  // namespace
 
-InFilterNode::InFilterNode(const NodeConfig& config, flowtools::LiveCollector collector,
+InFilterNode::InFilterNode(const NodeConfig& config,
+                           std::unique_ptr<flowtools::LiveCollector> collector,
                            alert::AlertSink* alert_consumer)
     : collector_(std::move(collector)),
       registry_ptr_(config.engine.registry != nullptr ? config.engine.registry
@@ -42,37 +47,67 @@ InFilterNode::InFilterNode(const NodeConfig& config, flowtools::LiveCollector co
   }
 
   // Collector-path health, sampled from the capture at snapshot time.
+  // Ingest mode has no capture; the pipeline registers its own
+  // infilter_ingest_* counters into the same registry instead.
+  if (collector_ == nullptr) return;
   auto& registry = *registry_ptr_;
   registry.counter_fn(
       "infilter_collector_datagrams_total",
-      [this] { return static_cast<std::uint64_t>(collector_.capture().datagrams_received()); },
+      [this] { return static_cast<std::uint64_t>(collector_->capture().datagrams_received()); },
       "NetFlow export datagrams received on the collector sockets");
   registry.counter_fn(
       "infilter_collector_malformed_total",
-      [this] { return static_cast<std::uint64_t>(collector_.capture().datagrams_malformed()); },
+      [this] { return static_cast<std::uint64_t>(collector_->capture().datagrams_malformed()); },
       "Datagrams dropped as undecodable NetFlow v5");
   registry.counter_fn(
       "infilter_collector_records_total",
-      [this] { return collector_.capture().records_decoded(); },
+      [this] { return collector_->capture().records_decoded(); },
       "Flow records decoded from received datagrams");
   registry.counter_fn(
       "infilter_collector_sequence_gaps_total",
-      [this] { return collector_.capture().sequence_gaps(); },
+      [this] { return collector_->capture().sequence_gaps(); },
       "Export records lost to sequence gaps (per engine/port stream)");
 }
 
 util::Result<std::unique_ptr<InFilterNode>> InFilterNode::create(
     const NodeConfig& config, alert::AlertSink* alert_consumer) {
+  if (config.ingest_threads > 0) {
+    // Threaded reception needs something to dispatch into: force runtime
+    // mode, then attach the pipeline once the runtime exists (the node
+    // must be at its final address first -- the dispatch callback and the
+    // metric callbacks point into it).
+    NodeConfig adjusted = config;
+    adjusted.threads = std::max(1, config.threads);
+    auto node = std::unique_ptr<InFilterNode>(
+        new InFilterNode(adjusted, nullptr, alert_consumer));
+    ingest::IngestConfig ingest_config;
+    ingest_config.ports = adjusted.ports;
+    ingest_config.receiver_threads = adjusted.ingest_threads;
+    ingest_config.overload = adjusted.overload;
+    ingest_config.registry = node->registry_ptr_;
+    auto pipeline = ingest::IngestPipeline::create(std::move(ingest_config),
+                                                   *node->runtime_);
+    if (!pipeline) return pipeline.error();
+    node->ingest_ = std::move(*pipeline);
+    return node;
+  }
   auto collector = flowtools::LiveCollector::bind(config.ports);
   if (!collector) return collector.error();
   // unique_ptr because the engine holds a pointer to the traceback member:
   // the node must not be movable.
-  return std::unique_ptr<InFilterNode>(
-      new InFilterNode(config, std::move(*collector), alert_consumer));
+  return std::unique_ptr<InFilterNode>(new InFilterNode(
+      config,
+      std::make_unique<flowtools::LiveCollector>(std::move(*collector)),
+      alert_consumer));
 }
 
 void InFilterNode::add_expected(core::IngressId ingress, const net::Prefix& prefix) {
-  if (runtime_) {
+  if (ingest_) {
+    // Training fan-out is a single-dispatcher operation and the decode
+    // thread owns the dispatcher role: park it for the duration in case
+    // traffic is already arriving.
+    ingest_->quiesce([&] { runtime_->add_expected(ingress, prefix); });
+  } else if (runtime_) {
     runtime_->add_expected(ingress, prefix);
   } else {
     engine_->add_expected(ingress, prefix);
@@ -80,7 +115,9 @@ void InFilterNode::add_expected(core::IngressId ingress, const net::Prefix& pref
 }
 
 void InFilterNode::train(std::span<const netflow::V5Record> normal_flows) {
-  if (runtime_) {
+  if (ingest_) {
+    ingest_->quiesce([&] { runtime_->train(normal_flows); });
+  } else if (runtime_) {
     runtime_->train(normal_flows);
   } else {
     engine_->train(normal_flows);
@@ -88,10 +125,22 @@ void InFilterNode::train(std::span<const netflow::V5Record> normal_flows) {
 }
 
 util::Result<std::size_t> InFilterNode::poll_once(int timeout_ms) {
-  const auto stored = collector_.poll_once(timeout_ms);
+  if (ingest_) {
+    // Reception, decode, and dispatch all run on pipeline threads; the
+    // poll loop only paces itself and reports progress.
+    std::this_thread::sleep_for(std::chrono::milliseconds(timeout_ms));
+    refresh_ingest_stats();
+    refresh_runtime_stats();
+    const auto dispatched = stats_.flows_processed;
+    const auto delta = dispatched - ingest_consumed_;
+    ingest_consumed_ = dispatched;
+    return static_cast<std::size_t>(delta);
+  }
+
+  const auto stored = collector_->poll_once(timeout_ms);
   if (!stored) return stored.error();
 
-  const auto& capture = collector_.capture();
+  const auto& capture = collector_->capture();
   const auto& flows = capture.flows();
   std::size_t processed = 0;
   for (; consumed_ < flows.size(); ++consumed_) {
@@ -120,7 +169,16 @@ util::Result<std::size_t> InFilterNode::poll_once(int timeout_ms) {
 
 void InFilterNode::flush() {
   if (!runtime_) return;
-  runtime_->flush();
+  if (ingest_) {
+    // Two-phase: the pipeline decodes and dispatches everything the
+    // receivers accepted (and stays parked), then the runtime drains --
+    // the decode thread is the runtime's single dispatcher, so its own
+    // flush must run inside the quiet window.
+    ingest_->quiesce([&] { runtime_->flush(); });
+    refresh_ingest_stats();
+  } else {
+    runtime_->flush();
+  }
   refresh_runtime_stats();
 }
 
@@ -129,7 +187,25 @@ void InFilterNode::refresh_runtime_stats() {
   stats_.attacks_flagged = hook_attacks_.load(std::memory_order_relaxed);
 }
 
+void InFilterNode::refresh_ingest_stats() {
+  const auto ingest_stats = ingest_->stats();
+  stats_.flows_processed = ingest_stats.records_dispatched;
+  stats_.dropped_flows = ingest_stats.records_shed;
+  stats_.datagrams = ingest_stats.datagrams_received;
+  stats_.malformed_datagrams = ingest_stats.datagrams_malformed;
+  stats_.sequence_gaps = ingest_stats.sequence_gaps;
+}
+
 obs::RegistrySnapshot InFilterNode::metrics() const {
+  if (ingest_) {
+    // runtime_->snapshot() is a single-dispatcher operation; take it (and
+    // the pipeline's private gauges) inside the pipeline's quiet window.
+    obs::RegistrySnapshot merged;
+    ingest_->quiesce([&] {
+      merged = obs::merge_snapshots({runtime_->snapshot(), ingest_->snapshot()});
+    });
+    return merged;
+  }
   return runtime_ ? runtime_->snapshot() : registry_ptr_->snapshot();
 }
 

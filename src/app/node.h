@@ -19,6 +19,7 @@
 #include "core/engine.h"
 #include "core/traceback.h"
 #include "flowtools/udp.h"
+#include "ingest/ingest.h"
 #include "obs/metrics.h"
 #include "runtime/runtime.h"
 #include "util/result.h"
@@ -41,6 +42,17 @@ struct NodeConfig {
   /// Per-shard ring capacity when threads > 0.
   std::size_t queue_depth = 4096;
   runtime::BackpressurePolicy backpressure = runtime::BackpressurePolicy::kBlock;
+
+  // -- Threaded live ingest (src/ingest) --
+  /// 0 receives with the classic single-thread LiveCollector on the poll
+  /// loop; N >= 1 replaces it with an IngestPipeline: N receiver threads
+  /// recvmmsg-ing into pooled buffers plus a decode thread that feeds the
+  /// runtime. Implies runtime mode (threads is clamped to >= 1).
+  /// poll_once() then only reports progress -- reception never waits for
+  /// the poll loop.
+  int ingest_threads = 0;
+  /// What an ingest receiver does when the decode stage falls behind.
+  ingest::OverloadPolicy overload = ingest::OverloadPolicy::kBlock;
 };
 
 /// Counters the monitor reports.
@@ -75,16 +87,22 @@ class InFilterNode {
   /// threads > 0, dispatches) every flow that arrived, and returns how
   /// many flows were drained from the capture. Flow timestamps come from
   /// the records (virtual time), so analysis is deterministic for a given
-  /// input stream.
+  /// input stream. Ingest mode: reception and dispatch run on their own
+  /// threads, so this just sleeps the timeout and reports how many records
+  /// the pipeline dispatched since the previous poll.
   util::Result<std::size_t> poll_once(int timeout_ms);
 
   /// Runtime-backed nodes: blocks until every dispatched flow has been
-  /// analyzed, making stats() and metrics() exact. Serial nodes: no-op.
+  /// analyzed, making stats() and metrics() exact. Ingest mode drains the
+  /// receive pipeline first (two-phase: ingest drain, then runtime flush).
+  /// Serial nodes: no-op.
   void flush();
 
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
   [[nodiscard]] const core::TracebackEngine& traceback() const { return traceback_; }
-  [[nodiscard]] std::vector<std::uint16_t> ports() const { return collector_.ports(); }
+  [[nodiscard]] std::vector<std::uint16_t> ports() const {
+    return collector_ ? collector_->ports() : ingest_->ports();
+  }
   /// Worker shards processing flows; 0 = serial in-process analysis.
   [[nodiscard]] int threads() const { return runtime_ ? static_cast<int>(runtime_->shard_count()) : 0; }
 
@@ -100,12 +118,18 @@ class InFilterNode {
   [[nodiscard]] obs::RegistrySnapshot metrics() const;
 
  private:
-  InFilterNode(const NodeConfig& config, flowtools::LiveCollector collector,
+  InFilterNode(const NodeConfig& config,
+               std::unique_ptr<flowtools::LiveCollector> collector,
                alert::AlertSink* alert_consumer);
 
   void refresh_runtime_stats();
+  void refresh_ingest_stats();
 
-  flowtools::LiveCollector collector_;
+  /// Exactly one of collector_ (classic poll-loop reception) and ingest_
+  /// (threaded reception, set in create() after the runtime exists) holds
+  /// the sockets.
+  std::unique_ptr<flowtools::LiveCollector> collector_;
+  std::unique_ptr<ingest::IngestPipeline> ingest_;
   /// Declared before the engine/runtime: both register callbacks into it.
   obs::Registry registry_;
   obs::Registry* registry_ptr_;  ///< user-supplied or &registry_
@@ -119,6 +143,8 @@ class InFilterNode {
   std::atomic<std::uint64_t> hook_attacks_{0};
   /// Flows already drained from the capture on previous polls.
   std::size_t consumed_ = 0;
+  /// Ingest mode: records already reported by previous polls.
+  std::uint64_t ingest_consumed_ = 0;
 };
 
 }  // namespace infilter::app

@@ -7,8 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <optional>
 
 namespace infilter::flowtools {
 namespace {
@@ -61,9 +64,15 @@ util::Result<bool> UdpSender::send(std::uint16_t port,
   return true;
 }
 
-util::Result<UdpReceiver> UdpReceiver::bind(std::uint16_t port) {
+util::Result<UdpReceiver> UdpReceiver::bind(std::uint16_t port, int rcvbuf_bytes) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) return errno_error("socket");
+  if (rcvbuf_bytes > 0 &&
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof rcvbuf_bytes) < 0) {
+    ::close(fd);
+    return errno_error("setsockopt(SO_RCVBUF)");
+  }
   const auto address = loopback(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) < 0) {
     ::close(fd);
@@ -103,25 +112,45 @@ UdpReceiver& UdpReceiver::operator=(UdpReceiver&& other) noexcept {
   return *this;
 }
 
-util::Result<std::vector<std::uint8_t>> UdpReceiver::receive() {
-  std::vector<std::uint8_t> buffer(65536);
-  const auto received = ::recv(fd_, buffer.data(), buffer.size(), 0);
-  if (received < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::vector<std::uint8_t>{};
+util::Result<ReceivedDatagram> UdpReceiver::receive_into(
+    std::span<std::uint8_t> buffer) {
+  for (;;) {
+    // MSG_TRUNC reports the wire length even when the buffer was too
+    // small, which is how callers detect (and count) truncated datagrams.
+    const auto received =
+        ::recv(fd_, buffer.data(), buffer.size(), MSG_TRUNC);
+    if (received >= 0) {
+      ReceivedDatagram out;
+      out.datagram = true;
+      out.wire_bytes = static_cast<std::size_t>(received);
+      out.bytes = std::min(out.wire_bytes, buffer.size());
+      return out;
+    }
+    if (errno == EINTR) continue;  // interrupted by a signal: retry, not an error
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReceivedDatagram{};
     return errno_error("recv");
   }
-  buffer.resize(static_cast<std::size_t>(received));
+}
+
+util::Result<std::vector<std::uint8_t>> UdpReceiver::receive() {
+  std::vector<std::uint8_t> buffer(65536);
+  const auto received = receive_into(buffer);
+  if (!received) return received.error();
+  // Legacy convention: empty vector for both "nothing waiting" and a
+  // zero-length datagram. Callers who care use receive_into().
+  buffer.resize(received->datagram ? received->bytes : 0);
   return buffer;
 }
 
 LiveCollector::LiveCollector(std::vector<UdpReceiver> receivers)
-    : receivers_(std::move(receivers)) {}
+    : receivers_(std::move(receivers)), scratch_(65536) {}
 
-util::Result<LiveCollector> LiveCollector::bind(const std::vector<std::uint16_t>& ports) {
+util::Result<LiveCollector> LiveCollector::bind(const std::vector<std::uint16_t>& ports,
+                                                int rcvbuf_bytes) {
   std::vector<UdpReceiver> receivers;
   receivers.reserve(ports.size());
   for (const auto port : ports) {
-    auto receiver = UdpReceiver::bind(port);
+    auto receiver = UdpReceiver::bind(port, rcvbuf_bytes);
     if (!receiver) return receiver.error();
     receivers.push_back(std::move(*receiver));
   }
@@ -141,38 +170,54 @@ util::Result<std::size_t> LiveCollector::poll_once(int timeout_ms) {
   for (const auto& receiver : receivers_) {
     fds.push_back(pollfd{receiver.fd(), POLLIN, 0});
   }
-  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  int ready;
+  do {
+    ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
   if (ready < 0) return errno_error("poll");
   if (ready == 0) return std::size_t{0};
 
+  // One failing socket must not starve the others: finish the sweep, then
+  // report the first error.
+  std::optional<util::Error> first_error;
   std::size_t stored = 0;
   for (std::size_t i = 0; i < receivers_.size(); ++i) {
     if ((fds[i].revents & POLLIN) == 0) continue;
     // Drain everything queued on this socket.
     while (true) {
-      auto datagram = receivers_[i].receive();
-      if (!datagram) return datagram.error();
-      if (datagram->empty()) break;
-      // Malformed datagrams are counted by the capture and dropped; that
-      // is collector policy, not an I/O error.
-      if (const auto ingested = capture_.ingest(*datagram, receivers_[i].port())) {
-        stored += *ingested;
+      const auto received = receivers_[i].receive_into(scratch_);
+      if (!received) {
+        if (!first_error) first_error = received.error();
+        break;
       }
+      if (!received->datagram) break;
+      // A datagram arrived -- zero-length or truncated ones included. Both
+      // decode as malformed, which the capture counts; dropping them is
+      // collector policy, not an I/O error, and must not stop the drain.
+      const auto ingested = capture_.ingest(
+          std::span(scratch_.data(), received->bytes), receivers_[i].port());
+      if (ingested) stored += *ingested;
     }
   }
+  // Everything drained from the healthy sockets is already in capture_;
+  // only now surface the failure.
+  if (first_error) return *first_error;
   return stored;
 }
 
 util::Result<std::size_t> LiveCollector::collect(std::size_t flow_target,
                                                  int deadline_ms) {
+  // Wall-clock deadline: the old idle-slice accounting let a slow trickle
+  // of traffic (one datagram per slice) run arbitrarily past deadline_ms.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
   std::size_t collected = 0;
-  int waited = 0;
-  while (collected < flow_target && waited < deadline_ms) {
+  while (collected < flow_target &&
+         std::chrono::steady_clock::now() < deadline) {
     constexpr int kSliceMs = 20;
     auto stored = poll_once(kSliceMs);
     if (!stored) return stored.error();
     collected += *stored;
-    if (*stored == 0) waited += kSliceMs;
   }
   return collected;
 }

@@ -41,11 +41,30 @@ class UdpSender {
   int fd_ = -1;
 };
 
+/// Outcome of one UdpReceiver::receive_into() call. Distinguishes "a
+/// datagram arrived" from "nothing was waiting" explicitly, so a
+/// zero-length datagram -- legal UDP -- is not conflated with an empty
+/// socket the way receive()'s empty-vector convention conflates them.
+struct ReceivedDatagram {
+  /// True when a datagram was consumed from the socket (possibly empty or
+  /// truncated); false when the socket had nothing waiting.
+  bool datagram = false;
+  /// Bytes copied into the caller's buffer.
+  std::size_t bytes = 0;
+  /// Actual length of the datagram on the wire (MSG_TRUNC); greater than
+  /// `bytes` when the caller's buffer was too small and the tail was cut.
+  std::size_t wire_bytes = 0;
+
+  [[nodiscard]] bool truncated() const { return wire_bytes > bytes; }
+};
+
 /// One bound, non-blocking UDP receive socket.
 class UdpReceiver {
  public:
   /// Binds 127.0.0.1:<port>; port 0 picks an ephemeral port.
-  static util::Result<UdpReceiver> bind(std::uint16_t port);
+  /// `rcvbuf_bytes` > 0 requests that much kernel receive buffering
+  /// (SO_RCVBUF); 0 keeps the system default.
+  static util::Result<UdpReceiver> bind(std::uint16_t port, int rcvbuf_bytes = 0);
   ~UdpReceiver();
   UdpReceiver(UdpReceiver&& other) noexcept;
   UdpReceiver& operator=(UdpReceiver&& other) noexcept;
@@ -55,8 +74,15 @@ class UdpReceiver {
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
   /// Receives one pending datagram without blocking; an empty vector means
-  /// nothing was waiting.
+  /// nothing was waiting. Allocates per call -- hot paths should use
+  /// receive_into(), which this wraps (and which can also tell a
+  /// zero-length datagram apart from an idle socket).
   util::Result<std::vector<std::uint8_t>> receive();
+
+  /// Receives one pending datagram into caller-owned storage without
+  /// blocking or allocating. Retries internally on EINTR; errors are real
+  /// socket failures only.
+  util::Result<ReceivedDatagram> receive_into(std::span<std::uint8_t> buffer);
 
   [[nodiscard]] int fd() const { return fd_; }
 
@@ -71,17 +97,22 @@ class UdpReceiver {
 class LiveCollector {
  public:
   /// Binds every port in `ports` (0 entries pick ephemeral ports; read the
-  /// final assignments from ports()).
-  static util::Result<LiveCollector> bind(const std::vector<std::uint16_t>& ports);
+  /// final assignments from ports()). `rcvbuf_bytes` is forwarded to every
+  /// socket (0 = system default).
+  static util::Result<LiveCollector> bind(const std::vector<std::uint16_t>& ports,
+                                          int rcvbuf_bytes = 0);
 
   [[nodiscard]] std::vector<std::uint16_t> ports() const;
 
   /// Waits up to `timeout_ms` for traffic and ingests every datagram that
   /// arrived. Returns the number of flow records stored by this call.
+  /// When one receiver fails mid-sweep the remaining sockets are still
+  /// drained; the first error is reported after the sweep completes.
   util::Result<std::size_t> poll_once(int timeout_ms);
 
   /// Polls until `flow_target` flows have been captured or `deadline_ms`
-  /// of total waiting elapses. Returns the flows captured by this call.
+  /// of wall-clock time elapses (steady_clock -- a slow trickle of traffic
+  /// cannot stretch the deadline). Returns the flows captured by this call.
   util::Result<std::size_t> collect(std::size_t flow_target, int deadline_ms);
 
   [[nodiscard]] const flowtools::FlowCapture& capture() const { return capture_; }
@@ -91,6 +122,9 @@ class LiveCollector {
   explicit LiveCollector(std::vector<UdpReceiver> receivers);
   std::vector<UdpReceiver> receivers_;
   flowtools::FlowCapture capture_;
+  /// Reused receive buffer: one 64 KiB allocation for the collector's
+  /// lifetime instead of one per datagram.
+  std::vector<std::uint8_t> scratch_;
 };
 
 }  // namespace infilter::flowtools

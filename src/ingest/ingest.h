@@ -1,0 +1,274 @@
+// Threaded live ingest: the receiving half of Figure 9 at line rate.
+//
+// "A NetFlow enabled router will periodically send datagrams to a
+// pre-designated receiver node" -- flowtools::LiveCollector models that
+// node with one polling thread that allocates 64 KiB per datagram and
+// interleaves receive, decode, and detection. This subsystem is the
+// production-shaped replacement: receive, decode, and analysis overlap on
+// dedicated threads, and the whole receive/decode hot path runs without a
+// single steady-state heap allocation.
+//
+//   socket(s) --recvmmsg--> [receiver thread]*N  --SPSC ring-->  [decode thread] --submit_batch--> ShardedRuntime
+//                             pooled buffer arena  (fan-in)        NetFlow v5 parse,                (dispatcher)
+//                             (slots out)          <--free ring--  stream accounting,
+//                                                  (slots back)    FlowItem batching
+//
+// Stage contract:
+//   * Receiver threads (one per producer; sockets are distributed
+//     round-robin across them) own a pooled buffer arena each. They
+//     recvmmsg() batches of export datagrams straight into free arena
+//     slots and push {slot, length, socket} descriptors over a bounded
+//     SPSC ring to the decode stage. No parsing on the socket threads.
+//   * The decode stage (one thread) drains every producer's ring,
+//     parses NetFlow v5 with the allocation-free netflow::decode_into(),
+//     tracks per-(engine, port) export-sequence gaps, recycles slots over
+//     per-producer free rings, and batches the records into FlowItems for
+//     the downstream dispatcher. Being the only thread that calls the
+//     dispatch function, it satisfies ShardedRuntime's single-dispatcher
+//     contract while letting any number of sockets feed one runtime.
+//   * Buffers make a full cycle receiver -> ring -> decode -> free ring ->
+//     receiver; ring capacities are >= the arena size, so descriptor
+//     pushes never fail and overload shows up in exactly one place: an
+//     empty free list.
+//
+// Overload policy (bounded rings, explicit choice):
+//   * kBlock: the receiver waits for the decode stage to return buffers.
+//     Lossless inside the pipeline; sustained overload backs up into the
+//     kernel socket queue, whose drops are visible through the
+//     SO_RXQ_OVFL readout (infilter_ingest_kernel_drops_total).
+//   * kDropOldest: the receiver asks the decode stage to discard the
+//     oldest queued datagrams (counted, buffers recycled) and keeps the
+//     freshest traffic flowing. Sheds pipeline latency under bursts; it
+//     cannot outrun a downstream dispatcher that itself blocks.
+//
+// Drain/shutdown is two-phase, mirroring ShardedRuntime::flush():
+//   phase 1  drain(): every datagram the receivers accepted is decoded
+//            and its records handed to the dispatcher;
+//   phase 2  the caller flushes the runtime (quiesce() bundles both and
+//            holds the decode stage parked while the caller runs flush or
+//            snapshot, preserving the runtime's single-dispatcher rule).
+//
+// Ordering semantics: each socket's datagram stream reaches the
+// dispatcher in kernel receive order (rings are FIFO and one socket maps
+// to one producer), so single-socket verdict streams are bit-identical to
+// the serial LiveCollector path (pinned by tests/test_ingest.cpp).
+// Across sockets the interleaving is whatever the threads make it -- the
+// same nondeterminism a serial collector already has across ports.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/eia.h"
+#include "flowtools/udp.h"
+#include "obs/metrics.h"
+#include "runtime/runtime.h"
+#include "runtime/spsc_ring.h"
+#include "util/result.h"
+
+namespace infilter::ingest {
+
+/// What a receiver does when its buffer arena is exhausted (the decode
+/// stage is not keeping up).
+enum class OverloadPolicy : std::uint8_t {
+  kBlock,       ///< wait for free buffers (lossless; kernel queue absorbs)
+  kDropOldest,  ///< shed the oldest queued datagrams, keep the freshest
+};
+
+struct IngestConfig {
+  /// Collector UDP ports, one socket each (0 entries bind ephemeral
+  /// ports; read the assignments from ports()).
+  std::vector<std::uint16_t> ports;
+  /// Ingress id attributed to each port's traffic, parallel to `ports`.
+  /// Empty = use the bound port number itself (the LiveCollector
+  /// convention). An explicit mapping keeps ingress ids stable when
+  /// binding ephemeral ports.
+  std::vector<core::IngressId> ingress_ids;
+  /// Receiver threads (producers). Sockets are distributed round-robin;
+  /// clamped to [1, ports.size()].
+  int receiver_threads = 1;
+  /// Pooled datagram buffers per receiver thread. Bounds the datagrams in
+  /// flight between a receiver and the decode stage.
+  std::size_t arena_slots = 1024;
+  /// Bytes per buffer slot. A v5 export datagram is at most 1464 bytes;
+  /// longer datagrams are counted truncated and dropped before decode.
+  std::size_t slot_bytes = 2048;
+  /// Datagrams per recvmmsg() batch.
+  std::size_t recv_batch = 32;
+  /// FlowItems accumulated before a dispatch call.
+  std::size_t dispatch_batch = 256;
+  /// Kernel receive buffer per socket (SO_RCVBUF; 0 = system default).
+  /// Overload policy only governs the pipeline's own rings -- this is the
+  /// slack in front of them.
+  int socket_rcvbuf = 1 << 20;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Value metrics (datagram/malformed/drop counters) land here; null = a
+  /// pipeline-private registry. Pull gauges that call back into the
+  /// pipeline always stay private, same discipline as RuntimeConfig.
+  obs::Registry* registry = nullptr;
+};
+
+/// Monotone pipeline accounting. datagrams_received ==
+/// datagrams_decoded + datagrams_malformed_of(decoded...) -- precisely:
+/// every received datagram ends up decoded, malformed, or dropped_oldest;
+/// truncated ones are counted and recycled receiver-side on top.
+struct IngestStats {
+  std::uint64_t datagrams_received = 0;   ///< accepted into the pipeline
+  std::uint64_t datagrams_decoded = 0;    ///< parsed as NetFlow v5
+  std::uint64_t datagrams_malformed = 0;  ///< failed v5 parse (incl. zero-length)
+  std::uint64_t datagrams_truncated = 0;  ///< longer than slot_bytes, dropped
+  std::uint64_t dropped_oldest = 0;       ///< shed under OverloadPolicy::kDropOldest
+  std::uint64_t kernel_drops = 0;         ///< SO_RXQ_OVFL readout (socket queue)
+  std::uint64_t records_decoded = 0;      ///< flow records parsed
+  std::uint64_t records_dispatched = 0;   ///< accepted by the dispatcher
+  std::uint64_t records_shed = 0;         ///< refused by the dispatcher (kDrop)
+  std::uint64_t sequence_gaps = 0;        ///< export-sequence gaps (lost upstream)
+};
+
+class IngestPipeline {
+ public:
+  /// Hands one decoded batch to the next stage; returns how many items it
+  /// accepted (ShardedRuntime::submit_batch's contract). Called from the
+  /// decode thread only -- a pipeline is a valid single dispatcher.
+  using DispatchFn = std::function<std::size_t(std::span<const runtime::FlowItem>)>;
+
+  /// Binds the sockets and spawns the receiver + decode threads.
+  static util::Result<std::unique_ptr<IngestPipeline>> create(IngestConfig config,
+                                                              DispatchFn dispatch);
+  /// Convenience: dispatch straight into a runtime (not owned; must
+  /// outlive the pipeline).
+  static util::Result<std::unique_ptr<IngestPipeline>> create(
+      IngestConfig config, runtime::ShardedRuntime& runtime);
+
+  /// stop()s.
+  ~IngestPipeline();
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  [[nodiscard]] std::vector<std::uint16_t> ports() const;
+  [[nodiscard]] std::size_t receiver_count() const { return producers_.size(); }
+
+  /// Phase 1 of the two-phase drain: blocks until every datagram the
+  /// receivers had accepted when the call was made is decoded and its
+  /// records handed to the dispatcher (or counted dropped). Does not stop
+  /// the pipeline and does not flush the downstream runtime -- that is
+  /// phase 2, the caller's (see quiesce()). Single-owner like quiesce():
+  /// do not call concurrently with quiesce() from another thread.
+  void drain() const;
+
+  /// drain(), then parks the decode stage, runs `fn` with no dispatch in
+  /// flight, and resumes. This is how a caller safely runs downstream
+  /// single-dispatcher operations (ShardedRuntime::flush()/snapshot())
+  /// while the pipeline is live: the decode thread *is* the dispatcher,
+  /// so it must be provably idle for the duration. Receivers keep
+  /// accepting traffic into the arenas meanwhile (bounded by them).
+  void quiesce(const std::function<void()>& fn) const;
+
+  /// Drains whatever the receivers accepted, then stops and joins all
+  /// threads. Idempotent. The downstream runtime is untouched -- flush or
+  /// shut it down afterwards (two-phase shutdown).
+  void stop();
+
+  [[nodiscard]] IngestStats stats() const;
+
+  /// The pipeline-private registry view (the `this`-capturing pull gauges
+  /// plus, when no external registry was configured, the value counters).
+  /// Callers with an external registry merge this with their own snapshot
+  /// (obs::merge_snapshots), the same shape as ShardedRuntime::snapshot().
+  [[nodiscard]] obs::RegistrySnapshot snapshot() const {
+    return owned_registry_->snapshot();
+  }
+
+ private:
+  /// One queued datagram: an arena slot plus what recv told us about it.
+  struct DatagramRef {
+    std::uint32_t slot = 0;
+    std::uint32_t bytes = 0;
+    std::uint16_t socket = 0;  ///< index into sockets_ (port + ingress id)
+  };
+
+  /// One bound socket and its attribution.
+  struct Socket {
+    flowtools::UdpReceiver receiver;
+    core::IngressId ingress = 0;
+    std::uint32_t last_rxq_ovfl = 0;  ///< previous SO_RXQ_OVFL reading
+  };
+
+  /// One receiver thread: arena + both rings + its share of the sockets.
+  struct Producer {
+    std::vector<std::size_t> sockets;  ///< indices into sockets_
+    std::unique_ptr<std::uint8_t[]> arena;
+    runtime::SpscRing<DatagramRef> ring;       ///< receiver -> decode
+    runtime::SpscRing<std::uint32_t> free_ring;  ///< decode -> receiver
+    std::thread thread;
+    /// Datagrams pushed into `ring` (receiver-side, release-published).
+    std::atomic<std::uint64_t> received{0};
+    /// Datagrams fully handled by the decode stage: decoded + dispatched,
+    /// malformed, or discarded under kDropOldest (decode-side).
+    std::atomic<std::uint64_t> handled{0};
+    /// Outstanding drop-oldest requests from an overloaded receiver.
+    std::atomic<std::uint64_t> shed_requests{0};
+
+    Producer(std::size_t slots, std::size_t slot_bytes)
+        : arena(std::make_unique<std::uint8_t[]>(slots * slot_bytes)),
+          ring(slots),
+          free_ring(slots) {}
+  };
+
+  IngestPipeline(IngestConfig config, DispatchFn dispatch);
+
+  void receiver_main(Producer& producer);
+  void decode_main();
+  /// Blocks until `producer` has free slots again, per the overload
+  /// policy. Returns false when stopping.
+  bool wait_for_slots(Producer& producer, std::vector<std::uint32_t>& free_slots);
+  void reclaim_slots(Producer& producer, std::vector<std::uint32_t>& free_slots);
+  std::size_t receive_batch(Producer& producer, Socket& socket,
+                            std::vector<std::uint32_t>& free_slots);
+  void wake_decode() const;
+  void read_kernel_drops(Socket& socket);
+
+  IngestConfig config_;
+  DispatchFn dispatch_;
+  std::vector<Socket> sockets_;
+  std::vector<std::unique_ptr<Producer>> producers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> decode_stopping_{false};
+  bool stopped_ = false;
+  std::thread decode_thread_;
+
+  // Decode-stage park/wake + quiesce handshake (mutable: synchronization
+  // state, used by const quiesce()).
+  mutable std::mutex decode_wake_mutex_;
+  mutable std::condition_variable decode_wake_cv_;
+  mutable std::atomic<bool> decode_parked_{false};
+  mutable std::atomic<bool> pause_requested_{false};
+  mutable std::atomic<bool> paused_{false};
+  mutable std::mutex quiesce_mutex_;  ///< serializes concurrent quiesce() callers
+
+  /// Same dangling-callback discipline as ShardedRuntime: `this`-capturing
+  /// pull gauges live here; plain value counters go to config_.registry
+  /// when provided.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;  ///< external or owned_registry_.get(); never null
+  obs::Counter* datagrams_;
+  obs::Counter* decoded_;
+  obs::Counter* malformed_;
+  obs::Counter* truncated_;
+  obs::Counter* dropped_oldest_;
+  obs::Counter* kernel_drops_;
+  obs::Counter* records_;
+  obs::Counter* dispatched_;
+  obs::Counter* shed_;
+  obs::Counter* sequence_gaps_;
+};
+
+}  // namespace infilter::ingest

@@ -93,38 +93,57 @@ std::vector<std::uint8_t> encode(const V5Header& header,
   return out;
 }
 
-util::Result<V5Datagram> decode(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kV5HeaderBytes) {
-    return util::Error{"datagram shorter than v5 header"};
-  }
-  if (get16(bytes, 0) != kV5Version) {
-    return util::Error{"unsupported NetFlow version " + std::to_string(get16(bytes, 0))};
-  }
-  V5Datagram dgram;
-  dgram.header.count = get16(bytes, 2);
-  dgram.header.sys_uptime_ms = get32(bytes, 4);
-  dgram.header.unix_secs = get32(bytes, 8);
-  dgram.header.unix_nsecs = get32(bytes, 12);
-  dgram.header.flow_sequence = get32(bytes, 16);
-  dgram.header.engine_type = bytes[20];
-  dgram.header.engine_id = bytes[21];
-  dgram.header.sampling_interval = get16(bytes, 22);
+DecodeStatus decode_into(std::span<const std::uint8_t> bytes, V5Header& header,
+                         std::span<V5Record> records, std::size_t& count) {
+  assert(records.size() >= kV5MaxRecords);
+  count = 0;
+  if (bytes.size() < kV5HeaderBytes) return DecodeStatus::kShort;
+  if (get16(bytes, 0) != kV5Version) return DecodeStatus::kBadVersion;
+  header.count = get16(bytes, 2);
+  header.sys_uptime_ms = get32(bytes, 4);
+  header.unix_secs = get32(bytes, 8);
+  header.unix_nsecs = get32(bytes, 12);
+  header.flow_sequence = get32(bytes, 16);
+  header.engine_type = bytes[20];
+  header.engine_id = bytes[21];
+  header.sampling_interval = get16(bytes, 22);
 
-  if (dgram.header.count == 0 || dgram.header.count > kV5MaxRecords) {
-    return util::Error{"record count " + std::to_string(dgram.header.count) +
-                       " outside [1, 30]"};
+  if (header.count == 0 || header.count > kV5MaxRecords) {
+    return DecodeStatus::kBadCount;
   }
-  const std::size_t expected = kV5HeaderBytes + dgram.header.count * kV5RecordBytes;
-  if (bytes.size() != expected) {
-    return util::Error{"datagram length " + std::to_string(bytes.size()) +
-                       " does not match record count (expected " +
-                       std::to_string(expected) + ")"};
+  const std::size_t expected = kV5HeaderBytes + header.count * kV5RecordBytes;
+  if (bytes.size() != expected) return DecodeStatus::kLengthMismatch;
+  for (std::size_t i = 0; i < header.count; ++i) {
+    records[i] = decode_record(
+        bytes.subspan(kV5HeaderBytes + i * kV5RecordBytes, kV5RecordBytes));
   }
-  dgram.records.reserve(dgram.header.count);
-  for (std::size_t i = 0; i < dgram.header.count; ++i) {
-    dgram.records.push_back(
-        decode_record(bytes.subspan(kV5HeaderBytes + i * kV5RecordBytes, kV5RecordBytes)));
+  count = header.count;
+  return DecodeStatus::kOk;
+}
+
+util::Result<V5Datagram> decode(std::span<const std::uint8_t> bytes) {
+  V5Datagram dgram;
+  V5Record records[kV5MaxRecords];
+  std::size_t count = 0;
+  switch (decode_into(bytes, dgram.header, records, count)) {
+    case DecodeStatus::kOk:
+      break;
+    case DecodeStatus::kShort:
+      return util::Error{"datagram shorter than v5 header"};
+    case DecodeStatus::kBadVersion:
+      return util::Error{"unsupported NetFlow version " +
+                         std::to_string(get16(bytes, 0))};
+    case DecodeStatus::kBadCount:
+      return util::Error{"record count " + std::to_string(dgram.header.count) +
+                         " outside [1, 30]"};
+    case DecodeStatus::kLengthMismatch:
+      return util::Error{
+          "datagram length " + std::to_string(bytes.size()) +
+          " does not match record count (expected " +
+          std::to_string(kV5HeaderBytes + dgram.header.count * kV5RecordBytes) +
+          ")"};
   }
+  dgram.records.assign(records, records + count);
   return dgram;
 }
 

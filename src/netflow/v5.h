@@ -118,6 +118,27 @@ inline constexpr std::size_t kV5MaxRecords = 30;
 /// record count inconsistent with the buffer length, count > 30.
 [[nodiscard]] util::Result<V5Datagram> decode(std::span<const std::uint8_t> bytes);
 
+/// Why decode_into() failed (kOk = it did not).
+enum class DecodeStatus : std::uint8_t {
+  kOk,
+  kShort,           ///< buffer shorter than the 24-byte header
+  kBadVersion,      ///< version field != 5
+  kBadCount,        ///< record count outside [1, 30]
+  kLengthMismatch,  ///< buffer length inconsistent with record count
+};
+
+/// Allocation-free decode for the live ingest hot path: parses the header
+/// and up to kV5MaxRecords records into caller-owned storage. `records`
+/// must hold at least kV5MaxRecords entries; on kOk, `count` is the number
+/// filled in. Validation is identical to decode() -- which is implemented
+/// on top of this -- but failures carry a status code instead of an
+/// allocated message, so a flood of malformed datagrams stays
+/// allocation-free too.
+[[nodiscard]] DecodeStatus decode_into(std::span<const std::uint8_t> bytes,
+                                       V5Header& header,
+                                       std::span<V5Record> records,
+                                       std::size_t& count);
+
 /// Splits an arbitrarily long record sequence into correctly-sized export
 /// datagrams, maintaining flow_sequence across them. `sequence` is the
 /// cumulative flow count before this call and is updated.

@@ -70,6 +70,22 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
         return static_cast<double>(queued);
       },
       "Flows currently sitting in shard rings");
+  owned_registry_->gauge_fn(
+      "infilter_runtime_queue_imbalance",
+      [this] {
+        // Spread between the fullest and emptiest shard ring: a hot-shard
+        // skew (one /24 dominating the traffic) shows up here long before
+        // it shows up as backpressure.
+        std::size_t lo = SIZE_MAX;
+        std::size_t hi = 0;
+        for (const auto& shard : shards_) {
+          const std::size_t queued = shard->ring->size();
+          lo = std::min(lo, queued);
+          hi = std::max(hi, queued);
+        }
+        return shards_.empty() ? 0.0 : static_cast<double>(hi - lo);
+      },
+      "Max minus min shard-ring occupancy (dispatch skew)");
   owned_registry_->counter_fn(
       "infilter_runtime_suspects_forwarded_total",
       [this] { return suspects_forwarded_.load(std::memory_order_relaxed); },
@@ -222,11 +238,14 @@ std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
     return 0;
   }
   // Bucket per shard, then push each bucket with one batched ring
-  // operation; the scratch buckets are rebuilt per call (the dispatcher is
-  // one thread, so a member scratch would buy little and cost clarity).
-  // Sequence numbers follow items order, so "dispatch order" is the
-  // caller's submission order regardless of how buckets interleave.
-  std::vector<std::vector<FlowItem>> buckets(shards_.size());
+  // operation. The buckets are member scratch: submit_batch is a
+  // single-dispatcher call sitting on the live-ingest hot path, and
+  // clear() keeps each bucket's capacity, so steady state allocates
+  // nothing. Sequence numbers follow items order, so "dispatch order" is
+  // the caller's submission order regardless of how buckets interleave.
+  auto& buckets = dispatch_buckets_;
+  buckets.resize(shards_.size());
+  for (auto& bucket : buckets) bucket.clear();
   for (const FlowItem& item : items) {
     auto& bucket =
         buckets[shard_of(item.ingress, item.record.src_ip, shards_.size())];

@@ -265,6 +265,10 @@ class ShardedRuntime {
   std::thread scan_thread_;
   /// Dispatcher-only: the last sequence number assigned.
   std::uint64_t next_seq_ = 0;
+  /// Dispatcher-only scratch for submit_batch's per-shard bucketing;
+  /// cleared (capacity kept) per call so the hot path stays allocation-free
+  /// at steady state.
+  std::vector<std::vector<FlowItem>> dispatch_buckets_;
   /// next_seq_, release-published after every flow of a submit call is in
   /// its ring. A worker that acquires this and then finds its ring empty
   /// has processed every flow <= published_seq_ dispatched to it (later

@@ -85,6 +85,77 @@ TEST(LiveCollector, CapturesMultiplexedExports) {
   EXPECT_EQ(on_first, 45u);
 }
 
+TEST(UdpReceiver, ZeroLengthDatagramDistinctFromIdleSocket) {
+  auto receiver = UdpReceiver::bind(0);
+  ASSERT_TRUE(receiver.has_value());
+  auto sender = UdpSender::create();
+  ASSERT_TRUE(sender.has_value());
+
+  std::uint8_t buffer[64];
+  // Idle socket: no datagram, by construction not a zero-length one.
+  auto idle = receiver->receive_into(buffer);
+  ASSERT_TRUE(idle.has_value());
+  EXPECT_FALSE(idle->datagram);
+
+  // A zero-length datagram is legal UDP and must be reported as a
+  // consumed datagram, not as "nothing waiting".
+  ASSERT_TRUE(sender->send(receiver->port(), {}).has_value());
+  ReceivedDatagram got;
+  for (int i = 0; i < 100 && !got.datagram; ++i) {
+    auto received = receiver->receive_into(buffer);
+    ASSERT_TRUE(received.has_value());
+    got = *received;
+  }
+  EXPECT_TRUE(got.datagram);
+  EXPECT_EQ(got.bytes, 0u);
+  EXPECT_EQ(got.wire_bytes, 0u);
+  EXPECT_FALSE(got.truncated());
+}
+
+TEST(UdpReceiver, TruncatedDatagramReportsWireLength) {
+  auto receiver = UdpReceiver::bind(0);
+  ASSERT_TRUE(receiver.has_value());
+  auto sender = UdpSender::create();
+  ASSERT_TRUE(sender.has_value());
+
+  const std::vector<std::uint8_t> payload(100, 0xAB);
+  ASSERT_TRUE(sender->send(receiver->port(), payload).has_value());
+
+  std::uint8_t small[16];
+  ReceivedDatagram got;
+  for (int i = 0; i < 100 && !got.datagram; ++i) {
+    auto received = receiver->receive_into(small);
+    ASSERT_TRUE(received.has_value());
+    got = *received;
+  }
+  ASSERT_TRUE(got.datagram);
+  EXPECT_EQ(got.bytes, sizeof small);       // what fit in the buffer
+  EXPECT_EQ(got.wire_bytes, payload.size());  // what was on the wire
+  EXPECT_TRUE(got.truncated());
+}
+
+TEST(LiveCollector, ZeroLengthDatagramDoesNotStopTheDrain) {
+  auto collector = LiveCollector::bind({0});
+  ASSERT_TRUE(collector.has_value());
+  auto sender = UdpSender::create();
+  ASSERT_TRUE(sender.has_value());
+
+  // Zero-length first, valid junk second: with receive()'s empty-vector
+  // convention the drain loop used to stop at the zero-length datagram and
+  // strand the one behind it until the next poll.
+  const auto port = collector->ports()[0];
+  ASSERT_TRUE(sender->send(port, {}).has_value());
+  const std::vector<std::uint8_t> junk(64, 0xEE);
+  ASSERT_TRUE(sender->send(port, junk).has_value());
+
+  const auto stored = collector->poll_once(500);
+  ASSERT_TRUE(stored.has_value()) << stored.error().message;
+  EXPECT_EQ(*stored, 0u);
+  // Both datagrams consumed in one sweep, both counted malformed.
+  EXPECT_EQ(collector->capture().datagrams_received(), 2u);
+  EXPECT_EQ(collector->capture().datagrams_malformed(), 2u);
+}
+
 TEST(LiveCollector, MalformedDatagramCountedNotFatal) {
   auto collector = LiveCollector::bind({0});
   ASSERT_TRUE(collector.has_value());

@@ -14,16 +14,23 @@
 //                   [--buffer 200] [--learn 5]
 //                   [--threads N]         # 0 (default) = serial engine;
 //                                         # N >= 1 = sharded runtime
+//                   [--ingest-threads N]  # N >= 1 replays the capture over
+//                                         # loopback UDP through the threaded
+//                                         # ingest pipeline (src/ingest) into
+//                                         # the runtime; implies --threads >= 1
 //                   [--queue-depth 4096] [--backpressure block|drop]
 //                   [--metrics-out FILE]  # metrics dump: JSON when FILE
 //                                         # ends in .json, else Prometheus
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "core/eia_io.h"
 #include "core/engine.h"
@@ -31,6 +38,8 @@
 #include "dagflow/allocation.h"
 #include "flowtools/ascii.h"
 #include "flowtools/capture.h"
+#include "flowtools/udp.h"
+#include "ingest/ingest.h"
 #include "obs/export.h"
 #include "runtime/runtime.h"
 #include "util/args.h"
@@ -91,7 +100,12 @@ int main(int argc, char** argv) {
 
   const auto threads_arg = args.checked_int("threads", 0, 0, 4096);
   if (!threads_arg) return fail(threads_arg.error().message);
-  const int threads = static_cast<int>(*threads_arg);
+  const auto ingest_arg = args.checked_int("ingest-threads", 0, 0, 4096);
+  if (!ingest_arg) return fail(ingest_arg.error().message);
+  const int ingest_threads = static_cast<int>(*ingest_arg);
+  // Threaded ingest dispatches into a runtime; force at least one shard.
+  const int threads = ingest_threads > 0 ? std::max(1, static_cast<int>(*threads_arg))
+                                         : static_cast<int>(*threads_arg);
   runtime::RuntimeConfig runtime_config;
   runtime_config.shards = threads;
   const auto queue_depth = args.checked_int("queue-depth", 4096, 1, 1 << 24);
@@ -114,6 +128,9 @@ int main(int argc, char** argv) {
   core::TracebackEngine traceback(core::TracebackConfig{}, &ui);
   std::optional<core::InFilterEngine> engine;
   std::optional<runtime::ShardedRuntime> rt;
+  // Filled by the ingest replay before the pipeline is torn down, so the
+  // infilter_ingest_* counters survive into the metrics export below.
+  std::optional<obs::RegistrySnapshot> ingest_snapshot;
   std::atomic<std::uint64_t> rt_suspects{0};
   std::atomic<std::uint64_t> rt_attacks{0};
   if (threads > 0) {
@@ -174,7 +191,85 @@ int main(int argc, char** argv) {
 
   std::uint64_t attacks = 0;
   std::uint64_t suspects = 0;
-  if (rt) {
+  if (rt && ingest_threads > 0) {
+    // Loopback replay through the full live path: re-encode the capture
+    // into v5 export datagrams, send them over UDP, and let the ingest
+    // pipeline (receiver threads -> decode thread) feed the runtime.
+    // Ephemeral sockets stand in for the collector ports; ingress_ids pins
+    // each socket's ingress identity to the capture's arrival port, so
+    // verdicts are identical to the direct-submit path.
+    std::vector<core::IngressId> ingresses;  // distinct arrival ports, in order
+    for (const auto& flow : *flows) {
+      if (std::find(ingresses.begin(), ingresses.end(), flow.arrival_port) ==
+          ingresses.end()) {
+        ingresses.push_back(flow.arrival_port);
+      }
+    }
+    if (ingresses.empty()) return fail("capture is empty");
+    ingest::IngestConfig ingest_config;
+    ingest_config.ports.assign(ingresses.size(), 0);
+    ingest_config.ingress_ids = ingresses;
+    ingest_config.receiver_threads = ingest_threads;
+    auto pipeline = ingest::IngestPipeline::create(ingest_config, *rt);
+    if (!pipeline) return fail(pipeline.error().message);
+    const auto bound = (*pipeline)->ports();
+    auto sender = flowtools::UdpSender::create();
+    if (!sender) return fail(sender.error().message);
+
+    // Preserve per-port record order: walk the capture in runs of
+    // consecutive same-port records (each at most one datagram's worth).
+    std::vector<std::uint32_t> sequences(ingresses.size(), 0);
+    std::vector<netflow::V5Record> run;
+    std::uint64_t datagrams_sent = 0;
+    const auto in_flight = [&] {
+      return datagrams_sent - (*pipeline)->stats().datagrams_received;
+    };
+    for (std::size_t at = 0; at < flows->size();) {
+      const auto port = (*flows)[at].arrival_port;
+      run.clear();
+      while (at < flows->size() && (*flows)[at].arrival_port == port &&
+             run.size() < netflow::kV5MaxRecords) {
+        run.push_back((*flows)[at].record);
+        ++at;
+      }
+      const auto idx = static_cast<std::size_t>(
+          std::find(ingresses.begin(), ingresses.end(), port) - ingresses.begin());
+      for (const auto& datagram :
+           netflow::encode_all(run, run.front().last, sequences[idx])) {
+        if (const auto ok = sender->send(bound[idx], datagram); !ok) {
+          return fail(ok.error().message);
+        }
+        ++datagrams_sent;
+      }
+      // Loopback UDP still drops when the sender outruns the kernel
+      // queues; a small in-flight window keeps the replay lossless.
+      while (in_flight() > 256) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    // Wait for full delivery, bailing out only if reception stalls.
+    std::uint64_t last_received = 0;
+    for (int stalled_ms = 0; in_flight() > 0 && stalled_ms < 2000;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const auto received = (*pipeline)->stats().datagrams_received;
+      stalled_ms = received == last_received ? stalled_ms + 1 : 0;
+      last_received = received;
+    }
+    (*pipeline)->stop();  // phase 1: decode + dispatch everything accepted
+    rt->shutdown();       // phase 2: drain the shards and join
+    ingest_snapshot = (*pipeline)->snapshot();
+    const auto ingest_stats = (*pipeline)->stats();
+    std::printf(
+        "ingest: %llu/%llu datagrams over %zu socket(s), %llu records "
+        "dispatched (%llu kernel drops, %llu sequence gaps)\n",
+        static_cast<unsigned long long>(ingest_stats.datagrams_received),
+        static_cast<unsigned long long>(datagrams_sent), bound.size(),
+        static_cast<unsigned long long>(ingest_stats.records_dispatched),
+        static_cast<unsigned long long>(ingest_stats.kernel_drops),
+        static_cast<unsigned long long>(ingest_stats.sequence_gaps));
+    suspects = rt_suspects.load(std::memory_order_relaxed);
+    attacks = rt_attacks.load(std::memory_order_relaxed);
+  } else if (rt) {
     for (const auto& flow : *flows) {
       rt->submit(flow.record, flow.arrival_port, flow.record.last);
     }
@@ -195,7 +290,10 @@ int main(int argc, char** argv) {
               flows->size(), static_cast<unsigned long long>(suspects),
               static_cast<unsigned long long>(attacks));
   {
-    const auto snapshot = rt ? rt->snapshot() : engine->registry().snapshot();
+    auto snapshot = rt ? rt->snapshot() : engine->registry().snapshot();
+    if (ingest_snapshot) {
+      snapshot = obs::merge_snapshots({snapshot, *ingest_snapshot});
+    }
     if (rt) {
       std::printf(
           "runtime: %d shard(s), %.0f dispatched batches, %.0f dropped, "

@@ -12,6 +12,11 @@
 //                    [--threads N]         # 0 (default) = inline analysis;
 //                                          # N >= 1 = sharded runtime
 //                    [--queue-depth 4096]
+//                    [--ingest-threads N]  # 0 (default) = poll-loop receive;
+//                                          # N >= 1 = threaded ingest pipeline
+//                                          # (recvmmsg receivers + decode
+//                                          # thread; implies --threads >= 1)
+//                    [--overload block|drop-oldest]  # ingest overload policy
 //                    [--metrics-out FILE]  # final metrics dump: JSON when
 //                                          # FILE ends in .json, else
 //                                          # Prometheus text format
@@ -98,6 +103,15 @@ int main(int argc, char** argv) {
   const auto queue_depth = args.checked_int("queue-depth", 4096, 1, 1 << 24);
   if (!queue_depth) return fail(queue_depth.error().message);
   config.queue_depth = static_cast<std::size_t>(*queue_depth);
+  const auto ingest_threads = args.checked_int("ingest-threads", 0, 0, 4096);
+  if (!ingest_threads) return fail(ingest_threads.error().message);
+  config.ingest_threads = static_cast<int>(*ingest_threads);
+  const auto overload = args.value_or("overload", "block");
+  if (overload == "drop-oldest") {
+    config.overload = ingest::OverloadPolicy::kDropOldest;
+  } else if (overload != "block") {
+    return fail("--overload must be block or drop-oldest");
+  }
 
   ConsoleSink console(args.has("idmef"));
   auto node = app::InFilterNode::create(config, &console);
@@ -137,7 +151,12 @@ int main(int argc, char** argv) {
     (*node)->train(records);
     std::printf("trained on %zu flows; ", records.size());
   }
-  if (config.threads > 0) {
+  if (config.ingest_threads > 0) {
+    std::printf(
+        "monitoring %zu collector port(s): %d receiver thread(s) + decode "
+        "thread -> %d worker shard(s)\n",
+        (*node)->ports().size(), config.ingest_threads, (*node)->threads());
+  } else if (config.threads > 0) {
     std::printf("monitoring %zu collector port(s) with %d worker shard(s)\n",
                 (*node)->ports().size(), (*node)->threads());
   } else {
