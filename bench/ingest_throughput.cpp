@@ -274,6 +274,7 @@ std::string ingest_json(const ingest::IngestStats& s) {
   out += ", \"dropped_oldest\": " + std::to_string(s.dropped_oldest);
   out += ", \"records_shed\": " + std::to_string(s.records_shed);
   out += ", \"sequence_gaps\": " + std::to_string(s.sequence_gaps);
+  out += ", \"socket_errors\": " + std::to_string(s.socket_errors);
   return out;
 }
 

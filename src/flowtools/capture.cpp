@@ -43,8 +43,13 @@ util::Result<std::size_t> FlowCapture::ingest(std::span<const std::uint8_t> data
   if (state == sequence_state_.end()) {
     sequence_state_.emplace_back(stream, decoded->header.flow_sequence);
     state = std::prev(sequence_state_.end());
-  } else if (decoded->header.flow_sequence > state->second) {
-    sequence_gaps_ += decoded->header.flow_sequence - state->second;
+  } else {
+    // The sequence space wraps at 2^32: a modular (int32) delta counts
+    // forward gaps across the wrap, while a large backward jump (exporter
+    // restart) rebases without a bogus gap.
+    const auto delta = static_cast<std::int32_t>(decoded->header.flow_sequence -
+                                                 state->second);
+    if (delta > 0) sequence_gaps_ += static_cast<std::uint32_t>(delta);
   }
   state->second = decoded->header.flow_sequence +
                   static_cast<std::uint32_t>(decoded->records.size());

@@ -73,6 +73,9 @@ IngestPipeline::IngestPipeline(IngestConfig config, DispatchFn dispatch)
   sequence_gaps_ = &registry_->counter(
       "infilter_ingest_sequence_gaps_total",
       "export-sequence gaps per (engine, ingress) stream");
+  socket_errors_ = &registry_->counter(
+      "infilter_ingest_socket_errors_total",
+      "hard receive-socket failures (recv errors and poll error events)");
   // `this`-capturing pull gauges never leave the owned registry (see
   // RuntimeConfig::registry for the dangling-callback rationale).
   owned_registry_->gauge_fn(
@@ -226,8 +229,22 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
       received = ::recvmmsg(socket.receiver.fd(), msgs.data(),
                             static_cast<unsigned>(want), MSG_TRUNC, nullptr);
     } while (received < 0 && errno == EINTR);
-    if (received <= 0) return 0;  // EAGAIN / transient: nothing waiting
+    if (received < 0) {
+      // EAGAIN is just an empty socket; anything else is a real failure
+      // that must not masquerade as "nothing waiting".
+      if (errno != EAGAIN && errno != EWOULDBLOCK) socket_errors_->inc();
+      return 0;
+    }
+    if (received == 0) return 0;
 
+    // iovec i was bound to free_slots[size-1-i] above, and the pop loop
+    // below rebuilds that pairing by popping the back once per message.
+    // Truncated slots therefore park here and rejoin free_slots only
+    // after the loop: recycling one mid-loop would hand message i+1 the
+    // truncated slot instead of the slot its bytes landed in, skewing
+    // every later descriptor in the batch.
+    thread_local std::vector<std::uint32_t> truncated_slots;
+    truncated_slots.clear();
     for (int i = 0; i < received; ++i) {
       const std::uint32_t slot = free_slots.back();
       free_slots.pop_back();
@@ -248,11 +265,13 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
       }
       if (msgs[i].msg_len > slot_bytes) {
         truncated_->inc();
-        free_slots.push_back(slot);  // nothing usable in the slot; recycle
+        truncated_slots.push_back(slot);  // nothing usable; recycle after the loop
         continue;
       }
       refs.push_back(DatagramRef{slot, msgs[i].msg_len, socket_index});
     }
+    free_slots.insert(free_slots.end(), truncated_slots.begin(),
+                      truncated_slots.end());
   } else
 #endif  // __linux__
   {
@@ -261,7 +280,13 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
     const std::uint32_t slot = free_slots.back();
     auto received = socket.receiver.receive_into(
         std::span(producer.arena.get() + std::size_t{slot} * slot_bytes, slot_bytes));
-    if (!received || !received->datagram) return 0;
+    if (!received) {
+      // receive_into() retries EINTR and maps EAGAIN to "no datagram", so
+      // an error here is a genuine socket failure.
+      socket_errors_->inc();
+      return 0;
+    }
+    if (!received->datagram) return 0;
     free_slots.pop_back();
     if (received->truncated()) {
       truncated_->inc();
@@ -304,7 +329,17 @@ void IngestPipeline::receiver_main(Producer& producer) {
     if (ready <= 0) continue;  // timeout or transient poll failure
 
     for (std::size_t i = 0; i < fds.size(); ++i) {
-      if ((fds[i].revents & POLLIN) == 0) continue;
+      const auto revents = fds[i].revents;
+      if ((revents & POLLNVAL) != 0) {
+        // The fd is invalid as far as poll is concerned; receiving cannot
+        // clear that, so all we can do is surface it.
+        socket_errors_->inc();
+        continue;
+      }
+      // POLLERR enters the drain loop too: the recv attempt both counts
+      // the pending socket error and clears it, so a dead collector
+      // socket shows up in the metric instead of a silent spin.
+      if ((revents & (POLLIN | POLLERR)) == 0) continue;
       auto& socket = sockets_[producer.sockets[i]];
       // Drain this socket; one failing/empty socket never starves the rest.
       while (!stopping_.load(std::memory_order_acquire)) {
@@ -418,8 +453,13 @@ void IngestPipeline::decode_main() {
         if (state == sequence_state.end()) {
           sequence_state.emplace_back(stream, header.flow_sequence);
           state = std::prev(sequence_state.end());
-        } else if (header.flow_sequence > state->second) {
-          sequence_gaps_->inc(header.flow_sequence - state->second);
+        } else {
+          // The sequence space wraps at 2^32: a modular (int32) delta
+          // counts forward gaps across the wrap, while a large backward
+          // jump (exporter restart) rebases without a bogus gap.
+          const auto delta =
+              static_cast<std::int32_t>(header.flow_sequence - state->second);
+          if (delta > 0) sequence_gaps_->inc(static_cast<std::uint64_t>(delta));
         }
         state->second = header.flow_sequence + static_cast<std::uint32_t>(count);
 
@@ -490,6 +530,13 @@ void IngestPipeline::quiesce(const std::function<void()>& fn) const {
 }
 
 void IngestPipeline::stop() {
+  // Serialized with quiesce(): if stop() set decode_stopping_ while a
+  // quiesce() was waiting for paused_, the decode thread's pause
+  // predicate would send it straight to exit without ever setting
+  // paused_, and that quiesce() would hang forever. Holding the quiesce
+  // mutex for the whole teardown makes the two strictly ordered (it also
+  // makes stopped_ reads/writes race-free across the pair).
+  std::lock_guard serialize(quiesce_mutex_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
   for (auto& producer : producers_) {
@@ -522,6 +569,7 @@ IngestStats IngestPipeline::stats() const {
   stats.records_dispatched = dispatched_->value();
   stats.records_shed = shed_->value();
   stats.sequence_gaps = sequence_gaps_->value();
+  stats.socket_errors = socket_errors_->value();
   return stats;
 }
 

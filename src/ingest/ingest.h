@@ -131,6 +131,7 @@ struct IngestStats {
   std::uint64_t records_dispatched = 0;   ///< accepted by the dispatcher
   std::uint64_t records_shed = 0;         ///< refused by the dispatcher (kDrop)
   std::uint64_t sequence_gaps = 0;        ///< export-sequence gaps (lost upstream)
+  std::uint64_t socket_errors = 0;        ///< hard recv/poll failures on a socket
 };
 
 class IngestPipeline {
@@ -170,11 +171,16 @@ class IngestPipeline {
   /// while the pipeline is live: the decode thread *is* the dispatcher,
   /// so it must be provably idle for the duration. Receivers keep
   /// accepting traffic into the arenas meanwhile (bounded by them).
+  /// Serialized against concurrent quiesce() and stop() callers, so a
+  /// destructor racing a metrics/flush quiesce on another thread cannot
+  /// strand the waiter; after stop() it degenerates to running `fn`.
+  /// `fn` must not call back into stop()/quiesce() on this pipeline.
   void quiesce(const std::function<void()>& fn) const;
 
   /// Drains whatever the receivers accepted, then stops and joins all
-  /// threads. Idempotent. The downstream runtime is untouched -- flush or
-  /// shut it down afterwards (two-phase shutdown).
+  /// threads. Idempotent, and serialized against quiesce() (a stop cannot
+  /// interleave with a quiesce in flight). The downstream runtime is
+  /// untouched -- flush or shut it down afterwards (two-phase shutdown).
   void stop();
 
   [[nodiscard]] IngestStats stats() const;
@@ -252,7 +258,7 @@ class IngestPipeline {
   mutable std::atomic<bool> decode_parked_{false};
   mutable std::atomic<bool> pause_requested_{false};
   mutable std::atomic<bool> paused_{false};
-  mutable std::mutex quiesce_mutex_;  ///< serializes concurrent quiesce() callers
+  mutable std::mutex quiesce_mutex_;  ///< serializes quiesce() and stop() callers
 
   /// Same dangling-callback discipline as ShardedRuntime: `this`-capturing
   /// pull gauges live here; plain value counters go to config_.registry
@@ -269,6 +275,7 @@ class IngestPipeline {
   obs::Counter* dispatched_;
   obs::Counter* shed_;
   obs::Counter* sequence_gaps_;
+  obs::Counter* socket_errors_;
 };
 
 }  // namespace infilter::ingest

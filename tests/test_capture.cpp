@@ -75,6 +75,18 @@ TEST(FlowCapture, NoGapOnContiguousSequence) {
   EXPECT_EQ(capture.sequence_gaps(), 0u);
 }
 
+TEST(FlowCapture, SequenceGapSpansWraparound) {
+  FlowCapture capture;
+  ASSERT_TRUE(
+      capture.ingest(datagram(std::vector{record(1)}, 0xFFFFFFFFu), 9001).has_value());
+  // Next expected sequence is 0 (2^32 wrap); claiming 6 means 6 flows lost.
+  ASSERT_TRUE(capture.ingest(datagram(std::vector{record(2)}, 6), 9001).has_value());
+  EXPECT_EQ(capture.sequence_gaps(), 6u);
+  // An exporter restart (large backward jump) rebases without a bogus gap.
+  ASSERT_TRUE(capture.ingest(datagram(std::vector{record(3)}, 0), 9001).has_value());
+  EXPECT_EQ(capture.sequence_gaps(), 6u);
+}
+
 TEST(FlowCapture, SequenceTrackedPerPort) {
   FlowCapture capture;
   ASSERT_TRUE(capture.ingest(datagram(std::vector{record(1)}, 0), 9001).has_value());

@@ -174,6 +174,128 @@ TEST(IngestPipeline, MalformedAndZeroLengthDatagramsAreCountedNotFatal) {
   EXPECT_GT(stats.records_dispatched, 0u);
 }
 
+/// One-record export datagram with a caller-chosen marker and sequence --
+/// small enough that several fit in one recvmmsg() batch.
+std::vector<std::uint8_t> marked_datagram(std::uint16_t marker,
+                                          std::uint32_t sequence = 0) {
+  netflow::V5Record record;
+  record.src_ip = net::IPv4Address{10, 0, 0, 1};
+  record.dst_ip = net::IPv4Address{10, 0, 0, 2};
+  record.proto = 6;
+  record.src_port = marker;
+  record.dst_port = 80;
+  netflow::V5Header header;
+  header.flow_sequence = sequence;
+  return netflow::encode(header, std::span(&record, 1));
+}
+
+TEST(IngestPipeline, TruncatedDatagramMidBatchKeepsSlotCorrespondence) {
+  // Regression: in the recvmmsg path, recycling a truncated slot while the
+  // pop loop was still consuming the free-list suffix handed every later
+  // message in the batch the wrong arena buffer. Park the decode stage,
+  // fill the arena, and queue an interleaved valid/oversized pattern in
+  // the kernel so the receiver picks it up in one batch on resume.
+  std::mutex mutex;
+  std::vector<std::uint16_t> markers;
+  IngestConfig config;
+  config.ports = {0};
+  config.arena_slots = 8;
+  config.recv_batch = 8;
+  auto pipeline = IngestPipeline::create(
+      config, [&](std::span<const runtime::FlowItem> items) {
+        std::lock_guard lock(mutex);
+        for (const auto& item : items) markers.push_back(item.record.src_port);
+        return items.size();
+      });
+  ASSERT_TRUE(pipeline.has_value()) << pipeline.error().message;
+  auto sender = flowtools::UdpSender::create();
+  ASSERT_TRUE(sender.has_value());
+  const auto port = (*pipeline)->ports()[0];
+
+  std::vector<std::uint16_t> expected;
+  const std::vector<std::uint8_t> oversized(2 * config.slot_bytes, 0xEE);
+  (*pipeline)->quiesce([&] {
+    // Fillers exhaust the 8-slot arena; the receiver then blocks (kBlock)
+    // while the decode stage is parked, so everything sent afterwards
+    // accumulates in the kernel queue.
+    for (std::uint16_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(sender->send(port, marked_datagram(100 + i)).has_value());
+      expected.push_back(100 + i);
+    }
+    std::this_thread::sleep_for(100ms);
+    // Oversized datagrams interleaved between valid ones: on resume the
+    // receiver reclaims all 8 slots and recvmmsg()s this as one batch.
+    for (std::uint16_t i = 0; i < 4; ++i) {
+      if (i == 1 || i == 3) {
+        ASSERT_TRUE(sender->send(port, oversized).has_value());
+      }
+      ASSERT_TRUE(sender->send(port, marked_datagram(200 + i)).has_value());
+      expected.push_back(200 + i);
+    }
+  });
+
+  wait_received(**pipeline, 12);  // truncated datagrams are not "accepted"
+  (*pipeline)->drain();
+  const auto stats = (*pipeline)->stats();
+  EXPECT_EQ(stats.datagrams_received, 12u);
+  EXPECT_EQ(stats.datagrams_truncated, 2u);
+  // The load-bearing assertions: a slot mix-up decodes the truncated
+  // junk in place of a valid datagram behind it in the batch.
+  EXPECT_EQ(stats.datagrams_malformed, 0u);
+  EXPECT_EQ(stats.datagrams_decoded, 12u);
+  EXPECT_EQ(stats.records_dispatched, 12u);
+  std::lock_guard lock(mutex);
+  EXPECT_EQ(markers, expected);  // right bytes, right order
+}
+
+TEST(IngestPipeline, SequenceGapAccountingSurvivesWraparound) {
+  IngestConfig config;
+  config.ports = {0};
+  auto pipeline = IngestPipeline::create(
+      config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
+  ASSERT_TRUE(pipeline.has_value()) << pipeline.error().message;
+  auto sender = flowtools::UdpSender::create();
+  ASSERT_TRUE(sender.has_value());
+  const auto port = (*pipeline)->ports()[0];
+
+  // One record per datagram: expected next sequence is previous + 1.
+  ASSERT_TRUE(sender->send(port, marked_datagram(1, 0xFFFFFFFEu)).has_value());
+  ASSERT_TRUE(sender->send(port, marked_datagram(2, 0xFFFFFFFFu)).has_value());  // contiguous
+  // Expected next is 0 (2^32 wrap); claiming 4 means 4 flows lost.
+  ASSERT_TRUE(sender->send(port, marked_datagram(3, 4)).has_value());
+  ASSERT_TRUE(sender->send(port, marked_datagram(4, 5)).has_value());  // contiguous
+  // Exporter restart: a large backward jump rebases without a bogus gap.
+  ASSERT_TRUE(sender->send(port, marked_datagram(5, 0)).has_value());
+
+  wait_received(**pipeline, 5);
+  (*pipeline)->drain();
+  const auto stats = (*pipeline)->stats();
+  EXPECT_EQ(stats.datagrams_decoded, 5u);
+  EXPECT_EQ(stats.sequence_gaps, 4u);
+}
+
+TEST(IngestPipeline, StopConcurrentWithQuiesceDoesNotDeadlock) {
+  // Regression: stop() setting decode_stopping_ while quiesce() waited for
+  // paused_ stranded the quiesce forever. They now serialize on the
+  // quiesce mutex, and post-stop quiesces take the stopped fast path.
+  IngestConfig config;
+  config.ports = {0};
+  auto pipeline = IngestPipeline::create(
+      config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
+  ASSERT_TRUE(pipeline.has_value()) << pipeline.error().message;
+
+  std::atomic<int> ran{0};
+  std::thread worker([&] {
+    for (int i = 0; i < 50; ++i) {
+      (*pipeline)->quiesce([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  std::this_thread::sleep_for(1ms);
+  (*pipeline)->stop();
+  worker.join();
+  EXPECT_EQ(ran.load(), 50);
+}
+
 TEST(IngestPipeline, OverloadDropOldestShedsAndAccountsExactly) {
   std::atomic<std::uint64_t> dispatched{0};
   IngestConfig config;
