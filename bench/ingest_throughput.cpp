@@ -20,6 +20,7 @@
 //                     [--threads 2]       # runtime shards
 //                     [--out BENCH_ingest.json]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -30,6 +31,20 @@
 #include <thread>
 #include <vector>
 
+// Sanitizer builds own operator new/delete (replacing them breaks ASan's
+// alloc/dealloc matching) and skew wall-clock ratios; the allocation probe
+// and the perf gates are release-lane checks only.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define INFILTER_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define INFILTER_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef INFILTER_BENCH_SANITIZED
+#define INFILTER_BENCH_SANITIZED 0
+#endif
+
 // Global operator new/delete overrides: count every heap allocation made by
 // this binary so the probe section can prove the steady-state
 // receive -> ring -> decode -> dispatch path allocates nothing per
@@ -37,24 +52,29 @@
 namespace {
 std::atomic<std::uint64_t> g_heap_allocs{0};
 
+#if !INFILTER_BENCH_SANITIZED
 void* counted_alloc(std::size_t size) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc{};
 }
+#endif
 }  // namespace
 
+#if !INFILTER_BENCH_SANITIZED
 void* operator new(std::size_t size) { return counted_alloc(size); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
 
 #include "dagflow/dagflow.h"
 #include "flowtools/udp.h"
 #include "ingest/ingest.h"
 #include "obs/export.h"
+#include "obs/trace.h"
 #include "traffic/attacks.h"
 #include "traffic/normal.h"
 #include "util/args.h"
@@ -200,10 +220,18 @@ void send_paced(flowtools::UdpSender& sender, const ingest::IngestPipeline& pipe
 }
 
 /// Receiver thread(s) + decode thread + sharded runtime on the same bytes.
-Measurement run_threaded(const Workload& w, int receivers, int shards) {
+/// `tracer` (optional) attaches the flight recorder to every stage -- the
+/// overhead runs pass it disabled, the journey run enabled. `repeats`
+/// replays the datagram stream that many times inside the measured window,
+/// stretching sub-millisecond smoke workloads into something a throughput
+/// *ratio* can be judged on (sequence gaps across replays are expected and
+/// not counted against the run).
+Measurement run_threaded(const Workload& w, int receivers, int shards,
+                         obs::Tracer* tracer = nullptr, int repeats = 1) {
   runtime::RuntimeConfig runtime_config;
   runtime_config.shards = shards;
   runtime_config.engine = engine_config();
+  runtime_config.tracer = tracer;
   std::atomic<std::uint64_t> attacks{0};
   runtime::ShardedRuntime rt(
       runtime_config, nullptr,
@@ -219,6 +247,7 @@ Measurement run_threaded(const Workload& w, int receivers, int shards) {
   config.ports.assign(static_cast<std::size_t>(std::max(1, receivers)), 0);
   config.ingress_ids.assign(config.ports.size(), kIngress);
   config.receiver_threads = receivers;
+  config.tracer = tracer;
   auto pipeline = ingest::IngestPipeline::create(config, rt);
   if (!pipeline) {
     std::fprintf(stderr, "pipeline: %s\n", pipeline.error().message.c_str());
@@ -229,11 +258,13 @@ Measurement run_threaded(const Workload& w, int receivers, int shards) {
 
   Measurement m;
   const auto start = Clock::now();
-  send_paced(*sender, **pipeline, port, w, 0);
+  for (int r = 0; r < repeats; ++r) {
+    send_paced(*sender, **pipeline, port, w, r * w.datagrams.size());
+  }
   (*pipeline)->quiesce([&] { rt.flush(); });
   m.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   m.records_per_sec =
-      m.seconds > 0 ? static_cast<double>(w.flows) / m.seconds : 0;
+      m.seconds > 0 ? static_cast<double>(w.flows * repeats) / m.seconds : 0;
   m.attacks = attacks.load(std::memory_order_relaxed);
   m.ingest = (*pipeline)->stats();
   (*pipeline)->stop();
@@ -244,10 +275,18 @@ Measurement run_threaded(const Workload& w, int receivers, int shards) {
 /// The allocation probe: a pipeline with a null dispatcher isolates the
 /// receive -> ring -> decode path. Pass 1 warms the thread-local working
 /// sets; pass 2 over the same stream must not touch the heap at all.
+/// The flight recorder rides along *enabled* at sample_every=1 -- its ring
+/// memory is allocated at lane registration (warm time), so even the
+/// maximally-traced steady state must stay off the heap.
 std::uint64_t probe_steady_allocs(const Workload& w) {
+  obs::TracerConfig trace_config;
+  trace_config.sample_every = 1;
+  trace_config.enabled = true;
+  obs::Tracer tracer(trace_config);
   ingest::IngestConfig config;
   config.ports = {0};
   config.ingress_ids = {kIngress};
+  config.tracer = &tracer;
   auto pipeline = ingest::IngestPipeline::create(
       config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
   if (!pipeline) {
@@ -314,6 +353,63 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(threaded.attacks),
       static_cast<unsigned long long>(threaded.ingest.kernel_drops));
 
+  // Gate: tracing compiled in and attached but *disabled* must cost at most
+  // 2% throughput against the untraced pipeline (the disabled hot path is
+  // one relaxed load + branch per hop). Wall-clock over loopback UDP is far
+  // noisier than 2%, so each side replays the stream enough times to spend
+  // tens of milliseconds in the measured window, the pair is measured up to
+  // three times alternating, and the best throughput either side reached is
+  // judged (noise only ever subtracts from a best-of).
+  const int repeats = std::max(
+      1, static_cast<int>(0.15 * threaded.records_per_sec /
+                          static_cast<double>(std::max<std::size_t>(1, workload.flows))));
+  double best_untraced = 0.0;
+  double best_disabled = 0.0;
+  double overhead_ratio = 0.0;
+  Measurement traced_off;
+  for (int attempt = 0; attempt < 4 && overhead_ratio < 0.98; ++attempt) {
+    best_untraced = std::max(
+        best_untraced,
+        run_threaded(workload, receivers, shards, nullptr, repeats).records_per_sec);
+    obs::Tracer off;  // TracerConfig{}.enabled == false
+    traced_off = run_threaded(workload, receivers, shards, &off, repeats);
+    best_disabled = std::max(best_disabled, traced_off.records_per_sec);
+    if (best_untraced > 0) overhead_ratio = best_disabled / best_untraced;
+  }
+  std::printf("tracer disabled: %.0f records/sec best-of (%.3fx untraced, %dx replay)\n",
+              best_disabled, overhead_ratio, repeats);
+
+  // The journey run: every record traced (sample_every=1), spans exported
+  // as Chrome trace-event JSON for Perfetto and cross-checked offline by
+  // scripts/bench_summary.py --validate-trace against the e2e histogram.
+  obs::TracerConfig trace_config;
+  trace_config.sample_every = 1;
+  trace_config.ring_capacity = 1 << 17;  // hold the whole run; drops gate below
+  trace_config.enabled = true;
+  obs::Tracer tracer(trace_config);
+  const auto traced = run_threaded(workload, receivers, shards, &tracer);
+  const auto trace_snapshot = tracer.snapshot();
+  const auto* e2e = trace_snapshot.histogram("infilter_e2e_latency_us");
+  std::printf(
+      "tracer enabled (1-in-1): %.0f records/sec, %llu journeys, e2e p50 "
+      "%.2fus p99 %.2fus, %llu span events (%llu dropped)\n",
+      traced.records_per_sec,
+      static_cast<unsigned long long>(e2e != nullptr ? e2e->count : 0),
+      e2e != nullptr ? e2e->quantile(0.50) : 0.0,
+      e2e != nullptr ? e2e->quantile(0.99) : 0.0,
+      static_cast<unsigned long long>(tracer.events_emitted()),
+      static_cast<unsigned long long>(tracer.events_dropped()));
+  const auto trace_path = args.value_or("trace-out", "BENCH_ingest_trace.json");
+  {
+    std::ofstream trace_file(trace_path, std::ios::trunc);
+    trace_file << tracer.chrome_trace_json();
+    if (!trace_file) {
+      std::fprintf(stderr, "ingest_throughput: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+
   const auto steady_allocs = probe_steady_allocs(workload);
   std::printf("steady-state heap allocations over %zu datagrams: %llu\n",
               workload.datagrams.size(),
@@ -337,7 +433,23 @@ int main(int argc, char** argv) {
                                 ? threaded.records_per_sec / serial.records_per_sec
                                 : 0.0) +
          ", \"attack_verdicts\": " + std::to_string(threaded.attacks) + ", " +
-         ingest_json(threaded.ingest) + "}\n  ],\n";
+         ingest_json(threaded.ingest) + "},\n";
+  doc += "    {\"mode\": \"threaded_ingest_tracer_disabled\", \"seconds\": " +
+         obs::format_number(traced_off.seconds) +
+         ", \"records_per_sec\": " + obs::format_number(best_disabled) +
+         ", \"throughput_vs_untraced\": " + obs::format_number(overhead_ratio) +
+         ", \"replays\": " + std::to_string(repeats) + "},\n";
+  doc += "    {\"mode\": \"threaded_ingest_traced\", \"sample_every\": 1"
+         ", \"seconds\": " + obs::format_number(traced.seconds) +
+         ", \"records_per_sec\": " + obs::format_number(traced.records_per_sec) +
+         ", \"attack_verdicts\": " + std::to_string(traced.attacks) +
+         "}\n  ],\n";
+  doc += "  \"trace\": {\"out\": \"" + trace_path +
+         "\", \"journeys\": " + std::to_string(e2e != nullptr ? e2e->count : 0) +
+         ", \"e2e_sum_us\": " + obs::format_number(e2e != nullptr ? e2e->sum : 0.0) +
+         ", \"span_events\": " + std::to_string(tracer.events_emitted()) +
+         ", \"span_events_dropped\": " + std::to_string(tracer.events_dropped()) +
+         "},\n";
   doc += "  \"steady_state_heap_allocs\": " + std::to_string(steady_allocs) + ",\n";
   doc += "  \"steady_state_datagrams\": " + std::to_string(workload.datagrams.size()) +
          "\n}\n";
@@ -366,10 +478,38 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(threaded.attacks));
     return 1;
   }
-  if (steady_allocs != 0) {
+  if (!INFILTER_BENCH_SANITIZED && steady_allocs != 0) {
     std::fprintf(stderr,
                  "FAIL: receive/decode hot path made %llu heap allocations\n",
                  static_cast<unsigned long long>(steady_allocs));
+    return 1;
+  }
+  // Flight-recorder gates: disabled tracing within 2% of untraced, and the
+  // fully-traced run must capture every record's journey losslessly (the
+  // span-sum vs histogram identity is then checked offline against the
+  // exported JSON by scripts/bench_summary.py --validate-trace).
+  if (!INFILTER_BENCH_SANITIZED && overhead_ratio < 0.98) {
+    std::fprintf(stderr,
+                 "FAIL: tracer-disabled throughput %.3fx untraced (< 0.98)\n",
+                 overhead_ratio);
+    return 1;
+  }
+  if (e2e == nullptr || e2e->count != workload.flows) {
+    std::fprintf(stderr, "FAIL: %llu of %zu journeys reached a verdict\n",
+                 static_cast<unsigned long long>(e2e != nullptr ? e2e->count : 0),
+                 workload.flows);
+    return 1;
+  }
+  if (tracer.events_dropped() != 0) {
+    std::fprintf(stderr, "FAIL: %llu span events dropped\n",
+                 static_cast<unsigned long long>(tracer.events_dropped()));
+    return 1;
+  }
+  if (traced.attacks != serial.attacks) {
+    std::fprintf(stderr,
+                 "FAIL: traced attack verdicts diverged (serial %llu, traced %llu)\n",
+                 static_cast<unsigned long long>(serial.attacks),
+                 static_cast<unsigned long long>(traced.attacks));
     return 1;
   }
   return 0;

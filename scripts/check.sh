@@ -6,7 +6,7 @@
 #   scripts/check.sh --tsan     # + ThreadSanitizer lane (runtime tests)
 #   scripts/check.sh --all      # tier-1 + asan + tsan
 #
-# The TSan lane runs the concurrency tests only (Runtime/Node/Ingest suites):
+# The TSan lane runs the concurrency tests only (Runtime/Node/Ingest/Trace):
 # the full suite under TSan takes far longer and the single-threaded
 # tests cannot race.
 
@@ -43,7 +43,7 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs"
   ./build-tsan/tests/infilter_tests \
-    --gtest_filter='ShardedRuntime*:SpscRing*:SerializingSink*:Node*:Ingest*'
+    --gtest_filter='ShardedRuntime*:SpscRing*:SerializingSink*:Node*:Ingest*:Tracer*:TraceRuntime*:TraceRing*:ThreadLane*'
 fi
 
 echo "== all requested lanes passed =="

@@ -22,7 +22,8 @@ InFilterNode::InFilterNode(const NodeConfig& config,
     : collector_(std::move(collector)),
       registry_ptr_(config.engine.registry != nullptr ? config.engine.registry
                                                       : &registry_),
-      traceback_(config.traceback, alert_consumer) {
+      traceback_(config.traceback, alert_consumer),
+      tracer_(config.tracer) {
   if (config.threads > 0) {
     // Runtime-backed analysis: the poll loop becomes the dispatcher and N
     // shard engines do the work. The runtime serializes shard alerts, so
@@ -33,6 +34,7 @@ InFilterNode::InFilterNode(const NodeConfig& config,
     runtime_config.backpressure = config.backpressure;
     runtime_config.engine = config.engine;
     runtime_config.registry = registry_ptr_;
+    runtime_config.tracer = tracer_;
     runtime_ = std::make_unique<runtime::ShardedRuntime>(
         std::move(runtime_config), &traceback_,
         [this](const runtime::FlowItem&, const core::Verdict& verdict) {
@@ -44,6 +46,11 @@ InFilterNode::InFilterNode(const NodeConfig& config,
   } else {
     engine_ = std::make_unique<core::InFilterEngine>(
         with_registry(config.engine, &registry_), &traceback_);
+    if (tracer_ != nullptr) {
+      // Serial analysis runs on whichever thread drives poll_once() --
+      // one logical thread, like the runtime's dispatcher.
+      poll_lane_ = tracer_->register_thread("poll", "serial");
+    }
   }
 
   // Collector-path health, sampled from the capture at snapshot time.
@@ -69,6 +76,13 @@ InFilterNode::InFilterNode(const NodeConfig& config,
       "Export records lost to sequence gaps (per engine/port stream)");
 }
 
+InFilterNode::~InFilterNode() {
+  // The decode thread dispatches into runtime_, which member order would
+  // otherwise destroy first; stop the pipeline before anything else dies.
+  if (ingest_) ingest_->stop();
+  if (poll_lane_ != nullptr) poll_lane_->retire();
+}
+
 util::Result<std::unique_ptr<InFilterNode>> InFilterNode::create(
     const NodeConfig& config, alert::AlertSink* alert_consumer) {
   if (config.ingest_threads > 0) {
@@ -85,6 +99,7 @@ util::Result<std::unique_ptr<InFilterNode>> InFilterNode::create(
     ingest_config.receiver_threads = adjusted.ingest_threads;
     ingest_config.overload = adjusted.overload;
     ingest_config.registry = node->registry_ptr_;
+    ingest_config.tracer = adjusted.tracer;
     auto pipeline = ingest::IngestPipeline::create(std::move(ingest_config),
                                                    *node->runtime_);
     if (!pipeline) return pipeline.error();
@@ -152,14 +167,26 @@ util::Result<std::size_t> InFilterNode::poll_once(int timeout_ms) {
         ++stats_.dropped_flows;
       }
     } else {
-      const auto verdict =
-          engine_->process(flow.record, flow.arrival_port, flow.record.last);
+      core::Verdict verdict;
+      ++serial_seq_;
+      if (poll_lane_ != nullptr && tracer_->enabled() &&
+          tracer_->sampled(serial_seq_)) {
+        // Serial mode has no hand-offs: one span is the whole journey.
+        const auto t0 = obs::Tracer::now_ns();
+        verdict = engine_->process(flow.record, flow.arrival_port, flow.record.last);
+        const auto t1 = obs::Tracer::now_ns();
+        poll_lane_->emit(obs::SpanKind::kSerial, t0, t1 - t0, serial_seq_);
+        tracer_->e2e_us->observe(static_cast<double>(t1 - t0) / 1000.0);
+      } else {
+        verdict = engine_->process(flow.record, flow.arrival_port, flow.record.last);
+      }
       ++stats_.flows_processed;
       stats_.suspects += verdict.suspect ? 1 : 0;
       stats_.attacks_flagged += verdict.attack ? 1 : 0;
     }
     ++processed;
   }
+  if (poll_lane_ != nullptr && processed > 0) poll_lane_->heartbeat(processed);
   if (runtime_) refresh_runtime_stats();
   stats_.datagrams = capture.datagrams_received();
   stats_.malformed_datagrams = capture.datagrams_malformed();
@@ -202,11 +229,16 @@ obs::RegistrySnapshot InFilterNode::metrics() const {
     // the pipeline's private gauges) inside the pipeline's quiet window.
     obs::RegistrySnapshot merged;
     ingest_->quiesce([&] {
-      merged = obs::merge_snapshots({runtime_->snapshot(), ingest_->snapshot()});
+      std::vector<obs::RegistrySnapshot> parts{runtime_->snapshot(),
+                                               ingest_->snapshot()};
+      if (tracer_ != nullptr) parts.push_back(tracer_->snapshot());
+      merged = obs::merge_snapshots(parts);
     });
     return merged;
   }
-  return runtime_ ? runtime_->snapshot() : registry_ptr_->snapshot();
+  auto base = runtime_ ? runtime_->snapshot() : registry_ptr_->snapshot();
+  if (tracer_ == nullptr) return base;
+  return obs::merge_snapshots({std::move(base), tracer_->snapshot()});
 }
 
 }  // namespace infilter::app

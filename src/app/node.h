@@ -53,6 +53,12 @@ struct NodeConfig {
   int ingest_threads = 0;
   /// What an ingest receiver does when the decode stage falls behind.
   ingest::OverloadPolicy overload = ingest::OverloadPolicy::kBlock;
+
+  // -- Flight recorder (src/obs/trace.h) --
+  /// Not owned; null = no tracing. Shared by the ingest pipeline, the
+  /// runtime, and (serial mode) the poll loop, so one tracer sees the
+  /// whole record journey. Must outlive the node.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Counters the monitor reports.
@@ -77,6 +83,10 @@ class InFilterNode {
   /// receives every alert after traceback aggregation.
   static util::Result<std::unique_ptr<InFilterNode>> create(
       const NodeConfig& config, alert::AlertSink* alert_consumer = nullptr);
+
+  /// Stops the ingest pipeline before the runtime dies (the decode thread
+  /// dispatches into it) and retires the node's trace lane.
+  ~InFilterNode();
 
   /// Training-phase helpers (Figure 11). Fan out to every shard when the
   /// node is runtime-backed.
@@ -145,6 +155,11 @@ class InFilterNode {
   std::size_t consumed_ = 0;
   /// Ingest mode: records already reported by previous polls.
   std::uint64_t ingest_consumed_ = 0;
+  /// Flight recorder (NodeConfig::tracer; may be null) and, in serial
+  /// mode, the poll thread's lane plus its journey sampling counter.
+  obs::Tracer* tracer_ = nullptr;
+  obs::ThreadLane* poll_lane_ = nullptr;
+  std::uint64_t serial_seq_ = 0;
 };
 
 }  // namespace infilter::app

@@ -192,6 +192,14 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
                                           std::vector<std::uint32_t>& free_slots) {
   const std::size_t want = std::min(config_.recv_batch, free_slots.size());
   if (want == 0) return 0;
+  // Journey origin: one clock read per receive batch, only while tracing.
+  // Every datagram in the batch shares the stamp -- they left the kernel
+  // in one recvmmsg, so their true receive times differ by less than the
+  // decomposition cares about.
+  const std::uint64_t recv_ns =
+      config_.tracer != nullptr && config_.tracer->enabled()
+          ? obs::Tracer::now_ns()
+          : 0;
   const std::size_t slot_bytes = config_.slot_bytes;
   const auto socket_index =
       static_cast<std::uint16_t>(&socket - sockets_.data());
@@ -268,7 +276,7 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
         truncated_slots.push_back(slot);  // nothing usable; recycle after the loop
         continue;
       }
-      refs.push_back(DatagramRef{slot, msgs[i].msg_len, socket_index});
+      refs.push_back(DatagramRef{slot, msgs[i].msg_len, socket_index, recv_ns});
     }
     free_slots.insert(free_slots.end(), truncated_slots.begin(),
                       truncated_slots.end());
@@ -292,8 +300,8 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
       truncated_->inc();
       free_slots.push_back(slot);
     } else {
-      refs.push_back(
-          DatagramRef{slot, static_cast<std::uint32_t>(received->bytes), socket_index});
+      refs.push_back(DatagramRef{slot, static_cast<std::uint32_t>(received->bytes),
+                                 socket_index, recv_ns});
     }
   }
 
@@ -310,6 +318,19 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
 }
 
 void IngestPipeline::receiver_main(Producer& producer) {
+  // The receiver's liveness lane. No queue probe: its input queue is the
+  // kernel socket buffer, which SO_RXQ_OVFL already accounts for; the
+  // kBlocked state (waiting for the decode stage to return buffers) is
+  // the receiver-side stall signal.
+  obs::ThreadLane* lane = nullptr;
+  if (config_.tracer != nullptr) {
+    std::size_t index = 0;
+    while (index < producers_.size() && producers_[index].get() != &producer) {
+      ++index;
+    }
+    lane = config_.tracer->register_thread("recv-" + std::to_string(index),
+                                           "receiver");
+  }
   // The producer owns every arena slot at birth.
   std::vector<std::uint32_t> free_slots(config_.arena_slots);
   std::iota(free_slots.begin(), free_slots.end(), 0U);
@@ -324,9 +345,11 @@ void IngestPipeline::receiver_main(Producer& producer) {
     reclaim_slots(producer, free_slots);
     int ready;
     do {
+      if (lane != nullptr) lane->set_state(obs::ThreadState::kIdle);
       ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
     } while (ready < 0 && errno == EINTR);
     if (ready <= 0) continue;  // timeout or transient poll failure
+    if (lane != nullptr) lane->set_state(obs::ThreadState::kBusy);
 
     for (std::size_t i = 0; i < fds.size(); ++i) {
       const auto revents = fds[i].revents;
@@ -343,11 +366,22 @@ void IngestPipeline::receiver_main(Producer& producer) {
       auto& socket = sockets_[producer.sockets[i]];
       // Drain this socket; one failing/empty socket never starves the rest.
       while (!stopping_.load(std::memory_order_acquire)) {
-        if (free_slots.empty() && !wait_for_slots(producer, free_slots)) return;
-        if (receive_batch(producer, socket, free_slots) == 0) break;
+        if (free_slots.empty()) {
+          if (lane != nullptr) lane->set_state(obs::ThreadState::kBlocked);
+          const bool got_slots = wait_for_slots(producer, free_slots);
+          if (lane != nullptr) lane->set_state(obs::ThreadState::kBusy);
+          if (!got_slots) {
+            if (lane != nullptr) lane->retire();
+            return;
+          }
+        }
+        const std::size_t got = receive_batch(producer, socket, free_slots);
+        if (got == 0) break;
+        if (lane != nullptr) lane->heartbeat(got);
       }
     }
   }
+  if (lane != nullptr) lane->retire();
 }
 
 // ---------------------------------------------------------------------------
@@ -355,6 +389,18 @@ void IngestPipeline::receiver_main(Producer& producer) {
 // ---------------------------------------------------------------------------
 
 void IngestPipeline::decode_main() {
+  // The decode lane's queue probe is the fan-in backlog: datagrams the
+  // receivers queued that decode has not popped. Non-empty + no progress
+  // = the stall detector's textbook case.
+  obs::Tracer* const tracer = config_.tracer;
+  obs::ThreadLane* lane = nullptr;
+  if (tracer != nullptr) {
+    lane = tracer->register_thread("decode", "decode", [this] {
+      std::size_t queued = 0;
+      for (const auto& producer : producers_) queued += producer->ring.size();
+      return queued;
+    });
+  }
   std::vector<DatagramRef> refs(config_.recv_batch);
   std::vector<netflow::V5Record> records(netflow::kV5MaxRecords);
   std::vector<runtime::FlowItem> items;
@@ -390,6 +436,7 @@ void IngestPipeline::decode_main() {
       // quiesce(): everything decoded so far must be visible downstream
       // before we park, and no dispatch may run while we are parked.
       flush();
+      if (lane != nullptr) lane->set_state(obs::ThreadState::kBlocked);
       std::unique_lock lock(decode_wake_mutex_);
       paused_.store(true, std::memory_order_release);
       decode_wake_cv_.notify_all();
@@ -426,6 +473,15 @@ void IngestPipeline::decode_main() {
       const std::size_t n = producer.ring.try_pop_batch(refs.data(), refs.size());
       if (n == 0) continue;
       busy = true;
+      const bool tracing = lane != nullptr && tracer->enabled();
+      // Lazy pop stamp, shared by every sampled record in this pop batch:
+      // taken at the first sampled record, so an unsampled batch costs no
+      // clock read.
+      std::uint64_t t_pop = 0;
+      if (lane != nullptr) {
+        lane->set_state(obs::ThreadState::kBusy);
+        lane->heartbeat(n);
+      }
       for (std::size_t i = 0; i < n; ++i) {
         const auto& ref = refs[i];
         const std::uint8_t* base =
@@ -464,8 +520,21 @@ void IngestPipeline::decode_main() {
         state->second = header.flow_sequence + static_cast<std::uint32_t>(count);
 
         for (std::size_t r = 0; r < count; ++r) {
-          items.push_back(runtime::FlowItem{records[r], ingress, records[r].last,
-                                            next_tag++, 0});
+          runtime::FlowItem item{records[r], ingress, records[r].last,
+                                 next_tag++, 0};
+          // Start a sampled journey: the datagram's socket-receive stamp
+          // becomes the record's origin, and the receiver-ring wait
+          // (recv -> decode pop) is the journey's first span.
+          if (tracing && ref.recv_ns != 0 && tracer->sampled(item.tag)) {
+            if (t_pop == 0) t_pop = obs::Tracer::now_ns();
+            item.recv_ns = ref.recv_ns;
+            item.hop_ns = t_pop;
+            lane->emit(obs::SpanKind::kQueueIngest, ref.recv_ns,
+                       t_pop - ref.recv_ns, item.tag);
+            tracer->queue_wait_ingest_us->observe(
+                static_cast<double>(t_pop - ref.recv_ns) / 1000.0);
+          }
+          items.push_back(item);
         }
       }
       if (items.size() >= config_.dispatch_batch) flush();
@@ -473,13 +542,15 @@ void IngestPipeline::decode_main() {
 
     if (!busy) {
       flush();
-      if (decode_stopping_.load(std::memory_order_acquire)) return;
+      if (decode_stopping_.load(std::memory_order_acquire)) break;
+      if (lane != nullptr) lane->set_state(obs::ThreadState::kIdle);
       std::unique_lock lock(decode_wake_mutex_);
       decode_parked_.store(true, std::memory_order_release);
       decode_wake_cv_.wait_for(lock, kDecodePark);
       decode_parked_.store(false, std::memory_order_release);
     }
   }
+  if (lane != nullptr) lane->retire();
 }
 
 void IngestPipeline::wake_decode() const {

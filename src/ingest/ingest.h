@@ -114,6 +114,14 @@ struct IngestConfig {
   /// pipeline-private registry. Pull gauges that call back into the
   /// pipeline always stay private, same discipline as RuntimeConfig.
   obs::Registry* registry = nullptr;
+  /// Flight recorder (obs/trace.h), not owned; null = no tracing. When
+  /// set, receiver and decode threads register liveness lanes, receivers
+  /// stamp each datagram's socket-receive time while tracer->enabled(),
+  /// and the decode stage starts the sampled record journeys the
+  /// downstream runtime continues. Use the same tracer as the runtime's
+  /// RuntimeConfig::tracer so one export holds the whole pipeline. Must
+  /// outlive the pipeline.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Monotone pipeline accounting. datagrams_received ==
@@ -199,6 +207,9 @@ class IngestPipeline {
     std::uint32_t slot = 0;
     std::uint32_t bytes = 0;
     std::uint16_t socket = 0;  ///< index into sockets_ (port + ingress id)
+    /// Socket-receive stamp for the trace journey (one clock read per
+    /// recv batch); 0 when tracing is off.
+    std::uint64_t recv_ns = 0;
   };
 
   /// One bound socket and its attribution.

@@ -17,6 +17,19 @@ void append_escaped_json(std::string& out, const std::string& text) {
   }
 }
 
+/// Prometheus text-format HELP escaping: only backslash and newline are
+/// special (label *values* would also escape double quotes, but this
+/// registry has no labels beyond the literal `le` buckets).
+void append_escaped_help(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
 void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
   out += "\"count\":" + format_number(static_cast<double>(h.count));
   out += ",\"sum\":" + format_number(h.sum);
@@ -30,6 +43,7 @@ void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
   out += ",\"p50\":" + format_number(h.quantile(0.50));
   out += ",\"p95\":" + format_number(h.quantile(0.95));
   out += ",\"p99\":" + format_number(h.quantile(0.99));
+  out += ",\"p999\":" + format_number(h.quantile(0.999));
 }
 
 }  // namespace
@@ -48,7 +62,9 @@ std::string to_prometheus(const RegistrySnapshot& snapshot) {
   std::string out;
   for (const auto& metric : snapshot.metrics) {
     if (!metric.help.empty()) {
-      out += "# HELP " + metric.name + ' ' + metric.help + '\n';
+      out += "# HELP " + metric.name + ' ';
+      append_escaped_help(out, metric.help);
+      out += '\n';
     }
     out += "# TYPE " + metric.name + ' ' + std::string(kind_name(metric.kind)) + '\n';
     if (!metric.histogram.has_value()) {

@@ -2,10 +2,11 @@
 //
 // Both serializers work from a RegistrySnapshot, so one scrape sees a
 // consistent view. The Prometheus form follows the text exposition format
-// (HELP/TYPE lines, cumulative le-labeled histogram buckets with a +Inf
-// terminator, _sum and _count series); the JSON form is a flat machine-
-// readable document that also precomputes p50/p95/p99 for histograms --
-// the shape the BENCH_*.json perf-trajectory files use.
+// (escaped HELP lines, TYPE lines, cumulative le-labeled histogram
+// buckets with a +Inf terminator, _sum and _count series --
+// tests/test_obs.cpp holds the conformance checks); the JSON form is a
+// flat machine-readable document that also precomputes p50/p95/p99/p999
+// for histograms -- the shape the BENCH_*.json perf-trajectory files use.
 
 #pragma once
 
@@ -20,7 +21,8 @@ namespace infilter::obs {
 
 /// JSON document: {"metrics":[{"name":...,"kind":...,...}]}. Counters and
 /// gauges carry "value"; histograms carry "count", "sum", finite
-/// "buckets" ([{"le":...,"count":...}]), "overflow", and "p50"/"p95"/"p99".
+/// "buckets" ([{"le":...,"count":...}]), "overflow", and
+/// "p50"/"p95"/"p99"/"p999".
 [[nodiscard]] std::string to_json(const RegistrySnapshot& snapshot);
 
 /// Serializes a number the way both exporters do: integers exactly,

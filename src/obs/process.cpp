@@ -1,0 +1,81 @@
+#include "obs/process.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace infilter::obs {
+namespace {
+
+/// Program-start anchor for the uptime gauge: initialized when this
+/// translation unit's statics run, which is process start for all
+/// practical purposes.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+std::uint64_t rusage_us(bool system_time) {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  const timeval& tv = system_time ? usage.ru_stime : usage.ru_utime;
+  return static_cast<std::uint64_t>(tv.tv_sec) * 1000000ULL +
+         static_cast<std::uint64_t>(tv.tv_usec);
+}
+
+/// Scans /proc/self/status for a "Key:  <number>" line; 0 when absent
+/// (non-Linux or unreadable -- the gauges then just read 0).
+std::uint64_t proc_status_field(const char* key) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  const std::size_t key_len = std::strlen(key);
+  std::uint64_t value = 0;
+  while (std::fgets(line, sizeof line, file) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      value = std::strtoull(line + key_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(file);
+  return value;
+}
+
+double rss_bytes() {
+  // VmRSS is reported in kB.
+  if (const auto kb = proc_status_field("VmRSS"); kb != 0) {
+    return static_cast<double>(kb) * 1024.0;
+  }
+  // Fallback: peak RSS from getrusage (kB on Linux).
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
+}
+
+}  // namespace
+
+void register_process_metrics(Registry& registry) {
+  registry.gauge_fn("infilter_process_rss_bytes", rss_bytes,
+                    "Resident set size of this process in bytes");
+  registry.counter_fn(
+      "infilter_process_cpu_user_us_total", [] { return rusage_us(false); },
+      "User-mode CPU time consumed by this process, microseconds");
+  registry.counter_fn(
+      "infilter_process_cpu_system_us_total", [] { return rusage_us(true); },
+      "Kernel-mode CPU time consumed by this process, microseconds");
+  registry.gauge_fn(
+      "infilter_process_uptime_seconds",
+      [] {
+        const auto elapsed = std::chrono::steady_clock::now() - kProcessStart;
+        return std::chrono::duration<double>(elapsed).count();
+      },
+      "Seconds since process start");
+  registry.gauge_fn(
+      "infilter_process_threads",
+      [] { return static_cast<double>(proc_status_field("Threads")); },
+      "OS threads currently in this process");
+}
+
+}  // namespace infilter::obs

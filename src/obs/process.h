@@ -1,0 +1,25 @@
+// Process-level self-metrics: RSS, CPU time, uptime, OS thread count.
+//
+// The tracing layer (obs/trace.h) attributes latency inside the pipeline;
+// these gauges put the pipeline's *cost* in the same scrape, so an
+// overhead regression (tracing, an extra shard, a leak) shows up next to
+// the latency it buys. Pull-style: nothing is measured until snapshot
+// time, so registering them costs nothing on any hot path.
+
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace infilter::obs {
+
+/// Registers the process self-metrics into `registry` (idempotent):
+///   infilter_process_rss_bytes            resident set size (gauge)
+///   infilter_process_cpu_user_us_total    user CPU time, microseconds (counter)
+///   infilter_process_cpu_system_us_total  system CPU time, microseconds (counter)
+///   infilter_process_uptime_seconds      time since this module was loaded (gauge)
+///   infilter_process_threads             OS threads in this process (gauge)
+/// The callbacks read only global process state (/proc/self, getrusage),
+/// so any registry lifetime is safe.
+void register_process_metrics(Registry& registry);
+
+}  // namespace infilter::obs

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <queue>
+#include <string>
 
 #include "util/rng.h"
 
@@ -31,6 +32,7 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
     : config_(std::move(config)),
       sink_(sink),
       hook_(std::move(hook)),
+      tracer_(config_.tracer),
       owned_registry_(std::make_unique<obs::Registry>()),
       registry_(config_.registry != nullptr ? config_.registry
                                             : owned_registry_.get()) {
@@ -100,6 +102,7 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
+    shard->index = s;
     shard->ring = std::make_unique<SpscRing<FlowItem>>(config_.queue_depth);
     shard->engine = std::make_unique<core::InFilterEngine>(
         shard_engine_config(config_), sink != nullptr ? &sink_ : nullptr);
@@ -112,6 +115,12 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
   if (scan_stage) {
     scan_engine_ = std::make_unique<core::InFilterEngine>(
         shard_engine_config(config_), sink != nullptr ? &sink_ : nullptr);
+  }
+  // The dispatcher lane: submit* runs on the caller's thread, which the
+  // single-dispatcher contract makes one logical thread. No queue probe --
+  // the dispatcher's input is the caller, not a ring we can measure.
+  if (tracer_ != nullptr) {
+    dispatch_lane_ = tracer_->register_thread("dispatch", "dispatch");
   }
   // Engines first, threads second: a worker must never observe a
   // half-constructed shard vector.
@@ -220,8 +229,19 @@ bool ShardedRuntime::submit(const netflow::V5Record& record,
   // The sequence number is consumed only on acceptance, so a kDrop shed
   // here leaves no gap (gaps elsewhere are tolerated anyway: the scan
   // stage compares against watermarks, never for contiguity).
-  if (!push_with_backpressure(shard,
-                              FlowItem{record, ingress, now, tag, next_seq_ + 1})) {
+  FlowItem item{record, ingress, now, tag, next_seq_ + 1};
+  if (dispatch_lane_ != nullptr) {
+    dispatch_lane_->heartbeat();
+    // Direct submits have no socket-receive stamp; a sampled journey
+    // starts here, so its spans decompose dispatch-to-verdict. Sampling
+    // keys on the tag — the id every span is emitted under — so an
+    // upstream stage (ingest decode) that already screened this tag
+    // reached the same verdict and the journey is never double-started.
+    if (tracer_->enabled() && tracer_->sampled(item.tag)) {
+      item.recv_ns = item.hop_ns = obs::Tracer::now_ns();
+    }
+  }
+  if (!push_with_backpressure(shard, item)) {
     return false;
   }
   ++next_seq_;
@@ -246,11 +266,32 @@ std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
   auto& buckets = dispatch_buckets_;
   buckets.resize(shards_.size());
   for (auto& bucket : buckets) bucket.clear();
+  const bool tracing = dispatch_lane_ != nullptr && tracer_->enabled();
+  std::uint64_t t_sub = 0;
+  if (dispatch_lane_ != nullptr) dispatch_lane_->heartbeat(items.size());
+  if (tracing) t_sub = obs::Tracer::now_ns();
   for (const FlowItem& item : items) {
     auto& bucket =
         buckets[shard_of(item.ingress, item.record.src_ip, shards_.size())];
     bucket.push_back(item);
-    bucket.back().seq = ++next_seq_;
+    FlowItem& queued = bucket.back();
+    queued.seq = ++next_seq_;
+    if (tracing) {
+      if (queued.recv_ns != 0) {
+        // Ingest stamped this record at the socket: close its decode span
+        // (decode pop -> here, parse plus dispatch batching included).
+        dispatch_lane_->emit(obs::SpanKind::kDecode, queued.hop_ns,
+                             t_sub - queued.hop_ns, queued.tag);
+        queued.hop_ns = t_sub;
+      } else if (tracer_->sampled(queued.tag)) {
+        // No upstream stamp (direct submit): the journey starts here.
+        // Keyed on the tag, like every emit and the ingest screen, so an
+        // ingest-fed record the decode thread chose NOT to sample is not
+        // re-sampled here under a shifted id.
+        queued.recv_ns = t_sub;
+        queued.hop_ns = t_sub;
+      }
+    }
   }
   std::size_t accepted = 0;
   for (std::size_t s = 0; s < buckets.size(); ++s) {
@@ -282,6 +323,16 @@ void ShardedRuntime::advance_watermark_if_drained(Shard& shard) {
 
 void ShardedRuntime::worker_main(Shard& shard) {
   const bool scan_stage = shard.suspect_ring != nullptr;
+  // The worker's flight-recorder lane: heartbeat + state are always
+  // published (one relaxed store per batch); span emission sits behind the
+  // tracer_->enabled() branch. The queue probe captures the raw ring,
+  // which outlives the lane's retirement at thread exit.
+  obs::ThreadLane* lane = nullptr;
+  if (tracer_ != nullptr) {
+    lane = tracer_->register_thread(
+        "shard-" + std::to_string(shard.index), "worker",
+        [ring = shard.ring.get()] { return ring->size(); });
+  }
   std::vector<FlowItem> batch(config_.max_batch);
   // Reusable batch buffers for the engine's batch API (FlowItem carries the
   // ring tag, so the engine inputs are copied out into their own contiguous
@@ -294,6 +345,7 @@ void ShardedRuntime::worker_main(Shard& shard) {
     const std::size_t n = shard.ring->try_pop_batch(batch.data(), batch.size());
     if (n == 0) {
       if (stopping_.load(std::memory_order_acquire) && shard.ring->empty()) break;
+      if (lane != nullptr) lane->set_state(obs::ThreadState::kIdle);
       if (scan_stage) advance_watermark_if_drained(shard);
       // Spin briefly (the dispatcher may be mid-refill), then park. The
       // timed, predicate-guarded wait bounds any lost-wakeup window to one
@@ -319,6 +371,27 @@ void ShardedRuntime::worker_main(Shard& shard) {
     }
     batches_->inc();
     batch_size_->observe(static_cast<double>(n));
+    bool sampled_any = false;
+    if (lane != nullptr) {
+      lane->set_state(obs::ThreadState::kBusy);
+      lane->heartbeat(n);
+      if (tracer_->enabled()) {
+        // Close the shard-queue-wait span for every sampled record in the
+        // batch. One clock read per batch, taken lazily: a batch with no
+        // sampled records costs n compares and nothing else.
+        std::uint64_t t_pop = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (batch[i].recv_ns == 0) continue;
+          if (t_pop == 0) t_pop = obs::Tracer::now_ns();
+          lane->emit(obs::SpanKind::kQueueShard, batch[i].hop_ns,
+                     t_pop - batch[i].hop_ns, batch[i].tag);
+          tracer_->queue_wait_shard_us->observe(
+              static_cast<double>(t_pop - batch[i].hop_ns) / 1000.0);
+          batch[i].hop_ns = t_pop;
+          sampled_any = true;
+        }
+      }
+    }
     for (std::size_t i = 0; i < n; ++i) {
       inputs[i] = core::FlowInput{batch[i].record, batch[i].ingress, batch[i].now};
     }
@@ -329,6 +402,16 @@ void ShardedRuntime::worker_main(Shard& shard) {
       shard.engine->process_batch(
           std::span<const core::FlowInput>(inputs.data(), n),
           std::span<core::Verdict>(verdicts.data(), n));
+      if (sampled_any) {
+        const std::uint64_t t_done = obs::Tracer::now_ns();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (batch[i].recv_ns == 0) continue;
+          lane->emit(obs::SpanKind::kProcess, batch[i].hop_ns,
+                     t_done - batch[i].hop_ns, batch[i].tag);
+          tracer_->e2e_us->observe(
+              static_cast<double>(t_done - batch[i].recv_ns) / 1000.0);
+        }
+      }
       if (hook_) {
         for (std::size_t i = 0; i < n; ++i) hook_(batch[i], verdicts[i]);
       }
@@ -343,9 +426,26 @@ void ShardedRuntime::worker_main(Shard& shard) {
     shard.engine->pre_process_batch(
         std::span<const core::FlowInput>(inputs.data(), n),
         std::span<core::Verdict>(verdicts.data(), n), suspects, positions);
+    if (sampled_any) {
+      // EIA-stage span for every sampled record; legal flows are final
+      // here, so their journey ends (e2e). Suspects re-stamp hop_ns and
+      // carry it into the scan stage via SeqSuspect.
+      const std::uint64_t t_eia = obs::Tracer::now_ns();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (batch[i].recv_ns == 0) continue;
+        lane->emit(obs::SpanKind::kEia, batch[i].hop_ns,
+                   t_eia - batch[i].hop_ns, batch[i].tag);
+        batch[i].hop_ns = t_eia;
+        if (!verdicts[i].suspect) {
+          tracer_->e2e_us->observe(
+              static_cast<double>(t_eia - batch[i].recv_ns) / 1000.0);
+        }
+      }
+    }
     for (std::size_t j = 0; j < suspects.size(); ++j) {
       const FlowItem& origin = batch[positions[j]];
-      const SeqSuspect item{suspects[j], origin.seq, origin.tag};
+      const SeqSuspect item{suspects[j], origin.seq, origin.tag,
+                            origin.recv_ns, origin.hop_ns};
       // Block, never drop: a suspect lost here would desynchronize the
       // scan buffer from the serial engine for every later flow. The wait
       // is bounded -- the scan thread unconditionally drains this ring
@@ -373,6 +473,7 @@ void ShardedRuntime::worker_main(Shard& shard) {
     }
     shard.processed.fetch_add(n, std::memory_order_release);
   }
+  if (lane != nullptr) lane->retire();
 }
 
 void ShardedRuntime::scan_main() {
@@ -382,6 +483,17 @@ void ShardedRuntime::scan_main() {
     }
   };
   std::priority_queue<SeqSuspect, std::vector<SeqSuspect>, BySeq> pending;
+  obs::ThreadLane* lane = nullptr;
+  if (tracer_ != nullptr) {
+    // The probe counts only ring occupancy, not the reorder heap: a heap
+    // held back by a lagging watermark with empty rings means the *shard*
+    // is the stalled party, and its own lane reports that.
+    lane = tracer_->register_thread("scan", "scan", [this] {
+      std::size_t queued = 0;
+      for (const auto& shard : shards_) queued += shard->suspect_ring->size();
+      return queued;
+    });
+  }
   std::vector<std::uint64_t> watermarks(shards_.size(), 0);
   std::vector<core::SuspectFlow> suspects;
   std::vector<FlowItem> origins;
@@ -409,13 +521,43 @@ void ShardedRuntime::scan_main() {
       const SeqSuspect& top = pending.top();
       suspects.push_back(top.suspect);
       origins.push_back(FlowItem{top.suspect.record, top.suspect.ingress,
-                                 top.suspect.now, top.tag, top.seq});
+                                 top.suspect.now, top.tag, top.seq,
+                                 top.recv_ns, top.hop_ns});
       pending.pop();
     }
     if (!suspects.empty()) {
+      bool sampled_any = false;
+      if (lane != nullptr) {
+        lane->set_state(obs::ThreadState::kBusy);
+        lane->heartbeat(suspects.size());
+        if (tracer_->enabled()) {
+          // Close the reorder-window wait (suspect forward -> release).
+          std::uint64_t t_rel = 0;
+          for (FlowItem& origin : origins) {
+            if (origin.recv_ns == 0) continue;
+            if (t_rel == 0) t_rel = obs::Tracer::now_ns();
+            lane->emit(obs::SpanKind::kQueueScan, origin.hop_ns,
+                       t_rel - origin.hop_ns, origin.tag);
+            tracer_->queue_wait_scan_us->observe(
+                static_cast<double>(t_rel - origin.hop_ns) / 1000.0);
+            origin.hop_ns = t_rel;
+            sampled_any = true;
+          }
+        }
+      }
       if (verdicts.size() < suspects.size()) verdicts.resize(suspects.size());
       scan_engine_->finish_suspect_batch(
           suspects, std::span<core::Verdict>(verdicts.data(), suspects.size()));
+      if (sampled_any) {
+        const std::uint64_t t_fin = obs::Tracer::now_ns();
+        for (const FlowItem& origin : origins) {
+          if (origin.recv_ns == 0) continue;
+          lane->emit(obs::SpanKind::kScanNns, origin.hop_ns,
+                     t_fin - origin.hop_ns, origin.tag);
+          tracer_->e2e_us->observe(
+              static_cast<double>(t_fin - origin.recv_ns) / 1000.0);
+        }
+      }
       if (hook_) {
         for (std::size_t i = 0; i < suspects.size(); ++i) {
           hook_(origins[i], verdicts[i]);
@@ -436,6 +578,7 @@ void ShardedRuntime::scan_main() {
       if (drained) break;
       continue;
     }
+    if (lane != nullptr) lane->set_state(obs::ThreadState::kIdle);
     // Park with a 1 ms bound: a missed notify costs one nap, and every
     // wake-up (notified or timed) re-reads the watermarks, which idle
     // workers keep advancing. No predicate -- any wake reason is a reason
@@ -445,6 +588,7 @@ void ShardedRuntime::scan_main() {
     scan_wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
     scan_parked_.store(false, std::memory_order_seq_cst);
   }
+  if (lane != nullptr) lane->retire();
 }
 
 void ShardedRuntime::flush() {
@@ -491,6 +635,7 @@ void ShardedRuntime::shutdown() {
     }
     scan_thread_.join();
   }
+  if (dispatch_lane_ != nullptr) dispatch_lane_->retire();
   stopped_ = true;
 }
 

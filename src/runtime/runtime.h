@@ -63,6 +63,7 @@
 
 #include "alert/idmef.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "runtime/spsc_ring.h"
 
 namespace infilter::runtime {
@@ -95,6 +96,12 @@ struct RuntimeConfig {
   /// external registry that outlives the runtime must never hold a
   /// callback into it. snapshot() merges both views either way.
   obs::Registry* registry = nullptr;
+  /// Flight recorder (obs/trace.h), not owned; null = no tracing, no
+  /// liveness lanes. When set, the dispatcher/worker/scan threads register
+  /// lanes, publish heartbeats, and -- while tracer->enabled() -- emit the
+  /// sampled record-journey spans and queue-wait histogram observations.
+  /// Must outlive the runtime (lanes are retired, not destroyed).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Dispatcher/worker accounting, all monotone over the runtime's life.
@@ -122,6 +129,14 @@ struct FlowItem {
   /// caller-set value is overwritten); the scan stage sorts on it to
   /// restore dispatch order across shards.
   std::uint64_t seq = 0;
+  /// Trace journey (obs/trace.h): monotonic stamp of this record's socket
+  /// receive. 0 = not on the sampled journey (the common case); set by the
+  /// ingest decode stage, or by the dispatcher for direct submits.
+  std::uint64_t recv_ns = 0;
+  /// The sampled record's previous hop stamp -- each pipeline stage emits
+  /// a span [hop_ns, now) and overwrites hop_ns with now, so a record's
+  /// spans tile [recv_ns, verdict) exactly. Meaningless when recv_ns == 0.
+  std::uint64_t hop_ns = 0;
 };
 
 class ShardedRuntime {
@@ -212,6 +227,9 @@ class ShardedRuntime {
     core::SuspectFlow suspect;
     std::uint64_t seq = 0;
     std::uint64_t tag = 0;
+    /// Trace journey carry-through (see FlowItem::recv_ns / hop_ns).
+    std::uint64_t recv_ns = 0;
+    std::uint64_t hop_ns = 0;
   };
 
   struct Shard {
@@ -220,6 +238,8 @@ class ShardedRuntime {
     /// Worker -> scan stage, only when the scan stage is active.
     std::unique_ptr<SpscRing<SeqSuspect>> suspect_ring;
     std::thread worker;
+    /// Shard index, for trace-lane naming.
+    int index = 0;
 
     /// Dispatcher-side count of flows pushed into `ring` (only the
     /// dispatcher writes it; flush() compares against `processed`).
@@ -252,6 +272,11 @@ class ShardedRuntime {
   RuntimeConfig config_;
   alert::SerializingSink sink_;
   VerdictHook hook_;
+  obs::Tracer* tracer_ = nullptr;  ///< config_.tracer; may be null
+  /// The dispatcher's trace lane (submit* runs on the caller's thread,
+  /// which the single-dispatcher contract makes one logical thread);
+  /// retired in shutdown(). Null when tracer_ is null.
+  obs::ThreadLane* dispatch_lane_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;

@@ -212,9 +212,73 @@ TEST(Export, JsonFormat) {
       "{\"name\":\"depth\",\"kind\":\"gauge\",\"value\":1.5},"
       "{\"name\":\"t_us\",\"kind\":\"histogram\",\"count\":1,\"sum\":1,"
       "\"buckets\":[{\"le\":2,\"count\":1}],\"overflow\":0,"
-      "\"p50\":2,\"p95\":2,\"p99\":2}"
+      "\"p50\":2,\"p95\":2,\"p99\":2,\"p999\":2}"
       "]}";
   EXPECT_EQ(obs::to_json(registry.snapshot()), expected);
+}
+
+// Text-exposition-format conformance, checked by parsing the output
+// rather than pinning it: histogram buckets must be cumulative and
+// monotone, the +Inf bucket must exist and equal _count, _sum/_count
+// series must be present, and HELP text must escape backslash + newline.
+TEST(Export, PrometheusConformance) {
+  obs::Registry registry;
+  registry.counter("evil_total", "line one\nline two with a \\ backslash").inc(7);
+  auto& h = registry.histogram("lat_us", {1.0, 2.0, 4.0}, "Latency");
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(3.5);
+  h.observe(50.0);  // overflow
+
+  const std::string text = obs::to_prometheus(registry.snapshot());
+
+  // HELP escaping: the raw newline and backslash must not survive.
+  EXPECT_NE(text.find("# HELP evil_total line one\\nline two with a \\\\ backslash\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("line one\nline two"), std::string::npos);
+
+  // Parse every lat_us_bucket line in order.
+  std::vector<std::pair<std::string, double>> buckets;  // (le, cumulative)
+  double sum_value = -1.0;
+  double count_value = -1.0;
+  std::size_t type_lines = 0;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    const auto end = text.find('\n', at);
+    const std::string line = text.substr(at, end - at);
+    at = end == std::string::npos ? text.size() : end + 1;
+    if (line.rfind("# TYPE lat_us ", 0) == 0) {
+      ++type_lines;
+      EXPECT_EQ(line, "# TYPE lat_us histogram");
+    } else if (line.rfind("lat_us_bucket{le=\"", 0) == 0) {
+      const auto quote = line.find('"', 18);
+      ASSERT_NE(quote, std::string::npos);
+      const auto space = line.rfind(' ');
+      buckets.emplace_back(line.substr(18, quote - 18),
+                           std::stod(line.substr(space + 1)));
+    } else if (line.rfind("lat_us_sum ", 0) == 0) {
+      sum_value = std::stod(line.substr(11));
+    } else if (line.rfind("lat_us_count ", 0) == 0) {
+      count_value = std::stod(line.substr(13));
+    }
+  }
+
+  EXPECT_EQ(type_lines, 1u);
+  ASSERT_EQ(buckets.size(), 4u);  // three finite bounds + the +Inf terminator
+  EXPECT_EQ(buckets.back().first, "+Inf");
+  for (std::size_t b = 1; b < buckets.size(); ++b) {
+    EXPECT_GE(buckets[b].second, buckets[b - 1].second)
+        << "bucket counts must be cumulative";
+  }
+  // Cumulative values: 1 (<=1), 1 (<=2), 3 (<=4), 4 (+Inf).
+  EXPECT_DOUBLE_EQ(buckets[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].second, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[2].second, 3.0);
+  EXPECT_DOUBLE_EQ(buckets[3].second, 4.0);
+  EXPECT_DOUBLE_EQ(count_value, 4.0);
+  EXPECT_DOUBLE_EQ(buckets.back().second, count_value)
+      << "+Inf bucket must equal _count";
+  EXPECT_DOUBLE_EQ(sum_value, 0.5 + 3.0 + 3.5 + 50.0);
 }
 
 }  // namespace

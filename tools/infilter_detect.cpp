@@ -21,6 +21,11 @@
 //                   [--queue-depth 4096] [--backpressure block|drop]
 //                   [--metrics-out FILE]  # metrics dump: JSON when FILE
 //                                         # ends in .json, else Prometheus
+//                   [--trace-out FILE]    # flight-recorder export: Chrome
+//                                         # trace-event JSON (open in Perfetto)
+//                   [--trace-sample N]    # trace 1 in N records (default 64;
+//                                         # either --trace-* flag enables the
+//                                         # recorder and the journey histograms)
 
 #include <algorithm>
 #include <atomic>
@@ -41,6 +46,8 @@
 #include "flowtools/udp.h"
 #include "ingest/ingest.h"
 #include "obs/export.h"
+#include "obs/process.h"
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 #include "util/args.h"
 
@@ -118,6 +125,21 @@ int main(int argc, char** argv) {
     return fail("--backpressure must be block or drop");
   }
   runtime_config.engine = config;
+
+  // Flight recorder: either --trace-* flag turns it on. Declared before the
+  // engine/runtime so it outlives them (lanes are retired, not destroyed).
+  const auto trace_out = args.value("trace-out");
+  const auto trace_sample = args.checked_int("trace-sample", 64, 1, 1 << 30);
+  if (!trace_sample) return fail(trace_sample.error().message);
+  std::optional<obs::Tracer> tracer;
+  if (trace_out.has_value() || args.value("trace-sample").has_value()) {
+    obs::TracerConfig trace_config;
+    trace_config.sample_every = static_cast<std::uint64_t>(*trace_sample);
+    trace_config.enabled = true;
+    tracer.emplace(trace_config);
+    runtime_config.tracer = &*tracer;
+  }
+
   if (threads > 0 && args.value("dump-eia")) {
     // Auto-learned entries are spread over the shard tables; there is no
     // single EIA set to persist. Re-run serially to dump.
@@ -210,6 +232,7 @@ int main(int argc, char** argv) {
     ingest_config.ports.assign(ingresses.size(), 0);
     ingest_config.ingress_ids = ingresses;
     ingest_config.receiver_threads = ingest_threads;
+    if (tracer) ingest_config.tracer = &*tracer;
     auto pipeline = ingest::IngestPipeline::create(ingest_config, *rt);
     if (!pipeline) return fail(pipeline.error().message);
     const auto bound = (*pipeline)->ports();
@@ -270,19 +293,38 @@ int main(int argc, char** argv) {
     suspects = rt_suspects.load(std::memory_order_relaxed);
     attacks = rt_attacks.load(std::memory_order_relaxed);
   } else if (rt) {
+    std::uint64_t tag = 0;  // journey id in the trace export
     for (const auto& flow : *flows) {
-      rt->submit(flow.record, flow.arrival_port, flow.record.last);
+      rt->submit(flow.record, flow.arrival_port, flow.record.last, ++tag);
     }
     // Drain and join: every counter and the merged snapshot become final.
     rt->shutdown();
     suspects = rt_suspects.load(std::memory_order_relaxed);
     attacks = rt_attacks.load(std::memory_order_relaxed);
   } else {
+    // Serial engine: one logical pipeline thread. A sampled flow's whole
+    // journey is a single `serial` span.
+    obs::ThreadLane* lane =
+        tracer ? tracer->register_thread("main", "serial") : nullptr;
+    std::uint64_t seq = 0;
     for (const auto& flow : *flows) {
-      const auto verdict =
-          engine->process(flow.record, flow.arrival_port, flow.record.last);
+      core::Verdict verdict;
+      ++seq;
+      if (lane != nullptr && tracer->sampled(seq)) {
+        const auto t0 = obs::Tracer::now_ns();
+        verdict = engine->process(flow.record, flow.arrival_port, flow.record.last);
+        const auto t1 = obs::Tracer::now_ns();
+        lane->emit(obs::SpanKind::kSerial, t0, t1 - t0, seq);
+        tracer->e2e_us->observe(static_cast<double>(t1 - t0) / 1000.0);
+      } else {
+        verdict = engine->process(flow.record, flow.arrival_port, flow.record.last);
+      }
       suspects += verdict.suspect ? 1 : 0;
       attacks += verdict.attack ? 1 : 0;
+    }
+    if (lane != nullptr) {
+      lane->heartbeat(flows->size());
+      lane->retire();
     }
   }
 
@@ -294,6 +336,15 @@ int main(int argc, char** argv) {
     if (ingest_snapshot) {
       snapshot = obs::merge_snapshots({snapshot, *ingest_snapshot});
     }
+    // Process-level self-metrics (RSS, CPU time, uptime, thread count) ride
+    // along with every export; the flight recorder contributes its journey
+    // histograms and liveness gauges when enabled.
+    obs::Registry process_registry;
+    obs::register_process_metrics(process_registry);
+    std::vector<obs::RegistrySnapshot> parts{std::move(snapshot),
+                                             process_registry.snapshot()};
+    if (tracer) parts.push_back(tracer->snapshot());
+    snapshot = obs::merge_snapshots(parts);
     if (rt) {
       std::printf(
           "runtime: %d shard(s), %.0f dispatched batches, %.0f dropped, "
@@ -317,6 +368,27 @@ int main(int argc, char** argv) {
       if (!out) return fail("cannot write metrics to " + *metrics_path);
       std::printf("wrote metrics to %s\n", metrics_path->c_str());
     }
+    if (tracer) {
+      const auto* e2e = snapshot.histogram("infilter_e2e_latency_us");
+      if (e2e != nullptr && e2e->count > 0) {
+        std::printf(
+            "trace: %llu journeys sampled (1 in %llu), e2e p50 %.2fus "
+            "p99 %.2fus p99.9 %.2fus; %llu span events (%llu dropped)\n",
+            static_cast<unsigned long long>(e2e->count),
+            static_cast<unsigned long long>(tracer->sample_every()),
+            e2e->quantile(0.50), e2e->quantile(0.99), e2e->quantile(0.999),
+            static_cast<unsigned long long>(tracer->events_emitted()),
+            static_cast<unsigned long long>(tracer->events_dropped()));
+      }
+    }
+  }
+  if (tracer && trace_out.has_value()) {
+    std::ofstream out(*trace_out, std::ios::trunc);
+    if (!out) return fail("cannot open " + *trace_out);
+    out << tracer->chrome_trace_json();
+    if (!out) return fail("cannot write trace to " + *trace_out);
+    std::printf("wrote Chrome trace-event JSON to %s (open in ui.perfetto.dev)\n",
+                trace_out->c_str());
   }
   std::fputs(traceback.report().c_str(), stdout);
 

@@ -20,9 +20,16 @@
 //                    [--metrics-out FILE]  # final metrics dump: JSON when
 //                                          # FILE ends in .json, else
 //                                          # Prometheus text format
+//                    [--trace-out FILE]    # flight-recorder export: Chrome
+//                                          # trace-event JSON (Perfetto)
+//                    [--trace-sample N]    # trace 1 in N records (default 64;
+//                                          # either --trace-* flag enables the
+//                                          # recorder); liveness stall warnings
+//                                          # ride the status loop either way
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "app/node.h"
@@ -30,6 +37,8 @@
 #include "dagflow/allocation.h"
 #include "flowtools/capture.h"
 #include "obs/export.h"
+#include "obs/process.h"
+#include "obs/trace.h"
 #include "util/args.h"
 
 using namespace infilter;
@@ -113,6 +122,19 @@ int main(int argc, char** argv) {
     return fail("--overload must be block or drop-oldest");
   }
 
+  // Flight recorder: always attached, so the liveness watchdog sees every
+  // pipeline thread; span tracing (the part with a cost) only turns on when
+  // a --trace-* flag asks for it. Declared before the node: must outlive it.
+  const auto trace_out = args.value("trace-out");
+  const auto trace_sample = args.checked_int("trace-sample", 64, 1, 1 << 30);
+  if (!trace_sample) return fail(trace_sample.error().message);
+  obs::TracerConfig trace_config;
+  trace_config.sample_every = static_cast<std::uint64_t>(*trace_sample);
+  trace_config.enabled =
+      trace_out.has_value() || args.value("trace-sample").has_value();
+  obs::Tracer tracer(trace_config);
+  config.tracer = &tracer;
+
   ConsoleSink console(args.has("idmef"));
   auto node = app::InFilterNode::create(config, &console);
   if (!node) return fail(node.error().message);
@@ -173,6 +195,16 @@ int main(int argc, char** argv) {
     const auto processed = (*node)->poll_once(kSliceMs);
     if (!processed) return fail(processed.error().message);
     elapsed += kSliceMs;
+    // The liveness watchdog: flag pipeline threads whose progress counter
+    // stopped while their input queue is non-empty (wedged worker, stuck
+    // decode stage...). One scan per slice keeps the baselines fresh.
+    for (const auto& stall : tracer.scan_liveness(100.0)) {
+      std::fprintf(stderr,
+                   "WARN: thread '%s' stalled for %.0f ms (%s, %zu queued)\n",
+                   stall.name.c_str(), stall.stalled_for_ms,
+                   std::string(obs::thread_state_name(stall.state)).c_str(),
+                   stall.queued);
+    }
     const auto& stats = (*node)->stats();
     if (stats.flows_processed != last_processed && elapsed % 1000 < kSliceMs) {
       // Runtime-backed: drain in-flight flows first, so the snapshot can
@@ -213,11 +245,41 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.sequence_gaps));
   std::fputs((*node)->traceback().report().c_str(), stdout);
 
+  if (tracer.enabled()) {
+    const auto snapshot = (*node)->metrics();
+    const auto* e2e = snapshot.histogram("infilter_e2e_latency_us");
+    if (e2e != nullptr && e2e->count > 0) {
+      std::printf(
+          "trace: %llu journeys sampled (1 in %llu), e2e p50 %.2fus "
+          "p99 %.2fus p99.9 %.2fus; %llu span events (%llu dropped)\n",
+          static_cast<unsigned long long>(e2e->count),
+          static_cast<unsigned long long>(tracer.sample_every()),
+          e2e->quantile(0.50), e2e->quantile(0.99), e2e->quantile(0.999),
+          static_cast<unsigned long long>(tracer.events_emitted()),
+          static_cast<unsigned long long>(tracer.events_dropped()));
+    }
+  }
+
   if (const auto metrics_path = args.value("metrics-out")) {
-    if (!write_metrics(*metrics_path, (*node)->metrics())) {
+    // Node metrics (engine/runtime/ingest + tracer) plus the process-level
+    // self-metrics: RSS, CPU time, uptime, thread count.
+    obs::Registry process_registry;
+    obs::register_process_metrics(process_registry);
+    const auto merged = obs::merge_snapshots(
+        {(*node)->metrics(), process_registry.snapshot()});
+    if (!write_metrics(*metrics_path, merged)) {
       return fail("cannot write metrics to " + *metrics_path);
     }
     std::printf("wrote metrics to %s\n", metrics_path->c_str());
+  }
+
+  if (trace_out.has_value()) {
+    std::ofstream out(*trace_out, std::ios::trunc);
+    if (!out) return fail("cannot open " + *trace_out);
+    out << tracer.chrome_trace_json();
+    if (!out) return fail("cannot write trace to " + *trace_out);
+    std::printf("wrote Chrome trace-event JSON to %s (open in ui.perfetto.dev)\n",
+                trace_out->c_str());
   }
   return 0;
 }
