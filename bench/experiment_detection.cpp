@@ -116,7 +116,7 @@ int main() {
     std::printf("  mean attack-initiation-to-detection latency: %.0f ms (virtual)\n",
                 detail.mean_detection_latency_ms);
     std::printf("  %-18s", sets == 1 ? "single set:" : "10 sets:");
-    for (int k = 0; k < traffic::kAttackKindCount; ++k) {
+    for (int k = 0; k < traffic::kStandardAttackKindCount; ++k) {
       const auto& [total, hit] = detail.per_kind[static_cast<std::size_t>(k)];
       std::printf(" %s=%d/%d",
                   std::string(traffic::attack_name(static_cast<traffic::AttackKind>(k)))

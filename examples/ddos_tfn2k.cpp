@@ -50,7 +50,7 @@ int main() {
               100.0 * detail.flow_detection_rate());
 
   std::printf("\nper-attack detection (instances detected/launched):\n");
-  for (int k = 0; k < traffic::kAttackKindCount; ++k) {
+  for (int k = 0; k < traffic::kStandardAttackKindCount; ++k) {
     const auto& [total, hit] = detail.per_kind[static_cast<std::size_t>(k)];
     std::printf("  %-20s %d/%d\n",
                 std::string(traffic::attack_name(static_cast<traffic::AttackKind>(k)))

@@ -5,12 +5,19 @@ validate flight-recorder trace exports.
 Collation (default mode):
 
     scripts/bench_summary.py [--dir build] [--out BENCH_summary.json]
+                             [--expect NAME ...]
 
   Scans --dir (recursively) for BENCH_*.json files written by the bench
   binaries, and writes one {"benches": {name: doc, ...}} document plus a
   flat "trajectory" list of every records_per_sec / speedup headline it
   finds -- the file a perf dashboard or a later PR's regression check can
   diff in one read.
+
+  An unparseable BENCH_*.json is an error (exit 1), not something to
+  silently collate around -- a truncated file means a bench crashed
+  mid-write. --expect NAME (repeatable; NAME with or without the
+  BENCH_/.json decoration) additionally fails the run when that bench
+  document was not found at all.
 
 Trace validation:
 
@@ -33,8 +40,9 @@ import sys
 REQUIRED_X_KEYS = ("name", "ph", "pid", "tid", "ts", "dur")
 
 
-def collate(root, out_path):
+def collate(root, out_path, expected):
     benches = {}
+    broken = []
     for dirpath, _dirnames, filenames in os.walk(root):
         for filename in sorted(filenames):
             if not (filename.startswith("BENCH_") and filename.endswith(".json")):
@@ -46,9 +54,28 @@ def collate(root, out_path):
                 with open(path) as f:
                     doc = json.load(f)
             except (OSError, json.JSONDecodeError) as error:
-                print(f"bench_summary: skipping {path}: {error}", file=sys.stderr)
+                print(f"bench_summary: error: cannot read {path}: {error}",
+                      file=sys.stderr)
+                broken.append(path)
                 continue
             benches[filename[len("BENCH_"):-len(".json")]] = doc
+
+    # Normalize --expect names ("ttl_detect", "BENCH_ttl_detect.json", ...)
+    # to the bare bench name used as the benches key.
+    missing = []
+    for name in expected:
+        bare = os.path.basename(name)
+        if bare.startswith("BENCH_"):
+            bare = bare[len("BENCH_"):]
+        if bare.endswith(".json"):
+            bare = bare[:-len(".json")]
+        if bare not in benches:
+            missing.append(name)
+    for name in missing:
+        print(f"bench_summary: error: expected bench '{name}' not found under "
+              f"{root} (no readable BENCH_*.json for it)", file=sys.stderr)
+    if broken or missing:
+        return 1
 
     trajectory = []
     for name, doc in sorted(benches.items()):
@@ -126,6 +153,9 @@ def main():
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--dir", default=".", help="directory to scan for BENCH_*.json")
     parser.add_argument("--out", default="BENCH_summary.json")
+    parser.add_argument("--expect", action="append", default=[], metavar="NAME",
+                        help="fail unless this bench document was collated "
+                             "(repeatable; with or without BENCH_/.json)")
     parser.add_argument("--validate-trace", metavar="TRACE_JSON",
                         help="validate a Chrome trace-event export instead of collating")
     parser.add_argument("--against", metavar="BENCH_JSON",
@@ -142,7 +172,7 @@ def main():
                 e2e_sum = json.load(f).get("trace", {}).get("e2e_sum_us") or 0.0
             tolerance = max(5.0, 0.001 * e2e_sum)
         return validate_trace(args.validate_trace, args.against, tolerance or 5.0)
-    return collate(args.dir, args.out)
+    return collate(args.dir, args.out, args.expect)
 
 
 if __name__ == "__main__":

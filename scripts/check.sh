@@ -4,7 +4,8 @@
 #   scripts/check.sh            # tier-1: release build + full ctest
 #   scripts/check.sh --asan     # + AddressSanitizer lane (full suite)
 #   scripts/check.sh --tsan     # + ThreadSanitizer lane (runtime tests)
-#   scripts/check.sh --all      # tier-1 + asan + tsan
+#   scripts/check.sh --ubsan    # + UndefinedBehaviorSanitizer lane (full suite)
+#   scripts/check.sh --all      # tier-1 + asan + tsan + ubsan
 #
 # The TSan lane runs the concurrency tests only (Runtime/Node/Ingest/Trace):
 # the full suite under TSan takes far longer and the single-threaded
@@ -15,12 +16,14 @@ cd "$(dirname "$0")/.."
 
 run_asan=0
 run_tsan=0
+run_ubsan=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --tsan) run_tsan=1 ;;
-    --all) run_asan=1; run_tsan=1 ;;
-    *) echo "usage: scripts/check.sh [--asan] [--tsan] [--all]" >&2; exit 2 ;;
+    --ubsan) run_ubsan=1 ;;
+    --all) run_asan=1; run_tsan=1; run_ubsan=1 ;;
+    *) echo "usage: scripts/check.sh [--asan] [--tsan] [--ubsan] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -44,6 +47,13 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build --preset tsan -j "$jobs"
   ./build-tsan/tests/infilter_tests \
     --gtest_filter='ShardedRuntime*:SpscRing*:SerializingSink*:Node*:Ingest*:Tracer*:TraceRuntime*:TraceRing*:ThreadLane*'
+fi
+
+if [[ "$run_ubsan" == 1 ]]; then
+  echo "== lane: UndefinedBehaviorSanitizer =="
+  cmake --preset ubsan
+  cmake --build --preset ubsan -j "$jobs"
+  ctest --preset ubsan
 fi
 
 echo "== all requested lanes passed =="

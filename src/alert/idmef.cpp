@@ -9,6 +9,7 @@ std::string_view stage_name(DetectionStage stage) {
     case DetectionStage::kEiaMismatch: return "eia-mismatch";
     case DetectionStage::kScanAnalysis: return "scan-analysis";
     case DetectionStage::kNnsDistance: return "nns-distance";
+    case DetectionStage::kHopCountFusion: return "hopcount-fusion";
   }
   return "unknown";
 }

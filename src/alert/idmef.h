@@ -24,6 +24,10 @@ enum class DetectionStage : std::uint8_t {
   kEiaMismatch,   ///< Basic InFilter: source not in the ingress EIA set
   kScanAnalysis,  ///< scan counters exceeded a threshold
   kNnsDistance,   ///< nearest neighbor beyond the subcluster threshold
+  /// Both independent witnesses disagree with the learned state: the
+  /// source failed the EIA check AND its TTL implies the wrong path
+  /// length. High-confidence spoof; scan/NNS confirmation is skipped.
+  kHopCountFusion,
 };
 
 [[nodiscard]] std::string_view stage_name(DetectionStage stage);

@@ -129,6 +129,16 @@ void InFilterNode::add_expected(core::IngressId ingress, const net::Prefix& pref
   }
 }
 
+void InFilterNode::install_hopcount(const hopcount::HopCountTable& table) {
+  if (ingest_) {
+    ingest_->quiesce([&] { runtime_->install_hopcount(table); });
+  } else if (runtime_) {
+    runtime_->install_hopcount(table);
+  } else {
+    engine_->install_hopcount(table);
+  }
+}
+
 void InFilterNode::train(std::span<const netflow::V5Record> normal_flows) {
   if (ingest_) {
     ingest_->quiesce([&] { runtime_->train(normal_flows); });

@@ -91,6 +91,8 @@ class InFilterNode {
   /// Training-phase helpers (Figure 11). Fan out to every shard when the
   /// node is runtime-backed.
   void add_expected(core::IngressId ingress, const net::Prefix& prefix);
+  /// Preloads a learned hop-count table (TTL detection; src/hopcount).
+  void install_hopcount(const hopcount::HopCountTable& table);
   void train(std::span<const netflow::V5Record> normal_flows);
 
   /// Waits up to `timeout_ms` for export datagrams, analyzes (or, with

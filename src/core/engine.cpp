@@ -30,6 +30,7 @@ InFilterEngine::InFilterEngine(EngineConfig config, alert::AlertSink* sink)
     : config_(config),
       sink_(sink),
       eia_(config.eia),
+      hopcount_(config.hopcount),
       scan_(config.scan),
       owned_registry_(config.registry != nullptr ? nullptr
                                                  : std::make_unique<obs::Registry>()),
@@ -56,6 +57,22 @@ void InFilterEngine::register_component_metrics() {
   registry_->counter_fn(
       "infilter_eia_lookups_total", [this] { return eia_.stats().lookups; },
       "EIA membership tests performed by the table");
+  registry_->gauge_fn(
+      "infilter_hopcount_entries",
+      [this] { return static_cast<double>(hopcount_.table().size()); },
+      "(ingress, source /24) keys with a hop-count range");
+  registry_->counter_fn(
+      "infilter_hopcount_lookups_total",
+      [this] { return hopcount_.table().stats().classified; },
+      "TTL classifications performed by the hop-count table");
+  registry_->counter_fn(
+      "infilter_hopcount_established_total",
+      [this] { return hopcount_.table().stats().established_keys; },
+      "Hop-count keys that completed learning");
+  registry_->counter_fn(
+      "infilter_hopcount_expired_total",
+      [this] { return hopcount_.table().stats().expired_entries; },
+      "Hop-count entries re-learned after decaying idle");
   registry_->gauge_fn(
       "infilter_scan_buffer_flows",
       [this] { return static_cast<double>(scan_.buffered_flows()); },
@@ -107,8 +124,42 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
     obs::StageTimer timer(metrics_.stage_eia_us);
     expected = eia_.is_expected(ingress, record.src_ip);
   }
+
+  // The TTL witness (src/hopcount). Flows the EIA sets vouch for are
+  // classified against -- and learned into -- the range at the observed
+  // ingress. An EIA-missing flow is classified (never learned: the
+  // anti-poisoning rule) against the range at the ingress that DOES expect
+  // its source: if honest traffic from that /24 established a path length
+  // at its home ingress and this flow's TTL contradicts it, the address is
+  // forged, not re-routed. Both keys share the flow's source /24, which
+  // the runtime shards by (runtime.cpp shard_of), so the lookup stays
+  // shard-local and the serial-equivalence argument covers it unchanged.
+  auto ttl = hopcount::TtlClass::kUnknown;
+  if (config_.use_hopcount) {
+    obs::StageTimer timer(metrics_.stage_hopcount_us);
+    const auto witness =
+        expected ? std::optional<IngressId>{ingress}
+                 : eia_.expected_ingress(record.src_ip);
+    if (witness.has_value()) {
+      ttl = hopcount_.analyze(*witness, record.src_ip, record.ttl, now, expected);
+    }
+    (ttl == hopcount::TtlClass::kConsistent ? metrics_.hopcount_consistent
+     : ttl == hopcount::TtlClass::kMiss     ? metrics_.hopcount_miss
+                                            : metrics_.hopcount_unknown)
+        ->inc();
+  }
+
   if (expected) {
     metrics_.eia_hits->inc();
+    if (ttl == hopcount::TtlClass::kMiss) {
+      // In-EIA spoof suspicion: the address is vouched for but the path
+      // length is wrong. One disagreeing witness makes a suspect,
+      // arbitrated by scan/NNS like any EIA miss.
+      verdict.suspect = true;
+      suspect = SuspectFlow{record, ingress, now, false,
+                            eia_.expected_ingress(record.src_ip), ttl, true};
+      return true;
+    }
     metrics_.verdict_legal->inc();
     if (metrics_.process_us != nullptr) {
       metrics_.process_us->observe(obs::monotonic_us() - start_us);
@@ -126,7 +177,7 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
   const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
   if (learned) metrics_.eia_learned->inc();
   suspect = SuspectFlow{record, ingress, now, learned,
-                        eia_.expected_ingress(record.src_ip)};
+                        eia_.expected_ingress(record.src_ip), ttl, false};
   return true;
 }
 
@@ -134,6 +185,22 @@ Verdict InFilterEngine::finish_suspect(const SuspectFlow& suspect) {
   obs::StageTimer process_timer(metrics_.process_us);
   Verdict verdict;
   verdict.suspect = true;
+
+  // Fused high-confidence path: both independent witnesses disagree with
+  // the learned state -- unexpected ingress AND wrong path length. The
+  // confirmation scan/NNS would provide is already here, so they are
+  // skipped (a learned flow keeps its route-change reading instead).
+  if (!suspect.eia_hit && suspect.ttl == hopcount::TtlClass::kMiss &&
+      !suspect.learned) {
+    verdict.attack = true;
+    verdict.stage = alert::DetectionStage::kHopCountFusion;
+    metrics_.verdict_attack_fused->inc();
+    if (sink_ != nullptr) {
+      emit_alert_with(suspect.record, suspect.ingress, suspect.now, verdict,
+                      suspect.expected);
+    }
+    return verdict;
+  }
 
   if (config_.mode == EngineMode::kBasic) {
     verdict.attack = !suspect.learned;
@@ -237,8 +304,35 @@ void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
       obs::StageTimer timer(metrics_.stage_eia_us);
       expected = eia_.is_expected(ingress, record.src_ip);
     }
+
+    // Same TTL-witness rule as pre_process: EIA-vouched flows learn at the
+    // observed ingress, EIA-missing flows are classified against their
+    // source's home-ingress range.
+    auto ttl = hopcount::TtlClass::kUnknown;
+    if (config_.use_hopcount) {
+      obs::StageTimer timer(metrics_.stage_hopcount_us);
+      const auto witness = expected ? std::optional<IngressId>{ingress}
+                                    : eia_.expected_ingress(record.src_ip);
+      if (witness.has_value()) {
+        ttl = hopcount_.analyze(*witness, record.src_ip, record.ttl, now,
+                                expected);
+      }
+      (ttl == hopcount::TtlClass::kConsistent ? metrics_.hopcount_consistent
+       : ttl == hopcount::TtlClass::kMiss     ? metrics_.hopcount_miss
+                                              : metrics_.hopcount_unknown)
+          ->inc();
+    }
+
     if (expected) {
       metrics_.eia_hits->inc();
+      if (ttl == hopcount::TtlClass::kMiss) {
+        verdict.suspect = true;
+        suspects.push_back(SuspectFlow{record, ingress, now, false,
+                                       eia_.expected_ingress(record.src_ip),
+                                       ttl, true});
+        positions.push_back(static_cast<std::uint32_t>(i));
+        continue;
+      }
       metrics_.verdict_legal->inc();
       ++legal;
       continue;
@@ -249,7 +343,8 @@ void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
     const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
     if (learned) metrics_.eia_learned->inc();
     suspects.push_back(SuspectFlow{record, ingress, now, learned,
-                                   eia_.expected_ingress(record.src_ip)});
+                                   eia_.expected_ingress(record.src_ip), ttl,
+                                   false});
     positions.push_back(static_cast<std::uint32_t>(i));
   }
 
@@ -287,6 +382,17 @@ void InFilterEngine::finish_suspect_batch(std::span<const SuspectFlow> suspects,
     Verdict& verdict = out[i];
     verdict = Verdict{};
     verdict.suspect = true;
+
+    // Fused high-confidence path, as in finish_suspect(): bypasses the
+    // scan buffer entirely, so the buffer sees exactly the suspects the
+    // per-flow path would show it.
+    if (!suspect.eia_hit && suspect.ttl == hopcount::TtlClass::kMiss &&
+        !suspect.learned) {
+      verdict.attack = true;
+      verdict.stage = alert::DetectionStage::kHopCountFusion;
+      metrics_.verdict_attack_fused->inc();
+      continue;
+    }
 
     if (config_.mode != EngineMode::kBasic && config_.use_scan_analysis) {
       ScanVerdict scan;
@@ -403,6 +509,9 @@ void InFilterEngine::emit_alert_with(const netflow::V5Record& record,
     case alert::DetectionStage::kEiaMismatch: metrics_.alerts_eia->inc(); break;
     case alert::DetectionStage::kScanAnalysis: metrics_.alerts_scan->inc(); break;
     case alert::DetectionStage::kNnsDistance: metrics_.alerts_nns->inc(); break;
+    case alert::DetectionStage::kHopCountFusion:
+      metrics_.alerts_fused->inc();
+      break;
   }
   alert::Alert a;
   a.id = ++next_alert_id_;

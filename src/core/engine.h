@@ -13,6 +13,7 @@
 #include "core/cluster.h"
 #include "core/eia.h"
 #include "core/scan.h"
+#include "hopcount/hopcount.h"
 #include "netflow/v5.h"
 #include "obs/metrics.h"
 #include "obs/pipeline.h"
@@ -33,6 +34,14 @@ struct EngineConfig {
   /// Ablation switches (both true reproduces the paper's EI pipeline).
   bool use_scan_analysis = true;
   bool use_nns = true;
+  /// TTL hop-count detection (src/hopcount), fused with the EIA check:
+  /// EIA miss + TTL miss is a high-confidence spoof (kHopCountFusion,
+  /// skipping scan/NNS); an in-EIA flow with the wrong path length
+  /// becomes a suspect and feeds scan/NNS like any EIA miss. Off by
+  /// default: records without TTLs classify as unknown and the fusion
+  /// never fires, but the classify/learn work is skipped entirely.
+  bool use_hopcount = false;
+  hopcount::HopCountConfig hopcount;
   /// Seeds the NNS probe randomness. The probe RNG is derived *per flow*
   /// from (seed, flow fields), never from a sequential stream, so a
   /// flow's verdict depends only on the engine's configuration, its
@@ -84,6 +93,13 @@ struct SuspectFlow {
   /// Expected-ingress alert context, snapshotted at EIA-check time --
   /// before later flows can mutate the EIA table that produced it.
   std::optional<IngressId> expected;
+  /// TTL classification, snapshotted against the hop-count table at
+  /// pre-process time (per-shard state, like the EIA check); kUnknown
+  /// when TTL detection is off.
+  hopcount::TtlClass ttl = hopcount::TtlClass::kUnknown;
+  /// The flow passed the EIA check and is a suspect only because of its
+  /// TTL (in-EIA spoof suspicion).
+  bool eia_hit = false;
 };
 
 class InFilterEngine {
@@ -169,7 +185,16 @@ class InFilterEngine {
   void finish_suspect_batch(std::span<const SuspectFlow> suspects,
                             std::span<Verdict> out);
 
+  /// Installs a previously learned hop-count table (training-phase
+  /// preload / import), replacing the current one.
+  void install_hopcount(hopcount::HopCountTable table) {
+    hopcount_.install(std::move(table));
+  }
+
   [[nodiscard]] const EiaTable& eia() const { return eia_; }
+  [[nodiscard]] const hopcount::HopCountTable& hopcount_table() const {
+    return hopcount_.table();
+  }
   [[nodiscard]] const TrainedClusters* clusters() const { return clusters_.get(); }
   [[nodiscard]] ScanAnalysis& scan() { return scan_; }
   [[nodiscard]] const ScanAnalysis& scan() const { return scan_; }
@@ -221,6 +246,7 @@ class InFilterEngine {
   EngineConfig config_;
   alert::AlertSink* sink_;
   EiaTable eia_;
+  hopcount::HopCountAnalysis hopcount_;
   ScanAnalysis scan_;
   std::shared_ptr<const TrainedClusters> clusters_;
   std::unique_ptr<obs::Registry> owned_registry_;  ///< when config.registry == null

@@ -111,6 +111,21 @@ std::vector<LabeledFlow> Dagflow::replay(const traffic::Trace& trace) {
     r.bytes = bytes;
     r.first = static_cast<std::uint32_t>(flow.start);
     r.last = static_cast<std::uint32_t>(flow.start) + flow.duration_ms;
+    if (config_.path_model != nullptr) {
+      // Stamped last, from the *rewritten* source: the TTL a collector
+      // would see is a property of whoever actually sent the packets.
+      const std::uint64_t flow_salt = (std::uint64_t{r.dst_ip.value()} << 32) ^
+                                      (std::uint64_t{r.src_port} << 16) ^
+                                      r.dst_port ^ r.first;
+      // Only attack-labeled flows travel the tool's path; companion flows
+      // are genuine hosts responding over their own routes, so they keep
+      // honest TTLs even when replayed through an attack instance.
+      r.ttl = (config_.attacker_path_salt != 0 && flow.attack)
+                  ? config_.path_model->attacker_ttl(config_.attacker_path_salt,
+                                                     flow_salt,
+                                                     config_.attacker_ttl_jitter)
+                  : config_.path_model->source_ttl(r.src_ip, flow_salt);
+    }
     out.push_back(labeled);
   }
   return out;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dagflow/allocation.h"
+#include "hopcount/path_model.h"
 #include "net/ipv4.h"
 #include "netflow/v5.h"
 #include "traffic/trace.h"
@@ -74,6 +75,21 @@ struct DagflowConfig {
   /// standard estimator for sampled NetFlow. Stealthy single-packet
   /// attacks mostly vanish from sampled exports (see the ablation bench).
   std::uint32_t sampling_interval = 1;
+  /// TTL stamping via a deterministic path model (src/hopcount). Null
+  /// leaves every record's ttl at 0 ("not observed"). The model is pure
+  /// hashing -- stamping consumes no draws from the replay RNG, so
+  /// enabling it changes nothing else about the emitted stream.
+  const hopcount::PathModel* path_model = nullptr;
+  /// 0: honest stamping -- each record carries its (rewritten) source's
+  /// own path TTL. Non-zero: this instance is an attack tool, and every
+  /// attack-labeled record is stamped with the TTL of the *tool's* path
+  /// (salted by this value) regardless of the source it forges -- the
+  /// mismatch the hop-count detector keys on. Companion (benign-labeled)
+  /// flows keep honest stamping either way.
+  std::uint64_t attacker_path_salt = 0;
+  /// With attacker_path_salt set: per-flow TTL jitter of +/- this many
+  /// hops (the TTL-jittered evasion kind). Ignored for honest stamping.
+  int attacker_ttl_jitter = 0;
 };
 
 /// A flow record as produced by a Dagflow instance, with the ground-truth

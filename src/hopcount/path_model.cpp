@@ -1,0 +1,67 @@
+#include "hopcount/path_model.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace infilter::hopcount {
+namespace {
+
+/// A 64-bit hash of (seed, salt) with SplitMix64 -- one value per call
+/// site, no shared stream.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  return util::SplitMix64{seed ^ (salt * 0x9e3779b97f4a7c15ULL)}.next();
+}
+
+/// The common initial TTLs honest stacks send with.
+constexpr std::uint8_t kInitials[] = {64, 128, 255};
+
+std::uint8_t ttl_of(std::uint8_t initial, int hops) {
+  return static_cast<std::uint8_t>(
+      std::max(1, int{initial} - std::max(0, hops)));
+}
+
+}  // namespace
+
+PathModel::PathModel(PathModelConfig config) : config_(config) {}
+
+int PathModel::source_hops(net::IPv4Address source) const {
+  const auto slash24 = source.value() & net::Prefix::mask_bits(24);
+  const auto h = mix(config_.seed, slash24);
+  const int span = config_.max_hops - config_.min_hops + 1;
+  return config_.min_hops + static_cast<int>(h % static_cast<unsigned>(span));
+}
+
+std::uint8_t PathModel::source_ttl(net::IPv4Address source,
+                                   std::uint64_t flow_salt) const {
+  const auto slash24 = source.value() & net::Prefix::mask_bits(24);
+  const auto h = mix(config_.seed, slash24);
+  const auto initial = kInitials[(h >> 32) % 3];
+  // Per-flow jitter of -1/0/+1 hops: load-shared links inside the default
+  // tolerance window, never enough to cross it.
+  const auto j = mix(config_.seed ^ 0x5a17, slash24 ^ flow_salt);
+  const int hops = source_hops(source) + static_cast<int>(j % 3) - 1;
+  return ttl_of(initial, hops);
+}
+
+int PathModel::attacker_hops(std::uint64_t instance_salt) const {
+  const auto h = mix(config_.seed ^ 0xa77ac3, instance_salt);
+  const int span = config_.attacker_max_hops - config_.attacker_min_hops + 1;
+  return config_.attacker_min_hops +
+         static_cast<int>(h % static_cast<unsigned>(span));
+}
+
+std::uint8_t PathModel::attacker_ttl(std::uint64_t instance_salt,
+                                     std::uint64_t flow_salt,
+                                     int jitter) const {
+  const auto h = mix(config_.seed ^ 0xa77ac3, instance_salt);
+  const auto initial = kInitials[(h >> 32) % 3];
+  int hops = attacker_hops(instance_salt);
+  if (jitter > 0) {
+    const auto j = mix(config_.seed ^ 0x1177e4, instance_salt ^ flow_salt);
+    hops += static_cast<int>(j % (2 * static_cast<unsigned>(jitter) + 1)) - jitter;
+  }
+  return ttl_of(initial, hops);
+}
+
+}  // namespace infilter::hopcount

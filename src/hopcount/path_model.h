@@ -1,0 +1,65 @@
+// Deterministic TTL path model for the simulated testbed.
+//
+// The testbed has no real forwarding plane, so observed TTLs are produced
+// by a model of the one property the detector keys on: a source network
+// reaches the protected AS over a path of stable length, while a spoofer
+// sits on a *different* path from the networks it forges. Each source /24
+// gets a stable (initial TTL, hop count) pair hashed from its prefix;
+// each attack instance gets its own attacker-side pair. Per-flow jitter
+// of +/-1 hop models load-shared links, and a wider, attacker-chosen
+// jitter models deliberate TTL randomization (the evasion attack kind).
+//
+// Everything is a pure hash of (seed, /24 or instance, flow salt) -- no
+// shared RNG stream is consumed, so stamping TTLs onto a replay leaves
+// every other draw (source selection, sampling) bit-identical.
+
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+
+namespace infilter::hopcount {
+
+struct PathModelConfig {
+  std::uint64_t seed = 0x7717a11;
+  /// Honest source networks sit min..max hops from the collector.
+  int min_hops = 4;
+  int max_hops = 14;
+  /// Attack hosts sit farther out: their true path differs from the paths
+  /// of the networks they forge, which is precisely the TTL witness.
+  int attacker_min_hops = 18;
+  int attacker_max_hops = 30;
+};
+
+class PathModel {
+ public:
+  explicit PathModel(PathModelConfig config = {});
+
+  /// Stable hop count of `source`'s /24 (no jitter).
+  [[nodiscard]] int source_hops(net::IPv4Address source) const;
+
+  /// Observed TTL of a genuine packet from `source`: the /24's initial
+  /// TTL (a stable pick from {64, 128, 255}) minus its hop count, with a
+  /// per-flow jitter of -1/0/+1 derived from `flow_salt`.
+  [[nodiscard]] std::uint8_t source_ttl(net::IPv4Address source,
+                                        std::uint64_t flow_salt) const;
+
+  /// Stable hop count of attack instance `instance_salt`'s true path.
+  [[nodiscard]] int attacker_hops(std::uint64_t instance_salt) const;
+
+  /// Observed TTL of a packet emitted by attack instance `instance_salt`,
+  /// independent of whatever source it forges. `jitter` > 0 spreads
+  /// per-flow hop counts uniformly over +/-jitter around the true path
+  /// (TTL-jittered evasion); 0 models a plain spoofing tool.
+  [[nodiscard]] std::uint8_t attacker_ttl(std::uint64_t instance_salt,
+                                          std::uint64_t flow_salt,
+                                          int jitter = 0) const;
+
+  [[nodiscard]] const PathModelConfig& config() const { return config_; }
+
+ private:
+  PathModelConfig config_;
+};
+
+}  // namespace infilter::hopcount

@@ -39,7 +39,7 @@ void encode_record(std::vector<std::uint8_t>& out, const V5Record& r) {
   put32(out, r.last);
   put16(out, r.src_port);
   put16(out, r.dst_port);
-  out.push_back(0);  // pad1
+  out.push_back(r.ttl);  // pad1, repurposed to carry the observed TTL
   out.push_back(r.tcp_flags);
   out.push_back(r.proto);
   out.push_back(r.tos);
@@ -63,6 +63,7 @@ V5Record decode_record(std::span<const std::uint8_t> in) {
   r.last = get32(in, 28);
   r.src_port = get16(in, 32);
   r.dst_port = get16(in, 34);
+  r.ttl = in[36];
   r.tcp_flags = in[37];
   r.proto = in[38];
   r.tos = in[39];

@@ -65,6 +65,11 @@ struct V5Record {
   std::uint32_t last = 0;     ///< SysUptime (ms) at last packet
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
+  /// Observed IP TTL of the flow's packets, carried in the record's pad1
+  /// byte (offset 36). Real v5 exporters leave pad1 zero; 0 here means
+  /// "TTL not observed" and downstream hop-count analysis treats the flow
+  /// as unknown, so plain v5 captures keep decoding unchanged.
+  std::uint8_t ttl = 0;
   std::uint8_t tcp_flags = 0;
   std::uint8_t proto = 0;
   std::uint8_t tos = 0;

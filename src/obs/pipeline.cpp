@@ -14,6 +14,14 @@ PipelineMetrics::PipelineMetrics(Registry& r)
                             "Flows failing the EIA check (suspects)")),
       eia_learned(&r.counter("infilter_eia_learned_total",
                              "Source /24s auto-learned into an EIA set")),
+      hopcount_consistent(
+          &r.counter("infilter_hopcount_consistent_total",
+                     "Flows whose TTL matched the learned hop-count range")),
+      hopcount_miss(&r.counter("infilter_hopcount_miss_total",
+                               "Flows whose TTL implied the wrong path length")),
+      hopcount_unknown(
+          &r.counter("infilter_hopcount_unknown_total",
+                     "Flows with no TTL or no established hop-count range")),
       scan_analyzed(&r.counter("infilter_scan_analyzed_total",
                                "Suspect flows run through scan analysis")),
       scan_network(&r.counter("infilter_scan_network_total",
@@ -34,6 +42,9 @@ PipelineMetrics::PipelineMetrics(Registry& r)
                                      "Terminal verdict: attack via scan analysis")),
       verdict_attack_nns(&r.counter("infilter_verdict_attack_nns_total",
                                     "Terminal verdict: attack via NNS distance")),
+      verdict_attack_fused(
+          &r.counter("infilter_verdict_attack_fused_total",
+                     "Terminal verdict: attack via EIA + TTL fusion")),
       verdict_cleared_nns(&r.counter("infilter_verdict_cleared_nns_total",
                                      "Terminal verdict: suspect cleared by NNS")),
       verdict_cleared_learned(&r.counter(
@@ -47,9 +58,15 @@ PipelineMetrics::PipelineMetrics(Registry& r)
                              "Delivered alerts raised by scan analysis")),
       alerts_nns(&r.counter("infilter_alerts_nns_total",
                             "Delivered alerts raised by the NNS stage")),
+      alerts_fused(&r.counter("infilter_alerts_fused_total",
+                              "Delivered alerts raised by EIA + TTL fusion")),
       stage_eia_us(&r.histogram("infilter_stage_eia_latency_us",
                                 default_latency_bounds_us(),
                                 "EIA lookup wall time per flow (us)")),
+      stage_hopcount_us(
+          &r.histogram("infilter_stage_hopcount_latency_us",
+                       default_latency_bounds_us(),
+                       "Hop-count classify/learn wall time per flow (us)")),
       stage_scan_us(&r.histogram("infilter_stage_scan_latency_us",
                                  default_latency_bounds_us(),
                                  "Scan analysis wall time per suspect (us)")),

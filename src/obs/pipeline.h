@@ -6,22 +6,28 @@
 //
 //   flow accounting    infilter_flows_total
 //   EIA stage          infilter_eia_{hits,misses,learned}_total
+//   hop-count stage    infilter_hopcount_{consistent,miss,unknown}_total
 //   scan stage         infilter_scan_{analyzed,network,host}_total
 //   NNS stage          infilter_nns_{assessed,normal,anomalous}_total
 //   terminal verdicts  infilter_verdict_{legal,attack_eia,attack_scan,
-//                      attack_nns,cleared_nns,cleared_learned}_total
-//   alerts delivered   infilter_alerts{,_eia,_scan,_nns}_total
-//   stage latency      infilter_stage_{eia,scan,nns}_latency_us,
+//                      attack_nns,attack_fused,cleared_nns,
+//                      cleared_learned}_total
+//   alerts delivered   infilter_alerts{,_eia,_scan,_nns,_fused}_total
+//   stage latency      infilter_stage_{eia,hopcount,scan,nns}_latency_us,
 //                      infilter_process_latency_us  (histograms, us)
 //
 // Invariants (checked by tests/test_obs.cpp and the integration suite):
-//   * flows_total == sum of the six terminal verdict counters;
+//   * flows_total == sum of the seven terminal verdict counters;
 //   * eia_hits + eia_misses == flows_total;
-//   * in the Enhanced configuration with scan analysis enabled,
-//     scan_analyzed == eia_misses;
+//   * with TTL detection on, hopcount_consistent + hopcount_miss +
+//     hopcount_unknown == flows_total (every counter zero when off);
+//   * in the Enhanced configuration with scan analysis enabled and TTL
+//     detection off, scan_analyzed == eia_misses (TTL detection adds
+//     in-EIA suspects to the scan stage and diverts fused verdicts
+//     around it);
 //   * nns_assessed == nns_normal + nns_anomalous;
-//   * alerts_total == alerts_eia + alerts_scan + alerts_nns == alerts
-//     delivered to the engine's sink.
+//   * alerts_total == alerts_eia + alerts_scan + alerts_nns +
+//     alerts_fused == alerts delivered to the engine's sink.
 
 #pragma once
 
@@ -48,6 +54,10 @@ struct PipelineMetrics {
   Counter* eia_misses;
   Counter* eia_learned;
 
+  Counter* hopcount_consistent;
+  Counter* hopcount_miss;
+  Counter* hopcount_unknown;
+
   Counter* scan_analyzed;
   Counter* scan_network;
   Counter* scan_host;
@@ -60,6 +70,7 @@ struct PipelineMetrics {
   Counter* verdict_attack_eia;
   Counter* verdict_attack_scan;
   Counter* verdict_attack_nns;
+  Counter* verdict_attack_fused;
   Counter* verdict_cleared_nns;
   Counter* verdict_cleared_learned;
 
@@ -67,8 +78,10 @@ struct PipelineMetrics {
   Counter* alerts_eia;
   Counter* alerts_scan;
   Counter* alerts_nns;
+  Counter* alerts_fused;
 
   Histogram* stage_eia_us;
+  Histogram* stage_hopcount_us;
   Histogram* stage_scan_us;
   Histogram* stage_nns_us;
   Histogram* process_us;

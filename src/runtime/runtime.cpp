@@ -141,6 +141,16 @@ void ShardedRuntime::add_expected(core::IngressId ingress,
   for (auto& shard : shards_) shard->engine->add_expected(ingress, prefix);
 }
 
+void ShardedRuntime::install_hopcount(const hopcount::HopCountTable& table) {
+  // Every shard gets the full table (like add_expected): a shard only
+  // ever classifies flows whose source /24 hashes to it, so the
+  // off-shard entries are dead weight, not a correctness hazard, and the
+  // per-shard state evolves exactly as the serial engine's does on that
+  // shard's key subset. The scan engine's table stays empty on purpose:
+  // the TTL classification rides along in SuspectFlow.
+  for (auto& shard : shards_) shard->engine->install_hopcount(table);
+}
+
 void ShardedRuntime::set_clusters(
     std::shared_ptr<const core::TrainedClusters> clusters) {
   for (auto& shard : shards_) shard->engine->set_clusters(clusters);
@@ -156,15 +166,18 @@ void ShardedRuntime::train(std::span<const netflow::V5Record> normal_flows) {
       normal_flows, config_.engine.cluster, config_.engine.seed));
 }
 
-std::size_t ShardedRuntime::shard_of(core::IngressId ingress,
-                                     net::IPv4Address source,
+std::size_t ShardedRuntime::shard_of(net::IPv4Address source,
                                      std::size_t shards) {
-  // The EIA auto-learning key (eia.cpp): ingress in the high word, the
-  // source /24 in the low. Hashing exactly this key colocates every flow
-  // that can touch one learning counter or one learned /24.
-  const std::uint64_t key =
-      (std::uint64_t{ingress} << 32) | (source.value() & 0xFFFFFF00u);
-  return util::SplitMix64{key}.next() % shards;
+  // Hash the source /24 alone -- a coarsening of the per-key state grain.
+  // Every key the stateful pre-process stages can touch carries a /24
+  // component: the EIA auto-learn counters and learned ranges are
+  // (ingress, /24)-keyed and /24-sized (eia.cpp), and the hop-count table
+  // is (ingress, /24)-keyed too. Sharding by /24 therefore colocates ALL
+  // of a /24's state, whatever ingress it arrives through -- which is what
+  // lets the hop-count stage classify an EIA-missing flow against the
+  // range its source's home ingress learned (engine.cpp) without reading
+  // another shard's state.
+  return util::SplitMix64{source.value() & 0xFFFFFF00u}.next() % shards;
 }
 
 void ShardedRuntime::wake(Shard& shard) {
@@ -225,7 +238,7 @@ bool ShardedRuntime::submit(const netflow::V5Record& record,
     dropped_->inc();
     return false;
   }
-  Shard& shard = *shards_[shard_of(ingress, record.src_ip, shards_.size())];
+  Shard& shard = *shards_[shard_of(record.src_ip, shards_.size())];
   // The sequence number is consumed only on acceptance, so a kDrop shed
   // here leaves no gap (gaps elsewhere are tolerated anyway: the scan
   // stage compares against watermarks, never for contiguity).
@@ -272,7 +285,7 @@ std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
   if (tracing) t_sub = obs::Tracer::now_ns();
   for (const FlowItem& item : items) {
     auto& bucket =
-        buckets[shard_of(item.ingress, item.record.src_ip, shards_.size())];
+        buckets[shard_of(item.record.src_ip, shards_.size())];
     bucket.push_back(item);
     FlowItem& queued = bucket.back();
     queued.seq = ++next_seq_;

@@ -164,6 +164,9 @@ class ShardedRuntime {
 
   /// Preloads an EIA entry into every shard's table.
   void add_expected(core::IngressId ingress, const net::Prefix& prefix);
+  /// Installs a previously learned hop-count table into every shard
+  /// engine (each keeps the copy covering its own key subset).
+  void install_hopcount(const hopcount::HopCountTable& table);
   /// Installs one trained cluster set, shared (immutable) by all shards.
   void set_clusters(std::shared_ptr<const core::TrainedClusters> clusters);
   /// Trains once and shares the result across shards.
@@ -171,10 +174,11 @@ class ShardedRuntime {
 
   // -- Normal processing phase --
 
-  /// The shard a flow lands on: a SplitMix64 hash of (ingress, source
-  /// /24), the EIA auto-learning key, reduced mod `shards`.
-  [[nodiscard]] static std::size_t shard_of(core::IngressId ingress,
-                                            net::IPv4Address source,
+  /// The shard a flow lands on: a SplitMix64 hash of the source /24,
+  /// reduced mod `shards`. The /24 alone (not the ingress) so that every
+  /// (ingress, /24)-keyed learning structure for one /24 -- EIA counters
+  /// and hop-count ranges at every ingress -- lives in a single shard.
+  [[nodiscard]] static std::size_t shard_of(net::IPv4Address source,
                                             std::size_t shards);
 
   /// Enqueues one flow. Returns false only when the backpressure policy is

@@ -72,6 +72,48 @@ dagflow::AddressPool spoof_pool(int attacked, const ExperimentConfig& config,
   return dagflow::AddressPool::from_subblocks(blocks);
 }
 
+/// Spoofing pool for the TTL-aware kinds: EIA sub-blocks from the whole
+/// peer universe (Section 6.3.1: sources "chosen from the ... address
+/// blocks corresponding to the EIA sets"), clustered exactly like honest
+/// traffic -- the active-/24 subset is a deterministic hash of the prefix
+/// (AddressPool::draw), so the forged sources land in the same popular
+/// /24s whose hop-count ranges honest traffic established. Half the
+/// blocks come from the attacked ingress's *own* EIA range: those flows
+/// pass the EIA check and the TTL witness is the only signal, feeding
+/// scan/NNS arbitration. The other half come from the other peers'
+/// ranges: those flows miss EIA at the attacked ingress AND contradict
+/// the range their source's home ingress learned -- the
+/// doubly-inconsistent case the engine escalates to a fused
+/// high-confidence alert.
+dagflow::AddressPool in_eia_pool(int attacked, const ExperimentConfig& config,
+                                 util::Rng& rng) {
+  const int count = std::max(1, config.spoof_blocks_per_instance);
+  const auto pick = [&](int owner) {
+    const auto range = dagflow::eia_range(owner, config.blocks_per_source);
+    return net::SubBlock{static_cast<int>(
+                             rng.range(range.first.index(), range.last.index()))}
+        .prefix();
+  };
+  std::vector<net::Prefix> own;
+  for (int i = 0; i < count; ++i) own.push_back(pick(attacked));
+  if (config.sources <= 1) {
+    return dagflow::AddressPool(
+        {{std::move(own), 1.0, config.source_active_slash24s}});
+  }
+  std::vector<net::Prefix> cross;
+  for (int i = 0; i < count; ++i) {
+    int owner = attacked;
+    while (owner == attacked) {
+      owner = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(config.sources)));
+    }
+    cross.push_back(pick(owner));
+  }
+  return dagflow::AddressPool(
+      {{std::move(own), 0.5, config.source_active_slash24s},
+       {std::move(cross), 0.5, config.source_active_slash24s}});
+}
+
 }  // namespace
 
 std::shared_ptr<const core::TrainedClusters> train_clusters(
@@ -102,6 +144,14 @@ TestbedStream generate_stream(const ExperimentConfig& config) {
   TestbedStream out;
   std::vector<dagflow::LabeledFlow>& stream = out.flows;
 
+  // One shared path model stamps every record's TTL in the TTL scenario.
+  // Stamping is pure hashing (no RNG draws), so the stream is identical to
+  // the non-TTL stream in every field but ttl.
+  const hopcount::PathModel path_model(
+      hopcount::PathModelConfig{.seed = config.seed ^ 0x7717a11ULL});
+  const hopcount::PathModel* stamper =
+      config.ttl_scenario ? &path_model : nullptr;
+
   // Normal traffic: one Dagflow per source, transitioning through the
   // route-change allocations simultaneously (Section 6.3.3).
   traffic::NormalTrafficModel model;
@@ -113,7 +163,8 @@ TestbedStream generate_stream(const ExperimentConfig& config) {
     dagflow::Dagflow replayer(
         dagflow::DagflowConfig{
             .netflow_port = static_cast<std::uint16_t>(config.first_port + s),
-            .sampling_interval = config.netflow_sampling},
+            .sampling_interval = config.netflow_sampling,
+            .path_model = stamper},
         dagflow::AddressPool{}, config.seed ^ (0xd0f1ULL + static_cast<std::uint64_t>(s)));
 
     const std::size_t per_chunk =
@@ -140,7 +191,8 @@ TestbedStream generate_stream(const ExperimentConfig& config) {
 
   // Attack sets (Sections 6.3.1/6.3.2): one instance of each of the 12
   // attacks per attacked ingress, scaled so the attack-flow volume is the
-  // configured fraction of the ingress's normal volume.
+  // configured fraction of the ingress's normal volume. The TTL scenario
+  // appends the two TTL-aware kinds at the same intensity.
   const double target_flows =
       config.attack_volume * static_cast<double>(config.normal_flows_per_source);
   traffic::AttackConfig attack_config;
@@ -167,21 +219,42 @@ TestbedStream generate_stream(const ExperimentConfig& config) {
     }
   }
 
+  // The TTL kinds launch last so the standard set draws exactly the same
+  // RNG stream whether or not the scenario is on (TTL stamping itself
+  // consumes no draws).
+  const int launched_kinds = config.ttl_scenario
+                                 ? traffic::kAttackKindCount
+                                 : traffic::kStandardAttackKindCount;
   for (int a = 0; a < config.attacked_ingresses; ++a) {
     util::Rng attack_rng = master.fork(0x200 + static_cast<std::uint64_t>(a));
     const auto port = static_cast<std::uint16_t>(config.first_port + a);
-    for (int k = 0; k < traffic::kAttackKindCount; ++k) {
+    for (int k = 0; k < launched_kinds; ++k) {
       const auto kind = static_cast<traffic::AttackKind>(k);
+      const bool in_eia = k >= traffic::kStandardAttackKindCount;
       const auto origin =
           config.synchronized_attack_sets
               ? shared_origin[static_cast<std::size_t>(k)] + attack_rng.below(2000)
               : static_cast<util::TimeMs>(attack_rng.uniform() * 0.9 * normal_span_ms);
       const traffic::Trace trace =
           traffic::generate_attack(kind, attack_config, origin, attack_rng);
-      dagflow::Dagflow replayer(
-          dagflow::DagflowConfig{.netflow_port = port,
-                                 .sampling_interval = config.netflow_sampling},
-          spoof_pool(a, config, attack_rng), attack_rng());
+      dagflow::DagflowConfig replay_config{
+          .netflow_port = port,
+          .sampling_interval = config.netflow_sampling,
+          .path_model = stamper};
+      if (stamper != nullptr) {
+        // Each tool instance sends over its own path: a unique, non-zero
+        // salt per (ingress, kind).
+        replay_config.attacker_path_salt =
+            0xa77acc00ULL + static_cast<std::uint64_t>(a) * 64 +
+            static_cast<std::uint64_t>(k) + 1;
+        if (kind == traffic::AttackKind::kTtlJitterFlood) {
+          replay_config.attacker_ttl_jitter = 10;
+        }
+      }
+      dagflow::Dagflow replayer(replay_config,
+                                in_eia ? in_eia_pool(a, config, attack_rng)
+                                       : spoof_pool(a, config, attack_rng),
+                                attack_rng());
       auto labeled = replayer.replay(trace);
       stream.insert(stream.end(), labeled.begin(), labeled.end());
       out.instances.emplace_back(a, kind);
@@ -220,6 +293,7 @@ class Scorer {
         case alert::DetectionStage::kEiaMismatch: ++result_.alerts_eia; break;
         case alert::DetectionStage::kScanAnalysis: ++result_.alerts_scan; break;
         case alert::DetectionStage::kNnsDistance: ++result_.alerts_nns; break;
+        case alert::DetectionStage::kHopCountFusion: ++result_.alerts_fused; break;
       }
     }
     if (flow.attack) {
@@ -236,6 +310,7 @@ class Scorer {
       }
     } else {
       ++result_.benign_flows;
+      if (verdict.suspect) ++result_.benign_suspects;
       if (verdict.attack) ++result_.false_positives;
     }
   }

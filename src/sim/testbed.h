@@ -61,6 +61,17 @@ struct ExperimentConfig {
   /// clustered, as a real replayed trace would be).
   int spoof_blocks_per_instance = 2;
   double companion_fraction = 0.5;
+  /// TTL scenario: every Dagflow stamps record TTLs through one shared
+  /// hop-count path model (src/hopcount). Normal sources stamp honestly
+  /// (each rewritten source's own path); attack instances stamp the
+  /// *tool's* path regardless of the forged source. In addition to the
+  /// standard 12-tool set, each attacked ingress receives the two
+  /// TTL-aware kinds (kInEiaSpoofFlood / kTtlJitterFlood) forging sources
+  /// from the attacked ingress's own blocks -- invisible to the EIA check,
+  /// only the hop-count witness objects. Off: every record keeps ttl = 0
+  /// and only the standard set is launched (baselines unchanged).
+  /// Detection fusion is switched separately via engine.use_hopcount.
+  bool ttl_scenario = false;
   /// Stress-test timing (Section 6.3.2): the attack Dagflow set is
   /// *replicated* per peer AS and the replicas replay the same traces, so
   /// each attack tool fires at every ingress at (nearly) the same moment.
@@ -112,11 +123,16 @@ struct ExperimentResult {
   std::uint64_t detected_attack_flows = 0;
   std::uint64_t benign_flows = 0;  ///< normal sources + companions
   std::uint64_t false_positives = 0;
+  /// Benign flows that entered the suspect path (EIA mismatch or TTL
+  /// mismatch) whatever their final verdict -- the scan-stage load the
+  /// hop-count detector adds on legitimate traffic is budgeted on this.
+  std::uint64_t benign_suspects = 0;
 
   // Alerts by pipeline stage.
   std::uint64_t alerts_eia = 0;
   std::uint64_t alerts_scan = 0;
   std::uint64_t alerts_nns = 0;
+  std::uint64_t alerts_fused = 0;  ///< EIA miss + TTL miss (kHopCountFusion)
 
   /// Mean virtual-time latency from an instance's first attack flow to its
   /// first alert, over detected instances ("Also tracked was the latency
@@ -130,7 +146,7 @@ struct ExperimentResult {
   /// gauges, per-stage latency histograms). Taken after the last flow, so
   /// it reconciles with the accounting above: flows_total equals
   /// attack_flows + benign_flows, and the verdict_attack_* counters sum to
-  /// alerts_eia + alerts_scan + alerts_nns.
+  /// alerts_eia + alerts_scan + alerts_nns + alerts_fused.
   obs::RegistrySnapshot metrics;
 
   [[nodiscard]] double detection_rate() const {
@@ -147,6 +163,11 @@ struct ExperimentResult {
   [[nodiscard]] double false_positive_rate() const {
     return benign_flows == 0 ? 0.0
                              : static_cast<double>(false_positives) /
+                                   static_cast<double>(benign_flows);
+  }
+  [[nodiscard]] double benign_suspect_rate() const {
+    return benign_flows == 0 ? 0.0
+                             : static_cast<double>(benign_suspects) /
                                    static_cast<double>(benign_flows);
   }
 };

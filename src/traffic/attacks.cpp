@@ -238,12 +238,63 @@ Trace nessus(AttackKind kind, std::uint8_t proto, std::uint16_t port, double bas
   return trace;
 }
 
+// In-EIA spoof flood: the EIA blind spot. The testbed points this
+// instance's source pool at the attacked ingress's own expected blocks
+// and stamps the tool's true path TTL onto its records, so the EIA check
+// passes every flow and only the hop-count witness can object. Flow
+// shape: a plain single-SYN flood at one service.
+Trace in_eia_spoof_flood(const AttackConfig& config, util::TimeMs origin,
+                         util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  for (std::size_t i = 0; i < scaled(120, config); ++i) {
+    auto flow = base_flow(AttackKind::kInEiaSpoofFlood, origin + rng.below(10000));
+    flow.proto = proto_of(IpProto::kTcp);
+    flow.dst_ip = victim;
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.dst_port = 443;
+    flow.tcp_flags = tf::kSyn;
+    flow.packets = 1;
+    flow.bytes = 40;
+    flow.duration_ms = 0;
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+// TTL-jittered evasion: the same in-EIA forging, but the tool randomizes
+// its TTL per packet to smear the hop-count signal (the testbed's path
+// model applies the actual jitter when stamping records). Flow shape: a
+// short-datagram UDP flood at one victim.
+Trace ttl_jitter_flood(const AttackConfig& config, util::TimeMs origin,
+                       util::Rng& rng) {
+  Trace trace;
+  const auto victim = random_victim(config, rng);
+  for (std::size_t i = 0; i < scaled(100, config); ++i) {
+    auto flow = base_flow(AttackKind::kTtlJitterFlood, origin + rng.below(12000));
+    flow.proto = proto_of(IpProto::kUdp);
+    flow.dst_ip = victim;
+    flow.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.dst_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.packets = static_cast<std::uint32_t>(rng.range(1, 3));
+    flow.bytes = flow.packets * static_cast<std::uint32_t>(rng.range(60, 200));
+    flow.duration_ms = static_cast<std::uint32_t>(rng.below(100));
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
 // Tool-session companion flows: the non-attack traffic a capture of the
 // tool inevitably contains. About 60% look like legitimate service
 // sessions (connect follow-ups, banner grabs that complete); the rest are
 // short odd exchanges (half-open probes, resets).
 void append_companions(Trace& trace, AttackKind kind, const AttackConfig& config,
                        util::Rng& rng) {
+  // The TTL-aware floods are pure spoofed streams -- no tool session ever
+  // completes over a forged source, so they leave no companion traffic.
+  if (kind == AttackKind::kInEiaSpoofFlood || kind == AttackKind::kTtlJitterFlood) {
+    return;
+  }
   if (is_stealthy(kind) || trace.flows.empty() || config.companion_fraction <= 0) {
     return;
   }
@@ -297,6 +348,8 @@ std::string_view attack_name(AttackKind kind) {
     case AttackKind::kNessusFtp: return "nessus-ftp";
     case AttackKind::kNessusSmtp: return "nessus-smtp";
     case AttackKind::kNessusDns: return "nessus-dns";
+    case AttackKind::kInEiaSpoofFlood: return "in-eia-spoof";
+    case AttackKind::kTtlJitterFlood: return "ttl-jitter";
   }
   return "unknown";
 }
@@ -323,6 +376,8 @@ Trace generate_attack_only(AttackKind kind, const AttackConfig& config,
       return nessus(kNessusSmtp, proto_of(IpProto::kTcp), 25, 25, config, origin, rng);
     case kNessusDns:
       return nessus(kNessusDns, proto_of(IpProto::kUdp), 53, 30, config, origin, rng);
+    case kInEiaSpoofFlood: return in_eia_spoof_flood(config, origin, rng);
+    case kTtlJitterFlood: return ttl_jitter_flood(config, origin, rng);
   }
   return {};
 }
@@ -340,9 +395,11 @@ Trace generate_attack(AttackKind kind, const AttackConfig& config, util::TimeMs 
 
 Trace generate_attack_set(const AttackConfig& config, util::TimeMs origin,
                           util::DurationMs span, util::Rng& rng) {
+  // The standard set is the paper's twelve; the TTL-aware kinds are
+  // launched separately by TTL-scenario experiments.
   std::vector<Trace> traces;
-  traces.reserve(kAttackKindCount);
-  for (int k = 0; k < kAttackKindCount; ++k) {
+  traces.reserve(kStandardAttackKindCount);
+  for (int k = 0; k < kStandardAttackKindCount; ++k) {
     const util::TimeMs start = origin + rng.below(std::max<util::DurationMs>(1, span));
     traces.push_back(generate_attack(static_cast<AttackKind>(k), config, start, rng));
   }

@@ -35,9 +35,19 @@ enum class AttackKind : std::uint8_t {
   kNessusFtp,        ///< service probe battery against tcp/21
   kNessusSmtp,       ///< service probe battery against tcp/25
   kNessusDns,        ///< probe battery against udp/53
+  // TTL-aware spoofing, beyond the paper's twelve: the sources are forged
+  // from address space the attacked ingress *expects* (SMap documents
+  // spoofers routinely using valid addresses), so the EIA check passes
+  // and only the hop-count witness (src/hopcount) can object.
+  kInEiaSpoofFlood,  ///< flood forging in-EIA sources over the tool's own path
+  kTtlJitterFlood,   ///< same, randomizing its TTL per flow to smear the signal
 };
 
-inline constexpr int kAttackKindCount = 12;
+inline constexpr int kAttackKindCount = 14;
+/// The paper's original "12 unique attacks" -- the standard attack set.
+/// The two TTL-aware kinds above are launched only by TTL-scenario
+/// experiments, so baselines keyed to the standard set stay comparable.
+inline constexpr int kStandardAttackKindCount = 12;
 
 [[nodiscard]] std::string_view attack_name(AttackKind kind);
 

@@ -22,6 +22,7 @@ V5Record sample_record(std::uint32_t salt = 0) {
   r.last = 2500;
   r.src_port = 1024;
   r.dst_port = 80;
+  r.ttl = 57;
   r.tcp_flags = tcpflags::kSyn | tcpflags::kAck;
   r.proto = static_cast<std::uint8_t>(IpProto::kTcp);
   r.tos = 0x10;
@@ -95,6 +96,7 @@ TEST(V5Codec, RandomizedRoundTrip) {
     r.last = static_cast<std::uint32_t>(rng());
     r.src_port = static_cast<std::uint16_t>(rng());
     r.dst_port = static_cast<std::uint16_t>(rng());
+    r.ttl = static_cast<std::uint8_t>(rng());
     r.tcp_flags = static_cast<std::uint8_t>(rng());
     r.proto = static_cast<std::uint8_t>(rng());
     r.tos = static_cast<std::uint8_t>(rng());
@@ -106,6 +108,25 @@ TEST(V5Codec, RandomizedRoundTrip) {
     ASSERT_TRUE(decoded.has_value());
     EXPECT_EQ(decoded->records.front(), r);
   }
+}
+
+// The observed TTL rides in record byte 36 -- the pad1 slot of the stock v5
+// layout -- so a stock decoder still parses our datagrams (it reads the
+// byte as padding) and a stock exporter yields ttl == 0 ("not observed").
+TEST(V5Codec, TtlOccupiesThePadOneByte) {
+  auto record = sample_record();
+  record.ttl = 0xab;
+  const auto wire = encode(V5Header{}, std::vector{record});
+  EXPECT_EQ(wire[kV5HeaderBytes + 36], 0xab);
+
+  auto zeroed = wire;
+  zeroed[kV5HeaderBytes + 36] = 0;  // what a stock exporter emits
+  const auto decoded = decode(zeroed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->records.front().ttl, 0);
+  auto expected = record;
+  expected.ttl = 0;
+  EXPECT_EQ(decoded->records.front(), expected);
 }
 
 TEST(V5Codec, DecodeRejectsShortBuffer) {

@@ -229,9 +229,11 @@ void expect_same_result(const sim::ExperimentResult& x,
   EXPECT_EQ(x.detected_attack_flows, y.detected_attack_flows);
   EXPECT_EQ(x.benign_flows, y.benign_flows);
   EXPECT_EQ(x.false_positives, y.false_positives);
+  EXPECT_EQ(x.benign_suspects, y.benign_suspects);
   EXPECT_EQ(x.alerts_eia, y.alerts_eia);
   EXPECT_EQ(x.alerts_scan, y.alerts_scan);
   EXPECT_EQ(x.alerts_nns, y.alerts_nns);
+  EXPECT_EQ(x.alerts_fused, y.alerts_fused);
   EXPECT_DOUBLE_EQ(x.mean_detection_latency_ms, y.mean_detection_latency_ms);
   for (std::size_t k = 0; k < x.per_kind.size(); ++k) {
     EXPECT_EQ(x.per_kind[k], y.per_kind[k]) << "attack kind " << k;
@@ -240,13 +242,14 @@ void expect_same_result(const sim::ExperimentResult& x,
 
 TEST(ShardedRuntime, ShardOfIsStableAndCoversAllShards) {
   const auto source = *net::IPv4Address::parse("10.1.2.3");
-  const auto s = ShardedRuntime::shard_of(9001, source, 4);
-  EXPECT_EQ(ShardedRuntime::shard_of(9001, source, 4), s);
-  // Same source /24 always lands together (the EIA learning key).
-  EXPECT_EQ(ShardedRuntime::shard_of(9001, *net::IPv4Address::parse("10.1.2.200"), 4), s);
+  const auto s = ShardedRuntime::shard_of(source, 4);
+  EXPECT_EQ(ShardedRuntime::shard_of(source, 4), s);
+  // Same source /24 always lands together, whatever the ingress -- the
+  // grain of every (ingress, /24)-keyed learning structure.
+  EXPECT_EQ(ShardedRuntime::shard_of(*net::IPv4Address::parse("10.1.2.200"), 4), s);
   std::set<std::size_t> seen;
   for (std::uint32_t i = 0; i < 256; ++i) {
-    seen.insert(ShardedRuntime::shard_of(9001, net::IPv4Address{i << 8}, 4));
+    seen.insert(ShardedRuntime::shard_of(net::IPv4Address{i << 8}, 4));
   }
   EXPECT_EQ(seen.size(), 4u);  // hash actually spreads over the shards
 }
@@ -285,6 +288,29 @@ TEST(ShardedRuntime, ShardSweepFullPipelineExactlyMatchesSerial) {
   const auto serial = run_experiment(config);
   // The property is only meaningful if the scan stage actually fires.
   EXPECT_GT(serial.alerts_scan, 0u);
+  for (const int shards : {1, 2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    auto sharded_config = config;
+    sharded_config.runtime_shards = shards;
+    const auto sharded = run_experiment(sharded_config);
+    expect_same_result(serial, sharded);
+  }
+}
+
+// The TTL-fusion extension of the same guarantee: hop-count classification
+// and learning are keyed by the same (ingress, source /24) shard key as the
+// EIA check and run in the worker half; the fused verdict is a pure
+// function of the SuspectFlow, decided on the shared scan stage in global
+// dispatch order. Every shard count must stay bit-identical to serial with
+// TTL detection on.
+TEST(ShardedRuntime, ShardSweepWithTtlDetectionExactlyMatchesSerial) {
+  auto config = runtime_config();
+  config.ttl_scenario = true;
+  config.engine.use_hopcount = true;
+  const auto serial = run_experiment(config);
+  // Meaningful only if the fusion path actually fires (spoofed standard
+  // kinds are EIA miss + TTL miss) and benign TTL learning happened.
+  EXPECT_GT(serial.alerts_fused, 0u);
   for (const int shards : {1, 2, 4, 8}) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     auto sharded_config = config;

@@ -146,7 +146,7 @@ TEST_P(AttackGenerators, ProducesLabeledFlowsWithVictimsInSpace) {
   EXPECT_GT(trace.attack_flow_count(), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllTwelve, AttackGenerators,
+INSTANTIATE_TEST_SUITE_P(AllKinds, AttackGenerators,
                          ::testing::Range(0, kAttackKindCount));
 
 TEST(Attacks, SlammerIsSingle404ByteUdpTo1434) {
@@ -273,7 +273,9 @@ TEST(Attacks, AttackSetContainsAllKinds) {
   for (const auto& f : trace.flows) {
     if (f.attack) kinds.insert(static_cast<int>(f.attack_kind));
   }
-  EXPECT_EQ(kinds.size(), static_cast<std::size_t>(kAttackKindCount));
+  // The standard set is the paper's twelve; the TTL-aware kinds are
+  // launched separately by TTL-scenario experiments.
+  EXPECT_EQ(kinds.size(), static_cast<std::size_t>(kStandardAttackKindCount));
 }
 
 TEST(Attacks, EveryKindHasAName) {

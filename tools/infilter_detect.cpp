@@ -12,6 +12,9 @@
 //                   [--mode basic|enhanced] [--ascii] [--idmef]
 //                   [--bits 144]          # unary bits/feature (d = 5*bits)
 //                   [--buffer 200] [--learn 5]
+//                   [--ttl-detect]        # fuse the TTL hop-count detector
+//                                         # with the EIA check (src/hopcount)
+//                   [--ttl-tolerance 2]   # hop-count window slack
 //                   [--threads N]         # 0 (default) = serial engine;
 //                                         # N >= 1 = sharded runtime
 //                   [--ingest-threads N]  # N >= 1 replays the capture over
@@ -77,7 +80,7 @@ util::Result<std::vector<flowtools::CapturedFlow>> load_flows(const std::string&
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto parsed = util::Args::parse(argc, argv, {"ascii", "idmef"});
+  const auto parsed = util::Args::parse(argc, argv, {"ascii", "idmef", "ttl-detect"});
   if (!parsed) return fail(parsed.error().message);
   const auto& args = *parsed;
   if (args.positional().size() != 1) return fail("exactly one capture FILE expected");
@@ -100,6 +103,10 @@ int main(int argc, char** argv) {
   const auto learn = args.checked_int("learn", 5, 1, 1 << 20);
   if (!learn) return fail(learn.error().message);
   config.eia.learn_threshold = static_cast<int>(*learn);
+  config.use_hopcount = args.has("ttl-detect");
+  const auto ttl_tolerance = args.checked_int("ttl-tolerance", 2, 0, 255);
+  if (!ttl_tolerance) return fail(ttl_tolerance.error().message);
+  config.hopcount.tolerance = static_cast<int>(*ttl_tolerance);
   const auto seed = args.checked_int("seed", 1, 0,
                                      std::numeric_limits<std::int64_t>::max());
   if (!seed) return fail(seed.error().message);

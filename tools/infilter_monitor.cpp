@@ -9,6 +9,9 @@
 //   infilter-monitor --train TRAIN_FILE [--ports 9001,...]
 //                    [--eia EIA_FILE] [--mode basic|enhanced]
 //                    [--duration-ms 30000] [--idmef]
+//                    [--ttl-detect]        # fuse the TTL hop-count detector
+//                                          # with the EIA check (src/hopcount)
+//                    [--ttl-tolerance 2]   # hop-count window slack
 //                    [--threads N]         # 0 (default) = inline analysis;
 //                                          # N >= 1 = sharded runtime
 //                    [--queue-depth 4096]
@@ -84,7 +87,7 @@ bool write_metrics(const std::string& path, const obs::RegistrySnapshot& snapsho
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto parsed = util::Args::parse(argc, argv, {"idmef"});
+  const auto parsed = util::Args::parse(argc, argv, {"idmef", "ttl-detect"});
   if (!parsed) return fail(parsed.error().message);
   const auto& args = *parsed;
 
@@ -104,6 +107,10 @@ int main(int argc, char** argv) {
   }
   const auto mode = args.value_or("mode", "enhanced");
   if (mode == "basic") config.engine.mode = core::EngineMode::kBasic;
+  config.engine.use_hopcount = args.has("ttl-detect");
+  const auto ttl_tolerance = args.checked_int("ttl-tolerance", 2, 0, 255);
+  if (!ttl_tolerance) return fail(ttl_tolerance.error().message);
+  config.engine.hopcount.tolerance = static_cast<int>(*ttl_tolerance);
   // Validated numerics: a typo'd or out-of-range value must fail with a
   // message, not wrap into NodeConfig and misbehave there.
   const auto threads = args.checked_int("threads", 0, 0, 4096);
@@ -130,8 +137,10 @@ int main(int argc, char** argv) {
   if (!trace_sample) return fail(trace_sample.error().message);
   obs::TracerConfig trace_config;
   trace_config.sample_every = static_cast<std::uint64_t>(*trace_sample);
-  trace_config.enabled =
-      trace_out.has_value() || args.value("trace-sample").has_value();
+  // Always on: the sampled e2e latency histogram feeds the live status
+  // line (1-in-N records, bounded span rings). The Chrome trace export
+  // itself still only happens with --trace-out.
+  trace_config.enabled = true;
   obs::Tracer tracer(trace_config);
   config.tracer = &tracer;
 
@@ -212,22 +221,24 @@ int main(int argc, char** argv) {
       // flows/suspects/attacks agree with each other (serial: no-op).
       (*node)->flush();
       const auto snapshot = (*node)->metrics();
+      std::printf("status: %llu flows, %llu suspects, %llu attacks",
+                  static_cast<unsigned long long>(stats.flows_processed),
+                  static_cast<unsigned long long>(stats.suspects),
+                  static_cast<unsigned long long>(stats.attacks_flagged));
       const auto* latency = snapshot.histogram("infilter_process_latency_us");
       if (latency != nullptr && latency->count > 0) {
-        std::printf(
-            "status: %llu flows, %llu suspects, %llu attacks | "
-            "process p50 %.2fus p95 %.2fus p99 %.2fus\n",
-            static_cast<unsigned long long>(stats.flows_processed),
-            static_cast<unsigned long long>(stats.suspects),
-            static_cast<unsigned long long>(stats.attacks_flagged),
-            latency->quantile(0.50), latency->quantile(0.95),
-            latency->quantile(0.99));
-      } else {
-        std::printf("status: %llu flows, %llu suspects, %llu attacks\n",
-                    static_cast<unsigned long long>(stats.flows_processed),
-                    static_cast<unsigned long long>(stats.suspects),
-                    static_cast<unsigned long long>(stats.attacks_flagged));
+        std::printf(" | process p50 %.2fus p95 %.2fus p99 %.2fus",
+                    latency->quantile(0.50), latency->quantile(0.95),
+                    latency->quantile(0.99));
       }
+      // End-to-end (receive -> final verdict) from the always-on sampled
+      // journey histogram -- the live view of what --trace-out exports.
+      const auto* e2e = snapshot.histogram("infilter_e2e_latency_us");
+      if (e2e != nullptr && e2e->count > 0) {
+        std::printf(" | e2e p50 %.2fus p99 %.2fus", e2e->quantile(0.50),
+                    e2e->quantile(0.99));
+      }
+      std::printf("\n");
       last_processed = stats.flows_processed;
     }
   }
