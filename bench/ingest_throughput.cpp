@@ -4,14 +4,16 @@
 // The serial baseline is flowtools::LiveCollector the way app/node drives
 // it without --ingest-threads: one thread interleaving socket polling,
 // NetFlow v5 decode, and engine processing. The threaded runs put
-// receiver thread(s) + a decode thread + a ShardedRuntime on the same
-// stream and report records/sec plus the pipeline's loss accounting
-// (kernel drops, shed datagrams, sequence gaps). On a single-core host
-// the speedup mostly measures handoff overhead -- hardware_threads is in
-// the JSON so readers can judge -- but the correctness cross-checks
-// (identical attack-verdict counts, zero steady-state heap allocations in
-// the receive/decode hot path) hold at any core count and fail the run
-// when violated.
+// receiver thread(s) -- each decoding inline and dispatching directly
+// into the ShardedRuntime as its own producer (no decode-thread hop) --
+// on the same stream and report records/sec plus the pipeline's loss
+// accounting (kernel drops, shed datagrams, sequence gaps). On a
+// single-core host the speedup mostly measures handoff overhead --
+// hardware_threads is in the JSON so readers can judge -- but the
+// correctness cross-checks (identical attack-verdict counts at one and
+// several receivers, zero steady-state heap allocations in the
+// receive/decode hot path, no queue_ingest spans left in the trace)
+// hold at any core count and fail the run when violated.
 //
 // Usage:
 //   ingest_throughput [--smoke]           # small preset, used by ctest
@@ -152,6 +154,9 @@ struct Measurement {
   double records_per_sec = 0;
   std::uint64_t attacks = 0;
   ingest::IngestStats ingest;  ///< zero-initialized for the serial run
+  int producers = 0;           ///< runtime producer slots (= receiver threads)
+  std::uint64_t shard_peak_min = 0;  ///< min/max over shards of peak ring
+  std::uint64_t shard_peak_max = 0;  ///< occupancy during the run
 };
 
 /// The serial baseline: LiveCollector + one engine on one thread, the
@@ -202,13 +207,16 @@ Measurement run_serial(const Workload& w) {
   return m;
 }
 
-/// Sends the whole stream into a live pipeline, pacing against its
-/// received count so tiny test arenas never push loss into the kernel.
+/// Sends the whole stream into a live pipeline, round-robining datagrams
+/// over the bound ports (so every receiver thread sees traffic) and
+/// pacing against the received count so tiny test arenas never push loss
+/// into the kernel.
 void send_paced(flowtools::UdpSender& sender, const ingest::IngestPipeline& pipeline,
-                std::uint16_t port, const Workload& w, std::uint64_t base) {
+                const std::vector<std::uint16_t>& ports, const Workload& w,
+                std::uint64_t base) {
   std::uint64_t sent = 0;
   for (const auto& datagram : w.datagrams) {
-    (void)sender.send(port, datagram);
+    (void)sender.send(ports[sent % ports.size()], datagram);
     ++sent;
     while (pipeline.stats().datagrams_received + 256 < base + sent) {
       std::this_thread::sleep_for(50us);
@@ -219,7 +227,8 @@ void send_paced(flowtools::UdpSender& sender, const ingest::IngestPipeline& pipe
   }
 }
 
-/// Receiver thread(s) + decode thread + sharded runtime on the same bytes.
+/// Receiver thread(s) dispatching directly into a sharded runtime on the
+/// same bytes (receiver i is runtime producer i; no decode thread).
 /// `tracer` (optional) attaches the flight recorder to every stage -- the
 /// overhead runs pass it disabled, the journey run enabled. `repeats`
 /// replays the datagram stream that many times inside the measured window,
@@ -230,6 +239,7 @@ Measurement run_threaded(const Workload& w, int receivers, int shards,
                          obs::Tracer* tracer = nullptr, int repeats = 1) {
   runtime::RuntimeConfig runtime_config;
   runtime_config.shards = shards;
+  runtime_config.producers = std::max(1, receivers);
   runtime_config.engine = engine_config();
   runtime_config.tracer = tracer;
   std::atomic<std::uint64_t> attacks{0};
@@ -254,12 +264,12 @@ Measurement run_threaded(const Workload& w, int receivers, int shards,
     std::exit(1);
   }
   auto sender = flowtools::UdpSender::create();
-  const auto port = (*pipeline)->ports()[0];
+  const auto bound = (*pipeline)->ports();
 
   Measurement m;
   const auto start = Clock::now();
   for (int r = 0; r < repeats; ++r) {
-    send_paced(*sender, **pipeline, port, w, r * w.datagrams.size());
+    send_paced(*sender, **pipeline, bound, w, r * w.datagrams.size());
   }
   (*pipeline)->quiesce([&] { rt.flush(); });
   m.seconds = std::chrono::duration<double>(Clock::now() - start).count();
@@ -267,14 +277,21 @@ Measurement run_threaded(const Workload& w, int receivers, int shards,
       m.seconds > 0 ? static_cast<double>(w.flows * repeats) / m.seconds : 0;
   m.attacks = attacks.load(std::memory_order_relaxed);
   m.ingest = (*pipeline)->stats();
+  m.producers = static_cast<int>(rt.producer_count());
+  const auto peaks = rt.shard_queue_peaks();
+  if (!peaks.empty()) {
+    m.shard_peak_min = *std::min_element(peaks.begin(), peaks.end());
+    m.shard_peak_max = *std::max_element(peaks.begin(), peaks.end());
+  }
   (*pipeline)->stop();
   rt.shutdown();
   return m;
 }
 
 /// The allocation probe: a pipeline with a null dispatcher isolates the
-/// receive -> ring -> decode path. Pass 1 warms the thread-local working
-/// sets; pass 2 over the same stream must not touch the heap at all.
+/// receive -> decode -> dispatch path. Pass 1 warms the thread-local
+/// working sets; pass 2 over the same stream must not touch the heap at
+/// all.
 /// The flight recorder rides along *enabled* at sample_every=1 -- its ring
 /// memory is allocated at lane registration (warm time), so even the
 /// maximally-traced steady state must stay off the heap.
@@ -288,19 +305,20 @@ std::uint64_t probe_steady_allocs(const Workload& w) {
   config.ingress_ids = {kIngress};
   config.tracer = &tracer;
   auto pipeline = ingest::IngestPipeline::create(
-      config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
+      config,
+      [](std::span<const runtime::FlowItem> items, int) { return items.size(); });
   if (!pipeline) {
     std::fprintf(stderr, "probe pipeline: %s\n", pipeline.error().message.c_str());
     std::exit(1);
   }
   auto sender = flowtools::UdpSender::create();
-  const auto port = (*pipeline)->ports()[0];
+  const auto bound = (*pipeline)->ports();
 
-  send_paced(*sender, **pipeline, port, w, 0);  // warm pass
+  send_paced(*sender, **pipeline, bound, w, 0);  // warm pass
   (*pipeline)->drain();
 
   const auto before = g_heap_allocs.load(std::memory_order_relaxed);
-  send_paced(*sender, **pipeline, port, w, w.datagrams.size());
+  send_paced(*sender, **pipeline, bound, w, w.datagrams.size());
   (*pipeline)->drain();
   const auto allocs = g_heap_allocs.load(std::memory_order_relaxed) - before;
   (*pipeline)->stop();
@@ -314,6 +332,16 @@ std::string ingest_json(const ingest::IngestStats& s) {
   out += ", \"records_shed\": " + std::to_string(s.records_shed);
   out += ", \"sequence_gaps\": " + std::to_string(s.sequence_gaps);
   out += ", \"socket_errors\": " + std::to_string(s.socket_errors);
+  out += ", \"pinned_threads\": " + std::to_string(s.pinned_threads);
+  return out;
+}
+
+/// Per-run shard/producer occupancy fields shared by the threaded runs.
+std::string occupancy_json(const Measurement& m) {
+  std::string out;
+  out += "\"producers\": " + std::to_string(m.producers);
+  out += ", \"shard_queue_peak_min\": " + std::to_string(m.shard_peak_min);
+  out += ", \"shard_queue_peak_max\": " + std::to_string(m.shard_peak_max);
   return out;
 }
 
@@ -345,13 +373,26 @@ int main(int argc, char** argv) {
 
   const auto threaded = run_threaded(workload, receivers, shards);
   std::printf(
-      "threaded_ingest (%d recv + decode -> %d shards): %.0f records/sec "
+      "threaded_ingest (%d receiver(s) direct -> %d shards): %.0f records/sec "
       "(%.2fx serial, %llu attack verdicts, %llu kernel drops)\n",
       receivers, shards, threaded.records_per_sec,
       serial.records_per_sec > 0 ? threaded.records_per_sec / serial.records_per_sec
                                  : 0.0,
       static_cast<unsigned long long>(threaded.attacks),
       static_cast<unsigned long long>(threaded.ingest.kernel_drops));
+
+  // Multi-producer run: several receivers dispatching concurrently into
+  // the same shard rings. The verdict cross-check below pins the
+  // multi-producer merge to the serial answer.
+  const int receivers_mp = std::max(2, receivers);
+  const auto threaded_mp = run_threaded(workload, receivers_mp, shards);
+  std::printf(
+      "threaded_ingest_multi (%d receivers direct -> %d shards): %.0f "
+      "records/sec (%llu attack verdicts, shard peaks %llu..%llu)\n",
+      receivers_mp, shards, threaded_mp.records_per_sec,
+      static_cast<unsigned long long>(threaded_mp.attacks),
+      static_cast<unsigned long long>(threaded_mp.shard_peak_min),
+      static_cast<unsigned long long>(threaded_mp.shard_peak_max));
 
   // Gate: tracing compiled in and attached but *disabled* must cost at most
   // 2% throughput against the untraced pipeline (the disabled hot path is
@@ -400,9 +441,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(tracer.events_emitted()),
       static_cast<unsigned long long>(tracer.events_dropped()));
   const auto trace_path = args.value_or("trace-out", "BENCH_ingest_trace.json");
+  const auto trace_json = tracer.chrome_trace_json();
   {
     std::ofstream trace_file(trace_path, std::ios::trunc);
-    trace_file << tracer.chrome_trace_json();
+    trace_file << trace_json;
     if (!trace_file) {
       std::fprintf(stderr, "ingest_throughput: cannot write %s\n", trace_path.c_str());
       return 1;
@@ -433,7 +475,14 @@ int main(int argc, char** argv) {
                                 ? threaded.records_per_sec / serial.records_per_sec
                                 : 0.0) +
          ", \"attack_verdicts\": " + std::to_string(threaded.attacks) + ", " +
-         ingest_json(threaded.ingest) + "},\n";
+         occupancy_json(threaded) + ", " + ingest_json(threaded.ingest) + "},\n";
+  doc += "    {\"mode\": \"threaded_ingest_multi_receiver\", \"receiver_threads\": " +
+         std::to_string(receivers_mp) + ", \"shards\": " + std::to_string(shards) +
+         ", \"seconds\": " + obs::format_number(threaded_mp.seconds) +
+         ", \"records_per_sec\": " + obs::format_number(threaded_mp.records_per_sec) +
+         ", \"attack_verdicts\": " + std::to_string(threaded_mp.attacks) + ", " +
+         occupancy_json(threaded_mp) + ", " + ingest_json(threaded_mp.ingest) +
+         "},\n";
   doc += "    {\"mode\": \"threaded_ingest_tracer_disabled\", \"seconds\": " +
          obs::format_number(traced_off.seconds) +
          ", \"records_per_sec\": " + obs::format_number(best_disabled) +
@@ -476,6 +525,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: attack verdicts diverged (serial %llu, threaded %llu)\n",
                  static_cast<unsigned long long>(serial.attacks),
                  static_cast<unsigned long long>(threaded.attacks));
+    return 1;
+  }
+  if (threaded_mp.ingest.records_dispatched != workload.flows ||
+      threaded_mp.attacks != serial.attacks) {
+    std::fprintf(stderr,
+                 "FAIL: multi-receiver run diverged (%llu of %zu records, "
+                 "serial %llu vs multi %llu attack verdicts)\n",
+                 static_cast<unsigned long long>(
+                     threaded_mp.ingest.records_dispatched),
+                 workload.flows, static_cast<unsigned long long>(serial.attacks),
+                 static_cast<unsigned long long>(threaded_mp.attacks));
+    return 1;
+  }
+  // Receiver-direct dispatch removed the receiver -> decode-thread hop;
+  // nothing in the pipeline may emit a queue_ingest span anymore.
+  if (trace_json.find("\"queue_ingest\"") != std::string::npos) {
+    std::fprintf(stderr, "FAIL: exported trace still contains queue_ingest spans\n");
     return 1;
   }
   if (!INFILTER_BENCH_SANITIZED && steady_allocs != 0) {

@@ -17,6 +17,15 @@
 //   throughput [--smoke]            # small preset, used by the ctest entry
 //              [--flows 5000]       # normal flows per testbed source
 //              [--threads 1,2,4]    # shard counts to sweep
+//              [--producers 2]      # concurrent submitters in the
+//                                   # multi-producer run (equivalence-gated
+//                                   # against a serial replay in the
+//                                   # realized merge order)
+//              [--source-dist uniform|zipf]  # zipf skews source /24
+//                                   # popularity (shard imbalance becomes
+//                                   # reproducible; see src/traffic/sources.h)
+//              [--zipf-s 1.26] [--churn 0]   # zipf exponent / draws per
+//                                   # hot-set rotation
 //              [--queue-depth 4096]
 //              [--out BENCH_throughput.json]
 
@@ -26,15 +35,19 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <map>
+#include <numeric>
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "dagflow/allocation.h"
 #include "obs/export.h"
 #include "runtime/runtime.h"
 #include "sim/testbed.h"
+#include "traffic/sources.h"
 #include "util/args.h"
 
 using namespace infilter;
@@ -44,12 +57,15 @@ namespace {
 struct Measurement {
   int shards = 0;       ///< 0 = serial engine
   bool batched = false; ///< serial process_batch() instead of process()
+  int producers = 0;    ///< concurrent submitters (sharded runs)
   double seconds = 0;
   double records_per_sec = 0;
   std::uint64_t attacks = 0;  ///< attack verdicts, a cross-check vs serial
   std::uint64_t dropped = 0;
   std::uint64_t backpressure_waits = 0;
   std::uint64_t batches = 0;
+  std::uint64_t shard_peak_min = 0;  ///< min/max over shards of peak ring
+  std::uint64_t shard_peak_max = 0;  ///< occupancy during the run
 };
 
 core::EngineConfig engine_config(const sim::ExperimentConfig& config) {
@@ -176,16 +192,126 @@ Measurement run_sharded(const sim::ExperimentConfig& config,
   m.attacks = attacks.load(std::memory_order_relaxed);
 
   const auto stats = rt.stats();
+  m.producers = static_cast<int>(rt.producer_count());
   m.dropped = stats.dropped;
   m.backpressure_waits = stats.backpressure_waits;
   m.batches = stats.batches;
+  const auto peaks = rt.shard_queue_peaks();
+  if (!peaks.empty()) {
+    m.shard_peak_min = *std::min_element(peaks.begin(), peaks.end());
+    m.shard_peak_max = *std::max_element(peaks.begin(), peaks.end());
+  }
+  return m;
+}
+
+/// Multi-producer run: `producers` threads submit disjoint round-robin
+/// slices of the stream concurrently into the same shard rings. The
+/// runtime's claim order (FlowItem::seq) defines the realized total
+/// order; replaying the stream serially in exactly that order must give
+/// element-wise identical attack verdicts -- the multi-producer merge
+/// adds interleaving freedom but no verdict drift.
+Measurement run_sharded_mp(const sim::ExperimentConfig& config,
+                           const sim::TestbedStream& stream, int shards,
+                           int producers, std::size_t queue_depth,
+                           std::shared_ptr<const core::TrainedClusters> clusters,
+                           bool* equivalent) {
+  runtime::RuntimeConfig runtime_config;
+  runtime_config.shards = shards;
+  runtime_config.producers = producers;
+  runtime_config.queue_depth = queue_depth;
+  runtime_config.engine = engine_config(config);
+  const std::size_t n = stream.flows.size();
+  // Indexed by tag (= stream index); each tag is written by exactly one
+  // verdict-hook call, so plain vectors are race-free.
+  std::vector<std::uint64_t> seq_of(n, 0);
+  std::vector<std::uint8_t> attack_of(n, 0);
+  runtime::ShardedRuntime rt(
+      runtime_config, nullptr,
+      [&](const runtime::FlowItem& item, const core::Verdict& verdict) {
+        seq_of[item.tag] = item.seq;
+        attack_of[item.tag] = verdict.attack ? 1 : 0;
+      });
+  preload_eia(config, [&](core::IngressId ingress, const net::Prefix& prefix) {
+    rt.add_expected(ingress, prefix);
+  });
+  rt.set_clusters(clusters);
+
+  Measurement m;
+  m.shards = shards;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(static_cast<std::size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      submitters.emplace_back([&, p] {
+        constexpr std::size_t kDispatchBatch = 512;
+        std::vector<runtime::FlowItem> batch;
+        batch.reserve(kDispatchBatch);
+        for (std::size_t i = static_cast<std::size_t>(p); i < n;
+             i += static_cast<std::size_t>(producers)) {
+          const auto& flow = stream.flows[i];
+          batch.push_back(runtime::FlowItem{
+              flow.record, flow.arrival_port,
+              static_cast<util::TimeMs>(flow.record.last), i});
+          if (batch.size() == kDispatchBatch) {
+            rt.submit_batch(batch, p);
+            batch.clear();
+          }
+        }
+        if (!batch.empty()) rt.submit_batch(batch, p);
+      });
+    }
+    for (auto& t : submitters) t.join();
+  }
+  rt.flush();
+  m.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  m.records_per_sec = m.seconds > 0 ? static_cast<double>(n) / m.seconds : 0;
+  for (const auto a : attack_of) m.attacks += a;
+
+  const auto stats = rt.stats();
+  m.producers = static_cast<int>(rt.producer_count());
+  m.dropped = stats.dropped;
+  m.backpressure_waits = stats.backpressure_waits;
+  m.batches = stats.batches;
+  const auto peaks = rt.shard_queue_peaks();
+  if (!peaks.empty()) {
+    m.shard_peak_min = *std::min_element(peaks.begin(), peaks.end());
+    m.shard_peak_max = *std::max_element(peaks.begin(), peaks.end());
+  }
+
+  // Equivalence gate: serial replay in realized claim order.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return seq_of[a] < seq_of[b]; });
+  core::InFilterEngine replay(engine_config(config));
+  preload_eia(config, [&](core::IngressId ingress, const net::Prefix& prefix) {
+    replay.add_expected(ingress, prefix);
+  });
+  replay.set_clusters(std::move(clusters));
+  bool identical = true;
+  for (const auto i : order) {
+    const auto& flow = stream.flows[i];
+    const auto verdict =
+        replay.process(flow.record, flow.arrival_port, flow.record.last);
+    if ((verdict.attack ? 1 : 0) != attack_of[i]) {
+      identical = false;
+      break;
+    }
+  }
+  if (equivalent != nullptr) *equivalent = identical;
   return m;
 }
 
 std::string to_json(const Measurement& m, double serial_rps) {
   std::string out = "    {";
   if (m.shards > 0) {
-    out += "\"mode\": \"sharded\", \"shards\": " + std::to_string(m.shards);
+    out += m.producers > 1 ? "\"mode\": \"sharded_multi_producer\""
+                           : "\"mode\": \"sharded\"";
+    out += ", \"shards\": " + std::to_string(m.shards);
+    out += ", \"producers\": " + std::to_string(m.producers);
   } else {
     out += m.batched ? "\"mode\": \"serial_batch\"" : "\"mode\": \"serial\"";
   }
@@ -202,10 +328,48 @@ std::string to_json(const Measurement& m, double serial_rps) {
     out += ", \"worker_batches\": " +
            obs::format_number(static_cast<double>(m.batches));
   }
+  if (m.shards > 0) {
+    out += ", \"shard_queue_peak_min\": " + std::to_string(m.shard_peak_min);
+    out += ", \"shard_queue_peak_max\": " + std::to_string(m.shard_peak_max);
+  }
   out += ", \"attack_verdicts\": " +
          obs::format_number(static_cast<double>(m.attacks));
   out += "}";
   return out;
+}
+
+/// Rewrites each flow's source /24 by Zipf(s)-ranked popularity over the
+/// distinct /24s its ingress already uses, keeping the host byte. Sources
+/// stay inside the same expected EIA blocks -- only how often each /24
+/// appears changes -- so shard imbalance (shard_of keys on the source
+/// /24) becomes reproducible without moving traffic between EIA sets.
+void apply_source_skew(sim::TestbedStream& stream, double zipf_s,
+                       std::size_t churn_every, std::uint64_t seed) {
+  std::map<std::uint16_t, std::vector<std::uint32_t>> slash24s_by_port;
+  {
+    std::map<std::uint16_t, std::unordered_set<std::uint32_t>> seen;
+    for (const auto& flow : stream.flows) {
+      const auto slash24 = flow.record.src_ip.value() & 0xFFFFFF00u;
+      if (seen[flow.arrival_port].insert(slash24).second) {
+        slash24s_by_port[flow.arrival_port].push_back(slash24);
+      }
+    }
+  }
+  std::map<std::uint16_t, traffic::ZipfSourceModel> models;
+  for (const auto& [port, list] : slash24s_by_port) {
+    models.emplace(port,
+                   traffic::ZipfSourceModel(
+                       list.size(),
+                       traffic::SourceSkewConfig{zipf_s, churn_every},
+                       seed ^ port));
+  }
+  util::Rng rng{seed};
+  for (auto& flow : stream.flows) {
+    const auto& list = slash24s_by_port[flow.arrival_port];
+    const auto index = models.at(flow.arrival_port).draw(rng);
+    flow.record.src_ip =
+        net::IPv4Address{list[index] | (flow.record.src_ip.value() & 0xFFu)};
+  }
 }
 
 std::vector<int> parse_thread_counts(const std::string& spec) {
@@ -246,10 +410,24 @@ int main(int argc, char** argv) {
       parse_thread_counts(args.value_or("threads", smoke ? "1,2" : "1,2,4"));
   const auto queue_depth =
       static_cast<std::size_t>(args.int_or("queue-depth", 4096));
+  const int producers =
+      std::max(1, static_cast<int>(args.int_or("producers", 2)));
+  const auto source_dist = args.value_or("source-dist", "uniform");
+  if (source_dist != "uniform" && source_dist != "zipf") {
+    std::fprintf(stderr, "throughput: --source-dist must be uniform or zipf\n");
+    return 1;
+  }
+  const double zipf_s = std::atof(args.value_or("zipf-s", "1.26").c_str());
+  const auto churn = static_cast<std::size_t>(args.int_or("churn", 0));
 
   std::printf("generating testbed stream (%zu flows/source)...\n",
               config.normal_flows_per_source);
-  const auto stream = sim::generate_stream(config);
+  auto stream = sim::generate_stream(config);
+  if (source_dist == "zipf") {
+    apply_source_skew(stream, zipf_s, churn, config.seed);
+    std::printf("source skew: zipf(s=%.2f), churn every %zu draws\n", zipf_s,
+                churn);
+  }
   const auto clusters = sim::train_clusters(config);
   std::printf("replaying %zu records\n", stream.flows.size());
 
@@ -277,16 +455,37 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.attacks));
   }
 
+  // Multi-producer run at the widest shard count, gated on element-wise
+  // equivalence with a serial replay in the realized claim order.
+  const int mp_shards = thread_counts.empty() ? 2 : thread_counts.back();
+  bool mp_equivalent = false;
+  const auto mp = run_sharded_mp(config, stream, mp_shards, producers,
+                                 queue_depth, clusters, &mp_equivalent);
+  std::printf(
+      "sharded x%d / %d producers: %.0f records/sec (%llu attack verdicts, "
+      "shard peaks %llu..%llu, replay-equivalent: %s)\n",
+      mp.shards, mp.producers, mp.records_per_sec,
+      static_cast<unsigned long long>(mp.attacks),
+      static_cast<unsigned long long>(mp.shard_peak_min),
+      static_cast<unsigned long long>(mp.shard_peak_max),
+      mp_equivalent ? "yes" : "NO");
+
   std::string doc = "{\n  \"bench\": \"throughput\",\n";
   doc += "  \"hardware_threads\": " +
          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   doc += "  \"records\": " + std::to_string(stream.flows.size()) + ",\n";
+  doc += "  \"source_dist\": \"" + source_dist + "\",\n";
+  if (source_dist == "zipf") {
+    doc += "  \"zipf_s\": " + obs::format_number(zipf_s) + ",\n";
+    doc += "  \"churn_every\": " + std::to_string(churn) + ",\n";
+  }
   doc += "  \"runs\": [\n";
   doc += to_json(serial, 0);
   doc += ",\n" + to_json(serial_batch, serial.records_per_sec);
   for (const auto& m : sharded) {
     doc += ",\n" + to_json(m, serial.records_per_sec);
   }
+  doc += ",\n" + to_json(mp, serial.records_per_sec);
   doc += "\n  ]\n}\n";
 
   const auto out_path = args.value_or("out", "BENCH_throughput.json");
@@ -297,5 +496,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path.c_str());
+
+  // Correctness gates (perf ratios stay informational on small hosts).
+  if (!mp_equivalent) {
+    std::fprintf(stderr,
+                 "FAIL: multi-producer verdicts diverged from the serial "
+                 "replay in realized claim order\n");
+    return 1;
+  }
+  if (mp.dropped != 0) {
+    std::fprintf(stderr, "FAIL: multi-producer run dropped %llu flows under kBlock\n",
+                 static_cast<unsigned long long>(mp.dropped));
+    return 1;
+  }
   return 0;
 }

@@ -17,7 +17,10 @@ Collation (default mode):
   silently collate around -- a truncated file means a bench crashed
   mid-write. --expect NAME (repeatable; NAME with or without the
   BENCH_/.json decoration) additionally fails the run when that bench
-  document was not found at all.
+  document was not found at all. --expect NAME:key1,key2 further fails
+  when no run in that document carries every listed key -- e.g.
+  `--expect throughput:producers,shard_queue_peak_min,shard_queue_peak_max`
+  gates on the multi-producer occupancy fields being recorded.
 
 Trace validation:
 
@@ -61,19 +64,29 @@ def collate(root, out_path, expected):
             benches[filename[len("BENCH_"):-len(".json")]] = doc
 
     # Normalize --expect names ("ttl_detect", "BENCH_ttl_detect.json", ...)
-    # to the bare bench name used as the benches key.
+    # to the bare bench name used as the benches key. "NAME:key1,key2"
+    # additionally requires a run carrying every listed key.
     missing = []
     for name in expected:
-        bare = os.path.basename(name)
+        spec = name.split(":", 1)
+        bare = os.path.basename(spec[0])
         if bare.startswith("BENCH_"):
             bare = bare[len("BENCH_"):]
         if bare.endswith(".json"):
             bare = bare[:-len(".json")]
         if bare not in benches:
             missing.append(name)
+            continue
+        if len(spec) == 2:
+            keys = [k for k in spec[1].split(",") if k]
+            runs = benches[bare].get("runs", [])
+            if not any(all(k in run for k in keys) for run in runs):
+                print(f"bench_summary: error: no run in bench '{bare}' carries "
+                      f"all of {keys}", file=sys.stderr)
+                missing.append(name)
     for name in missing:
-        print(f"bench_summary: error: expected bench '{name}' not found under "
-              f"{root} (no readable BENCH_*.json for it)", file=sys.stderr)
+        print(f"bench_summary: error: expectation '{name}' not met under "
+              f"{root}", file=sys.stderr)
     if broken or missing:
         return 1
 
@@ -82,7 +95,8 @@ def collate(root, out_path, expected):
         for run in doc.get("runs", []):
             point = {"bench": name, "mode": run.get("mode", "?")}
             for key in ("records_per_sec", "flows_per_sec", "speedup_vs_serial",
-                        "throughput_vs_untraced", "seconds"):
+                        "throughput_vs_untraced", "seconds", "producers",
+                        "shard_queue_peak_min", "shard_queue_peak_max"):
                 if key in run:
                     point[key] = run[key]
             trajectory.append(point)
@@ -153,9 +167,12 @@ def main():
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--dir", default=".", help="directory to scan for BENCH_*.json")
     parser.add_argument("--out", default="BENCH_summary.json")
-    parser.add_argument("--expect", action="append", default=[], metavar="NAME",
+    parser.add_argument("--expect", action="append", default=[],
+                        metavar="NAME[:KEY,...]",
                         help="fail unless this bench document was collated "
-                             "(repeatable; with or without BENCH_/.json)")
+                             "(repeatable; with or without BENCH_/.json); "
+                             "NAME:key1,key2 also requires a run carrying "
+                             "every listed key")
     parser.add_argument("--validate-trace", metavar="TRACE_JSON",
                         help="validate a Chrome trace-event export instead of collating")
     parser.add_argument("--against", metavar="BENCH_JSON",

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Local CI: the tier-1 gate plus sanitizer lanes.
 #
-#   scripts/check.sh            # tier-1: release build + full ctest
-#   scripts/check.sh --asan     # + AddressSanitizer lane (full suite)
-#   scripts/check.sh --tsan     # + ThreadSanitizer lane (runtime tests)
-#   scripts/check.sh --ubsan    # + UndefinedBehaviorSanitizer lane (full suite)
-#   scripts/check.sh --all      # tier-1 + asan + tsan + ubsan
+#   scripts/check.sh             # tier-1: release build + full ctest
+#   scripts/check.sh --asan      # + AddressSanitizer lane (full suite)
+#   scripts/check.sh --tsan      # + ThreadSanitizer lane (runtime tests)
+#   scripts/check.sh --ubsan     # + UndefinedBehaviorSanitizer lane (full suite)
+#   scripts/check.sh --producers # + TSan multi-producer sweep only (the
+#                                #   shard-ring merge, shards x producers
+#                                #   equivalence, flush/snapshot-under-load,
+#                                #   and multi-receiver ingest tests)
+#   scripts/check.sh --all       # tier-1 + asan + tsan + ubsan
 #
 # The TSan lane runs the concurrency tests only (Runtime/Node/Ingest/Trace):
 # the full suite under TSan takes far longer and the single-threaded
-# tests cannot race.
+# tests cannot race. --producers is the focused subset to iterate on when
+# touching the multi-producer dispatch path (a strict subset of --tsan's
+# filter, so --all already covers it).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,13 +23,15 @@ cd "$(dirname "$0")/.."
 run_asan=0
 run_tsan=0
 run_ubsan=0
+run_producers=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --tsan) run_tsan=1 ;;
     --ubsan) run_ubsan=1 ;;
+    --producers) run_producers=1 ;;
     --all) run_asan=1; run_tsan=1; run_ubsan=1 ;;
-    *) echo "usage: scripts/check.sh [--asan] [--tsan] [--ubsan] [--all]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--asan] [--tsan] [--ubsan] [--producers] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -47,6 +55,14 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build --preset tsan -j "$jobs"
   ./build-tsan/tests/infilter_tests \
     --gtest_filter='ShardedRuntime*:SpscRing*:SerializingSink*:Node*:Ingest*:Tracer*:TraceRuntime*:TraceRing*:ThreadLane*'
+fi
+
+if [[ "$run_producers" == 1 ]]; then
+  echo "== lane: ThreadSanitizer multi-producer sweep =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ./build-tsan/tests/infilter_tests \
+    --gtest_filter='ShardedRuntime.MergeKeepsSeqStrictlyMonotonePerShard:ShardedRuntime.MultiProducerSweepReplaysIdenticalAlertStream:ShardedRuntime.SnapshotAndFlushAreSafeWhileProducersSubmit:IngestPipeline.TagsArePartitionedAndMonotonePerReceiver:IngestStress.MultiSocketMultiReceiverWithConcurrentQuiesce'
 fi
 
 if [[ "$run_ubsan" == 1 ]]; then

@@ -35,6 +35,19 @@ InFilterNode::InFilterNode(const NodeConfig& config,
     runtime_config.engine = config.engine;
     runtime_config.registry = registry_ptr_;
     runtime_config.tracer = tracer_;
+    runtime_config.cpu_set = config.affinity;
+    if (config.ingest_threads > 0) {
+      // One producer slot per ingest receiver (receiver i dispatches as
+      // producer i). Receivers take cpu slots 0..R-1 of the affinity
+      // list, so the runtime's workers and scan thread start after them.
+      const auto receivers = std::max<std::size_t>(
+          std::min<std::size_t>(
+              static_cast<std::size_t>(std::max(1, config.ingest_threads)),
+              config.ports.size()),
+          1);
+      runtime_config.producers = static_cast<int>(receivers);
+      runtime_config.cpu_slot_offset = receivers;
+    }
     runtime_ = std::make_unique<runtime::ShardedRuntime>(
         std::move(runtime_config), &traceback_,
         [this](const runtime::FlowItem&, const core::Verdict& verdict) {
@@ -77,7 +90,7 @@ InFilterNode::InFilterNode(const NodeConfig& config,
 }
 
 InFilterNode::~InFilterNode() {
-  // The decode thread dispatches into runtime_, which member order would
+  // The receiver threads dispatch into runtime_, which member order would
   // otherwise destroy first; stop the pipeline before anything else dies.
   if (ingest_) ingest_->stop();
   if (poll_lane_ != nullptr) poll_lane_->retire();
@@ -100,6 +113,7 @@ util::Result<std::unique_ptr<InFilterNode>> InFilterNode::create(
     ingest_config.overload = adjusted.overload;
     ingest_config.registry = node->registry_ptr_;
     ingest_config.tracer = adjusted.tracer;
+    ingest_config.cpu_set = adjusted.affinity;  // receivers take slots 0..R-1
     auto pipeline = ingest::IngestPipeline::create(std::move(ingest_config),
                                                    *node->runtime_);
     if (!pipeline) return pipeline.error();
@@ -118,9 +132,9 @@ util::Result<std::unique_ptr<InFilterNode>> InFilterNode::create(
 
 void InFilterNode::add_expected(core::IngressId ingress, const net::Prefix& prefix) {
   if (ingest_) {
-    // Training fan-out is a single-dispatcher operation and the decode
-    // thread owns the dispatcher role: park it for the duration in case
-    // traffic is already arriving.
+    // The runtime's training calls are gate-exclusive and safe under live
+    // producers; quiescing the receivers on top keeps the whole pipeline
+    // empty while the tables change, in case traffic is already arriving.
     ingest_->quiesce([&] { runtime_->add_expected(ingress, prefix); });
   } else if (runtime_) {
     runtime_->add_expected(ingress, prefix);
@@ -207,10 +221,9 @@ util::Result<std::size_t> InFilterNode::poll_once(int timeout_ms) {
 void InFilterNode::flush() {
   if (!runtime_) return;
   if (ingest_) {
-    // Two-phase: the pipeline decodes and dispatches everything the
-    // receivers accepted (and stays parked), then the runtime drains --
-    // the decode thread is the runtime's single dispatcher, so its own
-    // flush must run inside the quiet window.
+    // Two-phase: park the receivers with everything they accepted already
+    // dispatched, then flush the runtime inside the quiet window so no
+    // new submits race the drain accounting.
     ingest_->quiesce([&] { runtime_->flush(); });
     refresh_ingest_stats();
   } else {
@@ -235,8 +248,9 @@ void InFilterNode::refresh_ingest_stats() {
 
 obs::RegistrySnapshot InFilterNode::metrics() const {
   if (ingest_) {
-    // runtime_->snapshot() is a single-dispatcher operation; take it (and
-    // the pipeline's private gauges) inside the pipeline's quiet window.
+    // runtime_->snapshot() is safe under live producers, but taking it
+    // (and the pipeline's private gauges) inside the pipeline's quiet
+    // window gives one coherent, nothing-in-flight view.
     obs::RegistrySnapshot merged;
     ingest_->quiesce([&] {
       std::vector<obs::RegistrySnapshot> parts{runtime_->snapshot(),

@@ -46,13 +46,23 @@ struct NodeConfig {
   // -- Threaded live ingest (src/ingest) --
   /// 0 receives with the classic single-thread LiveCollector on the poll
   /// loop; N >= 1 replaces it with an IngestPipeline: N receiver threads
-  /// recvmmsg-ing into pooled buffers plus a decode thread that feeds the
-  /// runtime. Implies runtime mode (threads is clamped to >= 1).
-  /// poll_once() then only reports progress -- reception never waits for
-  /// the poll loop.
+  /// recvmmsg-ing into pooled buffers, decoding inline, and dispatching
+  /// directly into the runtime -- receiver i is runtime producer i, no
+  /// intermediate decode/dispatcher thread. Implies runtime mode (threads
+  /// is clamped to >= 1). poll_once() then only reports progress --
+  /// reception never waits for the poll loop.
   int ingest_threads = 0;
-  /// What an ingest receiver does when the decode stage falls behind.
+  /// Retained for compatibility; receiver-direct ingest has no internal
+  /// queue for the policy to govern (see ingest::OverloadPolicy).
   ingest::OverloadPolicy overload = ingest::OverloadPolicy::kBlock;
+
+  // -- CPU placement (src/runtime/affinity.h) --
+  /// Cpu ids for the pipeline's threads (--cpu-set): ingest receivers
+  /// take the first slots, runtime shard workers the next, then the scan
+  /// thread; assignment is round-robin over the list. Empty = unpinned.
+  /// Pinning is a hint -- failures are counted in the affinity metrics,
+  /// never fatal, so the same config runs on a 1-CPU host.
+  std::vector<int> affinity;
 
   // -- Flight recorder (src/obs/trace.h) --
   /// Not owned; null = no tracing. Shared by the ingest pipeline, the
@@ -84,8 +94,8 @@ class InFilterNode {
   static util::Result<std::unique_ptr<InFilterNode>> create(
       const NodeConfig& config, alert::AlertSink* alert_consumer = nullptr);
 
-  /// Stops the ingest pipeline before the runtime dies (the decode thread
-  /// dispatches into it) and retires the node's trace lane.
+  /// Stops the ingest pipeline before the runtime dies (the receiver
+  /// threads dispatch into it) and retires the node's trace lane.
   ~InFilterNode();
 
   /// Training-phase helpers (Figure 11). Fan out to every shard when the

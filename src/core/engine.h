@@ -150,7 +150,9 @@ class InFilterEngine {
   // same engine. The split exists so the runtime can run the EIA stage on
   // per-shard engines (state keyed by the shard hash) while one shared
   // engine runs the destination-keyed stages for every shard's suspects in
-  // global dispatch order. The two halves divide the per-flow metrics
+  // the one total dispatch order the runtime's sequence tags define --
+  // with one producer that is submission order; with several it is the
+  // realized claim order (runtime/runtime.h). The two halves divide the per-flow metrics
   // between them: pre_process owns flows_total, the EIA stage counters and
   // the legal-flow verdict/latency metrics; finish_suspect owns the
   // scan/NNS stage counters, the suspect verdict/latency metrics and alert

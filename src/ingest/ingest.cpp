@@ -18,16 +18,18 @@
 #include <numeric>
 #include <utility>
 
+#include "runtime/affinity.h"
+
 namespace infilter::ingest {
 namespace {
 
-/// How long a receiver sleeps while waiting for the decode stage to
-/// return buffers, and how long the decode stage parks when idle. Both
-/// are bounded-staleness knobs, not correctness knobs: every handshake
-/// also has an eager wake path.
+/// How long drain()/quiesce() waiters sleep between progress checks.
 constexpr auto kReceiverWait = std::chrono::microseconds(200);
-constexpr auto kDecodePark = std::chrono::milliseconds(1);
-constexpr int kPollTimeoutMs = 10;
+/// Receiver poll timeout. Doubles as the idle-beacon cadence: a receiver
+/// with no traffic publishes producer_idle() at most this late, which
+/// bounds how long its silent producer slot can hold back the other
+/// receivers' flows in the runtime's tag-order merge.
+constexpr int kPollTimeoutMs = 1;
 
 util::Error errno_error(const char* what) {
   return util::Error{std::string(what) + ": " + std::strerror(errno)};
@@ -35,16 +37,22 @@ util::Error errno_error(const char* what) {
 
 }  // namespace
 
-IngestPipeline::IngestPipeline(IngestConfig config, DispatchFn dispatch)
-    : config_(std::move(config)), dispatch_(std::move(dispatch)) {
+IngestPipeline::IngestPipeline(IngestConfig config, DispatchFn dispatch,
+                               IdleFn idle)
+    : config_(std::move(config)),
+      dispatch_(std::move(dispatch)),
+      idle_(std::move(idle)) {
   // Normalize the knobs so the threads never have to re-check them.
   if (config_.receiver_threads < 1) config_.receiver_threads = 1;
-  if (config_.arena_slots < 2) config_.arena_slots = 2;
   if (config_.slot_bytes < netflow::kV5HeaderBytes) {
     config_.slot_bytes = netflow::kV5HeaderBytes;
   }
   if (config_.recv_batch < 1) config_.recv_batch = 1;
-  config_.recv_batch = std::min(config_.recv_batch, config_.arena_slots);
+  // Decode is inline, so only one receive batch of slots is ever in
+  // flight; the arena just needs to cover it.
+  if (config_.arena_slots < config_.recv_batch) {
+    config_.arena_slots = config_.recv_batch;
+  }
   if (config_.dispatch_batch < 1) config_.dispatch_batch = 1;
 
   owned_registry_ = std::make_unique<obs::Registry>();
@@ -60,7 +68,7 @@ IngestPipeline::IngestPipeline(IngestConfig config, DispatchFn dispatch)
       "datagrams longer than a buffer slot, dropped before decode");
   dropped_oldest_ = &registry_->counter(
       "infilter_ingest_dropped_oldest_total",
-      "queued datagrams shed under OverloadPolicy::kDropOldest");
+      "always zero since receiver-direct dispatch (kept for compatibility)");
   kernel_drops_ = &registry_->counter(
       "infilter_ingest_kernel_drops_total",
       "datagrams the kernel dropped at the socket queue (SO_RXQ_OVFL)");
@@ -79,34 +87,27 @@ IngestPipeline::IngestPipeline(IngestConfig config, DispatchFn dispatch)
   // `this`-capturing pull gauges never leave the owned registry (see
   // RuntimeConfig::registry for the dangling-callback rationale).
   owned_registry_->gauge_fn(
-      "infilter_ingest_queued",
+      "infilter_ingest_pinned_threads",
       [this] {
-        std::size_t queued = 0;
-        for (const auto& producer : producers_) queued += producer->ring.size();
-        return static_cast<double>(queued);
+        return static_cast<double>(
+            pinned_threads_.load(std::memory_order_relaxed));
       },
-      "datagrams waiting between the receivers and the decode stage");
-  owned_registry_->gauge_fn(
-      "infilter_ingest_free_buffers",
-      [this] {
-        std::size_t free_slots = 0;
-        for (const auto& producer : producers_) {
-          free_slots += producer->free_ring.size();
-        }
-        return static_cast<double>(free_slots);
-      },
-      "arena buffers recycled and waiting for a receiver to reclaim");
+      "receiver threads pinned to a cpu from IngestConfig::cpu_set");
+  owned_registry_->counter_fn(
+      "infilter_ingest_affinity_failures_total",
+      [this] { return affinity_failures_.load(std::memory_order_relaxed); },
+      "receiver pin attempts the kernel refused (placement is a hint)");
 }
 
 util::Result<std::unique_ptr<IngestPipeline>> IngestPipeline::create(
-    IngestConfig config, DispatchFn dispatch) {
+    IngestConfig config, DispatchFn dispatch, IdleFn idle) {
   if (config.ports.empty()) return util::Error{"ingest: no collector ports"};
   if (!config.ingress_ids.empty() &&
       config.ingress_ids.size() != config.ports.size()) {
     return util::Error{"ingest: ingress_ids must be empty or parallel to ports"};
   }
-  auto pipeline =
-      std::unique_ptr<IngestPipeline>(new IngestPipeline(std::move(config), std::move(dispatch)));
+  auto pipeline = std::unique_ptr<IngestPipeline>(new IngestPipeline(
+      std::move(config), std::move(dispatch), std::move(idle)));
   auto& cfg = pipeline->config_;
 
   pipeline->sockets_.reserve(cfg.ports.size());
@@ -138,19 +139,32 @@ util::Result<std::unique_ptr<IngestPipeline>> IngestPipeline::create(
     pipeline->producers_.push_back(std::move(producer));
   }
 
-  pipeline->decode_thread_ = std::thread([raw = pipeline.get()] { raw->decode_main(); });
-  for (auto& producer : pipeline->producers_) {
-    producer->thread =
-        std::thread([raw = pipeline.get(), p = producer.get()] { raw->receiver_main(*p); });
+  for (std::size_t p = 0; p < pipeline->producers_.size(); ++p) {
+    auto* producer = pipeline->producers_[p].get();
+    producer->thread = std::thread(
+        [raw = pipeline.get(), producer, p] { raw->receiver_main(*producer, p); });
   }
   return pipeline;
 }
 
 util::Result<std::unique_ptr<IngestPipeline>> IngestPipeline::create(
     IngestConfig config, runtime::ShardedRuntime& runtime) {
-  return create(std::move(config), [&runtime](std::span<const runtime::FlowItem> items) {
-    return runtime.submit_batch(items);
-  });
+  // Each receiver dispatches as its own producer slot; validate the fit
+  // before any thread spawns with an out-of-range index.
+  const auto receivers = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(config.receiver_threads, 1)),
+      config.ports.size());
+  if (receivers > runtime.producer_count()) {
+    return util::Error{
+        "ingest: runtime has fewer producer slots than receiver threads "
+        "(set RuntimeConfig::producers >= receiver_threads)"};
+  }
+  return create(
+      std::move(config),
+      [&runtime](std::span<const runtime::FlowItem> items, int producer) {
+        return runtime.submit_batch(items, producer);
+      },
+      [&runtime](int producer) { runtime.producer_idle(producer); });
 }
 
 IngestPipeline::~IngestPipeline() { stop(); }
@@ -163,33 +177,12 @@ std::vector<std::uint16_t> IngestPipeline::ports() const {
 }
 
 // ---------------------------------------------------------------------------
-// Receiver side
+// Receiver lane (receive -> decode -> dispatch, run to completion)
 // ---------------------------------------------------------------------------
 
-void IngestPipeline::reclaim_slots(Producer& producer,
-                                   std::vector<std::uint32_t>& free_slots) {
-  std::uint32_t slot = 0;
-  while (producer.free_ring.try_pop(slot)) free_slots.push_back(slot);
-}
-
-bool IngestPipeline::wait_for_slots(Producer& producer,
-                                    std::vector<std::uint32_t>& free_slots) {
-  if (config_.overload == OverloadPolicy::kDropOldest) {
-    // Ask the decode stage to discard the oldest queued datagrams; it
-    // recycles their buffers, which the reclaim loop below picks up.
-    producer.shed_requests.fetch_add(config_.recv_batch, std::memory_order_relaxed);
-  }
-  while (free_slots.empty()) {
-    if (stopping_.load(std::memory_order_acquire)) return false;
-    wake_decode();
-    std::this_thread::sleep_for(kReceiverWait);
-    reclaim_slots(producer, free_slots);
-  }
-  return true;
-}
-
 std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
-                                          std::vector<std::uint32_t>& free_slots) {
+                                          std::vector<std::uint32_t>& free_slots,
+                                          std::vector<DatagramRef>& refs) {
   const std::size_t want = std::min(config_.recv_batch, free_slots.size());
   if (want == 0) return 0;
   // Journey origin: one clock read per receive batch, only while tracing.
@@ -203,9 +196,7 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
   const std::size_t slot_bytes = config_.slot_bytes;
   const auto socket_index =
       static_cast<std::uint16_t>(&socket - sockets_.data());
-  // One-time per-thread working set; steady state allocates nothing.
-  thread_local std::vector<DatagramRef> refs;
-  refs.clear();
+  std::size_t appended = 0;
 
 #ifdef __linux__
   if (want > 1) {
@@ -214,6 +205,7 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
       ::cmsghdr align;
       char bytes[CMSG_SPACE(sizeof(std::uint32_t)) + 32];
     };
+    // One-time per-thread working set; steady state allocates nothing.
     thread_local std::vector<::mmsghdr> msgs;
     thread_local std::vector<::iovec> iovecs;
     thread_local std::vector<ControlBuf> controls;
@@ -277,6 +269,7 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
         continue;
       }
       refs.push_back(DatagramRef{slot, msgs[i].msg_len, socket_index, recv_ns});
+      ++appended;
     }
     free_slots.insert(free_slots.end(), truncated_slots.begin(),
                       truncated_slots.end());
@@ -302,261 +295,198 @@ std::size_t IngestPipeline::receive_batch(Producer& producer, Socket& socket,
     } else {
       refs.push_back(DatagramRef{slot, static_cast<std::uint32_t>(received->bytes),
                                  socket_index, recv_ns});
+      ++appended;
     }
   }
 
-  if (refs.empty()) return 0;
-  // The data ring's capacity is >= arena_slots and each queued descriptor
-  // holds a distinct slot, so a push of owned slots can never fail.
-  [[maybe_unused]] const std::size_t pushed =
-      producer.ring.try_push_batch(std::span<const DatagramRef>(refs));
-  assert(pushed == refs.size());
-  producer.received.fetch_add(pushed, std::memory_order_release);
-  datagrams_->inc(pushed);
-  wake_decode();
-  return pushed;
+  if (appended > 0) {
+    producer.received.fetch_add(appended, std::memory_order_release);
+    datagrams_->inc(appended);
+  }
+  return appended;
 }
 
-void IngestPipeline::receiver_main(Producer& producer) {
-  // The receiver's liveness lane. No queue probe: its input queue is the
-  // kernel socket buffer, which SO_RXQ_OVFL already accounts for; the
-  // kBlocked state (waiting for the decode stage to return buffers) is
-  // the receiver-side stall signal.
-  obs::ThreadLane* lane = nullptr;
-  if (config_.tracer != nullptr) {
-    std::size_t index = 0;
-    while (index < producers_.size() && producers_[index].get() != &producer) {
-      ++index;
+void IngestPipeline::receiver_main(Producer& producer, std::size_t index) {
+  if (!config_.cpu_set.empty()) {
+    if (runtime::pin_current_thread(config_.cpu_set,
+                                    config_.cpu_slot_offset + index)) {
+      pinned_threads_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      affinity_failures_.fetch_add(1, std::memory_order_relaxed);
     }
-    lane = config_.tracer->register_thread("recv-" + std::to_string(index),
-                                           "receiver");
   }
-  // The producer owns every arena slot at birth.
+  // The receiver's liveness lane. No queue probe: its input queue is the
+  // kernel socket buffer, which SO_RXQ_OVFL already accounts for.
+  obs::Tracer* const tracer = config_.tracer;
+  obs::ThreadLane* lane = nullptr;
+  if (tracer != nullptr) {
+    lane = tracer->register_thread("recv-" + std::to_string(index), "receiver");
+  }
+  // The receiver owns every arena slot; decode is inline and copies
+  // records out, so slots recycle within the batch and the pool can never
+  // run dry.
   std::vector<std::uint32_t> free_slots(config_.arena_slots);
   std::iota(free_slots.begin(), free_slots.end(), 0U);
 
   std::vector<pollfd> fds;
   fds.reserve(producer.sockets.size());
-  for (const auto index : producer.sockets) {
-    fds.push_back(pollfd{sockets_[index].receiver.fd(), POLLIN, 0});
+  for (const auto socket_index : producer.sockets) {
+    fds.push_back(pollfd{sockets_[socket_index].receiver.fd(), POLLIN, 0});
   }
 
+  // Per-lane decode state, all thread-private. Sized once; the whole
+  // receive/decode/dispatch path is allocation-free at steady state.
+  std::vector<DatagramRef> refs;
+  refs.reserve(config_.recv_batch);
+  std::vector<netflow::V5Record> records(netflow::kV5MaxRecords);
+  std::vector<runtime::FlowItem> items;
+  items.reserve(config_.dispatch_batch + netflow::kV5MaxRecords);
+  // (engine_id << 16 | ingress) -> next expected flow_sequence, mirroring
+  // FlowCapture's per-stream gap accounting. Receiver-private and still
+  // stream-consistent: a socket maps to one receiver for the pipeline's
+  // life, so every datagram of a stream meets the same state.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sequence_state;
+  // Receiver-local tag sequence, disjoint across receivers via the index
+  // in the top bits. Receiver 0 keeps plain 0..n-1 so single-receiver
+  // callers can join tags against their send order (and trace sampling,
+  // tag % 2^k, behaves identically -- 2^48 is a multiple of any sampling
+  // modulus the tracer uses).
+  std::uint64_t next_tag = index == 0 ? 0 : std::uint64_t{index} << 48;
+
+  // Hand the accumulated FlowItems to the dispatcher as this producer.
+  // Sampled records carry recv_ns with their decode span still open;
+  // close it here ([socket receive, dispatch) on this lane) and advance
+  // hop_ns so the runtime continues the journey at kQueueShard.
+  const auto flush = [&] {
+    if (items.empty()) return;
+    if (lane != nullptr) {
+      std::uint64_t t_dispatch = 0;
+      for (auto& item : items) {
+        if (item.recv_ns == 0) continue;
+        if (t_dispatch == 0) t_dispatch = obs::Tracer::now_ns();
+        lane->emit(obs::SpanKind::kDecode, item.recv_ns,
+                   t_dispatch - item.recv_ns, item.tag);
+        item.hop_ns = t_dispatch;
+      }
+    }
+    const std::size_t accepted =
+        dispatch_ ? dispatch_(std::span<const runtime::FlowItem>(items),
+                              static_cast<int>(index))
+                  : items.size();
+    dispatched_->inc(accepted);
+    shed_->inc(items.size() - accepted);
+    items.clear();
+  };
+
+  // Decode and dispatch one receive batch, then recycle its slots and
+  // publish completion (`handled`): a receiver between batches has, by
+  // construction, dispatched everything it accepted.
+  const auto process_batch = [&] {
+    const bool tracing = lane != nullptr && tracer->enabled();
+    for (const auto& ref : refs) {
+      const std::uint8_t* base =
+          producer.arena.get() + std::size_t{ref.slot} * config_.slot_bytes;
+      netflow::V5Header header;
+      std::size_t count = 0;
+      const auto status = netflow::decode_into(std::span(base, ref.bytes), header,
+                                               std::span(records), count);
+      // Records are copied out below; the slot can go straight back.
+      free_slots.push_back(ref.slot);
+      if (status != netflow::DecodeStatus::kOk) {
+        malformed_->inc();
+        continue;
+      }
+      decoded_->inc();
+      records_->inc(count);
+
+      const auto ingress = sockets_[ref.socket].ingress;
+      const std::uint32_t stream =
+          (std::uint32_t{header.engine_id} << 16) | ingress;
+      auto state = std::find_if(sequence_state.begin(), sequence_state.end(),
+                                [stream](const auto& s) { return s.first == stream; });
+      if (state == sequence_state.end()) {
+        sequence_state.emplace_back(stream, header.flow_sequence);
+        state = std::prev(sequence_state.end());
+      } else {
+        // The sequence space wraps at 2^32: a modular (int32) delta
+        // counts forward gaps across the wrap, while a large backward
+        // jump (exporter restart) rebases without a bogus gap.
+        const auto delta =
+            static_cast<std::int32_t>(header.flow_sequence - state->second);
+        if (delta > 0) sequence_gaps_->inc(static_cast<std::uint64_t>(delta));
+      }
+      state->second = header.flow_sequence + static_cast<std::uint32_t>(count);
+
+      for (std::size_t r = 0; r < count; ++r) {
+        runtime::FlowItem item{records[r], ingress, records[r].last,
+                               next_tag++, 0};
+        if (tracing && ref.recv_ns != 0 && tracer->sampled(item.tag)) {
+          // Journey origin: the datagram's socket-receive stamp. hop_ns
+          // stays at the origin until flush() closes the decode span.
+          item.recv_ns = ref.recv_ns;
+          item.hop_ns = ref.recv_ns;
+        }
+        items.push_back(item);
+      }
+      if (items.size() >= config_.dispatch_batch) flush();
+    }
+    flush();
+    producer.handled.fetch_add(refs.size(), std::memory_order_release);
+    refs.clear();
+  };
+
   while (!stopping_.load(std::memory_order_acquire)) {
-    reclaim_slots(producer, free_slots);
+    if (producer.pause_requested.load(std::memory_order_acquire)) {
+      // quiesce(): we only get here between batches, so everything this
+      // receiver accepted has been dispatched; park until released.
+      if (lane != nullptr) lane->set_state(obs::ThreadState::kBlocked);
+      std::unique_lock lock(pause_mutex_);
+      producer.paused.store(true, std::memory_order_release);
+      pause_cv_.notify_all();
+      pause_cv_.wait(lock, [&] {
+        return !producer.pause_requested.load(std::memory_order_acquire) ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      producer.paused.store(false, std::memory_order_release);
+      continue;
+    }
+
     int ready;
     do {
       if (lane != nullptr) lane->set_state(obs::ThreadState::kIdle);
       ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
     } while (ready < 0 && errno == EINTR);
-    if (ready <= 0) continue;  // timeout or transient poll failure
-    if (lane != nullptr) lane->set_state(obs::ThreadState::kBusy);
-
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      const auto revents = fds[i].revents;
-      if ((revents & POLLNVAL) != 0) {
-        // The fd is invalid as far as poll is concerned; receiving cannot
-        // clear that, so all we can do is surface it.
-        socket_errors_->inc();
-        continue;
-      }
-      // POLLERR enters the drain loop too: the recv attempt both counts
-      // the pending socket error and clears it, so a dead collector
-      // socket shows up in the metric instead of a silent spin.
-      if ((revents & (POLLIN | POLLERR)) == 0) continue;
-      auto& socket = sockets_[producer.sockets[i]];
-      // Drain this socket; one failing/empty socket never starves the rest.
-      while (!stopping_.load(std::memory_order_acquire)) {
-        if (free_slots.empty()) {
-          if (lane != nullptr) lane->set_state(obs::ThreadState::kBlocked);
-          const bool got_slots = wait_for_slots(producer, free_slots);
-          if (lane != nullptr) lane->set_state(obs::ThreadState::kBusy);
-          if (!got_slots) {
-            if (lane != nullptr) lane->retire();
-            return;
-          }
-        }
-        const std::size_t got = receive_batch(producer, socket, free_slots);
-        if (got == 0) break;
-        if (lane != nullptr) lane->heartbeat(got);
-      }
-    }
-  }
-  if (lane != nullptr) lane->retire();
-}
-
-// ---------------------------------------------------------------------------
-// Decode stage
-// ---------------------------------------------------------------------------
-
-void IngestPipeline::decode_main() {
-  // The decode lane's queue probe is the fan-in backlog: datagrams the
-  // receivers queued that decode has not popped. Non-empty + no progress
-  // = the stall detector's textbook case.
-  obs::Tracer* const tracer = config_.tracer;
-  obs::ThreadLane* lane = nullptr;
-  if (tracer != nullptr) {
-    lane = tracer->register_thread("decode", "decode", [this] {
-      std::size_t queued = 0;
-      for (const auto& producer : producers_) queued += producer->ring.size();
-      return queued;
-    });
-  }
-  std::vector<DatagramRef> refs(config_.recv_batch);
-  std::vector<netflow::V5Record> records(netflow::kV5MaxRecords);
-  std::vector<runtime::FlowItem> items;
-  items.reserve(config_.dispatch_batch + netflow::kV5MaxRecords);
-  // Datagrams popped whose +1 on `handled` waits for the next dispatch
-  // flush, so drain() == "records reached the dispatcher", not merely
-  // "records were decoded".
-  std::vector<std::uint64_t> pending(producers_.size(), 0);
-  // (engine_id << 16 | ingress) -> next expected flow_sequence, mirroring
-  // FlowCapture's per-stream gap accounting.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> sequence_state;
-  std::uint64_t next_tag = 0;
-
-  const auto flush = [&] {
-    if (!items.empty()) {
-      const std::size_t accepted =
-          dispatch_ ? dispatch_(std::span<const runtime::FlowItem>(items))
-                    : items.size();
-      dispatched_->inc(accepted);
-      shed_->inc(items.size() - accepted);
-      items.clear();
-    }
-    for (std::size_t p = 0; p < producers_.size(); ++p) {
-      if (pending[p] == 0) continue;
-      producers_[p]->handled.fetch_add(pending[p], std::memory_order_release);
-      pending[p] = 0;
-    }
-  };
-
-  for (;;) {
-    if (pause_requested_.load(std::memory_order_acquire) &&
-        !decode_stopping_.load(std::memory_order_acquire)) {
-      // quiesce(): everything decoded so far must be visible downstream
-      // before we park, and no dispatch may run while we are parked.
-      flush();
-      if (lane != nullptr) lane->set_state(obs::ThreadState::kBlocked);
-      std::unique_lock lock(decode_wake_mutex_);
-      paused_.store(true, std::memory_order_release);
-      decode_wake_cv_.notify_all();
-      decode_wake_cv_.wait(lock, [&] {
-        return !pause_requested_.load(std::memory_order_acquire) ||
-               decode_stopping_.load(std::memory_order_acquire);
-      });
-      paused_.store(false, std::memory_order_release);
-      continue;
-    }
-
-    bool busy = false;
-    for (std::size_t p = 0; p < producers_.size(); ++p) {
-      auto& producer = *producers_[p];
-
-      // Consumer-assisted shedding: the overloaded receiver cannot touch
-      // the consumer end of its own ring, so it asks us to discard the
-      // oldest queued datagrams and recycle their buffers.
-      if (const auto shed =
-              producer.shed_requests.exchange(0, std::memory_order_relaxed)) {
-        std::uint64_t dropped = 0;
-        DatagramRef ref;
-        while (dropped < shed && producer.ring.try_pop(ref)) {
-          producer.free_ring.try_push(ref.slot);
-          ++dropped;
-        }
-        if (dropped > 0) {
-          dropped_oldest_->inc(dropped);
-          producer.handled.fetch_add(dropped, std::memory_order_release);
-          busy = true;
-        }
-      }
-
-      const std::size_t n = producer.ring.try_pop_batch(refs.data(), refs.size());
-      if (n == 0) continue;
-      busy = true;
-      const bool tracing = lane != nullptr && tracer->enabled();
-      // Lazy pop stamp, shared by every sampled record in this pop batch:
-      // taken at the first sampled record, so an unsampled batch costs no
-      // clock read.
-      std::uint64_t t_pop = 0;
-      if (lane != nullptr) {
-        lane->set_state(obs::ThreadState::kBusy);
-        lane->heartbeat(n);
-      }
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto& ref = refs[i];
-        const std::uint8_t* base =
-            producer.arena.get() + std::size_t{ref.slot} * config_.slot_bytes;
-        netflow::V5Header header;
-        std::size_t count = 0;
-        const auto status = netflow::decode_into(std::span(base, ref.bytes), header,
-                                                 std::span(records), count);
-        // Records are copied out; the slot can go straight back. Capacity
-        // >= arena_slots makes this push infallible too.
-        producer.free_ring.try_push(ref.slot);
-        ++pending[p];
-        if (status != netflow::DecodeStatus::kOk) {
-          malformed_->inc();
+    if (ready > 0) {
+      if (lane != nullptr) lane->set_state(obs::ThreadState::kBusy);
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        const auto revents = fds[i].revents;
+        if ((revents & POLLNVAL) != 0) {
+          // The fd is invalid as far as poll is concerned; receiving
+          // cannot clear that, so all we can do is surface it.
+          socket_errors_->inc();
           continue;
         }
-        decoded_->inc();
-        records_->inc(count);
-
-        const auto ingress = sockets_[ref.socket].ingress;
-        const std::uint32_t stream =
-            (std::uint32_t{header.engine_id} << 16) | ingress;
-        auto state = std::find_if(sequence_state.begin(), sequence_state.end(),
-                                  [stream](const auto& s) { return s.first == stream; });
-        if (state == sequence_state.end()) {
-          sequence_state.emplace_back(stream, header.flow_sequence);
-          state = std::prev(sequence_state.end());
-        } else {
-          // The sequence space wraps at 2^32: a modular (int32) delta
-          // counts forward gaps across the wrap, while a large backward
-          // jump (exporter restart) rebases without a bogus gap.
-          const auto delta =
-              static_cast<std::int32_t>(header.flow_sequence - state->second);
-          if (delta > 0) sequence_gaps_->inc(static_cast<std::uint64_t>(delta));
-        }
-        state->second = header.flow_sequence + static_cast<std::uint32_t>(count);
-
-        for (std::size_t r = 0; r < count; ++r) {
-          runtime::FlowItem item{records[r], ingress, records[r].last,
-                                 next_tag++, 0};
-          // Start a sampled journey: the datagram's socket-receive stamp
-          // becomes the record's origin, and the receiver-ring wait
-          // (recv -> decode pop) is the journey's first span.
-          if (tracing && ref.recv_ns != 0 && tracer->sampled(item.tag)) {
-            if (t_pop == 0) t_pop = obs::Tracer::now_ns();
-            item.recv_ns = ref.recv_ns;
-            item.hop_ns = t_pop;
-            lane->emit(obs::SpanKind::kQueueIngest, ref.recv_ns,
-                       t_pop - ref.recv_ns, item.tag);
-            tracer->queue_wait_ingest_us->observe(
-                static_cast<double>(t_pop - ref.recv_ns) / 1000.0);
-          }
-          items.push_back(item);
+        // POLLERR enters the drain loop too: the recv attempt both counts
+        // the pending socket error and clears it, so a dead collector
+        // socket shows up in the metric instead of a silent spin.
+        if ((revents & (POLLIN | POLLERR)) == 0) continue;
+        auto& socket = sockets_[producer.sockets[i]];
+        // Drain this socket; one failing/empty socket never starves the
+        // rest.
+        while (!stopping_.load(std::memory_order_acquire)) {
+          const std::size_t got = receive_batch(producer, socket, free_slots, refs);
+          if (got == 0) break;
+          if (lane != nullptr) lane->heartbeat(got);
+          process_batch();
         }
       }
-      if (items.size() >= config_.dispatch_batch) flush();
     }
-
-    if (!busy) {
-      flush();
-      if (decode_stopping_.load(std::memory_order_acquire)) break;
-      if (lane != nullptr) lane->set_state(obs::ThreadState::kIdle);
-      std::unique_lock lock(decode_wake_mutex_);
-      decode_parked_.store(true, std::memory_order_release);
-      decode_wake_cv_.wait_for(lock, kDecodePark);
-      decode_parked_.store(false, std::memory_order_release);
-    }
+    // Idle beacon: nothing of ours is in flight here, so tell the
+    // downstream merge this producer has published everything. Cheap
+    // enough to run every cycle; essential on the quiet cycles.
+    if (idle_) idle_(static_cast<int>(index));
   }
   if (lane != nullptr) lane->retire();
-}
-
-void IngestPipeline::wake_decode() const {
-  if (!decode_parked_.load(std::memory_order_acquire)) return;
-  std::lock_guard lock(decode_wake_mutex_);
-  decode_wake_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -564,14 +494,15 @@ void IngestPipeline::wake_decode() const {
 // ---------------------------------------------------------------------------
 
 void IngestPipeline::drain() const {
-  // Per-producer sequential wait, deliberately allocation-free: drain()
+  // Per-receiver sequential wait, deliberately allocation-free: drain()
   // sits inside the bench's steady-state heap probe. Each target is read
   // at or after the call started, so the contract ("everything accepted
-  // when the call was made") holds producer by producer.
+  // when the call was made") holds receiver by receiver. A receiver only
+  // lags while inside process_batch(), so each wait is one batch long at
+  // most.
   for (const auto& producer : producers_) {
     const auto target = producer->received.load(std::memory_order_acquire);
     while (producer->handled.load(std::memory_order_acquire) < target) {
-      wake_decode();
       std::this_thread::sleep_for(kReceiverWait);
     }
   }
@@ -585,44 +516,54 @@ void IngestPipeline::quiesce(const std::function<void()>& fn) const {
     fn();
     return;
   }
-  drain();
+  // Park every receiver. A receiver parks only between batches, i.e. with
+  // everything it accepted already dispatched, so once all are paused no
+  // record is anywhere between a socket and the dispatcher. Traffic keeps
+  // landing in the kernel socket buffers meanwhile.
   {
-    std::unique_lock lock(decode_wake_mutex_);
-    pause_requested_.store(true, std::memory_order_release);
-    decode_wake_cv_.notify_all();
-    decode_wake_cv_.wait(lock, [&] { return paused_.load(std::memory_order_acquire); });
+    std::unique_lock lock(pause_mutex_);
+    for (const auto& producer : producers_) {
+      producer->pause_requested.store(true, std::memory_order_release);
+    }
+    pause_cv_.notify_all();
+    pause_cv_.wait(lock, [&] {
+      return std::all_of(producers_.begin(), producers_.end(),
+                         [](const auto& producer) {
+                           return producer->paused.load(std::memory_order_acquire);
+                         });
+    });
   }
   fn();
   {
-    std::lock_guard lock(decode_wake_mutex_);
-    pause_requested_.store(false, std::memory_order_release);
-    decode_wake_cv_.notify_all();
+    std::lock_guard lock(pause_mutex_);
+    for (const auto& producer : producers_) {
+      producer->pause_requested.store(false, std::memory_order_release);
+    }
+    pause_cv_.notify_all();
   }
 }
 
 void IngestPipeline::stop() {
-  // Serialized with quiesce(): if stop() set decode_stopping_ while a
-  // quiesce() was waiting for paused_, the decode thread's pause
-  // predicate would send it straight to exit without ever setting
-  // paused_, and that quiesce() would hang forever. Holding the quiesce
-  // mutex for the whole teardown makes the two strictly ordered (it also
-  // makes stopped_ reads/writes race-free across the pair).
+  // Serialized with quiesce(): a stop interleaving with a quiesce in
+  // flight could strand the quiesce waiter (receivers exit without ever
+  // setting paused). Holding the quiesce mutex for the whole teardown
+  // makes the two strictly ordered (it also makes stopped_ reads/writes
+  // race-free across the pair).
   std::lock_guard serialize(quiesce_mutex_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
+  {
+    // Release any receiver parked in a pause (none can be -- quiesce()
+    // holds the mutex we hold -- but the notify is free belt and braces).
+    std::lock_guard lock(pause_mutex_);
+    pause_cv_.notify_all();
+  }
   for (auto& producer : producers_) {
     if (producer->thread.joinable()) producer->thread.join();
   }
-  // Receivers are gone, so the received counters are final: phase 1 of
-  // the two-phase shutdown decodes and dispatches everything they had
-  // accepted. Phase 2 (flushing the downstream runtime) is the caller's.
+  // A receiver finishes its in-flight batch before exiting, so received ==
+  // handled already; the drain documents the invariant more than it waits.
   drain();
-  {
-    std::lock_guard lock(decode_wake_mutex_);
-    decode_stopping_.store(true, std::memory_order_release);
-    decode_wake_cv_.notify_all();
-  }
-  if (decode_thread_.joinable()) decode_thread_.join();
   stopped_ = true;
 }
 
@@ -641,6 +582,8 @@ IngestStats IngestPipeline::stats() const {
   stats.records_shed = shed_->value();
   stats.sequence_gaps = sequence_gaps_->value();
   stats.socket_errors = socket_errors_->value();
+  stats.pinned_threads = pinned_threads_.load(std::memory_order_relaxed);
+  stats.affinity_failures = affinity_failures_.load(std::memory_order_relaxed);
   return stats;
 }
 

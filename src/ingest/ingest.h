@@ -4,56 +4,62 @@
 // pre-designated receiver node" -- flowtools::LiveCollector models that
 // node with one polling thread that allocates 64 KiB per datagram and
 // interleaves receive, decode, and detection. This subsystem is the
-// production-shaped replacement: receive, decode, and analysis overlap on
-// dedicated threads, and the whole receive/decode hot path runs without a
-// single steady-state heap allocation.
+// production-shaped replacement: R receiver threads each run the whole
+// receive -> decode -> dispatch lane to completion on their own core, and
+// the hot path runs without a single steady-state heap allocation.
 //
-//   socket(s) --recvmmsg--> [receiver thread]*N  --SPSC ring-->  [decode thread] --submit_batch--> ShardedRuntime
-//                             pooled buffer arena  (fan-in)        NetFlow v5 parse,                (dispatcher)
-//                             (slots out)          <--free ring--  stream accounting,
-//                                                  (slots back)    FlowItem batching
+//   socket(s) --recvmmsg--> [receiver thread r]*R --decode inline--> submit_batch(items, r)
+//                             pooled slot arena     netflow v5 parse,    ShardedRuntime's
+//                             (slots reused per     stream accounting,   per-(producer, shard)
+//                              receive batch)       FlowItem batching    SPSC rings
 //
 // Stage contract:
-//   * Receiver threads (one per producer; sockets are distributed
-//     round-robin across them) own a pooled buffer arena each. They
-//     recvmmsg() batches of export datagrams straight into free arena
-//     slots and push {slot, length, socket} descriptors over a bounded
-//     SPSC ring to the decode stage. No parsing on the socket threads.
-//   * The decode stage (one thread) drains every producer's ring,
-//     parses NetFlow v5 with the allocation-free netflow::decode_into(),
-//     tracks per-(engine, port) export-sequence gaps, recycles slots over
-//     per-producer free rings, and batches the records into FlowItems for
-//     the downstream dispatcher. Being the only thread that calls the
-//     dispatch function, it satisfies ShardedRuntime's single-dispatcher
-//     contract while letting any number of sockets feed one runtime.
-//   * Buffers make a full cycle receiver -> ring -> decode -> free ring ->
-//     receiver; ring capacities are >= the arena size, so descriptor
-//     pushes never fail and overload shows up in exactly one place: an
-//     empty free list.
+//   * Each receiver thread owns a pooled buffer arena, its share of the
+//     sockets (distributed round-robin), and one downstream producer
+//     slot. It recvmmsg()s a batch of export datagrams into arena slots,
+//     parses them in place with the allocation-free netflow::decode_into(),
+//     tracks per-(engine, ingress) export-sequence gaps, and hands the
+//     records straight to the dispatch function as that producer -- no
+//     hand-off ring, no dedicated decode/dispatcher thread, no cross-core
+//     hop between the socket and the shard rings. Slots recycle within
+//     the batch (records are copied out at decode), so the arena never
+//     runs dry and at most recv_batch slots are ever in flight.
+//   * Between receive batches the receiver publishes an idle beacon
+//     (ShardedRuntime::producer_idle) so its producer slot never holds
+//     back the other receivers' flows in the runtime's tag-order merge;
+//     the poll timeout bounds the beacon's staleness.
 //
-// Overload policy (bounded rings, explicit choice):
-//   * kBlock: the receiver waits for the decode stage to return buffers.
-//     Lossless inside the pipeline; sustained overload backs up into the
-//     kernel socket queue, whose drops are visible through the
-//     SO_RXQ_OVFL readout (infilter_ingest_kernel_drops_total).
-//   * kDropOldest: the receiver asks the decode stage to discard the
-//     oldest queued datagrams (counted, buffers recycled) and keeps the
-//     freshest traffic flowing. Sheds pipeline latency under bursts; it
-//     cannot outrun a downstream dispatcher that itself blocks.
+// Overload: the pipeline itself no longer queues, so overload lives at
+// its two edges. Upstream, a receiver that cannot keep up (or one blocked
+// by a kBlock runtime) backs traffic into the kernel socket queue, whose
+// drops stay visible through the SO_RXQ_OVFL readout
+// (infilter_ingest_kernel_drops_total). Downstream, a kDrop runtime
+// refuses records at submit_batch, counted as records_shed. The
+// OverloadPolicy knob is retained for configuration compatibility but
+// selects nothing anymore -- there is no internal queue left to govern --
+// and dropped_oldest stays at zero.
 //
 // Drain/shutdown is two-phase, mirroring ShardedRuntime::flush():
 //   phase 1  drain(): every datagram the receivers accepted is decoded
 //            and its records handed to the dispatcher;
-//   phase 2  the caller flushes the runtime (quiesce() bundles both and
-//            holds the decode stage parked while the caller runs flush or
-//            snapshot, preserving the runtime's single-dispatcher rule).
+//   phase 2  the caller flushes the runtime (quiesce() parks every
+//            receiver with no dispatch in flight while the caller runs
+//            flush or snapshot; the kernel socket buffers absorb traffic
+//            for the duration).
 //
-// Ordering semantics: each socket's datagram stream reaches the
-// dispatcher in kernel receive order (rings are FIFO and one socket maps
-// to one producer), so single-socket verdict streams are bit-identical to
-// the serial LiveCollector path (pinned by tests/test_ingest.cpp).
-// Across sockets the interleaving is whatever the threads make it -- the
-// same nondeterminism a serial collector already has across ports.
+// Ordering semantics: each socket's datagram stream is decoded by one
+// fixed receiver in kernel receive order, so single-socket verdict
+// streams are bit-identical to the serial LiveCollector path (pinned by
+// tests/test_ingest.cpp). Across sockets the interleaving is whatever the
+// threads make it -- the same nondeterminism a serial collector already
+// has across ports -- and the runtime's sequence tags capture whichever
+// interleaving was realized.
+//
+// CPU placement: with a non-empty cpu_set, receiver r pins itself to
+// cpu_set[(cpu_slot_offset + r) % size] (runtime/affinity.h). app/node
+// gives receivers the first slots and offsets the runtime's workers past
+// them, so one --cpu-set list lays out the whole pipeline. Failures are
+// counted, never fatal.
 
 #pragma once
 
@@ -71,16 +77,17 @@
 #include "flowtools/udp.h"
 #include "obs/metrics.h"
 #include "runtime/runtime.h"
-#include "runtime/spsc_ring.h"
 #include "util/result.h"
 
 namespace infilter::ingest {
 
-/// What a receiver does when its buffer arena is exhausted (the decode
-/// stage is not keeping up).
+/// Retained for configuration compatibility. Receiver-direct dispatch has
+/// no internal queue, so the policy selects nothing: overload is governed
+/// by the kernel socket buffer upstream and the dispatcher's own
+/// backpressure policy downstream.
 enum class OverloadPolicy : std::uint8_t {
-  kBlock,       ///< wait for free buffers (lossless; kernel queue absorbs)
-  kDropOldest,  ///< shed the oldest queued datagrams, keep the freshest
+  kBlock,       ///< (vestigial) lossless; kernel queue absorbs
+  kDropOldest,  ///< (vestigial) pair with a kDrop runtime to shed instead
 };
 
 struct IngestConfig {
@@ -92,11 +99,13 @@ struct IngestConfig {
   /// convention). An explicit mapping keeps ingress ids stable when
   /// binding ephemeral ports.
   std::vector<core::IngressId> ingress_ids;
-  /// Receiver threads (producers). Sockets are distributed round-robin;
-  /// clamped to [1, ports.size()].
+  /// Receiver threads. Each is a full receive+decode+dispatch lane and
+  /// maps to downstream producer slot r; sockets are distributed
+  /// round-robin; clamped to [1, ports.size()].
   int receiver_threads = 1;
-  /// Pooled datagram buffers per receiver thread. Bounds the datagrams in
-  /// flight between a receiver and the decode stage.
+  /// Pooled datagram buffers per receiver thread. Only recv_batch slots
+  /// are ever in flight at once (slots recycle within a batch), so this
+  /// is clamped up to recv_batch and mostly a compatibility knob.
   std::size_t arena_slots = 1024;
   /// Bytes per buffer slot. A v5 export datagram is at most 1464 bytes;
   /// longer datagrams are counted truncated and dropped before decode.
@@ -106,54 +115,69 @@ struct IngestConfig {
   /// FlowItems accumulated before a dispatch call.
   std::size_t dispatch_batch = 256;
   /// Kernel receive buffer per socket (SO_RCVBUF; 0 = system default).
-  /// Overload policy only governs the pipeline's own rings -- this is the
-  /// slack in front of them.
+  /// This is the only queue in front of the receivers -- all slack lives
+  /// here.
   int socket_rcvbuf = 1 << 20;
   OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// CPU placement (runtime/affinity.h): empty = unpinned. Receiver r
+  /// pins to cpu_set[(cpu_slot_offset + r) % size].
+  std::vector<int> cpu_set;
+  std::size_t cpu_slot_offset = 0;
   /// Value metrics (datagram/malformed/drop counters) land here; null = a
   /// pipeline-private registry. Pull gauges that call back into the
   /// pipeline always stay private, same discipline as RuntimeConfig.
   obs::Registry* registry = nullptr;
   /// Flight recorder (obs/trace.h), not owned; null = no tracing. When
-  /// set, receiver and decode threads register liveness lanes, receivers
-  /// stamp each datagram's socket-receive time while tracer->enabled(),
-  /// and the decode stage starts the sampled record journeys the
-  /// downstream runtime continues. Use the same tracer as the runtime's
+  /// set, receiver threads register liveness lanes, stamp each sampled
+  /// record's socket-receive time while tracer->enabled(), and emit the
+  /// receive->dispatch kDecode span the downstream runtime's spans then
+  /// tile against. Use the same tracer as the runtime's
   /// RuntimeConfig::tracer so one export holds the whole pipeline. Must
   /// outlive the pipeline.
   obs::Tracer* tracer = nullptr;
 };
 
-/// Monotone pipeline accounting. datagrams_received ==
-/// datagrams_decoded + datagrams_malformed_of(decoded...) -- precisely:
-/// every received datagram ends up decoded, malformed, or dropped_oldest;
-/// truncated ones are counted and recycled receiver-side on top.
+/// Monotone pipeline accounting. Every received datagram is decoded or
+/// malformed (datagrams_received == datagrams_decoded +
+/// datagrams_malformed once drained); truncated ones are counted and
+/// recycled receiver-side on top.
 struct IngestStats {
   std::uint64_t datagrams_received = 0;   ///< accepted into the pipeline
   std::uint64_t datagrams_decoded = 0;    ///< parsed as NetFlow v5
   std::uint64_t datagrams_malformed = 0;  ///< failed v5 parse (incl. zero-length)
   std::uint64_t datagrams_truncated = 0;  ///< longer than slot_bytes, dropped
-  std::uint64_t dropped_oldest = 0;       ///< shed under OverloadPolicy::kDropOldest
+  std::uint64_t dropped_oldest = 0;       ///< always 0 (kept for compatibility)
   std::uint64_t kernel_drops = 0;         ///< SO_RXQ_OVFL readout (socket queue)
   std::uint64_t records_decoded = 0;      ///< flow records parsed
   std::uint64_t records_dispatched = 0;   ///< accepted by the dispatcher
   std::uint64_t records_shed = 0;         ///< refused by the dispatcher (kDrop)
   std::uint64_t sequence_gaps = 0;        ///< export-sequence gaps (lost upstream)
   std::uint64_t socket_errors = 0;        ///< hard recv/poll failures on a socket
+  std::uint64_t pinned_threads = 0;       ///< receivers pinned from cpu_set
+  std::uint64_t affinity_failures = 0;    ///< pin attempts the kernel refused
 };
 
 class IngestPipeline {
  public:
-  /// Hands one decoded batch to the next stage; returns how many items it
-  /// accepted (ShardedRuntime::submit_batch's contract). Called from the
-  /// decode thread only -- a pipeline is a valid single dispatcher.
-  using DispatchFn = std::function<std::size_t(std::span<const runtime::FlowItem>)>;
+  /// Hands one decoded batch to the next stage as `producer` (the
+  /// receiver index, < receiver_count()); returns how many items it
+  /// accepted (ShardedRuntime::submit_batch's contract). Each producer
+  /// index is called from its one receiver thread only; different indices
+  /// are called concurrently.
+  using DispatchFn = std::function<std::size_t(
+      std::span<const runtime::FlowItem> items, int producer)>;
+  /// Idle beacon: called by receiver `producer`'s thread between receive
+  /// batches, with no dispatch in flight on that producer
+  /// (ShardedRuntime::producer_idle's contract). May be empty.
+  using IdleFn = std::function<void(int producer)>;
 
-  /// Binds the sockets and spawns the receiver + decode threads.
+  /// Binds the sockets and spawns the receiver threads.
   static util::Result<std::unique_ptr<IngestPipeline>> create(IngestConfig config,
-                                                              DispatchFn dispatch);
+                                                              DispatchFn dispatch,
+                                                              IdleFn idle = nullptr);
   /// Convenience: dispatch straight into a runtime (not owned; must
-  /// outlive the pipeline).
+  /// outlive the pipeline). The runtime must have at least as many
+  /// producer slots as the pipeline has receiver threads.
   static util::Result<std::unique_ptr<IngestPipeline>> create(
       IngestConfig config, runtime::ShardedRuntime& runtime);
 
@@ -167,22 +191,24 @@ class IngestPipeline {
 
   /// Phase 1 of the two-phase drain: blocks until every datagram the
   /// receivers had accepted when the call was made is decoded and its
-  /// records handed to the dispatcher (or counted dropped). Does not stop
-  /// the pipeline and does not flush the downstream runtime -- that is
-  /// phase 2, the caller's (see quiesce()). Single-owner like quiesce():
-  /// do not call concurrently with quiesce() from another thread.
+  /// records handed to the dispatcher (or counted shed). A receiver is
+  /// between batches exactly when it has dispatched everything it
+  /// accepted, so this only ever waits out an in-flight batch. Does not
+  /// stop the pipeline and does not flush the downstream runtime -- that
+  /// is phase 2, the caller's (see quiesce()). Single-owner like
+  /// quiesce(): do not call concurrently with quiesce() from another
+  /// thread.
   void drain() const;
 
-  /// drain(), then parks the decode stage, runs `fn` with no dispatch in
-  /// flight, and resumes. This is how a caller safely runs downstream
-  /// single-dispatcher operations (ShardedRuntime::flush()/snapshot())
-  /// while the pipeline is live: the decode thread *is* the dispatcher,
-  /// so it must be provably idle for the duration. Receivers keep
-  /// accepting traffic into the arenas meanwhile (bounded by them).
-  /// Serialized against concurrent quiesce() and stop() callers, so a
-  /// destructor racing a metrics/flush quiesce on another thread cannot
-  /// strand the waiter; after stop() it degenerates to running `fn`.
-  /// `fn` must not call back into stop()/quiesce() on this pipeline.
+  /// Parks every receiver with its current batch fully dispatched, runs
+  /// `fn` with no dispatch in flight anywhere, and resumes. This is how a
+  /// caller gets a quiescent view of the downstream runtime
+  /// (flush()/snapshot()) with zero records mid-pipeline; the kernel
+  /// socket buffers absorb traffic for the duration. Serialized against
+  /// concurrent quiesce() and stop() callers, so a destructor racing a
+  /// metrics/flush quiesce on another thread cannot strand the waiter;
+  /// after stop() it degenerates to running `fn`. `fn` must not call back
+  /// into stop()/quiesce() on this pipeline.
   void quiesce(const std::function<void()>& fn) const;
 
   /// Drains whatever the receivers accepted, then stops and joins all
@@ -202,7 +228,8 @@ class IngestPipeline {
   }
 
  private:
-  /// One queued datagram: an arena slot plus what recv told us about it.
+  /// One received datagram awaiting inline decode: an arena slot plus
+  /// what recv told us about it. Never crosses a thread.
   struct DatagramRef {
     std::uint32_t slot = 0;
     std::uint32_t bytes = 0;
@@ -219,57 +246,54 @@ class IngestPipeline {
     std::uint32_t last_rxq_ovfl = 0;  ///< previous SO_RXQ_OVFL reading
   };
 
-  /// One receiver thread: arena + both rings + its share of the sockets.
+  /// One receiver lane: arena + its share of the sockets + the drain and
+  /// quiesce handshakes.
   struct Producer {
     std::vector<std::size_t> sockets;  ///< indices into sockets_
     std::unique_ptr<std::uint8_t[]> arena;
-    runtime::SpscRing<DatagramRef> ring;       ///< receiver -> decode
-    runtime::SpscRing<std::uint32_t> free_ring;  ///< decode -> receiver
     std::thread thread;
-    /// Datagrams pushed into `ring` (receiver-side, release-published).
+    /// Datagrams accepted off the sockets (bumped at receive).
     std::atomic<std::uint64_t> received{0};
-    /// Datagrams fully handled by the decode stage: decoded + dispatched,
-    /// malformed, or discarded under kDropOldest (decode-side).
+    /// Datagrams fully handled: decoded and dispatched, or malformed.
+    /// Bumped once the batch's records have been handed to the
+    /// dispatcher, so received == handled means "nothing in flight".
     std::atomic<std::uint64_t> handled{0};
-    /// Outstanding drop-oldest requests from an overloaded receiver.
-    std::atomic<std::uint64_t> shed_requests{0};
+    /// quiesce() handshake (see quiesce()).
+    std::atomic<bool> pause_requested{false};
+    std::atomic<bool> paused{false};
 
     Producer(std::size_t slots, std::size_t slot_bytes)
-        : arena(std::make_unique<std::uint8_t[]>(slots * slot_bytes)),
-          ring(slots),
-          free_ring(slots) {}
+        : arena(std::make_unique<std::uint8_t[]>(slots * slot_bytes)) {}
   };
 
-  IngestPipeline(IngestConfig config, DispatchFn dispatch);
+  IngestPipeline(IngestConfig config, DispatchFn dispatch, IdleFn idle);
 
-  void receiver_main(Producer& producer);
-  void decode_main();
-  /// Blocks until `producer` has free slots again, per the overload
-  /// policy. Returns false when stopping.
-  bool wait_for_slots(Producer& producer, std::vector<std::uint32_t>& free_slots);
-  void reclaim_slots(Producer& producer, std::vector<std::uint32_t>& free_slots);
+  void receiver_main(Producer& producer, std::size_t index);
+  /// Receives up to recv_batch datagrams from `socket` into free arena
+  /// slots, appending descriptors to `refs` (slots move from free_slots
+  /// to refs; truncated ones bounce straight back). Returns how many
+  /// descriptors were appended.
   std::size_t receive_batch(Producer& producer, Socket& socket,
-                            std::vector<std::uint32_t>& free_slots);
-  void wake_decode() const;
-  void read_kernel_drops(Socket& socket);
+                            std::vector<std::uint32_t>& free_slots,
+                            std::vector<DatagramRef>& refs);
 
   IngestConfig config_;
   DispatchFn dispatch_;
+  IdleFn idle_;
   std::vector<Socket> sockets_;
   std::vector<std::unique_ptr<Producer>> producers_;
   std::atomic<bool> stopping_{false};
-  std::atomic<bool> decode_stopping_{false};
   bool stopped_ = false;
-  std::thread decode_thread_;
 
-  // Decode-stage park/wake + quiesce handshake (mutable: synchronization
-  // state, used by const quiesce()).
-  mutable std::mutex decode_wake_mutex_;
-  mutable std::condition_variable decode_wake_cv_;
-  mutable std::atomic<bool> decode_parked_{false};
-  mutable std::atomic<bool> pause_requested_{false};
-  mutable std::atomic<bool> paused_{false};
+  // Quiesce handshake (mutable: synchronization state, used by const
+  // quiesce()).
+  mutable std::mutex pause_mutex_;
+  mutable std::condition_variable pause_cv_;
   mutable std::mutex quiesce_mutex_;  ///< serializes quiesce() and stop() callers
+
+  /// CPU placement accounting (a hint; failures counted, never fatal).
+  std::atomic<std::uint64_t> pinned_threads_{0};
+  std::atomic<std::uint64_t> affinity_failures_{0};
 
   /// Same dangling-callback discipline as ShardedRuntime: `this`-capturing
   /// pull gauges live here; plain value counters go to config_.registry

@@ -111,12 +111,9 @@ Tracer::Tracer(TracerConfig config)
   e2e_us = &registry_->histogram(
       "infilter_e2e_latency_us", journey_bounds(),
       "Sampled end-to-end latency, socket receive to final verdict (us)");
-  queue_wait_ingest_us = &registry_->histogram(
-      "infilter_queue_wait_ingest_us", journey_bounds(),
-      "Sampled wait in the receiver->decode rings (us)");
   queue_wait_shard_us = &registry_->histogram(
       "infilter_queue_wait_shard_us", journey_bounds(),
-      "Sampled wait in the dispatcher->shard-worker rings (us)");
+      "Sampled wait in the producer->shard-worker rings (us)");
   queue_wait_scan_us = &registry_->histogram(
       "infilter_queue_wait_scan_us", journey_bounds(),
       "Sampled wait from suspect forward to scan-stage release (us)");

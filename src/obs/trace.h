@@ -11,9 +11,9 @@
 // not at all):
 //
 //   * A Tracer owns one fixed-capacity SPSC TraceRing per registered
-//     pipeline thread (receivers, decode, dispatcher, shard workers, scan
-//     stage). Writers emit compact span events with a single try_push --
-//     no locks, no heap; a full ring drops the event and counts the drop
+//     pipeline thread (receivers, shard workers, scan stage). Writers
+//     emit compact span events with a single try_push -- no locks, no
+//     heap; a full ring drops the event and counts the drop
 //     (infilter_trace_dropped_total), so the recorder can run forever.
 //   * A sampled per-record journey: a monotonic timestamp is stamped at
 //     socket receive (ingest::DatagramRef::recv_ns), carried through the
@@ -22,15 +22,19 @@
 //     start, so a record's spans tile the interval from socket receive to
 //     final verdict exactly:
 //
-//       queue_ingest | decode | queue_shard | eia | queue_scan | scan_nns
-//       ^ recv_ns                                                t_verdict ^
+//       decode | queue_shard | eia | queue_scan | scan_nns
+//       ^ recv_ns                                 t_verdict ^
 //
-//     (legal flows end at `eia`; runs without the shared scan stage
-//     replace eia.. with one `process` span; direct-submit callers start
-//     at `decode`'s end.) The same stamps feed always-on histograms --
-//     infilter_e2e_latency_us and infilter_queue_wait_{ingest,shard,
-//     scan}_us -- so p50/p99/p999 queue-wait attribution is one scrape
-//     away even when nobody exports the event stream.
+//     `decode` runs inline on the receiver lane that read the datagram
+//     (receiver-direct dispatch), so there is no receiver->decoder queue
+//     hop -- the old `queue_ingest` span no longer occurs, and the ingest
+//     bench fails if one appears in an export. (Legal flows end at `eia`;
+//     runs without the shared scan stage replace eia.. with one `process`
+//     span; direct-submit callers start at `decode`'s end.) The same
+//     stamps feed always-on histograms -- infilter_e2e_latency_us and
+//     infilter_queue_wait_{shard,scan}_us -- so p50/p99/p999 queue-wait
+//     attribution is one scrape away even when nobody exports the event
+//     stream.
 //   * Liveness: every registered thread publishes a progress heartbeat
 //     and a current-state gauge with relaxed stores; scan_liveness() is
 //     the monitor-side stall detector, flagging threads whose progress
@@ -71,9 +75,11 @@ namespace infilter::obs {
 /// One hop of a sampled record's journey (or a whole serial process()).
 /// Values are stable: they index kSpanNames and appear in trace exports.
 enum class SpanKind : std::uint8_t {
-  kQueueIngest = 0,  ///< socket receive -> decode-stage pop (receiver ring)
-  kDecode,           ///< decode pop -> dispatcher entry (parse + batching)
-  kQueueShard,       ///< dispatcher -> shard-worker pop (shard ring wait)
+  kQueueIngest = 0,  ///< retired: receiver->decoder ring wait. Unused since
+                     ///< receivers decode inline; value kept for export
+                     ///< stability and old-trace readers.
+  kDecode,           ///< socket receive -> dispatch entry (inline parse)
+  kQueueShard,       ///< dispatch -> shard-worker pop (shard ring wait)
   kEia,              ///< worker pop -> EIA stage done (legal flows: verdict)
   kProcess,          ///< worker pop -> verdict (no shared scan stage)
   kQueueScan,        ///< suspect forward -> scan-stage release (reorder wait)
@@ -296,7 +302,6 @@ class Tracer {
 
   // -- Journey histograms (value instruments; thread-safe observe) --
   Histogram* e2e_us = nullptr;           ///< infilter_e2e_latency_us
-  Histogram* queue_wait_ingest_us = nullptr;
   Histogram* queue_wait_shard_us = nullptr;
   Histogram* queue_wait_scan_us = nullptr;
 

@@ -1,0 +1,85 @@
+#include "runtime/affinity.h"
+
+#include <algorithm>
+#include <cctype>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace infilter::runtime {
+namespace {
+
+/// Upper bound on a cpu id we accept: CPU_SETSIZE is 1024 on glibc, but
+/// the parse should not depend on the libc compiled against, so we cap at
+/// a generous constant and let pin_current_thread() report ids the
+/// running kernel rejects.
+constexpr int kMaxCpuId = 4095;
+
+bool parse_int(std::string_view token, int& out) {
+  if (token.empty()) return false;
+  long value = 0;
+  for (const char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+    value = value * 10 + (c - '0');
+    if (value > kMaxCpuId) return false;
+  }
+  out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> parse_cpu_set(std::string_view text,
+                                              std::string* error) {
+  const auto fail = [&](const std::string& what) -> std::optional<std::vector<int>> {
+    if (error != nullptr) *error = "cpu set '" + std::string(text) + "': " + what;
+    return std::nullopt;
+  };
+  std::vector<int> cpus;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', begin), text.size());
+    const std::string_view token = text.substr(begin, comma - begin);
+    begin = comma + 1;
+    const std::size_t dash = token.find('-');
+    if (dash == std::string_view::npos) {
+      int cpu = 0;
+      if (!parse_int(token, cpu)) return fail("expected a cpu id, got '" +
+                                              std::string(token) + "'");
+      cpus.push_back(cpu);
+    } else {
+      int lo = 0;
+      int hi = 0;
+      if (!parse_int(token.substr(0, dash), lo) ||
+          !parse_int(token.substr(dash + 1), hi)) {
+        return fail("malformed range '" + std::string(token) + "'");
+      }
+      if (hi < lo) return fail("reversed range '" + std::string(token) + "'");
+      for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+    }
+    if (comma == text.size()) break;
+  }
+  if (cpus.empty()) return fail("no cpus");
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+bool pin_current_thread(const std::vector<int>& cpus, std::size_t slot) {
+  if (cpus.empty()) return true;
+#if defined(__linux__)
+  const int cpu = cpus[slot % cpus.size()];
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpu, &mask);
+  return ::pthread_setaffinity_np(::pthread_self(), sizeof mask, &mask) == 0;
+#else
+  (void)slot;
+  return false;
+#endif
+}
+
+}  // namespace infilter::runtime

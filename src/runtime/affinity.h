@@ -1,0 +1,40 @@
+// CPU placement for the pipeline's threads.
+//
+// Receiver-direct dispatch only pays off when receivers, shard workers,
+// and the scan thread stop migrating across cores: each lane then runs
+// run-to-completion on its own core with a warm cache, the DPDK per-lcore
+// shape. This header is the small policy layer behind `--cpu-set` /
+// NodeConfig::affinity: parse a Linux-style cpu list once, then pin each
+// thread to a slot of it round-robin.
+//
+// Pinning is a placement hint, never a correctness requirement. A cpu in
+// the set that does not exist on this host (the 1-CPU CI box, a container
+// with a restricted mask) makes pin_current_thread() return false; callers
+// count the failure in a metric and keep running unpinned. An empty set
+// disables placement entirely (the default).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace infilter::runtime {
+
+/// Parses a Linux-style cpu list: comma-separated cpu ids and inclusive
+/// ranges, e.g. "0-3,8". Returns the expanded, deduplicated, ascending id
+/// list, or nullopt (with `error` set when non-null) on malformed input:
+/// empty tokens, non-numeric text, reversed ranges, or ids above 4095.
+std::optional<std::vector<int>> parse_cpu_set(std::string_view text,
+                                              std::string* error = nullptr);
+
+/// Pins the calling thread to cpus[slot % cpus.size()] with
+/// pthread_setaffinity_np. An empty set is a successful no-op. Returns
+/// false when the kernel refuses (cpu not present / not allowed) or the
+/// platform has no thread affinity -- the graceful-failure path callers
+/// count and ignore.
+bool pin_current_thread(const std::vector<int>& cpus, std::size_t slot);
+
+}  // namespace infilter::runtime

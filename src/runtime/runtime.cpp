@@ -6,15 +6,16 @@
 #include <queue>
 #include <string>
 
+#include "runtime/affinity.h"
 #include "util/rng.h"
 
 namespace infilter::runtime {
 namespace {
 
-/// Spins before a worker parks: long enough to ride out the dispatcher
-/// refilling the ring, short enough that an idle runtime burns no core.
+/// Spins before a worker parks: long enough to ride out a producer
+/// refilling the rings, short enough that an idle runtime burns no core.
 constexpr int kIdleSpins = 64;
-/// Dispatcher-side nap while a full ring drains under kBlock.
+/// Producer-side nap while a full ring drains under kBlock.
 constexpr auto kBackpressureNap = std::chrono::microseconds(50);
 
 core::EngineConfig shard_engine_config(const RuntimeConfig& config) {
@@ -38,21 +39,22 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
                                             : owned_registry_.get()) {
   assert(config_.shards >= 1);
   assert(config_.max_batch >= 1);
+  if (config_.producers < 1) config_.producers = 1;
 
   submitted_ = &registry_->counter("infilter_runtime_submitted_total",
-                                   "Flows offered to the dispatcher");
+                                   "Flows offered to a producer's submit*()");
   dropped_ = &registry_->counter(
       "infilter_runtime_dropped_total",
       "Flows shed because a shard ring stayed full (kDrop policy)");
   backpressure_waits_ = &registry_->counter(
       "infilter_runtime_backpressure_waits_total",
-      "Dispatcher stalls waiting for a full shard ring to drain (kBlock)");
+      "Producer stalls waiting for a full shard ring to drain (kBlock)");
   batches_ = &registry_->counter("infilter_runtime_batches_total",
-                                 "Worker dequeue batches");
+                                 "Worker merge batches");
   batch_size_ = &registry_->histogram(
       "infilter_runtime_batch_size",
       obs::Histogram::exponential_bounds(1.0, 2.0, 10),
-      "Flows claimed per worker dequeue batch");
+      "Flows claimed per worker merge batch");
   // `this`-capturing pull gauges always live in the runtime-private
   // registry: obs::Registry has no unregistration, so installing them in a
   // caller-supplied registry that outlives the runtime would leave a
@@ -68,26 +70,38 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
       "infilter_runtime_queued",
       [this] {
         std::size_t queued = 0;
-        for (const auto& shard : shards_) queued += shard->ring->size();
+        for (const auto& shard : shards_) queued += shard->queued();
         return static_cast<double>(queued);
       },
       "Flows currently sitting in shard rings");
   owned_registry_->gauge_fn(
       "infilter_runtime_queue_imbalance",
       [this] {
-        // Spread between the fullest and emptiest shard ring: a hot-shard
-        // skew (one /24 dominating the traffic) shows up here long before
-        // it shows up as backpressure.
+        // Spread between the fullest and emptiest shard (summing each
+        // shard's producer rings): a hot-shard skew (one /24 dominating
+        // the traffic) shows up here long before it shows up as
+        // backpressure.
         std::size_t lo = SIZE_MAX;
         std::size_t hi = 0;
         for (const auto& shard : shards_) {
-          const std::size_t queued = shard->ring->size();
+          const std::size_t queued = shard->queued();
           lo = std::min(lo, queued);
           hi = std::max(hi, queued);
         }
         return shards_.empty() ? 0.0 : static_cast<double>(hi - lo);
       },
-      "Max minus min shard-ring occupancy (dispatch skew)");
+      "Max minus min shard occupancy (dispatch skew)");
+  owned_registry_->gauge_fn(
+      "infilter_runtime_queue_peak",
+      [this] {
+        std::uint64_t peak = 0;
+        for (const auto& shard : shards_) {
+          peak = std::max(peak,
+                          shard->peak_queued.load(std::memory_order_relaxed));
+        }
+        return static_cast<double>(peak);
+      },
+      "High-water shard occupancy sampled at push time");
   owned_registry_->counter_fn(
       "infilter_runtime_suspects_forwarded_total",
       [this] { return suspects_forwarded_.load(std::memory_order_relaxed); },
@@ -96,14 +110,62 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
       "infilter_runtime_suspects_completed_total",
       [this] { return suspects_completed_.load(std::memory_order_relaxed); },
       "Suspect flows completed by the shared scan stage");
+  owned_registry_->gauge_fn(
+      "infilter_runtime_producers",
+      [this] { return static_cast<double>(producers_.size()); },
+      "Producer slots (receiver-direct dispatchers)");
+  owned_registry_->gauge_fn(
+      "infilter_runtime_producer_lag",
+      [this] {
+        // How far the slowest producer's published watermark trails the
+        // claim counter. Persistent lag from a live producer delays the
+        // scan stage's reorder window; an idle producer closes it via
+        // producer_idle().
+        const std::uint64_t next = next_seq_.load(std::memory_order_relaxed);
+        std::uint64_t lo = next;
+        for (const auto& slot : producers_) {
+          lo = std::min(lo, slot->published.load(std::memory_order_relaxed));
+        }
+        return static_cast<double>(next - lo);
+      },
+      "Claim counter minus the slowest producer's published watermark");
+  owned_registry_->counter_fn(
+      "infilter_runtime_producer_flows_total",
+      [this] {
+        std::uint64_t total = 0;
+        for (const auto& slot : producers_) {
+          total += slot->accepted.load(std::memory_order_relaxed);
+        }
+        return total;
+      },
+      "Flows accepted into shard rings, summed over producer slots");
+  owned_registry_->gauge_fn(
+      "infilter_runtime_pinned_threads",
+      [this] {
+        return static_cast<double>(
+            pinned_threads_.load(std::memory_order_relaxed));
+      },
+      "Runtime threads pinned to a cpu from RuntimeConfig::cpu_set");
+  owned_registry_->counter_fn(
+      "infilter_runtime_affinity_failures_total",
+      [this] { return affinity_failures_.load(std::memory_order_relaxed); },
+      "Thread-pinning attempts the kernel refused (placement is a hint)");
 
   const bool scan_stage = config_.engine.mode == core::EngineMode::kEnhanced &&
                           config_.engine.use_scan_analysis;
+  producers_.reserve(static_cast<std::size_t>(config_.producers));
+  for (int p = 0; p < config_.producers; ++p) {
+    producers_.push_back(std::make_unique<ProducerSlot>());
+  }
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->index = s;
-    shard->ring = std::make_unique<SpscRing<FlowItem>>(config_.queue_depth);
+    shard->rings.reserve(producers_.size());
+    for (std::size_t p = 0; p < producers_.size(); ++p) {
+      shard->rings.push_back(
+          std::make_unique<SpscRing<FlowItem>>(config_.queue_depth));
+    }
     shard->engine = std::make_unique<core::InFilterEngine>(
         shard_engine_config(config_), sink != nullptr ? &sink_ : nullptr);
     if (scan_stage) {
@@ -116,11 +178,15 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
     scan_engine_ = std::make_unique<core::InFilterEngine>(
         shard_engine_config(config_), sink != nullptr ? &sink_ : nullptr);
   }
-  // The dispatcher lane: submit* runs on the caller's thread, which the
-  // single-dispatcher contract makes one logical thread. No queue probe --
-  // the dispatcher's input is the caller, not a ring we can measure.
+  // One lane per producer slot: submit* runs on the slot's owning thread
+  // (one thread at a time, per the contract). No queue probe -- a
+  // producer's input is its caller, not a ring we can measure.
   if (tracer_ != nullptr) {
-    dispatch_lane_ = tracer_->register_thread("dispatch", "dispatch");
+    for (std::size_t p = 0; p < producers_.size(); ++p) {
+      producers_[p]->lane = tracer_->register_thread(
+          p == 0 ? std::string("dispatch") : "dispatch-" + std::to_string(p),
+          "dispatch");
+    }
   }
   // Engines first, threads second: a worker must never observe a
   // half-constructed shard vector.
@@ -138,6 +204,10 @@ void ShardedRuntime::add_expected(core::IngressId ingress,
                                   const net::Prefix& prefix) {
   // The scan engine's EIA table stays empty on purpose: finish_suspect*
   // never consults it (the EIA outcome rides along in SuspectFlow).
+  std::unique_lock gate(submit_gate_);
+  // Drain in-flight flows first: the workers read the tables the loop
+  // below mutates, and the gate only stops *new* submits.
+  flush_locked();
   for (auto& shard : shards_) shard->engine->add_expected(ingress, prefix);
 }
 
@@ -148,11 +218,15 @@ void ShardedRuntime::install_hopcount(const hopcount::HopCountTable& table) {
   // per-shard state evolves exactly as the serial engine's does on that
   // shard's key subset. The scan engine's table stays empty on purpose:
   // the TTL classification rides along in SuspectFlow.
+  std::unique_lock gate(submit_gate_);
+  flush_locked();
   for (auto& shard : shards_) shard->engine->install_hopcount(table);
 }
 
 void ShardedRuntime::set_clusters(
     std::shared_ptr<const core::TrainedClusters> clusters) {
+  std::unique_lock gate(submit_gate_);
+  flush_locked();
   for (auto& shard : shards_) shard->engine->set_clusters(clusters);
   // With the scan stage active the NNS stage runs there, not on shards.
   if (scan_engine_ != nullptr) scan_engine_->set_clusters(std::move(clusters));
@@ -194,8 +268,18 @@ void ShardedRuntime::wake_scan() {
   }
 }
 
-bool ShardedRuntime::push_with_backpressure(Shard& shard, const FlowItem& item) {
-  if (shard.ring->try_push(item)) return true;
+void ShardedRuntime::note_occupancy(Shard& shard) {
+  const std::uint64_t queued = shard.queued();
+  std::uint64_t peak = shard.peak_queued.load(std::memory_order_relaxed);
+  while (queued > peak && !shard.peak_queued.compare_exchange_weak(
+                              peak, queued, std::memory_order_relaxed)) {
+  }
+}
+
+bool ShardedRuntime::push_with_backpressure(Shard& shard,
+                                            SpscRing<FlowItem>& ring,
+                                            const FlowItem& item) {
+  if (ring.try_push(item)) return true;
   if (config_.backpressure == BackpressurePolicy::kDrop) {
     dropped_->inc();
     return false;
@@ -206,16 +290,15 @@ bool ShardedRuntime::push_with_backpressure(Shard& shard, const FlowItem& item) 
     // may have parked in the instant before our failed push; wake it.
     wake(shard);
     std::this_thread::sleep_for(kBackpressureNap);
-    if (shard.ring->try_push(item)) return true;
+    if (ring.try_push(item)) return true;
   }
 }
 
 std::size_t ShardedRuntime::push_batch_with_backpressure(
-    Shard& shard, std::span<const FlowItem> items) {
+    Shard& shard, SpscRing<FlowItem>& ring, std::span<const FlowItem> items) {
   std::size_t accepted = 0;
   while (accepted < items.size()) {
-    const std::size_t pushed =
-        shard.ring->try_push_batch(items.subspan(accepted));
+    const std::size_t pushed = ring.try_push_batch(items.subspan(accepted));
     accepted += pushed;
     if (pushed > 0) wake(shard);
     if (accepted == items.size()) break;
@@ -234,72 +317,91 @@ bool ShardedRuntime::submit(const netflow::V5Record& record,
                             core::IngressId ingress, util::TimeMs now,
                             std::uint64_t tag) {
   submitted_->inc();
-  if (stopped_) {
+  std::shared_lock gate(submit_gate_);
+  if (stopped_.load(std::memory_order_relaxed)) {
     dropped_->inc();
     return false;
   }
+  ProducerSlot& slot = *producers_[0];
   Shard& shard = *shards_[shard_of(record.src_ip, shards_.size())];
-  // The sequence number is consumed only on acceptance, so a kDrop shed
-  // here leaves no gap (gaps elsewhere are tolerated anyway: the scan
-  // stage compares against watermarks, never for contiguity).
-  FlowItem item{record, ingress, now, tag, next_seq_ + 1};
-  if (dispatch_lane_ != nullptr) {
-    dispatch_lane_->heartbeat();
+  // Claim one tag. A kDrop shed burns it -- gaps are tolerated everywhere
+  // (the merges and the scan stage compare against watermarks, never for
+  // contiguity), so the publish below advances past the shed claim.
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  FlowItem item{record, ingress, now, tag, seq};
+  if (slot.lane != nullptr) {
+    slot.lane->heartbeat();
     // Direct submits have no socket-receive stamp; a sampled journey
     // starts here, so its spans decompose dispatch-to-verdict. Sampling
-    // keys on the tag — the id every span is emitted under — so an
-    // upstream stage (ingest decode) that already screened this tag
+    // keys on the tag -- the id every span is emitted under -- so an
+    // upstream stage (an ingest receiver) that already screened this tag
     // reached the same verdict and the journey is never double-started.
     if (tracer_->enabled() && tracer_->sampled(item.tag)) {
       item.recv_ns = item.hop_ns = obs::Tracer::now_ns();
     }
   }
-  if (!push_with_backpressure(shard, item)) {
-    return false;
+  const bool pushed = push_with_backpressure(shard, *shard.rings[0], item);
+  if (pushed) {
+    shard.enqueued.fetch_add(1, std::memory_order_relaxed);
+    slot.accepted.fetch_add(1, std::memory_order_relaxed);
+    note_occupancy(shard);
   }
-  ++next_seq_;
-  published_seq_.store(next_seq_, std::memory_order_release);
-  shard.enqueued.fetch_add(1, std::memory_order_relaxed);
-  wake(shard);
-  return true;
+  // Publish after the push (release): a merge that acquires this value and
+  // finds the ring empty has consumed everything <= it.
+  slot.published.store(seq, std::memory_order_release);
+  if (pushed) wake(shard);
+  return pushed;
 }
 
-std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
+std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items,
+                                         int producer) {
   submitted_->inc(items.size());
-  if (stopped_) {
+  assert(producer >= 0 &&
+         static_cast<std::size_t>(producer) < producers_.size());
+  std::shared_lock gate(submit_gate_);
+  if (stopped_.load(std::memory_order_relaxed)) {
     dropped_->inc(items.size());
     return 0;
   }
+  if (items.empty()) return 0;
+  ProducerSlot& slot = *producers_[static_cast<std::size_t>(producer)];
   // Bucket per shard, then push each bucket with one batched ring
-  // operation. The buckets are member scratch: submit_batch is a
-  // single-dispatcher call sitting on the live-ingest hot path, and
-  // clear() keeps each bucket's capacity, so steady state allocates
-  // nothing. Sequence numbers follow items order, so "dispatch order" is
-  // the caller's submission order regardless of how buckets interleave.
-  auto& buckets = dispatch_buckets_;
+  // operation. The buckets are producer-slot scratch (one owning thread at
+  // a time, per the contract), and clear() keeps each bucket's capacity,
+  // so steady state allocates nothing. One fetch_add claims the whole tag
+  // range [base+1, base+n]: tags follow items order, so "dispatch order"
+  // within a producer is its submission order, and across producers it is
+  // the claim interleaving.
+  auto& buckets = slot.buckets;
   buckets.resize(shards_.size());
   for (auto& bucket : buckets) bucket.clear();
-  const bool tracing = dispatch_lane_ != nullptr && tracer_->enabled();
+  const bool tracing = slot.lane != nullptr && tracer_->enabled();
   std::uint64_t t_sub = 0;
-  if (dispatch_lane_ != nullptr) dispatch_lane_->heartbeat(items.size());
+  if (slot.lane != nullptr) slot.lane->heartbeat(items.size());
   if (tracing) t_sub = obs::Tracer::now_ns();
+  std::uint64_t seq =
+      next_seq_.fetch_add(items.size(), std::memory_order_relaxed);
+  const std::uint64_t last = seq + items.size();
   for (const FlowItem& item : items) {
-    auto& bucket =
-        buckets[shard_of(item.record.src_ip, shards_.size())];
+    auto& bucket = buckets[shard_of(item.record.src_ip, shards_.size())];
     bucket.push_back(item);
     FlowItem& queued = bucket.back();
-    queued.seq = ++next_seq_;
+    queued.seq = ++seq;
     if (tracing) {
-      if (queued.recv_ns != 0) {
-        // Ingest stamped this record at the socket: close its decode span
-        // (decode pop -> here, parse plus dispatch batching included).
-        dispatch_lane_->emit(obs::SpanKind::kDecode, queued.hop_ns,
-                             t_sub - queued.hop_ns, queued.tag);
+      if (queued.recv_ns != 0 && queued.hop_ns == queued.recv_ns) {
+        // Stamped at the socket but the decode span is still open: close
+        // it here (parse plus dispatch batching included). A
+        // receiver-direct caller instead closes the span on its own lane
+        // and arrives with hop_ns already advanced, so nothing is emitted
+        // twice.
+        slot.lane->emit(obs::SpanKind::kDecode, queued.hop_ns,
+                        t_sub - queued.hop_ns, queued.tag);
         queued.hop_ns = t_sub;
-      } else if (tracer_->sampled(queued.tag)) {
+      } else if (queued.recv_ns == 0 && tracer_->sampled(queued.tag)) {
         // No upstream stamp (direct submit): the journey starts here.
         // Keyed on the tag, like every emit and the ingest screen, so an
-        // ingest-fed record the decode thread chose NOT to sample is not
+        // ingest-fed record the receiver chose NOT to sample is not
         // re-sampled here under a shifted id.
         queued.recv_ns = t_sub;
         queued.hop_ns = t_sub;
@@ -310,41 +412,154 @@ std::size_t ShardedRuntime::submit_batch(std::span<const FlowItem> items) {
   for (std::size_t s = 0; s < buckets.size(); ++s) {
     if (buckets[s].empty()) continue;
     Shard& shard = *shards_[s];
-    const std::size_t pushed = push_batch_with_backpressure(shard, buckets[s]);
+    const std::size_t pushed = push_batch_with_backpressure(
+        shard, *shard.rings[static_cast<std::size_t>(producer)], buckets[s]);
     shard.enqueued.fetch_add(pushed, std::memory_order_relaxed);
+    note_occupancy(shard);
     accepted += pushed;
   }
   // Publish only after every bucket is in its ring: a worker that acquires
-  // this value and then drains its ring has seen everything <= it.
-  published_seq_.store(next_seq_, std::memory_order_release);
+  // this value and then finds this producer's ring empty has merged
+  // everything <= it. Shed claims (kDrop) are published past, like gaps.
+  slot.published.store(last, std::memory_order_release);
+  slot.accepted.fetch_add(accepted, std::memory_order_relaxed);
   return accepted;
 }
 
-void ShardedRuntime::advance_watermark_if_drained(Shard& shard) {
-  // Order matters: acquire published_seq_ *first*, then check the ring.
-  // Every flow with seq <= the acquired value was pushed before the
-  // dispatcher's release store (submit publishes last), so an empty ring
-  // afterwards means this shard has fully pre-processed all of them --
-  // later submissions carry larger sequence numbers. An idle shard thus
-  // keeps pace with the dispatcher instead of pinning the scan stage's
-  // safe bound at its last processed flow.
-  const std::uint64_t published = published_seq_.load(std::memory_order_acquire);
-  if (published <= shard.watermark.load(std::memory_order_relaxed)) return;
-  if (!shard.ring->empty()) return;
-  shard.watermark.store(published, std::memory_order_release);
+void ShardedRuntime::producer_idle(int producer) {
+  std::shared_lock gate(submit_gate_);
+  ProducerSlot& slot = *producers_[static_cast<std::size_t>(producer)];
+  // Safe because the owning thread (the caller) has no submission in
+  // flight on this slot: any future claim returns at least the counter
+  // value loaded here, so nothing <= it can still be contributed.
+  const std::uint64_t target = next_seq_.load(std::memory_order_relaxed);
+  if (slot.published.load(std::memory_order_relaxed) < target) {
+    slot.published.store(target, std::memory_order_release);
+  }
+}
+
+ShardedRuntime::MergeResult ShardedRuntime::merge_batch(Shard& shard,
+                                                        FlowItem* batch,
+                                                        std::size_t max) {
+  const std::size_t producers = producers_.size();
+  if (producers == 1) {
+    // Single-producer fast path: one ring is already in tag order, and one
+    // batched pop amortizes the release/acquire pair (the k-way merge
+    // below pays a head store per item).
+    const std::size_t n = shard.rings[0]->try_pop_batch(batch, max);
+    if (n == max) return {n, batch[n - 1].seq};
+    // Ring drained. Acquire the published watermark *first*, then re-check
+    // emptiness: everything <= the acquired value was pushed before the
+    // producer's release store, so an empty ring afterwards means it has
+    // all been merged (now or earlier) and the watermark may advance that
+    // far even past a mid-publish pop (see the max() in the caller-facing
+    // contract below).
+    const std::uint64_t published =
+        producers_[0]->published.load(std::memory_order_acquire);
+    std::uint64_t watermark =
+        n > 0 ? batch[n - 1].seq
+              : shard.watermark.load(std::memory_order_relaxed);
+    if (shard.rings[0]->empty() && published > watermark) watermark = published;
+    return {n, watermark};
+  }
+
+  // K-way merge in tag order. `bound` is the largest tag this pass may
+  // cross: for every producer whose ring is empty, its published
+  // watermark (acquired *before* the emptiness check) caps the merge --
+  // past it, that still-silent producer could yet contribute an earlier
+  // tag. Rings are tag-ascending (ranges are claimed monotonically and
+  // buckets push in order), so heads are per-ring minima.
+  thread_local std::vector<const FlowItem*> fronts;
+  fronts.assign(producers, nullptr);
+  std::uint64_t bound = UINT64_MAX;
+  for (std::size_t p = 0; p < producers; ++p) {
+    const std::uint64_t published =
+        producers_[p]->published.load(std::memory_order_acquire);
+    fronts[p] = shard.rings[p]->front();
+    if (fronts[p] == nullptr) bound = std::min(bound, published);
+  }
+  std::size_t n = 0;
+  std::uint64_t last_seq = 0;
+  while (n < max) {
+    std::size_t best = producers;
+    std::uint64_t best_seq = 0;
+    std::uint64_t next_best = UINT64_MAX;
+    for (std::size_t p = 0; p < producers; ++p) {
+      if (fronts[p] == nullptr) continue;
+      const std::uint64_t seq = fronts[p]->seq;
+      if (best == producers || seq < best_seq) {
+        if (best != producers) next_best = best_seq;
+        best = p;
+        best_seq = seq;
+      } else if (seq < next_best) {
+        next_best = seq;
+      }
+    }
+    if (best == producers || best_seq > bound) break;
+    // Take the whole run from `best`: tag ranges are claimed in batches,
+    // so consecutive tags usually come from one producer and the P-way
+    // scan amortizes over the run. The run ends where another ring's head
+    // (or the bound) preempts.
+    const std::uint64_t limit = std::min(next_best - 1, bound);
+    auto& ring = *shard.rings[best];
+    const FlowItem* front = fronts[best];
+    for (;;) {
+      batch[n++] = *front;
+      last_seq = front->seq;
+      ring.pop_front();
+      if (n == max) {
+        front = ring.front();
+        break;
+      }
+      front = ring.front();
+      if (front == nullptr) {
+        // Drained mid-run: fold this producer's published watermark into
+        // the bound (acquire first, then the confirming re-peek). Popped
+        // tags can outrun a publish still in flight; the caller's
+        // max(last_seq, ...) keeps the watermark honest -- once a tag is
+        // popped, its producer can never contribute a smaller one here
+        // (bucket pushes are ascending prefixes).
+        const std::uint64_t published =
+            producers_[best]->published.load(std::memory_order_acquire);
+        front = ring.front();
+        if (front == nullptr) {
+          bound = std::min(bound, published);
+          break;
+        }
+      }
+      if (front->seq > limit) break;
+    }
+    fronts[best] = front;
+  }
+  // The pass's frontier: every flow of this shard with seq <= it is in
+  // the batch or was already processed. A full batch stops mid-stream
+  // (last_seq); an exhausted merge crossed every ring up to `bound`.
+  std::uint64_t watermark = n == max ? last_seq : bound;
+  if (last_seq > watermark) watermark = last_seq;
+  if (watermark == UINT64_MAX) watermark = last_seq;  // unreachable guard
+  return {n, watermark};
 }
 
 void ShardedRuntime::worker_main(Shard& shard) {
+  if (!config_.cpu_set.empty()) {
+    if (pin_current_thread(
+            config_.cpu_set,
+            config_.cpu_slot_offset + static_cast<std::size_t>(shard.index))) {
+      pinned_threads_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      affinity_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   const bool scan_stage = shard.suspect_ring != nullptr;
   // The worker's flight-recorder lane: heartbeat + state are always
   // published (one relaxed store per batch); span emission sits behind the
-  // tracer_->enabled() branch. The queue probe captures the raw ring,
-  // which outlives the lane's retirement at thread exit.
+  // tracer_->enabled() branch. The queue probe captures the raw shard,
+  // whose rings outlive the lane's retirement at thread exit.
   obs::ThreadLane* lane = nullptr;
   if (tracer_ != nullptr) {
-    lane = tracer_->register_thread(
-        "shard-" + std::to_string(shard.index), "worker",
-        [ring = shard.ring.get()] { return ring->size(); });
+    lane = tracer_->register_thread("shard-" + std::to_string(shard.index),
+                                    "worker",
+                                    [raw = &shard] { return raw->queued(); });
   }
   std::vector<FlowItem> batch(config_.max_batch);
   // Reusable batch buffers for the engine's batch API (FlowItem carries the
@@ -354,18 +569,27 @@ void ShardedRuntime::worker_main(Shard& shard) {
   std::vector<core::Verdict> verdicts(config_.max_batch);
   std::vector<core::SuspectFlow> suspects;
   std::vector<std::uint32_t> positions;
+  const auto advance_watermark = [&shard](std::uint64_t to) {
+    if (to > shard.watermark.load(std::memory_order_relaxed)) {
+      shard.watermark.store(to, std::memory_order_release);
+    }
+  };
   for (;;) {
-    const std::size_t n = shard.ring->try_pop_batch(batch.data(), batch.size());
+    const MergeResult merged = merge_batch(shard, batch.data(), batch.size());
+    const std::size_t n = merged.count;
     if (n == 0) {
-      if (stopping_.load(std::memory_order_acquire) && shard.ring->empty()) break;
+      // Nothing mergeable, but the frontier may still move (idle
+      // producers publishing forward): keep the scan stage's reorder
+      // window fed.
+      if (scan_stage) advance_watermark(merged.watermark);
+      if (stopping_.load(std::memory_order_acquire) && shard.queued() == 0) break;
       if (lane != nullptr) lane->set_state(obs::ThreadState::kIdle);
-      if (scan_stage) advance_watermark_if_drained(shard);
-      // Spin briefly (the dispatcher may be mid-refill), then park. The
+      // Spin briefly (a producer may be mid-refill), then park. The
       // timed, predicate-guarded wait bounds any lost-wakeup window to one
       // nap instead of risking a missed-notify deadlock.
       bool refilled = false;
       for (int spin = 0; spin < kIdleSpins; ++spin) {
-        if (!shard.ring->empty()) {
+        if (shard.queued() != 0) {
           refilled = true;
           break;
         }
@@ -375,7 +599,7 @@ void ShardedRuntime::worker_main(Shard& shard) {
         std::unique_lock lock(shard.wake_mutex);
         shard.parked.store(true, std::memory_order_seq_cst);
         shard.wake_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
-          return !shard.ring->empty() ||
+          return shard.queued() != 0 ||
                  stopping_.load(std::memory_order_acquire);
         });
         shard.parked.store(false, std::memory_order_seq_cst);
@@ -476,7 +700,7 @@ void ShardedRuntime::worker_main(Shard& shard) {
     }
     // After the pushes: acquiring this watermark guarantees every suspect
     // up to it is visible in the ring.
-    shard.watermark.store(batch[n - 1].seq, std::memory_order_release);
+    advance_watermark(merged.watermark);
     if (hook_) {
       // Legal flows are final here; suspect verdicts complete (and their
       // hook fires) on the scan thread, in dispatch order.
@@ -490,6 +714,16 @@ void ShardedRuntime::worker_main(Shard& shard) {
 }
 
 void ShardedRuntime::scan_main() {
+  if (!config_.cpu_set.empty()) {
+    // The slot after the workers (producers come before the offset, per
+    // app/node's layout).
+    if (pin_current_thread(config_.cpu_set,
+                           config_.cpu_slot_offset + shards_.size())) {
+      pinned_threads_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      affinity_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   struct BySeq {
     bool operator()(const SeqSuspect& a, const SeqSuspect& b) const {
       return a.seq > b.seq;  // min-heap
@@ -525,7 +759,8 @@ void ShardedRuntime::scan_main() {
     }
     // No suspect below min(watermarks) can still be in flight anywhere, so
     // everything up to it can be applied to the shared scan buffer in
-    // sequence order -- exactly the serial engine's processing order.
+    // sequence order -- exactly the order a serial engine processing the
+    // realized dispatch sequence would use.
     const std::uint64_t safe =
         *std::min_element(watermarks.begin(), watermarks.end());
     suspects.clear();
@@ -604,8 +839,19 @@ void ShardedRuntime::scan_main() {
   if (lane != nullptr) lane->retire();
 }
 
-void ShardedRuntime::flush() {
-  // Phase 1: every shard drains its flow ring (EIA stage complete). After
+void ShardedRuntime::flush_locked() {
+  // Holding the gate exclusively means no claim is in flight, so every
+  // producer's published watermark may advance to the claim counter --
+  // without this, an idle producer that never called producer_idle()
+  // would hold every merge (and the scan reorder window) at its last
+  // publish forever.
+  const std::uint64_t target = next_seq_.load(std::memory_order_relaxed);
+  for (auto& slot : producers_) {
+    if (slot->published.load(std::memory_order_relaxed) < target) {
+      slot->published.store(target, std::memory_order_release);
+    }
+  }
+  // Phase 1: every shard drains its flow rings (EIA stage complete). After
   // this, suspects_forwarded_ is final -- each worker bumps it before the
   // `processed` release store we acquire here.
   for (auto& shard : shards_) {
@@ -627,9 +873,15 @@ void ShardedRuntime::flush() {
   }
 }
 
+void ShardedRuntime::flush() {
+  std::unique_lock gate(submit_gate_);
+  flush_locked();
+}
+
 void ShardedRuntime::shutdown() {
-  if (stopped_) return;
-  flush();
+  std::unique_lock gate(submit_gate_);
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  flush_locked();
   stopping_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->wake_mutex);
@@ -638,8 +890,8 @@ void ShardedRuntime::shutdown() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
-  // Workers first, scan thread second: after flush() nothing is in flight,
-  // and joined workers can no longer forward suspects.
+  // Workers first, scan thread second: after the flush nothing is in
+  // flight, and joined workers can no longer forward suspects.
   if (scan_thread_.joinable()) {
     scan_stopping_.store(true, std::memory_order_release);
     {
@@ -648,8 +900,10 @@ void ShardedRuntime::shutdown() {
     }
     scan_thread_.join();
   }
-  if (dispatch_lane_ != nullptr) dispatch_lane_->retire();
-  stopped_ = true;
+  for (auto& slot : producers_) {
+    if (slot->lane != nullptr) slot->lane->retire();
+  }
+  stopped_.store(true, std::memory_order_relaxed);
 }
 
 RuntimeStats ShardedRuntime::stats() const {
@@ -667,11 +921,25 @@ RuntimeStats ShardedRuntime::stats() const {
   return out;
 }
 
+std::vector<std::size_t> ShardedRuntime::shard_queue_peaks() const {
+  std::vector<std::size_t> peaks;
+  peaks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    peaks.push_back(static_cast<std::size_t>(
+        shard->peak_queued.load(std::memory_order_relaxed)));
+  }
+  return peaks;
+}
+
 const core::InFilterEngine& ShardedRuntime::shard_engine(std::size_t shard) const {
   return *shards_[shard]->engine;
 }
 
 obs::RegistrySnapshot ShardedRuntime::snapshot() const {
+  // The exclusive gate makes a snapshot safe while producer threads are
+  // live: no submit races the per-shard quiescence checks below (their
+  // pushes either completed before the gate or wait behind it).
+  std::unique_lock gate(submit_gate_);
   std::vector<obs::RegistrySnapshot> parts;
   parts.reserve(shards_.size() + 3);
   parts.push_back(registry_->snapshot());
@@ -683,11 +951,11 @@ obs::RegistrySnapshot ShardedRuntime::snapshot() const {
     // A shard engine's registry holds pull gauges over plain (non-atomic)
     // engine state -- the EIA pending map -- that the worker mutates
     // while processing. Sample a shard only when it is quiescent: every
-    // flow the dispatcher pushed has been fully processed, so the worker
-    // cannot touch the engine again before the dispatcher (the thread
-    // running this, per the contract) submits more. The acquire pairs
-    // with the worker's release of `processed`, making the engine writes
-    // visible to the snapshot.
+    // flow the producers pushed has been fully processed, so the worker
+    // cannot touch the engine again before a producer (gated out for the
+    // duration of this call) submits more. The acquire pairs with the
+    // worker's release of `processed`, making the engine writes visible
+    // to the snapshot.
     if (shard->processed.load(std::memory_order_acquire) ==
         shard->enqueued.load(std::memory_order_relaxed)) {
       parts.push_back(shard->engine->registry().snapshot());

@@ -1,50 +1,84 @@
 // The concurrent sharded detection runtime.
 //
-// A new layer between flow ingestion and the analysis engine: N worker
+// A layer between flow ingestion and the analysis engine: N worker
 // threads, each owning a private InFilterEngine (its own EIA table, scan
-// buffer, and metrics registry), fed by bounded SPSC rings from a single
-// dispatcher. The dispatcher hashes each flow's (ingress, source /24) to
-// a fixed shard, so every flow from one source -- and every flow sharing
-// that source's EIA auto-learning counter -- always reaches the same
-// engine. The paper's prototype sits at a POP border; this is the piece
-// that lets the same pipeline keep up with carrier-grade export rates.
+// buffer, and metrics registry), fed by bounded SPSC rings from P
+// producers -- one ring per (producer, shard) pair, merged by the worker.
+// Producers hash each flow's source /24 to a fixed shard, so every flow
+// from one source -- and every flow sharing that source's EIA
+// auto-learning counter -- always reaches the same engine. The paper's
+// prototype sits at a POP border; this is the piece that lets the same
+// pipeline keep up with carrier-grade export rates, with each ingest
+// receiver dispatching its own traffic (no dedicated dispatcher thread).
 //
-// Semantics relative to one serial engine processing the same stream:
+// Sequence tags (the total order everything hangs off):
+//   * One shared atomic claim counter. A producer claims a contiguous tag
+//     range with a single fetch_add per submit call, so tags are globally
+//     unique, strictly monotone per producer, and together form one total
+//     order over all flows -- "dispatch order" is the order of the claims.
+//   * Each producer release-publishes a watermark (`published`) once every
+//     flow of a claimed range is visible in its rings. Any flow a producer
+//     has not yet pushed carries a tag above its published watermark
+//     (ranges are claimed after the previous publish), which is the
+//     invariant every merge below leans on.
+//   * A worker k-way merges its P rings in tag order. It may process up
+//     to `bound` = min over producers of (ring non-empty ? unbounded :
+//     that producer's published watermark, acquired *before* the
+//     emptiness check) -- past `bound` a still-silent producer could yet
+//     contribute an earlier flow. Within a ring tags ascend, so the merge
+//     emits the shard's flows in exactly the order a single dispatcher
+//     would have.
+//
+// Semantics relative to one serial engine processing the flows in tag
+// order (with one producer, that is submission order; with several, the
+// realized claim interleaving -- tests/test_runtime.cpp replays the
+// realized order through a serial engine and pins bit-identity):
 //   * EIA: exact. The EIA check and Section 5.2 auto-learning key on
-//     (ingress, source /24) -- precisely the shard hash -- and each ring
-//     preserves dispatch order, so a shard engine sees the same
-//     state-relevant history a serial engine would.
+//     (ingress, source /24) -- a refinement of the shard hash -- and the
+//     per-shard merge preserves tag order, so a shard engine sees the
+//     same state-relevant history a serial engine would.
 //   * NNS: exact. Trained clusters are shared immutable state and the
 //     probe RNG is derived per flow (core/engine.h), not from a stream.
 //   * Scan analysis: exact. The suspect buffer keys on *destination*
 //     (hosts-per-port / ports-per-host), which source-sharding would
 //     split. Instead, shard engines run only the EIA stage
 //     (pre_process_batch); flows that fail it are forwarded -- tagged
-//     with their global dispatch sequence number -- over per-shard SPSC
-//     rings to one scan-stage thread, which reorders them (a min-heap
-//     reorder window bounded by per-shard watermarks) back into dispatch
-//     order and completes them (scan -> NNS -> alert) on a single shared
-//     engine. Verdicts, alert streams, and scan stats are bit-identical
-//     to the serial engine at every shard count --
-//     tests/test_runtime.cpp pins 1/2/4/8 shards against serial. The
-//     cost is bounded extra latency for suspect flows: a suspect is
-//     released once every shard's watermark passes its sequence number,
-//     and an idle shard advances its watermark to the dispatcher's
-//     published sequence within one ~1 ms park cycle, so the reorder
-//     window never stalls longer than that.
+//     with their dispatch sequence number -- over per-shard SPSC rings to
+//     one scan-stage thread, which reorders them (a min-heap reorder
+//     window bounded by per-shard watermarks) back into tag order and
+//     completes them (scan -> NNS -> alert) on a single shared engine.
+//     Verdicts, alert streams, and scan stats are bit-identical to the
+//     serial engine at every shard count and every producer count --
+//     tests/test_runtime.cpp pins shards {1,2,4,8} x producers {1,2,4}.
+//     A shard's watermark is the largest tag it has fully pre-processed
+//     through (the merge `bound`), which the per-producer published
+//     watermarks keep advancing even while some producers are idle, so
+//     the reorder window never stalls longer than a ~1 ms park cycle.
 //
-// Threading contract: submit*/flush/shutdown/snapshot and the
-// training-phase calls are single-dispatcher operations -- call them from
-// one thread at a time (the SPSC rings assume one producer, and snapshot
-// relies on no submit racing its per-shard quiescence checks). Alerts
+// Threading contract: each producer index is owned by one thread at a
+// time (the SPSC rings assume one pusher per ring); different producer
+// indices submit fully concurrently. flush(), snapshot(), shutdown(), and
+// the training-phase calls take the submit gate exclusively: they are
+// safe to call while producers are live -- submits briefly block, the
+// gate-holder advances every producer's published watermark (no claims
+// can be in flight), waits for quiescence, and releases. The legacy
+// single-argument submit*/flush/snapshot API is exactly the old
+// single-dispatcher usage: producer 0, no concurrency to guard. Alerts
 // funnel through one alert::SerializingSink, so any AlertSink works
 // unmodified; with the scan stage active only the scan engine emits
 // (legal flows never alert). Workers spin briefly when idle, then park on
-// a per-shard futex-style condition variable; the dispatcher wakes a
-// parked worker only when it pushes into that worker's ring. The scan
-// thread parks the same way and is woken by workers forwarding suspects.
+// a per-shard condition variable; a producer wakes a parked worker only
+// when it pushes into that worker's rings. The scan thread parks the same
+// way and is woken by workers forwarding suspects.
 //
-// Backpressure: when a shard's ring is full the dispatcher either blocks
+// CPU placement: when RuntimeConfig::cpu_set is non-empty, each worker
+// pins itself to cpu_set[(cpu_slot_offset + shard index) % size] and the
+// scan thread takes the next slot (runtime/affinity.h). Failures are
+// counted (infilter_runtime_affinity_failures_total) and ignored --
+// placement is a hint, and on a 1-CPU host the whole feature degrades to
+// a no-op.
+//
+// Backpressure: when a shard ring is full the producer either blocks
 // (kBlock: waits for the worker to drain, counting the waits) or sheds the
 // flow (kDrop: counts it and returns false). Both counters are runtime
 // metrics, exported alongside the merged per-shard engine metrics.
@@ -57,6 +91,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -68,7 +103,7 @@
 
 namespace infilter::runtime {
 
-/// What the dispatcher does when a shard's ring is full.
+/// What a producer does when a shard's ring is full.
 enum class BackpressurePolicy : std::uint8_t {
   kBlock,  ///< wait for the worker to drain (lossless, line-rate coupling)
   kDrop,   ///< shed the flow and count it (bounded latency, lossy)
@@ -77,12 +112,23 @@ enum class BackpressurePolicy : std::uint8_t {
 struct RuntimeConfig {
   /// Worker threads / engine shards. Must be >= 1.
   int shards = 4;
-  /// Per-shard ring capacity (rounded up to a power of two).
+  /// Producer slots. Each slot owns one SPSC ring per shard plus a
+  /// published sequence watermark; each slot must be driven by at most one
+  /// thread at a time. The live-ingest pipeline maps receiver thread i to
+  /// producer i; the legacy submit*/submit_batch(span) API is producer 0.
+  int producers = 1;
+  /// Per-(producer, shard) ring capacity (rounded up to a power of two).
   std::size_t queue_depth = 4096;
-  /// Worker-side dequeue batch: how many flows a worker claims per ring
-  /// pop. Amortizes the release/acquire pair over the batch.
+  /// Worker-side dequeue batch: how many flows a worker claims per merge
+  /// pass. Amortizes the release/acquire pairs over the batch.
   std::size_t max_batch = 256;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// CPU placement (runtime/affinity.h): empty = unpinned. Worker k pins
+  /// to cpu_set[(cpu_slot_offset + k) % size], the scan thread to the slot
+  /// after the workers. cpu_slot_offset lets app/node interleave the
+  /// ingest receivers and the runtime threads over one list.
+  std::vector<int> cpu_set;
+  std::size_t cpu_slot_offset = 0;
   /// Per-shard engine template. `engine.registry` is ignored: every shard
   /// gets a private registry so snapshots never race engine teardown, and
   /// snapshot() merges them. All shards share `engine.seed` -- with
@@ -97,21 +143,21 @@ struct RuntimeConfig {
   /// callback into it. snapshot() merges both views either way.
   obs::Registry* registry = nullptr;
   /// Flight recorder (obs/trace.h), not owned; null = no tracing, no
-  /// liveness lanes. When set, the dispatcher/worker/scan threads register
+  /// liveness lanes. When set, the producer/worker/scan threads register
   /// lanes, publish heartbeats, and -- while tracer->enabled() -- emit the
   /// sampled record-journey spans and queue-wait histogram observations.
   /// Must outlive the runtime (lanes are retired, not destroyed).
   obs::Tracer* tracer = nullptr;
 };
 
-/// Dispatcher/worker accounting, all monotone over the runtime's life.
+/// Producer/worker accounting, all monotone over the runtime's life.
 struct RuntimeStats {
   std::uint64_t submitted = 0;           ///< flows offered to submit*()
   std::uint64_t dispatched = 0;          ///< flows accepted into a ring
   std::uint64_t dropped = 0;             ///< flows shed under kDrop
   std::uint64_t backpressure_waits = 0;  ///< full-ring waits under kBlock
   std::uint64_t processed = 0;           ///< flows through a shard engine
-  std::uint64_t batches = 0;             ///< worker dequeue batches
+  std::uint64_t batches = 0;             ///< worker merge batches
   std::uint64_t suspects_forwarded = 0;  ///< EIA misses handed to the scan stage
   std::uint64_t suspects_completed = 0;  ///< suspects finished by the scan stage
 };
@@ -125,13 +171,14 @@ struct FlowItem {
   /// testbed stores a stream index here to join verdicts with ground
   /// truth).
   std::uint64_t tag = 0;
-  /// Global dispatch sequence number. Assigned by the dispatcher (any
-  /// caller-set value is overwritten); the scan stage sorts on it to
-  /// restore dispatch order across shards.
+  /// Dispatch sequence number, claimed from the runtime's shared counter
+  /// at submit time (any caller-set value is overwritten). Globally
+  /// unique and monotone per producer; the per-shard merge and the scan
+  /// stage sort on it to restore one total dispatch order.
   std::uint64_t seq = 0;
   /// Trace journey (obs/trace.h): monotonic stamp of this record's socket
   /// receive. 0 = not on the sampled journey (the common case); set by the
-  /// ingest decode stage, or by the dispatcher for direct submits.
+  /// ingest receiver, or at submit time for direct submits.
   std::uint64_t recv_ns = 0;
   /// The sampled record's previous hop stamp -- each pipeline stage emits
   /// a span [hop_ns, now) and overwrites hop_ns with now, so a record's
@@ -144,9 +191,10 @@ class ShardedRuntime {
   /// Called once per flow when its verdict is final: on the owning
   /// worker's thread for legal flows, on the scan-stage thread for
   /// suspect flows (on the worker for those too when the scan stage is
-  /// inactive). Used by the testbed to score verdicts against ground
-  /// truth. The callable must be thread-safe (threads invoke it
-  /// concurrently).
+  /// inactive). `item.seq` carries the realized dispatch sequence, which
+  /// is how the equivalence tests reconstruct the total order a
+  /// multi-producer run committed to. The callable must be thread-safe
+  /// (threads invoke it concurrently).
   using VerdictHook =
       std::function<void(const FlowItem& item, const core::Verdict& verdict)>;
 
@@ -161,6 +209,8 @@ class ShardedRuntime {
   ShardedRuntime& operator=(const ShardedRuntime&) = delete;
 
   // -- Training phase (fans out to every shard engine) --
+  // Gate-exclusive like flush(): safe while producers are live, though the
+  // intended use is before traffic starts.
 
   /// Preloads an EIA entry into every shard's table.
   void add_expected(core::IngressId ingress, const net::Prefix& prefix);
@@ -181,24 +231,42 @@ class ShardedRuntime {
   [[nodiscard]] static std::size_t shard_of(net::IPv4Address source,
                                             std::size_t shards);
 
-  /// Enqueues one flow. Returns false only when the backpressure policy is
-  /// kDrop and the target ring stayed full.
+  /// Enqueues one flow via producer 0. Returns false only when the
+  /// backpressure policy is kDrop and the target ring stayed full.
   bool submit(const netflow::V5Record& record, core::IngressId ingress,
               util::TimeMs now, std::uint64_t tag = 0);
-  /// Enqueues a batch, amortizing the per-ring synchronization: items are
-  /// bucketed per shard, then each bucket is pushed with one batched ring
-  /// operation. Returns how many flows were accepted (all, under kBlock).
-  std::size_t submit_batch(std::span<const FlowItem> items);
+  /// Enqueues a batch through one producer slot, amortizing the tag claim
+  /// and the per-ring synchronization: one fetch_add claims the whole tag
+  /// range, items are bucketed per shard, and each bucket is pushed with
+  /// one batched ring operation. Returns how many flows were accepted
+  /// (all, under kBlock). `producer` must be < producer_count() and
+  /// driven by one thread at a time.
+  std::size_t submit_batch(std::span<const FlowItem> items, int producer = 0);
 
-  /// Blocks until every dispatched flow has been processed. The dispatcher
-  /// must not submit concurrently (single-producer contract).
+  /// Tells the merge that `producer` has no submission in flight: its
+  /// published watermark advances to the claim counter, so an idle
+  /// producer never holds back the other producers' flows (or the scan
+  /// stage's reorder window). Ingest receivers call this from their poll
+  /// loop; call it from the owning thread only, between submits.
+  void producer_idle(int producer);
+
+  /// Blocks until every dispatched flow has been processed, including the
+  /// scan stage's reorder window. Takes the submit gate exclusively, so
+  /// it is safe while producer threads are live: their submits stall for
+  /// the duration and no flow is lost.
   void flush();
   /// flush(), then stops and joins the workers. Idempotent; further
   /// submits are rejected (counted as dropped).
   void shutdown();
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t producer_count() const { return producers_.size(); }
   [[nodiscard]] RuntimeStats stats() const;
+  /// High-water occupancy per shard (flows queued across that shard's
+  /// producer rings, sampled at push time). The benches record min/max
+  /// over shards to make dispatch skew -- e.g. under a Zipf source
+  /// distribution -- a first-class artifact.
+  [[nodiscard]] std::vector<std::size_t> shard_queue_peaks() const;
   /// Direct access to a shard's engine, for tests and post-run inspection.
   /// Do not call while workers are running (engines are not locked).
   [[nodiscard]] const core::InFilterEngine& shard_engine(std::size_t shard) const;
@@ -213,11 +281,12 @@ class ShardedRuntime {
 
   /// One registry view: the runtime's own metrics merged with the shard
   /// engines' -- and, when active, the scan-stage engine's -- registries
-  /// (obs::merge_snapshots). A single-dispatcher operation, like submit*.
-  /// The runtime's own metrics (atomic counters/histograms, ring
-  /// occupancy) are always included; an engine registry -- whose pull
-  /// gauges read plain engine state its thread mutates -- is merged in
-  /// only while that engine is quiescent (every dispatched flow, and
+  /// (obs::merge_snapshots). Takes the submit gate exclusively, so it is
+  /// safe while producers are live (their submits stall for the
+  /// duration). The runtime's own metrics (atomic counters/histograms,
+  /// ring occupancy) are always included; an engine registry -- whose
+  /// pull gauges read plain engine state its thread mutates -- is merged
+  /// in only while that engine is quiescent (every dispatched flow, and
   /// every forwarded suspect, processed). Call flush() first for a
   /// complete, exact view; a mid-stream snapshot silently omits busy
   /// engines. With the scan stage active, the split engine halves divide
@@ -236,40 +305,77 @@ class ShardedRuntime {
     std::uint64_t hop_ns = 0;
   };
 
+  /// One producer slot: the publish watermark plus per-call scratch. Each
+  /// slot is driven by at most one thread at a time (see RuntimeConfig).
+  struct ProducerSlot {
+    /// Tags <= published are all visible in this producer's rings (or
+    /// were shed); release-stored after every push of a claimed range.
+    /// Everything this producer has not pushed yet carries a larger tag.
+    alignas(kCacheLine) std::atomic<std::uint64_t> published{0};
+    /// Flows this producer pushed into rings (metrics).
+    std::atomic<std::uint64_t> accepted{0};
+    /// Per-shard bucketing scratch for submit_batch; capacity kept across
+    /// calls so the hot path stays allocation-free at steady state.
+    std::vector<std::vector<FlowItem>> buckets;
+    /// This producer's trace lane ("dispatch" for slot 0, "dispatch-<p>"
+    /// after), written only by the slot's owning thread. Null without a
+    /// tracer.
+    obs::ThreadLane* lane = nullptr;
+  };
+
   struct Shard {
-    std::unique_ptr<SpscRing<FlowItem>> ring;
+    /// One ring per producer slot; the worker merges them in tag order.
+    std::vector<std::unique_ptr<SpscRing<FlowItem>>> rings;
     std::unique_ptr<core::InFilterEngine> engine;
     /// Worker -> scan stage, only when the scan stage is active.
     std::unique_ptr<SpscRing<SeqSuspect>> suspect_ring;
     std::thread worker;
-    /// Shard index, for trace-lane naming.
+    /// Shard index, for trace-lane naming and cpu-slot assignment.
     int index = 0;
 
-    /// Dispatcher-side count of flows pushed into `ring` (only the
-    /// dispatcher writes it; flush() compares against `processed`).
+    /// Flows pushed into this shard's rings, summed over producers
+    /// (flush() compares against `processed`).
     std::atomic<std::uint64_t> enqueued{0};
     /// Worker-side count of flows through the shard engine.
     std::atomic<std::uint64_t> processed{0};
+    /// High-water total ring occupancy, sampled by producers at push time.
+    std::atomic<std::uint64_t> peak_queued{0};
     /// Scan-stage watermark: every flow dispatched to this shard with
     /// seq <= watermark has been pre-processed and its suspect (if any)
     /// pushed into `suspect_ring` *before* the release store the scan
-    /// thread acquires. Advanced by the worker after each batch, and --
-    /// when the ring is drained -- up to the dispatcher's published_seq_,
-    /// so an idle shard never stalls the reorder window.
+    /// thread acquires. Advanced by the worker to each merge pass's safe
+    /// bound, which the per-producer published watermarks keep moving
+    /// even while the shard is idle.
     std::atomic<std::uint64_t> watermark{0};
 
     // Park/wake handshake (see worker_main).
     std::mutex wake_mutex;
     std::condition_variable wake_cv;
     std::atomic<bool> parked{false};
+
+    [[nodiscard]] std::size_t queued() const {
+      std::size_t total = 0;
+      for (const auto& ring : rings) total += ring->size();
+      return total;
+    }
   };
 
   void worker_main(Shard& shard);
   void scan_main();
-  void advance_watermark_if_drained(Shard& shard);
-  bool push_with_backpressure(Shard& shard, const FlowItem& item);
-  std::size_t push_batch_with_backpressure(Shard& shard,
+  /// One merge pass: fills `batch` with up to max_batch flows in tag
+  /// order and returns {count, watermark}, where every flow of this shard
+  /// with seq <= watermark is in the batch or already processed.
+  struct MergeResult {
+    std::size_t count = 0;
+    std::uint64_t watermark = 0;
+  };
+  MergeResult merge_batch(Shard& shard, FlowItem* batch, std::size_t max);
+  bool push_with_backpressure(Shard& shard, SpscRing<FlowItem>& ring,
+                              const FlowItem& item);
+  std::size_t push_batch_with_backpressure(Shard& shard, SpscRing<FlowItem>& ring,
                                            std::span<const FlowItem> items);
+  void note_occupancy(Shard& shard);
+  void flush_locked();
   void wake(Shard& shard);
   void wake_scan();
 
@@ -277,13 +383,17 @@ class ShardedRuntime {
   alert::SerializingSink sink_;
   VerdictHook hook_;
   obs::Tracer* tracer_ = nullptr;  ///< config_.tracer; may be null
-  /// The dispatcher's trace lane (submit* runs on the caller's thread,
-  /// which the single-dispatcher contract makes one logical thread);
-  /// retired in shutdown(). Null when tracer_ is null.
-  obs::ThreadLane* dispatch_lane_ = nullptr;
+  std::vector<std::unique_ptr<ProducerSlot>> producers_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopping_{false};
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
+
+  /// The submit gate: producers hold it shared for the duration of one
+  /// submit call; flush/snapshot/shutdown and the training calls hold it
+  /// exclusively, which (a) guarantees no tag claim is in flight, so the
+  /// gate-holder may advance every published watermark to the claim
+  /// counter, and (b) gives the quiescence checks a stable frontier.
+  mutable std::shared_mutex submit_gate_;
 
   // -- Shared scan stage (active iff kEnhanced && use_scan_analysis) --
 
@@ -292,20 +402,15 @@ class ShardedRuntime {
   /// SuspectFlow); null when the stage is inactive.
   std::unique_ptr<core::InFilterEngine> scan_engine_;
   std::thread scan_thread_;
-  /// Dispatcher-only: the last sequence number assigned.
-  std::uint64_t next_seq_ = 0;
-  /// Dispatcher-only scratch for submit_batch's per-shard bucketing;
-  /// cleared (capacity kept) per call so the hot path stays allocation-free
-  /// at steady state.
-  std::vector<std::vector<FlowItem>> dispatch_buckets_;
-  /// next_seq_, release-published after every flow of a submit call is in
-  /// its ring. A worker that acquires this and then finds its ring empty
-  /// has processed every flow <= published_seq_ dispatched to it (later
-  /// submissions carry larger sequence numbers), so it may raise its
-  /// watermark that far.
-  std::atomic<std::uint64_t> published_seq_{0};
+  /// The shared claim counter: the last tag handed out. Producers claim
+  /// ranges with fetch_add (one RMW per submit call).
+  std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> suspects_forwarded_{0};
   std::atomic<std::uint64_t> suspects_completed_{0};
+  /// CPU placement accounting (affinity is a hint; failures are counted,
+  /// never fatal).
+  std::atomic<std::uint64_t> pinned_threads_{0};
+  std::atomic<std::uint64_t> affinity_failures_{0};
   std::atomic<bool> scan_stopping_{false};
   std::mutex scan_wake_mutex_;
   std::condition_variable scan_wake_cv_;

@@ -1,7 +1,8 @@
 // Bounded single-producer / single-consumer ring buffer.
 //
-// The queue between the dispatcher and one shard worker (runtime.h). One
-// thread pushes, one thread pops; under that contract every operation is
+// The queue between one producer and one shard worker (runtime.h keeps a
+// ring per (producer, shard) pair and merges at the worker). One thread
+// pushes, one thread pops; under that contract every operation is
 // wait-free: a slot index is a monotone position counter and the masked
 // remainder addresses the slot array, so full/empty tests are two loads.
 //
@@ -101,6 +102,26 @@ class SpscRing {
     for (std::size_t i = 0; i < n; ++i) out[i] = std::move(slots_[(head + i) & mask_]);
     if (n > 0) head_.store(head + n, std::memory_order_release);
     return n;
+  }
+
+  /// Consumer side: a pointer to the oldest item without consuming it, or
+  /// nullptr when the ring is empty. The pointer stays valid until the
+  /// consumer pops; the shard workers use it to merge several producer
+  /// rings in sequence order without committing to a pop.
+  [[nodiscard]] const T* front() noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  /// Consumer side: discards the item front() exposed. Precondition: the
+  /// ring is non-empty (front() returned non-null since the last pop).
+  void pop_front() noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    head_.store(head + 1, std::memory_order_release);
   }
 
   /// Either side: approximate occupancy (exact when the other side is

@@ -99,11 +99,14 @@ struct ExperimentConfig {
 
   // -- Concurrent runtime (src/runtime) --
   /// 0 replays through one serial engine (the paper's prototype); N >= 1
-  /// replays through a ShardedRuntime with N worker shards. Either way
-  /// the verdicts are bit-identical to serial at every shard count:
-  /// suspects from all shards funnel through one shared scan-stage
-  /// engine in dispatch order (see runtime/runtime.h), so the
-  /// destination-keyed suspect buffer stays global.
+  /// replays through a ShardedRuntime with N worker shards. The testbed
+  /// submits from one thread (producer 0), so the realized dispatch
+  /// order is submission order and verdicts are bit-identical to serial
+  /// at every shard count: suspects from all shards funnel through one
+  /// shared scan-stage engine in that order (see runtime/runtime.h), so
+  /// the destination-keyed suspect buffer stays global. Multi-producer
+  /// submission keeps the same guarantee against the realized claim
+  /// order (pinned in tests/test_runtime.cpp).
   int runtime_shards = 0;
   std::size_t runtime_queue_depth = 4096;
 

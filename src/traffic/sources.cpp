@@ -1,0 +1,50 @@
+#include "traffic/sources.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace infilter::traffic {
+
+ZipfSourceModel::ZipfSourceModel(std::size_t items, SourceSkewConfig config,
+                                 std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  assert(items > 0);
+  cdf_.reserve(items);
+  double total = 0;
+  for (std::size_t k = 1; k <= items; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), config_.zipf_s);
+    cdf_.push_back(total);
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+  permutation_.resize(items);
+  std::iota(permutation_.begin(), permutation_.end(), std::size_t{0});
+  reshuffle();
+}
+
+void ZipfSourceModel::reshuffle() {
+  // Seeded Fisher-Yates: the epoch's permutation is a pure function of
+  // (seed, epoch), independent of the caller's rng stream, so enabling
+  // churn changes which items are hot but not how many draws are consumed.
+  util::SplitMix64 mix{seed_ ^ (std::uint64_t{epoch_} * 0x9E3779B97F4A7C15ULL)};
+  for (std::size_t i = permutation_.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(mix.next() % i);
+    std::swap(permutation_[i - 1], permutation_[j]);
+  }
+}
+
+std::size_t ZipfSourceModel::draw(util::Rng& rng) {
+  if (config_.churn_every > 0 && draws_ > 0 && draws_ % config_.churn_every == 0) {
+    ++epoch_;
+    reshuffle();
+  }
+  ++draws_;
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::size_t>(it - cdf_.begin());
+  return permutation_[std::min(rank, permutation_.size() - 1)];
+}
+
+}  // namespace infilter::traffic

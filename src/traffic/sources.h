@@ -1,0 +1,60 @@
+// Skewed source-popularity models.
+//
+// Real ingress traffic is not uniform over the source space: a few source
+// /24s carry most of the flows (classic Zipf-like popularity), and the
+// hot set drifts over time as customer activity moves. Because the
+// sharded runtime (src/runtime) partitions work by source /24, that skew
+// is exactly what produces shard imbalance -- this model makes the
+// imbalance reproducible so `infilter_runtime_queue_imbalance` can be
+// studied on a synthetic stream (bench/throughput --source-dist zipf),
+// seeding the heavy-hitter mitigation work on the roadmap.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace infilter::traffic {
+
+struct SourceSkewConfig {
+  /// Zipf exponent over popularity ranks: item at rank k (1-based) gets
+  /// weight 1/k^s. 1.26 matches the flow-per-source tail measured in
+  /// backbone traces; larger values concentrate harder.
+  double zipf_s = 1.26;
+  /// Draws between hot-set rotations ("churn"): every `churn_every` draws
+  /// the rank -> item permutation is reshuffled, so yesterday's heavy
+  /// hitter goes cold and a new one takes over. 0 = static popularity.
+  std::size_t churn_every = 0;
+};
+
+/// Draws item indices in [0, n) with Zipf(s)-distributed popularity and
+/// optional churn. Which item holds which rank is a seeded permutation,
+/// so the same (n, config, seed) reproduces the same skew exactly.
+class ZipfSourceModel {
+ public:
+  ZipfSourceModel(std::size_t items, SourceSkewConfig config,
+                  std::uint64_t seed);
+
+  /// Draws one item index; consumes exactly one rng.uniform() draw.
+  [[nodiscard]] std::size_t draw(util::Rng& rng);
+
+  /// Hot-set rotations that have happened so far (0 until churn kicks in).
+  [[nodiscard]] std::size_t epochs() const { return epoch_; }
+  [[nodiscard]] std::size_t items() const { return permutation_.size(); }
+
+ private:
+  void reshuffle();
+
+  SourceSkewConfig config_;
+  std::uint64_t seed_;
+  /// cdf_[k] = P(rank <= k), over 1/k^s weights.
+  std::vector<double> cdf_;
+  /// rank -> item index for the current epoch.
+  std::vector<std::size_t> permutation_;
+  std::size_t draws_ = 0;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace infilter::traffic

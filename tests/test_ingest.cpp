@@ -1,7 +1,8 @@
 // Tests for the threaded live-ingest subsystem (ingest/ingest.h): pooled
-// buffers, overload accounting, drain semantics, and -- the load-bearing
-// one -- verdict equivalence with the serial LiveCollector path over the
-// same datagram stream.
+// buffers, shed accounting, drain semantics, receiver-direct dispatch
+// (each receiver decodes inline and dispatches as its own producer), and
+// -- the load-bearing one -- verdict equivalence with the serial
+// LiveCollector path over the same datagram stream.
 
 #include "ingest/ingest.h"
 
@@ -82,7 +83,7 @@ void wait_received(const IngestPipeline& pipeline, std::uint64_t expected) {
 
 TEST(IngestPipeline, RejectsEmptyPortList) {
   auto pipeline = IngestPipeline::create(
-      IngestConfig{}, [](std::span<const runtime::FlowItem> items) {
+      IngestConfig{}, [](std::span<const runtime::FlowItem> items, int) {
         return items.size();
       });
   EXPECT_FALSE(pipeline.has_value());
@@ -93,21 +94,22 @@ TEST(IngestPipeline, RejectsMismatchedIngressIds) {
   config.ports = {0, 0};
   config.ingress_ids = {9001};  // not parallel to ports
   auto pipeline = IngestPipeline::create(
-      config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
+      config,
+      [](std::span<const runtime::FlowItem> items, int) { return items.size(); });
   EXPECT_FALSE(pipeline.has_value());
 }
 
 TEST(IngestPipeline, PooledBuffersAreReusedAcrossManyDatagrams) {
-  // 8 buffers, >100 datagrams: every buffer must make many full
-  // receiver -> ring -> decode -> free-ring cycles for the counts to come
-  // out, and under kBlock nothing may be lost while the receiver waits.
+  // 8 buffers, >100 datagrams: every arena slot must make many full
+  // receive -> decode -> recycle cycles for the counts to come out, and
+  // nothing may be lost along the way.
   std::atomic<std::uint64_t> dispatched{0};
   IngestConfig config;
   config.ports = {0};
   config.arena_slots = 8;
   config.recv_batch = 1;  // also exercises the receive_into() fallback path
   auto pipeline = IngestPipeline::create(
-      config, [&dispatched](std::span<const runtime::FlowItem> items) {
+      config, [&dispatched](std::span<const runtime::FlowItem> items, int) {
         dispatched.fetch_add(items.size(), std::memory_order_relaxed);
         return items.size();
       });
@@ -140,18 +142,19 @@ TEST(IngestPipeline, PooledBuffersAreReusedAcrossManyDatagrams) {
   EXPECT_EQ(stats.records_decoded, flows * kRounds);
   EXPECT_EQ(stats.records_dispatched, flows * kRounds);
   EXPECT_EQ(dispatched.load(), flows * kRounds);
-  // At rest nothing is queued and the free pool never exceeds the arena.
+  // Receiver-direct dispatch has no internal queue between receive and
+  // decode, so the old queued/free-buffer gauges are gone from the scrape.
   const auto snapshot = (*pipeline)->snapshot();
-  EXPECT_EQ(snapshot.value("infilter_ingest_queued"), 0.0);
-  EXPECT_LE(snapshot.value("infilter_ingest_free_buffers"),
-            static_cast<double>(config.arena_slots));
+  EXPECT_EQ(snapshot.find("infilter_ingest_queued"), nullptr);
+  EXPECT_EQ(snapshot.find("infilter_ingest_free_buffers"), nullptr);
 }
 
 TEST(IngestPipeline, MalformedAndZeroLengthDatagramsAreCountedNotFatal) {
   IngestConfig config;
   config.ports = {0};
   auto pipeline = IngestPipeline::create(
-      config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
+      config,
+      [](std::span<const runtime::FlowItem> items, int) { return items.size(); });
   ASSERT_TRUE(pipeline.has_value()) << pipeline.error().message;
   auto sender = flowtools::UdpSender::create();
   ASSERT_TRUE(sender.has_value());
@@ -192,9 +195,9 @@ std::vector<std::uint8_t> marked_datagram(std::uint16_t marker,
 TEST(IngestPipeline, TruncatedDatagramMidBatchKeepsSlotCorrespondence) {
   // Regression: in the recvmmsg path, recycling a truncated slot while the
   // pop loop was still consuming the free-list suffix handed every later
-  // message in the batch the wrong arena buffer. Park the decode stage,
-  // fill the arena, and queue an interleaved valid/oversized pattern in
-  // the kernel so the receiver picks it up in one batch on resume.
+  // message in the batch the wrong arena buffer. Park the receiver
+  // (quiesce) and queue an interleaved valid/oversized pattern in the
+  // kernel so it picks the pattern up in full batches on resume.
   std::mutex mutex;
   std::vector<std::uint16_t> markers;
   IngestConfig config;
@@ -202,7 +205,7 @@ TEST(IngestPipeline, TruncatedDatagramMidBatchKeepsSlotCorrespondence) {
   config.arena_slots = 8;
   config.recv_batch = 8;
   auto pipeline = IngestPipeline::create(
-      config, [&](std::span<const runtime::FlowItem> items) {
+      config, [&](std::span<const runtime::FlowItem> items, int) {
         std::lock_guard lock(mutex);
         for (const auto& item : items) markers.push_back(item.record.src_port);
         return items.size();
@@ -215,16 +218,16 @@ TEST(IngestPipeline, TruncatedDatagramMidBatchKeepsSlotCorrespondence) {
   std::vector<std::uint16_t> expected;
   const std::vector<std::uint8_t> oversized(2 * config.slot_bytes, 0xEE);
   (*pipeline)->quiesce([&] {
-    // Fillers exhaust the 8-slot arena; the receiver then blocks (kBlock)
-    // while the decode stage is parked, so everything sent afterwards
-    // accumulates in the kernel queue.
+    // The receiver is parked between batches, so everything sent inside
+    // the quiesce window accumulates in the kernel queue and comes out in
+    // full recvmmsg() batches on resume.
     for (std::uint16_t i = 0; i < 8; ++i) {
       ASSERT_TRUE(sender->send(port, marked_datagram(100 + i)).has_value());
       expected.push_back(100 + i);
     }
     std::this_thread::sleep_for(100ms);
     // Oversized datagrams interleaved between valid ones: on resume the
-    // receiver reclaims all 8 slots and recvmmsg()s this as one batch.
+    // receiver recvmmsg()s the mix as whole batches.
     for (std::uint16_t i = 0; i < 4; ++i) {
       if (i == 1 || i == 3) {
         ASSERT_TRUE(sender->send(port, oversized).has_value());
@@ -252,7 +255,8 @@ TEST(IngestPipeline, SequenceGapAccountingSurvivesWraparound) {
   IngestConfig config;
   config.ports = {0};
   auto pipeline = IngestPipeline::create(
-      config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
+      config,
+      [](std::span<const runtime::FlowItem> items, int) { return items.size(); });
   ASSERT_TRUE(pipeline.has_value()) << pipeline.error().message;
   auto sender = flowtools::UdpSender::create();
   ASSERT_TRUE(sender.has_value());
@@ -275,13 +279,14 @@ TEST(IngestPipeline, SequenceGapAccountingSurvivesWraparound) {
 }
 
 TEST(IngestPipeline, StopConcurrentWithQuiesceDoesNotDeadlock) {
-  // Regression: stop() setting decode_stopping_ while quiesce() waited for
-  // paused_ stranded the quiesce forever. They now serialize on the
-  // quiesce mutex, and post-stop quiesces take the stopped fast path.
+  // Regression: stop() tearing the receivers down while quiesce() waited
+  // for them to park stranded the quiesce forever. They now serialize on
+  // the quiesce mutex, and post-stop quiesces take the stopped fast path.
   IngestConfig config;
   config.ports = {0};
   auto pipeline = IngestPipeline::create(
-      config, [](std::span<const runtime::FlowItem> items) { return items.size(); });
+      config,
+      [](std::span<const runtime::FlowItem> items, int) { return items.size(); });
   ASSERT_TRUE(pipeline.has_value()) << pipeline.error().message;
 
   std::atomic<int> ran{0};
@@ -296,16 +301,21 @@ TEST(IngestPipeline, StopConcurrentWithQuiesceDoesNotDeadlock) {
   EXPECT_EQ(ran.load(), 50);
 }
 
-TEST(IngestPipeline, OverloadDropOldestShedsAndAccountsExactly) {
-  std::atomic<std::uint64_t> dispatched{0};
+TEST(IngestPipeline, RefusedDispatchIsShedAndAccountedExactly) {
+  // Receiver-direct dispatch sheds at exactly one place: the dispatcher
+  // refusing records (a kDrop runtime with full rings). A dispatcher that
+  // accepts only every other record must leave decoded ==
+  // dispatched + shed, with nothing silently lost.
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> offered{0};
   IngestConfig config;
   config.ports = {0};
-  config.arena_slots = 4;  // tiny arena: overload is easy to provoke
-  config.overload = OverloadPolicy::kDropOldest;
   auto pipeline = IngestPipeline::create(
-      config, [&dispatched](std::span<const runtime::FlowItem> items) {
-        dispatched.fetch_add(items.size(), std::memory_order_relaxed);
-        return items.size();
+      config, [&](std::span<const runtime::FlowItem> items, int) {
+        offered.fetch_add(items.size(), std::memory_order_relaxed);
+        const auto take = items.size() / 2;
+        accepted.fetch_add(take, std::memory_order_relaxed);
+        return take;
       });
   ASSERT_TRUE(pipeline.has_value()) << pipeline.error().message;
   auto sender = flowtools::UdpSender::create();
@@ -314,27 +324,20 @@ TEST(IngestPipeline, OverloadDropOldestShedsAndAccountsExactly) {
 
   std::size_t flows = 0;
   const auto datagrams = mixed_datagrams(&flows);
-  const std::size_t to_send = std::min<std::size_t>(64, datagrams.size());
-  // Park the decode stage (quiesce holds it parked for the callback) and
-  // flood: the receiver exhausts the 4-slot arena and files shed requests
-  // that the decode stage honors the moment it resumes.
-  (*pipeline)->quiesce([&] {
-    for (std::size_t i = 0; i < to_send; ++i) {
-      ASSERT_TRUE(sender->send(port, datagrams[i]).has_value());
-    }
-    std::this_thread::sleep_for(50ms);  // let the receiver hit the wall
-  });
-
-  wait_received(**pipeline, to_send);
+  for (const auto& datagram : datagrams) {
+    ASSERT_TRUE(sender->send(port, datagram).has_value());
+  }
+  wait_received(**pipeline, datagrams.size());
   (*pipeline)->drain();
   const auto stats = (*pipeline)->stats();
-  // Every accepted datagram is accounted for exactly once: decoded,
-  // malformed, or shed as oldest. Nothing is silently lost.
-  EXPECT_EQ(stats.datagrams_received, to_send);
-  EXPECT_EQ(stats.datagrams_received,
-            stats.datagrams_decoded + stats.datagrams_malformed + stats.dropped_oldest);
-  EXPECT_GT(stats.dropped_oldest, 0u);
-  EXPECT_EQ(stats.records_dispatched, dispatched.load());
+  EXPECT_EQ(stats.datagrams_received, datagrams.size());
+  EXPECT_EQ(stats.records_decoded, flows);
+  EXPECT_EQ(stats.records_decoded, stats.records_dispatched + stats.records_shed);
+  EXPECT_GT(stats.records_shed, 0u);
+  EXPECT_EQ(stats.records_dispatched, accepted.load());
+  EXPECT_EQ(stats.records_decoded, offered.load());
+  // The legacy oldest-first shed path is gone; its counter stays at zero.
+  EXPECT_EQ(stats.dropped_oldest, 0u);
 }
 
 TEST(IngestPipeline, DrainMeansDispatched) {
@@ -343,7 +346,7 @@ TEST(IngestPipeline, DrainMeansDispatched) {
   config.ports = {0};
   config.dispatch_batch = 1 << 16;  // huge batch: drain must force the flush
   auto pipeline = IngestPipeline::create(
-      config, [&dispatched](std::span<const runtime::FlowItem> items) {
+      config, [&dispatched](std::span<const runtime::FlowItem> items, int) {
         dispatched.fetch_add(items.size(), std::memory_order_relaxed);
         return items.size();
       });
@@ -375,7 +378,7 @@ TEST(IngestPipeline, TagsAreMonotoneInSocketOrder) {
   IngestConfig config;
   config.ports = {0};
   auto pipeline = IngestPipeline::create(
-      config, [&](std::span<const runtime::FlowItem> items) {
+      config, [&](std::span<const runtime::FlowItem> items, int) {
         std::lock_guard lock(mutex);
         for (const auto& item : items) tags.push_back(item.tag);
         return items.size();
@@ -393,11 +396,61 @@ TEST(IngestPipeline, TagsAreMonotoneInSocketOrder) {
 
   std::lock_guard lock(mutex);
   ASSERT_EQ(tags.size(), flows);
-  // One socket, one decode thread: the tag sequence is 0..n-1 in kernel
+  // One socket, one receiver: the tag sequence is 0..n-1 in kernel
   // receive order -- the join key the verdict-equivalence test relies on.
   for (std::size_t i = 0; i < tags.size(); ++i) {
     ASSERT_EQ(tags[i], i) << "at index " << i;
   }
+}
+
+TEST(IngestPipeline, TagsArePartitionedAndMonotonePerReceiver) {
+  // Several receivers stamp tags concurrently: receiver r owns the tag
+  // block starting at r << 48 (receiver 0 starts at 0 so the single-
+  // receiver join keys are unchanged), and within a receiver the tags
+  // stay strictly monotone in its own dispatch order.
+  std::mutex mutex;
+  std::map<int, std::vector<std::uint64_t>> by_producer;
+  IngestConfig config;
+  config.ports = {0, 0, 0};
+  config.receiver_threads = 3;
+  auto pipeline = IngestPipeline::create(
+      config, [&](std::span<const runtime::FlowItem> items, int producer) {
+        std::lock_guard lock(mutex);
+        auto& tags = by_producer[producer];
+        for (const auto& item : items) tags.push_back(item.tag);
+        return items.size();
+      });
+  ASSERT_TRUE(pipeline.has_value()) << pipeline.error().message;
+  EXPECT_EQ((*pipeline)->receiver_count(), 3u);
+  auto sender = flowtools::UdpSender::create();
+  ASSERT_TRUE(sender.has_value());
+  const auto ports = (*pipeline)->ports();
+  std::size_t flows = 0;
+  const auto datagrams = mixed_datagrams(&flows);
+  std::uint64_t sent = 0;
+  for (std::size_t i = 0; i < datagrams.size(); ++i) {
+    ASSERT_TRUE(sender->send(ports[i % ports.size()], datagrams[i]).has_value());
+    ++sent;
+    while ((*pipeline)->stats().datagrams_received + 48 < sent) {
+      std::this_thread::sleep_for(100us);
+    }
+  }
+  wait_received(**pipeline, sent);
+  (*pipeline)->drain();
+
+  std::lock_guard lock(mutex);
+  std::size_t total = 0;
+  for (const auto& [producer, tags] : by_producer) {
+    ASSERT_GE(producer, 0);
+    ASSERT_LT(producer, 3);
+    total += tags.size();
+    const std::uint64_t base =
+        producer == 0 ? 0 : std::uint64_t{static_cast<std::uint64_t>(producer)} << 48;
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      EXPECT_EQ(tags[i], base + i) << "producer " << producer << " index " << i;
+    }
+  }
+  EXPECT_EQ(total, flows);
 }
 
 TEST(IngestPipeline, VerdictsBitIdenticalToSerialLiveCollector) {
@@ -439,7 +492,7 @@ TEST(IngestPipeline, VerdictsBitIdenticalToSerialLiveCollector) {
   // a 2-shard runtime. ingress_ids pins the ephemeral socket to path A's
   // ingress identity, so the EIA tables see identical keys; the NNS probe
   // RNG is a pure function of (seed, record); and one socket through one
-  // decode thread preserves arrival order, joined back via the tag. --
+  // receiver preserves arrival order, joined back via the tag. --
   runtime::RuntimeConfig runtime_config;
   runtime_config.shards = 2;
   runtime_config.engine = engine_config;
@@ -501,6 +554,7 @@ TEST(IngestStress, MultiSocketMultiReceiverWithConcurrentQuiesce) {
   // drain/quiesce/stats/snapshot handshakes while traffic flows.
   runtime::RuntimeConfig runtime_config;
   runtime_config.shards = 2;
+  runtime_config.producers = 2;  // one slot per receiver thread
   runtime_config.engine.mode = core::EngineMode::kBasic;  // no training needed
   runtime::ShardedRuntime runtime(runtime_config);
 
@@ -522,7 +576,8 @@ TEST(IngestStress, MultiSocketMultiReceiverWithConcurrentQuiesce) {
     ASSERT_TRUE(sender->send(ports[i % ports.size()], datagrams[i]).has_value());
     ++sent;
     if (i % 16 == 0) {
-      // Exercise the single-dispatcher handshake mid-stream.
+      // Exercise the quiesce/flush handshake mid-stream, with both
+      // receivers dispatching as independent runtime producers.
       (*pipeline)->quiesce([&] { runtime.flush(); });
       (void)(*pipeline)->stats();
       (void)(*pipeline)->snapshot();

@@ -8,11 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <string>
 #include <thread>
+
+#include "runtime/affinity.h"
 
 #include "obs/metrics.h"
 #include "sim/testbed.h"
@@ -599,6 +603,286 @@ TEST(ShardedRuntime, ShutdownIsIdempotentAndRejectsLateSubmits) {
   const auto stats = rt.stats();
   EXPECT_EQ(stats.processed, 1u);
   EXPECT_EQ(stats.dropped, 1u);
+}
+
+// -- Multi-producer dispatch --
+
+// A producer that has finished submitting must keep beaconing idle until
+// every producer is done: the merge bound waits on silent producers'
+// watermarks, and a finished-but-silent producer would stall the other
+// producers' flows against a full ring (the ingest receivers beacon every
+// poll cycle for the same reason).
+void beacon_until_done(ShardedRuntime& rt, int producer,
+                       std::atomic<int>& live) {
+  live.fetch_sub(1);
+  while (live.load() > 0) {
+    rt.producer_idle(producer);
+    std::this_thread::yield();
+  }
+}
+
+// The merge property behind every multi-producer guarantee: whatever the
+// producer interleaving, each shard worker consumes its multi-SPSC fan-in
+// in strictly increasing seq order, and each producer's claims stay
+// monotone in its own submission order. Small rings + kBlock maximize
+// merge pressure. TSan-clean under scripts/check.sh's --producers lane.
+TEST(ShardedRuntime, MergeKeepsSeqStrictlyMonotonePerShard) {
+  constexpr int kShards = 4;
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 4000;
+  RuntimeConfig config;
+  config.shards = kShards;
+  config.producers = kProducers;
+  config.queue_depth = 32;
+  config.backpressure = BackpressurePolicy::kBlock;
+  config.engine.mode = core::EngineMode::kBasic;
+  // kBasic keeps the scan stage inactive, so the hook fires on the owning
+  // worker thread only: one writer per shard log, no lock needed.
+  std::array<std::vector<std::uint64_t>, kShards> seq_log;
+  std::array<std::vector<std::uint64_t>, kShards> tag_log;
+  {
+    ShardedRuntime rt(config, nullptr,
+                      [&](const FlowItem& item, const core::Verdict&) {
+                        const auto shard =
+                            ShardedRuntime::shard_of(item.record.src_ip, kShards);
+                        seq_log[shard].push_back(item.seq);
+                        tag_log[shard].push_back(item.tag);
+                      });
+    ASSERT_EQ(rt.producer_count(), static_cast<std::size_t>(kProducers));
+    std::atomic<int> live{kProducers};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        std::vector<FlowItem> batch;
+        for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+          const auto salt = static_cast<std::uint32_t>(i);
+          batch.push_back(FlowItem{simple_flow(salt), 9001,
+                                   static_cast<util::TimeMs>(i),
+                                   (static_cast<std::uint64_t>(p) << 32) | i});
+          if (batch.size() == 8) {
+            rt.submit_batch(batch, p);
+            batch.clear();
+          }
+        }
+        if (!batch.empty()) rt.submit_batch(batch, p);
+        beacon_until_done(rt, p, live);
+      });
+    }
+    for (auto& t : producers) t.join();
+    rt.flush();
+    const auto stats = rt.stats();
+    EXPECT_EQ(stats.processed, kPerProducer * kProducers);
+    EXPECT_EQ(stats.dropped, 0u);
+  }
+
+  std::size_t total = 0;
+  std::set<std::uint64_t> seqs;
+  std::array<std::vector<std::uint64_t>, kProducers> seq_by_producer;
+  for (auto& per : seq_by_producer) per.resize(kPerProducer, 0);
+  for (int s = 0; s < kShards; ++s) {
+    SCOPED_TRACE("shard=" + std::to_string(s));
+    total += seq_log[s].size();
+    for (std::size_t i = 1; i < seq_log[s].size(); ++i) {
+      ASSERT_LT(seq_log[s][i - 1], seq_log[s][i]) << "merge out of order at " << i;
+    }
+    for (std::size_t i = 0; i < seq_log[s].size(); ++i) {
+      seqs.insert(seq_log[s][i]);
+      const auto p = static_cast<std::size_t>(tag_log[s][i] >> 32);
+      seq_by_producer[p][tag_log[s][i] & 0xFFFFFFFFu] = seq_log[s][i];
+    }
+  }
+  EXPECT_EQ(total, kPerProducer * kProducers);
+  EXPECT_EQ(seqs.size(), total);  // seqs globally unique across producers
+  // Each producer's seq claims are monotone in its own submission order.
+  for (int p = 0; p < kProducers; ++p) {
+    SCOPED_TRACE("producer=" + std::to_string(p));
+    for (std::uint64_t i = 1; i < kPerProducer; ++i) {
+      ASSERT_LT(seq_by_producer[p][i - 1], seq_by_producer[p][i]);
+    }
+  }
+}
+
+// The tentpole equivalence guarantee, multi-producer form: for every
+// (shard count, producer count), the realized dispatch order -- read back
+// through FlowItem::seq -- replayed through a fresh serial engine yields
+// the sharded run's exact alert stream and scan stats. With one producer
+// the realized order is submission order, so this subsumes the
+// single-dispatcher sweep above.
+TEST(ShardedRuntime, MultiProducerSweepReplaysIdenticalAlertStream) {
+  auto config = runtime_config();
+  config.normal_flows_per_source = 600;  // 12 combos below: keep each cheap
+  config.training_flows = 300;
+  const auto stream = sim::generate_stream(config);
+  const auto clusters = sim::train_clusters(config);
+  core::EngineConfig engine_config = config.engine;
+  engine_config.seed = config.seed;
+  const auto n = stream.flows.size();
+
+  const auto preload = [&](auto& target) {
+    for (int s = 0; s < config.sources; ++s) {
+      const auto port = static_cast<core::IngressId>(config.first_port + s);
+      const auto range = dagflow::eia_range(s, config.blocks_per_source);
+      for (int b = range.first.index(); b <= range.last.index(); ++b) {
+        target.add_expected(port, net::SubBlock{b}.prefix());
+      }
+    }
+  };
+
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const int producers : {1, 2, 4}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " producers=" + std::to_string(producers));
+      RuntimeConfig rc;
+      rc.shards = shards;
+      rc.producers = producers;
+      rc.engine = engine_config;
+      std::vector<std::uint64_t> seq_of(n, 0);  // one writer per tag: race-free
+      alert::CollectingSink sharded_sink;
+      ShardedRuntime rt(rc, &sharded_sink,
+                        [&](const FlowItem& item, const core::Verdict&) {
+                          seq_of[item.tag] = item.seq;
+                        });
+      rt.set_clusters(clusters);
+      preload(rt);
+      std::atomic<int> live{producers};
+      std::vector<std::thread> threads;
+      for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+          std::vector<FlowItem> batch;
+          for (std::size_t i = static_cast<std::size_t>(p); i < n;
+               i += static_cast<std::size_t>(producers)) {
+            const auto& flow = stream.flows[i];
+            batch.push_back(FlowItem{flow.record, flow.arrival_port,
+                                     static_cast<util::TimeMs>(flow.record.last),
+                                     i});
+            if (batch.size() == 128) {
+              rt.submit_batch(batch, p);
+              batch.clear();
+            }
+          }
+          if (!batch.empty()) rt.submit_batch(batch, p);
+          beacon_until_done(rt, p, live);
+        });
+      }
+      for (auto& t : threads) t.join();
+      rt.flush();
+
+      // Replay the realized total order through a fresh serial engine.
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return seq_of[a] < seq_of[b];
+      });
+      alert::CollectingSink replay_sink;
+      core::InFilterEngine replay(engine_config, &replay_sink);
+      replay.set_clusters(clusters);
+      preload(replay);
+      for (const auto i : order) {
+        const auto& flow = stream.flows[i];
+        (void)replay.process(flow.record, flow.arrival_port, flow.record.last);
+      }
+
+      ASSERT_GT(replay_sink.alerts().size(), 0u);
+      ASSERT_EQ(sharded_sink.alerts().size(), replay_sink.alerts().size());
+      for (std::size_t i = 0; i < replay_sink.alerts().size(); ++i) {
+        SCOPED_TRACE("alert " + std::to_string(i));
+        expect_same_alert(sharded_sink.alerts()[i], replay_sink.alerts()[i]);
+      }
+      if (rt.scan_stage_engine() != nullptr) {
+        const auto& replay_scan = replay.scan().stats();
+        const auto& sharded_scan = rt.scan_stage_engine()->scan().stats();
+        EXPECT_EQ(sharded_scan.observed, replay_scan.observed);
+        EXPECT_EQ(sharded_scan.network_scans, replay_scan.network_scans);
+        EXPECT_EQ(sharded_scan.host_scans, replay_scan.host_scans);
+        EXPECT_EQ(sharded_scan.evictions, replay_scan.evictions);
+      }
+    }
+  }
+}
+
+// Satellite regression for the old single-dispatcher precondition:
+// snapshot() and flush() must be safe while producer threads are
+// mid-submit -- the submit gate stalls producers, advances every
+// watermark, and nothing is lost or double-counted. TSan-clean.
+TEST(ShardedRuntime, SnapshotAndFlushAreSafeWhileProducersSubmit) {
+  constexpr int kProducers = 3;
+  constexpr std::uint64_t kPerProducer = 2000;
+  RuntimeConfig config;
+  config.shards = 2;
+  config.producers = kProducers;
+  config.queue_depth = 64;
+  config.backpressure = BackpressurePolicy::kBlock;
+  config.engine.mode = core::EngineMode::kBasic;
+  ShardedRuntime rt(config);
+  std::atomic<int> live{kProducers};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<FlowItem> batch;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        batch.push_back(FlowItem{simple_flow(static_cast<std::uint32_t>(i)),
+                                 9001, static_cast<util::TimeMs>(i)});
+        if (batch.size() == 16) {
+          rt.submit_batch(batch, p);
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) rt.submit_batch(batch, p);
+      beacon_until_done(rt, p, live);
+    });
+  }
+  // Hammer the gate from the control thread while producers are live.
+  while (live.load() > 0) {
+    const auto snap = rt.snapshot();
+    EXPECT_DOUBLE_EQ(snap.value("infilter_runtime_shards"), 2.0);
+    rt.flush();  // mid-stream flush: drains what was claimed, loses nothing
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  for (auto& t : producers) t.join();
+  rt.flush();
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.submitted, kPerProducer * kProducers);
+  EXPECT_EQ(stats.dispatched, kPerProducer * kProducers);
+  EXPECT_EQ(stats.processed, kPerProducer * kProducers);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_DOUBLE_EQ(rt.snapshot().value("infilter_flows_total"),
+                   static_cast<double>(kPerProducer * kProducers));
+}
+
+// -- CPU placement (runtime/affinity.h) --
+
+TEST(Affinity, ParseCpuSetExpandsRangesDedupsAndSorts) {
+  const auto cpus = parse_cpu_set("8,0-3,2");
+  ASSERT_TRUE(cpus.has_value());
+  EXPECT_EQ(*cpus, (std::vector<int>{0, 1, 2, 3, 8}));
+  const auto one = parse_cpu_set("7");
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(*one, std::vector<int>{7});
+}
+
+TEST(Affinity, ParseCpuSetRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_cpu_set("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_cpu_set("a").has_value());
+  EXPECT_FALSE(parse_cpu_set("1,,2").has_value());
+  EXPECT_FALSE(parse_cpu_set("3-1").has_value());  // reversed range
+  EXPECT_FALSE(parse_cpu_set("0-").has_value());
+  EXPECT_FALSE(parse_cpu_set("4096").has_value());  // above the id cap
+}
+
+TEST(Affinity, PinCurrentThreadIsGracefulOnAnyHost) {
+  // Empty set: placement disabled, trivially succeeds.
+  EXPECT_TRUE(pin_current_thread({}, 3));
+  // Pin a scratch thread (not the test runner) to cpu 0, which exists on
+  // any host; slot wraps round-robin past the set size.
+  bool pinned = false;
+  std::thread([&] { pinned = pin_current_thread({0}, 5); }).join();
+#if defined(__linux__)
+  EXPECT_TRUE(pinned);
+#else
+  EXPECT_FALSE(pinned);  // no-affinity platforms report the graceful no
+#endif
 }
 
 TEST(ShardedRuntime, AlertsFromAllShardsArriveWithDenseIds) {

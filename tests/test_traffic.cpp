@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "traffic/attacks.h"
 #include "traffic/normal.h"
+#include "traffic/sources.h"
+#include "util/rng.h"
 
 namespace infilter::traffic {
 namespace {
@@ -285,6 +289,57 @@ TEST(Attacks, EveryKindHasAName) {
     EXPECT_NE(name, "unknown");
     EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
   }
+}
+
+// -- Skewed source popularity (traffic/sources.h) --
+
+TEST(ZipfSources, SameSeedReproducesDrawsExactly) {
+  const SourceSkewConfig config{.zipf_s = 1.26, .churn_every = 500};
+  ZipfSourceModel a(64, config, 42);
+  ZipfSourceModel b(64, config, 42);
+  util::Rng rng_a{7};
+  util::Rng rng_b{7};
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a.draw(rng_a), b.draw(rng_b)) << "draw " << i;
+  }
+  EXPECT_EQ(a.epochs(), b.epochs());
+}
+
+TEST(ZipfSources, SkewConcentratesDrawsOnAFewItems) {
+  constexpr std::size_t kItems = 100;
+  constexpr int kDraws = 20000;
+  ZipfSourceModel model(kItems, SourceSkewConfig{}, 11);
+  util::Rng rng{3};
+  std::vector<int> counts(kItems, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const auto item = model.draw(rng);
+    ASSERT_LT(item, kItems);
+    ++counts[item];
+  }
+  // Zipf(1.26) over 100 items puts ~23% of mass on rank 1; uniform would
+  // put 1% on every item. The hot item must dominate the uniform share.
+  const int hottest = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(hottest, kDraws / 10);
+  EXPECT_EQ(model.epochs(), 0u);  // no churn configured
+}
+
+TEST(ZipfSources, ChurnRotatesWhichItemIsHot) {
+  constexpr std::size_t kItems = 100;
+  constexpr std::size_t kChurn = 1000;
+  constexpr std::size_t kEpochs = 5;
+  ZipfSourceModel model(kItems, SourceSkewConfig{.churn_every = kChurn}, 99);
+  util::Rng rng{5};
+  std::set<std::size_t> hot_items;
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    std::vector<int> counts(kItems, 0);
+    for (std::size_t i = 0; i < kChurn; ++i) ++counts[model.draw(rng)];
+    hot_items.insert(static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin()));
+  }
+  EXPECT_EQ(model.epochs(), kEpochs - 1);
+  // The rank -> item permutation reshuffles each epoch, so the heavy
+  // hitter moves (a 1-in-100 coincidence per epoch at this seed: none).
+  EXPECT_GT(hot_items.size(), 1u);
 }
 
 }  // namespace

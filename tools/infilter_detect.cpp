@@ -18,9 +18,14 @@
 //                   [--threads N]         # 0 (default) = serial engine;
 //                                         # N >= 1 = sharded runtime
 //                   [--ingest-threads N]  # N >= 1 replays the capture over
-//                                         # loopback UDP through the threaded
-//                                         # ingest pipeline (src/ingest) into
-//                                         # the runtime; implies --threads >= 1
+//                                         # loopback UDP through the receiver-
+//                                         # direct ingest pipeline (src/ingest):
+//                                         # each receiver decodes inline and
+//                                         # dispatches as its own runtime
+//                                         # producer; implies --threads >= 1
+//                   [--cpu-set LIST]      # pin pipeline threads, e.g. "0-3,8":
+//                                         # receivers first, then shard
+//                                         # workers, then the scan thread
 //                   [--queue-depth 4096] [--backpressure block|drop]
 //                   [--metrics-out FILE]  # metrics dump: JSON when FILE
 //                                         # ends in .json, else Prometheus
@@ -51,6 +56,7 @@
 #include "obs/export.h"
 #include "obs/process.h"
 #include "obs/trace.h"
+#include "runtime/affinity.h"
 #include "runtime/runtime.h"
 #include "util/args.h"
 
@@ -120,8 +126,30 @@ int main(int argc, char** argv) {
   // Threaded ingest dispatches into a runtime; force at least one shard.
   const int threads = ingest_threads > 0 ? std::max(1, static_cast<int>(*threads_arg))
                                          : static_cast<int>(*threads_arg);
+  // Distinct arrival ports, in capture order: the ingest replay binds one
+  // loopback socket per port, and the receiver count is capped by them.
+  std::vector<core::IngressId> ingresses;
+  if (ingest_threads > 0) {
+    for (const auto& flow : *flows) {
+      if (std::find(ingresses.begin(), ingresses.end(), flow.arrival_port) ==
+          ingresses.end()) {
+        ingresses.push_back(flow.arrival_port);
+      }
+    }
+    if (ingresses.empty()) return fail("capture is empty");
+  }
   runtime::RuntimeConfig runtime_config;
   runtime_config.shards = threads;
+  if (ingest_threads > 0) {
+    // Receiver i dispatches as runtime producer i. Receivers take cpu
+    // slots 0..R-1 of --cpu-set; workers and the scan thread follow.
+    const auto receivers = std::max<std::size_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(ingest_threads),
+                              ingresses.size()),
+        1);
+    runtime_config.producers = static_cast<int>(receivers);
+    runtime_config.cpu_slot_offset = receivers;
+  }
   const auto queue_depth = args.checked_int("queue-depth", 4096, 1, 1 << 24);
   if (!queue_depth) return fail(queue_depth.error().message);
   runtime_config.queue_depth = static_cast<std::size_t>(*queue_depth);
@@ -132,6 +160,12 @@ int main(int argc, char** argv) {
     return fail("--backpressure must be block or drop");
   }
   runtime_config.engine = config;
+  if (const auto cpu_set = args.value("cpu-set")) {
+    std::string error;
+    const auto cpus = runtime::parse_cpu_set(*cpu_set, &error);
+    if (!cpus) return fail(error);
+    runtime_config.cpu_set = *cpus;
+  }
 
   // Flight recorder: either --trace-* flag turns it on. Declared before the
   // engine/runtime so it outlives them (lanes are retired, not destroyed).
@@ -222,23 +256,17 @@ int main(int argc, char** argv) {
   std::uint64_t suspects = 0;
   if (rt && ingest_threads > 0) {
     // Loopback replay through the full live path: re-encode the capture
-    // into v5 export datagrams, send them over UDP, and let the ingest
-    // pipeline (receiver threads -> decode thread) feed the runtime.
+    // into v5 export datagrams, send them over UDP, and let the receiver
+    // threads decode inline and dispatch straight into the runtime (each
+    // receiver is its own producer slot -- no intermediate decode thread).
     // Ephemeral sockets stand in for the collector ports; ingress_ids pins
     // each socket's ingress identity to the capture's arrival port, so
     // verdicts are identical to the direct-submit path.
-    std::vector<core::IngressId> ingresses;  // distinct arrival ports, in order
-    for (const auto& flow : *flows) {
-      if (std::find(ingresses.begin(), ingresses.end(), flow.arrival_port) ==
-          ingresses.end()) {
-        ingresses.push_back(flow.arrival_port);
-      }
-    }
-    if (ingresses.empty()) return fail("capture is empty");
     ingest::IngestConfig ingest_config;
     ingest_config.ports.assign(ingresses.size(), 0);
     ingest_config.ingress_ids = ingresses;
     ingest_config.receiver_threads = ingest_threads;
+    ingest_config.cpu_set = runtime_config.cpu_set;  // receivers: slots 0..R-1
     if (tracer) ingest_config.tracer = &*tracer;
     auto pipeline = ingest::IngestPipeline::create(ingest_config, *rt);
     if (!pipeline) return fail(pipeline.error().message);

@@ -16,10 +16,17 @@
 //                                          # N >= 1 = sharded runtime
 //                    [--queue-depth 4096]
 //                    [--ingest-threads N]  # 0 (default) = poll-loop receive;
-//                                          # N >= 1 = threaded ingest pipeline
-//                                          # (recvmmsg receivers + decode
-//                                          # thread; implies --threads >= 1)
-//                    [--overload block|drop-oldest]  # ingest overload policy
+//                                          # N >= 1 = threaded ingest: N
+//                                          # recvmmsg receivers, each decoding
+//                                          # and dispatching directly into the
+//                                          # runtime (implies --threads >= 1)
+//                    [--overload block|drop-oldest]  # compat; receiver-direct
+//                                          # ingest has no internal queue
+//                    [--cpu-set LIST]      # pin pipeline threads: "0-3,8"
+//                                          # style; receivers first, then
+//                                          # workers, then the scan thread.
+//                                          # A hint -- missing cpus are
+//                                          # counted, never fatal
 //                    [--metrics-out FILE]  # final metrics dump: JSON when
 //                                          # FILE ends in .json, else
 //                                          # Prometheus text format
@@ -42,6 +49,7 @@
 #include "obs/export.h"
 #include "obs/process.h"
 #include "obs/trace.h"
+#include "runtime/affinity.h"
 #include "util/args.h"
 
 using namespace infilter;
@@ -128,6 +136,12 @@ int main(int argc, char** argv) {
   } else if (overload != "block") {
     return fail("--overload must be block or drop-oldest");
   }
+  if (const auto cpu_set = args.value("cpu-set")) {
+    std::string error;
+    const auto cpus = runtime::parse_cpu_set(*cpu_set, &error);
+    if (!cpus) return fail(error);
+    config.affinity = *cpus;
+  }
 
   // Flight recorder: always attached, so the liveness watchdog sees every
   // pipeline thread; span tracing (the part with a cost) only turns on when
@@ -184,8 +198,8 @@ int main(int argc, char** argv) {
   }
   if (config.ingest_threads > 0) {
     std::printf(
-        "monitoring %zu collector port(s): %d receiver thread(s) + decode "
-        "thread -> %d worker shard(s)\n",
+        "monitoring %zu collector port(s): %d receiver thread(s) dispatching "
+        "directly -> %d worker shard(s)\n",
         (*node)->ports().size(), config.ingest_threads, (*node)->threads());
   } else if (config.threads > 0) {
     std::printf("monitoring %zu collector port(s) with %d worker shard(s)\n",
