@@ -96,7 +96,10 @@ def collate(root, out_path, expected):
             point = {"bench": name, "mode": run.get("mode", "?")}
             for key in ("records_per_sec", "flows_per_sec", "speedup_vs_serial",
                         "throughput_vs_untraced", "seconds", "producers",
-                        "shard_queue_peak_min", "shard_queue_peak_max"):
+                        "shard_queue_peak_min", "shard_queue_peak_max",
+                        "memory_bytes", "lookup_ns_per_flow",
+                        "memory_ratio_vs_exact", "false_positive_ratio",
+                        "bloom_false_suspects_total"):
                 if key in run:
                     point[key] = run[key]
             trajectory.append(point)

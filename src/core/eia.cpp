@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "util/rng.h"
+
 namespace infilter::core {
 
 void EiaSet::add(const net::Prefix& prefix) {
@@ -67,76 +69,78 @@ std::uint64_t EiaSet::address_count() const {
   return total;
 }
 
-EiaTable::EiaTable(EiaTableConfig config) : config_(config) {
+EiaTable::EiaTable(EiaTableConfig config)
+    : config_(config),
+      backend_(make_eia_backend(config.backend)),
+      pending_bank_cap_(std::max<std::size_t>(
+          1, config.max_pending_counters / kPendingBanks)) {
   assert(config_.learn_threshold > 0);
 }
 
-EiaSet& EiaTable::set_ref(IngressId ingress) {
-  auto it = std::lower_bound(sets_.begin(), sets_.end(), ingress,
-                             [](const auto& entry, IngressId id) {
-                               return entry.first < id;
-                             });
-  if (it == sets_.end() || it->first != ingress) {
-    it = sets_.insert(it, {ingress, EiaSet{}});
-  }
-  return it->second;
-}
-
-const EiaSet* EiaTable::set_for(IngressId ingress) const {
-  auto it = std::lower_bound(sets_.begin(), sets_.end(), ingress,
-                             [](const auto& entry, IngressId id) {
-                               return entry.first < id;
-                             });
-  if (it == sets_.end() || it->first != ingress) return nullptr;
-  return &it->second;
-}
-
 void EiaTable::add_expected(IngressId ingress, const net::Prefix& prefix) {
-  set_ref(ingress).add(prefix);
+  backend_->add(ingress, prefix);
 }
 
-void EiaTable::declare_ingress(IngressId ingress) { (void)set_ref(ingress); }
+void EiaTable::declare_ingress(IngressId ingress) {
+  backend_->declare_ingress(ingress);
+}
 
 bool EiaTable::is_expected(IngressId ingress, net::IPv4Address source) const {
   ++stats_.lookups;
-  const EiaSet* set = set_for(ingress);
-  const bool hit = set != nullptr && set->contains(source);
+  const bool hit = backend_->contains(ingress, source);
   stats_.hits += hit ? 1 : 0;
   return hit;
 }
 
 std::optional<IngressId> EiaTable::expected_ingress(net::IPv4Address source) const {
-  for (const auto& [ingress, set] : sets_) {
-    if (set.contains(source)) return ingress;
-  }
-  return std::nullopt;
+  return backend_->expected_ingress(source);
 }
 
-std::vector<IngressId> EiaTable::ingresses() const {
-  std::vector<IngressId> out;
-  out.reserve(sets_.size());
-  for (const auto& [ingress, set] : sets_) out.push_back(ingress);
-  return out;
-}
-
-std::size_t EiaTable::total_ranges() const {
+std::size_t EiaTable::pending_counters() const {
   std::size_t total = 0;
-  for (const auto& [ingress, set] : sets_) total += set.range_count();
+  for (const auto& bank : pending_) total += bank.size();
   return total;
 }
 
 bool EiaTable::observe_mismatch(IngressId ingress, net::IPv4Address source) {
   ++stats_.mismatch_observations;
-  const std::uint64_t key =
-      (std::uint64_t{ingress} << 32) | (source.value() & 0xFFFFFF00u);
-  auto it = pending_.find(key);
-  if (it == pending_.end()) {
-    if (pending_.size() >= config_.max_pending_counters) return false;
-    it = pending_.emplace(key, 0).first;
+  const std::uint32_t key24 = source.value() & 0xFFFFFF00u;
+  const std::uint64_t key = (std::uint64_t{ingress} << 32) | key24;
+  // Bank by the /24's shard hash (the exact function the runtime's
+  // shard_of uses), so every key that can influence a bank's decay lives
+  // on the same runtime shard: a flow's learning outcome stays a function
+  // of its own shard's history at every power-of-two shard count.
+  auto& bank = pending_[util::SplitMix64{key24}.next() % kPendingBanks];
+  auto it = bank.find(key);
+  if (it == bank.end()) {
+    if (bank.size() >= pending_bank_cap_) {
+      // Insert-when-full: decay instead of the historical silent refusal
+      // (which let a spoofed flood permanently starve legitimate new
+      // sources of learning). Halve every counter and sweep the zeroed
+      // ones -- a flood's once-seen keys all go -- then, if the bank is
+      // somehow still full of entries with >= 2 observations, evict the
+      // deterministic minimum so the newcomer always gets a counter.
+      ++stats_.pending_rejected;
+      for (auto entry = bank.begin(); entry != bank.end();) {
+        entry->second /= 2;
+        entry = entry->second == 0 ? bank.erase(entry) : std::next(entry);
+      }
+      if (bank.size() >= pending_bank_cap_) {
+        auto victim = bank.begin();
+        for (auto entry = std::next(bank.begin()); entry != bank.end(); ++entry) {
+          if (entry->second < victim->second ||
+              (entry->second == victim->second && entry->first < victim->first)) {
+            victim = entry;
+          }
+        }
+        bank.erase(victim);
+      }
+    }
+    it = bank.emplace(key, 0).first;
   }
   if (++it->second >= config_.learn_threshold) {
-    set_ref(ingress).add(net::Prefix{source, 24});
-    pending_.erase(it);
+    backend_->add(ingress, net::Prefix{source, 24});
+    bank.erase(it);
     ++stats_.learned_prefixes;
     return true;
   }

@@ -11,21 +11,25 @@
 // hand, or learned from live flow data) and the Normal-processing-phase
 // auto-learning rule of Section 5.2: a source /24 is added to an ingress's
 // EIA set once enough flows from it arrive there.
+//
+// Membership storage is pluggable (core/eia_backend.h): the default exact
+// interval sets, or a memory-bounded Bloom / counting-Bloom backend for
+// internet-scale deployments. The table owns the learning machinery
+// either way; only the membership representation varies.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/eia_backend.h"
 #include "net/ipv4.h"
 
 namespace infilter::core {
-
-/// Identifies an ingress point (Peer AS / Border Router). In the testbed
-/// this is the collector UDP port of the corresponding Dagflow instance.
-using IngressId = std::uint16_t;
 
 /// A set of IPv4 ranges with O(log n) lookup.
 class EiaSet {
@@ -36,6 +40,11 @@ class EiaSet {
   [[nodiscard]] bool contains(net::IPv4Address address) const;
   [[nodiscard]] std::size_t range_count() const { return ranges_.size(); }
   [[nodiscard]] std::uint64_t address_count() const;
+  /// Heap bytes held by the range store (capacity, not size: the memory
+  /// actually reserved is what a deployment budget cares about).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return ranges_.capacity() * sizeof(Range);
+  }
 
   /// Decomposes the stored ranges into the minimal list of CIDR prefixes
   /// covering exactly the same addresses (for persistence and display).
@@ -55,6 +64,10 @@ struct EiaStats {
   std::uint64_t hits = 0;              ///< lookups that matched
   std::uint64_t learned_prefixes = 0;  ///< /24s auto-learned (Section 5.2a)
   std::uint64_t mismatch_observations = 0;
+  /// Insert-when-full events on the pending learn-counter map: each one
+  /// triggered the decay/eviction policy instead of (as before the fix)
+  /// silently refusing to ever track the new candidate.
+  std::uint64_t pending_rejected = 0;
   [[nodiscard]] std::uint64_t misses() const { return lookups - hits; }
 };
 
@@ -63,12 +76,22 @@ struct EiaTableConfig {
   /// into that ingress's EIA set (Section 5.2a's "predefined threshold").
   int learn_threshold = 5;
   /// Bound on the pending learn-counter map; spoofed floods would
-  /// otherwise grow it without limit. When full, new candidates are not
-  /// tracked (existing counters keep counting).
+  /// otherwise grow it without limit. The bound is enforced per bank
+  /// (kPendingBanks banks keyed by the source /24's shard hash, cap =
+  /// max_pending_counters / kPendingBanks, at least 1): when a bank is
+  /// full, counters in it are halved and zeroed entries swept -- and if
+  /// that frees nothing, the smallest (count, key) entry is evicted -- so
+  /// a spoofed flood can delay but never permanently block a legitimate
+  /// new source from learning. Bank-local decay keeps a flow's learning
+  /// outcome a function of its own shard's history, preserving the
+  /// sharded runtime's replay contract.
   std::size_t max_pending_counters = 1 << 20;
+  /// Membership storage (core/eia_backend.h).
+  EiaBackendConfig backend;
 };
 
-/// Per-ingress EIA sets plus the auto-learning machinery.
+/// Per-ingress EIA sets plus the auto-learning machinery. Move-only: the
+/// membership backend is owned behind a pointer.
 class EiaTable {
  public:
   explicit EiaTable(EiaTableConfig config = {});
@@ -79,12 +102,19 @@ class EiaTable {
   /// Ensures `ingress` has an (initially empty) EIA set.
   void declare_ingress(IngressId ingress);
 
-  /// Basic InFilter check: does `ingress` expect this source?
+  /// Basic InFilter check: does `ingress` expect this source? Exact on
+  /// the exact backend; on the probabilistic backends, subject to the
+  /// configured false-positive budget (never falsely negative for a
+  /// still-live learned key).
   [[nodiscard]] bool is_expected(IngressId ingress, net::IPv4Address source) const;
 
   /// The ingress whose EIA set contains `source` (AS_IP(phi) of Section
   /// 5.2), or nullopt if no EIA set contains it. When several match, the
-  /// lowest ingress id wins (deterministic).
+  /// lowest ingress id wins (deterministic). On the probabilistic
+  /// backends this is the first-matching-ingress under the false-positive
+  /// budget: a false positive can name a lower ingress than the exact
+  /// answer. Callers use it as alert context and TTL-witness selection,
+  /// both tolerant of an approximate answer (core/eia_backend.h).
   [[nodiscard]] std::optional<IngressId> expected_ingress(net::IPv4Address source) const;
 
   /// Records a flow that failed the check. Once learn_threshold flows from
@@ -92,25 +122,45 @@ class EiaTable {
   /// that ingress's EIA set. Returns true when this call learned the /24.
   bool observe_mismatch(IngressId ingress, net::IPv4Address source);
 
-  [[nodiscard]] std::size_t ingress_count() const { return sets_.size(); }
-  [[nodiscard]] const EiaSet* set_for(IngressId ingress) const;
-  [[nodiscard]] std::size_t pending_counters() const { return pending_.size(); }
+  [[nodiscard]] std::size_t ingress_count() const { return backend_->ingress_count(); }
+  /// The exact backend's interval set (null for unknown ingresses and on
+  /// the probabilistic backends, which have no interval representation).
+  [[nodiscard]] const EiaSet* set_for(IngressId ingress) const {
+    return backend_->set_for(ingress);
+  }
+  [[nodiscard]] std::size_t pending_counters() const;
   /// All ingress ids with an EIA set, ascending.
-  [[nodiscard]] std::vector<IngressId> ingresses() const;
-  /// Stored ranges across every ingress's EIA set.
-  [[nodiscard]] std::size_t total_ranges() const;
+  [[nodiscard]] std::vector<IngressId> ingresses() const {
+    return backend_->ingresses();
+  }
+  /// Stored ranges across every ingress's EIA set (probabilistic
+  /// backends: /24 inserts performed).
+  [[nodiscard]] std::size_t total_ranges() const { return backend_->total_ranges(); }
+  /// Bytes held by the membership backend (infilter_eia_backend_bytes).
+  [[nodiscard]] std::size_t memory_bytes() const { return backend_->memory_bytes(); }
+  /// Bloom fill ratio; 0.0 on the exact backend.
+  [[nodiscard]] double fill_ratio() const { return backend_->fill_ratio(); }
   [[nodiscard]] const EiaStats& stats() const { return stats_; }
+  [[nodiscard]] const EiaTableConfig& config() const { return config_; }
+  [[nodiscard]] const EiaBackend& backend() const { return *backend_; }
+  /// Mutable backend access for persistence (eia_io) and tests.
+  [[nodiscard]] EiaBackend& backend_mut() { return *backend_; }
+
+  /// Pending-map banks; a power of two so bank-local decay refines every
+  /// power-of-two runtime shard count (see max_pending_counters).
+  static constexpr std::size_t kPendingBanks = 64;
 
  private:
+  using PendingMap = std::unordered_map<std::uint64_t, int>;
+
   EiaTableConfig config_;
+  std::unique_ptr<EiaBackend> backend_;
   /// Mutable: is_expected() is logically const but counts its lookups.
   mutable EiaStats stats_;
-  /// Sorted by ingress id; small (one entry per peer AS).
-  std::vector<std::pair<IngressId, EiaSet>> sets_;
-  /// (ingress << 32 | source /24) -> observed mismatch count.
-  std::unordered_map<std::uint64_t, int> pending_;
-
-  EiaSet& set_ref(IngressId ingress);
+  /// (ingress << 32 | source /24) -> observed mismatch count, banked by
+  /// the /24's shard hash.
+  std::array<PendingMap, kPendingBanks> pending_;
+  std::size_t pending_bank_cap_;
 };
 
 }  // namespace infilter::core

@@ -13,6 +13,16 @@
 //
 // Export emits the minimal CIDR decomposition of each set, so a table
 // that learned extra /24s round-trips exactly.
+//
+// Probabilistic backends (core/eia_backend.h) have no interval
+// representation, so their export instead persists the backend verbatim:
+// a "backend <type> key=value..." directive carrying every hash-shaping
+// parameter, the ingress ids, per-bank rotation cursors (aging only), and
+// the nonzero bit words / counter bytes as sparse runs. Import honors the
+// directive -- it overrides the backend in the caller's config -- so a
+// reload answers membership exactly like the exported table, false
+// positives included. Files without a directive load with the caller's
+// configured backend (historically exact).
 
 #pragma once
 

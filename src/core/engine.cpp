@@ -58,6 +58,24 @@ void InFilterEngine::register_component_metrics() {
       "infilter_eia_lookups_total", [this] { return eia_.stats().lookups; },
       "EIA membership tests performed by the table");
   registry_->gauge_fn(
+      "infilter_eia_backend_bytes",
+      [this] { return static_cast<double>(eia_.memory_bytes()); },
+      "Bytes held by the EIA membership backend");
+  registry_->gauge_fn(
+      "infilter_eia_bloom_fill_ratio", [this] { return eia_.fill_ratio(); },
+      "Fraction of Bloom bits set (0 on the exact backend)");
+  registry_->counter_fn(
+      "infilter_eia_pending_rejected_total",
+      [this] { return eia_.stats().pending_rejected; },
+      "Full-bank events on the pending learn-counter map (each ran the "
+      "decay/eviction policy)");
+  registry_->counter_fn(
+      "infilter_eia_bloom_false_suspects_total",
+      [this] { return eia_false_suspects_; },
+      "Ground-truth-benign flows that drew a suspect verdict under a "
+      "probabilistic EIA backend (testbed-driven; 0 in production and on "
+      "the exact backend)");
+  registry_->gauge_fn(
       "infilter_hopcount_entries",
       [this] { return static_cast<double>(hopcount_.table().size()); },
       "(ingress, source /24) keys with a hop-count range");
@@ -125,6 +143,21 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
     expected = eia_.is_expected(ingress, record.src_ip);
   }
 
+  // The source's home ingress (AS_IP(phi), a scan over every EIA set) is
+  // wanted twice on suspect paths -- TTL-witness selection and alert
+  // context -- but computed at most once per flow: lazily here, and the
+  // post-learn alert context is *derived* (see below) rather than
+  // re-scanned.
+  bool home_known = false;
+  std::optional<IngressId> home;
+  const auto home_ingress = [&] {
+    if (!home_known) {
+      home = eia_.expected_ingress(record.src_ip);
+      home_known = true;
+    }
+    return home;
+  };
+
   // The TTL witness (src/hopcount). Flows the EIA sets vouch for are
   // classified against -- and learned into -- the range at the observed
   // ingress. An EIA-missing flow is classified (never learned: the
@@ -138,8 +171,7 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
   if (config_.use_hopcount) {
     obs::StageTimer timer(metrics_.stage_hopcount_us);
     const auto witness =
-        expected ? std::optional<IngressId>{ingress}
-                 : eia_.expected_ingress(record.src_ip);
+        expected ? std::optional<IngressId>{ingress} : home_ingress();
     if (witness.has_value()) {
       ttl = hopcount_.analyze(*witness, record.src_ip, record.ttl, now, expected);
     }
@@ -156,8 +188,7 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
       // length is wrong. One disagreeing witness makes a suspect,
       // arbitrated by scan/NNS like any EIA miss.
       verdict.suspect = true;
-      suspect = SuspectFlow{record, ingress, now, false,
-                            eia_.expected_ingress(record.src_ip), ttl, true};
+      suspect = SuspectFlow{record, ingress, now, false, home_ingress(), ttl, true};
       return true;
     }
     metrics_.verdict_legal->inc();
@@ -174,10 +205,23 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
   // adaptation) -- and a flow that triggers learning is treated as the
   // route change it signals, not as an attack.
   verdict.suspect = true;
+  const std::optional<IngressId> pre_learn_home = home_ingress();
   const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
   if (learned) metrics_.eia_learned->inc();
-  suspect = SuspectFlow{record, ingress, now, learned,
-                        eia_.expected_ingress(record.src_ip), ttl, false};
+  // The alert context is the post-learn first match, derived without a
+  // second scan: learning added exactly (ingress, src /24), so the first
+  // match becomes min(home, ingress) -- and an unchanged table keeps home.
+  // Exact on the exact backend (home == ingress is impossible on a miss);
+  // under Bloom aging a rotation inside the add could additionally erase
+  // an old match, which the documented probabilistic contract absorbs.
+  suspect = SuspectFlow{
+      record, ingress, now, learned,
+      learned ? std::optional<IngressId>{pre_learn_home.has_value() &&
+                                                 *pre_learn_home < ingress
+                                             ? *pre_learn_home
+                                             : ingress}
+              : pre_learn_home,
+      ttl, false};
   return true;
 }
 
@@ -305,14 +349,27 @@ void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
       expected = eia_.is_expected(ingress, record.src_ip);
     }
 
+    // Same single-scan rule as pre_process: the home ingress is computed
+    // lazily, at most once per flow, and the post-learn alert context is
+    // derived rather than re-scanned.
+    bool home_known = false;
+    std::optional<IngressId> home;
+    const auto home_ingress = [&] {
+      if (!home_known) {
+        home = eia_.expected_ingress(record.src_ip);
+        home_known = true;
+      }
+      return home;
+    };
+
     // Same TTL-witness rule as pre_process: EIA-vouched flows learn at the
     // observed ingress, EIA-missing flows are classified against their
     // source's home-ingress range.
     auto ttl = hopcount::TtlClass::kUnknown;
     if (config_.use_hopcount) {
       obs::StageTimer timer(metrics_.stage_hopcount_us);
-      const auto witness = expected ? std::optional<IngressId>{ingress}
-                                    : eia_.expected_ingress(record.src_ip);
+      const auto witness =
+          expected ? std::optional<IngressId>{ingress} : home_ingress();
       if (witness.has_value()) {
         ttl = hopcount_.analyze(*witness, record.src_ip, record.ttl, now,
                                 expected);
@@ -327,9 +384,8 @@ void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
       metrics_.eia_hits->inc();
       if (ttl == hopcount::TtlClass::kMiss) {
         verdict.suspect = true;
-        suspects.push_back(SuspectFlow{record, ingress, now, false,
-                                       eia_.expected_ingress(record.src_ip),
-                                       ttl, true});
+        suspects.push_back(
+            SuspectFlow{record, ingress, now, false, home_ingress(), ttl, true});
         positions.push_back(static_cast<std::uint32_t>(i));
         continue;
       }
@@ -340,11 +396,19 @@ void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
     metrics_.eia_misses->inc();
 
     verdict.suspect = true;
+    const std::optional<IngressId> pre_learn_home = home_ingress();
     const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
     if (learned) metrics_.eia_learned->inc();
-    suspects.push_back(SuspectFlow{record, ingress, now, learned,
-                                   eia_.expected_ingress(record.src_ip), ttl,
-                                   false});
+    // Post-learn context derived as in pre_process: min(home, ingress)
+    // when this flow learned, home otherwise.
+    suspects.push_back(SuspectFlow{
+        record, ingress, now, learned,
+        learned ? std::optional<IngressId>{pre_learn_home.has_value() &&
+                                                   *pre_learn_home < ingress
+                                               ? *pre_learn_home
+                                               : ingress}
+                : pre_learn_home,
+        ttl, false});
     positions.push_back(static_cast<std::uint32_t>(i));
   }
 

@@ -4,11 +4,26 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.h"
+
 namespace infilter::core {
 namespace {
 
 net::IPv4Address ip(const char* text) { return *net::IPv4Address::parse(text); }
 net::Prefix prefix(const char* text) { return *net::Prefix::parse(text); }
+
+std::size_t bank_of(std::uint32_t key24) {
+  return util::SplitMix64{key24}.next() % EiaTable::kPendingBanks;
+}
+
+/// A /24 key landing in the same pending bank as `with` (the bank hash is
+/// the runtime's shard hash; searching beats re-deriving it in the test).
+std::uint32_t colliding_slash24(std::uint32_t with) {
+  for (std::uint32_t i = 1;; ++i) {
+    const std::uint32_t key = with + (i << 8);
+    if (bank_of(key) == bank_of(with)) return key;
+  }
+}
 
 TEST(EiaSet, EmptyContainsNothing) {
   const EiaSet set;
@@ -84,6 +99,89 @@ TEST(EiaSet, FullSpaceRange) {
   EXPECT_EQ(set.range_count(), 1u);
 }
 
+TEST(EiaSet, TopOfSpacePrefixMembership) {
+  // Ranges ending at 255.255.255.255 exercise the r.last != ~0u guard:
+  // "last + 1" would wrap to zero and break the insertion-window search.
+  EiaSet set;
+  set.add(prefix("255.255.255.0/24"));
+  EXPECT_TRUE(set.contains(ip("255.255.255.0")));
+  EXPECT_TRUE(set.contains(ip("255.255.255.255")));
+  EXPECT_FALSE(set.contains(ip("255.255.254.255")));
+  EXPECT_EQ(set.address_count(), 256u);
+}
+
+TEST(EiaSet, AdjacentBelowTopOfSpaceMerges) {
+  EiaSet set;
+  set.add(prefix("255.255.255.128/25"));  // ends at the very top
+  set.add(prefix("255.255.255.0/25"));    // adjacent below
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_TRUE(set.contains(ip("255.255.255.255")));
+  EXPECT_EQ(set.address_count(), 256u);
+}
+
+TEST(EiaSet, InsertBelowExistingTopOfSpaceRange) {
+  // With a top-ending range already stored, inserting a disjoint lower
+  // range must not be swallowed by a wrapped "last + 1 < first" compare.
+  EiaSet set;
+  set.add(prefix("255.255.255.255/32"));
+  set.add(prefix("10.0.0.0/24"));
+  EXPECT_EQ(set.range_count(), 2u);
+  EXPECT_TRUE(set.contains(ip("10.0.0.1")));
+  EXPECT_TRUE(set.contains(ip("255.255.255.255")));
+  EXPECT_FALSE(set.contains(ip("255.255.255.254")));
+  set.add(prefix("255.255.255.254/31"));  // merges into the top range only
+  EXPECT_EQ(set.range_count(), 2u);
+  EXPECT_TRUE(set.contains(ip("255.255.255.254")));
+}
+
+TEST(EiaSet, TopOfSpaceOverlapCoalesces) {
+  EiaSet set;
+  set.add(prefix("255.255.0.0/16"));
+  set.add(prefix("255.0.0.0/8"));  // covers and extends below
+  EXPECT_EQ(set.range_count(), 1u);
+  EXPECT_EQ(set.address_count(), std::uint64_t{1} << 24);
+  EXPECT_TRUE(set.contains(ip("255.255.255.255")));
+}
+
+TEST(EiaSet, ToCidrsRoundTripsTopOfSpace) {
+  EiaSet set;
+  set.add(prefix("255.255.255.0/24"));
+  set.add(prefix("255.255.128.0/17"));
+  const auto cidrs = set.to_cidrs();
+  EiaSet rebuilt;
+  for (const auto& p : cidrs) rebuilt.add(p);
+  EXPECT_EQ(rebuilt.range_count(), set.range_count());
+  EXPECT_EQ(rebuilt.address_count(), set.address_count());
+  EXPECT_TRUE(rebuilt.contains(ip("255.255.255.255")));
+}
+
+TEST(EiaSet, ToCidrsRoundTripProperty) {
+  // Pseudorandom prefixes (top-of-space biased), decomposed and re-added,
+  // must reproduce the identical range structure.
+  util::SplitMix64 rng{0xe1a5e7};
+  for (int trial = 0; trial < 50; ++trial) {
+    EiaSet set;
+    for (int i = 0; i < 40; ++i) {
+      const auto word = rng.next();
+      const int length = static_cast<int>(word % 33);
+      std::uint32_t base = static_cast<std::uint32_t>(word >> 32);
+      if (i % 5 == 0) base |= 0xFFF00000u;  // bias toward the top of space
+      const std::uint32_t mask =
+          length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+      set.add(net::Prefix{net::IPv4Address{base & mask}, length});
+    }
+    EiaSet rebuilt;
+    for (const auto& p : set.to_cidrs()) rebuilt.add(p);
+    ASSERT_EQ(rebuilt.range_count(), set.range_count()) << "trial " << trial;
+    ASSERT_EQ(rebuilt.address_count(), set.address_count()) << "trial " << trial;
+    for (int probe = 0; probe < 200; ++probe) {
+      const auto address = net::IPv4Address{static_cast<std::uint32_t>(rng.next())};
+      ASSERT_EQ(rebuilt.contains(address), set.contains(address))
+          << "trial " << trial << " @ " << address.to_string();
+    }
+  }
+}
+
 TEST(EiaTable, ExpectedLookupPerIngress) {
   EiaTable table;
   table.add_expected(9001, prefix("3.0.0.0/11"));
@@ -154,22 +252,66 @@ TEST(EiaTable, CounterKeyedBySlash24NotHost) {
   EXPECT_TRUE(table.is_expected(9001, ip("66.1.1.200")));
 }
 
-TEST(EiaTable, PendingCounterCapStopsNewTracking) {
+TEST(EiaTable, FullPendingBankDecaysInsteadOfRefusing) {
   EiaTableConfig config;
   config.learn_threshold = 2;
-  config.max_pending_counters = 3;
+  config.max_pending_counters = EiaTable::kPendingBanks;  // 1 counter per bank
   EiaTable table(config);
-  // Fill the pending map with 3 distinct /24s.
-  table.observe_mismatch(9001, ip("60.0.0.1"));
-  table.observe_mismatch(9001, ip("60.0.1.1"));
-  table.observe_mismatch(9001, ip("60.0.2.1"));
-  EXPECT_EQ(table.pending_counters(), 3u);
-  // A 4th /24 is not tracked...
-  EXPECT_FALSE(table.observe_mismatch(9001, ip("60.0.3.1")));
-  EXPECT_FALSE(table.observe_mismatch(9001, ip("60.0.3.1")));
-  EXPECT_FALSE(table.is_expected(9001, ip("60.0.3.1")));
-  // ...but existing counters still learn.
-  EXPECT_TRUE(table.observe_mismatch(9001, ip("60.0.0.9")));
+  const std::uint32_t first = 0x3C000000u;  // 60.0.0.0/24
+  const std::uint32_t second = colliding_slash24(first);
+  table.observe_mismatch(9001, net::IPv4Address{first + 1});
+  EXPECT_EQ(table.stats().pending_rejected, 0u);
+  // The newcomer finds its bank full: the once-seen occupant is halved to
+  // zero and swept, and the newcomer gets a counter (pre-fix behavior was
+  // a silent refusal that starved it forever).
+  EXPECT_FALSE(table.observe_mismatch(9001, net::IPv4Address{second + 1}));
+  EXPECT_EQ(table.stats().pending_rejected, 1u);
+  EXPECT_TRUE(table.observe_mismatch(9001, net::IPv4Address{second + 2}));
+  EXPECT_TRUE(table.is_expected(9001, net::IPv4Address{second + 9}));
+}
+
+TEST(EiaTable, FullPendingBankEvictsMinimumWhenDecayFreesNothing) {
+  EiaTableConfig config;
+  config.learn_threshold = 10;
+  config.max_pending_counters = EiaTable::kPendingBanks;  // 1 counter per bank
+  EiaTable table(config);
+  const std::uint32_t occupant = 0x3D000000u;  // 61.0.0.0/24
+  const std::uint32_t newcomer = colliding_slash24(occupant);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(table.observe_mismatch(9001, net::IPv4Address{occupant + 1}));
+  }
+  // Halving 4 -> 2 leaves the bank full, so the minimum entry is evicted
+  // and the newcomer still gets tracked.
+  EXPECT_FALSE(table.observe_mismatch(9001, net::IPv4Address{newcomer + 1}));
+  EXPECT_EQ(table.stats().pending_rejected, 1u);
+  EXPECT_EQ(table.pending_counters(), 1u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(table.observe_mismatch(9001, net::IPv4Address{newcomer + 2}));
+  }
+  EXPECT_TRUE(table.observe_mismatch(9001, net::IPv4Address{newcomer + 3}));
+}
+
+TEST(EiaTable, LegitimateSourceLearnsThroughAttackerFlood) {
+  // The starvation regression: a spoofed flood of distinct /24s fills the
+  // pending map to its cap, then a legitimate new source shows up. Before
+  // the decay/eviction fix it could never learn.
+  EiaTableConfig config;
+  config.learn_threshold = 3;
+  config.max_pending_counters = 2 * EiaTable::kPendingBanks;
+  EiaTable table(config);
+  util::SplitMix64 flood_rng{42};
+  for (int i = 0; i < 10000; ++i) {
+    table.observe_mismatch(
+        9001, net::IPv4Address{static_cast<std::uint32_t>(flood_rng.next())});
+  }
+  // The bound holds throughout.
+  EXPECT_LE(table.pending_counters(), config.max_pending_counters);
+  EXPECT_GT(table.stats().pending_rejected, 0u);
+  const auto legit = ip("77.200.1.1");
+  EXPECT_FALSE(table.observe_mismatch(9001, legit));
+  EXPECT_FALSE(table.observe_mismatch(9001, legit));
+  EXPECT_TRUE(table.observe_mismatch(9001, legit));
+  EXPECT_TRUE(table.is_expected(9001, ip("77.200.1.200")));
 }
 
 TEST(EiaTable, LearnedEntryFreesCounter) {

@@ -12,6 +12,11 @@
 //                   [--mode basic|enhanced] [--ascii] [--idmef]
 //                   [--bits 144]          # unary bits/feature (d = 5*bits)
 //                   [--buffer 200] [--learn 5]
+//                   [--eia-backend exact|bloom[:BITS[,K[,R[,ROTATE]]]]|cbloom[:...]]
+//                                         # EIA membership storage: exact
+//                                         # interval sets (default) or a
+//                                         # memory-bounded Bloom / counting-
+//                                         # Bloom filter (core/eia_backend.h)
 //                   [--ttl-detect]        # fuse the TTL hop-count detector
 //                                         # with the EIA check (src/hopcount)
 //                   [--ttl-tolerance 2]   # hop-count window slack
@@ -109,6 +114,9 @@ int main(int argc, char** argv) {
   const auto learn = args.checked_int("learn", 5, 1, 1 << 20);
   if (!learn) return fail(learn.error().message);
   config.eia.learn_threshold = static_cast<int>(*learn);
+  const auto backend = core::parse_eia_backend(args.value_or("eia-backend", "exact"));
+  if (!backend) return fail(backend.error().message);
+  config.eia.backend = *backend;
   config.use_hopcount = args.has("ttl-detect");
   const auto ttl_tolerance = args.checked_int("ttl-tolerance", 2, 0, 255);
   if (!ttl_tolerance) return fail(ttl_tolerance.error().message);
@@ -207,7 +215,10 @@ int main(int argc, char** argv) {
   } else {
     engine.emplace(config, &traceback);
   }
+  std::uint64_t preloaded_slash24s = 0;
   const auto add_expected = [&](core::IngressId ingress, const net::Prefix& prefix) {
+    preloaded_slash24s += ((prefix.last().value() & 0xFFFFFF00u) -
+                           (prefix.first().value() & 0xFFFFFF00u)) / 0x100u + 1;
     if (rt) rt->add_expected(ingress, prefix);
     else engine->add_expected(ingress, prefix);
   };
@@ -220,6 +231,12 @@ int main(int argc, char** argv) {
     text << in.rdbuf();
     const auto imported = core::import_eia(text.str());
     if (!imported) return fail(imported.error().message);
+    if (imported->backend().type() != core::EiaBackendType::kExact) {
+      // A probabilistic dump has no prefix list to replay into the
+      // engine's (per-shard) tables; only exact-format files preload.
+      return fail(*eia_path + " holds a probabilistic backend dump; "
+                  "--eia wants an exact prefix-list file");
+    }
     for (const auto ingress : imported->ingresses()) {
       for (const auto& prefix : imported->set_for(ingress)->to_cidrs()) {
         add_expected(ingress, prefix);
@@ -233,6 +250,18 @@ int main(int argc, char** argv) {
         add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
       }
     }
+  }
+  if (const double fill =
+          core::predicted_fill_ratio(config.eia.backend, preloaded_slash24s);
+      fill > 0.5) {
+    // A saturated filter answers "expected" for everything -- detection
+    // silently disappears. Warn, don't fail: the operator may be sizing
+    // for learned traffic, not the preload.
+    std::fprintf(stderr,
+                 "infilter-detect: warning: --eia-backend budget will be ~%.0f%% "
+                 "full after preloading %llu /24s; membership false positives "
+                 "will suppress detection (size >= 8 bits per expected /24)\n",
+                 100 * fill, static_cast<unsigned long long>(preloaded_slash24s));
   }
 
   if (config.mode == core::EngineMode::kEnhanced) {

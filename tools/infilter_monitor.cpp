@@ -8,6 +8,11 @@
 // Usage:
 //   infilter-monitor --train TRAIN_FILE [--ports 9001,...]
 //                    [--eia EIA_FILE] [--mode basic|enhanced]
+//                    [--eia-backend exact|bloom[:BITS[,K[,R[,ROTATE]]]]|cbloom[:...]]
+//                                          # EIA membership storage: exact
+//                                          # interval sets (default) or a
+//                                          # memory-bounded Bloom / counting-
+//                                          # Bloom filter (core/eia_backend.h)
 //                    [--duration-ms 30000] [--idmef]
 //                    [--ttl-detect]        # fuse the TTL hop-count detector
 //                                          # with the EIA check (src/hopcount)
@@ -115,6 +120,10 @@ int main(int argc, char** argv) {
   }
   const auto mode = args.value_or("mode", "enhanced");
   if (mode == "basic") config.engine.mode = core::EngineMode::kBasic;
+  const auto backend =
+      core::parse_eia_backend(args.value_or("eia-backend", "exact"));
+  if (!backend) return fail(backend.error().message);
+  config.engine.eia.backend = *backend;
   config.engine.use_hopcount = args.has("ttl-detect");
   const auto ttl_tolerance = args.checked_int("ttl-tolerance", 2, 0, 255);
   if (!ttl_tolerance) return fail(ttl_tolerance.error().message);
@@ -163,6 +172,12 @@ int main(int argc, char** argv) {
   if (!node) return fail(node.error().message);
 
   // EIA sets: file or Table 3 defaults.
+  std::uint64_t preloaded_slash24s = 0;
+  const auto add_expected = [&](core::IngressId ingress, const net::Prefix& prefix) {
+    preloaded_slash24s += ((prefix.last().value() & 0xFFFFFF00u) -
+                           (prefix.first().value() & 0xFFFFFF00u)) / 0x100u + 1;
+    (*node)->add_expected(ingress, prefix);
+  };
   if (const auto eia_path = args.value("eia")) {
     std::ifstream in(*eia_path);
     if (!in) return fail("cannot open " + *eia_path);
@@ -170,17 +185,35 @@ int main(int argc, char** argv) {
     text << in.rdbuf();
     const auto imported = core::import_eia(text.str());
     if (!imported) return fail(imported.error().message);
+    if (imported->backend().type() != core::EiaBackendType::kExact) {
+      // A probabilistic dump has no prefix list to replay into the
+      // node's (per-shard) tables; only exact-format files preload.
+      return fail(*eia_path + " holds a probabilistic backend dump; "
+                  "--eia wants an exact prefix-list file");
+    }
     for (const auto ingress : imported->ingresses()) {
       for (const auto& prefix : imported->set_for(ingress)->to_cidrs()) {
-        (*node)->add_expected(ingress, prefix);
+        add_expected(ingress, prefix);
       }
     }
   } else {
     for (int s = 0; s < 10; ++s) {
       for (const auto& block : dagflow::eia_range(s).expand()) {
-        (*node)->add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
+        add_expected(static_cast<core::IngressId>(9001 + s), block.prefix());
       }
     }
+  }
+  if (const double fill = core::predicted_fill_ratio(config.engine.eia.backend,
+                                                     preloaded_slash24s);
+      fill > 0.5) {
+    // A saturated filter answers "expected" for everything -- detection
+    // silently disappears. Warn, don't fail: the operator may be sizing
+    // for learned traffic, not the preload.
+    std::fprintf(stderr,
+                 "infilter-monitor: warning: --eia-backend budget will be ~%.0f%% "
+                 "full after preloading %llu /24s; membership false positives "
+                 "will suppress detection (size >= 8 bits per expected /24)\n",
+                 100 * fill, static_cast<unsigned long long>(preloaded_slash24s));
   }
 
   if (config.engine.mode == core::EngineMode::kEnhanced) {
