@@ -1,0 +1,157 @@
+// Long-horizon churn soak: detection quality over virtual weeks of aging,
+// routing churn, exporter restarts, and live shard-pool resizes.
+//
+// Runs the sim/soak.h harness twice on the same seed: once "churned"
+// (exact-EIA aging on, >= 2 live resizes mid-horizon) and once as the
+// static-pool baseline (same waves, same aging, no resizes). The
+// lifecycle acceptance bar (ISSUE: lifecycle subsystem) is asserted as
+// regression gates, so the ctest smoke entry fails the build when churn
+// decays quality: per-wave fused detection must not drop below the
+// static-pool run's, the benign false-suspect delta must stay <= +0.01,
+// aging must actually fire (entries expired > 0), and every scheduled
+// resize must have completed with state migrated.
+//
+// Usage:
+//   lifecycle_soak [--smoke] [--seed N] [--out BENCH_lifecycle.json]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/export.h"
+#include "sim/soak.h"
+#include "util/args.h"
+
+using namespace infilter;
+
+namespace {
+
+void print_wave(const char* mode, const sim::SoakWave& w) {
+  std::printf("%-8s wave %d  %d shard(s)  detect %6.1f%%  fp %7.4f%%  "
+              "benign-susp %7.4f%%  expired %llu  relearned %llu\n",
+              mode, w.wave, w.shards, 100 * w.detection_rate,
+              100 * w.false_positive_rate, 100 * w.benign_suspect_rate,
+              static_cast<unsigned long long>(w.entries_expired),
+              static_cast<unsigned long long>(w.entries_relearned));
+}
+
+std::string wave_doc(const char* mode, const sim::SoakWave& w) {
+  std::string d = "    {\"mode\": \"" + std::string(mode) + "\"";
+  d += ", \"wave\": " + std::to_string(w.wave);
+  d += ", \"shards\": " + std::to_string(w.shards);
+  d += ", \"detection_rate\": " + obs::format_number(w.detection_rate);
+  d += ", \"flow_detection_rate\": " + obs::format_number(w.flow_detection_rate);
+  d += ", \"false_positive_rate\": " + obs::format_number(w.false_positive_rate);
+  d += ", \"benign_suspect_rate\": " + obs::format_number(w.benign_suspect_rate);
+  d += ", \"entries_expired\": " + std::to_string(w.entries_expired);
+  d += ", \"entries_relearned\": " + std::to_string(w.entries_relearned);
+  d += ", \"swept\": " + std::to_string(w.swept);
+  d += "}";
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = util::Args::parse(argc, argv, {"smoke"});
+  if (!parsed) {
+    std::fprintf(stderr, "lifecycle_soak: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const auto& args = *parsed;
+  const bool smoke = args.has("smoke");
+
+  sim::SoakConfig soak;
+  soak.base.seed = static_cast<std::uint64_t>(args.int_or("seed", 33));
+  soak.base.normal_flows_per_source = smoke ? 400 : 2000;
+  soak.base.training_flows = smoke ? 300 : 1200;
+  soak.base.attack_volume = 0.04;
+  soak.base.engine.cluster.bits_per_feature = smoke ? 48 : 144;
+  soak.base.runtime_shards = 2;
+  soak.base.runtime_queue_depth = 1024;
+  // Routing churn donates blocks between sources every wave, so drift
+  // entries are learned, idle out across the day-long gaps, and relearn.
+  soak.base.route_change_blocks = 8;
+  soak.base.engine.eia.learn_threshold = 2;
+  soak.base.engine.eia.lifecycle.max_idle_ms = 12 * util::kHour;
+  soak.wave_gap_ms = util::kDay;
+  soak.waves = smoke ? 3 : 6;
+  soak.resizes = {{.before_wave = 1, .shards = 4}, {.before_wave = 2, .shards = 1}};
+  if (!smoke) soak.resizes.push_back({.before_wave = 4, .shards = 8});
+
+  std::printf("=== lifecycle soak: %d waves, %zu resizes, gap %llu ms, seed %llu ===\n",
+              soak.waves, soak.resizes.size(),
+              static_cast<unsigned long long>(soak.wave_gap_ms),
+              static_cast<unsigned long long>(soak.base.seed));
+  const auto churned = sim::run_soak(soak);
+  auto static_config = soak;
+  static_config.resizes.clear();
+  const auto baseline = sim::run_soak(static_config);
+
+  for (std::size_t w = 0; w < churned.waves.size(); ++w) {
+    print_wave("churned", churned.waves[w]);
+    print_wave("static", baseline.waves[w]);
+  }
+  std::printf("resizes %llu, migrated %llu entries, pause p99 %.1f us, "
+              "expired %llu, relearned %llu\n",
+              static_cast<unsigned long long>(churned.resizes),
+              static_cast<unsigned long long>(churned.migrated_entries),
+              churned.resize_pause_p99_us,
+              static_cast<unsigned long long>(churned.entries_expired),
+              static_cast<unsigned long long>(churned.entries_relearned));
+
+  // The regression gates: churn must be quality-neutral over the horizon.
+  int failures = 0;
+  const auto require = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "lifecycle_soak: FAIL: %s\n", what);
+      ++failures;
+    }
+  };
+  require(churned.resizes == soak.resizes.size(),
+          "a scheduled live resize did not complete");
+  require(churned.migrated_entries > 0, "resizes migrated no engine state");
+  require(churned.entries_expired > 0,
+          "aging never fired across day-long idle gaps");
+  require(churned.min_detection_rate() > 0.0, "no attacks detected at all");
+  double max_benign_delta = 0;
+  for (std::size_t w = 0; w < churned.waves.size(); ++w) {
+    const auto& c = churned.waves[w];
+    const auto& b = baseline.waves[w];
+    require(c.detection_rate >= b.detection_rate,
+            "churned wave detected less than the static-pool baseline");
+    max_benign_delta =
+        std::max(max_benign_delta, c.benign_suspect_rate - b.benign_suspect_rate);
+  }
+  require(max_benign_delta <= 0.01,
+          "churn pushed >1% extra benign flows into the suspect path");
+
+  std::string doc = "{\n  \"bench\": \"lifecycle\",\n";
+  doc += "  \"seed\": " + std::to_string(soak.base.seed) + ",\n";
+  doc += "  \"waves\": " + std::to_string(soak.waves) + ",\n";
+  doc += "  \"wave_gap_ms\": " + std::to_string(soak.wave_gap_ms) + ",\n";
+  doc += "  \"runs\": [\n";
+  for (const auto& wave : churned.waves) doc += wave_doc("churned", wave) + ",\n";
+  for (const auto& wave : baseline.waves) doc += wave_doc("static", wave) + ",\n";
+  // The horizon summary row (the keys scripts/bench_summary.py collates).
+  doc += "    {\"mode\": \"summary\"";
+  doc += ", \"resizes\": " + std::to_string(churned.resizes);
+  doc += ", \"migrated_entries\": " + std::to_string(churned.migrated_entries);
+  doc += ", \"resize_pause_p99_us\": " + obs::format_number(churned.resize_pause_p99_us);
+  doc += ", \"entries_expired\": " + std::to_string(churned.entries_expired);
+  doc += ", \"entries_relearned\": " + std::to_string(churned.entries_relearned);
+  doc += ", \"min_detection_rate\": " + obs::format_number(churned.min_detection_rate());
+  doc += ", \"benign_suspect_delta\": " + obs::format_number(max_benign_delta);
+  doc += "}\n  ],\n";
+  doc += "  \"failures\": " + std::to_string(failures) + "\n}\n";
+
+  const auto out_path = args.value_or("out", "BENCH_lifecycle.json");
+  std::ofstream out(out_path, std::ios::trunc);
+  out << doc;
+  if (!out) {
+    std::fprintf(stderr, "lifecycle_soak: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -99,7 +99,10 @@ def collate(root, out_path, expected):
                         "shard_queue_peak_min", "shard_queue_peak_max",
                         "memory_bytes", "lookup_ns_per_flow",
                         "memory_ratio_vs_exact", "false_positive_ratio",
-                        "bloom_false_suspects_total"):
+                        "bloom_false_suspects_total", "resizes",
+                        "migrated_entries", "resize_pause_p99_us",
+                        "entries_expired", "entries_relearned",
+                        "min_detection_rate", "benign_suspect_delta"):
                 if key in run:
                     point[key] = run[key]
             trajectory.append(point)

@@ -9,7 +9,10 @@
 #                                #   shard-ring merge, shards x producers
 #                                #   equivalence, flush/snapshot-under-load,
 #                                #   and multi-receiver ingest tests)
-#   scripts/check.sh --all       # tier-1 + asan + tsan + ubsan
+#   scripts/check.sh --soak      # + TSan lifecycle lane: resize vs live
+#                                #   producers, aging properties, and the
+#                                #   short churn-soak harness tests
+#   scripts/check.sh --all       # tier-1 + asan + tsan + ubsan + soak
 #
 # The TSan lane runs the concurrency tests only (Runtime/Node/Ingest/Trace):
 # the full suite under TSan takes far longer and the single-threaded
@@ -24,14 +27,16 @@ run_asan=0
 run_tsan=0
 run_ubsan=0
 run_producers=0
+run_soak=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --tsan) run_tsan=1 ;;
     --ubsan) run_ubsan=1 ;;
     --producers) run_producers=1 ;;
-    --all) run_asan=1; run_tsan=1; run_ubsan=1 ;;
-    *) echo "usage: scripts/check.sh [--asan] [--tsan] [--ubsan] [--producers] [--all]" >&2; exit 2 ;;
+    --soak) run_soak=1 ;;
+    --all) run_asan=1; run_tsan=1; run_ubsan=1; run_soak=1 ;;
+    *) echo "usage: scripts/check.sh [--asan] [--tsan] [--ubsan] [--producers] [--soak] [--all]" >&2; exit 2 ;;
   esac
 done
 
@@ -66,6 +71,17 @@ if [[ "$run_producers" == 1 ]]; then
   cmake --build --preset tsan -j "$jobs"
   ./build-tsan/tests/infilter_tests \
     --gtest_filter='ShardedRuntime.MergeKeepsSeqStrictlyMonotonePerShard:ShardedRuntime.MultiProducerSweepReplaysIdenticalAlertStream:ShardedRuntime.SnapshotAndFlushAreSafeWhileProducersSubmit:IngestPipeline.TagsArePartitionedAndMonotonePerReceiver:IngestStress.MultiSocketMultiReceiverWithConcurrentQuiesce'
+fi
+
+if [[ "$run_soak" == 1 ]]; then
+  echo "== lane: ThreadSanitizer lifecycle soak =="
+  # The resize/flush/snapshot-vs-producers race, the resize bit-consistency
+  # sweep, the aging property tests, and the short churn-soak harness
+  # (tests/test_lifecycle.cpp) under TSan.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ./build-tsan/tests/infilter_tests \
+    --gtest_filter='Lifecycle*:EiaAging*:EiaSetRemove*:EiaIoLifecycle*'
 fi
 
 if [[ "$run_ubsan" == 1 ]]; then

@@ -232,6 +232,11 @@ void InFilterNode::flush() {
   refresh_runtime_stats();
 }
 
+bool InFilterNode::resize(int new_shards) {
+  if (!runtime_) return false;
+  return runtime_->resize(new_shards);
+}
+
 void InFilterNode::refresh_runtime_stats() {
   stats_.suspects = hook_suspects_.load(std::memory_order_relaxed);
   stats_.attacks_flagged = hook_attacks_.load(std::memory_order_relaxed);

@@ -120,6 +120,13 @@ class InFilterNode {
   /// Serial nodes: no-op.
   void flush();
 
+  /// Runtime-backed nodes: live-resizes the worker shard pool, migrating
+  /// per-shard engine state (see runtime::ShardedRuntime::resize). Safe
+  /// while ingest receivers are dispatching -- they stall on the submit
+  /// gate for the pause. Returns false on serial nodes or when the
+  /// runtime rejects the request.
+  bool resize(int new_shards);
+
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
   [[nodiscard]] const core::TracebackEngine& traceback() const { return traceback_; }
   [[nodiscard]] std::vector<std::uint16_t> ports() const {

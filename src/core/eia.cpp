@@ -61,6 +61,38 @@ std::vector<net::Prefix> EiaSet::to_cidrs() const {
   return out;
 }
 
+bool EiaSet::remove(const net::Prefix& prefix) {
+  const std::uint32_t first = prefix.first().value();
+  const std::uint32_t last = prefix.last().value();
+
+  // First stored range that could overlap [first, last].
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), first,
+                             [](std::uint32_t v, const Range& r) { return v < r.first; });
+  if (it != ranges_.begin() && std::prev(it)->last >= first) --it;
+
+  bool removed = false;
+  while (it != ranges_.end() && it->first <= last) {
+    const Range hit = *it;
+    removed = true;
+    // Keep the pieces of `hit` outside [first, last], if any.
+    const bool keep_low = hit.first < first;
+    const bool keep_high = hit.last > last;
+    if (keep_low && keep_high) {
+      it->last = first - 1;
+      it = std::next(ranges_.insert(std::next(it), Range{last + 1, hit.last}));
+    } else if (keep_low) {
+      it->last = first - 1;
+      ++it;
+    } else if (keep_high) {
+      it->first = last + 1;
+      ++it;
+    } else {
+      it = ranges_.erase(it);
+    }
+  }
+  return removed;
+}
+
 std::uint64_t EiaSet::address_count() const {
   std::uint64_t total = 0;
   for (const auto& range : ranges_) {
@@ -145,6 +177,118 @@ bool EiaTable::observe_mismatch(IngressId ingress, net::IPv4Address source) {
     return true;
   }
   return false;
+}
+
+// -- Lifecycle aging (src/lifecycle) --------------------------------------
+
+bool EiaTable::expire_if_idle(IngressId ingress, std::uint32_t key24,
+                              lifecycle::EntryAge& age, util::TimeMs now) {
+  if (age.expired ||
+      !lifecycle::idle_expired(age.last_seen, now, config_.lifecycle.max_idle_ms)) {
+    return false;
+  }
+  backend_->unlearn(ingress, net::Prefix{net::IPv4Address{key24}, 24});
+  age.expired = true;
+  ++lifecycle_stats_.entries_expired;
+  return true;
+}
+
+bool EiaTable::is_expected(IngressId ingress, net::IPv4Address source,
+                           util::TimeMs now) {
+  if (!aging_enabled()) return is_expected(ingress, source);
+  auto it = age_.find(age_key(ingress, source));
+  if (it != age_.end()) {
+    expire_if_idle(ingress, source.value() & 0xFFFFFF00u, it->second, now);
+  }
+  const bool hit = is_expected(ingress, source);
+  if (hit && it != age_.end() && !it->second.expired &&
+      now > it->second.last_seen) {
+    it->second.last_seen = now;
+    ++lifecycle_stats_.entries_refreshed;
+  }
+  return hit;
+}
+
+std::optional<IngressId> EiaTable::expected_ingress(net::IPv4Address source,
+                                                    util::TimeMs now) {
+  if (!aging_enabled()) return expected_ingress(source);
+  const std::uint32_t key24 = source.value() & 0xFFFFFF00u;
+  for (const IngressId ingress : backend_->ingresses()) {
+    auto it = age_.find((std::uint64_t{ingress} << 32) | key24);
+    if (it != age_.end()) expire_if_idle(ingress, key24, it->second, now);
+  }
+  return backend_->expected_ingress(source);
+}
+
+bool EiaTable::observe_mismatch(IngressId ingress, net::IPv4Address source,
+                                util::TimeMs now) {
+  if (!aging_enabled()) return observe_mismatch(ingress, source);
+  const bool learned = observe_mismatch(ingress, source);
+  if (learned) {
+    auto& age = age_[age_key(ingress, source)];
+    if (age.expired) ++lifecycle_stats_.entries_relearned;
+    age = lifecycle::EntryAge{.learned_at = now, .last_seen = now, .expired = false};
+  }
+  return learned;
+}
+
+std::size_t EiaTable::age_sweep(util::TimeMs now) {
+  if (!aging_enabled()) return 0;
+  ++lifecycle_stats_.sweeps;
+  std::size_t expired = 0;
+  for (auto& [key, age] : age_) {
+    const auto ingress = static_cast<IngressId>(key >> 32);
+    const auto key24 = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    if (expire_if_idle(ingress, key24, age, now)) ++expired;
+  }
+  return expired;
+}
+
+std::optional<lifecycle::EntryState> EiaTable::entry_state(
+    IngressId ingress, net::IPv4Address source, util::TimeMs now) const {
+  const std::uint32_t key24 = source.value() & 0xFFFFFF00u;
+  const std::uint64_t key = age_key(ingress, source);
+  if (pending_[util::SplitMix64{key24}.next() % kPendingBanks].contains(key)) {
+    return lifecycle::EntryState::kLearning;
+  }
+  if (auto it = age_.find(key); it != age_.end()) {
+    if (it->second.expired) return lifecycle::EntryState::kExpired;
+    if (!aging_enabled()) return lifecycle::EntryState::kEstablished;
+    return lifecycle::idle_state(it->second.last_seen, now, config_.lifecycle);
+  }
+  // Membership with no age metadata is a preload: established forever.
+  if (backend_->contains(ingress, source)) return lifecycle::EntryState::kEstablished;
+  return std::nullopt;
+}
+
+std::vector<EiaTable::AgedEntry> EiaTable::aged_entries() const {
+  std::vector<AgedEntry> out;
+  out.reserve(age_.size());
+  for (const auto& [key, age] : age_) {
+    out.push_back(AgedEntry{static_cast<IngressId>(key >> 32),
+                            static_cast<std::uint32_t>(key & 0xFFFFFFFFu), age});
+  }
+  std::sort(out.begin(), out.end(), [](const AgedEntry& a, const AgedEntry& b) {
+    return a.ingress != b.ingress ? a.ingress < b.ingress : a.key24 < b.key24;
+  });
+  return out;
+}
+
+void EiaTable::restore_age(IngressId ingress, std::uint32_t key24,
+                           const lifecycle::EntryAge& age) {
+  age_[(std::uint64_t{ingress} << 32) | (key24 & 0xFFFFFF00u)] = age;
+}
+
+std::vector<std::pair<std::uint64_t, int>> EiaTable::pending_entries() const {
+  std::vector<std::pair<std::uint64_t, int>> out;
+  for (const auto& bank : pending_) out.insert(out.end(), bank.begin(), bank.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void EiaTable::restore_pending(std::uint64_t key, int count) {
+  const auto key24 = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+  pending_[util::SplitMix64{key24}.next() % kPendingBanks][key] = count;
 }
 
 }  // namespace infilter::core

@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "core/eia_backend.h"
+#include "lifecycle/lifecycle.h"
 #include "net/ipv4.h"
+#include "util/time.h"
 
 namespace infilter::core {
 
@@ -49,6 +51,11 @@ class EiaSet {
   /// Decomposes the stored ranges into the minimal list of CIDR prefixes
   /// covering exactly the same addresses (for persistence and display).
   [[nodiscard]] std::vector<net::Prefix> to_cidrs() const;
+
+  /// Removes a prefix's addresses, splitting covering ranges as needed
+  /// (lifecycle expiry of learned /24s). Returns true when any stored
+  /// address was actually removed.
+  bool remove(const net::Prefix& prefix);
 
  private:
   struct Range {
@@ -88,6 +95,11 @@ struct EiaTableConfig {
   std::size_t max_pending_counters = 1 << 20;
   /// Membership storage (core/eia_backend.h).
   EiaBackendConfig backend;
+  /// Learned-entry aging (src/lifecycle). Off by default, which keeps the
+  /// table bit-identical to the pre-lifecycle pipeline. Active only on
+  /// backends that can remove a /24 (exact, counting-Bloom); the plain
+  /// Bloom backend keeps its own rotating-sub-filter aging.
+  lifecycle::LifecycleConfig lifecycle;
 };
 
 /// Per-ingress EIA sets plus the auto-learning machinery. Move-only: the
@@ -108,6 +120,16 @@ class EiaTable {
   /// still-live learned key).
   [[nodiscard]] bool is_expected(IngressId ingress, net::IPv4Address source) const;
 
+  /// Aging-aware check: with lifecycle aging enabled, first expires the
+  /// (ingress, source /24) entry if it has idled past max_idle_ms of the
+  /// flow-carried virtual time (membership removed, tombstone kept so a
+  /// later relearn is counted), then refreshes last_seen on a hit. With
+  /// aging off this is exactly the const overload -- bit-identical.
+  /// Expiry is lazy and per-key (see lifecycle/lifecycle.h for why that
+  /// preserves the serial-replay contract).
+  [[nodiscard]] bool is_expected(IngressId ingress, net::IPv4Address source,
+                                 util::TimeMs now);
+
   /// The ingress whose EIA set contains `source` (AS_IP(phi) of Section
   /// 5.2), or nullopt if no EIA set contains it. When several match, the
   /// lowest ingress id wins (deterministic). On the probabilistic
@@ -117,10 +139,68 @@ class EiaTable {
   /// both tolerant of an approximate answer (core/eia_backend.h).
   [[nodiscard]] std::optional<IngressId> expected_ingress(net::IPv4Address source) const;
 
+  /// Aging-aware variant: expires the source's idled entries at every
+  /// ingress first (no refresh -- a /24 seen only at *other* ingresses is
+  /// exactly the drift aging exists to forget). Identical to the const
+  /// overload with aging off.
+  [[nodiscard]] std::optional<IngressId> expected_ingress(net::IPv4Address source,
+                                                          util::TimeMs now);
+
   /// Records a flow that failed the check. Once learn_threshold flows from
   /// the same source /24 arrive at the same ingress, the /24 is added to
   /// that ingress's EIA set. Returns true when this call learned the /24.
   bool observe_mismatch(IngressId ingress, net::IPv4Address source);
+
+  /// Aging-aware variant: on a learn, stamps the entry's age metadata
+  /// (learned_at = last_seen = now) and counts a relearn when the key had
+  /// previously expired. Identical to the plain overload with aging off.
+  bool observe_mismatch(IngressId ingress, net::IPv4Address source,
+                        util::TimeMs now);
+
+  /// Eagerly expires every entry whose idle time exceeds max_idle_ms at
+  /// `now` (memory reclaim). Uses the same predicate as the lazy lookup
+  /// path, so it is verdict-neutral: it only removes entries every later
+  /// lookup would have rejected anyway. Returns the number expired.
+  std::size_t age_sweep(util::TimeMs now);
+
+  /// True when entry aging is active (config enabled AND the backend can
+  /// remove a /24).
+  [[nodiscard]] bool aging_enabled() const {
+    return config_.lifecycle.enabled() && backend_->supports_unlearn();
+  }
+
+  /// State of the (ingress, source /24) entry at `now`, or nullopt for
+  /// keys the table knows nothing about. Preloaded (operator-provisioned)
+  /// members report kEstablished forever.
+  [[nodiscard]] std::optional<lifecycle::EntryState> entry_state(
+      IngressId ingress, net::IPv4Address source, util::TimeMs now) const;
+
+  [[nodiscard]] const lifecycle::LifecycleStats& lifecycle_stats() const {
+    return lifecycle_stats_;
+  }
+  /// Age-metadata entries held (live + tombstones).
+  [[nodiscard]] std::size_t aged_entry_count() const { return age_.size(); }
+
+  /// One exported age record (persistence in eia_io, shard migration).
+  struct AgedEntry {
+    IngressId ingress;
+    std::uint32_t key24;  ///< first address of the /24
+    lifecycle::EntryAge age;
+
+    friend bool operator==(const AgedEntry&, const AgedEntry&) = default;
+  };
+  /// All age metadata, sorted by (ingress, key24) -- deterministic.
+  [[nodiscard]] std::vector<AgedEntry> aged_entries() const;
+  /// Reattaches age metadata to a key (import / migration). Does not
+  /// touch membership; pair with add_expected for live entries.
+  void restore_age(IngressId ingress, std::uint32_t key24,
+                   const lifecycle::EntryAge& age);
+
+  /// Pending learn counters, sorted by key -- deterministic export for
+  /// shard migration. Key layout: (ingress << 32) | source /24.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, int>> pending_entries() const;
+  /// Re-inserts one pending counter into its bank (shard migration).
+  void restore_pending(std::uint64_t key, int count);
 
   [[nodiscard]] std::size_t ingress_count() const { return backend_->ingress_count(); }
   /// The exact backend's interval set (null for unknown ingresses and on
@@ -153,6 +233,14 @@ class EiaTable {
  private:
   using PendingMap = std::unordered_map<std::uint64_t, int>;
 
+  static std::uint64_t age_key(IngressId ingress, net::IPv4Address source) {
+    return (std::uint64_t{ingress} << 32) | (source.value() & 0xFFFFFF00u);
+  }
+  /// Expires the entry behind `age` if it has idled out at `now`:
+  /// membership removed, tombstone kept. Returns true when it did.
+  bool expire_if_idle(IngressId ingress, std::uint32_t key24,
+                      lifecycle::EntryAge& age, util::TimeMs now);
+
   EiaTableConfig config_;
   std::unique_ptr<EiaBackend> backend_;
   /// Mutable: is_expected() is logically const but counts its lookups.
@@ -161,6 +249,10 @@ class EiaTable {
   /// the /24's shard hash.
   std::array<PendingMap, kPendingBanks> pending_;
   std::size_t pending_bank_cap_;
+  /// (ingress << 32 | source /24) -> age metadata for auto-learned keys
+  /// (preloads exempt); expired entries stay as tombstones.
+  std::unordered_map<std::uint64_t, lifecycle::EntryAge> age_;
+  lifecycle::LifecycleStats lifecycle_stats_;
 };
 
 }  // namespace infilter::core

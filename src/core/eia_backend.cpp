@@ -198,6 +198,15 @@ std::size_t ExactEiaBackend::memory_bytes() const {
   return total;
 }
 
+void ExactEiaBackend::unlearn(IngressId ingress, const net::Prefix& prefix) {
+  auto it = std::lower_bound(sets_.begin(), sets_.end(), ingress,
+                             [](const auto& entry, IngressId id) {
+                               return entry.first < id;
+                             });
+  if (it == sets_.end() || it->first != ingress) return;
+  it->second->remove(prefix);
+}
+
 const EiaSet* ExactEiaBackend::set_for(IngressId ingress) const {
   auto it = std::lower_bound(sets_.begin(), sets_.end(), ingress,
                              [](const auto& entry, IngressId id) {

@@ -183,6 +183,11 @@ class ExactEiaBackend final : public EiaBackend {
   [[nodiscard]] std::size_t total_ranges() const override;
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] const EiaSet* set_for(IngressId ingress) const override;
+  /// Exact interval subtraction -- the lifecycle layer's expiry hook
+  /// (src/lifecycle): removes the prefix's addresses from `ingress`'s
+  /// set, splitting covering ranges as needed.
+  [[nodiscard]] bool supports_unlearn() const override { return true; }
+  void unlearn(IngressId ingress, const net::Prefix& prefix) override;
 
  private:
   EiaSet& set_ref(IngressId ingress);

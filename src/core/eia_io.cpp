@@ -117,6 +117,30 @@ void append_bank_state(std::string& out, const BankedBloomBase& backend) {
   }
 }
 
+/// The versioned lifecycle directive (aging policy) and the per-entry
+/// age lines. Both appear only when age metadata exists, so a table that
+/// never aged exports byte-identically to the historical format (the
+/// round-trip tests pin it); legacy dumps without them load with every
+/// entry fresh/established. The directive precedes the state lines --
+/// import honors it like the backend directive, overriding the caller's
+/// configured policy so a reload resumes the exported aging behavior.
+void append_lifecycle_directive(std::string& out, const EiaTable& table) {
+  const lifecycle::LifecycleConfig& policy = table.config().lifecycle;
+  out += "lifecycle v1 max_idle=" + std::to_string(policy.max_idle_ms) +
+         " stale_after=" + std::to_string(policy.stale_after_ms) + "\n";
+}
+
+void append_age_entries(std::string& out, const EiaTable& table) {
+  for (const EiaTable::AgedEntry& aged : table.aged_entries()) {
+    out += "age " + std::to_string(aged.ingress) + " " +
+           net::Prefix{net::IPv4Address{aged.key24}, 24}.to_string() + " " +
+           std::to_string(aged.age.learned_at) + " " +
+           std::to_string(aged.age.last_seen);
+    if (aged.age.expired) out += " expired";
+    out += "\n";
+  }
+}
+
 /// Parsed state of a "backend ..." directive line.
 struct BackendDirective {
   EiaBackendConfig config;
@@ -188,11 +212,21 @@ std::string export_eia(const EiaTable& table) {
   if (table.backend().type() == EiaBackendType::kExact) {
     std::ostringstream out;
     out << "# InFilter EIA sets: ingress <id> followed by its expected prefixes\n";
+    if (table.aged_entry_count() > 0) {
+      std::string directive;
+      append_lifecycle_directive(directive, table);
+      out << directive;
+    }
     for (const auto ingress : table.ingresses()) {
       out << "ingress " << ingress << "\n";
       for (const auto& prefix : table.set_for(ingress)->to_cidrs()) {
         out << "  " << prefix.to_string() << "\n";
       }
+    }
+    if (table.aged_entry_count() > 0) {
+      std::string ages;
+      append_age_entries(ages, table);
+      out << ages;
     }
     return std::move(out).str();
   }
@@ -205,6 +239,7 @@ std::string export_eia(const EiaTable& table) {
   std::string out =
       "# InFilter EIA backend state (probabilistic; core/eia_backend.h)\n";
   append_backend_directive(out, base);
+  if (table.aged_entry_count() > 0) append_lifecycle_directive(out, table);
   for (const auto ingress : table.ingresses()) {
     out += "ingress " + std::to_string(ingress) + "\n";
   }
@@ -224,6 +259,7 @@ std::string export_eia(const EiaTable& table) {
       append_byte_runs(out, arrays[slot]);
     }
   }
+  if (table.aged_entry_count() > 0) append_age_entries(out, table);
   return out;
 }
 
@@ -271,6 +307,59 @@ util::Result<EiaTable> import_eia(std::string_view text, EiaTableConfig config) 
       if (!parsed) return fail(parsed.error().message);
       directive = std::move(parsed).value();
       config.backend = directive->config;
+      continue;
+    }
+
+    if (line.rfind("lifecycle", 0) == 0 &&
+        (line.size() == 9 || line[9] == ' ' || line[9] == '\t')) {
+      if (table.has_value()) return fail("lifecycle directive after state lines");
+      const auto parts = tokens_of(line);
+      if (parts.size() < 2 || parts[1] != "v1") {
+        return fail("unsupported lifecycle directive version");
+      }
+      for (std::size_t i = 2; i < parts.size(); ++i) {
+        const auto eq = parts[i].find('=');
+        const auto value = eq == std::string_view::npos
+                               ? std::nullopt
+                               : parse_u64(parts[i].substr(eq + 1));
+        if (!value.has_value()) {
+          return fail("bad lifecycle parameter '" + std::string(parts[i]) + "'");
+        }
+        const auto name = parts[i].substr(0, eq);
+        if (name == "max_idle") {
+          config.lifecycle.max_idle_ms = *value;
+        } else if (name == "stale_after") {
+          config.lifecycle.stale_after_ms = *value;
+        } else {
+          return fail("unknown lifecycle parameter '" + std::string(name) + "'");
+        }
+      }
+      continue;
+    }
+
+    if (line.rfind("age ", 0) == 0) {
+      const auto parts = tokens_of(line);
+      if (parts.size() != 5 && parts.size() != 6) {
+        return fail("age line wants: age INGRESS PREFIX LEARNED LAST [expired]");
+      }
+      const auto ingress = parse_u64(parts[1]);
+      const auto prefix = net::Prefix::parse(parts[2]);
+      const auto learned = parse_u64(parts[3]);
+      const auto last = parse_u64(parts[4]);
+      bool expired = false;
+      if (parts.size() == 6) {
+        if (parts[5] != "expired") {
+          return fail("bad age flag '" + std::string(parts[5]) + "'");
+        }
+        expired = true;
+      }
+      if (!ingress.has_value() || *ingress > 0xFFFF || !prefix.has_value() ||
+          prefix->length() != 24 || !learned.has_value() || !last.has_value()) {
+        return fail("bad age line");
+      }
+      ensure_table().restore_age(
+          static_cast<IngressId>(*ingress), prefix->address().value(),
+          lifecycle::EntryAge{*learned, *last, expired});
       continue;
     }
 

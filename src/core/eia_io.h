@@ -23,6 +23,14 @@
 // reload answers membership exactly like the exported table, false
 // positives included. Files without a directive load with the caller's
 // configured backend (historically exact).
+//
+// Lifecycle aging (src/lifecycle) adds a versioned "lifecycle v1
+// max_idle=... stale_after=..." directive plus one "age <ingress>
+// <prefix/24> <learned_at> <last_seen> [expired]" line per aged entry.
+// Both appear only when the table holds age metadata, so pre-lifecycle
+// exports stay byte-identical; legacy dumps load with every entry
+// fresh/established (no metadata). The directive overrides the caller's
+// configured aging policy like the backend directive does.
 
 #pragma once
 

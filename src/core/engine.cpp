@@ -75,6 +75,22 @@ void InFilterEngine::register_component_metrics() {
       "Ground-truth-benign flows that drew a suspect verdict under a "
       "probabilistic EIA backend (testbed-driven; 0 in production and on "
       "the exact backend)");
+  registry_->counter_fn(
+      "infilter_lifecycle_entries_expired_total",
+      [this] { return eia_.lifecycle_stats().entries_expired; },
+      "Learned EIA entries whose membership idle-expired (src/lifecycle)");
+  registry_->counter_fn(
+      "infilter_lifecycle_entries_relearned_total",
+      [this] { return eia_.lifecycle_stats().entries_relearned; },
+      "Expired EIA entries learned again on reobservation");
+  registry_->counter_fn(
+      "infilter_lifecycle_entries_refreshed_total",
+      [this] { return eia_.lifecycle_stats().entries_refreshed; },
+      "EIA entry last_seen advances on lookup hits (aging on)");
+  registry_->gauge_fn(
+      "infilter_lifecycle_aged_entries",
+      [this] { return static_cast<double>(eia_.aged_entry_count()); },
+      "Age-metadata records held (live learned entries + expiry tombstones)");
   registry_->gauge_fn(
       "infilter_hopcount_entries",
       [this] { return static_cast<double>(hopcount_.table().size()); },
@@ -140,7 +156,7 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
   bool expected;
   {
     obs::StageTimer timer(metrics_.stage_eia_us);
-    expected = eia_.is_expected(ingress, record.src_ip);
+    expected = eia_.is_expected(ingress, record.src_ip, now);
   }
 
   // The source's home ingress (AS_IP(phi), a scan over every EIA set) is
@@ -152,7 +168,7 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
   std::optional<IngressId> home;
   const auto home_ingress = [&] {
     if (!home_known) {
-      home = eia_.expected_ingress(record.src_ip);
+      home = eia_.expected_ingress(record.src_ip, now);
       home_known = true;
     }
     return home;
@@ -206,7 +222,7 @@ bool InFilterEngine::pre_process(const netflow::V5Record& record, IngressId ingr
   // route change it signals, not as an attack.
   verdict.suspect = true;
   const std::optional<IngressId> pre_learn_home = home_ingress();
-  const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
+  const bool learned = eia_.observe_mismatch(ingress, record.src_ip, now);
   if (learned) metrics_.eia_learned->inc();
   // The alert context is the post-learn first match, derived without a
   // second scan: learning added exactly (ingress, src /24), so the first
@@ -346,7 +362,7 @@ void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
     bool expected;
     {
       obs::StageTimer timer(metrics_.stage_eia_us);
-      expected = eia_.is_expected(ingress, record.src_ip);
+      expected = eia_.is_expected(ingress, record.src_ip, now);
     }
 
     // Same single-scan rule as pre_process: the home ingress is computed
@@ -356,7 +372,7 @@ void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
     std::optional<IngressId> home;
     const auto home_ingress = [&] {
       if (!home_known) {
-        home = eia_.expected_ingress(record.src_ip);
+        home = eia_.expected_ingress(record.src_ip, now);
         home_known = true;
       }
       return home;
@@ -397,7 +413,7 @@ void InFilterEngine::pre_process_batch(std::span<const FlowInput> flows,
 
     verdict.suspect = true;
     const std::optional<IngressId> pre_learn_home = home_ingress();
-    const bool learned = eia_.observe_mismatch(ingress, record.src_ip);
+    const bool learned = eia_.observe_mismatch(ingress, record.src_ip, now);
     if (learned) metrics_.eia_learned->inc();
     // Post-learn context derived as in pre_process: min(home, ingress)
     // when this flow learned, home otherwise.

@@ -194,9 +194,17 @@ class InFilterEngine {
   }
 
   [[nodiscard]] const EiaTable& eia() const { return eia_; }
+  /// Mutable table access for persistence restore and shard-state
+  /// migration (lifecycle/migrate.h) -- not for the flow hot path.
+  [[nodiscard]] EiaTable& eia_mut() { return eia_; }
   [[nodiscard]] const hopcount::HopCountTable& hopcount_table() const {
     return hopcount_.table();
   }
+
+  /// Eagerly expires idled EIA entries at virtual time `now`
+  /// (EiaTable::age_sweep): verdict-neutral memory reclaim. Returns the
+  /// number expired; 0 when aging is off.
+  std::size_t age_sweep(util::TimeMs now) { return eia_.age_sweep(now); }
   [[nodiscard]] const TrainedClusters* clusters() const { return clusters_.get(); }
   [[nodiscard]] ScanAnalysis& scan() { return scan_; }
   [[nodiscard]] const ScanAnalysis& scan() const { return scan_; }

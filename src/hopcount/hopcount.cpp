@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lifecycle/lifecycle.h"
+
 namespace infilter::hopcount {
 
 const char* ttl_class_name(TtlClass c) {
@@ -24,8 +26,11 @@ std::uint64_t HopCountTable::key_of(IngressId ingress, net::IPv4Address source) 
 }
 
 bool HopCountTable::stale(const Entry& entry, util::TimeMs now) const {
-  return config_.decay_ms != 0 && now > entry.last_seen &&
-         now - entry.last_seen > config_.decay_ms;
+  // Shared idle-expiry predicate (lifecycle/lifecycle.h): the hop-count
+  // decay clock and the EIA entry-aging clock are the same flow-carried
+  // virtual time, so the testbed drives both deterministically.
+  return config_.decay_ms != 0 &&
+         lifecycle::idle_expired(entry.last_seen, now, config_.decay_ms);
 }
 
 TtlClass HopCountTable::classify(IngressId ingress, net::IPv4Address source,

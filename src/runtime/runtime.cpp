@@ -6,6 +6,7 @@
 #include <queue>
 #include <string>
 
+#include "lifecycle/migrate.h"
 #include "runtime/affinity.h"
 #include "util/rng.h"
 
@@ -26,12 +27,26 @@ core::EngineConfig shard_engine_config(const RuntimeConfig& config) {
   return engine;
 }
 
+/// What a retired shard engine leaves behind at resize: its counters and
+/// histograms (pure history, safe to sum forever). Gauges are dropped --
+/// they describe live state (pending learn counters, table sizes) that
+/// the migration moved into the new engines, whose own gauges now report
+/// it; merging both would double-count.
+obs::RegistrySnapshot history_only(const obs::RegistrySnapshot& snap) {
+  obs::RegistrySnapshot out;
+  for (const obs::MetricSnapshot& metric : snap.metrics) {
+    if (metric.kind != obs::MetricKind::kGauge) out.metrics.push_back(metric);
+  }
+  return out;
+}
+
 }  // namespace
 
 ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
                                VerdictHook hook)
     : config_(std::move(config)),
       sink_(sink),
+      engine_sink_(sink != nullptr),
       hook_(std::move(hook)),
       tracer_(config_.tracer),
       owned_registry_(std::make_unique<obs::Registry>()),
@@ -55,6 +70,17 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
       "infilter_runtime_batch_size",
       obs::Histogram::exponential_bounds(1.0, 2.0, 10),
       "Flows claimed per worker merge batch");
+  resizes_total_ = &registry_->counter(
+      "infilter_lifecycle_resizes_total",
+      "Completed live shard-pool resizes (ShardedRuntime::resize)");
+  migrated_entries_ = &registry_->counter(
+      "infilter_lifecycle_migrated_entries_total",
+      "State records carried across resize boundaries (EIA membership, "
+      "age metadata, pending counters, hop-count ranges)");
+  resize_pause_us_ = &registry_->histogram(
+      "infilter_lifecycle_resize_pause_us",
+      obs::Histogram::exponential_bounds(50.0, 2.0, 16),
+      "Producer-visible pause of one resize, quiesce through thread restart");
   // `this`-capturing pull gauges always live in the runtime-private
   // registry: obs::Registry has no unregistration, so installing them in a
   // caller-supplied registry that outlives the runtime would leave a
@@ -190,12 +216,7 @@ ShardedRuntime::ShardedRuntime(RuntimeConfig config, alert::AlertSink* sink,
   }
   // Engines first, threads second: a worker must never observe a
   // half-constructed shard vector.
-  for (auto& shard : shards_) {
-    shard->worker = std::thread([this, raw = shard.get()] { worker_main(*raw); });
-  }
-  if (scan_stage) {
-    scan_thread_ = std::thread([this] { scan_main(); });
-  }
+  start_threads_locked();
 }
 
 ShardedRuntime::~ShardedRuntime() { shutdown(); }
@@ -878,10 +899,7 @@ void ShardedRuntime::flush() {
   flush_locked();
 }
 
-void ShardedRuntime::shutdown() {
-  std::unique_lock gate(submit_gate_);
-  if (stopped_.load(std::memory_order_relaxed)) return;
-  flush_locked();
+void ShardedRuntime::join_threads_locked() {
   stopping_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->wake_mutex);
@@ -900,10 +918,107 @@ void ShardedRuntime::shutdown() {
     }
     scan_thread_.join();
   }
+}
+
+void ShardedRuntime::start_threads_locked() {
+  stopping_.store(false, std::memory_order_release);
+  scan_stopping_.store(false, std::memory_order_release);
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, raw = shard.get()] { worker_main(*raw); });
+  }
+  if (scan_engine_ != nullptr) {
+    scan_thread_ = std::thread([this] { scan_main(); });
+  }
+}
+
+void ShardedRuntime::shutdown() {
+  std::unique_lock gate(submit_gate_);
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  flush_locked();
+  join_threads_locked();
   for (auto& slot : producers_) {
     if (slot->lane != nullptr) slot->lane->retire();
   }
   stopped_.store(true, std::memory_order_relaxed);
+}
+
+bool ShardedRuntime::resize(int new_shards) {
+  if (new_shards < 1) return false;
+  std::unique_lock gate(submit_gate_);
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+  if (static_cast<std::size_t>(new_shards) == shards_.size()) return true;
+  const std::uint64_t t0 = obs::Tracer::now_ns();
+
+  // Quiesce: every dispatched flow processed, every suspect completed,
+  // then park the pool for good -- the harvest reads plain engine state
+  // only joined workers can no longer touch.
+  flush_locked();
+  join_threads_locked();
+
+  std::vector<const core::InFilterEngine*> engines;
+  engines.reserve(shards_.size());
+  for (const auto& shard : shards_) engines.push_back(shard->engine.get());
+  const lifecycle::EngineHarvest harvest = lifecycle::harvest_engines(engines);
+
+  // Retire the old engines' history; their live state rides on in the
+  // harvest and reappears under the new engines' gauges.
+  for (const auto& shard : shards_) {
+    retired_.push_back(history_only(shard->engine->registry().snapshot()));
+    retired_dispatched_.fetch_add(
+        shard->enqueued.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    retired_processed_.fetch_add(
+        shard->processed.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+
+  // Rebuild the shard map. New watermarks start at the claim frontier:
+  // every tag at or below it is fully processed, so the scan stage's
+  // reorder window never waits on pre-resize history.
+  const std::uint64_t frontier = next_seq_.load(std::memory_order_relaxed);
+  const bool scan_stage = scan_engine_ != nullptr;
+  config_.shards = new_shards;
+  shards_.clear();
+  shards_.reserve(static_cast<std::size_t>(new_shards));
+  for (int s = 0; s < new_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->rings.reserve(producers_.size());
+    for (std::size_t p = 0; p < producers_.size(); ++p) {
+      shard->rings.push_back(
+          std::make_unique<SpscRing<FlowItem>>(config_.queue_depth));
+    }
+    shard->engine = std::make_unique<core::InFilterEngine>(
+        shard_engine_config(config_), engine_sink_ ? &sink_ : nullptr);
+    if (scan_stage) {
+      shard->suspect_ring =
+          std::make_unique<SpscRing<SeqSuspect>>(config_.queue_depth);
+    }
+    shard->watermark.store(frontier, std::memory_order_relaxed);
+    lifecycle::install_engine_state(harvest, *shard->engine,
+                                    static_cast<std::size_t>(s),
+                                    static_cast<std::size_t>(new_shards));
+    shards_.push_back(std::move(shard));
+  }
+  start_threads_locked();
+
+  resizes_total_->inc();
+  migrated_entries_->inc(harvest.entry_count());
+  resize_pause_us_->observe(static_cast<double>(obs::Tracer::now_ns() - t0) /
+                            1000.0);
+  return true;
+}
+
+std::size_t ShardedRuntime::age_sweep(util::TimeMs now) {
+  std::unique_lock gate(submit_gate_);
+  if (stopped_.load(std::memory_order_relaxed)) return 0;
+  // Drain first (like add_expected): the sweep walks the same EIA maps
+  // the workers mutate, and the gate only stops *new* submits. Parked
+  // workers never touch a quiescent engine.
+  flush_locked();
+  std::size_t expired = 0;
+  for (auto& shard : shards_) expired += shard->engine->age_sweep(now);
+  return expired;
 }
 
 RuntimeStats ShardedRuntime::stats() const {
@@ -916,6 +1031,10 @@ RuntimeStats ShardedRuntime::stats() const {
     out.dispatched += shard->enqueued.load(std::memory_order_relaxed);
     out.processed += shard->processed.load(std::memory_order_acquire);
   }
+  // Shards retired by resize() fold their totals in here, keeping every
+  // stat monotone over the runtime's life across pool swaps.
+  out.dispatched += retired_dispatched_.load(std::memory_order_relaxed);
+  out.processed += retired_processed_.load(std::memory_order_relaxed);
   out.suspects_forwarded = suspects_forwarded_.load(std::memory_order_relaxed);
   out.suspects_completed = suspects_completed_.load(std::memory_order_relaxed);
   return out;
@@ -941,8 +1060,12 @@ obs::RegistrySnapshot ShardedRuntime::snapshot() const {
   // pushes either completed before the gate or wait behind it).
   std::unique_lock gate(submit_gate_);
   std::vector<obs::RegistrySnapshot> parts;
-  parts.reserve(shards_.size() + 3);
+  parts.reserve(shards_.size() + 3 + retired_.size());
   parts.push_back(registry_->snapshot());
+  // Counter/histogram history of engines retired by resize() (their
+  // gauges were dropped at retirement -- the live engines report that
+  // state now).
+  for (const obs::RegistrySnapshot& part : retired_) parts.push_back(part);
   if (owned_registry_.get() != registry_) {
     parts.push_back(owned_registry_->snapshot());
   }

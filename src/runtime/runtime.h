@@ -294,6 +294,31 @@ class ShardedRuntime {
   /// engine's (core/engine.h).
   [[nodiscard]] obs::RegistrySnapshot snapshot() const;
 
+  // -- Lifecycle operations (src/lifecycle) --
+
+  /// Resizes the shard pool in place, migrating every engine's learned
+  /// state (EIA membership incl. pending learn counters and age metadata,
+  /// hop-count ranges) to the new shard map under the same source-/24
+  /// hash. Takes the submit gate exclusively: producers stall for the
+  /// duration, the pool quiesces via the two-phase flush, workers and the
+  /// scan thread are joined, state is harvested and reinstalled
+  /// (lifecycle/migrate.h), and fresh threads resume. Verdict and alert
+  /// streams stay bit-consistent with a serial replay across the
+  /// boundary: the migration installs exactly the state a serial engine
+  /// would hold after the flows processed so far. Returns false after
+  /// shutdown() or for new_shards < 1; a same-size call is a no-op
+  /// returning true. The pause is recorded in
+  /// infilter_lifecycle_resize_pause_us.
+  bool resize(int new_shards);
+
+  /// Fans one exact-EIA aging sweep (core::EiaTable::age_sweep) out to
+  /// every shard engine after a full flush, against flow-carried virtual
+  /// time `now`. Verdict-neutral by construction -- the sweep applies the
+  /// same lazy idle predicate every later lookup would -- so this only
+  /// reclaims memory and updates the lifecycle counters eagerly. Returns
+  /// the number of entries expired across all shards.
+  std::size_t age_sweep(util::TimeMs now);
+
  private:
   /// A suspect flow in flight from a shard's EIA stage to the scan stage.
   struct SeqSuspect {
@@ -376,11 +401,20 @@ class ShardedRuntime {
                                            std::span<const FlowItem> items);
   void note_occupancy(Shard& shard);
   void flush_locked();
+  /// Stops and joins the workers and (if active) the scan thread. Caller
+  /// holds the gate and has flushed; shards_ stay intact for harvesting.
+  void join_threads_locked();
+  /// Spawns one worker per shard plus the scan thread (if active), after
+  /// resetting the stop flags. Mirrors the constructor's thread start.
+  void start_threads_locked();
   void wake(Shard& shard);
   void wake_scan();
 
   RuntimeConfig config_;
   alert::SerializingSink sink_;
+  /// Whether the shard engines were built with &sink_ (the constructor's
+  /// `sink` parameter was non-null); resize() rebuilds them identically.
+  bool engine_sink_ = false;
   VerdictHook hook_;
   obs::Tracer* tracer_ = nullptr;  ///< config_.tracer; may be null
   std::vector<std::unique_ptr<ProducerSlot>> producers_;
@@ -426,6 +460,18 @@ class ShardedRuntime {
   obs::Counter* backpressure_waits_;
   obs::Counter* batches_;
   obs::Histogram* batch_size_;
+  obs::Counter* resizes_total_;
+  obs::Counter* migrated_entries_;
+  obs::Histogram* resize_pause_us_;
+
+  /// History retired shard engines leave behind at resize: their registry
+  /// snapshots filtered to counters and histograms (gauges describe state
+  /// that now lives in the new engines and would double-count), merged
+  /// into snapshot(); and their dispatch/process totals, folded into
+  /// stats() so the monotone contract survives the pool swap.
+  std::vector<obs::RegistrySnapshot> retired_;
+  std::atomic<std::uint64_t> retired_dispatched_{0};
+  std::atomic<std::uint64_t> retired_processed_{0};
 };
 
 }  // namespace infilter::runtime

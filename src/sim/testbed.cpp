@@ -269,95 +269,64 @@ TestbedStream generate_stream(const ExperimentConfig& config) {
   return out;
 }
 
-namespace {
+Scorer::Scorer(const ExperimentConfig& config, const TestbedStream& stream)
+    : first_port_(config.first_port) {
+  for (const auto& [ingress, kind] : stream.instances) {
+    instances_[InstanceKey{ingress, kind}] = InstanceState{};
+  }
+}
 
-/// Ground-truth accounting shared by the serial and runtime replay paths.
-/// Every reduction is order-independent (counts and min-aggregations), so
-/// scoring the same (flow, verdict) pairs in any interleaving -- the
-/// runtime's workers finish shards in nondeterministic order -- produces
-/// exactly the serial result. (first_alert as a min over alerting flows'
-/// export times equals the serial "first detected flow in replay order":
-/// the stream is sorted by record.last.)
-class Scorer {
- public:
-  Scorer(const ExperimentConfig& config, const TestbedStream& stream)
-      : first_port_(config.first_port) {
-    for (const auto& [ingress, kind] : stream.instances) {
-      instances_[InstanceKey{ingress, kind}] = InstanceState{};
+void Scorer::score(const dagflow::LabeledFlow& flow,
+                   const core::Verdict& verdict) {
+  if (verdict.attack) {
+    switch (verdict.stage) {
+      case alert::DetectionStage::kEiaMismatch: ++result_.alerts_eia; break;
+      case alert::DetectionStage::kScanAnalysis: ++result_.alerts_scan; break;
+      case alert::DetectionStage::kNnsDistance: ++result_.alerts_nns; break;
+      case alert::DetectionStage::kHopCountFusion: ++result_.alerts_fused; break;
     }
   }
-
-  void score(const dagflow::LabeledFlow& flow, const core::Verdict& verdict) {
+  if (flow.attack) {
+    ++result_.attack_flows;
+    auto& instance = instances_[InstanceKey{
+        flow.arrival_port - first_port_, flow.attack_kind}];
+    instance.first_flow = std::min(
+        instance.first_flow, static_cast<util::TimeMs>(flow.record.first));
     if (verdict.attack) {
-      switch (verdict.stage) {
-        case alert::DetectionStage::kEiaMismatch: ++result_.alerts_eia; break;
-        case alert::DetectionStage::kScanAnalysis: ++result_.alerts_scan; break;
-        case alert::DetectionStage::kNnsDistance: ++result_.alerts_nns; break;
-        case alert::DetectionStage::kHopCountFusion: ++result_.alerts_fused; break;
-      }
+      instance.detected = true;
+      instance.first_alert = std::min(
+          instance.first_alert, static_cast<util::TimeMs>(flow.record.last));
+      ++result_.detected_attack_flows;
     }
-    if (flow.attack) {
-      ++result_.attack_flows;
-      auto& instance = instances_[InstanceKey{
-          flow.arrival_port - first_port_, flow.attack_kind}];
-      instance.first_flow = std::min(
-          instance.first_flow, static_cast<util::TimeMs>(flow.record.first));
-      if (verdict.attack) {
-        instance.detected = true;
-        instance.first_alert = std::min(
-            instance.first_alert, static_cast<util::TimeMs>(flow.record.last));
-        ++result_.detected_attack_flows;
-      }
-    } else {
-      ++result_.benign_flows;
-      if (verdict.suspect) ++result_.benign_suspects;
-      if (verdict.attack) ++result_.false_positives;
+  } else {
+    ++result_.benign_flows;
+    if (verdict.suspect) ++result_.benign_suspects;
+    if (verdict.attack) ++result_.false_positives;
+  }
+}
+
+ExperimentResult Scorer::finalize() {
+  ExperimentResult result = result_;
+  result.attack_instances = static_cast<int>(instances_.size());
+  double latency_sum = 0;
+  for (const auto& [key, instance] : instances_) {
+    const auto k = static_cast<std::size_t>(key.kind);
+    result.per_kind[k].first += 1;
+    if (instance.detected) {
+      ++result.detected_instances;
+      result.per_kind[k].second += 1;
+      latency_sum += instance.first_alert >= instance.first_flow
+                         ? static_cast<double>(instance.first_alert -
+                                               instance.first_flow)
+                         : 0.0;
     }
   }
-
-  /// Folds the per-instance states into the final result (metrics field
-  /// left to the caller).
-  [[nodiscard]] ExperimentResult finalize() {
-    ExperimentResult result = result_;
-    result.attack_instances = static_cast<int>(instances_.size());
-    double latency_sum = 0;
-    for (const auto& [key, instance] : instances_) {
-      const auto k = static_cast<std::size_t>(key.kind);
-      result.per_kind[k].first += 1;
-      if (instance.detected) {
-        ++result.detected_instances;
-        result.per_kind[k].second += 1;
-        latency_sum += instance.first_alert >= instance.first_flow
-                           ? static_cast<double>(instance.first_alert -
-                                                 instance.first_flow)
-                           : 0.0;
-      }
-    }
-    if (result.detected_instances > 0) {
-      result.mean_detection_latency_ms =
-          latency_sum / static_cast<double>(result.detected_instances);
-    }
-    return result;
+  if (result.detected_instances > 0) {
+    result.mean_detection_latency_ms =
+        latency_sum / static_cast<double>(result.detected_instances);
   }
-
- private:
-  struct InstanceKey {
-    int ingress;
-    traffic::AttackKind kind;
-    auto operator<=>(const InstanceKey&) const = default;
-  };
-  struct InstanceState {
-    bool detected = false;
-    util::TimeMs first_flow = ~util::TimeMs{0};
-    util::TimeMs first_alert = ~util::TimeMs{0};
-  };
-
-  int first_port_;
-  std::map<InstanceKey, InstanceState> instances_;
-  ExperimentResult result_;
-};
-
-}  // namespace
+  return result;
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 std::shared_ptr<const core::TrainedClusters> clusters) {

@@ -198,6 +198,41 @@ struct TestbedStream {
 /// run_experiment replays, also consumed directly by bench/throughput.
 [[nodiscard]] TestbedStream generate_stream(const ExperimentConfig& config);
 
+/// Ground-truth accounting shared by the serial and runtime replay paths,
+/// and reused wave-by-wave by the lifecycle soak harness (sim/soak.h).
+/// Every reduction is order-independent (counts and min-aggregations), so
+/// scoring the same (flow, verdict) pairs in any interleaving -- the
+/// runtime's workers finish shards in nondeterministic order -- produces
+/// exactly the serial result. (first_alert as a min over alerting flows'
+/// export times equals the serial "first detected flow in replay order":
+/// the stream is sorted by record.last.)
+class Scorer {
+ public:
+  Scorer(const ExperimentConfig& config, const TestbedStream& stream);
+
+  void score(const dagflow::LabeledFlow& flow, const core::Verdict& verdict);
+
+  /// Folds the per-instance states into the final result (metrics field
+  /// left to the caller).
+  [[nodiscard]] ExperimentResult finalize();
+
+ private:
+  struct InstanceKey {
+    int ingress;
+    traffic::AttackKind kind;
+    auto operator<=>(const InstanceKey&) const = default;
+  };
+  struct InstanceState {
+    bool detected = false;
+    util::TimeMs first_flow = ~util::TimeMs{0};
+    util::TimeMs first_alert = ~util::TimeMs{0};
+  };
+
+  int first_port_;
+  std::map<InstanceKey, InstanceState> instances_;
+  ExperimentResult result_;
+};
+
 /// Builds the training traffic and trained clusters for a seed; shared
 /// across runs like the paper's pre-built NNS structures.
 [[nodiscard]] std::shared_ptr<const core::TrainedClusters> train_clusters(

@@ -20,6 +20,13 @@
 //                   [--ttl-detect]        # fuse the TTL hop-count detector
 //                                         # with the EIA check (src/hopcount)
 //                   [--ttl-tolerance 2]   # hop-count window slack
+//                   [--eia-max-idle MS]   # expire learned EIA /24s idle
+//                                         # longer than MS of flow time
+//                                         # (src/lifecycle; 0 = off; needs
+//                                         # the exact or cbloom backend)
+//                   [--resize-shards N]   # live-resize the runtime to N
+//                                         # shards halfway through the
+//                                         # replay (requires --threads)
 //                   [--threads N]         # 0 (default) = serial engine;
 //                                         # N >= 1 = sharded runtime
 //                   [--ingest-threads N]  # N >= 1 replays the capture over
@@ -117,6 +124,18 @@ int main(int argc, char** argv) {
   const auto backend = core::parse_eia_backend(args.value_or("eia-backend", "exact"));
   if (!backend) return fail(backend.error().message);
   config.eia.backend = *backend;
+  const auto max_idle = args.checked_int("eia-max-idle", 0, 0,
+                                         std::numeric_limits<std::int64_t>::max());
+  if (!max_idle) return fail(max_idle.error().message);
+  config.eia.lifecycle.max_idle_ms = static_cast<util::DurationMs>(*max_idle);
+  if (config.eia.lifecycle.enabled() &&
+      config.eia.backend.type == core::EiaBackendType::kBloom) {
+    // The plain Bloom filter cannot remove a /24; it ages by sub-filter
+    // rotation instead (core/eia_backend.h), so the flag is inert there.
+    std::fprintf(stderr,
+                 "infilter-detect: warning: --eia-max-idle has no effect on "
+                 "the bloom backend (use exact or cbloom)\n");
+  }
   config.use_hopcount = args.has("ttl-detect");
   const auto ttl_tolerance = args.checked_int("ttl-tolerance", 2, 0, 255);
   if (!ttl_tolerance) return fail(ttl_tolerance.error().message);
@@ -134,6 +153,12 @@ int main(int argc, char** argv) {
   // Threaded ingest dispatches into a runtime; force at least one shard.
   const int threads = ingest_threads > 0 ? std::max(1, static_cast<int>(*threads_arg))
                                          : static_cast<int>(*threads_arg);
+  const auto resize_arg = args.checked_int("resize-shards", 0, 0, 4096);
+  if (!resize_arg) return fail(resize_arg.error().message);
+  const int resize_shards = static_cast<int>(*resize_arg);
+  if (resize_shards > 0 && threads == 0) {
+    return fail("--resize-shards requires the sharded runtime (--threads >= 1)");
+  }
   // Distinct arrival ports, in capture order: the ingest replay binds one
   // loopback socket per port, and the receiver count is capped by them.
   std::vector<core::IngressId> ingresses;
@@ -308,10 +333,20 @@ int main(int argc, char** argv) {
     std::vector<std::uint32_t> sequences(ingresses.size(), 0);
     std::vector<netflow::V5Record> run;
     std::uint64_t datagrams_sent = 0;
+    bool resized = false;
     const auto in_flight = [&] {
       return datagrams_sent - (*pipeline)->stats().datagrams_received;
     };
     for (std::size_t at = 0; at < flows->size();) {
+      if (!resized && resize_shards > 0 && at >= flows->size() / 2) {
+        // The main thread is not a producer, so the exclusive-gate resize
+        // simply stalls the receivers' dispatches for its duration.
+        resized = rt->resize(resize_shards);
+        if (resized) {
+          std::printf("resized runtime to %d shard(s) mid-replay\n",
+                      resize_shards);
+        }
+      }
       const auto port = (*flows)[at].arrival_port;
       run.clear();
       while (at < flows->size() && (*flows)[at].arrival_port == port &&
@@ -358,7 +393,13 @@ int main(int argc, char** argv) {
     attacks = rt_attacks.load(std::memory_order_relaxed);
   } else if (rt) {
     std::uint64_t tag = 0;  // journey id in the trace export
+    const std::size_t resize_at =
+        resize_shards > 0 ? flows->size() / 2 : flows->size() + 1;
     for (const auto& flow : *flows) {
+      if (tag == resize_at && rt->resize(resize_shards)) {
+        std::printf("resized runtime to %d shard(s) mid-replay\n",
+                    resize_shards);
+      }
       rt->submit(flow.record, flow.arrival_port, flow.record.last, ++tag);
     }
     // Drain and join: every counter and the merged snapshot become final.
@@ -416,6 +457,16 @@ int main(int argc, char** argv) {
           threads, snapshot.value("infilter_runtime_batches_total"),
           snapshot.value("infilter_runtime_dropped_total"),
           snapshot.value("infilter_runtime_backpressure_waits_total"));
+    }
+    if (const double resizes =
+            snapshot.value("infilter_lifecycle_resizes_total");
+        config.eia.lifecycle.enabled() || resizes > 0) {
+      std::printf(
+          "lifecycle: %.0f entries expired, %.0f relearned, %.0f resize(s), "
+          "%.0f entries migrated\n",
+          snapshot.value("infilter_lifecycle_entries_expired_total"),
+          snapshot.value("infilter_lifecycle_entries_relearned_total"), resizes,
+          snapshot.value("infilter_lifecycle_migrated_entries_total"));
     }
     const auto* latency = snapshot.histogram("infilter_process_latency_us");
     if (latency != nullptr && latency->count > 0) {

@@ -13,6 +13,14 @@
 //                                          # interval sets (default) or a
 //                                          # memory-bounded Bloom / counting-
 //                                          # Bloom filter (core/eia_backend.h)
+//                    [--eia-max-idle MS]   # expire learned EIA entries idle
+//                                          # longer than MS of flow time
+//                                          # (0 = off; src/lifecycle). Exact
+//                                          # and cbloom backends only
+//                    [--resize-shards N]   # live-resize the worker pool to N
+//                                          # shards halfway through the run,
+//                                          # migrating engine state (needs
+//                                          # --threads >= 1)
 //                    [--duration-ms 30000] [--idmef]
 //                    [--ttl-detect]        # fuse the TTL hop-count detector
 //                                          # with the EIA check (src/hopcount)
@@ -44,6 +52,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 
@@ -124,6 +133,16 @@ int main(int argc, char** argv) {
       core::parse_eia_backend(args.value_or("eia-backend", "exact"));
   if (!backend) return fail(backend.error().message);
   config.engine.eia.backend = *backend;
+  const auto max_idle = args.checked_int("eia-max-idle", 0, 0,
+                                         std::numeric_limits<std::int64_t>::max());
+  if (!max_idle) return fail(max_idle.error().message);
+  config.engine.eia.lifecycle.max_idle_ms = static_cast<util::DurationMs>(*max_idle);
+  if (config.engine.eia.lifecycle.enabled() &&
+      config.engine.eia.backend.type == core::EiaBackendType::kBloom) {
+    std::fprintf(stderr,
+                 "infilter-monitor: warning: --eia-max-idle has no effect on the "
+                 "bloom backend (use exact or cbloom)\n");
+  }
   config.engine.use_hopcount = args.has("ttl-detect");
   const auto ttl_tolerance = args.checked_int("ttl-tolerance", 2, 0, 255);
   if (!ttl_tolerance) return fail(ttl_tolerance.error().message);
@@ -136,6 +155,12 @@ int main(int argc, char** argv) {
   const auto queue_depth = args.checked_int("queue-depth", 4096, 1, 1 << 24);
   if (!queue_depth) return fail(queue_depth.error().message);
   config.queue_depth = static_cast<std::size_t>(*queue_depth);
+  const auto resize_arg = args.checked_int("resize-shards", 0, 0, 4096);
+  if (!resize_arg) return fail(resize_arg.error().message);
+  const int resize_shards = static_cast<int>(*resize_arg);
+  if (resize_shards > 0 && config.threads == 0) {
+    return fail("--resize-shards requires the sharded runtime (--threads >= 1)");
+  }
   const auto ingest_threads = args.checked_int("ingest-threads", 0, 0, 4096);
   if (!ingest_threads) return fail(ingest_threads.error().message);
   config.ingest_threads = static_cast<int>(*ingest_threads);
@@ -246,11 +271,20 @@ int main(int argc, char** argv) {
   const auto duration = *duration_arg;
   std::int64_t elapsed = 0;
   std::uint64_t last_processed = 0;
+  bool resized = false;
   while (elapsed < duration) {
     constexpr int kSliceMs = 250;
     const auto processed = (*node)->poll_once(kSliceMs);
     if (!processed) return fail(processed.error().message);
     elapsed += kSliceMs;
+    if (!resized && resize_shards > 0 && elapsed >= duration / 2) {
+      // Live resize under traffic: ingest receivers stall on the submit
+      // gate for the pause, then keep dispatching into the new pool.
+      resized = (*node)->resize(resize_shards);
+      if (resized) {
+        std::printf("resized runtime to %d shard(s) mid-run\n", resize_shards);
+      }
+    }
     // The liveness watchdog: flag pipeline threads whose progress counter
     // stopped while their input queue is non-empty (wedged worker, stuck
     // decode stage...). One scan per slice keeps the baselines fresh.
@@ -284,6 +318,17 @@ int main(int argc, char** argv) {
       if (e2e != nullptr && e2e->count > 0) {
         std::printf(" | e2e p50 %.2fus p99 %.2fus", e2e->quantile(0.50),
                     e2e->quantile(0.99));
+      }
+      // Lifecycle health rides the same line: entry churn (aging on) and
+      // pool resizes, from the engine/runtime lifecycle counters.
+      if (const double resizes =
+              snapshot.value("infilter_lifecycle_resizes_total");
+          config.engine.eia.lifecycle.enabled() || resizes > 0) {
+        std::printf(
+            " | lifecycle %.0f expired %.0f relearned %.0f resize(s)",
+            snapshot.value("infilter_lifecycle_entries_expired_total"),
+            snapshot.value("infilter_lifecycle_entries_relearned_total"),
+            resizes);
       }
       std::printf("\n");
       last_processed = stats.flows_processed;
